@@ -1,0 +1,105 @@
+//! E7 (encode side): formula construction cost and size vs trace length,
+//! across the workload families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcapi::types::DeliveryModel;
+use symbolic::checker::{generate_trace, CheckConfig};
+use symbolic::encode::{encode, EncodeOptions};
+use symbolic::matchpairs::overapprox_match_pairs;
+use workloads::race::race;
+use workloads::{pipeline, ring, scatter};
+
+fn encode_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/race");
+    for n in [2usize, 4, 8, 12] {
+        let program = race(n);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                encode(
+                    &program,
+                    &trace,
+                    &pairs,
+                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn encode_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/pipeline");
+    for (stages, items) in [(3usize, 2usize), (4, 4), (6, 6)] {
+        let program = pipeline(stages, items);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{stages}x{items}")),
+            &(stages, items),
+            |b, _| {
+                b.iter(|| {
+                    encode(
+                        &program,
+                        &trace,
+                        &pairs,
+                        EncodeOptions {
+                            delivery: DeliveryModel::PairwiseFifo,
+                            negate_props: true,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn encode_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/ring");
+    for (n, laps) in [(3usize, 2usize), (4, 4), (6, 5)] {
+        let program = ring(n, laps);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{laps}")),
+            &(n, laps),
+            |b, _| {
+                b.iter(|| {
+                    encode(
+                        &program,
+                        &trace,
+                        &pairs,
+                        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn encode_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode/scatter");
+    for w in [2usize, 4, 8] {
+        let program = scatter(w);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                encode(
+                    &program,
+                    &trace,
+                    &pairs,
+                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, encode_race, encode_pipeline, encode_ring, encode_scatter);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2 (criterion form): precise DFS vs endpoint over-approximation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcapi::types::DeliveryModel;
+use symbolic::checker::{generate_trace, CheckConfig};
+use symbolic::matchpairs::{overapprox_match_pairs, precise_match_pairs};
+use workloads::race::race;
+use workloads::scatter;
+
+fn precise_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchpairs/precise-race");
+    g.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let program = race(n);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| precise_match_pairs(&program, &trace, DeliveryModel::Unordered))
+        });
+    }
+    g.finish();
+}
+
+fn overapprox_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchpairs/overapprox-race");
+    for n in [2usize, 5, 10, 20] {
+        let program = race(n);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| overapprox_match_pairs(&program, &trace))
+        });
+    }
+    g.finish();
+}
+
+fn precise_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchpairs/precise-scatter");
+    g.sample_size(10);
+    for w in [2usize, 3] {
+        let program = scatter(w);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| precise_match_pairs(&program, &trace, DeliveryModel::Unordered))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, precise_race, overapprox_race, precise_scatter);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! E6: SMT-core microbenchmarks — the solver substrate that stands in for
+//! Yices. Pigeonhole CNF (hard UNSAT), difference-logic chains/diamonds,
+//! and scheduling lattices shaped like the encoder's output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt::sat::{SatSolver, SolveResult};
+use smt::{SatResult, SmtSolver};
+
+fn pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt/pigeonhole");
+    for n in [5usize, 6, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = SatSolver::new_pure();
+                let holes = n - 1;
+                let mut x = vec![vec![]; n];
+                for p in 0..n {
+                    for _ in 0..holes {
+                        x[p].push(s.new_var());
+                    }
+                }
+                for p in 0..n {
+                    let clause: Vec<_> = x[p].iter().map(|v| v.pos()).collect();
+                    s.add_clause(&clause);
+                }
+                for h in 0..holes {
+                    for p1 in 0..n {
+                        for p2 in (p1 + 1)..n {
+                            s.add_clause(&[x[p1][h].neg(), x[p2][h].neg()]);
+                        }
+                    }
+                }
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn idl_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt/idl-chain");
+    for n in [50usize, 200, 800] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // x0 < x1 < ... < x_{n-1}, then close the cycle: UNSAT.
+                let mut s = SmtSolver::new();
+                let vars: Vec<_> = (0..n).map(|i| s.int_var(format!("x{i}"))).collect();
+                for w in vars.windows(2) {
+                    let t = s.lt(w[0], w[1]);
+                    s.assert_term(t);
+                }
+                assert_eq!(s.check(), SatResult::Sat);
+                let t = s.lt(vars[n - 1], vars[0]);
+                s.assert_term(t);
+                assert_eq!(s.check(), SatResult::Unsat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn idl_diamonds(c: &mut Criterion) {
+    // Stacked diamonds with a disjunctive choice per layer: classic
+    // DPLL(T) stress (Boolean search interleaved with theory checks).
+    let mut g = c.benchmark_group("smt/idl-diamonds");
+    for n in [10usize, 20, 40] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = SmtSolver::new();
+                let mut prev = s.int_var("v0");
+                for i in 0..n {
+                    let left = s.int_var(format!("l{i}"));
+                    let right = s.int_var(format!("r{i}"));
+                    let next = s.int_var(format!("v{}", i + 1));
+                    // prev < left < next  OR  prev < right < next
+                    let a1 = s.lt(prev, left);
+                    let a2 = s.lt(left, next);
+                    let left_path = s.and2(a1, a2);
+                    let b1 = s.lt(prev, right);
+                    let b2 = s.lt(right, next);
+                    let right_path = s.and2(b1, b2);
+                    let t = s.or2(left_path, right_path);
+                    s.assert_term(t);
+                    prev = next;
+                }
+                assert_eq!(s.check(), SatResult::Sat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn scheduling_lattice(c: &mut Criterion) {
+    // The encoder's shape: k racing "sends" matched by k "recvs" with
+    // uniqueness — the SMT core must count permutations implicitly.
+    let mut g = c.benchmark_group("smt/match-lattice");
+    for k in [3usize, 5, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = SmtSolver::new();
+                let send_clk: Vec<_> =
+                    (0..k).map(|i| s.int_var(format!("s{i}"))).collect();
+                let recv_clk: Vec<_> =
+                    (0..k).map(|i| s.int_var(format!("r{i}"))).collect();
+                let ids: Vec<_> = (0..k).map(|i| s.int_var(format!("id{i}"))).collect();
+                for r in 0..k {
+                    let mut opts = Vec::new();
+                    for snd in 0..k {
+                        let before = s.lt(send_clk[snd], recv_clk[r]);
+                        let bind = s.eq_const(ids[r], snd as i64);
+                        opts.push(s.and2(before, bind));
+                    }
+                    let any = s.or(opts);
+                    s.assert_term(any);
+                }
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        let d = s.ne(ids[i], ids[j]);
+                        s.assert_term(d);
+                    }
+                }
+                assert_eq!(s.check(), SatResult::Sat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn idl_ablation(c: &mut Criterion) {
+    // DESIGN.md §6.1 ablation: incremental potential maintenance
+    // (Cotton–Maler style) vs eager Bellman–Ford re-check per assertion.
+    use smt::atom::DiffAtom;
+    use smt::idl::Idl;
+    use smt::idl_naive::NaiveIdl;
+    use smt::lit::Var;
+    use smt::sat::Theory;
+
+    let mut g = c.benchmark_group("smt/idl-ablation");
+    for n in [100usize, 400] {
+        // A long consistent chain x0 < x1 < … < xn asserted edge by edge.
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Idl::new();
+                for i in 0..n as u32 {
+                    let atom = DiffAtom { x: i + 2, y: i + 1, c: -1 };
+                    t.register_atom(Var(i), atom);
+                    t.assert_true(Var(i).pos()).unwrap();
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive-bellman-ford", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = NaiveIdl::new();
+                for i in 0..n as u32 {
+                    let atom = DiffAtom { x: i + 2, y: i + 1, c: -1 };
+                    t.register_atom(Var(i), atom);
+                    t.assert_true(Var(i).pos()).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    pigeonhole,
+    idl_chain,
+    idl_diamonds,
+    scheduling_lattice,
+    idl_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! E7 (solve side): SMT solving time for violation queries — SAT instances
+//! (violation exists) and UNSAT instances (race-free pipelines/rings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcapi::types::DeliveryModel;
+use smt::SatResult;
+use symbolic::checker::{generate_trace, CheckConfig};
+use symbolic::encode::{encode, EncodeOptions};
+use symbolic::matchpairs::overapprox_match_pairs;
+use workloads::race::race_with_winner_assert;
+use workloads::{pipeline, ring};
+
+fn solve_sat_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve/sat-race");
+    for n in [3usize, 6, 10] {
+        let program = race_with_winner_assert(n);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc = encode(
+                    &program,
+                    &trace,
+                    &pairs,
+                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                );
+                assert_eq!(enc.solver.check(), SatResult::Sat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn solve_unsat_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve/unsat-pipeline");
+    for (stages, items) in [(3usize, 2usize), (4, 3), (5, 4)] {
+        let program = pipeline(stages, items);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{stages}x{items}")),
+            &(stages, items),
+            |b, _| {
+                b.iter(|| {
+                    let mut enc = encode(
+                        &program,
+                        &trace,
+                        &pairs,
+                        EncodeOptions {
+                            delivery: DeliveryModel::PairwiseFifo,
+                            negate_props: true,
+                            ..Default::default()
+                        },
+                    );
+                    assert_eq!(enc.solver.check(), SatResult::Unsat);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn solve_unsat_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve/unsat-ring");
+    for (n, laps) in [(3usize, 2usize), (4, 3), (5, 4)] {
+        let program = ring(n, laps);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{laps}")),
+            &(n, laps),
+            |b, _| {
+                b.iter(|| {
+                    let mut enc = encode(
+                        &program,
+                        &trace,
+                        &pairs,
+                        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                    );
+                    assert_eq!(enc.solver.check(), SatResult::Unsat);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn allsat_enumeration(c: &mut Criterion) {
+    // Enumerating all n! matchings of a race via blocking clauses.
+    let mut g = c.benchmark_group("solve/allsat-race");
+    for n in [3usize, 4] {
+        let program = workloads::race::race(n);
+        let trace = generate_trace(&program, &CheckConfig::default());
+        let pairs = overapprox_match_pairs(&program, &trace);
+        let expect = (1..=n).product::<usize>();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc = encode(
+                    &program,
+                    &trace,
+                    &pairs,
+                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+                );
+                let ids = enc.id_terms();
+                let models = enc.solver.enumerate_models(&ids, 100_000);
+                assert_eq!(models.len(), expect);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    solve_sat_race,
+    solve_unsat_pipeline,
+    solve_unsat_ring,
+    allsat_enumeration
+);
+criterion_main!(benches);

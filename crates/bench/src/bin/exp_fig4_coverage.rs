@@ -1,0 +1,89 @@
+//! F4: behaviour coverage on the paper's Figure 1 — which technique finds
+//! which of the two pairings (Fig. 4a, Fig. 4b).
+//!
+//! Run: `cargo run --release -p bench --bin exp_fig4_coverage`
+
+use explicit::sleepset::SleepConfig;
+use explicit::{ground_truth_check, mcc_check, SleepSetExplorer};
+use mcapi::types::DeliveryModel;
+use symbolic::checker::{enumerate_matchings, generate_trace, CheckConfig, MatchGen};
+use workloads::fig1;
+
+fn main() {
+    let program = fig1();
+    println!("# F4: pairings of the paper's Fig. 1 found per technique\n");
+    println!("{}", bench::header(&["technique", "network model", "pairings found", "states/checks"]));
+
+    // Ground truth (exhaustive, arbitrary delays).
+    let truth = ground_truth_check(&program);
+    println!(
+        "{}",
+        bench::row(&[
+            "explicit exhaustive (ground truth)".into(),
+            "arbitrary delays".into(),
+            truth.matchings.len().to_string(),
+            format!("{} states", truth.states),
+        ])
+    );
+
+    // MCC stand-in.
+    let mcc = mcc_check(&program);
+    println!(
+        "{}",
+        bench::row(&[
+            "MCC stand-in [5]".into(),
+            "instant delivery".into(),
+            mcc.matchings.len().to_string(),
+            format!("{} states", mcc.states),
+        ])
+    );
+
+    // Sleep-set stateless search.
+    let ss = SleepSetExplorer::new(&program, SleepConfig::default()).explore();
+    println!(
+        "{}",
+        bench::row(&[
+            "sleep-set stateless (Inspect-style [7])".into(),
+            "arbitrary delays".into(),
+            ss.matchings.len().to_string(),
+            format!("{} executions", ss.complete_terminals),
+        ])
+    );
+
+    // This paper: symbolic, arbitrary delays.
+    let cfg = CheckConfig { matchgen: MatchGen::Precise, ..CheckConfig::default() };
+    let trace = generate_trace(&program, &cfg);
+    let sym = enumerate_matchings(&program, &trace, &cfg, 100);
+    println!(
+        "{}",
+        bench::row(&[
+            "THIS PAPER: symbolic SMT".into(),
+            "arbitrary delays".into(),
+            sym.matchings.len().to_string(),
+            format!("{} SMT checks", sym.sat_checks),
+        ])
+    );
+
+    // Elwakil&Yang-style: symbolic with zero-delay axioms.
+    let zd = CheckConfig {
+        delivery: DeliveryModel::ZeroDelay,
+        matchgen: MatchGen::OverApprox,
+        ..CheckConfig::default()
+    };
+    let trace_zd = generate_trace(&program, &zd);
+    let ey = enumerate_matchings(&program, &trace_zd, &zd, 100);
+    println!(
+        "{}",
+        bench::row(&[
+            "Elwakil&Yang-style [2] (symbolic, no delays)".into(),
+            "instant delivery".into(),
+            ey.matchings.len().to_string(),
+            format!("{} SMT checks", ey.sat_checks),
+        ])
+    );
+
+    println!("\npairings detail (ground truth):");
+    print!("{}", truth.render_matchings());
+    println!("\nExpected (paper): delay-aware techniques find 2 pairings (Fig. 4a + 4b);");
+    println!("MCC and the zero-delay encoding find only 1 (Fig. 4a).");
+}

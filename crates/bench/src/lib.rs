@@ -1,0 +1,28 @@
+//! Experiment harness crate: criterion benches live in `benches/`, the
+//! per-figure experiment binaries in `src/bin/` (`exp_*`). See
+//! `EXPERIMENTS.md` at the workspace root for the experiment index.
+
+/// Format a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Format a markdown table header with separator.
+pub fn header(cells: &[&str]) -> String {
+    let head = format!("| {} |", cells.join(" | "));
+    let sep = format!("|{}", "---|".repeat(cells.len()));
+    format!("{head}\n{sep}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+        let h = header(&["x", "y"]);
+        assert!(h.contains("| x | y |"));
+        assert!(h.contains("|---|---|"));
+    }
+}

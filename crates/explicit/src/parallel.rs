@@ -1,0 +1,209 @@
+//! Level-synchronous parallel state-graph exploration.
+//!
+//! The frontier of each BFS level is split across worker threads
+//! (crossbeam scoped threads); the visited set is sharded by hash behind
+//! `parking_lot` mutexes so workers rarely contend. Results are merged
+//! per level. The exploration is deterministic in its *outcome* (same
+//! reachable set and matchings as [`crate::explorer::GraphExplorer`]) even
+//! though the visit order is not.
+
+use crate::explorer::{ExploreConfig, Node};
+use crate::stats::ExploreResult;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use mcapi::program::Program;
+
+const SHARDS: usize = 64;
+
+/// Parallel BFS explorer.
+pub struct ParallelExplorer<'a> {
+    program: &'a Program,
+    config: ExploreConfig,
+    num_workers: usize,
+}
+
+impl<'a> ParallelExplorer<'a> {
+    pub fn new(program: &'a Program, config: ExploreConfig, num_workers: usize) -> Self {
+        ParallelExplorer { program, config, num_workers: num_workers.max(1) }
+    }
+
+    /// Run the exploration. Semantically equivalent to the sequential
+    /// graph explorer (modulo `truncated` cut points).
+    pub fn explore(&self) -> ExploreResult {
+        let shards: Vec<Mutex<HashSet<Node>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+        let insert = |node: &Node| -> bool {
+            let mut h = DefaultHasher::new();
+            node.hash(&mut h);
+            let shard = (h.finish() as usize) % SHARDS;
+            shards[shard].lock().insert(node.clone())
+        };
+
+        let mut result = ExploreResult::default();
+        let init = Node::initial(self.program);
+        insert(&init);
+        let mut frontier = vec![init];
+
+        while !frontier.is_empty() {
+            result.states += frontier.len();
+            if result.states >= self.config.max_states {
+                result.truncated = true;
+                break;
+            }
+            let chunk = frontier.len().div_ceil(self.num_workers);
+            let partials: Vec<(ExploreResult, Vec<Node>)> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for piece in frontier.chunks(chunk.max(1)) {
+                    let insert_ref = &insert;
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = ExploreResult::default();
+                        let mut next_frontier = Vec::new();
+                        for node in piece {
+                            let actions =
+                                node.sys.enabled_actions(self.program, self.config.model);
+                            if actions.is_empty() {
+                                record_terminal(self.program, node, &mut local);
+                                continue;
+                            }
+                            for action in actions {
+                                let next = node.successor(
+                                    self.program,
+                                    action,
+                                    self.config.model,
+                                    self.config.track_matchings,
+                                );
+                                local.transitions += 1;
+                                if let Some(v) = &next.sys.violation {
+                                    local.push_violation(v.clone());
+                                }
+                                if insert_ref(&next) {
+                                    next_frontier.push(next);
+                                }
+                            }
+                        }
+                        (local, next_frontier)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope panicked");
+
+            frontier = Vec::new();
+            for (partial, mut nodes) in partials {
+                merge(&mut result, partial);
+                frontier.append(&mut nodes);
+            }
+            if self.config.stop_at_first_violation && result.found_violation() {
+                break;
+            }
+        }
+        result
+    }
+}
+
+fn record_terminal(program: &Program, node: &Node, result: &mut ExploreResult) {
+    if let Some(v) = &node.sys.violation {
+        result.push_violation(v.clone());
+        return;
+    }
+    if node.sys.all_done(program) {
+        result.complete_terminals += 1;
+        result.matchings.insert(node.matching.clone());
+    } else {
+        result.deadlocks += 1;
+    }
+}
+
+fn merge(into: &mut ExploreResult, from: ExploreResult) {
+    into.transitions += from.transitions;
+    into.complete_terminals += from.complete_terminals;
+    into.deadlocks += from.deadlocks;
+    for v in from.violations {
+        into.push_violation(v);
+    }
+    into.matchings.extend(from.matchings);
+    into.truncated |= from.truncated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::GraphExplorer;
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::types::DeliveryModel;
+
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    /// Wider race: n producers, one consumer receiving n messages.
+    fn race(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("race");
+        let t0 = b.thread("consumer");
+        let producers: Vec<_> = (0..n).map(|i| b.thread(format!("p{i}"))).collect();
+        for _ in 0..n {
+            b.recv(t0, 0);
+        }
+        for (i, &p) in producers.iter().enumerate() {
+            b.send_const(p, t0, 0, i as i64);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_fig1() {
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let cfg = ExploreConfig::with_model(model);
+            let seq = GraphExplorer::new(&p, cfg).explore();
+            let par = ParallelExplorer::new(&p, cfg, 4).explore();
+            assert_eq!(seq.matchings, par.matchings, "model {model}");
+            assert_eq!(seq.complete_terminals, par.complete_terminals, "model {model}");
+            assert_eq!(seq.deadlocks, par.deadlocks, "model {model}");
+            assert_eq!(seq.violations.len(), par.violations.len(), "model {model}");
+            assert_eq!(seq.states, par.states, "model {model}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_wider_race() {
+        let p = race(4);
+        let cfg = ExploreConfig::with_model(DeliveryModel::Unordered);
+        let seq = GraphExplorer::new(&p, cfg).explore();
+        let par = ParallelExplorer::new(&p, cfg, 8).explore();
+        assert_eq!(seq.matchings.len(), par.matchings.len());
+        assert_eq!(seq.matchings, par.matchings);
+        // 4 producers racing to 4 slots: 4! = 24 matchings.
+        assert_eq!(seq.matchings.len(), 24);
+    }
+
+    #[test]
+    fn single_worker_degenerates_gracefully() {
+        let p = fig1();
+        let cfg = ExploreConfig::default();
+        let par = ParallelExplorer::new(&p, cfg, 1).explore();
+        assert_eq!(par.matchings.len(), 2);
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let p = race(4);
+        let mut cfg = ExploreConfig::default();
+        cfg.max_states = 10;
+        let par = ParallelExplorer::new(&p, cfg, 4).explore();
+        assert!(par.truncated);
+    }
+}

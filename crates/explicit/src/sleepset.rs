@@ -1,0 +1,288 @@
+//! Stateless execution enumeration with sleep-set partial-order reduction.
+//!
+//! This is the Inspect-style baseline the paper situates itself against
+//! (via Fusion's comparison with Inspect): depth-first enumeration of
+//! executions — no state hashing — pruned with Godefroid's sleep sets.
+//! Sleep sets preserve at least one linearisation of every Mazurkiewicz
+//! trace, so safety verdicts (assertion violations, deadlocks) and the set
+//! of complete matchings are identical to the naive enumeration, at a
+//! fraction of the executions.
+//!
+//! The independence relation is conservative: two actions commute iff they
+//! belong to different threads and do not touch a common endpoint (a send
+//! and a receive on the same endpoint, or two receives on the same
+//! endpoint, are dependent; under `ZeroDelay` two sends to the same
+//! endpoint are also dependent because global send order is semantic there;
+//! under `Unordered` they commute).
+
+use crate::stats::{ExploreResult, Matching, RecvKey};
+use mcapi::program::{Instr, Program};
+use mcapi::state::{Action, SysState};
+use mcapi::types::{DeliveryModel, EndpointAddr};
+
+/// Configuration for the stateless search.
+#[derive(Clone, Copy, Debug)]
+pub struct SleepConfig {
+    pub model: DeliveryModel,
+    /// Disable the sleep-set pruning (naive full enumeration baseline).
+    pub use_sleep_sets: bool,
+    /// Abort after this many executions.
+    pub max_executions: usize,
+    pub track_matchings: bool,
+}
+
+impl Default for SleepConfig {
+    fn default() -> Self {
+        SleepConfig {
+            model: DeliveryModel::Unordered,
+            use_sleep_sets: true,
+            max_executions: 10_000_000,
+            track_matchings: true,
+        }
+    }
+}
+
+/// Stateless DFS with sleep sets.
+pub struct SleepSetExplorer<'a> {
+    program: &'a Program,
+    config: SleepConfig,
+}
+
+impl<'a> SleepSetExplorer<'a> {
+    pub fn new(program: &'a Program, config: SleepConfig) -> Self {
+        SleepSetExplorer { program, config }
+    }
+
+    /// The endpoint an action interacts with, if any: destination endpoint
+    /// for sends; source endpoint of the consumed message for receives.
+    fn touched_endpoint(&self, state: &SysState, action: Action) -> Option<EndpointAddr> {
+        match action {
+            Action::Internal { thread } => {
+                let pc = state.threads[thread].pc;
+                match self.program.threads[thread].code.get(pc) {
+                    Some(Instr::Send { to, .. }) | Some(Instr::SendI { to, .. }) => Some(*to),
+                    _ => None,
+                }
+            }
+            Action::Receive { thread, .. } => {
+                let pc = state.threads[thread].pc;
+                match self.program.threads[thread].code.get(pc) {
+                    Some(Instr::Recv { port, .. }) => Some(EndpointAddr::new(thread, *port)),
+                    _ => None,
+                }
+            }
+            Action::CompleteWait { thread, .. } => {
+                // The pending receive's port.
+                let pc = state.threads[thread].pc;
+                match self.program.threads[thread].code.get(pc) {
+                    Some(Instr::Wait { req }) => match state.threads[thread].reqs
+                        [req.0 as usize]
+                    {
+                        mcapi::state::ReqState::RecvPending { port, .. } => {
+                            Some(EndpointAddr::new(thread, port))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn is_send(&self, state: &SysState, action: Action) -> bool {
+        if let Action::Internal { thread } = action {
+            let pc = state.threads[thread].pc;
+            matches!(
+                self.program.threads[thread].code.get(pc),
+                Some(Instr::Send { .. }) | Some(Instr::SendI { .. })
+            )
+        } else {
+            false
+        }
+    }
+
+    /// Conservative independence check (actions evaluated at state `s`).
+    fn independent(&self, s: &SysState, a: Action, b: Action) -> bool {
+        if a.thread() == b.thread() {
+            return false;
+        }
+        let (ea, eb) = (self.touched_endpoint(s, a), self.touched_endpoint(s, b));
+        match (ea, eb) {
+            (Some(x), Some(y)) if x == y => {
+                // Same endpoint: two sends commute except under ZeroDelay
+                // (global order is semantic there); anything involving a
+                // receive is dependent.
+                let both_send = self.is_send(s, a) && self.is_send(s, b);
+                both_send && self.config.model != DeliveryModel::ZeroDelay
+            }
+            _ => true,
+        }
+    }
+
+    /// Run the enumeration.
+    pub fn explore(&self) -> ExploreResult {
+        let mut result = ExploreResult::default();
+        let init = SysState::initial(self.program);
+        let recv_counts = vec![0u16; self.program.threads.len()];
+        self.dfs(&init, &Vec::new(), &recv_counts, Vec::new(), &mut result);
+        result
+    }
+
+    fn dfs(
+        &self,
+        state: &SysState,
+        sleep: &Vec<Action>,
+        recv_counts: &[u16],
+        matching: Matching,
+        result: &mut ExploreResult,
+    ) {
+        if result.complete_terminals + result.deadlocks + result.violations.len()
+            >= self.config.max_executions
+        {
+            result.truncated = true;
+            return;
+        }
+        result.states += 1;
+        let enabled = state.enabled_actions(self.program, self.config.model);
+        if enabled.is_empty() {
+            if let Some(v) = &state.violation {
+                result.push_violation(v.clone());
+            } else if state.all_done(self.program) {
+                result.complete_terminals += 1;
+                if self.config.track_matchings {
+                    result.matchings.insert(matching);
+                }
+            } else {
+                result.deadlocks += 1;
+            }
+            return;
+        }
+        let mut explored: Vec<Action> = Vec::new();
+        for &action in &enabled {
+            if self.config.use_sleep_sets && sleep.contains(&action) {
+                continue;
+            }
+            let (next, _ev) = state.apply(self.program, action, self.config.model);
+            result.transitions += 1;
+            // Child sleep set: surviving members are those independent of
+            // the chosen action.
+            let child_sleep: Vec<Action> = if self.config.use_sleep_sets {
+                sleep
+                    .iter()
+                    .chain(explored.iter())
+                    .copied()
+                    .filter(|&b| self.independent(state, action, b))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut counts = recv_counts.to_vec();
+            let mut m = matching.clone();
+            if let Some(msg) = action.message() {
+                let t = action.thread();
+                let key = RecvKey::new(t, counts[t] as usize);
+                counts[t] += 1;
+                if self.config.track_matchings {
+                    let pos = m.partition_point(|(k, _)| *k < key);
+                    m.insert(pos, (key, msg));
+                }
+            }
+            self.dfs(&next, &child_sleep, &counts, m, result);
+            explored.push(action);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{ExploreConfig, GraphExplorer};
+    use mcapi::builder::ProgramBuilder;
+
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    fn naive(p: &Program, model: DeliveryModel) -> ExploreResult {
+        let cfg = SleepConfig { model, use_sleep_sets: false, ..Default::default() };
+        SleepSetExplorer::new(p, cfg).explore()
+    }
+
+    fn reduced(p: &Program, model: DeliveryModel) -> ExploreResult {
+        let cfg = SleepConfig { model, use_sleep_sets: true, ..Default::default() };
+        SleepSetExplorer::new(p, cfg).explore()
+    }
+
+    #[test]
+    fn sleep_sets_preserve_matchings_on_fig1() {
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let full = naive(&p, model);
+            let red = reduced(&p, model);
+            assert_eq!(full.matchings, red.matchings, "model {model}");
+            assert_eq!(full.violations, red.violations);
+            assert_eq!(full.deadlocks > 0, red.deadlocks > 0);
+        }
+    }
+
+    #[test]
+    fn sleep_sets_reduce_execution_count() {
+        let p = fig1();
+        let full = naive(&p, DeliveryModel::Unordered);
+        let red = reduced(&p, DeliveryModel::Unordered);
+        assert!(
+            red.complete_terminals < full.complete_terminals,
+            "sleep sets should prune: {} vs {}",
+            red.complete_terminals,
+            full.complete_terminals
+        );
+    }
+
+    #[test]
+    fn agrees_with_graph_explorer_on_matchings() {
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let graph =
+                GraphExplorer::new(&p, ExploreConfig::with_model(model)).explore();
+            let red = reduced(&p, model);
+            assert_eq!(graph.matchings, red.matchings, "model {model}");
+        }
+    }
+
+    #[test]
+    fn violation_detection_matches_naive() {
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::types::CmpOp;
+        let mut b = ProgramBuilder::new("race-assert");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "a==1");
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t2, t0, 0, 2);
+        let p = b.build().unwrap();
+        let full = naive(&p, DeliveryModel::Unordered);
+        let red = reduced(&p, DeliveryModel::Unordered);
+        assert!(full.found_violation());
+        assert!(red.found_violation());
+    }
+
+    #[test]
+    fn truncation_flag_respected() {
+        let p = fig1();
+        let cfg = SleepConfig { max_executions: 1, ..Default::default() };
+        let r = SleepSetExplorer::new(&p, cfg).explore();
+        assert!(r.truncated);
+    }
+}

@@ -1,0 +1,92 @@
+//! Result records shared by all explorers.
+
+use mcapi::trace::Violation;
+
+use std::collections::BTreeSet;
+
+// Re-exported so downstream code can name these through either crate.
+pub use mcapi::types::{Matching, RecvKey};
+
+/// Aggregate exploration outcome.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreResult {
+    /// Distinct states visited (graph search) or prefixes executed
+    /// (stateless search).
+    pub states: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// Terminal states / executions in which every thread finished.
+    pub complete_terminals: usize,
+    /// Deadlocked terminal states (not complete, no violation).
+    pub deadlocks: usize,
+    /// Distinct assertion violations reached.
+    pub violations: Vec<Violation>,
+    /// Distinct complete matchings observed on terminated executions.
+    pub matchings: BTreeSet<Matching>,
+    /// Exploration stopped early (state or depth limit).
+    pub truncated: bool,
+}
+
+impl ExploreResult {
+    /// Did any execution violate an assertion?
+    pub fn found_violation(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Record a violation, deduplicating.
+    pub fn push_violation(&mut self, v: Violation) {
+        if !self.violations.contains(&v) {
+            self.violations.push(v);
+        }
+    }
+
+    /// Render the matchings compactly (for experiment tables).
+    pub fn render_matchings(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in &self.matchings {
+            let _ = write!(out, "{{");
+            for (i, (r, s)) in m.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "t{}.r{} <- {:?}", r.thread, r.index, s);
+            }
+            let _ = writeln!(out, "}}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mcapi::types::MsgId;
+    use super::*;
+
+    #[test]
+    fn recv_key_ordering_is_thread_major() {
+        let a = RecvKey::new(0, 5);
+        let b = RecvKey::new(1, 0);
+        assert!(a < b);
+        assert!(RecvKey::new(1, 0) < RecvKey::new(1, 1));
+    }
+
+    #[test]
+    fn violations_deduplicate() {
+        let mut r = ExploreResult::default();
+        let v = Violation { thread: 0, pc: 1, message: "m".into() };
+        r.push_violation(v.clone());
+        r.push_violation(v);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.found_violation());
+    }
+
+    #[test]
+    fn render_matchings_mentions_pairs() {
+        let mut r = ExploreResult::default();
+        r.matchings.insert(vec![(RecvKey::new(0, 0), MsgId::new(2, 0))]);
+        let s = r.render_matchings();
+        assert!(s.contains("t0.r0"), "{s}");
+        assert!(s.contains("m2.0"), "{s}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for program construction and execution.
+
+use std::fmt;
+
+/// Errors from program validation or replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McapiError {
+    /// A static validation failure in a compiled program.
+    Validation { thread: usize, pc: usize, message: String },
+    /// A scripted replay diverged from the recorded schedule.
+    ReplayDiverged { step: usize, message: String },
+    /// Builder misuse (e.g. referencing a thread that does not exist).
+    Builder(String),
+}
+
+impl fmt::Display for McapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McapiError::Validation { thread, pc, message } => {
+                write!(f, "invalid program at thread {thread}, pc {pc}: {message}")
+            }
+            McapiError::ReplayDiverged { step, message } => {
+                write!(f, "replay diverged at step {step}: {message}")
+            }
+            McapiError::Builder(m) => write!(f, "builder error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for McapiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_location() {
+        let e = McapiError::Validation { thread: 1, pc: 3, message: "bad port".into() };
+        let s = e.to_string();
+        assert!(s.contains("thread 1"));
+        assert!(s.contains("pc 3"));
+        assert!(s.contains("bad port"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The DSL's expression and condition language.
+//!
+//! Expressions are deliberately restricted to the `variable + constant`
+//! fragment: that is what keeps the paper's `PEvents` conjunct inside
+//! integer difference logic (see `crates/smt`). Conditions are Boolean
+//! combinations of comparisons between such expressions.
+
+use crate::types::{CmpOp, Value, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An integer expression over thread-local variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal constant.
+    Const(Value),
+    /// Current value of a local variable.
+    Var(VarId),
+    /// `e + c` — constant offset (the only arithmetic in the fragment).
+    AddConst(Box<Expr>, Value),
+}
+
+impl Expr {
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    pub fn constant(c: Value) -> Expr {
+        Expr::Const(c)
+    }
+
+    /// `self + c`, folding constants.
+    pub fn plus(self, c: Value) -> Expr {
+        match self {
+            Expr::Const(k) => Expr::Const(k + c),
+            Expr::AddConst(e, k) => Expr::AddConst(e, k + c),
+            e => Expr::AddConst(Box::new(e), c),
+        }
+    }
+
+    /// Evaluate under a local-variable environment.
+    pub fn eval(&self, locals: &[Value]) -> Value {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => locals[v.0 as usize],
+            Expr::AddConst(e, c) => e.eval(locals) + c,
+        }
+    }
+
+    /// Variables read by this expression.
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::AddConst(e, _) => e.vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "{v:?}"),
+            Expr::AddConst(e, c) if *c >= 0 => write!(f, "({e} + {c})"),
+            Expr::AddConst(e, c) => write!(f, "({e} - {})", -c),
+        }
+    }
+}
+
+/// A Boolean condition over expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Cond {
+    True,
+    False,
+    Cmp(CmpOp, Expr, Expr),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(op, a, b)
+    }
+
+    pub fn eq(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(CmpOp::Eq, a, b)
+    }
+
+    pub fn ne(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(CmpOp::Ne, a, b)
+    }
+
+    pub fn lt(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(CmpOp::Lt, a, b)
+    }
+
+    pub fn le(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(CmpOp::Le, a, b)
+    }
+
+    pub fn and(a: Cond, b: Cond) -> Cond {
+        Cond::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: Cond, b: Cond) -> Cond {
+        Cond::Or(Box::new(a), Box::new(b))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(c: Cond) -> Cond {
+        Cond::Not(Box::new(c))
+    }
+
+    /// Evaluate under a local-variable environment.
+    pub fn eval(&self, locals: &[Value]) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::False => false,
+            Cond::Cmp(op, a, b) => op.eval(a.eval(locals), b.eval(locals)),
+            Cond::And(a, b) => a.eval(locals) && b.eval(locals),
+            Cond::Or(a, b) => a.eval(locals) || b.eval(locals),
+            Cond::Not(c) => !c.eval(locals),
+        }
+    }
+
+    /// Variables read by this condition.
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Cond::True | Cond::False => {}
+            Cond::Cmp(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Cond::Not(c) => c.vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::False => write!(f, "false"),
+            Cond::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Cond::And(a, b) => write!(f, "({a} && {b})"),
+            Cond::Or(a, b) => write!(f, "({a} || {b})"),
+            Cond::Not(c) => write!(f, "!({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u16) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn expr_eval() {
+        let locals = vec![10, 20];
+        assert_eq!(Expr::Const(5).eval(&locals), 5);
+        assert_eq!(Expr::Var(v(1)).eval(&locals), 20);
+        assert_eq!(Expr::Var(v(0)).plus(7).eval(&locals), 17);
+    }
+
+    #[test]
+    fn plus_folds() {
+        assert_eq!(Expr::Const(3).plus(4), Expr::Const(7));
+        let e = Expr::Var(v(0)).plus(1).plus(2);
+        assert_eq!(e, Expr::AddConst(Box::new(Expr::Var(v(0))), 3));
+    }
+
+    #[test]
+    fn cond_eval_all_shapes() {
+        let locals = vec![1, 2];
+        let a = Expr::Var(v(0));
+        let b = Expr::Var(v(1));
+        assert!(Cond::lt(a.clone(), b.clone()).eval(&locals));
+        assert!(!Cond::eq(a.clone(), b.clone()).eval(&locals));
+        assert!(Cond::and(Cond::True, Cond::ne(a.clone(), b.clone())).eval(&locals));
+        assert!(Cond::or(Cond::False, Cond::le(a.clone(), b.clone())).eval(&locals));
+        assert!(Cond::not(Cond::eq(a, b)).eval(&locals));
+        assert!(!Cond::False.eval(&locals));
+    }
+
+    #[test]
+    fn vars_collection() {
+        let mut out = vec![];
+        let c = Cond::and(
+            Cond::lt(Expr::Var(v(0)), Expr::Const(3)),
+            Cond::eq(Expr::Var(v(2)).plus(1), Expr::Var(v(1))),
+        );
+        c.vars(&mut out);
+        out.sort();
+        assert_eq!(out, vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn display_readable() {
+        let c = Cond::lt(Expr::Var(v(0)).plus(-1), Expr::Const(3));
+        assert_eq!(c.to_string(), "(var0 - 1) < 3");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Cond::or(
+            Cond::eq(Expr::Var(v(0)), Expr::Const(1)),
+            Cond::not(Cond::lt(Expr::Var(v(1)), Expr::Var(v(0)).plus(5))),
+        );
+        let j = serde_json::to_string(&c).unwrap();
+        let back: Cond = serde_json::from_str(&j).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,432 @@
+//! Program representation: a structured DSL (`Op`) compiled to a flat
+//! instruction form (`Instr`) that the interpreter, the explicit-state
+//! explorers and the symbolic encoder all consume.
+//!
+//! One `Thread` corresponds to one MCAPI node (the paper's `t0/t1/t2`). A
+//! thread owns local variable slots, request handles, and receives on its
+//! own (node, port) endpoints.
+
+use crate::error::McapiError;
+use crate::expr::{Cond, Expr};
+use crate::types::{EndpointAddr, Port, ReqId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Structured operations (builder-level form).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Op {
+    /// Blocking `mcapi_msg_send` of `value` to endpoint `to`.
+    Send { to: EndpointAddr, value: Expr },
+    /// Non-blocking `mcapi_msg_send_i`; completes immediately in this model
+    /// (infinite send buffers), the request exists for `wait` symmetry.
+    SendI { to: EndpointAddr, value: Expr, req: ReqId },
+    /// Blocking `mcapi_msg_recv` on this thread's `port` into `var`.
+    Recv { port: Port, var: VarId },
+    /// Non-blocking `mcapi_msg_recv_i`: posts a receive request; the message
+    /// is bound no later than the matching `wait`.
+    RecvI { port: Port, var: VarId, req: ReqId },
+    /// Block until request `req` completes.
+    Wait { req: ReqId },
+    /// Local assignment.
+    Assign { var: VarId, expr: Expr },
+    /// Safety assertion (the checked property).
+    Assert { cond: Cond, message: String },
+    /// Conditional with recorded outcome.
+    If { cond: Cond, then_ops: Vec<Op>, else_ops: Vec<Op> },
+}
+
+/// Flat instruction form. `Branch`/`Jump` encode structured control flow;
+/// targets are indices into the thread's instruction vector.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    Send { to: EndpointAddr, value: Expr },
+    SendI { to: EndpointAddr, value: Expr, req: ReqId },
+    Recv { port: Port, var: VarId },
+    RecvI { port: Port, var: VarId, req: ReqId },
+    Wait { req: ReqId },
+    Assign { var: VarId, expr: Expr },
+    Assert { cond: Cond, message: String },
+    /// Evaluate `cond`; fall through when true, jump to `else_target` when
+    /// false. The taken direction is recorded in the trace.
+    Branch { cond: Cond, else_target: usize },
+    Jump { target: usize },
+}
+
+/// A single MCAPI node/thread.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Thread {
+    pub name: String,
+    pub ops: Vec<Op>,
+    /// Number of local variable slots.
+    pub num_vars: usize,
+    /// Number of request handles.
+    pub num_reqs: usize,
+    /// Ports this thread receives on.
+    pub ports: Vec<Port>,
+    /// Compiled form (filled by `Program::compile`).
+    #[serde(default)]
+    pub code: Vec<Instr>,
+}
+
+/// A complete MCAPI program.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Program {
+    pub name: String,
+    pub threads: Vec<Thread>,
+}
+
+impl Program {
+    /// Compile every thread's structured ops to flat code and validate.
+    pub fn compile(mut self) -> Result<Program, McapiError> {
+        for t in &mut self.threads {
+            let mut code = Vec::new();
+            flatten(&t.ops, &mut code);
+            t.code = code;
+        }
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Static sanity checks: endpoint references resolve, request handles
+    /// and variables are in range, waits refer to issued requests.
+    pub fn validate(&self) -> Result<(), McapiError> {
+        for (tid, t) in self.threads.iter().enumerate() {
+            for (pc, ins) in t.code.iter().enumerate() {
+                let err = |msg: String| {
+                    Err(McapiError::Validation { thread: tid, pc, message: msg })
+                };
+                match ins {
+                    Instr::Send { to, value } | Instr::SendI { to, value, .. } => {
+                        let Some(dst) = self.threads.get(to.node as usize) else {
+                            return err(format!("send to unknown node {}", to.node));
+                        };
+                        if !dst.ports.contains(&to.port) {
+                            return err(format!(
+                                "send to {}:{} but that node has ports {:?}",
+                                to.node, to.port, dst.ports
+                            ));
+                        }
+                        let mut vs = vec![];
+                        value.vars(&mut vs);
+                        if let Some(v) = vs.iter().find(|v| v.0 as usize >= t.num_vars) {
+                            return err(format!("expression reads unknown {v:?}"));
+                        }
+                        if let Instr::SendI { req, .. } = ins {
+                            if req.0 as usize >= t.num_reqs {
+                                return err(format!("unknown request handle {req:?}"));
+                            }
+                        }
+                    }
+                    Instr::Recv { port, var } | Instr::RecvI { port, var, .. } => {
+                        if !t.ports.contains(port) {
+                            return err(format!("recv on undeclared port {port}"));
+                        }
+                        if var.0 as usize >= t.num_vars {
+                            return err(format!("recv into unknown {var:?}"));
+                        }
+                        if let Instr::RecvI { req, .. } = ins {
+                            if req.0 as usize >= t.num_reqs {
+                                return err(format!("unknown request handle {req:?}"));
+                            }
+                        }
+                    }
+                    Instr::Wait { req } => {
+                        if req.0 as usize >= t.num_reqs {
+                            return err(format!("wait on unknown {req:?}"));
+                        }
+                    }
+                    Instr::Assign { var, expr } => {
+                        if var.0 as usize >= t.num_vars {
+                            return err(format!("assign to unknown {var:?}"));
+                        }
+                        let mut vs = vec![];
+                        expr.vars(&mut vs);
+                        if let Some(v) = vs.iter().find(|v| v.0 as usize >= t.num_vars) {
+                            return err(format!("expression reads unknown {v:?}"));
+                        }
+                    }
+                    Instr::Assert { cond, .. } | Instr::Branch { cond, .. } => {
+                        let mut vs = vec![];
+                        cond.vars(&mut vs);
+                        if let Some(v) = vs.iter().find(|v| v.0 as usize >= t.num_vars) {
+                            return err(format!("condition reads unknown {v:?}"));
+                        }
+                        if let Instr::Branch { else_target, .. } = ins {
+                            if *else_target > t.code.len() {
+                                return err(format!("branch target {else_target} out of range"));
+                            }
+                        }
+                    }
+                    Instr::Jump { target } => {
+                        if *target > t.code.len() {
+                            return err(format!("jump target {target} out of range"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of send instructions (static, not per-execution).
+    pub fn num_static_sends(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| t.code.iter())
+            .filter(|i| matches!(i, Instr::Send { .. } | Instr::SendI { .. }))
+            .count()
+    }
+
+    /// Total number of receive instructions (static).
+    pub fn num_static_recvs(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| t.code.iter())
+            .filter(|i| matches!(i, Instr::Recv { .. } | Instr::RecvI { .. }))
+            .count()
+    }
+
+    /// Total compiled instruction count.
+    pub fn code_size(&self) -> usize {
+        self.threads.iter().map(|t| t.code.len()).sum()
+    }
+
+    /// Human-readable listing (one column per thread, Fig. 1 style).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "program `{}`:", self.name);
+        for (tid, t) in self.threads.iter().enumerate() {
+            let _ = writeln!(out, "  thread {tid} ({}):", t.name);
+            for (pc, ins) in t.code.iter().enumerate() {
+                let _ = writeln!(out, "    {pc:3}: {}", render_instr(ins));
+            }
+        }
+        out
+    }
+}
+
+fn render_instr(ins: &Instr) -> String {
+    match ins {
+        Instr::Send { to, value } => format!("send {value} -> {to}"),
+        Instr::SendI { to, value, req } => format!("send_i {value} -> {to} ({req:?})"),
+        Instr::Recv { port, var } => format!("recv port {port} -> {var:?}"),
+        Instr::RecvI { port, var, req } => format!("recv_i port {port} -> {var:?} ({req:?})"),
+        Instr::Wait { req } => format!("wait {req:?}"),
+        Instr::Assign { var, expr } => format!("{var:?} := {expr}"),
+        Instr::Assert { cond, message } => format!("assert {cond} \"{message}\""),
+        Instr::Branch { cond, else_target } => format!("if !({cond}) goto {else_target}"),
+        Instr::Jump { target } => format!("goto {target}"),
+    }
+}
+
+/// Flatten structured ops into instructions with branch targets patched.
+fn flatten(ops: &[Op], code: &mut Vec<Instr>) {
+    for op in ops {
+        match op {
+            Op::Send { to, value } => code.push(Instr::Send { to: *to, value: value.clone() }),
+            Op::SendI { to, value, req } => {
+                code.push(Instr::SendI { to: *to, value: value.clone(), req: *req })
+            }
+            Op::Recv { port, var } => code.push(Instr::Recv { port: *port, var: *var }),
+            Op::RecvI { port, var, req } => {
+                code.push(Instr::RecvI { port: *port, var: *var, req: *req })
+            }
+            Op::Wait { req } => code.push(Instr::Wait { req: *req }),
+            Op::Assign { var, expr } => {
+                code.push(Instr::Assign { var: *var, expr: expr.clone() })
+            }
+            Op::Assert { cond, message } => {
+                code.push(Instr::Assert { cond: cond.clone(), message: message.clone() })
+            }
+            Op::If { cond, then_ops, else_ops } => {
+                let branch_at = code.len();
+                code.push(Instr::Branch { cond: cond.clone(), else_target: 0 });
+                flatten(then_ops, code);
+                if else_ops.is_empty() {
+                    let end = code.len();
+                    if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
+                        *else_target = end;
+                    }
+                } else {
+                    let jump_at = code.len();
+                    code.push(Instr::Jump { target: 0 });
+                    let else_start = code.len();
+                    if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
+                        *else_target = else_start;
+                    }
+                    flatten(else_ops, code);
+                    let end = code.len();
+                    if let Instr::Jump { target } = &mut code[jump_at] {
+                        *target = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CmpOp;
+
+    fn thread_with(ops: Vec<Op>, num_vars: usize, num_reqs: usize, ports: Vec<Port>) -> Thread {
+        Thread { name: "t".into(), ops, num_vars, num_reqs, ports, code: vec![] }
+    }
+
+    #[test]
+    fn flatten_linear_ops() {
+        let ops = vec![
+            Op::Assign { var: VarId(0), expr: Expr::Const(1) },
+            Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Var(VarId(0)) },
+        ];
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 1, 0, vec![0])],
+        }
+        .compile()
+        .unwrap();
+        assert_eq!(p.threads[0].code.len(), 2);
+    }
+
+    #[test]
+    fn flatten_if_without_else() {
+        let ops = vec![
+            Op::If {
+                cond: Cond::cmp(CmpOp::Eq, Expr::Var(VarId(0)), Expr::Const(1)),
+                then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(2) }],
+                else_ops: vec![],
+            },
+            Op::Assign { var: VarId(0), expr: Expr::Const(3) },
+        ];
+        let p = Program { name: "p".into(), threads: vec![thread_with(ops, 1, 0, vec![])] }
+            .compile()
+            .unwrap();
+        let code = &p.threads[0].code;
+        // Branch, then-assign, final assign.
+        assert_eq!(code.len(), 3);
+        match &code[0] {
+            Instr::Branch { else_target, .. } => assert_eq!(*else_target, 2),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flatten_if_with_else_patches_both_targets() {
+        let ops = vec![Op::If {
+            cond: Cond::True,
+            then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(1) }],
+            else_ops: vec![
+                Op::Assign { var: VarId(0), expr: Expr::Const(2) },
+                Op::Assign { var: VarId(0), expr: Expr::Const(3) },
+            ],
+        }];
+        let p = Program { name: "p".into(), threads: vec![thread_with(ops, 1, 0, vec![])] }
+            .compile()
+            .unwrap();
+        let code = &p.threads[0].code;
+        // branch, then(1), jump, else(2) = 5 instrs.
+        assert_eq!(code.len(), 5);
+        match &code[0] {
+            Instr::Branch { else_target, .. } => assert_eq!(*else_target, 3),
+            other => panic!("{other:?}"),
+        }
+        match &code[2] {
+            Instr::Jump { target } => assert_eq!(*target, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_ifs_flatten() {
+        let inner = Op::If {
+            cond: Cond::True,
+            then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(1) }],
+            else_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(2) }],
+        };
+        let outer = Op::If {
+            cond: Cond::False,
+            then_ops: vec![inner],
+            else_ops: vec![],
+        };
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(vec![outer], 1, 0, vec![])],
+        }
+        .compile()
+        .unwrap();
+        // Outer branch + (inner branch, then, jump, else) = 5.
+        assert_eq!(p.threads[0].code.len(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_node() {
+        let ops = vec![Op::Send { to: EndpointAddr::new(9, 0), value: Expr::Const(1) }];
+        let r = Program { name: "p".into(), threads: vec![thread_with(ops, 0, 0, vec![])] }
+            .compile();
+        assert!(matches!(r, Err(McapiError::Validation { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_undeclared_port() {
+        let t0 = thread_with(vec![Op::Recv { port: 3, var: VarId(0) }], 1, 0, vec![0]);
+        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        assert!(matches!(r, Err(McapiError::Validation { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_var() {
+        let t0 = thread_with(
+            vec![Op::Assign { var: VarId(5), expr: Expr::Const(0) }],
+            1,
+            0,
+            vec![],
+        );
+        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        assert!(matches!(r, Err(McapiError::Validation { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_request() {
+        let t0 = thread_with(vec![Op::Wait { req: ReqId(2) }], 0, 1, vec![]);
+        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        assert!(matches!(r, Err(McapiError::Validation { .. })));
+    }
+
+    #[test]
+    fn render_lists_every_thread_and_instruction() {
+        let t0 = thread_with(
+            vec![
+                Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Const(1) },
+                Op::Recv { port: 0, var: VarId(0) },
+                Op::Assert { cond: Cond::True, message: "ok".into() },
+            ],
+            1,
+            0,
+            vec![0],
+        );
+        let p = Program { name: "p".into(), threads: vec![t0] }.compile().unwrap();
+        let r = p.render();
+        assert!(r.contains("program `p`"), "{r}");
+        assert!(r.contains("send 1 -> 0:0"), "{r}");
+        assert!(r.contains("recv port 0"), "{r}");
+        assert!(r.contains("assert"), "{r}");
+    }
+
+    #[test]
+    fn static_counters() {
+        let t0 = thread_with(
+            vec![
+                Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Const(1) },
+                Op::Recv { port: 0, var: VarId(0) },
+            ],
+            1,
+            0,
+            vec![0],
+        );
+        let p = Program { name: "p".into(), threads: vec![t0] }.compile().unwrap();
+        assert_eq!(p.num_static_sends(), 1);
+        assert_eq!(p.num_static_recvs(), 1);
+        assert_eq!(p.code_size(), 2);
+    }
+}

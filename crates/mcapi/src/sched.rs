@@ -1,0 +1,188 @@
+//! Schedulers: policies for resolving the action non-determinism.
+
+use crate::state::Action;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduling policy. `choose` returns the index of the selected action,
+/// or `None` to abort the run (used by replay divergence).
+pub trait Scheduler {
+    fn choose(&mut self, actions: &[Action]) -> Option<usize>;
+}
+
+/// Uniform random choice with a fixed seed (reproducible).
+pub struct RandomScheduler {
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, actions: &[Action]) -> Option<usize> {
+        if actions.is_empty() {
+            None
+        } else {
+            Some(self.rng.gen_range(0..actions.len()))
+        }
+    }
+}
+
+/// Always the first enabled action: a deterministic, mostly-sequential
+/// schedule (thread 0 runs as far as it can, etc.).
+#[derive(Default)]
+pub struct FirstScheduler;
+
+impl Scheduler for FirstScheduler {
+    fn choose(&mut self, actions: &[Action]) -> Option<usize> {
+        if actions.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+}
+
+/// Replays a recorded action sequence exactly; `None` when the script is
+/// exhausted or the scripted action is not currently enabled (divergence).
+pub struct ScriptScheduler {
+    script: Vec<Action>,
+    pos: usize,
+    diverged: bool,
+}
+
+impl ScriptScheduler {
+    pub fn new(script: Vec<Action>) -> Self {
+        ScriptScheduler { script, pos: 0, diverged: false }
+    }
+
+    /// Did the replay fail to follow the script?
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// Number of script entries consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for ScriptScheduler {
+    fn choose(&mut self, actions: &[Action]) -> Option<usize> {
+        let Some(&want) = self.script.get(self.pos) else {
+            return None; // script exhausted: stop (not a divergence)
+        };
+        match actions.iter().position(|&a| a == want) {
+            Some(i) => {
+                self.pos += 1;
+                Some(i)
+            }
+            None => {
+                self.diverged = true;
+                None
+            }
+        }
+    }
+}
+
+/// Round-robin over threads: picks the first action of the thread with the
+/// lowest id strictly greater than the previously scheduled thread, wrapping
+/// around. Gives fair interleavings for smoke tests.
+#[derive(Default)]
+pub struct RoundRobinScheduler {
+    last_thread: Option<usize>,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn choose(&mut self, actions: &[Action]) -> Option<usize> {
+        if actions.is_empty() {
+            return None;
+        }
+        let start = self.last_thread.map_or(0, |t| t + 1);
+        // First action of the lowest thread >= start, else lowest overall.
+        let best = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.thread() >= start)
+            .min_by_key(|(_, a)| a.thread())
+            .or_else(|| actions.iter().enumerate().min_by_key(|(_, a)| a.thread()))
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            self.last_thread = Some(actions[i].thread());
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MsgId;
+
+    fn acts() -> Vec<Action> {
+        vec![
+            Action::Internal { thread: 0 },
+            Action::Internal { thread: 1 },
+            Action::Receive { thread: 2, msg: MsgId::new(0, 0) },
+        ]
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = acts();
+        let run = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20).map(|_| s.choose(&a).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds usually differ (not guaranteed, but this seed pair does).
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn random_handles_empty() {
+        let mut s = RandomScheduler::new(0);
+        assert_eq!(s.choose(&[]), None);
+    }
+
+    #[test]
+    fn first_always_zero() {
+        let mut s = FirstScheduler;
+        assert_eq!(s.choose(&acts()), Some(0));
+        assert_eq!(s.choose(&[]), None);
+    }
+
+    #[test]
+    fn script_follows_and_reports_divergence() {
+        let a = acts();
+        let mut s = ScriptScheduler::new(vec![a[2], a[0]]);
+        assert_eq!(s.choose(&a), Some(2));
+        assert_eq!(s.choose(&a), Some(0));
+        assert!(!s.diverged());
+        assert_eq!(s.consumed(), 2);
+        // Script exhausted: None without divergence.
+        assert_eq!(s.choose(&a), None);
+        assert!(!s.diverged());
+    }
+
+    #[test]
+    fn script_divergence_flag() {
+        let a = acts();
+        let missing = Action::Internal { thread: 9 };
+        let mut s = ScriptScheduler::new(vec![missing]);
+        assert_eq!(s.choose(&a), None);
+        assert!(s.diverged());
+    }
+
+    #[test]
+    fn round_robin_rotates_threads() {
+        let a = acts();
+        let mut s = RoundRobinScheduler::default();
+        let t1 = a[s.choose(&a).unwrap()].thread();
+        let t2 = a[s.choose(&a).unwrap()].thread();
+        assert_ne!(t1, t2, "round robin should rotate");
+    }
+}

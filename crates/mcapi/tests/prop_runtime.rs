@@ -1,0 +1,189 @@
+//! Property-based tests of the runtime semantics: conservation laws,
+//! delivery-model invariants, replay determinism, serialisation.
+
+use mcapi::builder::ProgramBuilder;
+use mcapi::program::Program;
+use mcapi::runtime::{execute_random, replay};
+use mcapi::trace::{EventKind, Trace};
+use mcapi::types::DeliveryModel;
+use proptest::prelude::*;
+
+/// Build a random deadlock-free program directly (mirrors
+/// workloads::random_program but kept local so this crate stays
+/// dependency-light).
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..5, prop::collection::vec((0usize..4, 1i64..50), 1..8)).prop_map(
+        |(n, sends)| {
+            let mut b = ProgramBuilder::new("prop");
+            let tids: Vec<_> = (0..n).map(|i| b.thread(format!("t{i}"))).collect();
+            let mut incoming = vec![0usize; n];
+            // All sends first, from thread (i % n), to a different thread.
+            for (i, &(to_raw, val)) in sends.iter().enumerate() {
+                let from = i % n;
+                let mut to = to_raw % n;
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                b.send_const(tids[from], tids[to], 0, val);
+                incoming[to] += 1;
+            }
+            for (t, &cnt) in incoming.iter().enumerate() {
+                for _ in 0..cnt {
+                    b.recv(tids[t], 0);
+                }
+            }
+            b.build().expect("well-formed by construction")
+        },
+    )
+}
+
+fn model_strategy() -> impl Strategy<Value = DeliveryModel> {
+    prop_oneof![
+        Just(DeliveryModel::Unordered),
+        Just(DeliveryModel::PairwiseFifo),
+        Just(DeliveryModel::ZeroDelay),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sends-before-receives programs always run to completion, and the
+    /// message counts balance exactly.
+    #[test]
+    fn conservation_of_messages(p in arb_program(), seed in 0u64..1000, model in model_strategy()) {
+        let out = execute_random(&p, model, seed);
+        prop_assert!(out.trace.is_complete(), "deadlock in {:?}", out.trace);
+        let sends = out.trace.sends().len();
+        let recvs = out.trace.receives().len();
+        prop_assert_eq!(sends, recvs);
+        prop_assert!(out.final_state.in_flight.is_empty());
+    }
+
+    /// Every received value was actually sent to that endpoint, and every
+    /// message is consumed at most once.
+    #[test]
+    fn receives_consume_real_messages_once(p in arb_program(), seed in 0u64..1000) {
+        let out = execute_random(&p, DeliveryModel::Unordered, seed);
+        let mut sent = std::collections::HashMap::new();
+        for e in &out.trace.events {
+            if let EventKind::Send { msg, value, .. } = &e.kind {
+                sent.insert(*msg, *value);
+            }
+        }
+        let mut consumed = std::collections::HashSet::new();
+        for e in &out.trace.events {
+            if let EventKind::Recv { msg, value, .. }
+            | EventKind::WaitRecv { msg, value, .. } = &e.kind
+            {
+                prop_assert_eq!(sent.get(msg), Some(value), "value corrupted in transit");
+                prop_assert!(consumed.insert(*msg), "message {msg:?} consumed twice");
+            }
+        }
+    }
+
+    /// Replaying the recorded action sequence reproduces the trace bit for
+    /// bit (determinism of the semantics given a schedule).
+    #[test]
+    fn replay_is_deterministic(p in arb_program(), seed in 0u64..1000, model in model_strategy()) {
+        let out = execute_random(&p, model, seed);
+        let again = replay(&p, model, &out.actions).expect("own schedule must replay");
+        prop_assert_eq!(out.trace, again.trace);
+        prop_assert_eq!(out.final_state, again.final_state);
+    }
+
+    /// Pairwise FIFO invariant: two messages from the same source thread to
+    /// the same endpoint are received in send order.
+    #[test]
+    fn pairwise_fifo_is_fifo(p in arb_program(), seed in 0u64..1000) {
+        let out = execute_random(&p, DeliveryModel::PairwiseFifo, seed);
+        // Per (source thread, destination endpoint): sequence numbers of
+        // received messages must be increasing in receive order.
+        let mut last_seq: std::collections::HashMap<(u16, (usize, u16)), u16> =
+            std::collections::HashMap::new();
+        for e in &out.trace.events {
+            if let EventKind::Recv { msg, port, .. } | EventKind::WaitRecv { msg, port, .. } =
+                &e.kind
+            {
+                let key = (msg.thread, (e.thread, *port));
+                if let Some(prev) = last_seq.get(&key) {
+                    prop_assert!(
+                        msg.seq > *prev,
+                        "FIFO violated: {msg:?} after seq {prev} at {key:?}"
+                    );
+                }
+                last_seq.insert(key, msg.seq);
+            }
+        }
+    }
+
+    /// Zero-delay invariant: receives at one endpoint consume messages in
+    /// global send order.
+    #[test]
+    fn zero_delay_is_globally_ordered(p in arb_program(), seed in 0u64..1000) {
+        let out = execute_random(&p, DeliveryModel::ZeroDelay, seed);
+        // Record the global send position of each message.
+        let mut send_pos = std::collections::HashMap::new();
+        let mut pos = 0usize;
+        for e in &out.trace.events {
+            if let EventKind::Send { msg, .. } = &e.kind {
+                send_pos.insert(*msg, pos);
+                pos += 1;
+            }
+        }
+        // Receives per endpoint must be increasing in send position.
+        let mut last: std::collections::HashMap<(usize, u16), usize> =
+            std::collections::HashMap::new();
+        for e in &out.trace.events {
+            if let EventKind::Recv { msg, port, .. } | EventKind::WaitRecv { msg, port, .. } =
+                &e.kind
+            {
+                let ep = (e.thread, *port);
+                let sp = send_pos[msg];
+                if let Some(prev) = last.get(&ep) {
+                    prop_assert!(sp > *prev, "zero-delay order violated at {ep:?}");
+                }
+                last.insert(ep, sp);
+            }
+        }
+    }
+
+    /// Trace JSON serialisation round-trips.
+    #[test]
+    fn trace_json_roundtrip(p in arb_program(), seed in 0u64..200) {
+        let out = execute_random(&p, DeliveryModel::Unordered, seed);
+        let json = out.trace.to_json();
+        let back = Trace::from_json(&json).expect("parse back");
+        prop_assert_eq!(out.trace, back);
+    }
+
+    /// Branch outcomes recorded in the trace match a re-execution of the
+    /// same schedule (they are schedule-determined).
+    #[test]
+    fn branch_outcomes_are_schedule_determined(seed in 0u64..500) {
+        // A fixed branchy program exercised under random schedules.
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::program::Op;
+        use mcapi::types::CmpOp;
+        let mut b = ProgramBuilder::new("branchy-prop");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let v = b.recv(t0, 0);
+        b.push_op(t0, Op::If {
+            cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+            then_ops: vec![Op::Assign { var: v, expr: Expr::Const(1) }],
+            else_ops: vec![Op::Assign { var: v, expr: Expr::Const(0) }],
+        });
+        b.recv(t0, 0);
+        b.send_const(t1, t0, 0, 5);
+        b.send_const(t2, t0, 0, 15);
+        let p = b.build().unwrap();
+        let out = execute_random(&p, DeliveryModel::Unordered, seed);
+        let again = replay(&p, DeliveryModel::Unordered, &out.actions).unwrap();
+        prop_assert_eq!(
+            out.trace.branch_outcomes(0),
+            again.trace.branch_outcomes(0)
+        );
+    }
+}

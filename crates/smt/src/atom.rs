@@ -1,0 +1,343 @@
+//! Normalisation of comparison terms into canonical difference-logic atoms.
+//!
+//! Every comparison the encoder emits is reduced here to the single atom
+//! shape `x - y <= c` over integer variables, where the reserved variable
+//! [`ZERO_VAR`] stands for the constant `0` (so unary bounds `x <= c` become
+//! `x - zero <= c`). The SAT core then owns one Boolean variable per
+//! *canonical* atom; the negative literal of that variable denotes the
+//! complementary bound `y - x <= -c - 1` (integers are discrete, so the
+//! negation of `<=` is again a `<=`). Canonicalisation guarantees that an
+//! atom and its complement map to the *same* Boolean variable with opposite
+//! signs, which is what makes theory conflicts usable as learned clauses.
+
+use crate::error::SmtError;
+use crate::term::{CmpOp, Term, TermId, TermPool};
+use std::fmt;
+
+/// Index of an integer theory variable (dense, including [`ZERO_VAR`]).
+pub type IntVarId = u32;
+
+/// The reserved theory variable pinned to value `0`.
+pub const ZERO_VAR: IntVarId = 0;
+
+/// A difference bound `x - y <= c` in canonical orientation (`x > y` as ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiffAtom {
+    pub x: IntVarId,
+    pub y: IntVarId,
+    pub c: i64,
+}
+
+impl DiffAtom {
+    /// The complementary bound `!(x - y <= c)  ==  y - x <= -c - 1`.
+    pub fn complement(self) -> DiffAtom {
+        DiffAtom { x: self.y, y: self.x, c: -self.c - 1 }
+    }
+
+    /// Evaluate under a concrete assignment lookup.
+    pub fn eval(&self, value: impl Fn(IntVarId) -> i64) -> bool {
+        value(self.x) - value(self.y) <= self.c
+    }
+}
+
+impl fmt::Debug for DiffAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(x{} - x{} <= {})", self.x, self.y, self.c)
+    }
+}
+
+/// A normalised literal over a canonical atom: `positive` selects the atom
+/// itself, otherwise its complement holds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NormalizedAtom {
+    pub atom: DiffAtom,
+    pub positive: bool,
+}
+
+/// A linear integer term reduced to `var? + offset` form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct LinTerm {
+    /// Coefficient-1 variable, if any.
+    var: Option<u32>,
+    /// Additional variable with coefficient -1 (for `x - y` shapes).
+    neg_var: Option<u32>,
+    offset: i64,
+}
+
+/// Result of normalising a comparison: either a single literal over a
+/// canonical atom, or a conjunction/disjunction of two such literals
+/// (equalities and disequalities split into two bounds).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NormalizedCmp {
+    /// Constant truth value (both sides folded).
+    Const(bool),
+    /// A single difference-bound literal.
+    Single(NormalizedAtom),
+    /// `a /\ b` — used for equalities.
+    Both(NormalizedAtom, NormalizedAtom),
+    /// `a \/ b` — used for disequalities.
+    Either(NormalizedAtom, NormalizedAtom),
+}
+
+/// Map an *interned integer-variable term index* to a dense theory variable.
+///
+/// Theory variable `ZERO_VAR` is reserved; pool integer variable `i` becomes
+/// theory variable `i + 1`.
+#[inline]
+pub fn theory_var_of_pool_var(pool_idx: u32) -> IntVarId {
+    pool_idx + 1
+}
+
+fn linearize(pool: &TermPool, t: TermId) -> Result<LinTerm, SmtError> {
+    match pool.get(t) {
+        Term::IntConst(c) => Ok(LinTerm { var: None, neg_var: None, offset: *c }),
+        Term::IntVar(i) => Ok(LinTerm { var: Some(*i), neg_var: None, offset: 0 }),
+        Term::Add(a, b) => {
+            let la = linearize(pool, *a)?;
+            let lb = linearize(pool, *b)?;
+            combine(la, lb, false)
+        }
+        Term::Sub(a, b) => {
+            let la = linearize(pool, *a)?;
+            let lb = linearize(pool, *b)?;
+            combine(la, lb, true)
+        }
+        other => Err(SmtError::NotDifferenceLogic(format!(
+            "integer expression {other:?} is not in the difference fragment"
+        ))),
+    }
+}
+
+fn combine(a: LinTerm, b: LinTerm, subtract: bool) -> Result<LinTerm, SmtError> {
+    let (b_var, b_neg, b_off) = if subtract {
+        (b.neg_var, b.var, -b.offset)
+    } else {
+        (b.var, b.neg_var, b.offset)
+    };
+    // Cancel matching +v / -v pairs across operands.
+    let mut pos: Vec<u32> = a.var.into_iter().chain(b_var).collect();
+    let mut neg: Vec<u32> = a.neg_var.into_iter().chain(b_neg).collect();
+    let mut i = 0;
+    while i < pos.len() {
+        if let Some(j) = neg.iter().position(|&v| v == pos[i]) {
+            neg.remove(j);
+            pos.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if pos.len() > 1 || neg.len() > 1 {
+        return Err(SmtError::NotDifferenceLogic(
+            "expression has more than one positive or negative variable".into(),
+        ));
+    }
+    Ok(LinTerm {
+        var: pos.first().copied(),
+        neg_var: neg.first().copied(),
+        offset: a.offset + b_off,
+    })
+}
+
+/// Orient `x - y <= c` so the canonical atom has `x > y` (as theory-variable
+/// ids). If the orientation must flip, the result is the *negative* literal
+/// of the flipped atom.
+fn orient(x: IntVarId, y: IntVarId, c: i64) -> NormalizedAtom {
+    debug_assert_ne!(x, y);
+    if x > y {
+        NormalizedAtom { atom: DiffAtom { x, y, c }, positive: true }
+    } else {
+        // x - y <= c  ==  !(y - x <= -c - 1)
+        NormalizedAtom { atom: DiffAtom { x: y, y: x, c: -c - 1 }, positive: false }
+    }
+}
+
+/// Normalise a comparison `lhs op rhs` into canonical difference literal(s).
+pub fn normalize_cmp(
+    pool: &TermPool,
+    op: CmpOp,
+    lhs: TermId,
+    rhs: TermId,
+) -> Result<NormalizedCmp, SmtError> {
+    let l = linearize(pool, lhs)?;
+    let r = linearize(pool, rhs)?;
+    // Move everything to the left: L - R op 0.
+    let diff = combine(l, r, true)?;
+    let (xv, yv, k) = (diff.var, diff.neg_var, diff.offset);
+    // Shape: xv - yv + k  op  0, i.e. X - Y op -k with X/Y possibly ZERO.
+    let x = xv.map_or(ZERO_VAR, theory_var_of_pool_var);
+    let y = yv.map_or(ZERO_VAR, theory_var_of_pool_var);
+    let bound = -k;
+    if x == y {
+        // Fully cancelled: constant comparison `k op 0`.
+        return Ok(NormalizedCmp::Const(op.eval(0, bound)));
+    }
+    let le = |c: i64| orient(x, y, c);
+    let ge_as_le = |c: i64| orient(y, x, -c); // x - y >= c == y - x <= -c
+    Ok(match op {
+        CmpOp::Le => NormalizedCmp::Single(le(bound)),
+        CmpOp::Lt => NormalizedCmp::Single(le(bound - 1)),
+        CmpOp::Ge => NormalizedCmp::Single(ge_as_le(bound)),
+        CmpOp::Gt => NormalizedCmp::Single(ge_as_le(bound + 1)),
+        CmpOp::Eq => NormalizedCmp::Both(le(bound), ge_as_le(bound)),
+        CmpOp::Ne => NormalizedCmp::Either(le(bound - 1), ge_as_le(bound + 1)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with_two_vars() -> (TermPool, TermId, TermId) {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        (p, x, y)
+    }
+
+    /// Evaluate a normalized comparison under concrete values.
+    fn eval_norm(n: &NormalizedCmp, val: impl Fn(IntVarId) -> i64 + Copy) -> bool {
+        let lit = |l: &NormalizedAtom| l.atom.eval(val) == l.positive;
+        match n {
+            NormalizedCmp::Const(b) => *b,
+            NormalizedCmp::Single(l) => lit(l),
+            NormalizedCmp::Both(a, b) => lit(a) && lit(b),
+            NormalizedCmp::Either(a, b) => lit(a) || lit(b),
+        }
+    }
+
+    #[test]
+    fn complement_is_involution_on_truth() {
+        let a = DiffAtom { x: 2, y: 1, c: 3 };
+        let comp = a.complement();
+        for vx in -5..5 {
+            for vy in -5..5 {
+                let val = |v: IntVarId| if v == 2 { vx } else { vy };
+                assert_eq!(a.eval(val), !comp.eval(val), "vx={vx} vy={vy}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ops_normalize_truth_preserving() {
+        let (p, x, y) = pool_with_two_vars();
+        // theory vars: x -> 1, y -> 2
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+            let n = normalize_cmp(&p, op, x, y).unwrap();
+            for vx in -3..4i64 {
+                for vy in -3..4i64 {
+                    let val = |v: IntVarId| match v {
+                        ZERO_VAR => 0,
+                        1 => vx,
+                        2 => vy,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(
+                        eval_norm(&n, val),
+                        op.eval(vx, vy),
+                        "op={op:?} vx={vx} vy={vy} norm={n:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_bound_uses_zero_var() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let five = p.int_const(5);
+        let n = normalize_cmp(&p, CmpOp::Le, x, five).unwrap();
+        match n {
+            NormalizedCmp::Single(l) => {
+                assert!(l.positive);
+                assert_eq!(l.atom, DiffAtom { x: 1, y: ZERO_VAR, c: 5 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn offsets_fold_into_bound() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let xp3 = p.add_const(x, 3);
+        let ym2 = p.add_const(y, -2);
+        // x + 3 <= y - 2   ==   x - y <= -5
+        let n = normalize_cmp(&p, CmpOp::Le, xp3, ym2).unwrap();
+        for vx in -8..8i64 {
+            for vy in -8..8i64 {
+                let val = |v: IntVarId| match v {
+                    ZERO_VAR => 0,
+                    1 => vx,
+                    2 => vy,
+                    _ => unreachable!(),
+                };
+                assert_eq!(eval_norm(&n, val), vx + 3 <= vy - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_shape_is_accepted() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let d = p.sub(x, y);
+        let zero = p.int_const(0);
+        let n = normalize_cmp(&p, CmpOp::Gt, d, zero).unwrap();
+        for vx in -3..4i64 {
+            for vy in -3..4i64 {
+                let val = |v: IntVarId| match v {
+                    ZERO_VAR => 0,
+                    1 => vx,
+                    2 => vy,
+                    _ => unreachable!(),
+                };
+                assert_eq!(eval_norm(&n, val), vx - vy > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_yields_constant() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let xp1 = p.add_const(x, 1);
+        // x < x + 1 is always true; the vars cancel.
+        let n = normalize_cmp(&p, CmpOp::Lt, x, xp1).unwrap();
+        assert_eq!(n, NormalizedCmp::Const(true));
+        let n = normalize_cmp(&p, CmpOp::Gt, x, xp1).unwrap();
+        assert_eq!(n, NormalizedCmp::Const(false));
+    }
+
+    #[test]
+    fn two_positive_vars_rejected() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let s = p.add(x, y);
+        let zero = p.int_const(0);
+        assert!(matches!(
+            normalize_cmp(&p, CmpOp::Le, s, zero),
+            Err(SmtError::NotDifferenceLogic(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_orientation_merges_complements() {
+        let (p, x, y) = pool_with_two_vars();
+        // x <= y and x > y must land on the same canonical atom with
+        // opposite polarity, so the SAT core sees one variable.
+        let a = match normalize_cmp(&p, CmpOp::Le, x, y).unwrap() {
+            NormalizedCmp::Single(l) => l,
+            o => panic!("{o:?}"),
+        };
+        let b = match normalize_cmp(&p, CmpOp::Gt, x, y).unwrap() {
+            NormalizedCmp::Single(l) => l,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(a.atom, b.atom);
+        assert_ne!(a.positive, b.positive);
+    }
+}

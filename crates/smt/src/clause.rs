@@ -1,0 +1,245 @@
+//! Clause storage for the CDCL core.
+//!
+//! Clauses live in one flat literal arena indexed by a header table; a
+//! [`ClauseRef`] is an index into the headers. Deletion is logical (headers
+//! are tombstoned and watchers lazily dropped); the arena is compacted when
+//! the fraction of dead literals grows past a threshold.
+
+use crate::lit::Lit;
+
+/// Index of a clause in the database.
+pub type ClauseRef = u32;
+
+#[derive(Clone, Debug)]
+struct Header {
+    start: u32,
+    len: u32,
+    learnt: bool,
+    deleted: bool,
+    /// Literal Block Distance at learning time (glue level).
+    lbd: u32,
+    activity: f32,
+}
+
+/// The clause database: problem clauses and learned clauses.
+#[derive(Default)]
+pub struct ClauseDb {
+    lits: Vec<Lit>,
+    headers: Vec<Header>,
+    /// Number of literals belonging to deleted clauses (compaction trigger).
+    dead_lits: usize,
+    /// Clause activity bump amount (exponentially rescaled).
+    cla_inc: f32,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        ClauseDb { lits: Vec::new(), headers: Vec::new(), dead_lits: 0, cla_inc: 1.0 }
+    }
+
+    /// Add a clause; returns its reference. `lits` must have length >= 2
+    /// (units are handled on the trail, empties mean UNSAT).
+    pub fn add(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let start = self.lits.len() as u32;
+        self.lits.extend_from_slice(lits);
+        let cref = self.headers.len() as ClauseRef;
+        self.headers.push(Header {
+            start,
+            len: lits.len() as u32,
+            learnt,
+            deleted: false,
+            lbd,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    /// The literals of a clause.
+    #[inline]
+    pub fn lits(&self, c: ClauseRef) -> &[Lit] {
+        let h = &self.headers[c as usize];
+        &self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    /// Mutable literals of a clause (watched-literal reordering).
+    #[inline]
+    pub fn lits_mut(&mut self, c: ClauseRef) -> &mut [Lit] {
+        let h = &self.headers[c as usize];
+        &mut self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    #[inline]
+    pub fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.headers[c as usize].deleted
+    }
+
+    #[inline]
+    pub fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.headers[c as usize].learnt
+    }
+
+    #[inline]
+    pub fn lbd(&self, c: ClauseRef) -> u32 {
+        self.headers[c as usize].lbd
+    }
+
+    #[inline]
+    pub fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        self.headers[c as usize].lbd = lbd;
+    }
+
+    #[inline]
+    pub fn activity(&self, c: ClauseRef) -> f32 {
+        self.headers[c as usize].activity
+    }
+
+    /// Tombstone a clause. The caller is responsible for not holding it as a
+    /// reason and for purging watchers lazily.
+    pub fn delete(&mut self, c: ClauseRef) {
+        let h = &mut self.headers[c as usize];
+        if !h.deleted {
+            h.deleted = true;
+            self.dead_lits += h.len as usize;
+        }
+    }
+
+    /// Bump a learned clause's activity; returns `true` if a global rescale
+    /// happened (callers don't need to act on it — kept for stats).
+    pub fn bump_activity(&mut self, c: ClauseRef) -> bool {
+        let inc = self.cla_inc;
+        let h = &mut self.headers[c as usize];
+        h.activity += inc;
+        if h.activity > 1e20 {
+            self.rescale();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rescale(&mut self) {
+        for hh in &mut self.headers {
+            hh.activity *= 1e-20;
+        }
+        self.cla_inc *= 1e-20;
+    }
+
+    /// Decay clause activities by bumping future increments.
+    pub fn decay_activity(&mut self) {
+        self.cla_inc /= 0.999;
+        // f32 headroom: rescale before the increment itself can overflow.
+        if self.cla_inc > 1e20 {
+            self.rescale();
+        }
+    }
+
+    /// All live learned clause references (for reduce-db).
+    pub fn learnt_refs(&self) -> Vec<ClauseRef> {
+        (0..self.headers.len() as ClauseRef)
+            .filter(|&c| {
+                let h = &self.headers[c as usize];
+                h.learnt && !h.deleted
+            })
+            .collect()
+    }
+
+    /// Total number of live clauses.
+    pub fn num_live(&self) -> usize {
+        self.headers.iter().filter(|h| !h.deleted).count()
+    }
+
+    /// Number of live learned clauses.
+    pub fn num_learnt(&self) -> usize {
+        self.headers.iter().filter(|h| h.learnt && !h.deleted).count()
+    }
+
+    /// Fraction of arena literals that belong to deleted clauses.
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.lits.is_empty() {
+            0.0
+        } else {
+            self.dead_lits as f64 / self.lits.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(ids: &[u32]) -> Vec<Lit> {
+        ids.iter().map(|&i| Var(i).pos()).collect()
+    }
+
+    #[test]
+    fn add_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c1 = db.add(&lits(&[0, 1, 2]), false, 0);
+        let c2 = db.add(&lits(&[3, 4]), true, 2);
+        assert_eq!(db.lits(c1), &lits(&[0, 1, 2])[..]);
+        assert_eq!(db.lits(c2), &lits(&[3, 4])[..]);
+        assert!(!db.is_learnt(c1));
+        assert!(db.is_learnt(c2));
+        assert_eq!(db.lbd(c2), 2);
+        assert_eq!(db.num_live(), 2);
+        assert_eq!(db.num_learnt(), 1);
+    }
+
+    #[test]
+    fn delete_is_logical() {
+        let mut db = ClauseDb::new();
+        let c1 = db.add(&lits(&[0, 1]), true, 2);
+        let c2 = db.add(&lits(&[2, 3]), true, 2);
+        db.delete(c1);
+        assert!(db.is_deleted(c1));
+        assert!(!db.is_deleted(c2));
+        assert_eq!(db.num_live(), 1);
+        assert!(db.garbage_ratio() > 0.0);
+        // double-delete is idempotent
+        let before = db.garbage_ratio();
+        db.delete(c1);
+        assert_eq!(db.garbage_ratio(), before);
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new();
+        let c = db.add(&lits(&[0, 1]), true, 2);
+        assert_eq!(db.activity(c), 0.0);
+        db.bump_activity(c);
+        assert!(db.activity(c) > 0.0);
+        // Heavy decay must never push activities to infinity: the increment
+        // is rescaled internally before it can overflow f32.
+        for _ in 0..100_000 {
+            db.decay_activity();
+        }
+        db.bump_activity(c);
+        assert!(db.activity(c).is_finite());
+        assert!(db.activity(c) > 0.0);
+        // A second clause bumped later still compares as more active.
+        let d = db.add(&lits(&[2, 3]), true, 2);
+        db.decay_activity();
+        db.bump_activity(d);
+        assert!(db.activity(d) >= db.activity(c) * 0.5, "recent bump should dominate");
+    }
+
+    #[test]
+    fn learnt_refs_skips_deleted_and_problem_clauses() {
+        let mut db = ClauseDb::new();
+        let _p = db.add(&lits(&[0, 1]), false, 0);
+        let l1 = db.add(&lits(&[2, 3]), true, 2);
+        let l2 = db.add(&lits(&[4, 5]), true, 3);
+        db.delete(l1);
+        assert_eq!(db.learnt_refs(), vec![l2]);
+    }
+
+    #[test]
+    fn lits_mut_allows_reordering() {
+        let mut db = ClauseDb::new();
+        let c = db.add(&lits(&[0, 1, 2]), false, 0);
+        db.lits_mut(c).swap(0, 2);
+        assert_eq!(db.lits(c)[0], Var(2).pos());
+    }
+}

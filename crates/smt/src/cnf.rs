@@ -1,0 +1,453 @@
+//! Tseitin conversion of the Boolean term DAG into CNF over SAT literals.
+//!
+//! Each composite Boolean subterm gets one auxiliary SAT variable with
+//! both-polarity defining clauses; comparisons are normalised to canonical
+//! difference atoms ([`crate::atom`]) which share one SAT variable per atom
+//! (an atom and its complement land on the same variable with opposite
+//! signs). Root-level conjunctions/disjunctions are flattened directly into
+//! clauses without auxiliary variables.
+
+use crate::atom::{normalize_cmp, DiffAtom, NormalizedAtom, NormalizedCmp};
+use crate::error::SmtError;
+use crate::lit::{Lit, Var};
+use crate::term::{Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// Destination for fresh variables, clauses and theory-atom registrations.
+///
+/// `SatSolver<Idl>` implements this in [`crate::solver`]; tests use a plain
+/// collector.
+pub trait EncodeSink {
+    fn fresh_var(&mut self) -> Var;
+    fn emit_clause(&mut self, lits: &[Lit]);
+    fn register_atom(&mut self, var: Var, atom: DiffAtom);
+}
+
+/// Stateful Tseitin encoder. Caches are persistent so incremental
+/// `assert_root` calls across solver queries share subterm encodings.
+#[derive(Default)]
+pub struct Tseitin {
+    lit_of: HashMap<TermId, Lit>,
+    atom_var: HashMap<DiffAtom, Var>,
+    bool_var: HashMap<u32, Var>,
+    true_lit: Option<Lit>,
+    /// Number of clauses emitted (stats).
+    pub clauses_emitted: u64,
+    /// Number of auxiliary variables created (stats).
+    pub aux_vars: u64,
+}
+
+impl Tseitin {
+    pub fn new() -> Self {
+        Tseitin::default()
+    }
+
+    /// Number of distinct theory atoms encountered.
+    pub fn num_atoms(&self) -> usize {
+        self.atom_var.len()
+    }
+
+    /// Snapshot of (pool Boolean-variable index, SAT variable) pairs, used
+    /// for model extraction.
+    pub fn bool_vars_snapshot(&self) -> Vec<(u32, Var)> {
+        self.bool_var.iter().map(|(&i, &v)| (i, v)).collect()
+    }
+
+    /// The SAT literal equivalent to `t` (creating definitions as needed).
+    pub fn lit_for<S: EncodeSink>(
+        &mut self,
+        pool: &TermPool,
+        t: TermId,
+        sink: &mut S,
+    ) -> Result<Lit, SmtError> {
+        if let Some(&l) = self.lit_of.get(&t) {
+            return Ok(l);
+        }
+        let lit = match pool.get(t).clone() {
+            Term::True => self.const_true(sink),
+            Term::False => !self.const_true(sink),
+            Term::BoolVar(idx) => {
+                let v = *self.bool_var.entry(idx).or_insert_with(|| sink.fresh_var());
+                v.pos()
+            }
+            Term::Not(inner) => {
+                let l = self.lit_for(pool, inner, sink)?;
+                !l
+            }
+            Term::And(kids) => {
+                let lits = self.lits_for(pool, &kids, sink)?;
+                self.define_and(&lits, sink)
+            }
+            Term::Or(kids) => {
+                let lits = self.lits_for(pool, &kids, sink)?;
+                self.define_or(&lits, sink)
+            }
+            Term::Implies(a, b) => {
+                let la = self.lit_for(pool, a, sink)?;
+                let lb = self.lit_for(pool, b, sink)?;
+                self.define_or(&[!la, lb], sink)
+            }
+            Term::Iff(a, b) => {
+                let la = self.lit_for(pool, a, sink)?;
+                let lb = self.lit_for(pool, b, sink)?;
+                self.define_iff(la, lb, sink)
+            }
+            Term::Ite(c, th, el) => {
+                let lc = self.lit_for(pool, c, sink)?;
+                let lt = self.lit_for(pool, th, sink)?;
+                let le = self.lit_for(pool, el, sink)?;
+                self.define_ite(lc, lt, le, sink)
+            }
+            Term::Cmp(op, a, b) => match normalize_cmp(pool, op, a, b)? {
+                NormalizedCmp::Const(true) => self.const_true(sink),
+                NormalizedCmp::Const(false) => !self.const_true(sink),
+                NormalizedCmp::Single(na) => self.atom_lit(na, sink),
+                NormalizedCmp::Both(na, nb) => {
+                    let la = self.atom_lit(na, sink);
+                    let lb = self.atom_lit(nb, sink);
+                    self.define_and(&[la, lb], sink)
+                }
+                NormalizedCmp::Either(na, nb) => {
+                    let la = self.atom_lit(na, sink);
+                    let lb = self.atom_lit(nb, sink);
+                    self.define_or(&[la, lb], sink)
+                }
+            },
+            Term::IntVar(_) | Term::IntConst(_) | Term::Add(..) | Term::Sub(..) => {
+                return Err(SmtError::SortMismatch(format!(
+                    "integer term {} used in Boolean position",
+                    pool.display(t)
+                )))
+            }
+        };
+        self.lit_of.insert(t, lit);
+        Ok(lit)
+    }
+
+    /// Assert `t` at the root. Top-level conjunctions decompose into their
+    /// conjuncts; top-level disjunctions become one clause.
+    pub fn assert_root<S: EncodeSink>(
+        &mut self,
+        pool: &TermPool,
+        t: TermId,
+        sink: &mut S,
+    ) -> Result<(), SmtError> {
+        match pool.get(t).clone() {
+            Term::And(kids) => {
+                for k in kids.iter() {
+                    self.assert_root(pool, *k, sink)?;
+                }
+                Ok(())
+            }
+            Term::Or(kids) => {
+                let lits = self.lits_for(pool, &kids, sink)?;
+                self.emit(&lits, sink);
+                Ok(())
+            }
+            Term::Implies(a, b) => {
+                let la = self.lit_for(pool, a, sink)?;
+                let lb = self.lit_for(pool, b, sink)?;
+                self.emit(&[!la, lb], sink);
+                Ok(())
+            }
+            _ => {
+                let l = self.lit_for(pool, t, sink)?;
+                self.emit(&[l], sink);
+                Ok(())
+            }
+        }
+    }
+
+    fn lits_for<S: EncodeSink>(
+        &mut self,
+        pool: &TermPool,
+        kids: &[TermId],
+        sink: &mut S,
+    ) -> Result<Vec<Lit>, SmtError> {
+        kids.iter().map(|&k| self.lit_for(pool, k, sink)).collect()
+    }
+
+    fn emit<S: EncodeSink>(&mut self, lits: &[Lit], sink: &mut S) {
+        self.clauses_emitted += 1;
+        sink.emit_clause(lits);
+    }
+
+    fn const_true<S: EncodeSink>(&mut self, sink: &mut S) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = sink.fresh_var();
+        self.aux_vars += 1;
+        let l = v.pos();
+        self.emit(&[l], sink);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn atom_lit<S: EncodeSink>(&mut self, na: NormalizedAtom, sink: &mut S) -> Lit {
+        let var = match self.atom_var.get(&na.atom) {
+            Some(&v) => v,
+            None => {
+                let v = sink.fresh_var();
+                self.atom_var.insert(na.atom, v);
+                sink.register_atom(v, na.atom);
+                v
+            }
+        };
+        var.lit(na.positive)
+    }
+
+    fn define_and<S: EncodeSink>(&mut self, lits: &[Lit], sink: &mut S) -> Lit {
+        debug_assert!(!lits.is_empty());
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let g = sink.fresh_var();
+        self.aux_vars += 1;
+        // g -> l_i
+        for &l in lits {
+            self.emit(&[g.neg(), l], sink);
+        }
+        // (/\ l_i) -> g
+        let mut big: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        big.push(g.pos());
+        self.emit(&big, sink);
+        g.pos()
+    }
+
+    fn define_or<S: EncodeSink>(&mut self, lits: &[Lit], sink: &mut S) -> Lit {
+        debug_assert!(!lits.is_empty());
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let g = sink.fresh_var();
+        self.aux_vars += 1;
+        // l_i -> g
+        for &l in lits {
+            self.emit(&[!l, g.pos()], sink);
+        }
+        // g -> (\/ l_i)
+        let mut big: Vec<Lit> = lits.to_vec();
+        big.insert(0, g.neg());
+        self.emit(&big, sink);
+        g.pos()
+    }
+
+    fn define_iff<S: EncodeSink>(&mut self, a: Lit, b: Lit, sink: &mut S) -> Lit {
+        let g = sink.fresh_var();
+        self.aux_vars += 1;
+        self.emit(&[g.neg(), !a, b], sink);
+        self.emit(&[g.neg(), a, !b], sink);
+        self.emit(&[g.pos(), a, b], sink);
+        self.emit(&[g.pos(), !a, !b], sink);
+        g.pos()
+    }
+
+    fn define_ite<S: EncodeSink>(&mut self, c: Lit, t: Lit, e: Lit, sink: &mut S) -> Lit {
+        let g = sink.fresh_var();
+        self.aux_vars += 1;
+        self.emit(&[g.neg(), !c, t], sink);
+        self.emit(&[g.neg(), c, e], sink);
+        self.emit(&[g.pos(), !c, !t], sink);
+        self.emit(&[g.pos(), c, !e], sink);
+        g.pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+
+    /// Collector sink for inspecting emitted CNF.
+    #[derive(Default)]
+    struct Collect {
+        nvars: u32,
+        clauses: Vec<Vec<Lit>>,
+        atoms: Vec<(Var, DiffAtom)>,
+    }
+
+    impl EncodeSink for Collect {
+        fn fresh_var(&mut self) -> Var {
+            let v = Var(self.nvars);
+            self.nvars += 1;
+            v
+        }
+        fn emit_clause(&mut self, lits: &[Lit]) {
+            self.clauses.push(lits.to_vec());
+        }
+        fn register_atom(&mut self, var: Var, atom: DiffAtom) {
+            self.atoms.push((var, atom));
+        }
+    }
+
+    /// Brute-force: does the CNF have a model with the given var count?
+    fn cnf_models(c: &Collect) -> Vec<Vec<bool>> {
+        let n = c.nvars as usize;
+        assert!(n <= 16, "too many vars for brute force");
+        let mut models = Vec::new();
+        for bits in 0..(1u32 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let ok = c.clauses.iter().all(|cl| {
+                cl.iter().any(|l| assign[l.var().index()] == l.is_pos())
+            });
+            if ok {
+                models.push(assign);
+            }
+        }
+        models
+    }
+
+    #[test]
+    fn root_and_splits_into_units() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let t = p.and2(a, b);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, t, &mut sink).unwrap();
+        // Two unit clauses, no aux var.
+        assert_eq!(sink.clauses.len(), 2);
+        assert!(sink.clauses.iter().all(|c| c.len() == 1));
+        assert_eq!(sink.nvars, 2);
+    }
+
+    #[test]
+    fn root_or_is_single_clause() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let c = p.bool_var("c");
+        let t = p.or([a, b, c]);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, t, &mut sink).unwrap();
+        assert_eq!(sink.clauses.len(), 1);
+        assert_eq!(sink.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable_for_xor_shape() {
+        // (a \/ b) /\ (!a \/ !b): models must be exactly a != b projections.
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let na = p.not(a);
+        let nb = p.not(b);
+        let l = p.or2(a, b);
+        let r = p.or2(na, nb);
+        let t = p.and2(l, r);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, t, &mut sink).unwrap();
+        let models = cnf_models(&sink);
+        assert!(!models.is_empty());
+        // Vars 0 and 1 are a and b (created in traversal order).
+        for m in &models {
+            assert_ne!(m[0], m[1], "xor violated by {m:?}");
+        }
+    }
+
+    #[test]
+    fn shared_subterms_are_encoded_once() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let ab = p.and2(a, b);
+        let t1 = p.or2(ab, a);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        let l1 = ts.lit_for(&p, ab, &mut sink).unwrap();
+        ts.assert_root(&p, t1, &mut sink).unwrap();
+        let l2 = ts.lit_for(&p, ab, &mut sink).unwrap();
+        assert_eq!(l1, l2, "same subterm must map to the same literal");
+    }
+
+    #[test]
+    fn atom_and_negation_share_one_var() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let le = p.cmp(CmpOp::Le, x, y);
+        let gt = p.cmp(CmpOp::Gt, x, y);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        let l1 = ts.lit_for(&p, le, &mut sink).unwrap();
+        let l2 = ts.lit_for(&p, gt, &mut sink).unwrap();
+        assert_eq!(l1.var(), l2.var());
+        assert_ne!(l1, l2);
+        assert_eq!(sink.atoms.len(), 1, "one canonical atom expected");
+    }
+
+    #[test]
+    fn equality_splits_into_two_atoms() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let eq = p.cmp(CmpOp::Eq, x, y);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        let _ = ts.lit_for(&p, eq, &mut sink).unwrap();
+        assert_eq!(sink.atoms.len(), 2, "x<=y and y<=x atoms");
+    }
+
+    #[test]
+    fn integer_term_in_bool_position_errors() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        assert!(matches!(
+            ts.lit_for(&p, x, &mut sink),
+            Err(SmtError::SortMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn iff_definition_is_correct() {
+        // Assert (a <-> b) and brute-force: surviving models have a == b.
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let t = p.iff(a, b);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, t, &mut sink).unwrap();
+        for m in cnf_models(&sink) {
+            assert_eq!(m[0], m[1]);
+        }
+    }
+
+    #[test]
+    fn ite_definition_is_correct() {
+        let mut p = TermPool::new();
+        let c = p.bool_var("c");
+        let t = p.bool_var("t");
+        let e = p.bool_var("e");
+        let ite = p.ite(c, t, e);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, ite, &mut sink).unwrap();
+        // vars 0,1,2 = c,t,e in creation order.
+        for m in cnf_models(&sink) {
+            let expect = if m[0] { m[1] } else { m[2] };
+            assert!(expect, "ite model {m:?} violates semantics");
+        }
+    }
+
+    #[test]
+    fn constant_comparison_folds_to_const_lit() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let xp1 = p.add_const(x, 1);
+        // x < x+1 folds at normalisation.
+        let t = p.cmp(CmpOp::Lt, x, xp1);
+        let mut sink = Collect::default();
+        let mut ts = Tseitin::new();
+        ts.assert_root(&p, t, &mut sink).unwrap();
+        assert_eq!(sink.atoms.len(), 0);
+        let models = cnf_models(&sink);
+        assert!(!models.is_empty(), "trivially-true assertion must stay SAT");
+    }
+}

@@ -1,0 +1,197 @@
+//! Indexed max-heap ordered by VSIDS activity, used for decision selection.
+//!
+//! Supports `O(log n)` insert/remove-max and, crucially, `O(log n)`
+//! *increase-key* when a variable's activity is bumped while it sits in the
+//! heap — the operation a plain `BinaryHeap` cannot do.
+
+use crate::lit::Var;
+
+/// Max-heap over variables keyed by an external activity array.
+#[derive(Default)]
+pub struct VarHeap {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NOT_IN` if absent.
+    pos: Vec<u32>,
+}
+
+const NOT_IN: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        VarHeap { heap: Vec::new(), pos: Vec::new() }
+    }
+
+    /// Ensure capacity for variables `0..n`.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NOT_IN);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).is_some_and(|&p| p != NOT_IN)
+    }
+
+    /// Insert a variable (no-op if present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.0);
+        self.pos[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Remove and return the variable with maximal activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NOT_IN;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restore heap order for `v` after its activity increased.
+    pub fn decrease_key_after_bump(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != NOT_IN {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] > act[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..5u32 {
+            h.insert(Var(i), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(0), &act);
+        h.insert(Var(0), &act);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(0), &act);
+        h.insert(Var(1), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(1)));
+        assert!(!h.contains(Var(1)));
+        h.insert(Var(1), &act);
+        assert!(h.contains(Var(1)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3u32 {
+            h.insert(Var(i), &act);
+        }
+        // Bump var 0 above everything.
+        act[0] = 10.0;
+        h.decrease_key_after_bump(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let act: Vec<f64> = vec![];
+        let mut h = VarHeap::new();
+        assert_eq!(h.pop_max(&act), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn stress_against_sorted_order() {
+        // Deterministic pseudo-random activities; popping must yield
+        // non-increasing activities.
+        let mut x = 123456789u64;
+        let mut act = Vec::new();
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            act.push((x >> 16) as f64);
+        }
+        let mut h = VarHeap::new();
+        for i in 0..200u32 {
+            h.insert(Var(i), &act);
+        }
+        let mut prev = f64::INFINITY;
+        while let Some(v) = h.pop_max(&act) {
+            assert!(act[v.index()] <= prev);
+            prev = act[v.index()];
+        }
+    }
+}

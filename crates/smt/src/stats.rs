@@ -1,0 +1,81 @@
+//! Counters reported by the SAT core and theory solver.
+
+/// Search statistics, cheap to copy and print.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Conflicts encountered (Boolean + theory).
+    pub conflicts: u64,
+    /// Conflicts reported by the theory solver.
+    pub theory_conflicts: u64,
+    /// Literals asserted into the theory solver.
+    pub theory_assertions: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Literals removed by conflict-clause minimisation.
+    pub minimized_lits: u64,
+    /// Problem clauses added.
+    pub clauses_added: u64,
+}
+
+impl Stats {
+    /// Merge counters from another run (used by portfolio mode).
+    pub fn merge(&mut self, other: &Stats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.theory_conflicts += other.theory_conflicts;
+        self.theory_assertions += other.theory_assertions;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.minimized_lits += other.minimized_lits;
+        self.clauses_added += other.clauses_added;
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} (theory {}) restarts={} learnt={} deleted={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.theory_conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Stats { decisions: 1, conflicts: 2, ..Default::default() };
+        let b = Stats { decisions: 10, conflicts: 20, restarts: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.decisions, 11);
+        assert_eq!(a.conflicts, 22);
+        assert_eq!(a.restarts, 3);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = Stats { decisions: 5, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("decisions=5"));
+        assert!(text.contains("conflicts="));
+    }
+}

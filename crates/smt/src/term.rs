@@ -1,0 +1,688 @@
+//! Hash-consed term DAG for the `Bool`/`Int` fragment used by the encoder.
+//!
+//! Terms are immutable and deduplicated: building the same term twice yields
+//! the same [`TermId`]. Only the fragment required by the PPoPP'11 encoding
+//! is supported — Boolean structure over integer *difference* comparisons.
+//! Arbitrary linear arithmetic is rejected at lowering time (see
+//! [`crate::atom`]), which keeps the theory solver a pure difference-logic
+//! engine, exactly the fragment Yices decides for the paper's problems.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a term in its [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Comparison operators over integer terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs > rhs`
+    Gt,
+    /// `lhs = rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator with swapped operands (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The negated operator (`!(a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Evaluate on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Le => a <= b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A node of the term DAG.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// Boolean constant `true`.
+    True,
+    /// Boolean constant `false`.
+    False,
+    /// Free Boolean variable (index into the pool's name table).
+    BoolVar(u32),
+    /// Free integer variable (index into the pool's name table).
+    IntVar(u32),
+    /// Integer constant.
+    IntConst(i64),
+    /// Boolean negation.
+    Not(TermId),
+    /// N-ary conjunction (children sorted, deduplicated).
+    And(Box<[TermId]>),
+    /// N-ary disjunction (children sorted, deduplicated).
+    Or(Box<[TermId]>),
+    /// Implication `a -> b`.
+    Implies(TermId, TermId),
+    /// Biconditional `a <-> b`.
+    Iff(TermId, TermId),
+    /// Boolean if-then-else.
+    Ite(TermId, TermId, TermId),
+    /// Integer addition.
+    Add(TermId, TermId),
+    /// Integer subtraction.
+    Sub(TermId, TermId),
+    /// Comparison atom over integer terms.
+    Cmp(CmpOp, TermId, TermId),
+}
+
+/// The hash-consing arena for terms, plus variable name tables.
+#[derive(Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    dedup: HashMap<Term, TermId>,
+    bool_names: Vec<String>,
+    int_names: Vec<String>,
+}
+
+impl TermPool {
+    pub fn new() -> Self {
+        let mut pool = TermPool::default();
+        // Slot 0 and 1 are pinned to the Boolean constants so callers can
+        // rely on `TermId(0) == true`, `TermId(1) == false`.
+        pool.intern(Term::True);
+        pool.intern(Term::False);
+        pool
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Look up a term node by id.
+    #[inline]
+    pub fn get(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.dedup.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.dedup.insert(t, id);
+        id
+    }
+
+    /// The constant `true`.
+    pub fn tru(&self) -> TermId {
+        TermId(0)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&self) -> TermId {
+        TermId(1)
+    }
+
+    /// Fresh (or looked-up) Boolean variable with the given display name.
+    ///
+    /// Names are not required to be unique; each call creates a new
+    /// variable. Use the returned id for all structural references.
+    pub fn bool_var(&mut self, name: impl Into<String>) -> TermId {
+        let idx = self.bool_names.len() as u32;
+        self.bool_names.push(name.into());
+        // Bypass dedup: every declared variable is distinct even if names collide.
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(Term::BoolVar(idx));
+        id
+    }
+
+    /// Fresh integer variable with the given display name.
+    pub fn int_var(&mut self, name: impl Into<String>) -> TermId {
+        let idx = self.int_names.len() as u32;
+        self.int_names.push(name.into());
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(Term::IntVar(idx));
+        id
+    }
+
+    /// Number of declared integer variables.
+    pub fn num_int_vars(&self) -> usize {
+        self.int_names.len()
+    }
+
+    /// Number of declared Boolean variables.
+    pub fn num_bool_vars(&self) -> usize {
+        self.bool_names.len()
+    }
+
+    /// Display name of a Boolean variable index.
+    pub fn bool_name(&self, idx: u32) -> &str {
+        &self.bool_names[idx as usize]
+    }
+
+    /// Display name of an integer variable index.
+    pub fn int_name(&self, idx: u32) -> &str {
+        &self.int_names[idx as usize]
+    }
+
+    /// Integer constant.
+    pub fn int_const(&mut self, c: i64) -> TermId {
+        self.intern(Term::IntConst(c))
+    }
+
+    /// Boolean negation with constant folding and double-negation removal.
+    pub fn not(&mut self, t: TermId) -> TermId {
+        if t == self.tru() {
+            return self.fls();
+        }
+        if t == self.fls() {
+            return self.tru();
+        }
+        if let Term::Not(inner) = self.get(t) {
+            return *inner;
+        }
+        if let Term::Cmp(op, a, b) = self.get(t).clone() {
+            return self.cmp(op.negate(), a, b);
+        }
+        self.intern(Term::Not(t))
+    }
+
+    /// N-ary conjunction with flattening, deduplication and constant folding.
+    pub fn and(&mut self, children: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut flat: Vec<TermId> = Vec::new();
+        for c in children {
+            if c == self.fls() {
+                return self.fls();
+            }
+            if c == self.tru() {
+                continue;
+            }
+            if let Term::And(kids) = self.get(c) {
+                flat.extend_from_slice(kids);
+            } else {
+                flat.push(c);
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        // a /\ !a == false
+        for w in flat.windows(2) {
+            // cheap complementary-pair check relies on Not being interned
+            if let Term::Not(inner) = self.get(w[1]) {
+                if *inner == w[0] {
+                    return self.fls();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.intern(Term::And(flat.into_boxed_slice())),
+        }
+    }
+
+    /// N-ary disjunction with flattening, deduplication and constant folding.
+    pub fn or(&mut self, children: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut flat: Vec<TermId> = Vec::new();
+        for c in children {
+            if c == self.tru() {
+                return self.tru();
+            }
+            if c == self.fls() {
+                continue;
+            }
+            if let Term::Or(kids) = self.get(c) {
+                flat.extend_from_slice(kids);
+            } else {
+                flat.push(c);
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        for w in flat.windows(2) {
+            if let Term::Not(inner) = self.get(w[1]) {
+                if *inner == w[0] {
+                    return self.tru();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.intern(Term::Or(flat.into_boxed_slice())),
+        }
+    }
+
+    /// Binary conjunction convenience.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and([a, b])
+    }
+
+    /// Binary disjunction convenience.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or([a, b])
+    }
+
+    /// Implication with constant folding.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == self.tru() {
+            return b;
+        }
+        if a == self.fls() || b == self.tru() {
+            return self.tru();
+        }
+        if b == self.fls() {
+            return self.not(a);
+        }
+        if a == b {
+            return self.tru();
+        }
+        self.intern(Term::Implies(a, b))
+    }
+
+    /// Biconditional with constant folding.
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        if a == self.tru() {
+            return b;
+        }
+        if b == self.tru() {
+            return a;
+        }
+        if a == self.fls() {
+            return self.not(b);
+        }
+        if b == self.fls() {
+            return self.not(a);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Term::Iff(a, b))
+    }
+
+    /// Boolean if-then-else with constant folding.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        if c == self.tru() {
+            return t;
+        }
+        if c == self.fls() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        self.intern(Term::Ite(c, t, e))
+    }
+
+    /// Integer addition (constant folded when both sides are constants).
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        if let (Term::IntConst(x), Term::IntConst(y)) = (self.get(a), self.get(b)) {
+            let v = x + y;
+            return self.int_const(v);
+        }
+        self.intern(Term::Add(a, b))
+    }
+
+    /// Integer subtraction (constant folded when both sides are constants).
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if let (Term::IntConst(x), Term::IntConst(y)) = (self.get(a), self.get(b)) {
+            let v = x - y;
+            return self.int_const(v);
+        }
+        self.intern(Term::Sub(a, b))
+    }
+
+    /// `t + c` for a constant offset.
+    pub fn add_const(&mut self, t: TermId, c: i64) -> TermId {
+        if c == 0 {
+            return t;
+        }
+        let k = self.int_const(c);
+        self.add(t, k)
+    }
+
+    /// Comparison atom (constant folded when both sides are constants).
+    pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
+        if let (Term::IntConst(x), Term::IntConst(y)) = (self.get(a), self.get(b)) {
+            let (x, y) = (*x, *y);
+            return if op.eval(x, y) { self.tru() } else { self.fls() };
+        }
+        self.intern(Term::Cmp(op, a, b))
+    }
+
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Le, a, b)
+    }
+
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Lt, a, b)
+    }
+
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Ge, a, b)
+    }
+
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Gt, a, b)
+    }
+
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Ne, a, b)
+    }
+
+    /// `t = c` for an integer constant.
+    pub fn eq_const(&mut self, t: TermId, c: i64) -> TermId {
+        let k = self.int_const(c);
+        self.eq(t, k)
+    }
+
+    /// Pretty-print a term as an s-expression (for debugging and `--show-smt`).
+    pub fn display(&self, id: TermId) -> String {
+        let mut out = String::new();
+        self.display_into(id, &mut out);
+        out
+    }
+
+    fn display_into(&self, id: TermId, out: &mut String) {
+        use std::fmt::Write;
+        match self.get(id) {
+            Term::True => out.push_str("true"),
+            Term::False => out.push_str("false"),
+            Term::BoolVar(i) => out.push_str(self.bool_name(*i)),
+            Term::IntVar(i) => out.push_str(self.int_name(*i)),
+            Term::IntConst(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Term::Not(t) => {
+                out.push_str("(not ");
+                self.display_into(*t, out);
+                out.push(')');
+            }
+            Term::And(kids) => {
+                out.push_str("(and");
+                for k in kids.iter() {
+                    out.push(' ');
+                    self.display_into(*k, out);
+                }
+                out.push(')');
+            }
+            Term::Or(kids) => {
+                out.push_str("(or");
+                for k in kids.iter() {
+                    out.push(' ');
+                    self.display_into(*k, out);
+                }
+                out.push(')');
+            }
+            Term::Implies(a, b) => {
+                out.push_str("(=> ");
+                self.display_into(*a, out);
+                out.push(' ');
+                self.display_into(*b, out);
+                out.push(')');
+            }
+            Term::Iff(a, b) => {
+                out.push_str("(= ");
+                self.display_into(*a, out);
+                out.push(' ');
+                self.display_into(*b, out);
+                out.push(')');
+            }
+            Term::Ite(c, t, e) => {
+                out.push_str("(ite ");
+                self.display_into(*c, out);
+                out.push(' ');
+                self.display_into(*t, out);
+                out.push(' ');
+                self.display_into(*e, out);
+                out.push(')');
+            }
+            Term::Add(a, b) => {
+                out.push_str("(+ ");
+                self.display_into(*a, out);
+                out.push(' ');
+                self.display_into(*b, out);
+                out.push(')');
+            }
+            Term::Sub(a, b) => {
+                out.push_str("(- ");
+                self.display_into(*a, out);
+                out.push(' ');
+                self.display_into(*b, out);
+                out.push(')');
+            }
+            Term::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Le => "<=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Ge => ">=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "distinct",
+                };
+                out.push('(');
+                out.push_str(sym);
+                out.push(' ');
+                self.display_into(*a, out);
+                out.push(' ');
+                self.display_into(*b, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_pinned() {
+        let pool = TermPool::new();
+        assert_eq!(pool.get(pool.tru()), &Term::True);
+        assert_eq!(pool.get(pool.fls()), &Term::False);
+    }
+
+    #[test]
+    fn hash_consing_dedups_structurally() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let a1 = p.lt(x, y);
+        let a2 = p.lt(x, y);
+        assert_eq!(a1, a2);
+        let c1 = p.int_const(5);
+        let c2 = p.int_const(5);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn variables_with_same_name_are_distinct() {
+        let mut p = TermPool::new();
+        let a = p.int_var("x");
+        let b = p.int_var("x");
+        assert_ne!(a, b);
+        let ba = p.bool_var("b");
+        let bb = p.bool_var("b");
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn and_folds_constants() {
+        let mut p = TermPool::new();
+        let b = p.bool_var("b");
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.and([b, t]), b);
+        assert_eq!(p.and([b, f]), f);
+        assert_eq!(p.and(Vec::<TermId>::new()), t);
+        let nb = p.not(b);
+        assert_eq!(p.and([b, nb]), f);
+    }
+
+    #[test]
+    fn or_folds_constants() {
+        let mut p = TermPool::new();
+        let b = p.bool_var("b");
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.or([b, f]), b);
+        assert_eq!(p.or([b, t]), t);
+        assert_eq!(p.or(Vec::<TermId>::new()), f);
+        let nb = p.not(b);
+        assert_eq!(p.or([b, nb]), t);
+    }
+
+    #[test]
+    fn and_flattens_nested() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let c = p.bool_var("c");
+        let ab = p.and2(a, b);
+        let abc = p.and2(ab, c);
+        match p.get(abc) {
+            Term::And(kids) => assert_eq!(kids.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut p = TermPool::new();
+        let b = p.bool_var("b");
+        let nb = p.not(b);
+        assert_eq!(p.not(nb), b);
+    }
+
+    #[test]
+    fn negated_cmp_flips_operator() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let le = p.le(x, y);
+        let gt = p.gt(x, y);
+        assert_eq!(p.not(le), gt);
+    }
+
+    #[test]
+    fn cmp_constant_folds() {
+        let mut p = TermPool::new();
+        let c3 = p.int_const(3);
+        let c5 = p.int_const(5);
+        assert_eq!(p.lt(c3, c5), p.tru());
+        assert_eq!(p.gt(c3, c5), p.fls());
+        assert_eq!(p.eq(c3, c3), p.tru());
+    }
+
+    #[test]
+    fn arithmetic_constant_folds() {
+        let mut p = TermPool::new();
+        let c3 = p.int_const(3);
+        let c5 = p.int_const(5);
+        assert_eq!(p.add(c3, c5), p.int_const(8));
+        assert_eq!(p.sub(c3, c5), p.int_const(-2));
+        let x = p.int_var("x");
+        assert_eq!(p.add_const(x, 0), x);
+    }
+
+    #[test]
+    fn cmp_op_negate_and_eval_agree() {
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+            for a in -2..3i64 {
+                for b in -2..3i64 {
+                    assert_eq!(op.eval(a, b), !op.negate().eval(a, b), "{op:?} {a} {b}");
+                    assert_eq!(op.eval(a, b), op.flip().eval(b, a), "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_sexpr() {
+        let mut p = TermPool::new();
+        let x = p.int_var("x");
+        let y = p.int_var("y");
+        let a = p.lt(x, y);
+        let b = p.bool_var("flag");
+        let t = p.and2(a, b);
+        let s = p.display(t);
+        assert!(s.contains("(and"), "{s}");
+        assert!(s.contains("(< x y)"), "{s}");
+        assert!(s.contains("flag"), "{s}");
+    }
+
+    #[test]
+    fn iff_orients_operands() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        assert_eq!(p.iff(a, b), p.iff(b, a));
+        assert_eq!(p.iff(a, a), p.tru());
+    }
+}

@@ -1,0 +1,475 @@
+//! End-to-end checking: trace generation, match-pair generation, encoding,
+//! solving, witness validation, and the over-approximation refinement loop
+//! (the paper's future-work item, closed here).
+
+use crate::encode::{encode, EncodeOptions, EncodeStats};
+use crate::matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};
+use crate::witness::{decode_witness, replay_witness, ReplayVerdict, Witness};
+use mcapi::program::Program;
+use mcapi::runtime::execute_random;
+use mcapi::trace::{Trace, Violation};
+use mcapi::types::{DeliveryModel, Matching};
+use smt::SatResult;
+use std::collections::BTreeSet;
+
+/// Which match-pair generator to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchGen {
+    /// The paper's exact depth-first abstract execution (exponential).
+    Precise,
+    /// The endpoint-based over-approximation plus validate-and-refine
+    /// (the paper's future work; sound and complete via replay filtering).
+    OverApprox,
+}
+
+/// Checker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    pub delivery: DeliveryModel,
+    pub matchgen: MatchGen,
+    /// Maximum spurious witnesses to block before giving up.
+    pub max_refinements: usize,
+    /// Base seed for trace generation.
+    pub trace_seed: u64,
+    /// Seeds tried to obtain a complete passing trace.
+    pub trace_attempts: u64,
+    /// Validate witnesses by concrete replay.
+    pub validate: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            delivery: DeliveryModel::Unordered,
+            matchgen: MatchGen::Precise,
+            max_refinements: 1000,
+            trace_seed: 0,
+            trace_attempts: 500,
+            validate: true,
+        }
+    }
+}
+
+impl CheckConfig {
+    pub fn with_matchgen(matchgen: MatchGen) -> Self {
+        CheckConfig { matchgen, ..Default::default() }
+    }
+}
+
+/// Final verdict of a check.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// A property violation is reachable; the witness describes the path
+    /// to the error state and `violation` the concrete replayed failure.
+    Violation(Box<ConfirmedViolation>),
+    /// No execution following the trace's branch outcomes violates any
+    /// assertion.
+    Safe,
+    /// Inconclusive (budget exhausted or no usable trace).
+    Unknown(String),
+}
+
+/// A confirmed violation with its evidence.
+#[derive(Clone, Debug)]
+pub struct ConfirmedViolation {
+    pub witness: Witness,
+    /// The concrete assertion failure observed during replay (None when
+    /// validation was disabled).
+    pub violation: Option<Violation>,
+    /// Messages of the violated properties under the model.
+    pub violated_props: Vec<String>,
+}
+
+/// Full check report.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub verdict: Verdict,
+    /// Spurious witnesses blocked during refinement.
+    pub refinements: usize,
+    pub encode_stats: EncodeStats,
+    /// Match-pair generation cost (states explored).
+    pub matchgen_states: usize,
+    pub matchgen_pairs: usize,
+    /// The trace the analysis ran on.
+    pub trace: Trace,
+}
+
+/// Obtain a complete, non-violating trace by random execution, per the
+/// paper ("generating an arbitrary execution trace through the program").
+///
+/// Falls back to a violating or incomplete trace if no clean one exists
+/// within the attempt budget (callers see that through the returned trace).
+pub fn generate_trace(program: &Program, cfg: &CheckConfig) -> Trace {
+    let mut fallback: Option<Trace> = None;
+    for s in 0..cfg.trace_attempts {
+        let out = execute_random(program, cfg.delivery, cfg.trace_seed.wrapping_add(s));
+        if out.trace.is_complete() && out.trace.violation.is_none() {
+            return out.trace;
+        }
+        if fallback.is_none() {
+            fallback = Some(out.trace);
+        }
+    }
+    fallback.expect("at least one execution attempted")
+}
+
+/// Check a program end to end: generate a trace, then [`check_trace`].
+pub fn check_program(program: &Program, cfg: &CheckConfig) -> CheckReport {
+    let trace = generate_trace(program, cfg);
+    if let Some(v) = &trace.violation {
+        // The random trace itself violated the property: report directly
+        // (the trace is its own witness).
+        return CheckReport {
+            verdict: Verdict::Violation(Box::new(ConfirmedViolation {
+                witness: Witness {
+                    matching: trace.concrete_matching_keys(),
+                    event_order: (0..trace.events.len()).collect(),
+                    clocks: (0..trace.events.len() as i64).collect(),
+                    recv_values: Vec::new(),
+                    violated: vec![v.message.clone()],
+                },
+                violation: Some(v.clone()),
+                violated_props: vec![v.message.clone()],
+            })),
+            refinements: 0,
+            encode_stats: EncodeStats::default(),
+            matchgen_states: 0,
+            matchgen_pairs: 0,
+            trace,
+        };
+    }
+    check_trace(program, &trace, cfg)
+}
+
+/// The paper's pipeline on a given trace: match pairs, encoding, solving,
+/// and (for over-approximate pairs) validate-and-refine.
+pub fn check_trace(program: &Program, trace: &Trace, cfg: &CheckConfig) -> CheckReport {
+    let pairs = make_pairs(program, trace, cfg);
+    let mut enc = encode(
+        program,
+        trace,
+        &pairs,
+        EncodeOptions { delivery: cfg.delivery, negate_props: true, ..Default::default() },
+    );
+    let encode_stats = enc.stats;
+    let id_terms = enc.id_terms();
+    let mut refinements = 0usize;
+
+    let verdict = loop {
+        match enc.solver.check() {
+            SatResult::Unsat => break Verdict::Safe,
+            SatResult::Unknown => {
+                break Verdict::Unknown(
+                    enc.solver
+                        .encode_error()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "solver budget exhausted".into()),
+                )
+            }
+            SatResult::Sat => {
+                let model = enc.solver.model().expect("model after SAT").clone();
+                let witness = decode_witness(&enc, &model);
+                if !cfg.validate {
+                    let violated = witness.violated.clone();
+                    break Verdict::Violation(Box::new(ConfirmedViolation {
+                        witness,
+                        violation: None,
+                        violated_props: violated,
+                    }));
+                }
+                match replay_witness(program, trace, &witness, cfg.delivery) {
+                    ReplayVerdict::Confirmed { violation, .. } => {
+                        let violated = witness.violated.clone();
+                        break Verdict::Violation(Box::new(ConfirmedViolation {
+                            witness,
+                            violation,
+                            violated_props: violated,
+                        }));
+                    }
+                    ReplayVerdict::Spurious { .. } => {
+                        refinements += 1;
+                        if refinements > cfg.max_refinements {
+                            break Verdict::Unknown("refinement budget exhausted".into());
+                        }
+                        // Block this matching and try again.
+                        if !enc.solver.block_model_values(&id_terms) {
+                            break Verdict::Unknown("failed to block spurious model".into());
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    CheckReport {
+        verdict,
+        refinements,
+        encode_stats,
+        matchgen_states: pairs.states_explored,
+        matchgen_pairs: pairs.num_pairs(),
+        trace: trace.clone(),
+    }
+}
+
+fn make_pairs(program: &Program, trace: &Trace, cfg: &CheckConfig) -> MatchPairs {
+    match cfg.matchgen {
+        MatchGen::Precise => precise_match_pairs(program, trace, cfg.delivery),
+        MatchGen::OverApprox => overapprox_match_pairs(program, trace),
+    }
+}
+
+/// Result of enumerating all behaviours (matchings) of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingEnumeration {
+    /// Confirmed matchings (validated by replay when enabled).
+    pub matchings: BTreeSet<Matching>,
+    /// Models rejected by replay (over-approximation artifacts).
+    pub spurious: usize,
+    /// SMT check calls performed.
+    pub sat_checks: usize,
+}
+
+/// Enumerate every distinct send/receive pairing the formula admits — the
+/// symbolic version of the paper's Fig. 4 ("all possible pairings").
+pub fn enumerate_matchings(
+    program: &Program,
+    trace: &Trace,
+    cfg: &CheckConfig,
+    limit: usize,
+) -> MatchingEnumeration {
+    let pairs = make_pairs(program, trace, cfg);
+    let mut enc = encode(
+        program,
+        trace,
+        &pairs,
+        EncodeOptions { delivery: cfg.delivery, negate_props: false, ..Default::default() },
+    );
+    let id_terms = enc.id_terms();
+    let mut out = MatchingEnumeration::default();
+    while out.matchings.len() + out.spurious < limit {
+        out.sat_checks += 1;
+        match enc.solver.check() {
+            SatResult::Sat => {
+                let model = enc.solver.model().expect("model").clone();
+                let matching = enc.matching_from_model(&model);
+                let accept = if cfg.validate {
+                    let w = decode_witness(&enc, &model);
+                    match replay_witness(program, trace, &w, cfg.delivery) {
+                        ReplayVerdict::Confirmed { complete, violation } => {
+                            complete && violation.is_none()
+                        }
+                        ReplayVerdict::Spurious { .. } => false,
+                    }
+                } else {
+                    true
+                };
+                if accept {
+                    out.matchings.insert(matching);
+                } else {
+                    out.spurious += 1;
+                }
+                if !enc.solver.block_model_values(&id_terms) {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+// Small helper on Trace used by check_program's direct-violation path.
+trait TraceExt {
+    fn concrete_matching_keys(&self) -> Matching;
+}
+
+impl TraceExt for Trace {
+    fn concrete_matching_keys(&self) -> Matching {
+        use mcapi::trace::EventKind;
+        use mcapi::types::RecvKey;
+        let mut counts = vec![0usize; 64];
+        let mut m: Matching = Vec::new();
+        for e in &self.events {
+            if let EventKind::Recv { msg, .. } | EventKind::WaitRecv { msg, .. } = e.kind {
+                let key = RecvKey::new(e.thread, counts[e.thread]);
+                counts[e.thread] += 1;
+                m.push((key, msg));
+            }
+        }
+        m.sort_unstable_by_key(|(k, _)| *k);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::expr::{Cond, Expr};
+    use mcapi::types::CmpOp;
+
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    fn race_with_assert() -> Program {
+        let mut b = ProgramBuilder::new("race");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "p1 first");
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t2, t0, 0, 2);
+        b.build().unwrap()
+    }
+
+    /// The Fig. 4b-only violation: delayed message needed.
+    fn delay_sensitive() -> Program {
+        let mut b = ProgramBuilder::new("gap");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        let _b2 = b.recv(t0, 0);
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(2)),
+            "recv(A) must see Y first",
+        );
+        let _kick = b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 1); // X
+        b.send_const(t2, t0, 0, 2); // Y
+        b.send_const(t2, t1, 0, 9); // Z
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn race_violation_found_and_confirmed() {
+        let p = race_with_assert();
+        for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
+            let report = check_program(&p, &CheckConfig::with_matchgen(matchgen));
+            match &report.verdict {
+                Verdict::Violation(cv) => {
+                    assert!(cv.violated_props.iter().any(|m| m.contains("p1 first")));
+                }
+                other => panic!("{matchgen:?}: expected violation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_sensitive_violation_found_under_unordered() {
+        let p = delay_sensitive();
+        let report = check_program(&p, &CheckConfig::default());
+        assert!(
+            matches!(report.verdict, Verdict::Violation(_)),
+            "the paper's technique models transit delays: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn delay_sensitive_safe_under_zero_delay_encoding() {
+        // The MCC/zero-delay encoding cannot see the Fig.-4b behaviour —
+        // the precise reproduction of the paper's criticism.
+        let p = delay_sensitive();
+        let cfg = CheckConfig {
+            delivery: DeliveryModel::ZeroDelay,
+            ..CheckConfig::default()
+        };
+        let report = check_program(&p, &cfg);
+        assert!(
+            matches!(report.verdict, Verdict::Safe),
+            "zero-delay misses the violation: {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn fig1_is_safe_it_has_no_assertions() {
+        let p = fig1();
+        let report = check_program(&p, &CheckConfig::default());
+        assert!(matches!(report.verdict, Verdict::Safe));
+    }
+
+    #[test]
+    fn fig1_matching_enumeration_is_exactly_fig4() {
+        let p = fig1();
+        let cfg = CheckConfig::default();
+        let trace = generate_trace(&p, &cfg);
+        let en = enumerate_matchings(&p, &trace, &cfg, 100);
+        assert_eq!(en.matchings.len(), 2, "Fig. 4a and Fig. 4b");
+        assert_eq!(en.spurious, 0, "precise pairs yield no spurious models");
+    }
+
+    #[test]
+    fn overapprox_enumeration_agrees_after_refinement() {
+        let p = fig1();
+        let cfg = CheckConfig::with_matchgen(MatchGen::OverApprox);
+        let trace = generate_trace(&p, &cfg);
+        let en = enumerate_matchings(&p, &trace, &cfg, 100);
+        assert_eq!(en.matchings.len(), 2);
+    }
+
+    #[test]
+    fn zero_delay_enumeration_single_matching() {
+        let p = fig1();
+        let cfg = CheckConfig {
+            delivery: DeliveryModel::ZeroDelay,
+            matchgen: MatchGen::OverApprox,
+            ..CheckConfig::default()
+        };
+        let trace = generate_trace(&p, &cfg);
+        let en = enumerate_matchings(&p, &trace, &cfg, 100);
+        assert_eq!(en.matchings.len(), 1, "MCC's model sees only Fig. 4a");
+    }
+
+    #[test]
+    fn safe_program_reports_safe() {
+        // Deterministic pipeline: single producer, FIFO-irrelevant.
+        let mut b = ProgramBuilder::new("safe");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let v = b.recv(t0, 0);
+        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(7)), "is 7");
+        b.send_const(t1, t0, 0, 7);
+        let p = b.build().unwrap();
+        for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
+            let report = check_program(&p, &CheckConfig::with_matchgen(matchgen));
+            assert!(matches!(report.verdict, Verdict::Safe), "{matchgen:?}");
+        }
+    }
+
+    #[test]
+    fn direct_violation_trace_short_circuits() {
+        // Program that always violates: the random trace itself fails.
+        let mut b = ProgramBuilder::new("always");
+        let t0 = b.thread("t0");
+        b.assert_cond(t0, Cond::False, "always fails");
+        let p = b.build().unwrap();
+        let report = check_program(&p, &CheckConfig::default());
+        assert!(matches!(report.verdict, Verdict::Violation(_)));
+        assert_eq!(report.refinements, 0);
+    }
+
+    #[test]
+    fn report_carries_cost_counters() {
+        let p = race_with_assert();
+        let precise = check_program(&p, &CheckConfig::with_matchgen(MatchGen::Precise));
+        let over = check_program(&p, &CheckConfig::with_matchgen(MatchGen::OverApprox));
+        assert!(precise.matchgen_states > over.matchgen_states);
+        assert!(precise.encode_stats.sat_vars > 0);
+        assert!(over.matchgen_pairs >= 1);
+    }
+}

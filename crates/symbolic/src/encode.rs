@@ -1,0 +1,704 @@
+//! The SMT encoding: `P = POrder /\ PMatchPairs /\ PUnique /\ !PProp /\ PEvents`.
+//!
+//! Every trace event gets a fresh integer *clock* variable; per-thread
+//! program order chains clocks strictly (`POrder`). Each send gets a fixed
+//! integer identifier and a symbolic value term (its payload expression
+//! under the thread's SSA environment); each receive gets an unbound
+//! identifier variable and a fresh value variable. `PMatchPairs` and
+//! `PUnique` are literal implementations of the paper's Fig. 2 and Fig. 3
+//! algorithms. `PEvents` pins branch outcomes to the trace and carries the
+//! SSA data flow; `PProp` collects the program's assertions, negated for
+//! violation queries.
+//!
+//! All constraints are Boolean combinations of difference atoms, so the
+//! in-tree DPLL(T) solver ([`smt::SmtSolver`]) decides them exactly as
+//! Yices would for the paper.
+
+use crate::matchpairs::MatchPairs;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::{Instr, Program};
+use mcapi::trace::{EventKind, Trace};
+use mcapi::types::{DeliveryModel, EndpointAddr, Matching, MsgId, RecvKey};
+use smt::{Model, SmtSolver, TermId};
+use std::collections::HashMap;
+
+/// Encoding options.
+#[derive(Clone, Copy, Debug)]
+pub struct EncodeOptions {
+    /// Delivery-model ordering axioms added to `POrder`:
+    /// `Unordered` adds none (the paper's network), `PairwiseFifo` adds the
+    /// MCAPI per-pair ordering, `ZeroDelay` reproduces the MCC /
+    /// Elwakil&Yang instant-delivery model (the incomplete baseline).
+    pub delivery: DeliveryModel,
+    /// `true`: assert `!PProp` (SAT = property violation — the paper's
+    /// query). `false`: assert `PProp` (models are valid passing
+    /// executions — used for behaviour enumeration).
+    pub negate_props: bool,
+    /// Scope of the Fig. 3 uniqueness assertions. The paper conjoins
+    /// `isDiffSend` over **all** receive pairs; receives on different
+    /// endpoints can never share a send, so restricting to same-endpoint
+    /// pairs is an equisatisfiable optimisation — kept as an ablation
+    /// knob (`DESIGN.md` §6), default faithful to the paper.
+    pub unique_scope: UniqueScope,
+}
+
+/// See [`EncodeOptions::unique_scope`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UniqueScope {
+    /// Fig. 3 verbatim: every pair of receives.
+    #[default]
+    AllPairs,
+    /// Only receives on the same endpoint (equisatisfiable, O(R²/E)).
+    SameEndpoint,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            delivery: DeliveryModel::Unordered,
+            negate_props: true,
+            unique_scope: UniqueScope::default(),
+        }
+    }
+}
+
+/// A send operation's symbolic footprint.
+#[derive(Clone, Copy, Debug)]
+pub struct SendVar {
+    pub msg: MsgId,
+    pub event_idx: usize,
+    /// The unique identifier constant the trace analysis assigns (Fig. 2).
+    pub id: i64,
+    pub clock: TermId,
+    pub val: TermId,
+    pub to: EndpointAddr,
+}
+
+/// A receive operation's symbolic footprint.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvVar {
+    pub key: RecvKey,
+    pub event_idx: usize,
+    /// Unbound identifier variable the solver binds to a send id (Fig. 2).
+    pub id_term: TermId,
+    /// Fresh variable for the received value.
+    pub val: TermId,
+    /// The clock the match is ordered against: the receive's own clock for
+    /// blocking receives, the associated wait's clock for non-blocking
+    /// receives (the paper's rule).
+    pub clock_obs: TermId,
+    pub endpoint: EndpointAddr,
+}
+
+/// One program assertion, symbolically evaluated at its trace position.
+#[derive(Clone, Debug)]
+pub struct PropTerm {
+    pub term: TermId,
+    pub message: String,
+    pub thread: usize,
+    pub pc: usize,
+}
+
+/// Size counters for the generated formula.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EncodeStats {
+    /// Total width of the Fig. 2 disjunctions (number of match literals).
+    pub match_disjuncts: usize,
+    /// Number of Fig. 3 uniqueness assertions.
+    pub unique_pairs: usize,
+    /// Program-order plus delivery-model ordering assertions.
+    pub order_constraints: usize,
+    /// Branch-outcome constraints (PEvents).
+    pub event_constraints: usize,
+    /// Collected assertion properties.
+    pub props: usize,
+    /// SAT problem size after encoding.
+    pub sat_vars: usize,
+    pub sat_clauses: usize,
+    pub theory_atoms: usize,
+}
+
+/// The generated SMT problem plus decoding tables.
+pub struct Encoding {
+    pub solver: SmtSolver,
+    pub sends: Vec<SendVar>,
+    pub recvs: Vec<RecvVar>,
+    pub prop_terms: Vec<PropTerm>,
+    /// Clock term per trace event index.
+    pub event_clocks: Vec<TermId>,
+    pub stats: EncodeStats,
+}
+
+impl Encoding {
+    /// The receive identifier terms, in `recvs` order (all-SAT projection).
+    pub fn id_terms(&self) -> Vec<TermId> {
+        self.recvs.iter().map(|r| r.id_term).collect()
+    }
+
+    /// Decode the match choice of a model into a canonical matching.
+    pub fn matching_from_model(&self, model: &Model) -> Matching {
+        let by_id: HashMap<i64, MsgId> = self.sends.iter().map(|s| (s.id, s.msg)).collect();
+        let mut m: Matching = self
+            .recvs
+            .iter()
+            .map(|r| {
+                let id = model
+                    .eval_int(self.solver.pool(), r.id_term)
+                    .expect("recv id must be valued in a model");
+                let msg = *by_id.get(&id).expect("recv id bound to unknown send");
+                (r.key, msg)
+            })
+            .collect();
+        m.sort_unstable_by_key(|(k, _)| *k);
+        m
+    }
+}
+
+/// Translate a DSL expression under an SSA environment.
+fn expr_term(solver: &mut SmtSolver, env: &[TermId], e: &Expr) -> TermId {
+    match e {
+        Expr::Const(c) => solver.int_const(*c),
+        Expr::Var(v) => env[v.0 as usize],
+        Expr::AddConst(inner, c) => {
+            let t = expr_term(solver, env, inner);
+            solver.add_const(t, *c)
+        }
+    }
+}
+
+/// Translate a DSL condition under an SSA environment.
+fn cond_term(solver: &mut SmtSolver, env: &[TermId], c: &Cond) -> TermId {
+    match c {
+        Cond::True => solver.tru(),
+        Cond::False => solver.fls(),
+        Cond::Cmp(op, a, b) => {
+            let ta = expr_term(solver, env, a);
+            let tb = expr_term(solver, env, b);
+            match op {
+                mcapi::types::CmpOp::Eq => solver.eq(ta, tb),
+                mcapi::types::CmpOp::Ne => solver.ne(ta, tb),
+                mcapi::types::CmpOp::Lt => solver.lt(ta, tb),
+                mcapi::types::CmpOp::Le => solver.le(ta, tb),
+                mcapi::types::CmpOp::Gt => solver.gt(ta, tb),
+                mcapi::types::CmpOp::Ge => solver.ge(ta, tb),
+            }
+        }
+        Cond::And(a, b) => {
+            let ta = cond_term(solver, env, a);
+            let tb = cond_term(solver, env, b);
+            solver.and2(ta, tb)
+        }
+        Cond::Or(a, b) => {
+            let ta = cond_term(solver, env, a);
+            let tb = cond_term(solver, env, b);
+            solver.or2(ta, tb)
+        }
+        Cond::Not(inner) => {
+            let t = cond_term(solver, env, inner);
+            solver.not(t)
+        }
+    }
+}
+
+/// Build the paper's SMT problem from a trace and its match pairs.
+pub fn encode(
+    program: &Program,
+    trace: &Trace,
+    pairs: &MatchPairs,
+    opts: EncodeOptions,
+) -> Encoding {
+    let mut solver = SmtSolver::new();
+    let mut stats = EncodeStats::default();
+    let n = program.threads.len();
+    let zero = solver.int_const(0);
+    // SSA environment: current term per local variable, initialised to 0
+    // (locals start zeroed in the runtime).
+    let mut env: Vec<Vec<TermId>> =
+        program.threads.iter().map(|t| vec![zero; t.num_vars]).collect();
+    let mut prev_clock: Vec<Option<TermId>> = vec![None; n];
+    let mut recv_counts = vec![0usize; n];
+
+    let mut sends: Vec<SendVar> = Vec::new();
+    let mut recvs: Vec<RecvVar> = Vec::new();
+    let mut prop_terms: Vec<PropTerm> = Vec::new();
+    let mut event_clocks: Vec<TermId> = Vec::with_capacity(trace.events.len());
+
+    // ---- walk the trace: clocks, POrder (program order), PEvents ----
+    for (idx, ev) in trace.events.iter().enumerate() {
+        let t = ev.thread;
+        let clock = solver.int_var(format!("clk_e{idx}_t{t}"));
+        if let Some(pc) = prev_clock[t] {
+            let c = solver.lt(pc, clock);
+            solver.assert_term(c);
+            stats.order_constraints += 1;
+        }
+        prev_clock[t] = Some(clock);
+        event_clocks.push(clock);
+        let instr = program.threads[t].code[ev.pc].clone();
+        match &ev.kind {
+            EventKind::Send { msg, to, .. } => {
+                let value_expr = match &instr {
+                    Instr::Send { value, .. } | Instr::SendI { value, .. } => value,
+                    other => panic!("send event at non-send instruction {other:?}"),
+                };
+                let val = expr_term(&mut solver, &env[t], value_expr);
+                sends.push(SendVar {
+                    msg: *msg,
+                    event_idx: idx,
+                    id: sends.len() as i64,
+                    clock,
+                    val,
+                    to: *to,
+                });
+            }
+            EventKind::Recv { port, var, .. } => {
+                let key = RecvKey::new(t, recv_counts[t]);
+                recv_counts[t] += 1;
+                let val = solver.int_var(format!("val_{key:?}"));
+                let id_term = solver.int_var(format!("id_{key:?}"));
+                env[t][var.0 as usize] = val;
+                recvs.push(RecvVar {
+                    key,
+                    event_idx: idx,
+                    id_term,
+                    val,
+                    clock_obs: clock,
+                    endpoint: EndpointAddr::new(t, *port),
+                });
+            }
+            EventKind::WaitRecv { port, var, .. } => {
+                // Non-blocking receive: the match is ordered against this
+                // wait's clock (the paper's rule for recv_i/wait).
+                let key = RecvKey::new(t, recv_counts[t]);
+                recv_counts[t] += 1;
+                let val = solver.int_var(format!("val_{key:?}"));
+                let id_term = solver.int_var(format!("id_{key:?}"));
+                env[t][var.0 as usize] = val;
+                recvs.push(RecvVar {
+                    key,
+                    event_idx: idx,
+                    id_term,
+                    val,
+                    clock_obs: clock,
+                    endpoint: EndpointAddr::new(t, *port),
+                });
+            }
+            EventKind::RecvPost { .. } | EventKind::WaitNoop { .. } => {
+                // Issue events: clock + program order only.
+            }
+            EventKind::Assign { .. } => {
+                let Instr::Assign { var, expr } = &instr else {
+                    panic!("assign event at non-assign instruction");
+                };
+                let val = expr_term(&mut solver, &env[t], expr);
+                env[t][var.0 as usize] = val;
+            }
+            EventKind::Branch { taken } => {
+                let Instr::Branch { cond, .. } = &instr else {
+                    panic!("branch event at non-branch instruction");
+                };
+                // PEvents: the symbolic execution must follow the same
+                // sequence of conditional branch outcomes as the trace.
+                let c = cond_term(&mut solver, &env[t], cond);
+                let pinned = if *taken { c } else { solver.not(c) };
+                solver.assert_term(pinned);
+                stats.event_constraints += 1;
+            }
+            EventKind::AssertOk | EventKind::AssertFail { .. } => {
+                let Instr::Assert { cond, message } = &instr else {
+                    panic!("assert event at non-assert instruction");
+                };
+                let term = cond_term(&mut solver, &env[t], cond);
+                prop_terms.push(PropTerm {
+                    term,
+                    message: message.clone(),
+                    thread: t,
+                    pc: ev.pc,
+                });
+            }
+        }
+    }
+
+    // ---- PMatchPairs: Fig. 2 of the paper ----
+    let send_by_msg: HashMap<MsgId, usize> =
+        sends.iter().enumerate().map(|(i, s)| (s.msg, i)).collect();
+    for r in &recvs {
+        let mut disjuncts: Vec<TermId> = Vec::new();
+        if let Some(candidates) = pairs.sends_for.get(&r.key) {
+            for msg in candidates {
+                let Some(&si) = send_by_msg.get(msg) else {
+                    continue;
+                };
+                let s = sends[si];
+                // match(recv, send): the send is issued before the receive
+                // is observed, the values coincide, and the identifiers
+                // bind.
+                let before = solver.lt(s.clock, r.clock_obs);
+                let same_val = solver.eq(r.val, s.val);
+                let bind = solver.eq_const(r.id_term, s.id);
+                let m = solver.and([before, same_val, bind]);
+                disjuncts.push(m);
+            }
+        }
+        stats.match_disjuncts += disjuncts.len();
+        let any = solver.or(disjuncts);
+        solver.assert_term(any); // empty set folds to `false`: recv unmatched
+    }
+
+    // ---- PUnique: Fig. 3 of the paper ----
+    for i in 0..recvs.len() {
+        for j in (i + 1)..recvs.len() {
+            if opts.unique_scope == UniqueScope::SameEndpoint
+                && recvs[i].endpoint != recvs[j].endpoint
+            {
+                continue; // cross-endpoint receives can never share a send
+            }
+            let d = solver.ne(recvs[i].id_term, recvs[j].id_term);
+            solver.assert_term(d);
+            stats.unique_pairs += 1;
+        }
+    }
+
+    // ---- delivery-model ordering axioms (POrder extensions) ----
+    match opts.delivery {
+        DeliveryModel::Unordered => {}
+        DeliveryModel::PairwiseFifo => {
+            // Sends from one source to one destination arrive in order: if
+            // ra consumed the later send and rb the earlier one, rb must
+            // have completed first.
+            for (i1, s1) in sends.iter().enumerate() {
+                for s2 in sends.iter().skip(i1 + 1) {
+                    if s1.msg.thread != s2.msg.thread || s1.to != s2.to {
+                        continue;
+                    }
+                    let (first, second) =
+                        if s1.msg.seq < s2.msg.seq { (s1, s2) } else { (s2, s1) };
+                    for ra in recvs.iter().filter(|r| r.endpoint == s1.to) {
+                        for rb in recvs.iter().filter(|r| r.endpoint == s1.to) {
+                            if ra.key == rb.key {
+                                continue;
+                            }
+                            let a2 = solver.eq_const(ra.id_term, second.id);
+                            let b1 = solver.eq_const(rb.id_term, first.id);
+                            let premise = solver.and2(a2, b1);
+                            let conc = solver.lt(rb.clock_obs, ra.clock_obs);
+                            let imp = solver.implies(premise, conc);
+                            solver.assert_term(imp);
+                            stats.order_constraints += 1;
+                        }
+                    }
+                }
+            }
+        }
+        DeliveryModel::ZeroDelay => {
+            // Instant in-order delivery (the MCC / Elwakil&Yang model):
+            // receives at an endpoint consume sends in global send order.
+            for (i1, s1) in sends.iter().enumerate() {
+                for s2 in sends.iter().skip(i1 + 1) {
+                    if s1.to != s2.to {
+                        continue;
+                    }
+                    // Same-destination sends are totally ordered in time.
+                    let distinct = solver.ne(s1.clock, s2.clock);
+                    solver.assert_term(distinct);
+                    stats.order_constraints += 1;
+                    for ra in recvs.iter().filter(|r| r.endpoint == s1.to) {
+                        for rb in recvs.iter().filter(|r| r.endpoint == s1.to) {
+                            if ra.key == rb.key {
+                                continue;
+                            }
+                            // ra took s1, rb took s2, s1 sent first =>
+                            // ra completed first (and symmetrically).
+                            for (sa, sb) in [(s1, s2), (s2, s1)] {
+                                let pa = solver.eq_const(ra.id_term, sa.id);
+                                let pb = solver.eq_const(rb.id_term, sb.id);
+                                let ord = solver.lt(sa.clock, sb.clock);
+                                let premise = solver.and([pa, pb, ord]);
+                                let conc = solver.lt(ra.clock_obs, rb.clock_obs);
+                                let imp = solver.implies(premise, conc);
+                                solver.assert_term(imp);
+                                stats.order_constraints += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- PProp ----
+    stats.props = prop_terms.len();
+    if opts.negate_props {
+        // SAT = some assertion violated.
+        let negs: Vec<TermId> =
+            prop_terms.iter().map(|p| p.term).map(|t| solver.not(t)).collect();
+        let any_violated = solver.or(negs); // empty -> false: nothing to violate
+        solver.assert_term(any_violated);
+    } else {
+        // Models are passing executions.
+        let all: Vec<TermId> = prop_terms.iter().map(|p| p.term).collect();
+        let conj = solver.and(all);
+        solver.assert_term(conj);
+    }
+
+    stats.sat_vars = solver.num_sat_vars();
+    stats.sat_clauses = solver.num_sat_clauses();
+    stats.theory_atoms = solver.num_theory_atoms();
+
+    Encoding { solver, sends, recvs, prop_terms, event_clocks, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchpairs::{overapprox_match_pairs, precise_match_pairs};
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::runtime::execute_random;
+    use mcapi::types::CmpOp;
+    use smt::SatResult;
+
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    fn complete_trace(p: &Program) -> Trace {
+        for seed in 0..200 {
+            let out = execute_random(p, DeliveryModel::Unordered, seed);
+            if out.trace.is_complete() && out.violation().is_none() {
+                return out.trace;
+            }
+        }
+        panic!("no complete trace");
+    }
+
+    #[test]
+    fn fig1_enumeration_finds_exactly_two_pairings() {
+        let p = fig1();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let mut enc = encode(
+            &p,
+            &tr,
+            &pairs,
+            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        );
+        let ids = enc.id_terms();
+        let models = enc.solver.enumerate_models(&ids, 100);
+        assert_eq!(models.len(), 2, "the paper's Fig. 4: exactly two pairings");
+    }
+
+    #[test]
+    fn fig1_zero_delay_encoding_finds_one_pairing() {
+        let p = fig1();
+        let tr = complete_trace(&p);
+        // Use over-approximate pairs so the restriction comes from the
+        // encoding's ordering axioms, not from the pair generator.
+        let pairs = overapprox_match_pairs(&p, &tr);
+        let mut enc = encode(
+            &p,
+            &tr,
+            &pairs,
+            EncodeOptions { delivery: DeliveryModel::ZeroDelay, negate_props: false, ..Default::default() },
+        );
+        let ids = enc.id_terms();
+        let models = enc.solver.enumerate_models(&ids, 100);
+        assert_eq!(models.len(), 1, "zero-delay admits only Fig. 4a");
+    }
+
+    #[test]
+    fn no_props_makes_violation_query_unsat() {
+        let p = fig1();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let mut enc = encode(&p, &tr, &pairs, EncodeOptions::default());
+        assert_eq!(enc.solver.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn race_violation_is_sat_with_model() {
+        use mcapi::expr::{Cond, Expr};
+        let mut b = ProgramBuilder::new("race");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "p1 first");
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t2, t0, 0, 2);
+        let p = b.build().unwrap();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let mut enc = encode(&p, &tr, &pairs, EncodeOptions::default());
+        assert_eq!(enc.solver.check(), SatResult::Sat);
+        let model = enc.solver.model().unwrap().clone();
+        let matching = enc.matching_from_model(&model);
+        // The violating match pairs recv(A) with t2's message.
+        assert_eq!(matching[0].1, MsgId::new(2, 0));
+        // The recv value under the model is t2's payload.
+        let v = model.eval_int(enc.solver.pool(), enc.recvs[0].val).unwrap();
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn branch_outcomes_are_pinned() {
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::program::Op;
+        // t0 receives, branches on the value, asserts inside the branch.
+        let mut b = ProgramBuilder::new("branch-pin");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let v = b.recv(t0, 0);
+        b.push_op(
+            t0,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![],
+                else_ops: vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(5)),
+                    message: "small value must be 5".into(),
+                }],
+            },
+        );
+        b.send_const(t1, t0, 0, 5);
+        let p = b.build().unwrap();
+        let tr = complete_trace(&p);
+        // The trace goes to the else-branch (5 < 10) and the assert holds.
+        // Within this branch outcome the only send is 5, so no violation.
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let mut enc = encode(&p, &tr, &pairs, EncodeOptions::default());
+        assert_eq!(enc.solver.check(), SatResult::Unsat);
+        assert!(enc.stats.event_constraints >= 1, "branch must be pinned");
+    }
+
+    #[test]
+    fn pairwise_fifo_encoding_orders_same_source() {
+        // One producer sends 1 then 2; consumer receives twice and asserts
+        // the first is 1. Under pairwise FIFO the assertion cannot fail.
+        use mcapi::expr::{Cond, Expr};
+        let mut b = ProgramBuilder::new("fifo");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let a = b.recv(t0, 0);
+        let _b2 = b.recv(t0, 0);
+        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "in order");
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t1, t0, 0, 2);
+        let p = b.build().unwrap();
+        let tr = complete_trace(&p);
+        let over = overapprox_match_pairs(&p, &tr);
+        // Unordered: the violation is reachable (2 can overtake 1).
+        let mut un = encode(
+            &p,
+            &tr,
+            &over,
+            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+        );
+        assert_eq!(un.solver.check(), SatResult::Sat);
+        // PairwiseFifo: unreachable.
+        let mut pf = encode(
+            &p,
+            &tr,
+            &over,
+            EncodeOptions { delivery: DeliveryModel::PairwiseFifo, negate_props: true, ..Default::default() },
+        );
+        assert_eq!(pf.solver.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unique_scope_ablation_is_equisatisfiable() {
+        // Same-endpoint uniqueness drops cross-endpoint pairs but cannot
+        // change the model set (cross-endpoint receives never share a
+        // candidate send).
+        let p = fig1();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let run = |scope| {
+            let mut enc = encode(
+                &p,
+                &tr,
+                &pairs,
+                EncodeOptions {
+                    delivery: DeliveryModel::Unordered,
+                    negate_props: false,
+                    unique_scope: scope,
+                },
+            );
+            let ids = enc.id_terms();
+            let mut models = enc.solver.enumerate_models(&ids, 100);
+            models.sort();
+            (models, enc.stats.unique_pairs)
+        };
+        let (all_models, all_pairs) = run(UniqueScope::AllPairs);
+        let (ep_models, ep_pairs) = run(UniqueScope::SameEndpoint);
+        assert_eq!(all_models, ep_models);
+        assert!(ep_pairs < all_pairs, "{ep_pairs} vs {all_pairs}");
+        // fig1: recv A,B share t0's endpoint (1 pair); recv C is alone.
+        assert_eq!(ep_pairs, 1);
+        assert_eq!(all_pairs, 3);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = fig1();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        let enc = encode(
+            &p,
+            &tr,
+            &pairs,
+            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        );
+        assert_eq!(enc.stats.match_disjuncts, 5); // X,Y for A and B; Z for C
+        assert_eq!(enc.stats.unique_pairs, 3); // 3 choose 2
+        assert!(enc.stats.order_constraints >= 3); // per-thread chains
+        assert!(enc.stats.sat_vars > 0);
+        assert!(enc.stats.sat_clauses > 0);
+        assert!(enc.stats.theory_atoms > 0);
+        assert_eq!(enc.sends.len(), 3);
+        assert_eq!(enc.recvs.len(), 3);
+    }
+
+    #[test]
+    fn nonblocking_match_uses_wait_clock() {
+        // t0 posts recv_i early, waits late; a send that happens after the
+        // post but before the wait is still matchable (the paper's rule).
+        let mut b = ProgramBuilder::new("nb-clock");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let (_v, req) = b.recv_i(t0, 0);
+        // A blocking recv on port 1 forces the wait to happen after t2's
+        // send (t2 sends the port-1 kick after its port-0 payload).
+        b.port(t0, 1);
+        let _gate = b.recv(t0, 1);
+        b.wait(t0, req);
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t2, t0, 0, 2);
+        b.send_const(t2, t0, 1, 9); // the gate kick
+        let p = b.build().unwrap();
+        let tr = complete_trace(&p);
+        let pairs = precise_match_pairs(&p, &tr, DeliveryModel::Unordered);
+        // The recv_i (key t0.r1? ordering: gate recv completes first or
+        // second depending on trace) — just check the encoding enumerates
+        // both payload bindings for the recv_i.
+        let mut enc = encode(
+            &p,
+            &tr,
+            &pairs,
+            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        );
+        let ids = enc.id_terms();
+        let models = enc.solver.enumerate_models(&ids, 100);
+        assert!(models.len() >= 2, "recv_i must be able to bind either payload");
+    }
+}

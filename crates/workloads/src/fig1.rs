@@ -1,0 +1,112 @@
+//! The paper's Figure 1, verbatim.
+//!
+//! ```text
+//! Thread t0    Thread t1     Thread t2
+//! 1: recv(A)   recv(C)       send(Y):t0
+//! 2: recv(B)   send(X):t0    send(Z):t1
+//! ```
+//!
+//! Message payloads: X = 100, Y = 200, Z = 300 (arbitrary but distinct, so
+//! pairings are observable in values).
+
+use mcapi::builder::ProgramBuilder;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::Program;
+use mcapi::types::CmpOp;
+
+/// Payload of message X (sent by t1 to t0).
+pub const X: i64 = 100;
+/// Payload of message Y (sent by t2 to t0).
+pub const Y: i64 = 200;
+/// Payload of message Z (sent by t2 to t1).
+pub const Z: i64 = 300;
+
+/// The Fig. 1 program with no properties (used for behaviour enumeration).
+pub fn fig1() -> Program {
+    let mut b = ProgramBuilder::new("fig1");
+    let t0 = b.thread("t0");
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    b.recv(t0, 0); // A
+    b.recv(t0, 0); // B
+    b.recv(t1, 0); // C
+    b.send_const(t1, t0, 0, X);
+    b.send_const(t2, t0, 0, Y);
+    b.send_const(t2, t1, 0, Z);
+    b.build().expect("fig1 is well-formed")
+}
+
+/// Fig. 1 plus the assertion `A == Y`: true in the Fig. 4a pairing, false
+/// in Fig. 4b — so a checker finds a violation iff it models transit
+/// delays. This is the paper's coverage claim as a single safety property.
+pub fn fig1_with_assert() -> Program {
+    let mut b = ProgramBuilder::new("fig1-assert");
+    let t0 = b.thread("t0");
+    let t1 = b.thread("t1");
+    let t2 = b.thread("t2");
+    let a = b.recv(t0, 0); // A
+    b.recv(t0, 0); // B
+    b.assert_cond(
+        t0,
+        Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(Y)),
+        "recv(A) received Y (Fig. 4a) — violated only by the delayed pairing (Fig. 4b)",
+    );
+    b.recv(t1, 0); // C
+    b.send_const(t1, t0, 0, X);
+    b.send_const(t2, t0, 0, Y);
+    b.send_const(t2, t1, 0, Z);
+    b.build().expect("fig1-assert is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::runtime::execute_random;
+    use mcapi::types::DeliveryModel;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let p = fig1();
+        assert_eq!(p.threads.len(), 3);
+        assert_eq!(p.num_static_sends(), 3);
+        assert_eq!(p.num_static_recvs(), 3);
+    }
+
+    #[test]
+    fn fig1_always_completes() {
+        let p = fig1();
+        for seed in 0..30 {
+            let out = execute_random(&p, DeliveryModel::Unordered, seed);
+            assert!(out.trace.is_complete());
+        }
+    }
+
+    #[test]
+    fn assert_variant_fails_only_sometimes() {
+        let p = fig1_with_assert();
+        let mut saw_pass = false;
+        let mut saw_fail = false;
+        for seed in 0..300 {
+            let out = execute_random(&p, DeliveryModel::Unordered, seed);
+            match out.violation() {
+                Some(_) => saw_fail = true,
+                None if out.trace.is_complete() => saw_pass = true,
+                None => {}
+            }
+        }
+        assert!(saw_pass, "Fig. 4a pairing must occur");
+        assert!(saw_fail, "Fig. 4b pairing must occur under Unordered");
+    }
+
+    #[test]
+    fn assert_variant_never_fails_under_zero_delay() {
+        let p = fig1_with_assert();
+        for seed in 0..300 {
+            let out = execute_random(&p, DeliveryModel::ZeroDelay, seed);
+            assert!(
+                out.violation().is_none(),
+                "seed {seed}: zero-delay cannot produce Fig. 4b"
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # workloads — parameterised MCAPI program families
+//!
+//! The PPoPP'11 paper is a two-page short paper with one worked example
+//! (its Fig. 1) and qualitative claims. To make those claims measurable,
+//! this crate provides deterministic, parameterised program families that
+//! exercise the phenomena the paper discusses:
+//!
+//! | family | phenomenon |
+//! |---|---|
+//! | [`fig1::fig1`] | the canonical two-pairing race (Fig. 1 / Fig. 4) |
+//! | [`mod@race`] | *n*-wide send races to one endpoint (match-pair width) |
+//! | [`mod@pipeline`] | long happens-before chains; race-free UNSAT instances |
+//! | [`mod@scatter`] | fan-out/fan-in with non-blocking receives + waits |
+//! | [`mod@ring`] | token rings (pairwise-FIFO-relevant deep program order) |
+//! | [`mod@branchy`] | value-dependent branches pinned by the trace |
+//! | [`random_program`] | seeded random well-formed programs (fuzzing) |
+//!
+//! All generators return compiled, validated [`mcapi::Program`]s.
+
+pub mod branchy;
+pub mod fig1;
+pub mod pipeline;
+pub mod race;
+pub mod random;
+pub mod ring;
+pub mod scatter;
+
+pub use branchy::branchy;
+pub use fig1::{fig1, fig1_with_assert};
+pub use pipeline::pipeline;
+pub use race::{race, race_with_winner_assert, delay_gap};
+pub use random::{random_program, RandomProgramConfig};
+pub use ring::ring;
+pub use scatter::scatter;

@@ -1,0 +1,95 @@
+//! Multi-stage pipelines: the MCAPI embedded-DSP motif (deterministic
+//! forwarding, long happens-before chains, race-free).
+
+use mcapi::builder::ProgramBuilder;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::Program;
+use mcapi::types::CmpOp;
+
+/// `stages` threads in a line; the source injects `items` values
+/// `10, 20, …`; each stage receives, adds 1, forwards; the sink asserts
+/// each item equals its expected transformed value. Race-free: every
+/// receive has exactly one candidate send per pairwise-FIFO stream, so the
+/// violation query is UNSAT and the formula exercises long order chains.
+pub fn pipeline(stages: usize, items: usize) -> Program {
+    assert!(stages >= 2);
+    assert!(items >= 1);
+    let mut b = ProgramBuilder::new(format!("pipeline-{stages}x{items}"));
+    let threads: Vec<_> = (0..stages).map(|i| b.thread(format!("stage{i}"))).collect();
+    // Source: inject items.
+    for k in 0..items {
+        b.send_const(threads[0], threads[1], 0, (10 * (k + 1)) as i64);
+    }
+    // Middle stages: receive, +1, forward.
+    for s in 1..stages - 1 {
+        for _ in 0..items {
+            let v = b.recv(threads[s], 0);
+            b.send_expr(threads[s], threads[s + 1], 0, Expr::Var(v).plus(1));
+        }
+    }
+    // Sink: verify. Each item passed through (stages-2) incrementing hops.
+    let hops = (stages - 2) as i64;
+    for k in 0..items {
+        let v = b.recv(threads[stages - 1], 0);
+        let expected = (10 * (k + 1)) as i64 + hops;
+        b.assert_cond(
+            threads[stages - 1],
+            Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(expected)),
+            format!("item {k} arrives as {expected}"),
+        );
+    }
+    b.build().expect("pipeline is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::runtime::execute_random;
+    use mcapi::types::DeliveryModel;
+
+    #[test]
+    fn pipeline_is_race_free_under_fifo() {
+        // Single source per pair: pairwise FIFO delivers in order, so the
+        // sink's assertions always hold.
+        let p = pipeline(3, 3);
+        for seed in 0..50 {
+            let out = execute_random(&p, DeliveryModel::PairwiseFifo, seed);
+            assert!(out.violation().is_none(), "seed {seed}");
+            assert!(out.trace.is_complete());
+        }
+    }
+
+    #[test]
+    fn pipeline_can_reorder_under_unordered() {
+        // With arbitrary delays, items can overtake within a stream, so
+        // the sink's per-position assertion becomes violable when items>1.
+        let p = pipeline(3, 2);
+        let mut violated = false;
+        for seed in 0..300 {
+            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "unordered delivery must allow overtaking");
+    }
+
+    #[test]
+    fn single_item_pipeline_is_always_safe() {
+        let p = pipeline(4, 1);
+        for model in DeliveryModel::ALL {
+            for seed in 0..30 {
+                let out = execute_random(&p, model, seed);
+                assert!(out.violation().is_none());
+                assert!(out.trace.is_complete());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_scale_linearly() {
+        let p = pipeline(5, 4);
+        assert_eq!(p.num_static_sends(), 4 + 3 * 4);
+        assert_eq!(p.num_static_recvs(), 3 * 4 + 4);
+    }
+}

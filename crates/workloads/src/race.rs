@@ -1,0 +1,140 @@
+//! Send races of configurable width: *n* producers, one consumer.
+
+use mcapi::builder::ProgramBuilder;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::Program;
+use mcapi::types::CmpOp;
+
+/// `n` producer threads each send one distinct payload (`1..=n`) to the
+/// consumer, which performs `n` receives. Every receive can match every
+/// send: the match-pair set has width `n` per receive and the behaviour
+/// count is `n!`.
+pub fn race(n: usize) -> Program {
+    assert!(n >= 1);
+    let mut b = ProgramBuilder::new(format!("race-{n}"));
+    let consumer = b.thread("consumer");
+    let producers: Vec<_> = (0..n).map(|i| b.thread(format!("p{i}"))).collect();
+    for _ in 0..n {
+        b.recv(consumer, 0);
+    }
+    for (i, &p) in producers.iter().enumerate() {
+        b.send_const(p, consumer, 0, (i + 1) as i64);
+    }
+    b.build().expect("race is well-formed")
+}
+
+/// Like [`race`], with the assertion that the *first* receive obtained
+/// payload 1 (producer 0 "wins"). Violated by `(n-1)/n` of the behaviours;
+/// findable by any checker that explores schedule non-determinism.
+pub fn race_with_winner_assert(n: usize) -> Program {
+    assert!(n >= 2);
+    let mut b = ProgramBuilder::new(format!("race-assert-{n}"));
+    let consumer = b.thread("consumer");
+    let producers: Vec<_> = (0..n).map(|i| b.thread(format!("p{i}"))).collect();
+    let first = b.recv(consumer, 0);
+    b.assert_cond(
+        consumer,
+        Cond::cmp(CmpOp::Eq, Expr::Var(first), Expr::Const(1)),
+        "producer 0 delivers first",
+    );
+    for _ in 1..n {
+        b.recv(consumer, 0);
+    }
+    for (i, &p) in producers.iter().enumerate() {
+        b.send_const(p, consumer, 0, (i + 1) as i64);
+    }
+    b.build().expect("race-assert is well-formed")
+}
+
+/// The delay-gap family: the violating behaviour requires an *in-transit
+/// delay*, not just scheduling. Producer `p_early` sends payload 2 to the
+/// consumer and then causally triggers `p_late` (via a kick message) to
+/// send payload 1. In send order 2 always precedes 1, so under
+/// zero-delay delivery the consumer's first receive always sees 2; only a
+/// delayed 2 lets 1 overtake. The assertion claims the first receive sees
+/// 2 — exactly the paper's Fig. 4b gap, scaled to `chain` kick hops.
+pub fn delay_gap(chain: usize) -> Program {
+    assert!(chain >= 1);
+    let mut b = ProgramBuilder::new(format!("delay-gap-{chain}"));
+    let consumer = b.thread("consumer");
+    let early = b.thread("early");
+    let hops: Vec<_> = (0..chain).map(|i| b.thread(format!("hop{i}"))).collect();
+    let a = b.recv(consumer, 0);
+    let _b2 = b.recv(consumer, 0);
+    b.assert_cond(
+        consumer,
+        Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(2)),
+        "first message is the early one",
+    );
+    // early: payload to consumer, then kick the chain.
+    b.send_const(early, consumer, 0, 2);
+    b.send_const(early, hops[0], 0, 0);
+    // Each hop forwards the kick; the last hop sends the late payload.
+    for (i, &h) in hops.iter().enumerate() {
+        let _kick = b.recv(h, 0);
+        if i + 1 < hops.len() {
+            b.send_const(h, hops[i + 1], 0, 0);
+        } else {
+            b.send_const(h, consumer, 0, 1);
+        }
+    }
+    b.build().expect("delay-gap is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::runtime::execute_random;
+    use mcapi::types::DeliveryModel;
+
+    #[test]
+    fn race_completes_and_scales() {
+        for n in 1..=5 {
+            let p = race(n);
+            assert_eq!(p.num_static_sends(), n);
+            assert_eq!(p.num_static_recvs(), n);
+            let out = execute_random(&p, DeliveryModel::Unordered, 1);
+            assert!(out.trace.is_complete());
+        }
+    }
+
+    #[test]
+    fn winner_assert_sometimes_fails() {
+        let p = race_with_winner_assert(3);
+        let mut fails = 0;
+        for seed in 0..100 {
+            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+                fails += 1;
+            }
+        }
+        assert!(fails > 0, "the race must be losable");
+        assert!(fails < 100, "the race must be winnable");
+    }
+
+    #[test]
+    fn delay_gap_is_invisible_to_zero_delay() {
+        for chain in 1..=3 {
+            let p = delay_gap(chain);
+            for seed in 0..200 {
+                let out = execute_random(&p, DeliveryModel::ZeroDelay, seed);
+                assert!(
+                    out.violation().is_none(),
+                    "chain {chain} seed {seed}: zero delay cannot reorder"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_gap_fails_under_unordered() {
+        let p = delay_gap(1);
+        let mut found = false;
+        for seed in 0..500 {
+            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "arbitrary delays must expose the violation");
+    }
+}

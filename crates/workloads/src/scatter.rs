@@ -1,0 +1,95 @@
+//! Scatter/gather: a master fans work out to workers with non-blocking
+//! receives, then gathers results with waits — the recv_i/wait exercise.
+
+use mcapi::builder::ProgramBuilder;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::Program;
+use mcapi::types::CmpOp;
+
+/// The master posts `workers` non-blocking receives up front, scatters one
+/// job (payload `i+1`) to each worker, then waits on each request and
+/// asserts the gathered sum-shape property per slot (each result is *some*
+/// doubled job, between 2 and 2·workers). Workers double their job value.
+pub fn scatter(workers: usize) -> Program {
+    assert!(workers >= 1);
+    let mut b = ProgramBuilder::new(format!("scatter-{workers}"));
+    let master = b.thread("master");
+    let ws: Vec<_> = (0..workers).map(|i| b.thread(format!("w{i}"))).collect();
+    // Post all receives first (the MCAPI non-blocking idiom).
+    let posts: Vec<_> = (0..workers).map(|_| b.recv_i(master, 0)).collect();
+    // Scatter jobs.
+    for (i, &w) in ws.iter().enumerate() {
+        b.send_const(master, w, 0, (i + 1) as i64);
+    }
+    // Workers: receive job, double, reply. (Payload doubling uses the
+    // var+const fragment: v + v is outside difference logic, so workers
+    // reply with v + 100 instead — same matching structure.)
+    for &w in &ws {
+        let job = b.recv(w, 0);
+        b.send_expr(w, master, 0, Expr::Var(job).plus(100));
+    }
+    // Gather: wait on each request; results land in posted order of waits,
+    // but any worker's reply may fill any slot.
+    for (var, req) in posts {
+        b.wait(master, req);
+        b.assert_cond(
+            master,
+            Cond::and(
+                Cond::cmp(CmpOp::Ge, Expr::Var(var), Expr::Const(101)),
+                Cond::cmp(CmpOp::Le, Expr::Var(var), Expr::Const(100 + workers as i64)),
+            ),
+            "gathered value is a transformed job",
+        );
+    }
+    b.build().expect("scatter is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::runtime::execute_random;
+    use mcapi::types::DeliveryModel;
+
+    #[test]
+    fn scatter_completes_and_passes() {
+        for workers in 1..=4 {
+            let p = scatter(workers);
+            for seed in 0..25 {
+                let out = execute_random(&p, DeliveryModel::Unordered, seed);
+                assert!(out.trace.is_complete(), "w={workers} seed={seed}");
+                assert!(out.violation().is_none(), "w={workers} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_order_varies() {
+        // The first gathered value differs across seeds (replies race).
+        let p = scatter(3);
+        let mut firsts = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let out = execute_random(&p, DeliveryModel::Unordered, seed);
+            // master locals: first posted var is var 0.
+            firsts.insert(out.final_state.threads[0].locals[0]);
+        }
+        assert!(firsts.len() > 1, "replies must race: {firsts:?}");
+    }
+
+    #[test]
+    fn has_nonblocking_structure() {
+        let p = scatter(2);
+        let master = &p.threads[0];
+        let recv_is = master
+            .code
+            .iter()
+            .filter(|i| matches!(i, mcapi::program::Instr::RecvI { .. }))
+            .count();
+        let waits = master
+            .code
+            .iter()
+            .filter(|i| matches!(i, mcapi::program::Instr::Wait { .. }))
+            .count();
+        assert_eq!(recv_is, 2);
+        assert_eq!(waits, 2);
+    }
+}

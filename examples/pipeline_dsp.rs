@@ -1,0 +1,63 @@
+//! An embedded DSP-style pipeline — MCAPI's motivating domain — checked
+//! for reordering bugs under the three delivery models.
+//!
+//! A sample stream flows source → filter → sink. The sink asserts samples
+//! arrive in order. Under MCAPI's pairwise-FIFO guarantee the pipeline is
+//! correct; under an (hypothetical) unordered transport the same code
+//! reorders — and the symbolic checker proves both facts from one trace.
+//!
+//! Run with: `cargo run --example pipeline_dsp`
+
+use mcapi::types::DeliveryModel;
+use symbolic::checker::{check_program, CheckConfig, MatchGen, Verdict};
+use workloads::pipeline;
+
+fn main() {
+    // 3 stages, 3 samples.
+    let program = pipeline(3, 3);
+    println!("checking `{}` (source -> filter -> sink, 3 samples)\n", program.name);
+
+    for delivery in [DeliveryModel::PairwiseFifo, DeliveryModel::Unordered] {
+        let cfg = CheckConfig {
+            delivery,
+            matchgen: MatchGen::OverApprox,
+            ..CheckConfig::default()
+        };
+        let report = check_program(&program, &cfg);
+        println!("delivery model: {delivery}");
+        println!(
+            "  encoding: {} vars / {} clauses / {} atoms, {} match disjuncts",
+            report.encode_stats.sat_vars,
+            report.encode_stats.sat_clauses,
+            report.encode_stats.theory_atoms,
+            report.encode_stats.match_disjuncts,
+        );
+        match &report.verdict {
+            Verdict::Safe => {
+                println!("  verdict: SAFE — samples cannot reorder under this transport\n")
+            }
+            Verdict::Violation(cv) => {
+                println!("  verdict: VIOLATION — {}", cv.violated_props.join("; "));
+                if let Some(v) = &cv.violation {
+                    println!("  replayed to a concrete failure: {v}");
+                }
+                println!(
+                    "  erroneous matching: {:?}\n",
+                    cv.witness
+                        .matching
+                        .iter()
+                        .map(|(r, m)| format!("{r:?}<-{m:?}"))
+                        .collect::<Vec<_>>()
+                );
+            }
+            Verdict::Unknown(why) => println!("  verdict: UNKNOWN ({why})\n"),
+        }
+    }
+
+    println!(
+        "Conclusion: the pipeline relies on MCAPI's per-pair ordering; port the\n\
+         same code to an unordered transport and the sink assertion is violable.\n\
+         Both verdicts come from the same recorded trace — only the delivery\n\
+         axioms in POrder changed."
+    );
+}

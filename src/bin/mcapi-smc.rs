@@ -1,0 +1,233 @@
+//! `mcapi-smc` — command-line front end for the symbolic checker.
+//!
+//! Programs are exchanged as JSON (the DSL serialises with serde), the
+//! same interchange style as the paper's trace-consuming tool.
+//!
+//! ```text
+//! mcapi-smc check <program.json> [--delivery unordered|fifo|zero] [--precise]
+//! mcapi-smc behaviours <program.json> [--delivery ...] [--limit N]
+//! mcapi-smc explore <program.json> [--delivery ...]       # explicit ground truth
+//! mcapi-smc run <program.json> [--seed N] [--delivery ...] # one random execution
+//! mcapi-smc demo <name>        # print a built-in workload as JSON
+//! ```
+
+use mcapi::program::Program;
+use mcapi::runtime::execute_random;
+use mcapi::types::DeliveryModel;
+use std::process::ExitCode;
+use symbolic::checker::{
+    check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
+};
+
+fn parse_delivery(args: &[String]) -> DeliveryModel {
+    match args.iter().position(|a| a == "--delivery") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("unordered") => DeliveryModel::Unordered,
+            Some("fifo") | Some("pairwise-fifo") => DeliveryModel::PairwiseFifo,
+            Some("zero") | Some("zero-delay") => DeliveryModel::ZeroDelay,
+            other => {
+                eprintln!("unknown delivery model {other:?}; using unordered");
+                DeliveryModel::Unordered
+            }
+        },
+        None => DeliveryModel::Unordered,
+    }
+}
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program: Program =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    // Re-compile to validate and (re)build the flat code.
+    program.compile().map_err(|e| format!("invalid program: {e}"))
+}
+
+fn demo(name: &str) -> Option<Program> {
+    match name {
+        "fig1" => Some(workloads::fig1()),
+        "fig1-assert" => Some(workloads::fig1::fig1_with_assert()),
+        "race3" => Some(workloads::race(3)),
+        "race-assert3" => Some(workloads::race::race_with_winner_assert(3)),
+        "delay-gap" => Some(workloads::race::delay_gap(1)),
+        "pipeline" => Some(workloads::pipeline(3, 3)),
+        "scatter" => Some(workloads::scatter(3)),
+        "ring" => Some(workloads::ring(4, 2)),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("usage: mcapi-smc <check|behaviours|explore|run|info|demo> ...");
+        return ExitCode::from(2);
+    };
+
+    match cmd {
+        "demo" => {
+            let Some(name) = args.get(1) else {
+                eprintln!(
+                    "available demos: fig1 fig1-assert race3 race-assert3 delay-gap pipeline scatter ring"
+                );
+                return ExitCode::from(2);
+            };
+            match demo(name) {
+                Some(p) => {
+                    println!("{}", serde_json::to_string_pretty(&p).unwrap());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown demo {name}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "info" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: mcapi-smc info <program.json>");
+                return ExitCode::from(2);
+            };
+            match load_program(path) {
+                Ok(p) => {
+                    print!("{}", p.render());
+                    println!(
+                        "{} threads, {} sends, {} recvs, {} instructions",
+                        p.threads.len(),
+                        p.num_static_sends(),
+                        p.num_static_recvs(),
+                        p.code_size()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "check" | "behaviours" | "explore" | "run" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: mcapi-smc {cmd} <program.json> [options]");
+                return ExitCode::from(2);
+            };
+            let program = match load_program(path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let delivery = parse_delivery(&args);
+            match cmd {
+                "check" => {
+                    let matchgen = if args.iter().any(|a| a == "--precise") {
+                        MatchGen::Precise
+                    } else {
+                        MatchGen::OverApprox
+                    };
+                    let cfg = CheckConfig { delivery, matchgen, ..CheckConfig::default() };
+                    let report = check_program(&program, &cfg);
+                    println!(
+                        "program: {} | delivery: {delivery} | matchgen: {matchgen:?}",
+                        program.name
+                    );
+                    println!(
+                        "encoding: {} vars, {} clauses, {} atoms | match-pairs: {} ({} states)",
+                        report.encode_stats.sat_vars,
+                        report.encode_stats.sat_clauses,
+                        report.encode_stats.theory_atoms,
+                        report.matchgen_pairs,
+                        report.matchgen_states,
+                    );
+                    match &report.verdict {
+                        Verdict::Safe => {
+                            println!("verdict: SAFE (no violation within this trace's branches)");
+                            ExitCode::SUCCESS
+                        }
+                        Verdict::Violation(cv) => {
+                            println!("verdict: VIOLATION");
+                            for m in &cv.violated_props {
+                                println!("  property: {m}");
+                            }
+                            for (r, s) in &cv.witness.matching {
+                                println!("  {r:?} <- {s:?}");
+                            }
+                            if let Some(v) = &cv.violation {
+                                println!("  replayed: {v}");
+                            }
+                            ExitCode::from(1)
+                        }
+                        Verdict::Unknown(why) => {
+                            println!("verdict: UNKNOWN ({why})");
+                            ExitCode::from(3)
+                        }
+                    }
+                }
+                "behaviours" => {
+                    let limit =
+                        parse_flag_value(&args, "--limit").unwrap_or(10_000) as usize;
+                    let cfg = CheckConfig {
+                        delivery,
+                        matchgen: MatchGen::OverApprox,
+                        ..CheckConfig::default()
+                    };
+                    let trace = generate_trace(&program, &cfg);
+                    let en = enumerate_matchings(&program, &trace, &cfg, limit);
+                    println!(
+                        "{} behaviours ({} spurious blocked, {} SMT checks):",
+                        en.matchings.len(),
+                        en.spurious,
+                        en.sat_checks
+                    );
+                    for m in &en.matchings {
+                        let s: Vec<String> =
+                            m.iter().map(|(r, s)| format!("{r:?}<-{s:?}")).collect();
+                        println!("  {}", s.join(" "));
+                    }
+                    ExitCode::SUCCESS
+                }
+                "explore" => {
+                    use explicit::{ExploreConfig, GraphExplorer};
+                    let r = GraphExplorer::new(&program, ExploreConfig::with_model(delivery))
+                        .explore();
+                    println!(
+                        "states: {} | transitions: {} | behaviours: {} | deadlocks: {}",
+                        r.states,
+                        r.transitions,
+                        r.matchings.len(),
+                        r.deadlocks
+                    );
+                    for v in &r.violations {
+                        println!("violation: {v}");
+                    }
+                    if r.found_violation() {
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                "run" => {
+                    let seed = parse_flag_value(&args, "--seed").unwrap_or(0);
+                    let out = execute_random(&program, delivery, seed);
+                    print!("{}", out.trace.render());
+                    if out.trace.deadlock {
+                        println!("deadlock");
+                    }
+                    ExitCode::SUCCESS
+                }
+                _ => unreachable!(),
+            }
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the `mcapi-smc` command-line tool.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcapi-smc"))
+}
+
+fn demo_json(name: &str) -> String {
+    let out = bin().args(["demo", name]).output().expect("run demo");
+    assert!(out.status.success(), "demo {name} failed");
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mcapi-smc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn demo_emits_parseable_program() {
+    let json = demo_json("fig1");
+    let p: mcapi::Program = serde_json::from_str(&json).expect("valid program JSON");
+    assert_eq!(p.threads.len(), 3);
+}
+
+#[test]
+fn check_finds_violation_with_exit_code_1() {
+    let path = write_temp("fig1-assert.json", &demo_json("fig1-assert"));
+    let out = bin().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "violation => exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stdout.contains("replayed"), "{stdout}");
+}
+
+#[test]
+fn check_zero_delay_is_safe_with_exit_code_0() {
+    let path = write_temp("fig1-assert-zd.json", &demo_json("fig1-assert"));
+    let out = bin()
+        .args(["check", path.to_str().unwrap(), "--delivery", "zero"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "safe => exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SAFE"), "{stdout}");
+}
+
+#[test]
+fn behaviours_counts_fig4() {
+    let path = write_temp("fig1.json", &demo_json("fig1"));
+    let out = bin().args(["behaviours", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("2 behaviours"), "{stdout}");
+}
+
+#[test]
+fn explore_reports_states_and_violations() {
+    let path = write_temp("gap.json", &demo_json("delay-gap"));
+    let out = bin().args(["explore", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "ground truth finds the violation");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("states:"), "{stdout}");
+    assert!(stdout.contains("violation:"), "{stdout}");
+    // Under zero delay the same program explores clean.
+    let out = bin()
+        .args(["explore", path.to_str().unwrap(), "--delivery", "zero"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn run_renders_a_trace() {
+    let path = write_temp("ring.json", &demo_json("ring"));
+    let out = bin()
+        .args(["run", path.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("send"), "{stdout}");
+    assert!(stdout.contains("recv"), "{stdout}");
+}
+
+#[test]
+fn precise_flag_is_accepted() {
+    let path = write_temp("race.json", &demo_json("race-assert3"));
+    let out = bin()
+        .args(["check", path.to_str().unwrap(), "--precise"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Precise"), "{stdout}");
+}
+
+#[test]
+fn info_renders_program_listing() {
+    let path = write_temp("fig1-info.json", &demo_json("fig1"));
+    let out = bin().args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("thread 0"), "{stdout}");
+    assert!(stdout.contains("send"), "{stdout}");
+    assert!(stdout.contains("3 threads, 3 sends, 3 recvs"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["check"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["check", "/nonexistent/x.json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["demo", "nope"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
