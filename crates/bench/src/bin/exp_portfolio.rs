@@ -1,0 +1,53 @@
+//! E7: portfolio throughput — the same scenario grid on 1 worker vs N
+//! workers, sweep and race modes. On a single-core host the N-thread rows
+//! measure scheduling overhead only; on multi-core hardware they show the
+//! fan-out speedup the driver exists for.
+//!
+//! Run: `cargo run --release -p bench --bin exp_portfolio [scale] [threads]`
+
+use driver::prelude::*;
+use mcapi::types::DeliveryModel;
+use std::time::Instant;
+
+fn run_once(scenarios: &[Scenario], threads: usize, mode: Mode) -> (u64, PortfolioReport) {
+    let cfg = PortfolioConfig { threads, mode, ..PortfolioConfig::default() };
+    let start = Instant::now();
+    let report = run_portfolio(scenarios, &cfg);
+    (start.elapsed().as_millis() as u64, report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let max_threads: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    let scenarios = cross(&default_grid(scale), &DeliveryModel::ALL, &Engine::ALL);
+    println!(
+        "# E7: portfolio wall clock, {} scenarios (scale {scale})\n",
+        scenarios.len()
+    );
+    println!("{}", bench::header(&["mode", "threads", "wall ms", "verdict counts"]));
+
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        for mode in [Mode::Sweep, Mode::Race] {
+            let (ms, report) = run_once(&scenarios, threads, mode);
+            println!(
+                "{}",
+                bench::row(&[
+                    mode.tag().to_string(),
+                    threads.to_string(),
+                    ms.to_string(),
+                    format!(
+                        "{} safe / {} violation / {} unknown / {} skipped",
+                        report.safe, report.violations, report.unknown, report.skipped
+                    ),
+                ])
+            );
+        }
+        threads *= 2;
+    }
+}

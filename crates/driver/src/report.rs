@@ -1,0 +1,260 @@
+//! Structured portfolio results: per-scenario outcomes and the aggregate
+//! [`PortfolioReport`], serialisable to JSON and renderable as a table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Collapsed verdict of one scenario (engine-agnostic).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VerdictKind {
+    /// No reachable assertion violation (within the engine's soundness
+    /// envelope — the trace's branch outcomes for the symbolic engine).
+    Safe,
+    /// A confirmed assertion violation.
+    Violation,
+    /// Budget exhausted or otherwise inconclusive.
+    Unknown,
+    /// Never ran: a race-mode portfolio was cancelled first.
+    Skipped,
+}
+
+impl fmt::Display for VerdictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VerdictKind::Safe => "safe",
+            VerdictKind::Violation => "VIOLATION",
+            VerdictKind::Unknown => "unknown",
+            VerdictKind::Skipped => "skipped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything recorded about one finished (or skipped) scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Unique scenario name (`point/delivery/engine`).
+    pub scenario: String,
+    /// Workload family tag (`race`, `ring`, ...).
+    pub family: String,
+    /// Delivery model tag.
+    pub delivery: String,
+    /// Engine tag.
+    pub engine: String,
+    /// Collapsed verdict.
+    pub verdict: VerdictKind,
+    /// Violated property messages, or the `Unknown` reason.
+    pub detail: String,
+    /// Wall-clock time spent on this scenario.
+    pub wall_ms: u64,
+    /// Spurious witnesses blocked (symbolic over-approximation only).
+    pub refinements: usize,
+    /// SAT variable count of the encoding (symbolic only).
+    pub sat_vars: usize,
+    /// SAT clause count of the encoding (symbolic only).
+    pub sat_clauses: usize,
+    /// Match pairs fed to the encoder (symbolic only).
+    pub match_pairs: usize,
+    /// States explored by match-pair generation (symbolic only).
+    pub matchgen_states: usize,
+    /// States visited (explicit engine only).
+    pub states: usize,
+    /// Transitions applied (explicit engine only).
+    pub transitions: usize,
+}
+
+impl ScenarioOutcome {
+    /// A placeholder outcome for a scenario cancelled before it started.
+    pub fn skipped(scenario: String, family: String, delivery: String, engine: String) -> Self {
+        ScenarioOutcome {
+            scenario,
+            family,
+            delivery,
+            engine,
+            verdict: VerdictKind::Skipped,
+            detail: "cancelled by race mode".into(),
+            wall_ms: 0,
+            refinements: 0,
+            sat_vars: 0,
+            sat_clauses: 0,
+            match_pairs: 0,
+            matchgen_states: 0,
+            states: 0,
+            transitions: 0,
+        }
+    }
+}
+
+/// Aggregate result of one portfolio run.
+///
+/// ```
+/// use driver::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
+///
+/// let mut o = ScenarioOutcome::skipped(
+///     "fig1/unordered/explicit".into(),
+///     "fig1".into(),
+///     "unordered".into(),
+///     "explicit".into(),
+/// );
+/// o.verdict = VerdictKind::Safe;
+/// let report = PortfolioReport::from_outcomes("sweep", 4, 12, vec![o]);
+/// assert_eq!(report.safe, 1);
+/// assert_eq!(report.violations, 0);
+/// let json = report.to_json();
+/// let back: PortfolioReport = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back.safe, report.safe);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PortfolioReport {
+    /// `"race"` or `"sweep"`.
+    pub mode: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall-clock for the whole batch.
+    pub wall_ms: u64,
+    /// Scenario counts by verdict.
+    pub safe: usize,
+    /// Scenarios with a confirmed violation.
+    pub violations: usize,
+    /// Inconclusive scenarios (budget exhausted, ...).
+    pub unknown: usize,
+    /// Scenarios cancelled by race mode before running.
+    pub skipped: usize,
+    /// Per-scenario records, in submission order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl PortfolioReport {
+    /// Aggregate outcomes into a report (counts are derived here).
+    pub fn from_outcomes(
+        mode: &str,
+        threads: usize,
+        wall_ms: u64,
+        outcomes: Vec<ScenarioOutcome>,
+    ) -> PortfolioReport {
+        let count = |k: VerdictKind| outcomes.iter().filter(|o| o.verdict == k).count();
+        PortfolioReport {
+            mode: mode.to_string(),
+            threads,
+            wall_ms,
+            safe: count(VerdictKind::Safe),
+            violations: count(VerdictKind::Violation),
+            unknown: count(VerdictKind::Unknown),
+            skipped: count(VerdictKind::Skipped),
+            outcomes,
+        }
+    }
+
+    /// Did any scenario confirm a violation?
+    pub fn found_violation(&self) -> bool {
+        self.violations > 0
+    }
+
+    /// Pretty-printed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// Markdown-style table of all outcomes plus a summary line.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| scenario | verdict | wall ms | refine | vars | clauses | pairs | states | detail |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        for o in &self.outcomes {
+            let states = if o.engine == "explicit" { o.states } else { o.matchgen_states };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                o.scenario,
+                o.verdict,
+                o.wall_ms,
+                o.refinements,
+                o.sat_vars,
+                o.sat_clauses,
+                o.match_pairs,
+                states,
+                o.detail.replace('|', "/"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped",
+            self.mode,
+            self.threads,
+            self.outcomes.len(),
+            self.wall_ms,
+            self.safe,
+            self.violations,
+            self.unknown,
+            self.skipped,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, verdict: VerdictKind) -> ScenarioOutcome {
+        let mut o = ScenarioOutcome::skipped(
+            name.into(),
+            "race".into(),
+            "unordered".into(),
+            "explicit".into(),
+        );
+        o.verdict = verdict;
+        o
+    }
+
+    #[test]
+    fn counts_partition_the_outcomes() {
+        let outcomes = vec![
+            outcome("a", VerdictKind::Safe),
+            outcome("b", VerdictKind::Violation),
+            outcome("c", VerdictKind::Violation),
+            outcome("d", VerdictKind::Unknown),
+            outcome("e", VerdictKind::Skipped),
+        ];
+        let r = PortfolioReport::from_outcomes("race", 2, 5, outcomes);
+        assert_eq!(
+            (r.safe, r.violations, r.unknown, r.skipped),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(r.safe + r.violations + r.unknown + r.skipped, r.outcomes.len());
+        assert!(r.found_violation());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_outcomes() {
+        let r = PortfolioReport::from_outcomes(
+            "sweep",
+            8,
+            1234,
+            vec![outcome("x", VerdictKind::Safe)],
+        );
+        let back: PortfolioReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.outcomes.len(), 1);
+        assert_eq!(back.outcomes[0].scenario, "x");
+        assert_eq!(back.threads, 8);
+        assert_eq!(back.outcomes[0].verdict, VerdictKind::Safe);
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let r = PortfolioReport::from_outcomes(
+            "sweep",
+            1,
+            1,
+            vec![outcome("alpha", VerdictKind::Safe), outcome("beta", VerdictKind::Unknown)],
+        );
+        let t = r.render_table();
+        assert!(t.contains("| alpha |"));
+        assert!(t.contains("| beta |"));
+        assert!(t.contains("2 scenarios"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The portfolio runner: fan a scenario batch out across the pool, collect
+//! [`ScenarioOutcome`]s, aggregate a [`PortfolioReport`].
+
+use crate::pool::{CancelToken, WorkStealingPool};
+use crate::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
+use crate::scenario::{Engine, Scenario};
+use explicit::{ExploreConfig, GraphExplorer};
+use symbolic::checker::{check_program, CheckConfig, Verdict};
+use std::time::Instant;
+
+/// What happens after the first confirmed violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Cancel the rest of the batch ("find any bug fast").
+    Race,
+    /// Run every scenario to completion ("map the whole grid").
+    Sweep,
+}
+
+impl Mode {
+    /// Stable tag used in reports (`"race"` / `"sweep"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Mode::Race => "race",
+            Mode::Sweep => "sweep",
+        }
+    }
+}
+
+/// Portfolio-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Stop-on-first-violation ([`Mode::Race`]) or run-everything
+    /// ([`Mode::Sweep`]).
+    pub mode: Mode,
+    /// Per-scenario wall-clock budget for the *symbolic* solve/refine loop
+    /// (maps to [`CheckConfig::budget_ms`]). `None` = unbounded. The
+    /// explicit engine is bounded by [`PortfolioConfig::max_states`]
+    /// instead — it has no wall-clock knob.
+    pub budget_ms: Option<u64>,
+    /// Explicit-engine state-count cap (its analogue of a time budget).
+    pub max_states: usize,
+    /// Validate symbolic witnesses by concrete replay.
+    pub validate: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            threads: 1,
+            mode: Mode::Sweep,
+            budget_ms: None,
+            max_states: 1_000_000,
+            validate: true,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// The [`CheckConfig`] a symbolic scenario runs under. Public so tests
+    /// and experiment binaries can run the *same* configuration through
+    /// the sequential checker when validating portfolio verdicts.
+    pub fn check_config(&self, scenario: &Scenario) -> CheckConfig {
+        let matchgen = match scenario.engine {
+            Engine::Symbolic(m) => m,
+            Engine::Explicit => unreachable!("check_config is for symbolic scenarios"),
+        };
+        CheckConfig {
+            delivery: scenario.delivery,
+            matchgen,
+            budget_ms: self.budget_ms,
+            validate: self.validate,
+            ..CheckConfig::default()
+        }
+    }
+}
+
+/// Run one scenario to an outcome on the calling thread.
+pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
+    let start = Instant::now();
+    let program = scenario.spec.build();
+    let mut out = ScenarioOutcome::skipped(
+        scenario.name(),
+        scenario.spec.family().to_string(),
+        scenario.delivery.to_string(),
+        scenario.engine.tag().to_string(),
+    );
+    match scenario.engine {
+        Engine::Symbolic(_) => {
+            let report = check_program(&program, &cfg.check_config(scenario));
+            out.refinements = report.refinements;
+            out.sat_vars = report.encode_stats.sat_vars;
+            out.sat_clauses = report.encode_stats.sat_clauses;
+            out.match_pairs = report.matchgen_pairs;
+            out.matchgen_states = report.matchgen_states;
+            match report.verdict {
+                Verdict::Safe => {
+                    out.verdict = VerdictKind::Safe;
+                    out.detail = String::new();
+                }
+                Verdict::Violation(cv) => {
+                    out.verdict = VerdictKind::Violation;
+                    out.detail = cv.violated_props.join("; ");
+                }
+                Verdict::Unknown(why) => {
+                    out.verdict = VerdictKind::Unknown;
+                    out.detail = why;
+                }
+            }
+        }
+        Engine::Explicit => {
+            let explore_cfg = ExploreConfig {
+                model: scenario.delivery,
+                max_states: cfg.max_states,
+                stop_at_first_violation: cfg.mode == Mode::Race,
+                ..ExploreConfig::default()
+            };
+            let result = GraphExplorer::new(&program, explore_cfg).explore();
+            out.states = result.states;
+            out.transitions = result.transitions;
+            if result.found_violation() {
+                out.verdict = VerdictKind::Violation;
+                out.detail = result
+                    .violations
+                    .iter()
+                    .map(|v| v.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+            } else if result.truncated {
+                out.verdict = VerdictKind::Unknown;
+                out.detail = format!("state budget exhausted at {}", result.states);
+            } else {
+                out.verdict = VerdictKind::Safe;
+                out.detail = String::new();
+            }
+        }
+    }
+    out.wall_ms = start.elapsed().as_millis() as u64;
+    out
+}
+
+/// Run the whole batch across the pool and aggregate the report.
+///
+/// Outcomes keep the submission order of `scenarios` regardless of which
+/// worker ran them, so reports are comparable run to run.
+///
+/// ```
+/// use driver::runner::{run_portfolio, Mode, PortfolioConfig};
+/// use driver::scenario::{cross, Engine};
+/// use mcapi::types::DeliveryModel;
+/// use workloads::grid::FamilySpec;
+///
+/// let scenarios = cross(
+///     &[FamilySpec::Fig1, FamilySpec::Fig1Assert],
+///     &[DeliveryModel::Unordered],
+///     &Engine::ALL,
+/// );
+/// let cfg = PortfolioConfig { threads: 2, mode: Mode::Sweep, ..Default::default() };
+/// let report = run_portfolio(&scenarios, &cfg);
+/// assert_eq!(report.outcomes.len(), 6);
+/// assert!(report.found_violation(), "fig1-assert races");
+/// ```
+pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> PortfolioReport {
+    let start = Instant::now();
+    let pool = WorkStealingPool::new(cfg.threads);
+    let cancel = CancelToken::new();
+    let outcomes = pool.run(
+        scenarios.to_vec(),
+        &cancel,
+        |_idx, scenario: Scenario, cancel| {
+            if cancel.is_cancelled() {
+                return ScenarioOutcome::skipped(
+                    scenario.name(),
+                    scenario.spec.family().to_string(),
+                    scenario.delivery.to_string(),
+                    scenario.engine.tag().to_string(),
+                );
+            }
+            let outcome = run_scenario(&scenario, cfg);
+            if cfg.mode == Mode::Race && outcome.verdict == VerdictKind::Violation {
+                cancel.cancel();
+            }
+            outcome
+        },
+    );
+    PortfolioReport::from_outcomes(
+        cfg.mode.tag(),
+        pool.workers(),
+        start.elapsed().as_millis() as u64,
+        outcomes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::cross;
+    use mcapi::types::DeliveryModel;
+    use workloads::grid::FamilySpec;
+
+    #[test]
+    fn sweep_runs_everything_and_orders_outcomes() {
+        let scenarios = cross(
+            &[FamilySpec::Fig1, FamilySpec::Race { width: 2 }],
+            &DeliveryModel::ALL,
+            &[Engine::Explicit],
+        );
+        let cfg = PortfolioConfig { threads: 3, ..Default::default() };
+        let report = run_portfolio(&scenarios, &cfg);
+        assert_eq!(report.outcomes.len(), scenarios.len());
+        for (s, o) in scenarios.iter().zip(&report.outcomes) {
+            assert_eq!(s.name(), o.scenario);
+            assert_eq!(o.verdict, VerdictKind::Safe, "{}", o.scenario);
+        }
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn race_mode_cancels_after_a_violation() {
+        // One violating scenario followed by many safe ones on one worker:
+        // everything after the violation must be skipped.
+        let mut scenarios = cross(
+            &[FamilySpec::Fig1Assert],
+            &[DeliveryModel::Unordered],
+            &[Engine::Explicit],
+        );
+        scenarios.extend(cross(
+            &[FamilySpec::Ring { nodes: 3, laps: 1 }, FamilySpec::Pipeline { stages: 2, items: 2 }],
+            &DeliveryModel::ALL,
+            &[Engine::Explicit],
+        ));
+        let cfg = PortfolioConfig { threads: 1, mode: Mode::Race, ..Default::default() };
+        let report = run_portfolio(&scenarios, &cfg);
+        assert_eq!(report.violations, 1);
+        assert_eq!(report.skipped, scenarios.len() - 1);
+    }
+
+    #[test]
+    fn symbolic_and_explicit_agree_on_fig1_assert() {
+        let scenarios = cross(
+            &[FamilySpec::Fig1Assert],
+            &[DeliveryModel::Unordered],
+            &Engine::ALL,
+        );
+        let cfg = PortfolioConfig { threads: 2, ..Default::default() };
+        let report = run_portfolio(&scenarios, &cfg);
+        for o in &report.outcomes {
+            assert_eq!(o.verdict, VerdictKind::Violation, "{}", o.scenario);
+        }
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_unknown_not_wrong() {
+        let scenarios = cross(
+            &[FamilySpec::Race { width: 4 }],
+            &[DeliveryModel::Unordered],
+            &[Engine::Explicit],
+        );
+        let cfg = PortfolioConfig { max_states: 3, ..Default::default() };
+        let report = run_portfolio(&scenarios, &cfg);
+        assert_eq!(report.outcomes[0].verdict, VerdictKind::Unknown);
+        assert!(report.outcomes[0].detail.contains("state budget"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Scenario model: one verification job = workload grid point × delivery
+//! model × engine.
+
+use mcapi::types::DeliveryModel;
+use symbolic::checker::MatchGen;
+use workloads::grid::FamilySpec;
+
+/// Which verification engine runs a scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The paper's symbolic pipeline with the chosen match-pair generator.
+    Symbolic(MatchGen),
+    /// The explicit-state breadth-first ground truth
+    /// ([`explicit::GraphExplorer`]), kept in every portfolio as the
+    /// cross-validation baseline.
+    Explicit,
+}
+
+impl Engine {
+    /// Stable tag used in names, tables and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Engine::Symbolic(MatchGen::Precise) => "symbolic-precise",
+            Engine::Symbolic(MatchGen::OverApprox) => "symbolic-overapprox",
+            Engine::Explicit => "explicit",
+        }
+    }
+
+    /// Every engine, for grid crossing.
+    pub const ALL: [Engine; 3] = [
+        Engine::Symbolic(MatchGen::Precise),
+        Engine::Symbolic(MatchGen::OverApprox),
+        Engine::Explicit,
+    ];
+}
+
+/// One unit of portfolio work.
+///
+/// ```
+/// use driver::scenario::{Engine, Scenario};
+/// use mcapi::types::DeliveryModel;
+/// use workloads::grid::FamilySpec;
+///
+/// let s = Scenario::new(
+///     FamilySpec::Fig1,
+///     DeliveryModel::Unordered,
+///     Engine::Explicit,
+/// );
+/// assert_eq!(s.name(), "fig1/unordered/explicit");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// The workload grid point to build and check.
+    pub spec: FamilySpec,
+    /// The network delivery discipline under test.
+    pub delivery: DeliveryModel,
+    /// The engine that runs the check.
+    pub engine: Engine,
+}
+
+impl Scenario {
+    /// Assemble a scenario from its three coordinates.
+    pub fn new(spec: FamilySpec, delivery: DeliveryModel, engine: Engine) -> Scenario {
+        Scenario { spec, delivery, engine }
+    }
+
+    /// Unique human-readable identifier: `point/delivery/engine`.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.spec.name(), self.delivery, self.engine.tag())
+    }
+}
+
+/// Cross a set of workload grid points with delivery models and engines.
+/// This is the batch shape the CLI's `portfolio`/`sweep` subcommands run.
+///
+/// ```
+/// use driver::scenario::{cross, Engine};
+/// use mcapi::types::DeliveryModel;
+/// use workloads::grid::default_grid;
+///
+/// let scenarios = cross(
+///     &default_grid(2),
+///     &DeliveryModel::ALL,
+///     &Engine::ALL,
+/// );
+/// assert!(scenarios.len() >= 20);
+/// ```
+pub fn cross(
+    specs: &[FamilySpec],
+    deliveries: &[DeliveryModel],
+    engines: &[Engine],
+) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(specs.len() * deliveries.len() * engines.len());
+    for &spec in specs {
+        for &delivery in deliveries {
+            for &engine in engines {
+                out.push(Scenario::new(spec, delivery, engine));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_across_the_cross_product() {
+        let scenarios = cross(
+            &workloads::grid::default_grid(2),
+            &DeliveryModel::ALL,
+            &Engine::ALL,
+        );
+        let names: std::collections::BTreeSet<String> =
+            scenarios.iter().map(Scenario::name).collect();
+        assert_eq!(names.len(), scenarios.len());
+    }
+
+    #[test]
+    fn engine_tags_are_distinct() {
+        let tags: std::collections::BTreeSet<&str> =
+            Engine::ALL.iter().map(Engine::tag).collect();
+        assert_eq!(tags.len(), Engine::ALL.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration test: portfolio verdicts must agree with single-scenario
+//! sequential `symbolic::checker` runs on the same configurations — the
+//! driver adds parallelism and aggregation, never a different answer.
+
+use driver::prelude::*;
+use mcapi::types::DeliveryModel;
+use symbolic::checker::{check_program, Verdict};
+
+fn verdict_kind(v: &Verdict) -> VerdictKind {
+    match v {
+        Verdict::Safe => VerdictKind::Safe,
+        Verdict::Violation(_) => VerdictKind::Violation,
+        Verdict::Unknown(_) => VerdictKind::Unknown,
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_sequential_checker_on_fig1_grid() {
+    // fig1 and fig1-assert under every delivery model and both symbolic
+    // engines: 12 scenarios, run on 4 workers.
+    let scenarios = cross(
+        &[FamilySpec::Fig1, FamilySpec::Fig1Assert],
+        &DeliveryModel::ALL,
+        &[
+            Engine::Symbolic(symbolic::checker::MatchGen::Precise),
+            Engine::Symbolic(symbolic::checker::MatchGen::OverApprox),
+        ],
+    );
+    let cfg = PortfolioConfig { threads: 4, mode: Mode::Sweep, ..Default::default() };
+    let report = run_portfolio(&scenarios, &cfg);
+    assert_eq!(report.outcomes.len(), scenarios.len());
+    assert_eq!(report.skipped, 0, "sweep mode never skips");
+
+    for (scenario, outcome) in scenarios.iter().zip(&report.outcomes) {
+        let sequential = check_program(&scenario.spec.build(), &cfg.check_config(scenario));
+        assert_eq!(
+            outcome.verdict,
+            verdict_kind(&sequential.verdict),
+            "portfolio and sequential checker disagree on {}",
+            scenario.name(),
+        );
+        assert_eq!(
+            outcome.refinements, sequential.refinements,
+            "refinement counts diverge on {}",
+            scenario.name(),
+        );
+    }
+}
+
+#[test]
+fn race_assert_violation_is_found_under_every_engine() {
+    let scenarios = cross(
+        &[FamilySpec::RaceAssert { width: 2 }],
+        &[DeliveryModel::Unordered],
+        &Engine::ALL,
+    );
+    let report = run_portfolio(
+        &scenarios,
+        &PortfolioConfig { threads: 3, ..Default::default() },
+    );
+    for o in &report.outcomes {
+        assert_eq!(o.verdict, VerdictKind::Violation, "{}", o.scenario);
+    }
+}
+
+#[test]
+fn json_report_of_a_real_run_roundtrips() {
+    let scenarios = cross(
+        &[FamilySpec::Fig1],
+        &DeliveryModel::ALL,
+        &[Engine::Explicit],
+    );
+    let report = run_portfolio(&scenarios, &PortfolioConfig::default());
+    let back: PortfolioReport = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(back.outcomes.len(), report.outcomes.len());
+    assert_eq!(back.safe, 3);
+}

@@ -19,6 +19,19 @@ use mcapi::program::Program;
 const SHARDS: usize = 64;
 
 /// Parallel BFS explorer.
+///
+/// ```
+/// use explicit::{ExploreConfig, GraphExplorer, ParallelExplorer};
+///
+/// // Four workers find exactly the same behaviours as the sequential
+/// // ground truth on the paper's Fig. 1 program.
+/// let program = workloads::fig1();
+/// let cfg = ExploreConfig::default();
+/// let seq = GraphExplorer::new(&program, cfg).explore();
+/// let par = ParallelExplorer::new(&program, cfg, 4).explore();
+/// assert_eq!(seq.matchings, par.matchings);
+/// assert_eq!(par.matchings.len(), 2); // Fig. 4a and Fig. 4b
+/// ```
 pub struct ParallelExplorer<'a> {
     program: &'a Program,
     config: ExploreConfig,
@@ -26,6 +39,7 @@ pub struct ParallelExplorer<'a> {
 }
 
 impl<'a> ParallelExplorer<'a> {
+    /// `num_workers` is clamped to at least 1.
     pub fn new(program: &'a Program, config: ExploreConfig, num_workers: usize) -> Self {
         ParallelExplorer { program, config, num_workers: num_workers.max(1) }
     }

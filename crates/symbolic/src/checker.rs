@@ -35,6 +35,13 @@ pub struct CheckConfig {
     pub trace_attempts: u64,
     /// Validate witnesses by concrete replay.
     pub validate: bool,
+    /// Wall-clock budget for the solve/refine loop, in milliseconds.
+    /// `None` means unbounded. When the budget runs out the verdict
+    /// degrades to [`Verdict::Unknown`] rather than a wrong answer. The
+    /// deadline is checked *between* solver calls — a single pathological
+    /// SMT check can overshoot the budget, so this bounds refinement
+    /// loops, not worst-case solver latency.
+    pub budget_ms: Option<u64>,
 }
 
 impl Default for CheckConfig {
@@ -46,6 +53,7 @@ impl Default for CheckConfig {
             trace_seed: 0,
             trace_attempts: 500,
             validate: true,
+            budget_ms: None,
         }
     }
 }
@@ -114,6 +122,28 @@ pub fn generate_trace(program: &Program, cfg: &CheckConfig) -> Trace {
 }
 
 /// Check a program end to end: generate a trace, then [`check_trace`].
+///
+/// ```
+/// use mcapi::builder::ProgramBuilder;
+/// use mcapi::expr::{Cond, Expr};
+/// use mcapi::types::CmpOp;
+/// use symbolic::checker::{check_program, CheckConfig, Verdict};
+///
+/// // Two producers race into one consumer; the assertion that producer 1
+/// // always wins is refuted by a reachable interleaving.
+/// let mut b = ProgramBuilder::new("race");
+/// let t0 = b.thread("consumer");
+/// let t1 = b.thread("p1");
+/// let t2 = b.thread("p2");
+/// let got = b.recv(t0, 0);
+/// b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(got), Expr::Const(1)), "p1 first");
+/// b.send_const(t1, t0, 0, 1);
+/// b.send_const(t2, t0, 0, 2);
+/// let program = b.build().unwrap();
+///
+/// let report = check_program(&program, &CheckConfig::default());
+/// assert!(matches!(report.verdict, Verdict::Violation(_)));
+/// ```
 pub fn check_program(program: &Program, cfg: &CheckConfig) -> CheckReport {
     let trace = generate_trace(program, cfg);
     if let Some(v) = &trace.violation {
@@ -154,8 +184,14 @@ pub fn check_trace(program: &Program, trace: &Trace, cfg: &CheckConfig) -> Check
     let encode_stats = enc.stats;
     let id_terms = enc.id_terms();
     let mut refinements = 0usize;
+    let deadline = cfg.budget_ms.map(|ms| {
+        std::time::Instant::now() + std::time::Duration::from_millis(ms)
+    });
 
     let verdict = loop {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break Verdict::Unknown("time budget exhausted".into());
+        }
         match enc.solver.check() {
             SatResult::Unsat => break Verdict::Safe,
             SatResult::Unknown => {
@@ -227,10 +263,27 @@ pub struct MatchingEnumeration {
     pub spurious: usize,
     /// SMT check calls performed.
     pub sat_checks: usize,
+    /// Enumeration stopped before exhaustion was proven: another model
+    /// still existed when `limit` was reached, [`CheckConfig::budget_ms`]
+    /// expired, or a blocking clause could not be added. `matchings` may
+    /// be missing behaviours the formula admits. A run that stops *at*
+    /// `limit` with no further model is complete, not truncated.
+    pub truncated: bool,
 }
 
 /// Enumerate every distinct send/receive pairing the formula admits — the
 /// symbolic version of the paper's Fig. 4 ("all possible pairings").
+///
+/// ```
+/// use symbolic::checker::{enumerate_matchings, generate_trace, CheckConfig};
+///
+/// // The paper's Fig. 1 admits exactly the two pairings of its Fig. 4.
+/// let program = workloads::fig1();
+/// let cfg = CheckConfig::default();
+/// let trace = generate_trace(&program, &cfg);
+/// let en = enumerate_matchings(&program, &trace, &cfg, 100);
+/// assert_eq!(en.matchings.len(), 2);
+/// ```
 pub fn enumerate_matchings(
     program: &Program,
     trace: &Trace,
@@ -246,10 +299,24 @@ pub fn enumerate_matchings(
     );
     let id_terms = enc.id_terms();
     let mut out = MatchingEnumeration::default();
-    while out.matchings.len() + out.spurious < limit {
+    let deadline = cfg.budget_ms.map(|ms| {
+        std::time::Instant::now() + std::time::Duration::from_millis(ms)
+    });
+    loop {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            out.truncated = true;
+            break;
+        }
         out.sat_checks += 1;
         match enc.solver.check() {
             SatResult::Sat => {
+                // Blocking clauses make every model a fresh id assignment,
+                // so a SAT result at the limit proves the enumeration is
+                // incomplete — that (and only that) is a truncation.
+                if out.matchings.len() + out.spurious >= limit {
+                    out.truncated = true;
+                    break;
+                }
                 let model = enc.solver.model().expect("model").clone();
                 let matching = enc.matching_from_model(&model);
                 let accept = if cfg.validate {
@@ -269,6 +336,7 @@ pub fn enumerate_matchings(
                     out.spurious += 1;
                 }
                 if !enc.solver.block_model_values(&id_terms) {
+                    out.truncated = true;
                     break;
                 }
             }

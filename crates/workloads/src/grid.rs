@@ -1,0 +1,192 @@
+//! Scenario-grid builder: every workload family, enumerable
+//! programmatically as points in its parameter space.
+//!
+//! The portfolio driver (`crates/driver`) crosses these grid points with
+//! delivery models and verification engines; experiments and the CLI use
+//! [`default_grid`] / [`family_grid`] to get reproducible batches without
+//! hand-listing programs.
+
+use crate::random::RandomProgramConfig;
+use mcapi::program::Program;
+use std::fmt;
+
+/// A named point in one workload family's parameter space. Building the
+/// point yields a compiled [`Program`].
+///
+/// ```
+/// use workloads::grid::FamilySpec;
+///
+/// let spec = FamilySpec::Race { width: 3 };
+/// assert_eq!(spec.name(), "race3");
+/// assert_eq!(spec.build().threads.len(), 4); // 3 producers + 1 consumer
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FamilySpec {
+    /// The paper's Fig. 1 program (no assertion; two pairings).
+    Fig1,
+    /// Fig. 1 plus an assertion that only one pairing satisfies.
+    Fig1Assert,
+    /// `width` producers racing into one consumer.
+    Race { width: usize },
+    /// The racing producers plus an assertion naming a winner.
+    RaceAssert { width: usize },
+    /// The delayed-message gap program (Fig. 4b-only violation).
+    DelayGap { chain: usize },
+    /// `stages`-deep pipeline moving `items` messages (race-free).
+    Pipeline { stages: usize, items: usize },
+    /// Fan-out/fan-in over `workers` non-blocking receivers.
+    Scatter { workers: usize },
+    /// Token ring of `nodes` threads circulating for `laps` rounds.
+    Ring { nodes: usize, laps: usize },
+    /// `rounds` of value-dependent branching pinned by the trace.
+    Branchy { rounds: usize },
+    /// Seeded random well-formed program (differential fuzzing).
+    Random { seed: u64 },
+}
+
+/// Family tags accepted by [`family_grid`] and printed in reports.
+pub const FAMILIES: [&str; 10] = [
+    "fig1", "fig1-assert", "race", "race-assert", "delay-gap", "pipeline", "scatter", "ring",
+    "branchy", "random",
+];
+
+impl FamilySpec {
+    /// The family tag (one of [`FAMILIES`]).
+    pub fn family(&self) -> &'static str {
+        match self {
+            FamilySpec::Fig1 => "fig1",
+            FamilySpec::Fig1Assert => "fig1-assert",
+            FamilySpec::Race { .. } => "race",
+            FamilySpec::RaceAssert { .. } => "race-assert",
+            FamilySpec::DelayGap { .. } => "delay-gap",
+            FamilySpec::Pipeline { .. } => "pipeline",
+            FamilySpec::Scatter { .. } => "scatter",
+            FamilySpec::Ring { .. } => "ring",
+            FamilySpec::Branchy { .. } => "branchy",
+            FamilySpec::Random { .. } => "random",
+        }
+    }
+
+    /// Compact unique name of this grid point, e.g. `ring4x2`.
+    pub fn name(&self) -> String {
+        match self {
+            FamilySpec::Fig1 => "fig1".into(),
+            FamilySpec::Fig1Assert => "fig1-assert".into(),
+            FamilySpec::Race { width } => format!("race{width}"),
+            FamilySpec::RaceAssert { width } => format!("race-assert{width}"),
+            FamilySpec::DelayGap { chain } => format!("delay-gap{chain}"),
+            FamilySpec::Pipeline { stages, items } => format!("pipeline{stages}x{items}"),
+            FamilySpec::Scatter { workers } => format!("scatter{workers}"),
+            FamilySpec::Ring { nodes, laps } => format!("ring{nodes}x{laps}"),
+            FamilySpec::Branchy { rounds } => format!("branchy{rounds}"),
+            FamilySpec::Random { seed } => format!("random{seed}"),
+        }
+    }
+
+    /// Build the compiled program for this point.
+    pub fn build(&self) -> Program {
+        match *self {
+            FamilySpec::Fig1 => crate::fig1(),
+            FamilySpec::Fig1Assert => crate::fig1_with_assert(),
+            FamilySpec::Race { width } => crate::race(width),
+            FamilySpec::RaceAssert { width } => crate::race_with_winner_assert(width),
+            FamilySpec::DelayGap { chain } => crate::delay_gap(chain),
+            FamilySpec::Pipeline { stages, items } => crate::pipeline(stages, items),
+            FamilySpec::Scatter { workers } => crate::scatter(workers),
+            FamilySpec::Ring { nodes, laps } => crate::ring(nodes, laps),
+            FamilySpec::Branchy { rounds } => crate::branchy(rounds),
+            FamilySpec::Random { seed } => {
+                crate::random_program(seed, &RandomProgramConfig::default())
+            }
+        }
+    }
+}
+
+impl fmt::Display for FamilySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Enumerate one family at `scale` (1 = smallest instances; larger scales
+/// append bigger parameter points). Unknown tags return an empty grid.
+///
+/// ```
+/// use workloads::grid::family_grid;
+///
+/// let pts = family_grid("race", 2);
+/// assert!(pts.len() >= 2);
+/// assert!(pts.iter().all(|p| p.family() == "race"));
+/// ```
+pub fn family_grid(family: &str, scale: usize) -> Vec<FamilySpec> {
+    let scale = scale.max(1);
+    let sizes = || 2..2 + scale;
+    match family {
+        "fig1" => vec![FamilySpec::Fig1],
+        "fig1-assert" => vec![FamilySpec::Fig1Assert],
+        "race" => sizes().map(|width| FamilySpec::Race { width }).collect(),
+        "race-assert" => sizes().map(|width| FamilySpec::RaceAssert { width }).collect(),
+        "delay-gap" => (1..=scale).map(|chain| FamilySpec::DelayGap { chain }).collect(),
+        "pipeline" => sizes()
+            .map(|stages| FamilySpec::Pipeline { stages, items: 2 })
+            .collect(),
+        "scatter" => sizes().map(|workers| FamilySpec::Scatter { workers }).collect(),
+        "ring" => (3..3 + scale).map(|nodes| FamilySpec::Ring { nodes, laps: 1 }).collect(),
+        "branchy" => (1..=scale).map(|rounds| FamilySpec::Branchy { rounds }).collect(),
+        "random" => (0..scale as u64).map(|seed| FamilySpec::Random { seed }).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The standard portfolio grid: every family at the given scale. With
+/// `scale = 2` this yields 18 program points; crossed with delivery models
+/// and engines by the driver it easily exceeds the 20-scenario bar.
+///
+/// ```
+/// use workloads::grid::default_grid;
+///
+/// let grid = default_grid(2);
+/// let names: std::collections::BTreeSet<String> =
+///     grid.iter().map(|p| p.name()).collect();
+/// assert_eq!(names.len(), grid.len(), "grid names are unique");
+/// ```
+pub fn default_grid(scale: usize) -> Vec<FamilySpec> {
+    FAMILIES.iter().flat_map(|f| family_grid(f, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_family_tag_yields_points() {
+        for f in FAMILIES {
+            let pts = family_grid(f, 2);
+            assert!(!pts.is_empty(), "family {f} enumerated nothing");
+            assert!(pts.iter().all(|p| p.family() == f));
+        }
+    }
+
+    #[test]
+    fn unknown_family_is_empty() {
+        assert!(family_grid("nope", 3).is_empty());
+    }
+
+    #[test]
+    fn default_grid_names_are_unique_and_buildable() {
+        let grid = default_grid(2);
+        assert!(grid.len() >= 15, "got {}", grid.len());
+        let names: BTreeSet<String> = grid.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), grid.len());
+        for p in &grid {
+            let prog = p.build();
+            assert!(!prog.threads.is_empty(), "{p} built an empty program");
+        }
+    }
+
+    #[test]
+    fn scale_grows_the_grid() {
+        assert!(default_grid(3).len() > default_grid(1).len());
+    }
+}

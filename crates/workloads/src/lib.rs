@@ -15,10 +15,13 @@
 //! | [`mod@branchy`] | value-dependent branches pinned by the trace |
 //! | [`random_program`] | seeded random well-formed programs (fuzzing) |
 //!
-//! All generators return compiled, validated [`mcapi::Program`]s.
+//! All generators return compiled, validated [`mcapi::Program`]s. The
+//! [`mod@grid`] module enumerates every family programmatically as
+//! [`grid::FamilySpec`] points — the input shape of the portfolio driver.
 
 pub mod branchy;
 pub mod fig1;
+pub mod grid;
 pub mod pipeline;
 pub mod race;
 pub mod random;
@@ -27,6 +30,7 @@ pub mod scatter;
 
 pub use branchy::branchy;
 pub use fig1::{fig1, fig1_with_assert};
+pub use grid::{default_grid, family_grid, FamilySpec, FAMILIES};
 pub use pipeline::pipeline;
 pub use race::{race, race_with_winner_assert, delay_gap};
 pub use random::{random_program, RandomProgramConfig};

@@ -9,8 +9,16 @@
 //! mcapi-smc explore <program.json> [--delivery ...]       # explicit ground truth
 //! mcapi-smc run <program.json> [--seed N] [--delivery ...] # one random execution
 //! mcapi-smc demo <name>        # print a built-in workload as JSON
+//! mcapi-smc portfolio [opts]   # parallel grid, cancel on first violation
+//! mcapi-smc sweep [opts]       # parallel grid, run everything
 //! ```
+//!
+//! Portfolio options: `--threads N` (default: all cores), `--scale K`
+//! (grid size per family, default 2), `--families a,b,c` (default: all),
+//! `--delivery MODEL` (default: all three), `--budget-ms MS` (per-scenario
+//! solver budget), `--json PATH` (`-` for stdout; suppresses the table).
 
+use driver::prelude::*;
 use mcapi::program::Program;
 use mcapi::runtime::execute_random;
 use mcapi::types::DeliveryModel;
@@ -63,12 +71,138 @@ fn demo(name: &str) -> Option<Program> {
     }
 }
 
+/// The value following `flag`, refusing to consume a `--`-prefixed token:
+/// in `--json --budget-ms 100` the `--json` value is *missing*, not
+/// `"--budget-ms"` (which would otherwise be interpreted twice).
+fn strict_value<'a>(args: &'a [String], flag: &str) -> Option<Result<&'a str, String>> {
+    let i = args.iter().position(|a| a == flag)?;
+    Some(match args.get(i + 1).map(String::as_str) {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        _ => Err(format!("{flag} needs a value")),
+    })
+}
+
+/// Strict numeric flag parsing for the portfolio subcommands: a present
+/// flag with a missing or unparseable value is a usage error, not a silent
+/// fallback (`--budget-ms 10s` must not mean "unbounded").
+fn parse_flag_strict(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match strict_value(args, flag) {
+        None => Ok(None),
+        Some(Err(e)) => Err(format!("{e} (a number)")),
+        Some(Ok(raw)) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: cannot parse {raw:?} as a number")),
+    }
+}
+
+/// Build and run a scenario grid; see the module docs for the flags.
+fn portfolio(args: &[String], mode: Mode) -> ExitCode {
+    let numeric = |flag: &str| parse_flag_strict(args, flag);
+    let (scale, threads, budget_ms) =
+        match (numeric("--scale"), numeric("--threads"), numeric("--budget-ms")) {
+            (Ok(s), Ok(t), Ok(b)) => (
+                s.unwrap_or(2) as usize,
+                t.map(|n| n as usize).unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                }),
+                b,
+            ),
+            (s, t, b) => {
+                for e in [s.err(), t.err(), b.err()].into_iter().flatten() {
+                    eprintln!("{e}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+
+    let specs: Vec<FamilySpec> = match strict_value(args, "--families") {
+        Some(Err(_)) => {
+            eprintln!("--families needs a comma-separated list of {FAMILIES:?}");
+            return ExitCode::from(2);
+        }
+        Some(Ok(list)) => {
+            let mut seen = std::collections::BTreeSet::new();
+            let mut specs = Vec::new();
+            for f in list.split(',') {
+                if !seen.insert(f) {
+                    continue; // deduplicate, keeping first-mention order
+                }
+                let pts = family_grid(f, scale);
+                if pts.is_empty() {
+                    eprintln!("unknown family {f}; known families: {FAMILIES:?}");
+                    return ExitCode::from(2);
+                }
+                specs.extend(pts);
+            }
+            specs
+        }
+        None => default_grid(scale),
+    };
+
+    let deliveries: Vec<DeliveryModel> = match strict_value(args, "--delivery") {
+        Some(Ok("unordered")) => vec![DeliveryModel::Unordered],
+        Some(Ok("fifo")) | Some(Ok("pairwise-fifo")) => vec![DeliveryModel::PairwiseFifo],
+        Some(Ok("zero")) | Some(Ok("zero-delay")) => vec![DeliveryModel::ZeroDelay],
+        Some(other) => {
+            // Unlike the single-program subcommands (which warn and fall
+            // back), a typo here would silently drop 2/3 of the grid —
+            // refuse instead.
+            eprintln!(
+                "unknown delivery model {:?}; expected unordered|fifo|zero",
+                other.ok()
+            );
+            return ExitCode::from(2);
+        }
+        None => DeliveryModel::ALL.to_vec(),
+    };
+
+    let json_target = match strict_value(args, "--json") {
+        Some(Ok(path)) => Some(path.to_string()),
+        Some(Err(_)) => {
+            eprintln!("--json needs a path (or `-` for stdout)");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
+
+    let scenarios = cross(&specs, &deliveries, &Engine::ALL);
+    let cfg = PortfolioConfig { threads, mode, budget_ms, ..PortfolioConfig::default() };
+    let report = run_portfolio(&scenarios, &cfg);
+
+    match json_target.as_deref() {
+        Some("-") => println!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{}", report.render_table());
+        }
+        None => print!("{}", report.render_table()),
+    }
+
+    if report.found_violation() {
+        ExitCode::from(1)
+    } else if report.unknown > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
-        eprintln!("usage: mcapi-smc <check|behaviours|explore|run|info|demo> ...");
+        eprintln!("usage: mcapi-smc <check|behaviours|explore|run|info|demo|portfolio|sweep> ...");
         return ExitCode::from(2);
     };
+
+    match cmd {
+        "portfolio" => return portfolio(&args, Mode::Race),
+        "sweep" => return portfolio(&args, Mode::Sweep),
+        _ => {}
+    }
 
     match cmd {
         "demo" => {
@@ -181,10 +315,11 @@ fn main() -> ExitCode {
                     let trace = generate_trace(&program, &cfg);
                     let en = enumerate_matchings(&program, &trace, &cfg, limit);
                     println!(
-                        "{} behaviours ({} spurious blocked, {} SMT checks):",
+                        "{} behaviours ({} spurious blocked, {} SMT checks){}:",
                         en.matchings.len(),
                         en.spurious,
-                        en.sat_checks
+                        en.sat_checks,
+                        if en.truncated { " [truncated: limit/budget reached]" } else { "" }
                     );
                     for m in &en.matchings {
                         let s: Vec<String> =

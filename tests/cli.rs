@@ -121,3 +121,113 @@ fn bad_usage_exits_2() {
     let out = bin().args(["demo", "nope"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn sweep_runs_a_grid_and_reports_a_table() {
+    let out = bin()
+        .args(["sweep", "--scale", "1", "--families", "fig1,ring", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "fig1 and ring are safe");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("| scenario |"), "{stdout}");
+    assert!(stdout.contains("fig1/unordered/symbolic-precise"), "{stdout}");
+    assert!(stdout.contains("sweep mode on 2 thread(s)"), "{stdout}");
+    assert!(stdout.contains("0 violations"), "{stdout}");
+}
+
+#[test]
+fn portfolio_finds_violations_with_exit_code_1() {
+    let out = bin()
+        .args(["portfolio", "--scale", "1", "--families", "race-assert", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "race-assert violates");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+}
+
+#[test]
+fn sweep_json_report_is_parseable_and_consistent() {
+    let out = bin()
+        .args(["sweep", "--scale", "1", "--families", "fig1-assert", "--json", "-"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let report: driver::PortfolioReport = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(report.outcomes.len(), 9, "1 point x 3 deliveries x 3 engines");
+    assert_eq!(
+        report.safe + report.violations + report.unknown + report.skipped,
+        report.outcomes.len()
+    );
+    assert!(report.found_violation());
+}
+
+#[test]
+fn portfolio_rejects_unknown_family() {
+    let out = bin().args(["portfolio", "--families", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn portfolio_flag_typos_are_usage_errors_not_silent_fallbacks() {
+    // Garbage numeric value must not silently mean "unbounded"/"default".
+    let out = bin().args(["sweep", "--budget-ms", "10s", "--families", "fig1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad --budget-ms");
+    let out = bin().args(["sweep", "--scale", "3x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad --scale");
+    // A delivery typo must not silently narrow the grid to unordered.
+    let out = bin().args(["sweep", "--families", "fig1", "--delivery", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad --delivery");
+    // --json without a path must not silently print the table.
+    let out = bin().args(["sweep", "--families", "fig1", "--json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing --json path");
+}
+
+#[test]
+fn duplicate_families_are_deduplicated() {
+    let once = bin()
+        .args(["sweep", "--scale", "1", "--families", "fig1", "--json", "-"])
+        .output()
+        .unwrap();
+    let twice = bin()
+        .args(["sweep", "--scale", "1", "--families", "fig1,fig1", "--json", "-"])
+        .output()
+        .unwrap();
+    let parse = |o: &std::process::Output| -> driver::PortfolioReport {
+        serde_json::from_str(&String::from_utf8_lossy(&o.stdout)).unwrap()
+    };
+    assert_eq!(parse(&once).outcomes.len(), parse(&twice).outcomes.len());
+}
+
+#[test]
+fn flag_like_tokens_are_not_consumed_as_values() {
+    // `--json --budget-ms 100` must be a usage error, not "write a file
+    // named --budget-ms AND apply a 100ms budget".
+    let out = bin()
+        .args(["sweep", "--families", "fig1", "--json", "--budget-ms", "100"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!std::path::Path::new("--budget-ms").exists());
+}
+
+#[test]
+fn behaviours_limit_at_exact_count_is_not_truncated() {
+    let path = write_temp("fig1-lim.json", &demo_json("fig1"));
+    // fig1 admits exactly 2 pairings: --limit 2 completes, --limit 1 truncates.
+    let out = bin()
+        .args(["behaviours", path.to_str().unwrap(), "--limit", "2"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("2 behaviours"), "{stdout}");
+    assert!(!stdout.contains("truncated"), "{stdout}");
+    let out = bin()
+        .args(["behaviours", path.to_str().unwrap(), "--limit", "1"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("truncated"), "{stdout}");
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for `crossbeam`, implementing the `thread::scope` API
+//! this workspace uses on top of `std::thread::scope` (stable since Rust
+//! 1.63, which postdates crossbeam's scoped-thread design).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper matching crossbeam's `Scope`: `spawn` passes the scope back
+    /// into the closure so nested spawns are possible.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Matches crossbeam's `Result`-returning signature
+    /// (`Err` only if the closure's own panics escape, which std's scope
+    /// turns into a propagated panic instead — so this always returns `Ok`
+    /// or unwinds).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `rand`, covering the subset this workspace uses:
+//! `SmallRng::seed_from_u64`, `Rng::gen_range` over integer ranges, and
+//! `Rng::gen_bool`. The generator is xoshiro256** seeded via splitmix64 —
+//! deterministic for a given seed, which is all the callers rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction from a seed (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types samplable by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in(rng: &mut dyn RngCore, lo: Self, hi_exclusive: Self) -> Self;
+}
+
+/// Raw 64-bit generation, object-safe so `SampleUniform` can dispatch.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(rng: &mut dyn RngCore, lo: Self, hi_exclusive: Self) -> Self {
+                debug_assert!(lo < hi_exclusive, "gen_range on empty range");
+                let span = (hi_exclusive as $wide).wrapping_sub(lo as $wide) as u64;
+                let off = rng.next_u64() % span;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+             i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+/// The user-facing sampling trait.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a `lo..hi` or `lo..=hi` integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi_exclusive) = range.into_bounds();
+        T::sample_in(self, lo, hi_exclusive)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait IntoSampleRange<T> {
+    /// Return `(lo, hi_exclusive)`.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> IntoSampleRange<T> for Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+macro_rules! impl_inclusive {
+    ($($t:ty),*) => {$(
+        impl IntoSampleRange<$t> for RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), self.end().wrapping_add(1))
+            }
+        }
+    )*};
+}
+
+impl_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::Rng for SmallRng {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: usize = a.gen_range(0..7);
+            assert!(x < 7);
+            assert_eq!(x, b.gen_range(0..7));
+        }
+        let mut c = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: i64 = c.gen_range(-3i64..4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal serde data model (see `vendor/serde`) and
+//! this proc-macro derives its `Serialize`/`Deserialize` traits. The derive
+//! hand-parses the type definition from the raw token stream (no `syn`):
+//! it supports exactly the shapes this workspace uses — non-generic named
+//! structs, tuple structs, and enums with unit/tuple/struct variants — plus
+//! the `#[serde(default)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Does an attribute group (the `[...]` part) spell `serde(default)`?
+fn is_serde_default(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else { return false };
+    let mut it = g.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(args))) if i.to_string() == "serde" => {
+            args.stream().into_iter().any(|t| t.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
+    while *pos + 1 < toks.len() {
+        match &toks[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if is_serde_default(&toks[*pos + 1]) {
+                    default = true;
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = toks.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Count the top-level comma-separated items of a type list, tracking
+/// `<...>` nesting (parenthesised/bracketed groups arrive pre-balanced as
+/// single `Group` trees and hide their own commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (i, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if i + 1 == toks.len() {
+                        trailing_comma = true;
+                    } else {
+                        fields += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    fields
+}
+
+/// Parse `name: Type` named fields from a brace-group stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < toks.len() {
+        let default = skip_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let name = name.to_string();
+        pos += 1;
+        // Expect ':'; then consume the type up to the next top-level ','.
+        pos += 1;
+        let mut angle = 0i32;
+        while pos < toks.len() {
+            match &toks[pos] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < toks.len() {
+        skip_attrs(&toks, &mut pos);
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to (and past) the separating comma.
+        while pos < toks.len() {
+            if let TokenTree::Punct(p) = &toks[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs(&toks, &mut pos);
+    skip_vis(&toks, &mut pos);
+    let kw = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    // Generic parameters are not supported (and not used in this workspace);
+    // skip a balanced <...> defensively so the error surfaces in codegen.
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            let mut angle = 0i32;
+            while pos < toks.len() {
+                if let TokenTree::Punct(p) = &toks[pos] {
+                    match p.as_char() {
+                        '<' => angle += 1,
+                        '>' => {
+                            angle -= 1;
+                            if angle == 0 {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                pos += 1;
+            }
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__o.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__o)\n}}\n}}\n"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Array(vec![{}]) }}\n}}\n",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn named_field_reads(type_name: &str, fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.default {
+            out.push_str(&format!(
+                "{fname}: match ::serde::obj_get({obj}, \"{fname}\") {{\n\
+                 Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                 None => ::core::default::Default::default(),\n}},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{fname}: match ::serde::obj_get({obj}, \"{fname}\") {{\n\
+                 Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                 None => return Err(::serde::DeError::missing_field(\"{type_name}\", \"{fname}\")),\n}},\n"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let reads = named_field_reads(name, fields, "__o");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let __o = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{reads}}})\n}}\n}}\n"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(__v)?))\n}}\n}}\n"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let __a = ::serde::as_array_n(__v, {arity}).ok_or_else(|| ::serde::DeError::expected(\"array[{arity}]\", \"{name}\"))?;\n\
+                 Ok({name}({}))\n}}\n}}\n",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = ::serde::as_array_n(__inner, {n}).ok_or_else(|| ::serde::DeError::expected(\"array[{n}]\", \"{name}::{vn}\"))?;\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let reads = named_field_reads(&format!("{name}::{vn}"), fields, "__o");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{\n{reads}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n}},\n\
+                 __val => {{\n\
+                 let (__tag, __inner) = ::serde::as_variant(__val).ok_or_else(|| ::serde::DeError::expected(\"variant object\", \"{name}\"))?;\n\
+                 match __tag {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n}}\n}}\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape).parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape).parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
