@@ -21,7 +21,11 @@ fn encode_race(c: &mut Criterion) {
                     &program,
                     &trace,
                     &pairs,
-                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+                    EncodeOptions {
+                        delivery: DeliveryModel::Unordered,
+                        negate_props: false,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -72,7 +76,11 @@ fn encode_ring(c: &mut Criterion) {
                         &program,
                         &trace,
                         &pairs,
-                        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                        EncodeOptions {
+                            delivery: DeliveryModel::Unordered,
+                            negate_props: true,
+                            ..Default::default()
+                        },
                     )
                 })
             },
@@ -93,7 +101,11 @@ fn encode_scatter(c: &mut Criterion) {
                     &program,
                     &trace,
                     &pairs,
-                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                    EncodeOptions {
+                        delivery: DeliveryModel::Unordered,
+                        negate_props: true,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -101,5 +113,11 @@ fn encode_scatter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, encode_race, encode_pipeline, encode_ring, encode_scatter);
+criterion_group!(
+    benches,
+    encode_race,
+    encode_pipeline,
+    encode_ring,
+    encode_scatter
+);
 criterion_main!(benches);

@@ -17,7 +17,10 @@ fn symbolic_check(c: &mut Criterion) {
             b.iter(|| {
                 let r = check_program(
                     &program,
-                    &CheckConfig { matchgen: MatchGen::OverApprox, ..CheckConfig::default() },
+                    &CheckConfig {
+                        matchgen: MatchGen::OverApprox,
+                        ..CheckConfig::default()
+                    },
                 );
                 assert!(matches!(r.verdict, Verdict::Violation(_)));
             })

@@ -13,20 +13,17 @@ fn pigeonhole(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = SatSolver::new_pure();
                 let holes = n - 1;
-                let mut x = vec![vec![]; n];
-                for p in 0..n {
-                    for _ in 0..holes {
-                        x[p].push(s.new_var());
-                    }
-                }
-                for p in 0..n {
-                    let clause: Vec<_> = x[p].iter().map(|v| v.pos()).collect();
+                let x: Vec<Vec<_>> = (0..n)
+                    .map(|_| (0..holes).map(|_| s.new_var()).collect())
+                    .collect();
+                for row in &x {
+                    let clause: Vec<_> = row.iter().map(|v| v.pos()).collect();
                     s.add_clause(&clause);
                 }
-                for h in 0..holes {
-                    for p1 in 0..n {
-                        for p2 in (p1 + 1)..n {
-                            s.add_clause(&[x[p1][h].neg(), x[p2][h].neg()]);
+                for (i, row_a) in x.iter().enumerate() {
+                    for row_b in &x[i + 1..] {
+                        for (a, b) in row_a.iter().zip(row_b) {
+                            s.add_clause(&[a.neg(), b.neg()]);
                         }
                     }
                 }
@@ -98,15 +95,13 @@ fn scheduling_lattice(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut s = SmtSolver::new();
-                let send_clk: Vec<_> =
-                    (0..k).map(|i| s.int_var(format!("s{i}"))).collect();
-                let recv_clk: Vec<_> =
-                    (0..k).map(|i| s.int_var(format!("r{i}"))).collect();
+                let send_clk: Vec<_> = (0..k).map(|i| s.int_var(format!("s{i}"))).collect();
+                let recv_clk: Vec<_> = (0..k).map(|i| s.int_var(format!("r{i}"))).collect();
                 let ids: Vec<_> = (0..k).map(|i| s.int_var(format!("id{i}"))).collect();
                 for r in 0..k {
                     let mut opts = Vec::new();
-                    for snd in 0..k {
-                        let before = s.lt(send_clk[snd], recv_clk[r]);
+                    for (snd, &sc) in send_clk.iter().enumerate() {
+                        let before = s.lt(sc, recv_clk[r]);
                         let bind = s.eq_const(ids[r], snd as i64);
                         opts.push(s.and2(before, bind));
                     }
@@ -142,7 +137,11 @@ fn idl_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let mut t = Idl::new();
                 for i in 0..n as u32 {
-                    let atom = DiffAtom { x: i + 2, y: i + 1, c: -1 };
+                    let atom = DiffAtom {
+                        x: i + 2,
+                        y: i + 1,
+                        c: -1,
+                    };
                     t.register_atom(Var(i), atom);
                     t.assert_true(Var(i).pos()).unwrap();
                 }
@@ -152,7 +151,11 @@ fn idl_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let mut t = NaiveIdl::new();
                 for i in 0..n as u32 {
-                    let atom = DiffAtom { x: i + 2, y: i + 1, c: -1 };
+                    let atom = DiffAtom {
+                        x: i + 2,
+                        y: i + 1,
+                        c: -1,
+                    };
                     t.register_atom(Var(i), atom);
                     t.assert_true(Var(i).pos()).unwrap();
                 }

@@ -22,7 +22,11 @@ fn solve_sat_race(c: &mut Criterion) {
                     &program,
                     &trace,
                     &pairs,
-                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                    EncodeOptions {
+                        delivery: DeliveryModel::Unordered,
+                        negate_props: true,
+                        ..Default::default()
+                    },
                 );
                 assert_eq!(enc.solver.check(), SatResult::Sat);
             })
@@ -75,7 +79,11 @@ fn solve_unsat_ring(c: &mut Criterion) {
                         &program,
                         &trace,
                         &pairs,
-                        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+                        EncodeOptions {
+                            delivery: DeliveryModel::Unordered,
+                            negate_props: true,
+                            ..Default::default()
+                        },
                     );
                     assert_eq!(enc.solver.check(), SatResult::Unsat);
                 })
@@ -99,7 +107,11 @@ fn allsat_enumeration(c: &mut Criterion) {
                     &program,
                     &trace,
                     &pairs,
-                    EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+                    EncodeOptions {
+                        delivery: DeliveryModel::Unordered,
+                        negate_props: false,
+                        ..Default::default()
+                    },
                 );
                 let ids = enc.id_terms();
                 let models = enc.solver.enumerate_models(&ids, 100_000);

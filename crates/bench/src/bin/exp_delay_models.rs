@@ -43,8 +43,7 @@ fn main() {
 
     for (name, program) in &workloads {
         for model in DeliveryModel::ALL {
-            let truth =
-                GraphExplorer::new(program, ExploreConfig::with_model(model)).explore();
+            let truth = GraphExplorer::new(program, ExploreConfig::with_model(model)).explore();
             let cfg = CheckConfig {
                 delivery: model,
                 matchgen: MatchGen::OverApprox,
@@ -57,12 +56,19 @@ fn main() {
                     name.clone(),
                     model.to_string(),
                     truth.matchings.len().to_string(),
-                    if truth.found_violation() { "VIOLATION".into() } else { "safe".into() },
+                    if truth.found_violation() {
+                        "VIOLATION".into()
+                    } else {
+                        "safe".into()
+                    },
                     verdict(&report.verdict).into(),
                 ])
             );
         }
-        println!("{}", bench::row(&["".into(), "".into(), "".into(), "".into(), "".into()]));
+        println!(
+            "{}",
+            bench::row(&["".into(), "".into(), "".into(), "".into(), "".into()])
+        );
     }
 
     println!("\nReading: the delay-gap family is the paper's Fig. 4b phenomenon —");

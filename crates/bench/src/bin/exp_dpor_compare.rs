@@ -33,10 +33,16 @@ fn main() {
         let t = Instant::now();
         let sym = check_program(
             &program,
-            &CheckConfig { matchgen: MatchGen::OverApprox, ..CheckConfig::default() },
+            &CheckConfig {
+                matchgen: MatchGen::OverApprox,
+                ..CheckConfig::default()
+            },
         );
         let sym_time = t.elapsed();
-        assert!(matches!(sym.verdict, symbolic::checker::Verdict::Violation(_)));
+        assert!(matches!(
+            sym.verdict,
+            symbolic::checker::Verdict::Violation(_)
+        ));
 
         let cfg = ExploreConfig::with_model(DeliveryModel::Unordered);
         let t = Instant::now();
@@ -46,7 +52,10 @@ fn main() {
         let t = Instant::now();
         let naive = SleepSetExplorer::new(
             &program,
-            SleepConfig { use_sleep_sets: false, ..SleepConfig::default() },
+            SleepConfig {
+                use_sleep_sets: false,
+                ..SleepConfig::default()
+            },
         )
         .explore();
         let naive_time = t.elapsed();

@@ -16,8 +16,13 @@ fn main() {
     let trace = generate_trace(&program, &cfg);
 
     println!("# F1: paper Figure 1");
-    println!("program `{}`: {} threads, {} sends, {} recvs", program.name,
-        program.threads.len(), program.num_static_sends(), program.num_static_recvs());
+    println!(
+        "program `{}`: {} threads, {} sends, {} recvs",
+        program.name,
+        program.threads.len(),
+        program.num_static_sends(),
+        program.num_static_recvs()
+    );
     println!("\ntrace ({} events):", trace.events.len());
     print!("{}", trace.render());
 
@@ -31,25 +36,68 @@ fn main() {
         &program,
         &trace,
         &pairs,
-        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        EncodeOptions {
+            delivery: DeliveryModel::Unordered,
+            negate_props: false,
+            ..Default::default()
+        },
     );
     println!("\n# F2/F3: generated SMT problem");
     println!("{}", bench::header(&["conjunct", "size"]));
-    println!("{}", bench::row(&["PMatchPairs disjuncts (Fig. 2)".into(), enc.stats.match_disjuncts.to_string()]));
-    println!("{}", bench::row(&["PUnique pairs (Fig. 3)".into(), enc.stats.unique_pairs.to_string()]));
-    println!("{}", bench::row(&["POrder constraints".into(), enc.stats.order_constraints.to_string()]));
-    println!("{}", bench::row(&["SAT variables".into(), enc.stats.sat_vars.to_string()]));
-    println!("{}", bench::row(&["SAT clauses".into(), enc.stats.sat_clauses.to_string()]));
-    println!("{}", bench::row(&["difference atoms".into(), enc.stats.theory_atoms.to_string()]));
+    println!(
+        "{}",
+        bench::row(&[
+            "PMatchPairs disjuncts (Fig. 2)".into(),
+            enc.stats.match_disjuncts.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        bench::row(&[
+            "PUnique pairs (Fig. 3)".into(),
+            enc.stats.unique_pairs.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        bench::row(&[
+            "POrder constraints".into(),
+            enc.stats.order_constraints.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        bench::row(&["SAT variables".into(), enc.stats.sat_vars.to_string()])
+    );
+    println!(
+        "{}",
+        bench::row(&["SAT clauses".into(), enc.stats.sat_clauses.to_string()])
+    );
+    println!(
+        "{}",
+        bench::row(&[
+            "difference atoms".into(),
+            enc.stats.theory_atoms.to_string()
+        ])
+    );
 
     if show_smt {
         println!("\n# match / uniqueness terms (s-expressions)");
         let pool = enc.solver.pool();
         for r in &enc.recvs {
-            println!("; receive {:?}: id variable {}", r.key, pool.display(r.id_term));
+            println!(
+                "; receive {:?}: id variable {}",
+                r.key,
+                pool.display(r.id_term)
+            );
         }
         for s in &enc.sends {
-            println!("; send {:?}: id constant {}, clock {}", s.msg, s.id, pool.display(s.clock));
+            println!(
+                "; send {:?}: id constant {}, clock {}",
+                s.msg,
+                s.id,
+                pool.display(s.clock)
+            );
         }
     }
 }

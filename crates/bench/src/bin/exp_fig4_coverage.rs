@@ -12,7 +12,15 @@ use workloads::fig1;
 fn main() {
     let program = fig1();
     println!("# F4: pairings of the paper's Fig. 1 found per technique\n");
-    println!("{}", bench::header(&["technique", "network model", "pairings found", "states/checks"]));
+    println!(
+        "{}",
+        bench::header(&[
+            "technique",
+            "network model",
+            "pairings found",
+            "states/checks"
+        ])
+    );
 
     // Ground truth (exhaustive, arbitrary delays).
     let truth = ground_truth_check(&program);
@@ -51,7 +59,10 @@ fn main() {
     );
 
     // This paper: symbolic, arbitrary delays.
-    let cfg = CheckConfig { matchgen: MatchGen::Precise, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        matchgen: MatchGen::Precise,
+        ..CheckConfig::default()
+    };
     let trace = generate_trace(&program, &cfg);
     let sym = enumerate_matchings(&program, &trace, &cfg, 100);
     println!(

@@ -1,35 +1,257 @@
-//! E7: portfolio throughput — the same scenario grid on 1 worker vs N
-//! workers, sweep and race modes. On a single-core host the N-thread rows
-//! measure scheduling overhead only; on multi-core hardware they show the
-//! fan-out speedup the driver exists for.
+//! E7: portfolio throughput, plus the CI performance gate.
 //!
-//! Run: `cargo run --release -p bench --bin exp_portfolio [scale] [threads]`
+//! Modes:
+//!
+//! * `exp_portfolio [scale] [threads]` — the wall-clock table: the same
+//!   scenario grid on 1..N workers, sweep and race modes. On a single-core
+//!   host the N-thread rows measure scheduling overhead only.
+//! * `exp_portfolio --json PATH [--check BASELINE]` — the CI perf gate:
+//!   run the pinned grid (every family at scale 1 × all delivery models ×
+//!   all engines, 1 thread, sweep) twice — with shared solver sessions and
+//!   with from-scratch re-encoding — and write the counters as JSON.
+//!   With `--check`, compare the *deterministic* counters (SAT checks and
+//!   conflicts; wall clock is recorded but never gated) against a
+//!   committed baseline and exit non-zero if any regresses by more than
+//!   20%, or if session reuse stops saving at least 20% of
+//!   conflicts + propagations.
+//!
+//! Run: `cargo run --release -p bench --bin exp_portfolio [args]`
 
 use driver::prelude::*;
 use mcapi::types::DeliveryModel;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
 use std::time::Instant;
 
+/// Regression tolerance for the deterministic counters (fraction).
+const TOLERANCE: f64 = 0.20;
+/// Minimum conflicts+propagations saving session reuse must deliver (%).
+const MIN_REDUCTION_PCT: i64 = 20;
+
 fn run_once(scenarios: &[Scenario], threads: usize, mode: Mode) -> (u64, PortfolioReport) {
-    let cfg = PortfolioConfig { threads, mode, ..PortfolioConfig::default() };
+    let cfg = PortfolioConfig {
+        threads,
+        mode,
+        ..PortfolioConfig::default()
+    };
     let start = Instant::now();
     let report = run_portfolio(scenarios, &cfg);
     (start.elapsed().as_millis() as u64, report)
 }
 
-fn main() {
+/// Deterministic per-scenario counters kept in `BENCH_portfolio.json`.
+#[derive(Serialize, Deserialize)]
+struct ScenarioCounters {
+    scenario: String,
+    wall_ms: u64,
+    sat_checks: usize,
+    conflicts: u64,
+    propagations: u64,
+    reused_encoding: bool,
+}
+
+/// Aggregate counters of one pinned-grid run.
+#[derive(Serialize, Deserialize)]
+struct RunCounters {
+    wall_ms: u64,
+    encodings_built: usize,
+    sat_checks: usize,
+    conflicts: u64,
+    propagations: u64,
+    per_scenario: Vec<ScenarioCounters>,
+}
+
+impl RunCounters {
+    fn from_report(wall_ms: u64, report: &PortfolioReport) -> RunCounters {
+        RunCounters {
+            wall_ms,
+            encodings_built: report.encodings_built,
+            sat_checks: report.total_sat_checks,
+            conflicts: report.total_conflicts,
+            propagations: report.total_propagations,
+            per_scenario: report
+                .outcomes
+                .iter()
+                .map(|o| ScenarioCounters {
+                    scenario: o.scenario.clone(),
+                    wall_ms: o.wall_ms,
+                    sat_checks: o.sat_checks,
+                    conflicts: o.conflicts,
+                    propagations: o.propagations,
+                    reused_encoding: o.reused_encoding,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The perf-gate artifact: both runs plus the headline saving.
+#[derive(Serialize, Deserialize)]
+struct PerfGateReport {
+    grid: String,
+    scenarios: usize,
+    /// Batched grid points sharing incremental solver sessions.
+    reuse: RunCounters,
+    /// Every scenario re-encoded from scratch (the PR-1 shape).
+    no_reuse: RunCounters,
+    /// Whole-percent saving of conflicts+propagations from session reuse.
+    reduction_pct_conflicts_plus_propagations: i64,
+}
+
+fn pinned_grid_report() -> PerfGateReport {
+    let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
+    let run = |session_reuse: bool| {
+        let cfg = PortfolioConfig {
+            threads: 1,
+            mode: Mode::Sweep,
+            session_reuse,
+            ..PortfolioConfig::default()
+        };
+        let start = Instant::now();
+        let report = run_portfolio(&scenarios, &cfg);
+        RunCounters::from_report(start.elapsed().as_millis() as u64, &report)
+    };
+    let reuse = run(true);
+    let no_reuse = run(false);
+    let work = |r: &RunCounters| r.conflicts + r.propagations;
+    let reduction = if work(&no_reuse) == 0 {
+        0
+    } else {
+        (100.0 * (1.0 - work(&reuse) as f64 / work(&no_reuse) as f64)).round() as i64
+    };
+    PerfGateReport {
+        grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep".into(),
+        scenarios: scenarios.len(),
+        reuse,
+        no_reuse,
+        reduction_pct_conflicts_plus_propagations: reduction,
+    }
+}
+
+/// One counter comparison against the baseline; returns whether it passes.
+fn within_tolerance(name: &str, current: u64, baseline: u64) -> bool {
+    let limit = (baseline as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+    if current > limit {
+        eprintln!(
+            "PERF REGRESSION: {name}: {current} > {limit} (baseline {baseline} +{:.0}%)",
+            TOLERANCE * 100.0
+        );
+        false
+    } else {
+        println!("ok: {name}: {current} (baseline {baseline}, limit {limit})");
+        true
+    }
+}
+
+fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
+    let report = pinned_grid_report();
+    let json = serde_json::to_string_pretty(&report).expect("perf report serialises");
+    if let Err(e) = std::fs::write(json_path, &json) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "pinned grid: {} scenarios | reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | no-reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | reduction {}%",
+        report.scenarios,
+        report.reuse.encodings_built,
+        report.reuse.sat_checks,
+        report.reuse.conflicts,
+        report.reuse.propagations,
+        report.no_reuse.encodings_built,
+        report.no_reuse.sat_checks,
+        report.no_reuse.conflicts,
+        report.no_reuse.propagations,
+        report.reduction_pct_conflicts_plus_propagations,
+    );
+
+    let Some(baseline_path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline: PerfGateReport = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot load baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut ok = true;
+    ok &= within_tolerance(
+        "reuse.sat_checks",
+        report.reuse.sat_checks as u64,
+        baseline.reuse.sat_checks as u64,
+    );
+    ok &= within_tolerance(
+        "reuse.conflicts",
+        report.reuse.conflicts,
+        baseline.reuse.conflicts,
+    );
+    ok &= within_tolerance(
+        "no_reuse.sat_checks",
+        report.no_reuse.sat_checks as u64,
+        baseline.no_reuse.sat_checks as u64,
+    );
+    ok &= within_tolerance(
+        "no_reuse.conflicts",
+        report.no_reuse.conflicts,
+        baseline.no_reuse.conflicts,
+    );
+    if report.reduction_pct_conflicts_plus_propagations < MIN_REDUCTION_PCT {
+        eprintln!(
+            "PERF REGRESSION: session reuse saves only {}% of conflicts+propagations (< {MIN_REDUCTION_PCT}%)",
+            report.reduction_pct_conflicts_plus_propagations,
+        );
+        ok = false;
+    } else {
+        println!(
+            "ok: session reuse saves {}% of conflicts+propagations (>= {MIN_REDUCTION_PCT}%)",
+            report.reduction_pct_conflicts_plus_propagations,
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(json_path) = flag_value(&args, "--json") {
+        return perf_gate(json_path, flag_value(&args, "--check"));
+    }
+    if args.iter().any(|a| a == "--check") {
+        eprintln!("--check requires --json PATH");
+        return ExitCode::from(2);
+    }
+
     let scale: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let max_threads: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let max_threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
 
     let scenarios = cross(&default_grid(scale), &DeliveryModel::ALL, &Engine::ALL);
     println!(
         "# E7: portfolio wall clock, {} scenarios (scale {scale})\n",
         scenarios.len()
     );
-    println!("{}", bench::header(&["mode", "threads", "wall ms", "verdict counts"]));
+    println!(
+        "{}",
+        bench::header(&["mode", "threads", "wall ms", "verdict counts"])
+    );
 
     let mut threads = 1usize;
     while threads <= max_threads {
@@ -50,4 +272,5 @@ fn main() {
         }
         threads *= 2;
     }
+    ExitCode::SUCCESS
 }

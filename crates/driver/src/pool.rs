@@ -63,7 +63,9 @@ pub struct WorkStealingPool {
 impl WorkStealingPool {
     /// `workers` is clamped to at least 1.
     pub fn new(workers: usize) -> WorkStealingPool {
-        WorkStealingPool { workers: workers.max(1) }
+        WorkStealingPool {
+            workers: workers.max(1),
+        }
     }
 
     /// The effective worker count (after clamping).
@@ -82,8 +84,9 @@ impl WorkStealingPool {
         F: Fn(usize, J, &CancelToken) -> O + Sync,
     {
         let n = jobs.len();
-        let deques: Vec<Mutex<VecDeque<(usize, J)>>> =
-            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let deques: Vec<Mutex<VecDeque<(usize, J)>>> = (0..self.workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         for (i, job) in jobs.into_iter().enumerate() {
             deques[i % self.workers].lock().unwrap().push_back((i, job));
         }
@@ -129,10 +132,14 @@ mod tests {
     fn all_jobs_run_exactly_once_in_order() {
         let pool = WorkStealingPool::new(3);
         let ran = AtomicUsize::new(0);
-        let out = pool.run((0..50).collect(), &CancelToken::new(), |idx, job: usize, _| {
-            ran.fetch_add(1, Ordering::SeqCst);
-            (idx, job * job)
-        });
+        let out = pool.run(
+            (0..50).collect(),
+            &CancelToken::new(),
+            |idx, job: usize, _| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                (idx, job * job)
+            },
+        );
         assert_eq!(ran.load(Ordering::SeqCst), 50);
         for (i, (idx, sq)) in out.iter().enumerate() {
             assert_eq!(*idx, i);
@@ -152,12 +159,16 @@ mod tests {
     fn cancellation_is_visible_to_later_jobs() {
         // Single worker => deterministic order: job 0 cancels, the rest see it.
         let pool = WorkStealingPool::new(1);
-        let out = pool.run((0..10).collect(), &CancelToken::new(), |idx, _: usize, cancel| {
-            if idx == 0 {
-                cancel.cancel();
-            }
-            cancel.is_cancelled()
-        });
+        let out = pool.run(
+            (0..10).collect(),
+            &CancelToken::new(),
+            |idx, _: usize, cancel| {
+                if idx == 0 {
+                    cancel.cancel();
+                }
+                cancel.is_cancelled()
+            },
+        );
         assert!(out.iter().all(|&seen| seen));
     }
 

@@ -61,6 +61,15 @@ pub struct ScenarioOutcome {
     pub states: usize,
     /// Transitions applied (explicit engine only).
     pub transitions: usize,
+    /// Did this scenario reuse a shared-session encoding built by an
+    /// earlier scenario at the same grid point (symbolic only)?
+    pub reused_encoding: bool,
+    /// SMT checks this scenario issued (symbolic only).
+    pub sat_checks: usize,
+    /// Solver conflicts this scenario cost (delta, symbolic only).
+    pub conflicts: u64,
+    /// Solver propagations this scenario cost (delta, symbolic only).
+    pub propagations: u64,
 }
 
 impl ScenarioOutcome {
@@ -81,6 +90,10 @@ impl ScenarioOutcome {
             matchgen_states: 0,
             states: 0,
             transitions: 0,
+            reused_encoding: false,
+            sat_checks: 0,
+            conflicts: 0,
+            propagations: 0,
         }
     }
 }
@@ -120,6 +133,16 @@ pub struct PortfolioReport {
     pub unknown: usize,
     /// Scenarios cancelled by race mode before running.
     pub skipped: usize,
+    /// SMT encodings actually built. With session reuse this is strictly
+    /// less than the number of symbolic scenarios that solved something;
+    /// without it, equal.
+    pub encodings_built: usize,
+    /// Solver conflicts summed over all scenarios.
+    pub total_conflicts: u64,
+    /// Solver propagations summed over all scenarios.
+    pub total_propagations: u64,
+    /// SMT checks summed over all scenarios.
+    pub total_sat_checks: usize,
     /// Per-scenario records, in submission order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -133,6 +156,12 @@ impl PortfolioReport {
         outcomes: Vec<ScenarioOutcome>,
     ) -> PortfolioReport {
         let count = |k: VerdictKind| outcomes.iter().filter(|o| o.verdict == k).count();
+        // An encoding was built exactly by the symbolic scenarios that ran
+        // a solver (sat_vars > 0) without finding a session to share.
+        let encodings_built = outcomes
+            .iter()
+            .filter(|o| o.sat_vars > 0 && !o.reused_encoding)
+            .count();
         PortfolioReport {
             mode: mode.to_string(),
             threads,
@@ -141,6 +170,10 @@ impl PortfolioReport {
             violations: count(VerdictKind::Violation),
             unknown: count(VerdictKind::Unknown),
             skipped: count(VerdictKind::Skipped),
+            encodings_built,
+            total_conflicts: outcomes.iter().map(|o| o.conflicts).sum(),
+            total_propagations: outcomes.iter().map(|o| o.propagations).sum(),
+            total_sat_checks: outcomes.iter().map(|o| o.sat_checks).sum(),
             outcomes,
         }
     }
@@ -161,14 +194,18 @@ impl PortfolioReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "| scenario | verdict | wall ms | refine | vars | clauses | pairs | states | detail |"
+            "| scenario | verdict | wall ms | refine | vars | clauses | pairs | states | reuse | conf | detail |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
         for o in &self.outcomes {
-            let states = if o.engine == "explicit" { o.states } else { o.matchgen_states };
+            let states = if o.engine == "explicit" {
+                o.states
+            } else {
+                o.matchgen_states
+            };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
                 o.scenario,
                 o.verdict,
                 o.wall_ms,
@@ -177,12 +214,14 @@ impl PortfolioReport {
                 o.sat_clauses,
                 o.match_pairs,
                 states,
+                if o.reused_encoding { "y" } else { "-" },
+                o.conflicts,
                 o.detail.replace('|', "/"),
             );
         }
         let _ = writeln!(
             out,
-            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped",
+            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations",
             self.mode,
             self.threads,
             self.outcomes.len(),
@@ -191,6 +230,10 @@ impl PortfolioReport {
             self.violations,
             self.unknown,
             self.skipped,
+            self.encodings_built,
+            self.total_sat_checks,
+            self.total_conflicts,
+            self.total_propagations,
         );
         out
     }
@@ -221,22 +264,18 @@ mod tests {
             outcome("e", VerdictKind::Skipped),
         ];
         let r = PortfolioReport::from_outcomes("race", 2, 5, outcomes);
+        assert_eq!((r.safe, r.violations, r.unknown, r.skipped), (1, 2, 1, 1));
         assert_eq!(
-            (r.safe, r.violations, r.unknown, r.skipped),
-            (1, 2, 1, 1)
+            r.safe + r.violations + r.unknown + r.skipped,
+            r.outcomes.len()
         );
-        assert_eq!(r.safe + r.violations + r.unknown + r.skipped, r.outcomes.len());
         assert!(r.found_violation());
     }
 
     #[test]
     fn json_roundtrip_preserves_outcomes() {
-        let r = PortfolioReport::from_outcomes(
-            "sweep",
-            8,
-            1234,
-            vec![outcome("x", VerdictKind::Safe)],
-        );
+        let r =
+            PortfolioReport::from_outcomes("sweep", 8, 1234, vec![outcome("x", VerdictKind::Safe)]);
         let back: PortfolioReport = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(back.outcomes.len(), 1);
         assert_eq!(back.outcomes[0].scenario, "x");
@@ -250,7 +289,10 @@ mod tests {
             "sweep",
             1,
             1,
-            vec![outcome("alpha", VerdictKind::Safe), outcome("beta", VerdictKind::Unknown)],
+            vec![
+                outcome("alpha", VerdictKind::Safe),
+                outcome("beta", VerdictKind::Unknown),
+            ],
         );
         let t = r.render_table();
         assert!(t.contains("| alpha |"));

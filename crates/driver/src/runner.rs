@@ -3,10 +3,12 @@
 
 use crate::pool::{CancelToken, WorkStealingPool};
 use crate::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
-use crate::scenario::{Engine, Scenario};
+use crate::scenario::{batch_by_grid_point, Engine, GridBatch, Scenario};
 use explicit::{ExploreConfig, GraphExplorer};
-use symbolic::checker::{check_program, CheckConfig, Verdict};
+use mcapi::program::Program;
 use std::time::Instant;
+use symbolic::checker::{check_program, check_program_pooled, CheckConfig, CheckReport, Verdict};
+use symbolic::session::SessionPool;
 
 /// What happens after the first confirmed violation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,6 +46,12 @@ pub struct PortfolioConfig {
     pub max_states: usize,
     /// Validate symbolic witnesses by concrete replay.
     pub validate: bool,
+    /// Batch scenarios by grid point and share one incremental SMT
+    /// encoding per (trace, match pairs) across delivery models and match
+    /// generators (see [`symbolic::session::CheckSession`]). Disable to
+    /// re-encode every scenario from scratch, PR-1 style (the CLI's
+    /// `--no-session-reuse`).
+    pub session_reuse: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -54,6 +62,7 @@ impl Default for PortfolioConfig {
             budget_ms: None,
             max_states: 1_000_000,
             validate: true,
+            session_reuse: true,
         }
     }
 }
@@ -77,67 +86,124 @@ impl PortfolioConfig {
     }
 }
 
-/// Run one scenario to an outcome on the calling thread.
-pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
-    let start = Instant::now();
-    let program = scenario.spec.build();
-    let mut out = ScenarioOutcome::skipped(
+/// A blank outcome shell for a scenario (filled in by the engine runners).
+fn outcome_shell(scenario: &Scenario) -> ScenarioOutcome {
+    ScenarioOutcome::skipped(
         scenario.name(),
         scenario.spec.family().to_string(),
         scenario.delivery.to_string(),
         scenario.engine.tag().to_string(),
-    );
-    match scenario.engine {
-        Engine::Symbolic(_) => {
-            let report = check_program(&program, &cfg.check_config(scenario));
-            out.refinements = report.refinements;
-            out.sat_vars = report.encode_stats.sat_vars;
-            out.sat_clauses = report.encode_stats.sat_clauses;
-            out.match_pairs = report.matchgen_pairs;
-            out.matchgen_states = report.matchgen_states;
-            match report.verdict {
-                Verdict::Safe => {
-                    out.verdict = VerdictKind::Safe;
-                    out.detail = String::new();
-                }
-                Verdict::Violation(cv) => {
-                    out.verdict = VerdictKind::Violation;
-                    out.detail = cv.violated_props.join("; ");
-                }
-                Verdict::Unknown(why) => {
-                    out.verdict = VerdictKind::Unknown;
-                    out.detail = why;
-                }
-            }
+    )
+}
+
+/// Fold a symbolic [`CheckReport`] into an outcome.
+fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> ScenarioOutcome {
+    let mut out = outcome_shell(scenario);
+    out.refinements = report.refinements;
+    out.sat_vars = report.encode_stats.sat_vars;
+    out.sat_clauses = report.encode_stats.sat_clauses;
+    out.match_pairs = report.matchgen_pairs;
+    out.matchgen_states = report.matchgen_states;
+    out.reused_encoding = reused;
+    out.sat_checks = report.sat_checks;
+    out.conflicts = report.solver_stats.conflicts;
+    out.propagations = report.solver_stats.propagations;
+    match report.verdict {
+        Verdict::Safe => {
+            out.verdict = VerdictKind::Safe;
+            out.detail = String::new();
         }
-        Engine::Explicit => {
-            let explore_cfg = ExploreConfig {
-                model: scenario.delivery,
-                max_states: cfg.max_states,
-                stop_at_first_violation: cfg.mode == Mode::Race,
-                ..ExploreConfig::default()
-            };
-            let result = GraphExplorer::new(&program, explore_cfg).explore();
-            out.states = result.states;
-            out.transitions = result.transitions;
-            if result.found_violation() {
-                out.verdict = VerdictKind::Violation;
-                out.detail = result
-                    .violations
-                    .iter()
-                    .map(|v| v.message.clone())
-                    .collect::<Vec<_>>()
-                    .join("; ");
-            } else if result.truncated {
-                out.verdict = VerdictKind::Unknown;
-                out.detail = format!("state budget exhausted at {}", result.states);
-            } else {
-                out.verdict = VerdictKind::Safe;
-                out.detail = String::new();
-            }
+        Verdict::Violation(cv) => {
+            out.verdict = VerdictKind::Violation;
+            out.detail = cv.violated_props.join("; ");
+        }
+        Verdict::Unknown(why) => {
+            out.verdict = VerdictKind::Unknown;
+            out.detail = why;
         }
     }
+    out
+}
+
+/// Run the explicit-state ground-truth engine on an already-built program.
+fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
+    let mut out = outcome_shell(scenario);
+    let explore_cfg = ExploreConfig {
+        model: scenario.delivery,
+        max_states: cfg.max_states,
+        stop_at_first_violation: cfg.mode == Mode::Race,
+        ..ExploreConfig::default()
+    };
+    let result = GraphExplorer::new(program, explore_cfg).explore();
+    out.states = result.states;
+    out.transitions = result.transitions;
+    if result.found_violation() {
+        out.verdict = VerdictKind::Violation;
+        out.detail = result
+            .violations
+            .iter()
+            .map(|v| v.message.clone())
+            .collect::<Vec<_>>()
+            .join("; ");
+    } else if result.truncated {
+        out.verdict = VerdictKind::Unknown;
+        out.detail = format!("state budget exhausted at {}", result.states);
+    } else {
+        out.verdict = VerdictKind::Safe;
+        out.detail = String::new();
+    }
+    out
+}
+
+/// Run one scenario to an outcome on the calling thread, building its
+/// program and (for symbolic engines) a fresh encoding — the no-reuse
+/// path.
+pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
+    let start = Instant::now();
+    let program = scenario.spec.build();
+    let mut out = match scenario.engine {
+        Engine::Symbolic(_) => {
+            let report = check_program(&program, &cfg.check_config(scenario));
+            symbolic_outcome(scenario, report, false)
+        }
+        Engine::Explicit => run_explicit(&program, scenario, cfg),
+    };
     out.wall_ms = start.elapsed().as_millis() as u64;
+    out
+}
+
+/// Run one grid point's scenarios back to back: the program is built once
+/// and every symbolic scenario goes through a shared [`SessionPool`], so
+/// scenarios whose (trace, match pairs) coincide solve incrementally on
+/// one encoding instead of re-encoding from scratch.
+pub fn run_batch(
+    batch: &GridBatch,
+    cfg: &PortfolioConfig,
+    cancel: &CancelToken,
+) -> Vec<(usize, ScenarioOutcome)> {
+    let program = batch.spec.build();
+    let mut pool = SessionPool::new();
+    let mut out = Vec::with_capacity(batch.items.len());
+    for (idx, scenario) in &batch.items {
+        if cancel.is_cancelled() {
+            out.push((*idx, outcome_shell(scenario)));
+            continue;
+        }
+        let start = Instant::now();
+        let mut o = match scenario.engine {
+            Engine::Symbolic(_) => {
+                let (report, reused) =
+                    check_program_pooled(&mut pool, &program, &cfg.check_config(scenario));
+                symbolic_outcome(scenario, report, reused)
+            }
+            Engine::Explicit => run_explicit(&program, scenario, cfg),
+        };
+        o.wall_ms = start.elapsed().as_millis() as u64;
+        if cfg.mode == Mode::Race && o.verdict == VerdictKind::Violation {
+            cancel.cancel();
+        }
+        out.push((*idx, o));
+    }
     out
 }
 
@@ -166,25 +232,42 @@ pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> Portfolio
     let start = Instant::now();
     let pool = WorkStealingPool::new(cfg.threads);
     let cancel = CancelToken::new();
-    let outcomes = pool.run(
-        scenarios.to_vec(),
-        &cancel,
-        |_idx, scenario: Scenario, cancel| {
-            if cancel.is_cancelled() {
-                return ScenarioOutcome::skipped(
-                    scenario.name(),
-                    scenario.spec.family().to_string(),
-                    scenario.delivery.to_string(),
-                    scenario.engine.tag().to_string(),
-                );
-            }
-            let outcome = run_scenario(&scenario, cfg);
-            if cfg.mode == Mode::Race && outcome.verdict == VerdictKind::Violation {
-                cancel.cancel();
-            }
-            outcome
-        },
-    );
+    let outcomes = if cfg.session_reuse {
+        // Grid-point batches are the pool's work items: each batch builds
+        // its program once and shares encodings through a session pool.
+        let batches = batch_by_grid_point(scenarios);
+        let per_batch = pool.run(batches, &cancel, |_bidx, batch: GridBatch, cancel| {
+            run_batch(&batch, cfg, cancel)
+        });
+        let mut outcomes: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
+        for (idx, o) in per_batch.into_iter().flatten() {
+            outcomes[idx] = Some(o);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every scenario lands in exactly one batch"))
+            .collect()
+    } else {
+        pool.run(
+            scenarios.to_vec(),
+            &cancel,
+            |_idx, scenario: Scenario, cancel| {
+                if cancel.is_cancelled() {
+                    return ScenarioOutcome::skipped(
+                        scenario.name(),
+                        scenario.spec.family().to_string(),
+                        scenario.delivery.to_string(),
+                        scenario.engine.tag().to_string(),
+                    );
+                }
+                let outcome = run_scenario(&scenario, cfg);
+                if cfg.mode == Mode::Race && outcome.verdict == VerdictKind::Violation {
+                    cancel.cancel();
+                }
+                outcome
+            },
+        )
+    };
     PortfolioReport::from_outcomes(
         cfg.mode.tag(),
         pool.workers(),
@@ -207,7 +290,10 @@ mod tests {
             &DeliveryModel::ALL,
             &[Engine::Explicit],
         );
-        let cfg = PortfolioConfig { threads: 3, ..Default::default() };
+        let cfg = PortfolioConfig {
+            threads: 3,
+            ..Default::default()
+        };
         let report = run_portfolio(&scenarios, &cfg);
         assert_eq!(report.outcomes.len(), scenarios.len());
         for (s, o) in scenarios.iter().zip(&report.outcomes) {
@@ -227,11 +313,21 @@ mod tests {
             &[Engine::Explicit],
         );
         scenarios.extend(cross(
-            &[FamilySpec::Ring { nodes: 3, laps: 1 }, FamilySpec::Pipeline { stages: 2, items: 2 }],
+            &[
+                FamilySpec::Ring { nodes: 3, laps: 1 },
+                FamilySpec::Pipeline {
+                    stages: 2,
+                    items: 2,
+                },
+            ],
             &DeliveryModel::ALL,
             &[Engine::Explicit],
         ));
-        let cfg = PortfolioConfig { threads: 1, mode: Mode::Race, ..Default::default() };
+        let cfg = PortfolioConfig {
+            threads: 1,
+            mode: Mode::Race,
+            ..Default::default()
+        };
         let report = run_portfolio(&scenarios, &cfg);
         assert_eq!(report.violations, 1);
         assert_eq!(report.skipped, scenarios.len() - 1);
@@ -244,7 +340,10 @@ mod tests {
             &[DeliveryModel::Unordered],
             &Engine::ALL,
         );
-        let cfg = PortfolioConfig { threads: 2, ..Default::default() };
+        let cfg = PortfolioConfig {
+            threads: 2,
+            ..Default::default()
+        };
         let report = run_portfolio(&scenarios, &cfg);
         for o in &report.outcomes {
             assert_eq!(o.verdict, VerdictKind::Violation, "{}", o.scenario);
@@ -258,7 +357,10 @@ mod tests {
             &[DeliveryModel::Unordered],
             &[Engine::Explicit],
         );
-        let cfg = PortfolioConfig { max_states: 3, ..Default::default() };
+        let cfg = PortfolioConfig {
+            max_states: 3,
+            ..Default::default()
+        };
         let report = run_portfolio(&scenarios, &cfg);
         assert_eq!(report.outcomes[0].verdict, VerdictKind::Unknown);
         assert!(report.outcomes[0].detail.contains("state budget"));

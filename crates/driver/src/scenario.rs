@@ -61,12 +61,21 @@ pub struct Scenario {
 impl Scenario {
     /// Assemble a scenario from its three coordinates.
     pub fn new(spec: FamilySpec, delivery: DeliveryModel, engine: Engine) -> Scenario {
-        Scenario { spec, delivery, engine }
+        Scenario {
+            spec,
+            delivery,
+            engine,
+        }
     }
 
     /// Unique human-readable identifier: `point/delivery/engine`.
     pub fn name(&self) -> String {
-        format!("{}/{}/{}", self.spec.name(), self.delivery, self.engine.tag())
+        format!(
+            "{}/{}/{}",
+            self.spec.name(),
+            self.delivery,
+            self.engine.tag()
+        )
     }
 }
 
@@ -101,9 +110,72 @@ pub fn cross(
     out
 }
 
+/// The scenarios of one workload grid point, with their submission indices
+/// preserved so batched runners can report outcomes in the original order.
+///
+/// Every scenario in a batch shares the compiled program, and the symbolic
+/// ones share traces, match pairs and — through
+/// [`symbolic::session::SessionPool`] — SMT encodings.
+#[derive(Clone, Debug)]
+pub struct GridBatch {
+    /// The grid point all scenarios in this batch verify.
+    pub spec: FamilySpec,
+    /// `(submission index, scenario)` pairs, in submission order.
+    pub items: Vec<(usize, Scenario)>,
+}
+
+/// Group scenarios by grid point (first-mention order), the unit of
+/// session reuse.
+///
+/// ```
+/// use driver::scenario::{batch_by_grid_point, cross, Engine};
+/// use mcapi::types::DeliveryModel;
+/// use workloads::grid::default_grid;
+///
+/// let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
+/// let batches = batch_by_grid_point(&scenarios);
+/// assert_eq!(batches.len(), default_grid(1).len());
+/// assert_eq!(batches.iter().map(|b| b.items.len()).sum::<usize>(), scenarios.len());
+/// ```
+pub fn batch_by_grid_point(scenarios: &[Scenario]) -> Vec<GridBatch> {
+    let mut batches: Vec<GridBatch> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        match batches.iter_mut().find(|b| b.spec == s.spec) {
+            Some(b) => b.items.push((i, *s)),
+            None => batches.push(GridBatch {
+                spec: s.spec,
+                items: vec![(i, *s)],
+            }),
+        }
+    }
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batching_partitions_and_preserves_indices() {
+        let scenarios = cross(
+            &workloads::grid::default_grid(2),
+            &DeliveryModel::ALL,
+            &Engine::ALL,
+        );
+        let batches = batch_by_grid_point(&scenarios);
+        let mut seen: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| b.items.iter().map(|(i, _)| *i))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..scenarios.len()).collect::<Vec<_>>());
+        for b in &batches {
+            for (i, s) in &b.items {
+                assert_eq!(s.spec, b.spec);
+                assert_eq!(scenarios[*i].name(), s.name());
+            }
+        }
+    }
 
     #[test]
     fn names_are_unique_across_the_cross_product() {
@@ -119,8 +191,7 @@ mod tests {
 
     #[test]
     fn engine_tags_are_distinct() {
-        let tags: std::collections::BTreeSet<&str> =
-            Engine::ALL.iter().map(Engine::tag).collect();
+        let tags: std::collections::BTreeSet<&str> = Engine::ALL.iter().map(Engine::tag).collect();
         assert_eq!(tags.len(), Engine::ALL.len());
     }
 }

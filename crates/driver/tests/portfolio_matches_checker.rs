@@ -17,7 +17,9 @@ fn verdict_kind(v: &Verdict) -> VerdictKind {
 #[test]
 fn portfolio_agrees_with_sequential_checker_on_fig1_grid() {
     // fig1 and fig1-assert under every delivery model and both symbolic
-    // engines: 12 scenarios, run on 4 workers.
+    // engines: 12 scenarios, run on 4 workers. Session reuse is off so
+    // every scenario runs the exact single-shot pipeline the sequential
+    // checker runs (refinement counts compare one-to-one).
     let scenarios = cross(
         &[FamilySpec::Fig1, FamilySpec::Fig1Assert],
         &DeliveryModel::ALL,
@@ -26,7 +28,12 @@ fn portfolio_agrees_with_sequential_checker_on_fig1_grid() {
             Engine::Symbolic(symbolic::checker::MatchGen::OverApprox),
         ],
     );
-    let cfg = PortfolioConfig { threads: 4, mode: Mode::Sweep, ..Default::default() };
+    let cfg = PortfolioConfig {
+        threads: 4,
+        mode: Mode::Sweep,
+        session_reuse: false,
+        ..Default::default()
+    };
     let report = run_portfolio(&scenarios, &cfg);
     assert_eq!(report.outcomes.len(), scenarios.len());
     assert_eq!(report.skipped, 0, "sweep mode never skips");
@@ -40,7 +47,8 @@ fn portfolio_agrees_with_sequential_checker_on_fig1_grid() {
             scenario.name(),
         );
         assert_eq!(
-            outcome.refinements, sequential.refinements,
+            outcome.refinements,
+            sequential.refinements,
             "refinement counts diverge on {}",
             scenario.name(),
         );
@@ -56,11 +64,73 @@ fn race_assert_violation_is_found_under_every_engine() {
     );
     let report = run_portfolio(
         &scenarios,
-        &PortfolioConfig { threads: 3, ..Default::default() },
+        &PortfolioConfig {
+            threads: 3,
+            ..Default::default()
+        },
     );
     for o in &report.outcomes {
         assert_eq!(o.verdict, VerdictKind::Violation, "{}", o.scenario);
     }
+}
+
+#[test]
+fn batched_sessions_match_per_scenario_verdicts_on_default_grid() {
+    // The acceptance bar for session reuse: on the default 90-scenario
+    // grid, batched shared-encoding checking answers exactly what
+    // per-scenario from-scratch checking answers — while building strictly
+    // fewer encodings than it runs scenarios.
+    let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
+    assert_eq!(scenarios.len(), 90, "the default grid");
+    let batched = run_portfolio(
+        &scenarios,
+        &PortfolioConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let fresh = run_portfolio(
+        &scenarios,
+        &PortfolioConfig {
+            threads: 2,
+            session_reuse: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(batched.outcomes.len(), fresh.outcomes.len());
+    for (b, f) in batched.outcomes.iter().zip(&fresh.outcomes) {
+        assert_eq!(b.scenario, f.scenario);
+        assert_eq!(
+            b.verdict, f.verdict,
+            "batched and per-scenario checking disagree on {}",
+            b.scenario,
+        );
+    }
+
+    // Reuse must actually happen: strictly fewer encodings than solved
+    // symbolic scenarios, and some scenario explicitly flagged as shared.
+    let solved_symbolic = batched.outcomes.iter().filter(|o| o.sat_vars > 0).count();
+    assert!(
+        batched.encodings_built < solved_symbolic,
+        "{} encodings for {} solved symbolic scenarios — no sharing",
+        batched.encodings_built,
+        solved_symbolic,
+    );
+    assert!(batched.outcomes.iter().any(|o| o.reused_encoding));
+    // Without reuse, every solved symbolic scenario encodes from scratch.
+    let fresh_solved = fresh.outcomes.iter().filter(|o| o.sat_vars > 0).count();
+    assert_eq!(fresh.encodings_built, fresh_solved);
+    assert!(fresh.outcomes.iter().all(|o| !o.reused_encoding));
+
+    // And the shared sessions must be cheaper, not just fewer: the
+    // conflict+propagation total is the deterministic work counter the CI
+    // perf gate tracks.
+    let batched_work = batched.total_conflicts + batched.total_propagations;
+    let fresh_work = fresh.total_conflicts + fresh.total_propagations;
+    assert!(
+        batched_work < fresh_work,
+        "sharing did not reduce solver work: {batched_work} vs {fresh_work}"
+    );
 }
 
 #[test]

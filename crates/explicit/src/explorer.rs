@@ -38,7 +38,10 @@ impl Default for ExploreConfig {
 
 impl ExploreConfig {
     pub fn with_model(model: DeliveryModel) -> Self {
-        ExploreConfig { model, ..Default::default() }
+        ExploreConfig {
+            model,
+            ..Default::default()
+        }
     }
 }
 
@@ -186,8 +189,8 @@ mod tests {
     #[test]
     fn fig1_unordered_finds_both_pairings() {
         let p = fig1();
-        let r = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
-            .explore();
+        let r =
+            GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered)).explore();
         assert!(!r.truncated);
         assert_eq!(r.deadlocks, 0);
         assert!(r.violations.is_empty());
@@ -198,8 +201,8 @@ mod tests {
     #[test]
     fn fig1_zero_delay_finds_only_one_pairing() {
         let p = fig1();
-        let r = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay))
-            .explore();
+        let r =
+            GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay)).explore();
         // The MCC model misses Fig. 4b.
         assert_eq!(r.matchings.len(), 1, "{}", r.render_matchings());
     }
@@ -257,8 +260,8 @@ mod tests {
         // after t2 sends 2. Both assertion outcomes are reachable, so a
         // violation exists under both models; what differs is coverage of
         // pairings, tested via matchings above.)
-        let gt = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
-            .explore();
+        let gt =
+            GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered)).explore();
         assert!(gt.found_violation());
     }
 
@@ -268,8 +271,10 @@ mod tests {
         let t0 = b.thread("t0");
         b.assert_cond(t0, Cond::False, "always");
         let p = b.build().unwrap();
-        let mut cfg = ExploreConfig::default();
-        cfg.stop_at_first_violation = true;
+        let cfg = ExploreConfig {
+            stop_at_first_violation: true,
+            ..Default::default()
+        };
         let r = GraphExplorer::new(&p, cfg).explore();
         assert!(r.found_violation());
         assert!(r.states <= 2);
@@ -278,8 +283,10 @@ mod tests {
     #[test]
     fn max_states_truncates() {
         let p = fig1();
-        let mut cfg = ExploreConfig::default();
-        cfg.max_states = 3;
+        let cfg = ExploreConfig {
+            max_states: 3,
+            ..Default::default()
+        };
         let r = GraphExplorer::new(&p, cfg).explore();
         assert!(r.truncated);
     }
@@ -287,10 +294,14 @@ mod tests {
     #[test]
     fn matchings_off_reduces_state_count() {
         let p = fig1();
-        let mut with = ExploreConfig::default();
-        with.track_matchings = true;
-        let mut without = ExploreConfig::default();
-        without.track_matchings = false;
+        let with = ExploreConfig {
+            track_matchings: true,
+            ..Default::default()
+        };
+        let without = ExploreConfig {
+            track_matchings: false,
+            ..Default::default()
+        };
         let rw = GraphExplorer::new(&p, with).explore();
         let ro = GraphExplorer::new(&p, without).explore();
         assert!(ro.states <= rw.states);
@@ -300,10 +311,10 @@ mod tests {
     #[test]
     fn zero_delay_explores_fewer_or_equal_matchings() {
         let p = fig1();
-        let un = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
-            .explore();
-        let zd = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay))
-            .explore();
+        let un =
+            GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered)).explore();
+        let zd =
+            GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::ZeroDelay)).explore();
         assert!(zd.matchings.is_subset(&un.matchings));
     }
 }

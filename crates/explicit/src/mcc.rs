@@ -45,7 +45,7 @@ mod tests {
         let t2 = b.thread("t2");
         let a = b.recv(t0, 0); // A
         let _b2 = b.recv(t0, 0); // B
-        // Property: recv(A) sees Y (value 2) — holds under zero delay.
+                                 // Property: recv(A) sees Y (value 2) — holds under zero delay.
         b.assert_cond(
             t0,
             Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(2)),

@@ -41,7 +41,11 @@ pub struct ParallelExplorer<'a> {
 impl<'a> ParallelExplorer<'a> {
     /// `num_workers` is clamped to at least 1.
     pub fn new(program: &'a Program, config: ExploreConfig, num_workers: usize) -> Self {
-        ParallelExplorer { program, config, num_workers: num_workers.max(1) }
+        ParallelExplorer {
+            program,
+            config,
+            num_workers: num_workers.max(1),
+        }
     }
 
     /// Run the exploration. Semantically equivalent to the sequential
@@ -76,8 +80,7 @@ impl<'a> ParallelExplorer<'a> {
                         let mut local = ExploreResult::default();
                         let mut next_frontier = Vec::new();
                         for node in piece {
-                            let actions =
-                                node.sys.enabled_actions(self.program, self.config.model);
+                            let actions = node.sys.enabled_actions(self.program, self.config.model);
                             if actions.is_empty() {
                                 record_terminal(self.program, node, &mut local);
                                 continue;
@@ -101,7 +104,10 @@ impl<'a> ParallelExplorer<'a> {
                         (local, next_frontier)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
             .expect("scope panicked");
 
@@ -185,7 +191,10 @@ mod tests {
             let seq = GraphExplorer::new(&p, cfg).explore();
             let par = ParallelExplorer::new(&p, cfg, 4).explore();
             assert_eq!(seq.matchings, par.matchings, "model {model}");
-            assert_eq!(seq.complete_terminals, par.complete_terminals, "model {model}");
+            assert_eq!(
+                seq.complete_terminals, par.complete_terminals,
+                "model {model}"
+            );
             assert_eq!(seq.deadlocks, par.deadlocks, "model {model}");
             assert_eq!(seq.violations.len(), par.violations.len(), "model {model}");
             assert_eq!(seq.states, par.states, "model {model}");
@@ -215,8 +224,10 @@ mod tests {
     #[test]
     fn truncation_respected() {
         let p = race(4);
-        let mut cfg = ExploreConfig::default();
-        cfg.max_states = 10;
+        let cfg = ExploreConfig {
+            max_states: 10,
+            ..Default::default()
+        };
         let par = ParallelExplorer::new(&p, cfg, 4).explore();
         assert!(par.truncated);
     }

@@ -75,9 +75,7 @@ impl<'a> SleepSetExplorer<'a> {
                 // The pending receive's port.
                 let pc = state.threads[thread].pc;
                 match self.program.threads[thread].code.get(pc) {
-                    Some(Instr::Wait { req }) => match state.threads[thread].reqs
-                        [req.0 as usize]
-                    {
+                    Some(Instr::Wait { req }) => match state.threads[thread].reqs[req.0 as usize] {
                         mcapi::state::ReqState::RecvPending { port, .. } => {
                             Some(EndpointAddr::new(thread, port))
                         }
@@ -124,14 +122,14 @@ impl<'a> SleepSetExplorer<'a> {
         let mut result = ExploreResult::default();
         let init = SysState::initial(self.program);
         let recv_counts = vec![0u16; self.program.threads.len()];
-        self.dfs(&init, &Vec::new(), &recv_counts, Vec::new(), &mut result);
+        self.dfs(&init, &[], &recv_counts, Vec::new(), &mut result);
         result
     }
 
     fn dfs(
         &self,
         state: &SysState,
-        sleep: &Vec<Action>,
+        sleep: &[Action],
         recv_counts: &[u16],
         matching: Matching,
         result: &mut ExploreResult,
@@ -214,12 +212,20 @@ mod tests {
     }
 
     fn naive(p: &Program, model: DeliveryModel) -> ExploreResult {
-        let cfg = SleepConfig { model, use_sleep_sets: false, ..Default::default() };
+        let cfg = SleepConfig {
+            model,
+            use_sleep_sets: false,
+            ..Default::default()
+        };
         SleepSetExplorer::new(p, cfg).explore()
     }
 
     fn reduced(p: &Program, model: DeliveryModel) -> ExploreResult {
-        let cfg = SleepConfig { model, use_sleep_sets: true, ..Default::default() };
+        let cfg = SleepConfig {
+            model,
+            use_sleep_sets: true,
+            ..Default::default()
+        };
         SleepSetExplorer::new(p, cfg).explore()
     }
 
@@ -252,8 +258,7 @@ mod tests {
     fn agrees_with_graph_explorer_on_matchings() {
         let p = fig1();
         for model in DeliveryModel::ALL {
-            let graph =
-                GraphExplorer::new(&p, ExploreConfig::with_model(model)).explore();
+            let graph = GraphExplorer::new(&p, ExploreConfig::with_model(model)).explore();
             let red = reduced(&p, model);
             assert_eq!(graph.matchings, red.matchings, "model {model}");
         }
@@ -268,7 +273,11 @@ mod tests {
         let t1 = b.thread("t1");
         let t2 = b.thread("t2");
         let a = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "a==1");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "a==1",
+        );
         b.send_const(t1, t0, 0, 1);
         b.send_const(t2, t0, 0, 2);
         let p = b.build().unwrap();
@@ -281,7 +290,10 @@ mod tests {
     #[test]
     fn truncation_flag_respected() {
         let p = fig1();
-        let cfg = SleepConfig { max_executions: 1, ..Default::default() };
+        let cfg = SleepConfig {
+            max_executions: 1,
+            ..Default::default()
+        };
         let r = SleepSetExplorer::new(&p, cfg).explore();
         assert!(r.truncated);
     }

@@ -60,8 +60,8 @@ impl ExploreResult {
 
 #[cfg(test)]
 mod tests {
-    use mcapi::types::MsgId;
     use super::*;
+    use mcapi::types::MsgId;
 
     #[test]
     fn recv_key_ordering_is_thread_major() {
@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn violations_deduplicate() {
         let mut r = ExploreResult::default();
-        let v = Violation { thread: 0, pc: 1, message: "m".into() };
+        let v = Violation {
+            thread: 0,
+            pc: 1,
+            message: "m".into(),
+        };
         r.push_violation(v.clone());
         r.push_violation(v);
         assert_eq!(r.violations.len(), 1);
@@ -84,7 +88,8 @@ mod tests {
     #[test]
     fn render_matchings_mentions_pairs() {
         let mut r = ExploreResult::default();
-        r.matchings.insert(vec![(RecvKey::new(0, 0), MsgId::new(2, 0))]);
+        r.matchings
+            .insert(vec![(RecvKey::new(0, 0), MsgId::new(2, 0))]);
         let s = r.render_matchings();
         assert!(s.contains("t0.r0"), "{s}");
         assert!(s.contains("m2.0"), "{s}");

@@ -10,26 +10,30 @@ use proptest::prelude::*;
 
 /// Random deadlock-free program (sends precede receives per thread).
 fn arb_program() -> impl Strategy<Value = Program> {
-    (2usize..4, prop::collection::vec((0usize..3, 1i64..20), 1..6)).prop_map(|(n, sends)| {
-        let mut b = ProgramBuilder::new("prop");
-        let tids: Vec<_> = (0..n).map(|i| b.thread(format!("t{i}"))).collect();
-        let mut incoming = vec![0usize; n];
-        for (i, &(to_raw, val)) in sends.iter().enumerate() {
-            let from = i % n;
-            let mut to = to_raw % n;
-            if to == from {
-                to = (to + 1) % n;
+    (
+        2usize..4,
+        prop::collection::vec((0usize..3, 1i64..20), 1..6),
+    )
+        .prop_map(|(n, sends)| {
+            let mut b = ProgramBuilder::new("prop");
+            let tids: Vec<_> = (0..n).map(|i| b.thread(format!("t{i}"))).collect();
+            let mut incoming = vec![0usize; n];
+            for (i, &(to_raw, val)) in sends.iter().enumerate() {
+                let from = i % n;
+                let mut to = to_raw % n;
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                b.send_const(tids[from], tids[to], 0, val);
+                incoming[to] += 1;
             }
-            b.send_const(tids[from], tids[to], 0, val);
-            incoming[to] += 1;
-        }
-        for (t, &cnt) in incoming.iter().enumerate() {
-            for _ in 0..cnt {
-                b.recv(tids[t], 0);
+            for (t, &cnt) in incoming.iter().enumerate() {
+                for _ in 0..cnt {
+                    b.recv(tids[t], 0);
+                }
             }
-        }
-        b.build().unwrap()
-    })
+            b.build().unwrap()
+        })
 }
 
 fn model_strategy() -> impl Strategy<Value = DeliveryModel> {

@@ -38,7 +38,10 @@ struct ThreadDraft {
 
 impl ProgramBuilder {
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), threads: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            threads: Vec::new(),
+        }
     }
 
     /// Declare a thread (= MCAPI node). Port 0 is declared automatically.
@@ -114,7 +117,10 @@ impl ProgramBuilder {
     pub fn send_expr(&mut self, thread: ThreadId, to_thread: ThreadId, port: Port, value: Expr) {
         self.push_op(
             thread,
-            Op::Send { to: EndpointAddr::new(to_thread, port), value },
+            Op::Send {
+                to: EndpointAddr::new(to_thread, port),
+                value,
+            },
         );
     }
 
@@ -134,7 +140,11 @@ impl ProgramBuilder {
         let req = self.fresh_req(thread);
         self.push_op(
             thread,
-            Op::SendI { to: EndpointAddr::new(to_thread, port), value: Expr::Const(value), req },
+            Op::SendI {
+                to: EndpointAddr::new(to_thread, port),
+                value: Expr::Const(value),
+                req,
+            },
         );
         req
     }
@@ -151,7 +161,13 @@ impl ProgramBuilder {
 
     /// Safety assertion.
     pub fn assert_cond(&mut self, thread: ThreadId, cond: Cond, message: impl Into<String>) {
-        self.push_op(thread, Op::Assert { cond, message: message.into() });
+        self.push_op(
+            thread,
+            Op::Assert {
+                cond,
+                message: message.into(),
+            },
+        );
     }
 
     /// Structured conditional. The closures receive a [`BranchBuilder`]
@@ -165,15 +181,30 @@ impl ProgramBuilder {
     ) {
         let mut then_ops = Vec::new();
         {
-            let mut bb = BranchBuilder { parent: self, thread, ops: &mut then_ops };
+            let mut bb = BranchBuilder {
+                parent: self,
+                thread,
+                ops: &mut then_ops,
+            };
             build_then(&mut bb);
         }
         let mut else_ops = Vec::new();
         {
-            let mut bb = BranchBuilder { parent: self, thread, ops: &mut else_ops };
+            let mut bb = BranchBuilder {
+                parent: self,
+                thread,
+                ops: &mut else_ops,
+            };
             build_else(&mut bb);
         }
-        self.push_op(thread, Op::If { cond, then_ops, else_ops });
+        self.push_op(
+            thread,
+            Op::If {
+                cond,
+                then_ops,
+                else_ops,
+            },
+        );
     }
 
     /// Compile and validate.
@@ -221,12 +252,17 @@ impl BranchBuilder<'_> {
     }
 
     pub fn send_const(&mut self, to_thread: ThreadId, port: Port, value: Value) {
-        self.ops
-            .push(Op::Send { to: EndpointAddr::new(to_thread, port), value: Expr::Const(value) });
+        self.ops.push(Op::Send {
+            to: EndpointAddr::new(to_thread, port),
+            value: Expr::Const(value),
+        });
     }
 
     pub fn send_expr(&mut self, to_thread: ThreadId, port: Port, value: Expr) {
-        self.ops.push(Op::Send { to: EndpointAddr::new(to_thread, port), value });
+        self.ops.push(Op::Send {
+            to: EndpointAddr::new(to_thread, port),
+            value,
+        });
     }
 
     pub fn assign(&mut self, var: VarId, expr: Expr) {
@@ -234,7 +270,10 @@ impl BranchBuilder<'_> {
     }
 
     pub fn assert_cond(&mut self, cond: Cond, message: impl Into<String>) {
-        self.ops.push(Op::Assert { cond, message: message.into() });
+        self.ops.push(Op::Assert {
+            cond,
+            message: message.into(),
+        });
     }
 
     pub fn push_op(&mut self, op: Op) {

@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum McapiError {
     /// A static validation failure in a compiled program.
-    Validation { thread: usize, pc: usize, message: String },
+    Validation {
+        thread: usize,
+        pc: usize,
+        message: String,
+    },
     /// A scripted replay diverged from the recorded schedule.
     ReplayDiverged { step: usize, message: String },
     /// Builder misuse (e.g. referencing a thread that does not exist).
@@ -16,7 +20,11 @@ pub enum McapiError {
 impl fmt::Display for McapiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            McapiError::Validation { thread, pc, message } => {
+            McapiError::Validation {
+                thread,
+                pc,
+                message,
+            } => {
                 write!(f, "invalid program at thread {thread}, pc {pc}: {message}")
             }
             McapiError::ReplayDiverged { step, message } => {
@@ -35,7 +43,11 @@ mod tests {
 
     #[test]
     fn display_contains_location() {
-        let e = McapiError::Validation { thread: 1, pc: 3, message: "bad port".into() };
+        let e = McapiError::Validation {
+            thread: 1,
+            pc: 3,
+            message: "bad port".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("thread 1"));
         assert!(s.contains("pc 3"));

@@ -18,7 +18,11 @@ pub enum Op {
     Send { to: EndpointAddr, value: Expr },
     /// Non-blocking `mcapi_msg_send_i`; completes immediately in this model
     /// (infinite send buffers), the request exists for `wait` symmetry.
-    SendI { to: EndpointAddr, value: Expr, req: ReqId },
+    SendI {
+        to: EndpointAddr,
+        value: Expr,
+        req: ReqId,
+    },
     /// Blocking `mcapi_msg_recv` on this thread's `port` into `var`.
     Recv { port: Port, var: VarId },
     /// Non-blocking `mcapi_msg_recv_i`: posts a receive request; the message
@@ -31,24 +35,55 @@ pub enum Op {
     /// Safety assertion (the checked property).
     Assert { cond: Cond, message: String },
     /// Conditional with recorded outcome.
-    If { cond: Cond, then_ops: Vec<Op>, else_ops: Vec<Op> },
+    If {
+        cond: Cond,
+        then_ops: Vec<Op>,
+        else_ops: Vec<Op>,
+    },
 }
 
 /// Flat instruction form. `Branch`/`Jump` encode structured control flow;
 /// targets are indices into the thread's instruction vector.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Instr {
-    Send { to: EndpointAddr, value: Expr },
-    SendI { to: EndpointAddr, value: Expr, req: ReqId },
-    Recv { port: Port, var: VarId },
-    RecvI { port: Port, var: VarId, req: ReqId },
-    Wait { req: ReqId },
-    Assign { var: VarId, expr: Expr },
-    Assert { cond: Cond, message: String },
+    Send {
+        to: EndpointAddr,
+        value: Expr,
+    },
+    SendI {
+        to: EndpointAddr,
+        value: Expr,
+        req: ReqId,
+    },
+    Recv {
+        port: Port,
+        var: VarId,
+    },
+    RecvI {
+        port: Port,
+        var: VarId,
+        req: ReqId,
+    },
+    Wait {
+        req: ReqId,
+    },
+    Assign {
+        var: VarId,
+        expr: Expr,
+    },
+    Assert {
+        cond: Cond,
+        message: String,
+    },
     /// Evaluate `cond`; fall through when true, jump to `else_target` when
     /// false. The taken direction is recorded in the trace.
-    Branch { cond: Cond, else_target: usize },
-    Jump { target: usize },
+    Branch {
+        cond: Cond,
+        else_target: usize,
+    },
+    Jump {
+        target: usize,
+    },
 }
 
 /// A single MCAPI node/thread.
@@ -92,7 +127,11 @@ impl Program {
         for (tid, t) in self.threads.iter().enumerate() {
             for (pc, ins) in t.code.iter().enumerate() {
                 let err = |msg: String| {
-                    Err(McapiError::Validation { thread: tid, pc, message: msg })
+                    Err(McapiError::Validation {
+                        thread: tid,
+                        pc,
+                        message: msg,
+                    })
                 };
                 match ins {
                     Instr::Send { to, value } | Instr::SendI { to, value, .. } => {
@@ -223,24 +262,43 @@ fn render_instr(ins: &Instr) -> String {
 fn flatten(ops: &[Op], code: &mut Vec<Instr>) {
     for op in ops {
         match op {
-            Op::Send { to, value } => code.push(Instr::Send { to: *to, value: value.clone() }),
-            Op::SendI { to, value, req } => {
-                code.push(Instr::SendI { to: *to, value: value.clone(), req: *req })
-            }
-            Op::Recv { port, var } => code.push(Instr::Recv { port: *port, var: *var }),
-            Op::RecvI { port, var, req } => {
-                code.push(Instr::RecvI { port: *port, var: *var, req: *req })
-            }
+            Op::Send { to, value } => code.push(Instr::Send {
+                to: *to,
+                value: value.clone(),
+            }),
+            Op::SendI { to, value, req } => code.push(Instr::SendI {
+                to: *to,
+                value: value.clone(),
+                req: *req,
+            }),
+            Op::Recv { port, var } => code.push(Instr::Recv {
+                port: *port,
+                var: *var,
+            }),
+            Op::RecvI { port, var, req } => code.push(Instr::RecvI {
+                port: *port,
+                var: *var,
+                req: *req,
+            }),
             Op::Wait { req } => code.push(Instr::Wait { req: *req }),
-            Op::Assign { var, expr } => {
-                code.push(Instr::Assign { var: *var, expr: expr.clone() })
-            }
-            Op::Assert { cond, message } => {
-                code.push(Instr::Assert { cond: cond.clone(), message: message.clone() })
-            }
-            Op::If { cond, then_ops, else_ops } => {
+            Op::Assign { var, expr } => code.push(Instr::Assign {
+                var: *var,
+                expr: expr.clone(),
+            }),
+            Op::Assert { cond, message } => code.push(Instr::Assert {
+                cond: cond.clone(),
+                message: message.clone(),
+            }),
+            Op::If {
+                cond,
+                then_ops,
+                else_ops,
+            } => {
                 let branch_at = code.len();
-                code.push(Instr::Branch { cond: cond.clone(), else_target: 0 });
+                code.push(Instr::Branch {
+                    cond: cond.clone(),
+                    else_target: 0,
+                });
                 flatten(then_ops, code);
                 if else_ops.is_empty() {
                     let end = code.len();
@@ -271,14 +329,27 @@ mod tests {
     use crate::types::CmpOp;
 
     fn thread_with(ops: Vec<Op>, num_vars: usize, num_reqs: usize, ports: Vec<Port>) -> Thread {
-        Thread { name: "t".into(), ops, num_vars, num_reqs, ports, code: vec![] }
+        Thread {
+            name: "t".into(),
+            ops,
+            num_vars,
+            num_reqs,
+            ports,
+            code: vec![],
+        }
     }
 
     #[test]
     fn flatten_linear_ops() {
         let ops = vec![
-            Op::Assign { var: VarId(0), expr: Expr::Const(1) },
-            Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Var(VarId(0)) },
+            Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(1),
+            },
+            Op::Send {
+                to: EndpointAddr::new(0, 0),
+                value: Expr::Var(VarId(0)),
+            },
         ];
         let p = Program {
             name: "p".into(),
@@ -294,14 +365,23 @@ mod tests {
         let ops = vec![
             Op::If {
                 cond: Cond::cmp(CmpOp::Eq, Expr::Var(VarId(0)), Expr::Const(1)),
-                then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(2) }],
+                then_ops: vec![Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::Const(2),
+                }],
                 else_ops: vec![],
             },
-            Op::Assign { var: VarId(0), expr: Expr::Const(3) },
+            Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(3),
+            },
         ];
-        let p = Program { name: "p".into(), threads: vec![thread_with(ops, 1, 0, vec![])] }
-            .compile()
-            .unwrap();
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 1, 0, vec![])],
+        }
+        .compile()
+        .unwrap();
         let code = &p.threads[0].code;
         // Branch, then-assign, final assign.
         assert_eq!(code.len(), 3);
@@ -315,15 +395,27 @@ mod tests {
     fn flatten_if_with_else_patches_both_targets() {
         let ops = vec![Op::If {
             cond: Cond::True,
-            then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(1) }],
+            then_ops: vec![Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(1),
+            }],
             else_ops: vec![
-                Op::Assign { var: VarId(0), expr: Expr::Const(2) },
-                Op::Assign { var: VarId(0), expr: Expr::Const(3) },
+                Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::Const(2),
+                },
+                Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::Const(3),
+                },
             ],
         }];
-        let p = Program { name: "p".into(), threads: vec![thread_with(ops, 1, 0, vec![])] }
-            .compile()
-            .unwrap();
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 1, 0, vec![])],
+        }
+        .compile()
+        .unwrap();
         let code = &p.threads[0].code;
         // branch, then(1), jump, else(2) = 5 instrs.
         assert_eq!(code.len(), 5);
@@ -341,8 +433,14 @@ mod tests {
     fn nested_ifs_flatten() {
         let inner = Op::If {
             cond: Cond::True,
-            then_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(1) }],
-            else_ops: vec![Op::Assign { var: VarId(0), expr: Expr::Const(2) }],
+            then_ops: vec![Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(1),
+            }],
+            else_ops: vec![Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(2),
+            }],
         };
         let outer = Op::If {
             cond: Cond::False,
@@ -361,35 +459,64 @@ mod tests {
 
     #[test]
     fn validation_rejects_unknown_node() {
-        let ops = vec![Op::Send { to: EndpointAddr::new(9, 0), value: Expr::Const(1) }];
-        let r = Program { name: "p".into(), threads: vec![thread_with(ops, 0, 0, vec![])] }
-            .compile();
+        let ops = vec![Op::Send {
+            to: EndpointAddr::new(9, 0),
+            value: Expr::Const(1),
+        }];
+        let r = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 0, 0, vec![])],
+        }
+        .compile();
         assert!(matches!(r, Err(McapiError::Validation { .. })));
     }
 
     #[test]
     fn validation_rejects_undeclared_port() {
-        let t0 = thread_with(vec![Op::Recv { port: 3, var: VarId(0) }], 1, 0, vec![0]);
-        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        let t0 = thread_with(
+            vec![Op::Recv {
+                port: 3,
+                var: VarId(0),
+            }],
+            1,
+            0,
+            vec![0],
+        );
+        let r = Program {
+            name: "p".into(),
+            threads: vec![t0],
+        }
+        .compile();
         assert!(matches!(r, Err(McapiError::Validation { .. })));
     }
 
     #[test]
     fn validation_rejects_out_of_range_var() {
         let t0 = thread_with(
-            vec![Op::Assign { var: VarId(5), expr: Expr::Const(0) }],
+            vec![Op::Assign {
+                var: VarId(5),
+                expr: Expr::Const(0),
+            }],
             1,
             0,
             vec![],
         );
-        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        let r = Program {
+            name: "p".into(),
+            threads: vec![t0],
+        }
+        .compile();
         assert!(matches!(r, Err(McapiError::Validation { .. })));
     }
 
     #[test]
     fn validation_rejects_unknown_request() {
         let t0 = thread_with(vec![Op::Wait { req: ReqId(2) }], 0, 1, vec![]);
-        let r = Program { name: "p".into(), threads: vec![t0] }.compile();
+        let r = Program {
+            name: "p".into(),
+            threads: vec![t0],
+        }
+        .compile();
         assert!(matches!(r, Err(McapiError::Validation { .. })));
     }
 
@@ -397,15 +524,29 @@ mod tests {
     fn render_lists_every_thread_and_instruction() {
         let t0 = thread_with(
             vec![
-                Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Const(1) },
-                Op::Recv { port: 0, var: VarId(0) },
-                Op::Assert { cond: Cond::True, message: "ok".into() },
+                Op::Send {
+                    to: EndpointAddr::new(0, 0),
+                    value: Expr::Const(1),
+                },
+                Op::Recv {
+                    port: 0,
+                    var: VarId(0),
+                },
+                Op::Assert {
+                    cond: Cond::True,
+                    message: "ok".into(),
+                },
             ],
             1,
             0,
             vec![0],
         );
-        let p = Program { name: "p".into(), threads: vec![t0] }.compile().unwrap();
+        let p = Program {
+            name: "p".into(),
+            threads: vec![t0],
+        }
+        .compile()
+        .unwrap();
         let r = p.render();
         assert!(r.contains("program `p`"), "{r}");
         assert!(r.contains("send 1 -> 0:0"), "{r}");
@@ -417,14 +558,25 @@ mod tests {
     fn static_counters() {
         let t0 = thread_with(
             vec![
-                Op::Send { to: EndpointAddr::new(0, 0), value: Expr::Const(1) },
-                Op::Recv { port: 0, var: VarId(0) },
+                Op::Send {
+                    to: EndpointAddr::new(0, 0),
+                    value: Expr::Const(1),
+                },
+                Op::Recv {
+                    port: 0,
+                    var: VarId(0),
+                },
             ],
             1,
             0,
             vec![0],
         );
-        let p = Program { name: "p".into(), threads: vec![t0] }.compile().unwrap();
+        let p = Program {
+            name: "p".into(),
+            threads: vec![t0],
+        }
+        .compile()
+        .unwrap();
         assert_eq!(p.num_static_sends(), 1);
         assert_eq!(p.num_static_recvs(), 1);
         assert_eq!(p.code_size(), 2);

@@ -181,7 +181,10 @@ mod tests {
         let p = fig1_like();
         // A script that immediately asks thread 0 to receive (no message
         // is in flight yet) must diverge.
-        let bogus = vec![Action::Receive { thread: 0, msg: crate::types::MsgId::new(1, 0) }];
+        let bogus = vec![Action::Receive {
+            thread: 0,
+            msg: crate::types::MsgId::new(1, 0),
+        }];
         let r = replay(&p, DeliveryModel::Unordered, &bogus);
         assert!(matches!(r, Err(McapiError::ReplayDiverged { step: 0, .. })));
     }
@@ -233,8 +236,14 @@ mod tests {
             t0,
             Op::If {
                 cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
-                then_ops: vec![Op::Assign { var: v, expr: Expr::Const(1) }],
-                else_ops: vec![Op::Assign { var: v, expr: Expr::Const(0) }],
+                then_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(1),
+                }],
+                else_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(0),
+                }],
             },
         );
         b.send_const(t1, t0, 0, 50);

@@ -17,7 +17,9 @@ pub struct RandomScheduler {
 
 impl RandomScheduler {
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: SmallRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -56,7 +58,11 @@ pub struct ScriptScheduler {
 
 impl ScriptScheduler {
     pub fn new(script: Vec<Action>) -> Self {
-        ScriptScheduler { script, pos: 0, diverged: false }
+        ScriptScheduler {
+            script,
+            pos: 0,
+            diverged: false,
+        }
     }
 
     /// Did the replay fail to follow the script?
@@ -126,7 +132,10 @@ mod tests {
         vec![
             Action::Internal { thread: 0 },
             Action::Internal { thread: 1 },
-            Action::Receive { thread: 2, msg: MsgId::new(0, 0) },
+            Action::Receive {
+                thread: 2,
+                msg: MsgId::new(0, 0),
+            },
         ]
     }
 

@@ -126,8 +126,7 @@ impl SysState {
 
     /// Messages a receive on `dst` may consume under `model`.
     pub fn eligible_msgs(&self, dst: EndpointAddr, model: DeliveryModel) -> Vec<MsgId> {
-        let candidates: Vec<&InFlight> =
-            self.in_flight.iter().filter(|m| m.to == dst).collect();
+        let candidates: Vec<&InFlight> = self.in_flight.iter().filter(|m| m.to == dst).collect();
         match model {
             DeliveryModel::Unordered => candidates.iter().map(|m| m.id).collect(),
             DeliveryModel::PairwiseFifo => candidates
@@ -202,14 +201,30 @@ impl SysState {
             (Instr::Send { to, value }, Action::Internal { .. }) => {
                 let v = value.eval(&next.threads[tid].locals);
                 let msg = next.push_message(tid, *to, v, model);
-                events.push(Event { thread: tid, pc, kind: EventKind::Send { msg, to: *to, value: v } });
+                events.push(Event {
+                    thread: tid,
+                    pc,
+                    kind: EventKind::Send {
+                        msg,
+                        to: *to,
+                        value: v,
+                    },
+                });
                 next.threads[tid].pc += 1;
             }
             (Instr::SendI { to, value, req }, Action::Internal { .. }) => {
                 let v = value.eval(&next.threads[tid].locals);
                 let msg = next.push_message(tid, *to, v, model);
                 next.threads[tid].reqs[req.0 as usize] = ReqState::SendDone;
-                events.push(Event { thread: tid, pc, kind: EventKind::Send { msg, to: *to, value: v } });
+                events.push(Event {
+                    thread: tid,
+                    pc,
+                    kind: EventKind::Send {
+                        msg,
+                        to: *to,
+                        value: v,
+                    },
+                });
                 next.threads[tid].pc += 1;
             }
             (Instr::Recv { port, var }, Action::Receive { msg, .. }) => {
@@ -218,17 +233,28 @@ impl SysState {
                 events.push(Event {
                     thread: tid,
                     pc,
-                    kind: EventKind::Recv { port: *port, var: *var, value, msg },
+                    kind: EventKind::Recv {
+                        port: *port,
+                        var: *var,
+                        value,
+                        msg,
+                    },
                 });
                 next.threads[tid].pc += 1;
             }
             (Instr::RecvI { port, var, req }, Action::Internal { .. }) => {
-                next.threads[tid].reqs[req.0 as usize] =
-                    ReqState::RecvPending { port: *port, var: *var };
+                next.threads[tid].reqs[req.0 as usize] = ReqState::RecvPending {
+                    port: *port,
+                    var: *var,
+                };
                 events.push(Event {
                     thread: tid,
                     pc,
-                    kind: EventKind::RecvPost { port: *port, var: *var, req: *req },
+                    kind: EventKind::RecvPost {
+                        port: *port,
+                        var: *var,
+                        req: *req,
+                    },
                 });
                 next.threads[tid].pc += 1;
             }
@@ -243,31 +269,57 @@ impl SysState {
                 events.push(Event {
                     thread: tid,
                     pc,
-                    kind: EventKind::WaitRecv { req: *req, port, var, value, msg },
+                    kind: EventKind::WaitRecv {
+                        req: *req,
+                        port,
+                        var,
+                        value,
+                        msg,
+                    },
                 });
                 next.threads[tid].pc += 1;
             }
             (Instr::Wait { req }, Action::Internal { .. }) => {
-                events.push(Event { thread: tid, pc, kind: EventKind::WaitNoop { req: *req } });
+                events.push(Event {
+                    thread: tid,
+                    pc,
+                    kind: EventKind::WaitNoop { req: *req },
+                });
                 next.threads[tid].pc += 1;
             }
             (Instr::Assign { var, expr }, Action::Internal { .. }) => {
                 let v = expr.eval(&next.threads[tid].locals);
                 next.threads[tid].locals[var.0 as usize] = v;
-                events.push(Event { thread: tid, pc, kind: EventKind::Assign { var: *var, value: v } });
+                events.push(Event {
+                    thread: tid,
+                    pc,
+                    kind: EventKind::Assign {
+                        var: *var,
+                        value: v,
+                    },
+                });
                 next.threads[tid].pc += 1;
             }
             (Instr::Assert { cond, message }, Action::Internal { .. }) => {
                 if cond.eval(&next.threads[tid].locals) {
-                    events.push(Event { thread: tid, pc, kind: EventKind::AssertOk });
-                    next.threads[tid].pc += 1;
-                } else {
-                    let violation =
-                        Violation { thread: tid, pc, message: message.clone() };
                     events.push(Event {
                         thread: tid,
                         pc,
-                        kind: EventKind::AssertFail { message: message.clone() },
+                        kind: EventKind::AssertOk,
+                    });
+                    next.threads[tid].pc += 1;
+                } else {
+                    let violation = Violation {
+                        thread: tid,
+                        pc,
+                        message: message.clone(),
+                    };
+                    events.push(Event {
+                        thread: tid,
+                        pc,
+                        kind: EventKind::AssertFail {
+                            message: message.clone(),
+                        },
                     });
                     next.violation = Some(violation);
                     next.threads[tid].pc += 1;
@@ -275,7 +327,11 @@ impl SysState {
             }
             (Instr::Branch { cond, else_target }, Action::Internal { .. }) => {
                 let taken = cond.eval(&next.threads[tid].locals);
-                events.push(Event { thread: tid, pc, kind: EventKind::Branch { taken } });
+                events.push(Event {
+                    thread: tid,
+                    pc,
+                    kind: EventKind::Branch { taken },
+                });
                 next.threads[tid].pc = if taken { pc + 1 } else { *else_target };
             }
             (Instr::Jump { target }, Action::Internal { .. }) => {
@@ -296,7 +352,10 @@ impl SysState {
     ) -> MsgId {
         let seq = self.threads[tid].sends_issued;
         self.threads[tid].sends_issued += 1;
-        let id = MsgId { thread: tid as u16, seq };
+        let id = MsgId {
+            thread: tid as u16,
+            seq,
+        };
         let send_seq = if model == DeliveryModel::ZeroDelay {
             let s = self.next_send_seq;
             self.next_send_seq += 1;
@@ -304,7 +363,13 @@ impl SysState {
         } else {
             0
         };
-        let m = InFlight { id, from: EndpointAddr::new(tid, 0), to, value, send_seq };
+        let m = InFlight {
+            id,
+            from: EndpointAddr::new(tid, 0),
+            to,
+            value,
+            send_seq,
+        };
         let pos = self.in_flight.partition_point(|x| x.id < id);
         self.in_flight.insert(pos, m);
         id
@@ -374,7 +439,11 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, Action::Receive { .. }))
             .collect();
-        assert_eq!(recvs.len(), 2, "both messages must be receivable: {actions:?}");
+        assert_eq!(
+            recvs.len(),
+            2,
+            "both messages must be receivable: {actions:?}"
+        );
     }
 
     #[test]
@@ -401,7 +470,11 @@ mod tests {
         let s = SysState::initial(&p);
         let (s, _) = s.apply(&p, Action::Internal { thread: 1 }, DeliveryModel::Unordered);
         let msg = MsgId::new(1, 0);
-        let (s, ev) = s.apply(&p, Action::Receive { thread: 0, msg }, DeliveryModel::Unordered);
+        let (s, ev) = s.apply(
+            &p,
+            Action::Receive { thread: 0, msg },
+            DeliveryModel::Unordered,
+        );
         assert!(s.in_flight.is_empty());
         assert_eq!(s.threads[0].locals[0], 10);
         assert!(matches!(ev[0].kind, EventKind::Recv { value: 10, .. }));
@@ -420,10 +493,22 @@ mod tests {
         b.send_const(t1, t0, 0, 2);
         let p = b.build().unwrap();
         let s = SysState::initial(&p);
-        let (s, _) = s.apply(&p, Action::Internal { thread: 1 }, DeliveryModel::PairwiseFifo);
-        let (s, _) = s.apply(&p, Action::Internal { thread: 1 }, DeliveryModel::PairwiseFifo);
+        let (s, _) = s.apply(
+            &p,
+            Action::Internal { thread: 1 },
+            DeliveryModel::PairwiseFifo,
+        );
+        let (s, _) = s.apply(
+            &p,
+            Action::Internal { thread: 1 },
+            DeliveryModel::PairwiseFifo,
+        );
         let eligible = s.eligible_msgs(EndpointAddr::new(0, 0), DeliveryModel::PairwiseFifo);
-        assert_eq!(eligible, vec![MsgId::new(1, 0)], "only the first send is eligible");
+        assert_eq!(
+            eligible,
+            vec![MsgId::new(1, 0)],
+            "only the first send is eligible"
+        );
         // Under Unordered, both would be eligible.
         let eligible = s.eligible_msgs(EndpointAddr::new(0, 0), DeliveryModel::Unordered);
         assert_eq!(eligible.len(), 2);
@@ -454,17 +539,20 @@ mod tests {
             t0,
             Op::If {
                 cond: Cond::eq(Expr::Var(x), Expr::Const(5)),
-                then_ops: vec![Op::Assign { var: x, expr: Expr::Const(100) }],
-                else_ops: vec![Op::Assign { var: x, expr: Expr::Const(200) }],
+                then_ops: vec![Op::Assign {
+                    var: x,
+                    expr: Expr::Const(100),
+                }],
+                else_ops: vec![Op::Assign {
+                    var: x,
+                    expr: Expr::Const(200),
+                }],
             },
         );
         let p = b.build().unwrap();
         let mut s = SysState::initial(&p);
         let mut all_events = vec![];
-        while let Some(&a) = s
-            .enabled_actions(&p, DeliveryModel::Unordered)
-            .first()
-        {
+        while let Some(&a) = s.enabled_actions(&p, DeliveryModel::Unordered).first() {
             let (ns, ev) = s.apply(&p, a, DeliveryModel::Unordered);
             all_events.extend(ev);
             s = ns;

@@ -24,13 +24,28 @@ pub struct Event {
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum EventKind {
     /// A (blocking or non-blocking) send was issued.
-    Send { msg: MsgId, to: EndpointAddr, value: Value },
+    Send {
+        msg: MsgId,
+        to: EndpointAddr,
+        value: Value,
+    },
     /// A blocking receive completed.
-    Recv { port: Port, var: VarId, value: Value, msg: MsgId },
+    Recv {
+        port: Port,
+        var: VarId,
+        value: Value,
+        msg: MsgId,
+    },
     /// A non-blocking receive was posted.
     RecvPost { port: Port, var: VarId, req: ReqId },
     /// A wait bound its pending receive to a message.
-    WaitRecv { req: ReqId, port: Port, var: VarId, value: Value, msg: MsgId },
+    WaitRecv {
+        req: ReqId,
+        port: Port,
+        var: VarId,
+        value: Value,
+        msg: MsgId,
+    },
     /// A wait on an already-complete (or never-issued) request.
     WaitNoop { req: ReqId },
     /// Local assignment.
@@ -53,7 +68,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "assertion failed at thread {} pc {}: {}", self.thread, self.pc, self.message)
+        write!(
+            f,
+            "assertion failed at thread {} pc {}: {}",
+            self.thread, self.pc, self.message
+        )
     }
 }
 
@@ -146,7 +165,13 @@ impl Trace {
         use std::fmt::Write;
         let mut out = String::new();
         for (i, e) in self.events.iter().enumerate() {
-            let _ = writeln!(out, "{i:4}  t{} pc{:<3} {}", e.thread, e.pc, render_kind(&e.kind));
+            let _ = writeln!(
+                out,
+                "{i:4}  t{} pc{:<3} {}",
+                e.thread,
+                e.pc,
+                render_kind(&e.kind)
+            );
         }
         if let Some(v) = &self.violation {
             let _ = writeln!(out, "      !! {v}");
@@ -161,13 +186,24 @@ impl Trace {
 fn render_kind(k: &EventKind) -> String {
     match k {
         EventKind::Send { msg, to, value } => format!("send {msg:?} -> {to} (value {value})"),
-        EventKind::Recv { port, var, value, msg } => {
+        EventKind::Recv {
+            port,
+            var,
+            value,
+            msg,
+        } => {
             format!("recv port {port} {var:?} = {value} (from {msg:?})")
         }
         EventKind::RecvPost { port, var, req } => {
             format!("recv_i port {port} -> {var:?} ({req:?})")
         }
-        EventKind::WaitRecv { req, var, value, msg, .. } => {
+        EventKind::WaitRecv {
+            req,
+            var,
+            value,
+            msg,
+            ..
+        } => {
             format!("wait {req:?}: {var:?} = {value} (from {msg:?})")
         }
         EventKind::WaitNoop { req } => format!("wait {req:?}: already complete"),
@@ -203,7 +239,11 @@ mod tests {
                         value: 7,
                     },
                 },
-                Event { thread: 0, pc: 0, kind: EventKind::Branch { taken: true } },
+                Event {
+                    thread: 0,
+                    pc: 0,
+                    kind: EventKind::Branch { taken: true },
+                },
                 Event {
                     thread: 0,
                     pc: 1,

@@ -45,7 +45,10 @@ pub struct EndpointAddr {
 
 impl EndpointAddr {
     pub fn new(node: usize, port: Port) -> Self {
-        EndpointAddr { node: node as u16, port }
+        EndpointAddr {
+            node: node as u16,
+            port,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ pub struct MsgId {
 
 impl MsgId {
     pub fn new(thread: usize, seq: usize) -> Self {
-        MsgId { thread: thread as u16, seq: seq as u16 }
+        MsgId {
+            thread: thread as u16,
+            seq: seq as u16,
+        }
     }
 }
 
@@ -98,7 +104,10 @@ pub struct RecvKey {
 
 impl RecvKey {
     pub fn new(thread: usize, index: usize) -> Self {
-        RecvKey { thread: thread as u16, index: index as u16 }
+        RecvKey {
+            thread: thread as u16,
+            index: index as u16,
+        }
     }
 }
 
@@ -131,8 +140,11 @@ pub enum DeliveryModel {
 
 impl DeliveryModel {
     /// All models, for parameter sweeps.
-    pub const ALL: [DeliveryModel; 3] =
-        [DeliveryModel::Unordered, DeliveryModel::PairwiseFifo, DeliveryModel::ZeroDelay];
+    pub const ALL: [DeliveryModel; 3] = [
+        DeliveryModel::Unordered,
+        DeliveryModel::PairwiseFifo,
+        DeliveryModel::ZeroDelay,
+    ];
 }
 
 impl fmt::Display for DeliveryModel {
@@ -210,7 +222,14 @@ mod tests {
 
     #[test]
     fn cmpop_eval_and_negate_are_complementary() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for a in -2..3 {
                 for b in -2..3 {
                     assert_eq!(op.eval(a, b), !op.negate().eval(a, b));

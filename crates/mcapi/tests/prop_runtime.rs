@@ -12,8 +12,11 @@ use proptest::prelude::*;
 /// workloads::random_program but kept local so this crate stays
 /// dependency-light).
 fn arb_program() -> impl Strategy<Value = Program> {
-    (2usize..5, prop::collection::vec((0usize..4, 1i64..50), 1..8)).prop_map(
-        |(n, sends)| {
+    (
+        2usize..5,
+        prop::collection::vec((0usize..4, 1i64..50), 1..8),
+    )
+        .prop_map(|(n, sends)| {
             let mut b = ProgramBuilder::new("prop");
             let tids: Vec<_> = (0..n).map(|i| b.thread(format!("t{i}"))).collect();
             let mut incoming = vec![0usize; n];
@@ -33,8 +36,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 }
             }
             b.build().expect("well-formed by construction")
-        },
-    )
+        })
 }
 
 fn model_strategy() -> impl Strategy<Value = DeliveryModel> {

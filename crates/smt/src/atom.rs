@@ -31,7 +31,11 @@ pub struct DiffAtom {
 impl DiffAtom {
     /// The complementary bound `!(x - y <= c)  ==  y - x <= -c - 1`.
     pub fn complement(self) -> DiffAtom {
-        DiffAtom { x: self.y, y: self.x, c: -self.c - 1 }
+        DiffAtom {
+            x: self.y,
+            y: self.x,
+            c: -self.c - 1,
+        }
     }
 
     /// Evaluate under a concrete assignment lookup.
@@ -90,8 +94,16 @@ pub fn theory_var_of_pool_var(pool_idx: u32) -> IntVarId {
 
 fn linearize(pool: &TermPool, t: TermId) -> Result<LinTerm, SmtError> {
     match pool.get(t) {
-        Term::IntConst(c) => Ok(LinTerm { var: None, neg_var: None, offset: *c }),
-        Term::IntVar(i) => Ok(LinTerm { var: Some(*i), neg_var: None, offset: 0 }),
+        Term::IntConst(c) => Ok(LinTerm {
+            var: None,
+            neg_var: None,
+            offset: *c,
+        }),
+        Term::IntVar(i) => Ok(LinTerm {
+            var: Some(*i),
+            neg_var: None,
+            offset: 0,
+        }),
         Term::Add(a, b) => {
             let la = linearize(pool, *a)?;
             let lb = linearize(pool, *b)?;
@@ -144,10 +156,20 @@ fn combine(a: LinTerm, b: LinTerm, subtract: bool) -> Result<LinTerm, SmtError> 
 fn orient(x: IntVarId, y: IntVarId, c: i64) -> NormalizedAtom {
     debug_assert_ne!(x, y);
     if x > y {
-        NormalizedAtom { atom: DiffAtom { x, y, c }, positive: true }
+        NormalizedAtom {
+            atom: DiffAtom { x, y, c },
+            positive: true,
+        }
     } else {
         // x - y <= c  ==  !(y - x <= -c - 1)
-        NormalizedAtom { atom: DiffAtom { x: y, y: x, c: -c - 1 }, positive: false }
+        NormalizedAtom {
+            atom: DiffAtom {
+                x: y,
+                y: x,
+                c: -c - 1,
+            },
+            positive: false,
+        }
     }
 }
 
@@ -221,7 +243,14 @@ mod tests {
     fn all_ops_normalize_truth_preserving() {
         let (p, x, y) = pool_with_two_vars();
         // theory vars: x -> 1, y -> 2
-        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             let n = normalize_cmp(&p, op, x, y).unwrap();
             for vx in -3..4i64 {
                 for vy in -3..4i64 {
@@ -250,7 +279,14 @@ mod tests {
         match n {
             NormalizedCmp::Single(l) => {
                 assert!(l.positive);
-                assert_eq!(l.atom, DiffAtom { x: 1, y: ZERO_VAR, c: 5 });
+                assert_eq!(
+                    l.atom,
+                    DiffAtom {
+                        x: 1,
+                        y: ZERO_VAR,
+                        c: 5
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

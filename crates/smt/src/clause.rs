@@ -34,7 +34,12 @@ pub struct ClauseDb {
 
 impl ClauseDb {
     pub fn new() -> Self {
-        ClauseDb { lits: Vec::new(), headers: Vec::new(), dead_lits: 0, cla_inc: 1.0 }
+        ClauseDb {
+            lits: Vec::new(),
+            headers: Vec::new(),
+            dead_lits: 0,
+            cla_inc: 1.0,
+        }
     }
 
     /// Add a clause; returns its reference. `lits` must have length >= 2
@@ -149,9 +154,19 @@ impl ClauseDb {
         self.headers.iter().filter(|h| !h.deleted).count()
     }
 
+    /// Total number of clauses ever added (live + tombstoned) — the upper
+    /// bound of valid [`ClauseRef`]s, used as a position mark by the scope
+    /// machinery.
+    pub fn num_total(&self) -> usize {
+        self.headers.len()
+    }
+
     /// Number of live learned clauses.
     pub fn num_learnt(&self) -> usize {
-        self.headers.iter().filter(|h| h.learnt && !h.deleted).count()
+        self.headers
+            .iter()
+            .filter(|h| h.learnt && !h.deleted)
+            .count()
     }
 
     /// Fraction of arena literals that belong to deleted clauses.
@@ -222,7 +237,10 @@ mod tests {
         let d = db.add(&lits(&[2, 3]), true, 2);
         db.decay_activity();
         db.bump_activity(d);
-        assert!(db.activity(d) >= db.activity(c) * 0.5, "recent bump should dominate");
+        assert!(
+            db.activity(d) >= db.activity(c) * 0.5,
+            "recent bump should dominate"
+        );
     }
 
     #[test]

@@ -31,10 +31,23 @@ pub struct Tseitin {
     atom_var: HashMap<DiffAtom, Var>,
     bool_var: HashMap<u32, Var>,
     true_lit: Option<Lit>,
+    /// Journal of cache entries created inside each open scope (innermost
+    /// last). Defining clauses emitted inside a scope die with it in the
+    /// SAT core, so the corresponding cache entries must die too —
+    /// otherwise a later encoding would reuse a literal whose definition
+    /// was retracted.
+    scopes: Vec<ScopeFrame>,
     /// Number of clauses emitted (stats).
     pub clauses_emitted: u64,
     /// Number of auxiliary variables created (stats).
     pub aux_vars: u64,
+}
+
+/// Per-scope undo record; see [`Tseitin::push_scope`].
+#[derive(Default)]
+struct ScopeFrame {
+    lit_keys: Vec<TermId>,
+    true_lit_created: bool,
 }
 
 impl Tseitin {
@@ -45,6 +58,29 @@ impl Tseitin {
     /// Number of distinct theory atoms encountered.
     pub fn num_atoms(&self) -> usize {
         self.atom_var.len()
+    }
+
+    /// Open an undo scope, paired with [`crate::sat::SatSolver::push_scope`]:
+    /// term-to-literal cache entries created from now on are forgotten at
+    /// the matching [`Tseitin::pop_scope`]. Atom and Boolean *variable*
+    /// mappings persist — they carry no defining clauses, so they stay
+    /// valid when the scope's clauses are retracted.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(ScopeFrame::default());
+    }
+
+    /// Drop every cache entry created in the innermost scope.
+    pub fn pop_scope(&mut self) {
+        let frame = self
+            .scopes
+            .pop()
+            .expect("pop_scope without matching push_scope");
+        for k in frame.lit_keys {
+            self.lit_of.remove(&k);
+        }
+        if frame.true_lit_created {
+            self.true_lit = None;
+        }
     }
 
     /// Snapshot of (pool Boolean-variable index, SAT variable) pairs, used
@@ -121,6 +157,9 @@ impl Tseitin {
             }
         };
         self.lit_of.insert(t, lit);
+        if let Some(frame) = self.scopes.last_mut() {
+            frame.lit_keys.push(t);
+        }
         Ok(lit)
     }
 
@@ -181,6 +220,9 @@ impl Tseitin {
         let l = v.pos();
         self.emit(&[l], sink);
         self.true_lit = Some(l);
+        if let Some(frame) = self.scopes.last_mut() {
+            frame.true_lit_created = true;
+        }
         l
     }
 
@@ -288,9 +330,10 @@ mod tests {
         let mut models = Vec::new();
         for bits in 0..(1u32 << n) {
             let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            let ok = c.clauses.iter().all(|cl| {
-                cl.iter().any(|l| assign[l.var().index()] == l.is_pos())
-            });
+            let ok = c
+                .clauses
+                .iter()
+                .all(|cl| cl.iter().any(|l| assign[l.var().index()] == l.is_pos()));
             if ok {
                 models.push(assign);
             }

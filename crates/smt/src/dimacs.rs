@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let cnf = Cnf { num_vars: 3, clauses: vec![vec![1, -2], vec![2, 3]] };
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![vec![1, -2], vec![2, 3]],
+        };
         let text = cnf.to_dimacs();
         let back = Cnf::parse(&text).unwrap();
         assert_eq!(back, cnf);
@@ -162,7 +165,10 @@ mod tests {
         assert_eq!(res, SolveResult::Sat);
         let model = model.unwrap();
         for c in &cnf.clauses {
-            assert!(c.iter().any(|&l| model.contains(&l)), "clause {c:?} unsatisfied");
+            assert!(
+                c.iter().any(|&l| model.contains(&l)),
+                "clause {c:?} unsatisfied"
+            );
         }
     }
 

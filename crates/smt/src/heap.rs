@@ -19,7 +19,10 @@ const NOT_IN: u32 = u32::MAX;
 
 impl VarHeap {
     pub fn new() -> Self {
-        VarHeap { heap: Vec::new(), pos: Vec::new() }
+        VarHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
     }
 
     /// Ensure capacity for variables `0..n`.
@@ -127,7 +130,9 @@ mod tests {
         for i in 0..5u32 {
             h.insert(Var(i), &act);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 4, 0]);
     }
 
@@ -181,7 +186,9 @@ mod tests {
         let mut x = 123456789u64;
         let mut act = Vec::new();
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             act.push((x >> 16) as f64);
         }
         let mut h = VarHeap::new();

@@ -115,11 +115,22 @@ impl Idl {
 
     /// Assert `to - from <= weight` (edge `from -> to`). On conflict the
     /// explanation contains the causes of every edge on the negative cycle.
-    fn assert_edge(&mut self, from: IntVarId, to: IntVarId, weight: i64, cause: Lit) -> TheoryResult {
+    fn assert_edge(
+        &mut self,
+        from: IntVarId,
+        to: IntVarId,
+        weight: i64,
+        cause: Lit,
+    ) -> TheoryResult {
         self.ensure_vars(from.max(to) as usize + 1);
         self.asserted_edges += 1;
         let id = self.edges.len() as u32;
-        self.edges.push(Edge { from, to, weight, cause });
+        self.edges.push(Edge {
+            from,
+            to,
+            weight,
+            cause,
+        });
         self.out[from as usize].push(id);
 
         if self.pi[to as usize] <= self.pi[from as usize] + weight {
@@ -206,9 +217,9 @@ impl Idl {
 
     /// Debug check: `pi` certifies every asserted edge.
     fn check_potential_valid(&self) -> bool {
-        self.edges.iter().all(|e| {
-            self.pi[e.to as usize] <= self.pi[e.from as usize] + e.weight
-        })
+        self.edges
+            .iter()
+            .all(|e| self.pi[e.to as usize] <= self.pi[e.from as usize] + e.weight)
     }
 }
 
@@ -217,7 +228,11 @@ impl Theory for Idl {
         let Some(atom) = self.atom_for(lit.var()) else {
             return Ok(()); // not a theory literal
         };
-        let bound = if lit.is_pos() { atom } else { atom.complement() };
+        let bound = if lit.is_pos() {
+            atom
+        } else {
+            atom.complement()
+        };
         // x - y <= c  ==>  edge y --c--> x.
         self.assert_edge(bound.y, bound.x, bound.c, lit)
     }
@@ -296,7 +311,10 @@ mod tests {
         for c in 0..4 {
             assert!(expl.contains(&lit(c)), "missing cause {c} in {expl:?}");
         }
-        assert!(!expl.contains(&lit(9)), "unrelated edge leaked into explanation");
+        assert!(
+            !expl.contains(&lit(9)),
+            "unrelated edge leaked into explanation"
+        );
     }
 
     #[test]
@@ -321,7 +339,10 @@ mod tests {
         let expl = r.unwrap_err();
         assert!(expl.contains(&lit(1)));
         assert!(expl.contains(&lit(2)));
-        assert!(!expl.contains(&lit(0)), "upper bound x<=5 is not part of the conflict");
+        assert!(
+            !expl.contains(&lit(0)),
+            "upper bound x<=5 is not part of the conflict"
+        );
     }
 
     #[test]
@@ -480,10 +501,16 @@ mod tests {
             match conflict_at {
                 Some(i) => {
                     assert!(feasible(i), "round {round}: prefix {i} wrongly accepted");
-                    assert!(!feasible(i + 1), "round {round}: conflict at {i} is spurious");
+                    assert!(
+                        !feasible(i + 1),
+                        "round {round}: conflict at {i} is spurious"
+                    );
                 }
                 None => {
-                    assert!(feasible(edges_list.len()), "round {round}: missed a conflict");
+                    assert!(
+                        feasible(edges_list.len()),
+                        "round {round}: missed a conflict"
+                    );
                 }
             }
         }

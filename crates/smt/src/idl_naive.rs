@@ -110,9 +110,18 @@ impl Theory for NaiveIdl {
         let Some(atom) = self.atom_of.get(lit.var().index()).copied().flatten() else {
             return Ok(());
         };
-        let bound = if lit.is_pos() { atom } else { atom.complement() };
+        let bound = if lit.is_pos() {
+            atom
+        } else {
+            atom.complement()
+        };
         self.num_vars = self.num_vars.max(bound.x.max(bound.y) as usize + 1);
-        self.edges.push(Edge { from: bound.y, to: bound.x, weight: bound.c, cause: lit });
+        self.edges.push(Edge {
+            from: bound.y,
+            to: bound.x,
+            weight: bound.c,
+            cause: lit,
+        });
         match self.recheck() {
             Ok(()) => Ok(()),
             Err(causes) => Err(causes),

@@ -22,6 +22,7 @@ impl Var {
 
     /// The negative literal of this variable.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // a constructor, not negation of self
     pub fn neg(self) -> Lit {
         Lit((self.0 << 1) | 1)
     }

@@ -84,7 +84,10 @@ mod tests {
         let mut p = TermPool::new();
         let x = p.int_var("x"); // index 0
         let y = p.int_var("y"); // index 1
-        let m = Model { ints: vec![3, 10], bools: vec![] };
+        let m = Model {
+            ints: vec![3, 10],
+            bools: vec![],
+        };
         let s = p.add(x, y);
         assert_eq!(m.eval_int(&p, s), Some(13));
         let d = p.sub(y, x);
@@ -99,7 +102,10 @@ mod tests {
         let x = p.int_var("x");
         let y = p.int_var("y");
         let b = p.bool_var("b"); // bool index 0
-        let m = Model { ints: vec![1, 2], bools: vec![true] };
+        let m = Model {
+            ints: vec![1, 2],
+            bools: vec![true],
+        };
         let lt = p.cmp(CmpOp::Lt, x, y);
         assert_eq!(m.eval_bool(&p, lt), Some(true));
         let gt = p.cmp(CmpOp::Gt, x, y);
@@ -131,7 +137,10 @@ mod tests {
     fn int_term_in_bool_eval_is_none() {
         let mut p = TermPool::new();
         let x = p.int_var("x");
-        let m = Model { ints: vec![0], bools: vec![] };
+        let m = Model {
+            ints: vec![0],
+            bools: vec![],
+        };
         assert_eq!(m.eval_bool(&p, x), None);
     }
 }

@@ -12,11 +12,7 @@ use crate::term::{TermId, TermPool};
 /// Sound and complete only if some model lies within the bound; for
 /// difference logic a solution within `[-(n*maxc), n*maxc]` always exists
 /// when one exists at all, so pick the bound accordingly.
-pub fn brute_force_check(
-    pool: &TermPool,
-    asserted: &[TermId],
-    bound: i64,
-) -> Option<Model> {
+pub fn brute_force_check(pool: &TermPool, asserted: &[TermId], bound: i64) -> Option<Model> {
     let n_int = pool.num_int_vars();
     let n_bool = pool.num_bool_vars();
     assert!(n_int <= 6, "too many int vars for brute force");
@@ -28,7 +24,10 @@ pub fn brute_force_check(
         let ints: Vec<i64> = int_idx.iter().map(|&i| i as i64 - bound).collect();
         for bool_bits in 0..(1u32 << n_bool) {
             let bools: Vec<bool> = (0..n_bool).map(|i| bool_bits >> i & 1 == 1).collect();
-            let m = Model { ints: ints.clone(), bools };
+            let m = Model {
+                ints: ints.clone(),
+                bools,
+            };
             if asserted.iter().all(|&t| m.eval_bool(pool, t) == Some(true)) {
                 return Some(m);
             }

@@ -18,6 +18,7 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::stats::Stats;
+use std::time::Instant;
 
 /// Outcome of a `solve` call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,6 +69,15 @@ enum Reason {
     Clause(ClauseRef),
 }
 
+/// One open clause scope: its selector variable and the clause-database
+/// position when it opened (everything at or past the mark that mentions
+/// the negated selector belongs to the scope and is swept at the pop).
+#[derive(Clone, Copy)]
+struct Scope {
+    sel: Var,
+    db_mark: u32,
+}
+
 #[derive(Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
@@ -84,7 +94,12 @@ struct VarState {
 
 impl Default for VarState {
     fn default() -> Self {
-        VarState { assign: LBool::Undef, level: 0, reason: Reason::Decision, phase: false }
+        VarState {
+            assign: LBool::Undef,
+            level: 0,
+            reason: Reason::Decision,
+            phase: false,
+        }
     }
 }
 
@@ -108,6 +123,12 @@ pub struct SatSolver<T: Theory = NoTheory> {
     reduce_count: u64,
     /// Conflicts allowed before giving up (None = unlimited).
     conflict_budget: Option<u64>,
+    /// Wall-clock deadline for the current/next `solve` (None = unlimited).
+    deadline: Option<Instant>,
+    /// Active clause scopes, outermost first. Clauses added while a scope
+    /// is active carry the negated innermost selector; `solve` assumes
+    /// every active selector true.
+    scopes: Vec<Scope>,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
     /// Variables marked in `seen` during the current analysis (for cleanup).
@@ -149,6 +170,8 @@ impl<T: Theory> SatSolver<T> {
             next_reduce: 2000,
             reduce_count: 0,
             conflict_budget: None,
+            deadline: None,
+            scopes: Vec::new(),
             seen: Vec::new(),
             marked: Vec::new(),
             conflict_core: Vec::new(),
@@ -172,6 +195,72 @@ impl<T: Theory> SatSolver<T> {
     /// Limit the number of conflicts for subsequent `solve` calls.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Wall-clock deadline for subsequent `solve` calls; a solve that is
+    /// still searching at the deadline answers `Unknown` (None = no limit).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Open a clause scope. Clauses added until the matching [`pop_scope`]
+    /// are guarded by a fresh selector literal: they behave as regular
+    /// clauses for `solve` (the selector is assumed true) but are
+    /// retractable as a group. Scopes nest; pops are LIFO.
+    ///
+    /// [`pop_scope`]: SatSolver::pop_scope
+    pub fn push_scope(&mut self) -> usize {
+        let sel = self.new_var();
+        self.scopes.push(Scope {
+            sel,
+            db_mark: self.db.num_total() as u32,
+        });
+        self.scopes.len()
+    }
+
+    /// Close the innermost scope: its clauses (and any learned clause that
+    /// depended on them, which carries the negated selector) are
+    /// permanently deactivated by asserting the selector false and swept
+    /// from the clause database, so long-lived sessions do not accumulate
+    /// dead blocking clauses. Learned clauses derived only from surviving
+    /// clauses are kept.
+    pub fn pop_scope(&mut self) {
+        let scope = self
+            .scopes
+            .pop()
+            .expect("pop_scope without matching push_scope");
+        let s = scope.sel;
+        self.cancel_until(0);
+        match self.value(s) {
+            LBool::False => {}
+            LBool::True => {
+                // A selector can only be forced true at level 0 when the
+                // permanent clauses are themselves inconsistent.
+                self.ok = false;
+            }
+            LBool::Undef => {
+                self.enqueue(s.neg(), Reason::Decision);
+                if self.propagate_all().is_some() {
+                    self.ok = false;
+                }
+            }
+        }
+        // Sweep the scope's clauses: everything added since the push that
+        // mentions ¬sel is now permanently satisfied and can only cost
+        // propagation time. Deleting is safe even for reasons of level-0
+        // literals — conflict analysis never expands level-0 antecedents,
+        // and BCP skips tombstones lazily.
+        let dead = s.neg();
+        for cref in scope.db_mark..self.db.num_total() as u32 {
+            if !self.db.is_deleted(cref) && self.db.lits(cref).contains(&dead) {
+                self.db.delete(cref);
+            }
+        }
+    }
+
+    /// Number of currently open scopes.
+    pub fn num_scopes(&self) -> usize {
+        self.scopes.len()
     }
 
     /// Allocate a fresh variable.
@@ -227,8 +316,12 @@ impl<T: Theory> SatSolver<T> {
         }
         self.cancel_until(0);
         // Level-0 simplification: drop false literals, detect satisfied or
-        // tautological clauses, deduplicate.
+        // tautological clauses, deduplicate. Inside a scope the clause also
+        // carries the negated innermost selector so a pop retracts it.
         let mut sorted = lits.to_vec();
+        if let Some(scope) = self.scopes.last() {
+            sorted.push(scope.sel.neg());
+        }
         sorted.sort_unstable();
         sorted.dedup();
         let mut simplified: Vec<Lit> = Vec::with_capacity(sorted.len());
@@ -314,7 +407,10 @@ impl<T: Theory> SatSolver<T> {
                     }
                 }
                 let first = self.db.lits(w.cref)[0];
-                let w_new = Watcher { cref: w.cref, blocker: first };
+                let w_new = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 if first != w.blocker && self.value_lit(first) == LBool::True {
                     ws[j] = w_new;
                     j += 1;
@@ -502,7 +598,10 @@ impl<T: Theory> SatSolver<T> {
         // relies on.
         let before = learnt.len();
         let body: Vec<Lit> = learnt[1..].to_vec();
-        let kept: Vec<Lit> = body.into_iter().filter(|&l| !self.literal_redundant(l)).collect();
+        let kept: Vec<Lit> = body
+            .into_iter()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
         learnt.truncate(1);
         learnt.extend(kept);
         self.stats.minimized_lits += (before - learnt.len()) as u64;
@@ -647,10 +746,12 @@ impl<T: Theory> SatSolver<T> {
         let mut learnts = self.db.learnt_refs();
         // Sort worst-first: high LBD, then low activity.
         learnts.sort_by(|&a, &b| {
-            self.db
-                .lbd(b)
-                .cmp(&self.db.lbd(a))
-                .then(self.db.activity(a).partial_cmp(&self.db.activity(b)).unwrap())
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap(),
+            )
         });
         let target = learnts.len() / 2;
         let mut removed = 0;
@@ -679,14 +780,29 @@ impl<T: Theory> SatSolver<T> {
     }
 
     fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.vars[l.var().index()].level).collect();
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.vars[l.var().index()].level)
+            .collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
     }
 
-    /// Solve under the given assumptions.
+    /// Solve under the given assumptions (plus the selectors of every open
+    /// scope, which are assumed true automatically).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        if self.scopes.is_empty() {
+            return self.solve_inner(assumptions);
+        }
+        let mut all: Vec<Lit> = Vec::with_capacity(self.scopes.len() + assumptions.len());
+        all.extend(self.scopes.iter().map(|sc| sc.sel.pos()));
+        all.extend_from_slice(assumptions);
+        self.solve_inner(&all)
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
@@ -729,6 +845,10 @@ impl<T: Theory> SatSolver<T> {
                             return SolveResult::Unknown;
                         }
                     }
+                    if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if self.stats.conflicts >= self.next_reduce {
                         self.reduce_db();
@@ -766,6 +886,12 @@ impl<T: Theory> SatSolver<T> {
                         continue;
                     }
                     // Regular decision.
+                    if self.stats.decisions.is_multiple_of(256)
+                        && self.deadline.is_some_and(|d| Instant::now() >= d)
+                    {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
                     match self.pick_branch() {
                         Some(l) => {
                             self.stats.decisions += 1;
@@ -888,20 +1014,17 @@ mod tests {
     }
 
     fn pigeonhole(s: &mut SatSolver, pigeons: usize, holes: usize) {
-        let mut x = vec![vec![]; pigeons];
-        for p in 0..pigeons {
-            for _ in 0..holes {
-                x[p].push(s.new_var());
-            }
-        }
-        for p in 0..pigeons {
-            let c: Vec<Lit> = x[p].iter().map(|v| v.pos()).collect();
+        let x: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             s.add_clause(&c);
         }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause(&[x[p1][h].neg(), x[p2][h].neg()]);
+        for (i, row_a) in x.iter().enumerate() {
+            for row_b in &x[i + 1..] {
+                for (a, b) in row_a.iter().zip(row_b) {
+                    s.add_clause(&[a.neg(), b.neg()]);
                 }
             }
         }
@@ -942,7 +1065,8 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         for c in &clauses {
             assert!(
-                c.iter().any(|&l| s.model_value(l.var()).xor(l.is_neg()) == LBool::True),
+                c.iter()
+                    .any(|&l| s.model_value(l.var()).xor(l.is_neg()) == LBool::True),
                 "clause {c:?} not satisfied"
             );
         }
@@ -958,7 +1082,10 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.solve_with_assumptions(&[a.pos()]), SolveResult::Unsat);
         let core = s.unsat_core().to_vec();
-        assert!(core.contains(&a.pos()), "core {core:?} should mention the assumption");
+        assert!(
+            core.contains(&a.pos()),
+            "core {core:?} should mention the assumption"
+        );
         // Solver remains usable afterwards.
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.model_value(a), LBool::False);
@@ -1031,7 +1158,12 @@ mod tests {
 
     impl MutexTheory {
         fn new(a: Lit, b: Lit) -> Self {
-            MutexTheory { a, b, stack: vec![], marks: vec![] }
+            MutexTheory {
+                a,
+                b,
+                stack: vec![],
+                marks: vec![],
+            }
         }
     }
 
@@ -1108,6 +1240,231 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(s.solve(), SolveResult::Sat);
         }
+    }
+
+    #[test]
+    fn scope_clauses_active_until_pop() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        s.add_clause(&[a.pos()]);
+        s.push_scope();
+        s.add_clause(&[a.neg()]); // contradicts the permanent unit, scoped
+        assert_eq!(s.solve(), SolveResult::Unsat, "scoped clause must bind");
+        s.pop_scope();
+        assert_eq!(s.solve(), SolveResult::Sat, "popped clause must be gone");
+        assert_eq!(s.model_value(a), LBool::True);
+    }
+
+    #[test]
+    fn popped_blocking_clauses_do_not_leak() {
+        // Enumerate the 3 models of (a \/ b) inside a scope via blocking
+        // clauses, pop, and verify the full model set is reachable again.
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        let enumerate = |s: &mut SatSolver| {
+            let mut count = 0;
+            while s.solve() == SolveResult::Sat {
+                count += 1;
+                assert!(count <= 3, "more models than possible");
+                let block: Vec<Lit> = [a, b]
+                    .iter()
+                    .map(|&v| {
+                        if s.model_value(v) == LBool::True {
+                            v.neg()
+                        } else {
+                            v.pos()
+                        }
+                    })
+                    .collect();
+                s.add_clause(&block);
+            }
+            count
+        };
+        s.push_scope();
+        assert_eq!(enumerate(&mut s), 3);
+        s.pop_scope();
+        s.push_scope();
+        assert_eq!(enumerate(&mut s), 3, "first scope's blocks leaked");
+        s.pop_scope();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pop_scope_sweeps_dead_clauses_from_the_database() {
+        // Blocking clauses added inside a scope must not accumulate in the
+        // clause database across pops — a long-lived session would drag
+        // them through every future propagation.
+        let mut s = SatSolver::new_pure();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        let c: Vec<Lit> = vars.iter().map(|v| v.pos()).collect();
+        s.add_clause(&c);
+        let baseline = s.num_clauses();
+        for _round in 0..3 {
+            s.push_scope();
+            // Enumerate all models over the first three vars, blocking each.
+            while s.solve() == SolveResult::Sat {
+                let block: Vec<Lit> = vars
+                    .iter()
+                    .take(3)
+                    .map(|&v| {
+                        if s.model_value(v) == LBool::True {
+                            v.neg()
+                        } else {
+                            v.pos()
+                        }
+                    })
+                    .collect();
+                s.add_clause(&block);
+            }
+            s.pop_scope();
+            assert!(
+                s.num_clauses() <= baseline + 2,
+                "dead scope clauses piled up: {} live after pop (baseline {baseline})",
+                s.num_clauses(),
+            );
+            assert_eq!(s.solve(), SolveResult::Sat, "solver poisoned by pop");
+        }
+    }
+
+    #[test]
+    fn nested_scopes_pop_in_lifo_order() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push_scope();
+        s.add_clause(&[a.pos()]);
+        s.push_scope();
+        s.add_clause(&[b.pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), LBool::True);
+        assert_eq!(s.model_value(b), LBool::True);
+        s.pop_scope(); // b's unit retracted, a's still active
+        s.add_clause(&[b.neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), LBool::True);
+        assert_eq!(s.model_value(b), LBool::False);
+        s.pop_scope();
+        assert_eq!(s.num_scopes(), 0);
+    }
+
+    #[test]
+    fn learned_clauses_survive_pop() {
+        // Solve a hard UNSAT core inside a scope twice: the permanent
+        // pigeonhole clauses stay, so conflicts learned in the first solve
+        // must make the second solve cheaper even across a pop.
+        let mut s = SatSolver::new_pure();
+        pigeonhole(&mut s, 6, 5);
+        s.push_scope();
+        let before = s.stats().conflicts;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let first = s.stats().conflicts - before;
+        s.pop_scope();
+        s.push_scope();
+        let before = s.stats().conflicts;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let second = s.stats().conflicts - before;
+        s.pop_scope();
+        assert!(first > 0, "PHP(6,5) must conflict");
+        assert!(
+            second < first,
+            "learned clauses did not survive the pop: {first} then {second}"
+        );
+    }
+
+    #[test]
+    fn scoped_solving_matches_from_scratch() {
+        // Pseudo-random 3-CNFs: solving base+extra inside a scope must
+        // agree with a fresh solver fed both clause sets directly.
+        let mut seed = 0x5eed5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _round in 0..50 {
+            let nvars = 4 + (next() % 5) as usize;
+            let clause = |next: &mut dyn FnMut() -> u64| -> Vec<Lit> {
+                (0..3)
+                    .map(|_| {
+                        let v = Var((next() % nvars as u64) as u32);
+                        if next().is_multiple_of(2) {
+                            v.pos()
+                        } else {
+                            v.neg()
+                        }
+                    })
+                    .collect()
+            };
+            let base: Vec<Vec<Lit>> = (0..next() % 10).map(|_| clause(&mut next)).collect();
+            let extra: Vec<Vec<Lit>> = (0..1 + next() % 10).map(|_| clause(&mut next)).collect();
+
+            let mut scoped = SatSolver::new_pure();
+            for _ in 0..nvars {
+                scoped.new_var();
+            }
+            for c in &base {
+                scoped.add_clause(c);
+            }
+            scoped.push_scope();
+            for c in &extra {
+                scoped.add_clause(c);
+            }
+            let with_extra = scoped.solve();
+            scoped.pop_scope();
+            let base_only = scoped.solve();
+
+            let mut fresh = SatSolver::new_pure();
+            for _ in 0..nvars {
+                fresh.new_var();
+            }
+            for c in base.iter().chain(&extra) {
+                fresh.add_clause(c);
+            }
+            assert_eq!(with_extra, fresh.solve(), "scoped vs from-scratch diverged");
+
+            let mut fresh_base = SatSolver::new_pure();
+            for _ in 0..nvars {
+                fresh_base.new_var();
+            }
+            for c in &base {
+                fresh_base.add_clause(c);
+            }
+            assert_eq!(
+                base_only,
+                fresh_base.solve(),
+                "pop did not restore the base problem"
+            );
+        }
+    }
+
+    #[test]
+    fn scopes_compose_with_assumptions_and_cores() {
+        let mut s = SatSolver::new_pure();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push_scope();
+        s.add_clause(&[a.neg(), b.pos()]);
+        s.add_clause(&[a.neg(), b.neg()]);
+        assert_eq!(s.solve_with_assumptions(&[a.pos()]), SolveResult::Unsat);
+        assert!(
+            s.unsat_core().contains(&a.pos()),
+            "user assumption must appear in the core alongside scope selectors"
+        );
+        s.pop_scope();
+        assert_eq!(s.solve_with_assumptions(&[a.pos()]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn past_deadline_reports_unknown() {
+        let mut s = SatSolver::new_pure();
+        pigeonhole(&mut s, 6, 5);
+        s.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_deadline(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

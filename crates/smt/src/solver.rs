@@ -48,6 +48,8 @@ pub struct SmtSolver {
     /// SAT literals of the assumptions from the most recent check (aligned
     /// with the caller's assumption slice), for core mapping.
     assumption_lits: Vec<Lit>,
+    /// Length of `asserted` at each open scope, for the pop-time rollback.
+    scope_asserted_len: Vec<usize>,
 }
 
 impl Default for SmtSolver {
@@ -66,6 +68,7 @@ impl SmtSolver {
             encode_error: None,
             model: None,
             assumption_lits: Vec::new(),
+            scope_asserted_len: Vec::new(),
         }
     }
 
@@ -246,8 +249,9 @@ impl SmtSolver {
     fn extract_model(&mut self) {
         let n_int = self.pool.num_int_vars();
         let idl = self.sat.theory();
-        let ints: Vec<i64> =
-            (0..n_int as u32).map(|i| idl.value_of(theory_var_of_pool_var(i))).collect();
+        let ints: Vec<i64> = (0..n_int as u32)
+            .map(|i| idl.value_of(theory_var_of_pool_var(i)))
+            .collect();
         // Boolean variables: read the SAT model through the Tseitin cache,
         // which maps pool bool-var indices to SAT vars. Variables the
         // encoder never saw stay at the `false` default.
@@ -301,6 +305,44 @@ impl SmtSolver {
     /// Limit conflicts for subsequent checks (None = unlimited).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.sat.set_conflict_budget(budget);
+    }
+
+    /// Wall-clock deadline for subsequent checks: a check still searching
+    /// at the deadline answers `Unknown` instead of overshooting (None =
+    /// unlimited). This is the per-check half of the checker's
+    /// `budget_ms`; the caller decides how much of its budget each check
+    /// may spend.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.sat.set_deadline(deadline);
+    }
+
+    /// Open an assertion scope: everything asserted until the matching
+    /// [`SmtSolver::pop_scope`] — including blocking clauses added by
+    /// [`SmtSolver::block_model_values`] — is retracted as a group at the
+    /// pop, while learned clauses that do not depend on the scope survive.
+    /// Used by the all-SAT and refinement drivers so per-query blocking
+    /// clauses do not permanently pollute the clause database.
+    pub fn push_scope(&mut self) {
+        self.scope_asserted_len.push(self.asserted.len());
+        self.tseitin.push_scope();
+        self.sat.push_scope();
+    }
+
+    /// Close the innermost scope opened by [`SmtSolver::push_scope`].
+    pub fn pop_scope(&mut self) {
+        let n = self
+            .scope_asserted_len
+            .pop()
+            .expect("pop_scope without matching push_scope");
+        self.asserted.truncate(n);
+        self.sat.pop_scope();
+        self.tseitin.pop_scope();
+        self.model = None;
+    }
+
+    /// Number of currently open scopes.
+    pub fn num_scopes(&self) -> usize {
+        self.scope_asserted_len.len()
     }
 
     /// Block the current model's values of the given integer terms: asserts
@@ -467,8 +509,14 @@ mod tests {
         let assumptions = [innocent, guilty];
         assert_eq!(s.check_assuming(&assumptions), SatResult::Unsat);
         let core = s.unsat_core_terms(&assumptions);
-        assert!(core.contains(&guilty), "core must name the conflicting assumption");
-        assert!(!core.contains(&innocent), "core must not include the innocent one");
+        assert!(
+            core.contains(&guilty),
+            "core must name the conflicting assumption"
+        );
+        assert!(
+            !core.contains(&innocent),
+            "core must not include the innocent one"
+        );
     }
 
     #[test]
@@ -494,9 +542,102 @@ mod tests {
         let c2 = s.le(x, three);
         s.assert_term(c1);
         s.assert_term(c2);
-        let mut vals: Vec<i64> = s.enumerate_models(&[x], 100).into_iter().map(|v| v[0]).collect();
+        let mut vals: Vec<i64> = s
+            .enumerate_models(&[x], 100)
+            .into_iter()
+            .map(|v| v[0])
+            .collect();
         vals.sort_unstable();
         assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scoped_assertions_retract_on_pop() {
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let zero = s.int_const(0);
+        let pos = s.gt(x, zero);
+        s.assert_term(pos);
+        s.push_scope();
+        let neg = s.lt(x, zero);
+        s.assert_term(neg);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop_scope();
+        assert_eq!(s.check(), SatResult::Sat, "popped assertion must not leak");
+        let m = s.model().unwrap();
+        assert!(m.ints[0] > 0);
+    }
+
+    #[test]
+    fn scoped_enumeration_leaves_no_blocks_behind() {
+        // enumerate_models blocks values; run it inside a scope twice and
+        // demand the same model count both times.
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let zero = s.int_const(0);
+        let three = s.int_const(3);
+        let c1 = s.ge(x, zero);
+        let c2 = s.le(x, three);
+        s.assert_term(c1);
+        s.assert_term(c2);
+        for round in 0..2 {
+            s.push_scope();
+            let vals = s.enumerate_models(&[x], 100);
+            assert_eq!(vals.len(), 4, "round {round}: expected 0..=3");
+            s.pop_scope();
+        }
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn terms_reencode_after_scope_pop() {
+        // A term first encoded inside a scope loses its definition at the
+        // pop; asserting it again afterwards must re-encode it soundly.
+        let mut s = SmtSolver::new();
+        let x = s.int_var("x");
+        let y = s.int_var("y");
+        let lt = s.lt(x, y);
+        let gt = s.lt(y, x);
+        let either = s.or2(lt, gt); // composite: gets a scoped definition
+        s.push_scope();
+        s.assert_term(either);
+        assert_eq!(s.check(), SatResult::Sat);
+        s.pop_scope();
+        // Re-assert the very same TermId permanently, then contradict it.
+        s.assert_term(either);
+        let eq = s.eq(x, y);
+        s.assert_term(eq);
+        assert_eq!(
+            s.check(),
+            SatResult::Unsat,
+            "re-encoded disjunction lost its defining clauses"
+        );
+    }
+
+    #[test]
+    fn check_deadline_degrades_to_unknown() {
+        // A cyclic chain hidden behind fresh Boolean guards, so deciding is
+        // required (pure level-0 propagation would answer before the
+        // deadline check could fire).
+        let mut s = SmtSolver::new();
+        let vars: Vec<TermId> = (0..40).map(|i| s.int_var(format!("d{i}"))).collect();
+        for (i, w) in vars.windows(2).enumerate() {
+            let c = s.lt(w[0], w[1]);
+            let p = s.bool_var(format!("p{i}"));
+            let np = s.not(p);
+            let if_p = s.implies(p, c);
+            let if_np = s.implies(np, c);
+            s.assert_term(if_p);
+            s.assert_term(if_np);
+        }
+        let back = s.lt(vars[39], vars[0]);
+        s.assert_term(back);
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        assert_eq!(s.check(), SatResult::Unknown);
+        s.set_deadline(None);
+        assert_eq!(s.check(), SatResult::Unsat);
     }
 
     #[test]

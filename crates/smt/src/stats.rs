@@ -23,6 +23,8 @@ pub struct Stats {
     pub minimized_lits: u64,
     /// Problem clauses added.
     pub clauses_added: u64,
+    /// `solve` calls answered (SAT checks).
+    pub solves: u64,
 }
 
 impl Stats {
@@ -38,6 +40,33 @@ impl Stats {
         self.deleted_clauses += other.deleted_clauses;
         self.minimized_lits += other.minimized_lits;
         self.clauses_added += other.clauses_added;
+        self.solves += other.solves;
+    }
+
+    /// Counters accumulated since `baseline` was snapshotted (solver stats
+    /// are monotone, so this is a per-phase delta for session reuse
+    /// reporting). Saturates rather than underflows if the snapshots are
+    /// swapped.
+    pub fn delta(&self, baseline: &Stats) -> Stats {
+        Stats {
+            decisions: self.decisions.saturating_sub(baseline.decisions),
+            propagations: self.propagations.saturating_sub(baseline.propagations),
+            conflicts: self.conflicts.saturating_sub(baseline.conflicts),
+            theory_conflicts: self
+                .theory_conflicts
+                .saturating_sub(baseline.theory_conflicts),
+            theory_assertions: self
+                .theory_assertions
+                .saturating_sub(baseline.theory_assertions),
+            restarts: self.restarts.saturating_sub(baseline.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(baseline.learnt_clauses),
+            deleted_clauses: self
+                .deleted_clauses
+                .saturating_sub(baseline.deleted_clauses),
+            minimized_lits: self.minimized_lits.saturating_sub(baseline.minimized_lits),
+            clauses_added: self.clauses_added.saturating_sub(baseline.clauses_added),
+            solves: self.solves.saturating_sub(baseline.solves),
+        }
     }
 }
 
@@ -63,8 +92,17 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = Stats { decisions: 1, conflicts: 2, ..Default::default() };
-        let b = Stats { decisions: 10, conflicts: 20, restarts: 3, ..Default::default() };
+        let mut a = Stats {
+            decisions: 1,
+            conflicts: 2,
+            ..Default::default()
+        };
+        let b = Stats {
+            decisions: 10,
+            conflicts: 20,
+            restarts: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.decisions, 11);
         assert_eq!(a.conflicts, 22);
@@ -73,7 +111,10 @@ mod tests {
 
     #[test]
     fn display_mentions_key_counters() {
-        let s = Stats { decisions: 5, ..Default::default() };
+        let s = Stats {
+            decisions: 5,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("decisions=5"));
         assert!(text.contains("conflicts="));

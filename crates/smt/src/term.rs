@@ -406,7 +406,11 @@ impl TermPool {
     pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
         if let (Term::IntConst(x), Term::IntConst(y)) = (self.get(a), self.get(b)) {
             let (x, y) = (*x, *y);
-            return if op.eval(x, y) { self.tru() } else { self.fls() };
+            return if op.eval(x, y) {
+                self.tru()
+            } else {
+                self.fls()
+            };
         }
         self.intern(Term::Cmp(op, a, b))
     }
@@ -653,7 +657,14 @@ mod tests {
 
     #[test]
     fn cmp_op_negate_and_eval_agree() {
-        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             for a in -2..3i64 {
                 for b in -2..3i64 {
                     assert_eq!(op.eval(a, b), !op.negate().eval(a, b), "{op:?} {a} {b}");

@@ -15,7 +15,10 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
             ),
             1..16,
         )
-        .prop_map(move |clauses| Cnf { num_vars: nv, clauses })
+        .prop_map(move |clauses| Cnf {
+            num_vars: nv,
+            clauses,
+        })
     })
 }
 

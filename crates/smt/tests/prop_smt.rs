@@ -32,8 +32,7 @@ fn formula() -> impl Strategy<Value = F> {
             inner.clone().prop_map(|f| F::Not(Box::new(f))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| F::Iff(Box::new(a), Box::new(b))),
         ]
     })

@@ -2,8 +2,9 @@
 //! solving, witness validation, and the over-approximation refinement loop
 //! (the paper's future-work item, closed here).
 
-use crate::encode::{encode, EncodeOptions, EncodeStats};
+use crate::encode::{EncodeStats, UniqueScope};
 use crate::matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};
+use crate::session::{CheckSession, SessionPool};
 use crate::witness::{decode_witness, replay_witness, ReplayVerdict, Witness};
 use mcapi::program::Program;
 use mcapi::runtime::execute_random;
@@ -11,6 +12,7 @@ use mcapi::trace::{Trace, Violation};
 use mcapi::types::{DeliveryModel, Matching};
 use smt::SatResult;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Which match-pair generator to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,9 +40,9 @@ pub struct CheckConfig {
     /// Wall-clock budget for the solve/refine loop, in milliseconds.
     /// `None` means unbounded. When the budget runs out the verdict
     /// degrades to [`Verdict::Unknown`] rather than a wrong answer. The
-    /// deadline is checked *between* solver calls — a single pathological
-    /// SMT check can overshoot the budget, so this bounds refinement
-    /// loops, not worst-case solver latency.
+    /// deadline is both checked between solver calls *and* handed to the
+    /// solver as a per-check deadline, so a single pathological SMT check
+    /// degrades to `Unknown` instead of blowing past the budget.
     pub budget_ms: Option<u64>,
 }
 
@@ -60,7 +62,10 @@ impl Default for CheckConfig {
 
 impl CheckConfig {
     pub fn with_matchgen(matchgen: MatchGen) -> Self {
-        CheckConfig { matchgen, ..Default::default() }
+        CheckConfig {
+            matchgen,
+            ..Default::default()
+        }
     }
 }
 
@@ -94,10 +99,20 @@ pub struct CheckReport {
     pub verdict: Verdict,
     /// Spurious witnesses blocked during refinement.
     pub refinements: usize,
+    /// Size of the encoding that answered this query. For shared-session
+    /// queries this is the session's clause database at query time —
+    /// *cumulative* over every axiom group built by earlier queries, not a
+    /// per-query delta (unlike [`CheckReport::solver_stats`]) — so size
+    /// columns are only comparable between runs with the same reuse mode.
     pub encode_stats: EncodeStats,
     /// Match-pair generation cost (states explored).
     pub matchgen_states: usize,
     pub matchgen_pairs: usize,
+    /// SMT checks issued by this query (1 + refinements, usually).
+    pub sat_checks: usize,
+    /// Solver work this query cost (delta over the session's counters, so
+    /// shared-session queries report only their own share).
+    pub solver_stats: smt::Stats,
     /// The trace the analysis ran on.
     pub trace: Trace,
 }
@@ -146,65 +161,129 @@ pub fn generate_trace(program: &Program, cfg: &CheckConfig) -> Trace {
 /// ```
 pub fn check_program(program: &Program, cfg: &CheckConfig) -> CheckReport {
     let trace = generate_trace(program, cfg);
-    if let Some(v) = &trace.violation {
-        // The random trace itself violated the property: report directly
-        // (the trace is its own witness).
-        return CheckReport {
-            verdict: Verdict::Violation(Box::new(ConfirmedViolation {
-                witness: Witness {
-                    matching: trace.concrete_matching_keys(),
-                    event_order: (0..trace.events.len()).collect(),
-                    clocks: (0..trace.events.len() as i64).collect(),
-                    recv_values: Vec::new(),
-                    violated: vec![v.message.clone()],
-                },
-                violation: Some(v.clone()),
-                violated_props: vec![v.message.clone()],
-            })),
-            refinements: 0,
-            encode_stats: EncodeStats::default(),
-            matchgen_states: 0,
-            matchgen_pairs: 0,
-            trace,
-        };
+    if trace.violation.is_some() {
+        return report_for_violating_trace(trace);
     }
     check_trace(program, &trace, cfg)
 }
 
+/// Check a program through a [`SessionPool`]: the trace is generated
+/// exactly as [`check_program`] would, but the encoding is reused from the
+/// pool whenever a previous query ran on the same (trace events, match
+/// pairs). Returns the report and whether an existing encoding was reused.
+///
+/// This is the entry point for batched drivers that run several
+/// delivery-model/match-generator scenarios against one grid point.
+pub fn check_program_pooled(
+    pool: &mut SessionPool,
+    program: &Program,
+    cfg: &CheckConfig,
+) -> (CheckReport, bool) {
+    let trace = generate_trace(program, cfg);
+    if trace.violation.is_some() {
+        // Direct violation: no encoding is built, so nothing to reuse.
+        return (report_for_violating_trace(trace), false);
+    }
+    let pairs = make_pairs(program, &trace, cfg);
+    let (session, reused) = pool.session_for(program, &trace, &pairs);
+    let mut report = check_trace_in_session(session, program, &trace, cfg);
+    report.matchgen_states = pairs.states_explored;
+    report.matchgen_pairs = pairs.num_pairs();
+    (report, reused)
+}
+
+/// The report for a random trace that violated a property on its own: the
+/// trace is its own witness and no solver runs.
+fn report_for_violating_trace(trace: Trace) -> CheckReport {
+    let v = trace
+        .violation
+        .clone()
+        .expect("caller checked for a violation");
+    CheckReport {
+        verdict: Verdict::Violation(Box::new(ConfirmedViolation {
+            witness: Witness {
+                matching: trace.concrete_matching_keys(),
+                event_order: (0..trace.events.len()).collect(),
+                clocks: (0..trace.events.len() as i64).collect(),
+                recv_values: Vec::new(),
+                violated: vec![v.message.clone()],
+            },
+            violation: Some(v.clone()),
+            violated_props: vec![v.message],
+        })),
+        refinements: 0,
+        encode_stats: EncodeStats::default(),
+        matchgen_states: 0,
+        matchgen_pairs: 0,
+        sat_checks: 0,
+        solver_stats: smt::Stats::default(),
+        trace,
+    }
+}
+
 /// The paper's pipeline on a given trace: match pairs, encoding, solving,
-/// and (for over-approximate pairs) validate-and-refine.
+/// and (for over-approximate pairs) validate-and-refine. Builds a
+/// single-use [`CheckSession`]; batched callers should build the session
+/// once and use [`check_trace_in_session`] directly.
 pub fn check_trace(program: &Program, trace: &Trace, cfg: &CheckConfig) -> CheckReport {
     let pairs = make_pairs(program, trace, cfg);
-    let mut enc = encode(
-        program,
-        trace,
-        &pairs,
-        EncodeOptions { delivery: cfg.delivery, negate_props: true, ..Default::default() },
-    );
-    let encode_stats = enc.stats;
+    let mut session = CheckSession::new(program, trace, &pairs, UniqueScope::default());
+    let mut report = check_trace_in_session(&mut session, program, trace, cfg);
+    report.matchgen_states = pairs.states_explored;
+    report.matchgen_pairs = pairs.num_pairs();
+    report
+}
+
+/// Run the violation query for `(trace, cfg)` on a shared session: the
+/// delivery-model axiom group and negated-property group are activated by
+/// assumptions, refinement blocking clauses live in a solver scope popped
+/// on exit, and [`CheckConfig::budget_ms`] is plumbed into the solver as a
+/// per-check deadline so no single solve can overshoot the budget.
+///
+/// Match-pair cost counters are left at zero — the session owner knows
+/// whether pair generation was amortised.
+pub fn check_trace_in_session(
+    session: &mut CheckSession,
+    program: &Program,
+    trace: &Trace,
+    cfg: &CheckConfig,
+) -> CheckReport {
+    session.checks += 1;
+    let deadline = cfg
+        .budget_ms
+        .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+    // Build (or look up) the axiom groups *before* opening the per-query
+    // scope: groups are permanent, blocking clauses are not.
+    let assumptions = session.assumptions(cfg.delivery, true);
+    let enc = &mut session.enc;
+    let stats_before = *enc.solver.stats();
     let id_terms = enc.id_terms();
     let mut refinements = 0usize;
-    let deadline = cfg.budget_ms.map(|ms| {
-        std::time::Instant::now() + std::time::Duration::from_millis(ms)
-    });
+    let mut sat_checks = 0usize;
+    enc.solver.push_scope();
 
     let verdict = loop {
-        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             break Verdict::Unknown("time budget exhausted".into());
         }
-        match enc.solver.check() {
+        enc.solver.set_deadline(deadline);
+        sat_checks += 1;
+        let result = enc.solver.check_assuming(&assumptions);
+        enc.solver.set_deadline(None);
+        match result {
             SatResult::Unsat => break Verdict::Safe,
             SatResult::Unknown => {
-                break Verdict::Unknown(
-                    enc.solver
-                        .encode_error()
-                        .map(|e| e.to_string())
-                        .unwrap_or_else(|| "solver budget exhausted".into()),
-                )
+                break Verdict::Unknown(if let Some(e) = enc.solver.encode_error() {
+                    e.to_string()
+                } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                    "time budget exhausted".into()
+                } else {
+                    "solver budget exhausted".into()
+                })
             }
             SatResult::Sat => {
                 let model = enc.solver.model().expect("model after SAT").clone();
-                let witness = decode_witness(&enc, &model);
+                let witness = decode_witness(enc, &model);
                 if !cfg.validate {
                     let violated = witness.violated.clone();
                     break Verdict::Violation(Box::new(ConfirmedViolation {
@@ -227,7 +306,7 @@ pub fn check_trace(program: &Program, trace: &Trace, cfg: &CheckConfig) -> Check
                         if refinements > cfg.max_refinements {
                             break Verdict::Unknown("refinement budget exhausted".into());
                         }
-                        // Block this matching and try again.
+                        // Block this matching (inside the scope) and retry.
                         if !enc.solver.block_model_values(&id_terms) {
                             break Verdict::Unknown("failed to block spurious model".into());
                         }
@@ -237,17 +316,25 @@ pub fn check_trace(program: &Program, trace: &Trace, cfg: &CheckConfig) -> Check
         }
     };
 
+    enc.solver.pop_scope();
+    enc.refresh_size_stats();
+    let solver_stats = enc.solver.stats().delta(&stats_before);
+
     CheckReport {
         verdict,
         refinements,
-        encode_stats,
-        matchgen_states: pairs.states_explored,
-        matchgen_pairs: pairs.num_pairs(),
+        encode_stats: enc.stats,
+        matchgen_states: 0,
+        matchgen_pairs: 0,
+        sat_checks,
+        solver_stats,
         trace: trace.clone(),
     }
 }
 
-fn make_pairs(program: &Program, trace: &Trace, cfg: &CheckConfig) -> MatchPairs {
+/// The match pairs `cfg` selects for this trace (the paper's precise DFS
+/// or the endpoint over-approximation).
+pub fn make_pairs(program: &Program, trace: &Trace, cfg: &CheckConfig) -> MatchPairs {
     match cfg.matchgen {
         MatchGen::Precise => precise_match_pairs(program, trace, cfg.delivery),
         MatchGen::OverApprox => overapprox_match_pairs(program, trace),
@@ -291,24 +378,39 @@ pub fn enumerate_matchings(
     limit: usize,
 ) -> MatchingEnumeration {
     let pairs = make_pairs(program, trace, cfg);
-    let mut enc = encode(
-        program,
-        trace,
-        &pairs,
-        EncodeOptions { delivery: cfg.delivery, negate_props: false, ..Default::default() },
-    );
+    let mut session = CheckSession::new(program, trace, &pairs, UniqueScope::default());
+    enumerate_matchings_in_session(&mut session, program, trace, cfg, limit)
+}
+
+/// All-SAT behaviour enumeration on a shared session: the positive-property
+/// group is activated by assumption and every blocking clause lives in a
+/// per-query scope, so the session stays clean for the next query.
+pub fn enumerate_matchings_in_session(
+    session: &mut CheckSession,
+    program: &Program,
+    trace: &Trace,
+    cfg: &CheckConfig,
+    limit: usize,
+) -> MatchingEnumeration {
+    session.checks += 1;
+    let assumptions = session.assumptions(cfg.delivery, false);
+    let enc = &mut session.enc;
     let id_terms = enc.id_terms();
     let mut out = MatchingEnumeration::default();
-    let deadline = cfg.budget_ms.map(|ms| {
-        std::time::Instant::now() + std::time::Duration::from_millis(ms)
-    });
+    let deadline = cfg
+        .budget_ms
+        .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+    enc.solver.push_scope();
     loop {
-        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             out.truncated = true;
             break;
         }
         out.sat_checks += 1;
-        match enc.solver.check() {
+        enc.solver.set_deadline(deadline);
+        let result = enc.solver.check_assuming(&assumptions);
+        enc.solver.set_deadline(None);
+        match result {
             SatResult::Sat => {
                 // Blocking clauses make every model a fresh id assignment,
                 // so a SAT result at the limit proves the enumeration is
@@ -320,11 +422,12 @@ pub fn enumerate_matchings(
                 let model = enc.solver.model().expect("model").clone();
                 let matching = enc.matching_from_model(&model);
                 let accept = if cfg.validate {
-                    let w = decode_witness(&enc, &model);
+                    let w = decode_witness(enc, &model);
                     match replay_witness(program, trace, &w, cfg.delivery) {
-                        ReplayVerdict::Confirmed { complete, violation } => {
-                            complete && violation.is_none()
-                        }
+                        ReplayVerdict::Confirmed {
+                            complete,
+                            violation,
+                        } => complete && violation.is_none(),
                         ReplayVerdict::Spurious { .. } => false,
                     }
                 } else {
@@ -340,9 +443,16 @@ pub fn enumerate_matchings(
                     break;
                 }
             }
-            _ => break,
+            SatResult::Unsat => break, // enumeration exhausted: complete
+            SatResult::Unknown => {
+                // A solver deadline/budget stop mid-enumeration means the
+                // model set may be incomplete.
+                out.truncated = true;
+                break;
+            }
         }
     }
+    enc.solver.pop_scope();
     out
 }
 
@@ -396,7 +506,11 @@ mod tests {
         let t1 = b.thread("t1");
         let t2 = b.thread("t2");
         let a = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "p1 first");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "p1 first",
+        );
         b.send_const(t1, t0, 0, 1);
         b.send_const(t2, t0, 0, 2);
         b.build().unwrap()
@@ -472,6 +586,52 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_budget_degrades_to_unknown() {
+        // budget_ms = 0: the deadline is already past when the first check
+        // would run (and is also plumbed into the solver as a per-check
+        // deadline), so the verdict must degrade to Unknown, never flip.
+        let p = race_with_assert();
+        let cfg = CheckConfig {
+            budget_ms: Some(0),
+            ..CheckConfig::default()
+        };
+        let report = check_program(&p, &cfg);
+        match &report.verdict {
+            Verdict::Unknown(why) => assert!(why.contains("time budget"), "{why}"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_reuse_answers_all_deliveries_like_fresh_checks() {
+        // One session per (trace, pairs) through the pool must answer what
+        // three from-scratch pipelines answer, with at most the pair-set
+        // distinct encodings built.
+        let p = delay_sensitive();
+        let mut pool = crate::session::SessionPool::new();
+        for delivery in DeliveryModel::ALL {
+            let cfg = CheckConfig {
+                delivery,
+                matchgen: MatchGen::OverApprox,
+                ..CheckConfig::default()
+            };
+            let (pooled, _) = check_program_pooled(&mut pool, &p, &cfg);
+            let fresh = check_program(&p, &cfg);
+            assert_eq!(
+                std::mem::discriminant(&pooled.verdict),
+                std::mem::discriminant(&fresh.verdict),
+                "{delivery}: pooled {:?} vs fresh {:?}",
+                pooled.verdict,
+                fresh.verdict,
+            );
+        }
+        assert!(
+            pool.encodings_built < 3,
+            "traces coincide across deliveries here, so encodings must be shared"
+        );
+    }
+
+    #[test]
     fn fig1_matching_enumeration_is_exactly_fig4() {
         let p = fig1();
         let cfg = CheckConfig::default();
@@ -510,7 +670,11 @@ mod tests {
         let t0 = b.thread("t0");
         let t1 = b.thread("t1");
         let v = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(7)), "is 7");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(7)),
+            "is 7",
+        );
         b.send_const(t1, t0, 0, 7);
         let p = b.build().unwrap();
         for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {

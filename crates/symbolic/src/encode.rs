@@ -135,6 +135,60 @@ impl Encoding {
         self.recvs.iter().map(|r| r.id_term).collect()
     }
 
+    /// Build (without asserting) the ordering axioms of one delivery model
+    /// over this encoding's sends and receives. `Unordered` has none — the
+    /// paper's network adds no constraints beyond program order. The
+    /// session layer asserts these guarded by a selector literal; the
+    /// one-shot [`encode`] asserts them directly.
+    pub fn delivery_axioms(&mut self, delivery: DeliveryModel) -> Vec<TermId> {
+        delivery_axiom_terms(
+            &mut self.solver,
+            &self.sends,
+            &self.recvs,
+            delivery,
+            &mut self.stats,
+        )
+    }
+
+    /// The property side of the query as a single term: `negate = true`
+    /// yields "some assertion is violated" (the paper's violation query),
+    /// `negate = false` yields "every assertion holds" (behaviour
+    /// enumeration). Not asserted — callers assert it directly or guard it
+    /// behind a selector.
+    pub fn props_term(&mut self, negate: bool) -> TermId {
+        let terms: Vec<TermId> = self.prop_terms.iter().map(|p| p.term).collect();
+        if negate {
+            let negs: Vec<TermId> = terms.into_iter().map(|t| self.solver.not(t)).collect();
+            self.solver.or(negs) // empty -> false: nothing to violate
+        } else {
+            self.solver.and(terms)
+        }
+    }
+
+    /// Assert each term directly (the one-shot, delivery-pinned shape).
+    pub fn assert_terms(&mut self, terms: impl IntoIterator<Item = TermId>) {
+        for t in terms {
+            self.solver.assert_term(t);
+        }
+    }
+
+    /// Assert `sel -> t` for each term: the axiom group is active exactly
+    /// when `sel` is assumed true, so one clause database can host every
+    /// delivery model (and both property polarities) side by side.
+    pub fn assert_guarded(&mut self, sel: TermId, terms: impl IntoIterator<Item = TermId>) {
+        for t in terms {
+            let imp = self.solver.implies(sel, t);
+            self.solver.assert_term(imp);
+        }
+    }
+
+    /// Refresh the SAT-problem size counters after incremental additions.
+    pub fn refresh_size_stats(&mut self) {
+        self.stats.sat_vars = self.solver.num_sat_vars();
+        self.stats.sat_clauses = self.solver.num_sat_clauses();
+        self.stats.theory_atoms = self.solver.num_theory_atoms();
+    }
+
     /// Decode the match choice of a model into a canonical matching.
     pub fn matching_from_model(&self, model: &Model) -> Matching {
         let by_id: HashMap<i64, MsgId> = self.sends.iter().map(|s| (s.id, s.msg)).collect();
@@ -200,12 +254,34 @@ fn cond_term(solver: &mut SmtSolver, env: &[TermId], c: &Cond) -> TermId {
     }
 }
 
-/// Build the paper's SMT problem from a trace and its match pairs.
+/// Build the paper's SMT problem from a trace and its match pairs, with the
+/// delivery-model axioms and property polarity asserted directly (the
+/// one-shot shape). Sessions that serve several delivery models from one
+/// clause database use [`encode_core`] plus guarded axiom groups instead.
 pub fn encode(
     program: &Program,
     trace: &Trace,
     pairs: &MatchPairs,
     opts: EncodeOptions,
+) -> Encoding {
+    let mut enc = encode_core(program, trace, pairs, opts.unique_scope);
+    let axioms = enc.delivery_axioms(opts.delivery);
+    enc.assert_terms(axioms);
+    let props = enc.props_term(opts.negate_props);
+    enc.assert_terms([props]);
+    enc.refresh_size_stats();
+    enc
+}
+
+/// Build the delivery-model-independent core of the encoding:
+/// `POrder(program order) /\ PMatchPairs /\ PUnique /\ PEvents`, with the
+/// assertion properties collected but not yet asserted. Every delivery
+/// model and both property polarities share this core.
+pub fn encode_core(
+    program: &Program,
+    trace: &Trace,
+    pairs: &MatchPairs,
+    unique_scope: UniqueScope,
 ) -> Encoding {
     let mut solver = SmtSolver::new();
     let mut stats = EncodeStats::default();
@@ -213,8 +289,11 @@ pub fn encode(
     let zero = solver.int_const(0);
     // SSA environment: current term per local variable, initialised to 0
     // (locals start zeroed in the runtime).
-    let mut env: Vec<Vec<TermId>> =
-        program.threads.iter().map(|t| vec![zero; t.num_vars]).collect();
+    let mut env: Vec<Vec<TermId>> = program
+        .threads
+        .iter()
+        .map(|t| vec![zero; t.num_vars])
+        .collect();
     let mut prev_clock: Vec<Option<TermId>> = vec![None; n];
     let mut recv_counts = vec![0usize; n];
 
@@ -348,9 +427,7 @@ pub fn encode(
     // ---- PUnique: Fig. 3 of the paper ----
     for i in 0..recvs.len() {
         for j in (i + 1)..recvs.len() {
-            if opts.unique_scope == UniqueScope::SameEndpoint
-                && recvs[i].endpoint != recvs[j].endpoint
-            {
+            if unique_scope == UniqueScope::SameEndpoint && recvs[i].endpoint != recvs[j].endpoint {
                 continue; // cross-endpoint receives can never share a send
             }
             let d = solver.ne(recvs[i].id_term, recvs[j].id_term);
@@ -359,8 +436,32 @@ pub fn encode(
         }
     }
 
-    // ---- delivery-model ordering axioms (POrder extensions) ----
-    match opts.delivery {
+    stats.props = prop_terms.len();
+    stats.sat_vars = solver.num_sat_vars();
+    stats.sat_clauses = solver.num_sat_clauses();
+    stats.theory_atoms = solver.num_theory_atoms();
+
+    Encoding {
+        solver,
+        sends,
+        recvs,
+        prop_terms,
+        event_clocks,
+        stats,
+    }
+}
+
+/// Delivery-model ordering axioms (POrder extensions) over an encoded
+/// trace, built but not asserted. See [`Encoding::delivery_axioms`].
+fn delivery_axiom_terms(
+    solver: &mut SmtSolver,
+    sends: &[SendVar],
+    recvs: &[RecvVar],
+    delivery: DeliveryModel,
+    stats: &mut EncodeStats,
+) -> Vec<TermId> {
+    let mut axioms: Vec<TermId> = Vec::new();
+    match delivery {
         DeliveryModel::Unordered => {}
         DeliveryModel::PairwiseFifo => {
             // Sends from one source to one destination arrive in order: if
@@ -371,8 +472,11 @@ pub fn encode(
                     if s1.msg.thread != s2.msg.thread || s1.to != s2.to {
                         continue;
                     }
-                    let (first, second) =
-                        if s1.msg.seq < s2.msg.seq { (s1, s2) } else { (s2, s1) };
+                    let (first, second) = if s1.msg.seq < s2.msg.seq {
+                        (s1, s2)
+                    } else {
+                        (s2, s1)
+                    };
                     for ra in recvs.iter().filter(|r| r.endpoint == s1.to) {
                         for rb in recvs.iter().filter(|r| r.endpoint == s1.to) {
                             if ra.key == rb.key {
@@ -383,7 +487,7 @@ pub fn encode(
                             let premise = solver.and2(a2, b1);
                             let conc = solver.lt(rb.clock_obs, ra.clock_obs);
                             let imp = solver.implies(premise, conc);
-                            solver.assert_term(imp);
+                            axioms.push(imp);
                             stats.order_constraints += 1;
                         }
                     }
@@ -400,7 +504,7 @@ pub fn encode(
                     }
                     // Same-destination sends are totally ordered in time.
                     let distinct = solver.ne(s1.clock, s2.clock);
-                    solver.assert_term(distinct);
+                    axioms.push(distinct);
                     stats.order_constraints += 1;
                     for ra in recvs.iter().filter(|r| r.endpoint == s1.to) {
                         for rb in recvs.iter().filter(|r| r.endpoint == s1.to) {
@@ -416,7 +520,7 @@ pub fn encode(
                                 let premise = solver.and([pa, pb, ord]);
                                 let conc = solver.lt(ra.clock_obs, rb.clock_obs);
                                 let imp = solver.implies(premise, conc);
-                                solver.assert_term(imp);
+                                axioms.push(imp);
                                 stats.order_constraints += 1;
                             }
                         }
@@ -426,26 +530,7 @@ pub fn encode(
         }
     }
 
-    // ---- PProp ----
-    stats.props = prop_terms.len();
-    if opts.negate_props {
-        // SAT = some assertion violated.
-        let negs: Vec<TermId> =
-            prop_terms.iter().map(|p| p.term).map(|t| solver.not(t)).collect();
-        let any_violated = solver.or(negs); // empty -> false: nothing to violate
-        solver.assert_term(any_violated);
-    } else {
-        // Models are passing executions.
-        let all: Vec<TermId> = prop_terms.iter().map(|p| p.term).collect();
-        let conj = solver.and(all);
-        solver.assert_term(conj);
-    }
-
-    stats.sat_vars = solver.num_sat_vars();
-    stats.sat_clauses = solver.num_sat_clauses();
-    stats.theory_atoms = solver.num_theory_atoms();
-
-    Encoding { solver, sends, recvs, prop_terms, event_clocks, stats }
+    axioms
 }
 
 #[cfg(test)]
@@ -490,7 +575,11 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         let ids = enc.id_terms();
         let models = enc.solver.enumerate_models(&ids, 100);
@@ -508,7 +597,11 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::ZeroDelay, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::ZeroDelay,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         let ids = enc.id_terms();
         let models = enc.solver.enumerate_models(&ids, 100);
@@ -532,7 +625,11 @@ mod tests {
         let t1 = b.thread("t1");
         let t2 = b.thread("t2");
         let a = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "p1 first");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "p1 first",
+        );
         b.send_const(t1, t0, 0, 1);
         b.send_const(t2, t0, 0, 2);
         let p = b.build().unwrap();
@@ -590,7 +687,11 @@ mod tests {
         let t1 = b.thread("t1");
         let a = b.recv(t0, 0);
         let _b2 = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "in order");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "in order",
+        );
         b.send_const(t1, t0, 0, 1);
         b.send_const(t1, t0, 0, 2);
         let p = b.build().unwrap();
@@ -601,7 +702,11 @@ mod tests {
             &p,
             &tr,
             &over,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: true, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: true,
+                ..Default::default()
+            },
         );
         assert_eq!(un.solver.check(), SatResult::Sat);
         // PairwiseFifo: unreachable.
@@ -609,7 +714,11 @@ mod tests {
             &p,
             &tr,
             &over,
-            EncodeOptions { delivery: DeliveryModel::PairwiseFifo, negate_props: true, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::PairwiseFifo,
+                negate_props: true,
+                ..Default::default()
+            },
         );
         assert_eq!(pf.solver.check(), SatResult::Unsat);
     }
@@ -656,7 +765,11 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         assert_eq!(enc.stats.match_disjuncts, 5); // X,Y for A and B; Z for C
         assert_eq!(enc.stats.unique_pairs, 3); // 3 choose 2
@@ -695,10 +808,17 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         let ids = enc.id_terms();
         let models = enc.solver.enumerate_models(&ids, 100);
-        assert!(models.len() >= 2, "recv_i must be able to bind either payload");
+        assert!(
+            models.len() >= 2,
+            "recv_i must be able to bind either payload"
+        );
     }
 }

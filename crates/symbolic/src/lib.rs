@@ -59,9 +59,13 @@
 pub mod checker;
 pub mod encode;
 pub mod matchpairs;
+pub mod session;
 pub mod witness;
 
-pub use checker::{check_program, check_trace, enumerate_matchings, CheckConfig, CheckReport, MatchGen, Verdict};
+pub use checker::{
+    check_program, check_trace, enumerate_matchings, CheckConfig, CheckReport, MatchGen, Verdict,
+};
 pub use encode::{encode, EncodeOptions, EncodeStats, Encoding};
-pub use matchpairs::{precise_match_pairs, overapprox_match_pairs, MatchPairs};
+pub use matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};
+pub use session::{CheckSession, SessionPool};
 pub use witness::{replay_witness, ReplayVerdict, Witness};

@@ -91,7 +91,11 @@ pub fn trace_skeleton(program: &Program, trace: &Trace) -> Program {
                     let new_req = ReqId(num_reqs as u16);
                     num_reqs += 1;
                     req_map.insert(*req, new_req);
-                    ops.push(Op::RecvI { port: *port, var, req: new_req });
+                    ops.push(Op::RecvI {
+                        port: *port,
+                        var,
+                        req: new_req,
+                    });
                 }
                 EventKind::WaitRecv { req, .. } => {
                     let new_req = req_map
@@ -118,21 +122,23 @@ pub fn trace_skeleton(program: &Program, trace: &Trace) -> Program {
             code: vec![],
         });
     }
-    Program { name: format!("{}-skeleton", program.name), threads }
-        .compile()
-        .expect("skeleton of a valid trace must compile")
+    Program {
+        name: format!("{}-skeleton", program.name),
+        threads,
+    }
+    .compile()
+    .expect("skeleton of a valid trace must compile")
 }
 
 /// Precise match pairs by exhaustive depth-first abstract execution of the
 /// trace skeleton (the paper's Section 3 method). Exponential in the
 /// number of racing operations.
-pub fn precise_match_pairs(
-    program: &Program,
-    trace: &Trace,
-    model: DeliveryModel,
-) -> MatchPairs {
+pub fn precise_match_pairs(program: &Program, trace: &Trace, model: DeliveryModel) -> MatchPairs {
     let skeleton = trace_skeleton(program, trace);
-    let mut pairs = MatchPairs { generator: "precise-dfs", ..Default::default() };
+    let mut pairs = MatchPairs {
+        generator: "precise-dfs",
+        ..Default::default()
+    };
     let mut visited: HashSet<(SysState, Vec<u16>)> = HashSet::new();
     let init = SysState::initial(&skeleton);
     let counts = vec![0u16; skeleton.threads.len()];
@@ -182,7 +188,8 @@ pub fn overapprox_match_pairs(program: &Program, trace: &Trace) -> MatchPairs {
         }
     }
     // Walk receives per thread, assigning completion indices.
-    let mut recv_counts = vec![0usize; 1 + trace.events.iter().map(|e| e.thread).max().unwrap_or(0)];
+    let mut recv_counts =
+        vec![0usize; 1 + trace.events.iter().map(|e| e.thread).max().unwrap_or(0)];
     for ev in &trace.events {
         let endpoint = match &ev.kind {
             EventKind::Recv { port, .. } => Some(EndpointAddr::new(ev.thread, *port)),

@@ -1,0 +1,305 @@
+//! Incremental check sessions: one shared encoding, many queries.
+//!
+//! The pipeline re-solves closely related formulas many times — once per
+//! delivery model, once per match-pair generator, once per refinement
+//! iteration, once per blocked model during matching enumeration. All of
+//! those share the trace, the match pairs, and the whole
+//! `POrder /\ PMatchPairs /\ PUnique /\ PEvents` core; only the delivery
+//! axioms and the property polarity differ. A [`CheckSession`] therefore
+//! builds the core **once** ([`crate::encode::encode_core`]) and attaches
+//! each delivery model's axiom group and each property polarity guarded by
+//! a fresh selector literal; a query activates exactly one group per kind
+//! via `check_assuming`, and learned clauses carry over between queries.
+//!
+//! Per-query state (refinement blocking clauses, all-SAT enumeration
+//! blocks) lives in a solver *scope* ([`smt::SmtSolver::push_scope`]):
+//! popped at the end of the query so it cannot leak into the next one,
+//! while learned clauses that do not depend on it survive.
+//!
+//! [`SessionPool`] adds the batching layer the portfolio driver uses: it
+//! keys sessions by (trace events, match pairs) so scenarios at one grid
+//! point — different delivery models, and both match generators whenever
+//! their pair sets coincide — transparently land on the same session.
+
+use crate::encode::{encode_core, Encoding, UniqueScope};
+use crate::matchpairs::MatchPairs;
+use mcapi::program::Program;
+use mcapi::trace::Trace;
+use mcapi::types::DeliveryModel;
+use smt::TermId;
+
+/// A shared-encoding solver session; see the module docs.
+pub struct CheckSession {
+    /// The shared core encoding plus the solver hosting every axiom group.
+    pub enc: Encoding,
+    /// Selector literal per delivery-model axiom group built so far.
+    delivery_sels: Vec<(DeliveryModel, TermId)>,
+    /// Selector literal per property polarity built so far
+    /// (`true` = negated properties, the violation query).
+    prop_sels: Vec<(bool, TermId)>,
+    /// Queries served by this session (refinement loops count as one).
+    pub checks: usize,
+}
+
+impl CheckSession {
+    /// Build the delivery-independent core for `(trace, pairs)`. Axiom
+    /// groups are attached lazily by the first query that needs them.
+    pub fn new(
+        program: &Program,
+        trace: &Trace,
+        pairs: &MatchPairs,
+        unique_scope: UniqueScope,
+    ) -> CheckSession {
+        CheckSession {
+            enc: encode_core(program, trace, pairs, unique_scope),
+            delivery_sels: Vec::new(),
+            prop_sels: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    /// The selector guarding `delivery`'s axiom group, building the group
+    /// on first use.
+    fn delivery_selector(&mut self, delivery: DeliveryModel) -> TermId {
+        if let Some(&(_, sel)) = self.delivery_sels.iter().find(|(d, _)| *d == delivery) {
+            return sel;
+        }
+        assert_eq!(
+            self.enc.solver.num_scopes(),
+            0,
+            "axiom groups must be built outside per-query scopes: clauses \
+             added inside a scope die at the pop while the selector would \
+             stay registered"
+        );
+        let sel = self.enc.solver.bool_var(format!("sel_delivery_{delivery}"));
+        let axioms = self.enc.delivery_axioms(delivery);
+        self.enc.assert_guarded(sel, axioms);
+        self.delivery_sels.push((delivery, sel));
+        sel
+    }
+
+    /// The selector guarding one property polarity, building it on first
+    /// use.
+    fn prop_selector(&mut self, negate_props: bool) -> TermId {
+        if let Some(&(_, sel)) = self.prop_sels.iter().find(|(n, _)| *n == negate_props) {
+            return sel;
+        }
+        assert_eq!(
+            self.enc.solver.num_scopes(),
+            0,
+            "axiom groups must be built outside per-query scopes: clauses \
+             added inside a scope die at the pop while the selector would \
+             stay registered"
+        );
+        let name = if negate_props {
+            "sel_props_negated"
+        } else {
+            "sel_props_positive"
+        };
+        let sel = self.enc.solver.bool_var(name);
+        let props = self.enc.props_term(negate_props);
+        self.enc.assert_guarded(sel, [props]);
+        self.prop_sels.push((negate_props, sel));
+        sel
+    }
+
+    /// Assumption set that activates exactly the `(delivery,
+    /// negate_props)` query: the chosen selectors assumed true, every
+    /// other built group assumed **false** so its clauses are satisfied up
+    /// front and cost nothing during search.
+    pub fn assumptions(&mut self, delivery: DeliveryModel, negate_props: bool) -> Vec<TermId> {
+        let d_on = self.delivery_selector(delivery);
+        let p_on = self.prop_selector(negate_props);
+        let offs: Vec<TermId> = self
+            .delivery_sels
+            .iter()
+            .filter(|(d, _)| *d != delivery)
+            .map(|&(_, s)| s)
+            .chain(
+                self.prop_sels
+                    .iter()
+                    .filter(|(n, _)| *n != negate_props)
+                    .map(|&(_, s)| s),
+            )
+            .collect();
+        let mut assumptions = vec![d_on, p_on];
+        for s in offs {
+            let ns = self.enc.solver.not(s);
+            assumptions.push(ns);
+        }
+        self.enc.refresh_size_stats();
+        assumptions
+    }
+
+    /// Number of axiom groups (delivery models + polarities) built so far.
+    pub fn groups_built(&self) -> usize {
+        self.delivery_sels.len() + self.prop_sels.len()
+    }
+}
+
+/// A cache of [`CheckSession`]s keyed by (trace events, match pairs),
+/// used by batched drivers to route every scenario of one grid point onto
+/// a shared encoding whenever that is sound.
+#[derive(Default)]
+pub struct SessionPool {
+    entries: Vec<PoolEntry>,
+    /// Encodings actually built (cache misses).
+    pub encodings_built: usize,
+}
+
+struct PoolEntry {
+    program: Program,
+    trace: Trace,
+    pairs: MatchPairs,
+    session: CheckSession,
+}
+
+impl SessionPool {
+    /// An empty pool.
+    pub fn new() -> SessionPool {
+        SessionPool::default()
+    }
+
+    /// Fetch the session for `(program, trace, pairs)`, building it on a
+    /// miss. Returns the session and whether it was reused. Sharing is
+    /// keyed on the program (the encoder reads payload expressions, branch
+    /// and assertion conditions from it — trace events alone don't carry
+    /// those), the trace's *events* (two delivery models frequently
+    /// produce the same schedule), and the pair sets.
+    pub fn session_for(
+        &mut self,
+        program: &Program,
+        trace: &Trace,
+        pairs: &MatchPairs,
+    ) -> (&mut CheckSession, bool) {
+        if let Some(i) = self.entries.iter().position(|e| {
+            e.program == *program
+                && e.trace.events == trace.events
+                && e.pairs.sends_for == pairs.sends_for
+        }) {
+            return (&mut self.entries[i].session, true);
+        }
+        self.encodings_built += 1;
+        let session = CheckSession::new(program, trace, pairs, UniqueScope::default());
+        self.entries.push(PoolEntry {
+            program: program.clone(),
+            trace: trace.clone(),
+            pairs: pairs.clone(),
+            session,
+        });
+        (
+            &mut self.entries.last_mut().expect("just pushed").session,
+            false,
+        )
+    }
+
+    /// Sessions currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{generate_trace, CheckConfig};
+    use crate::matchpairs::{overapprox_match_pairs, precise_match_pairs};
+    use smt::SatResult;
+
+    fn fig1() -> Program {
+        workloads_free_fig1()
+    }
+
+    // A local copy of the paper's Fig. 1 (the workloads crate depends on
+    // this crate, so tests build programs by hand).
+    fn workloads_free_fig1() -> Program {
+        use mcapi::builder::ProgramBuilder;
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_session_serves_every_delivery_model() {
+        let p = fig1();
+        let cfg = CheckConfig::default();
+        let trace = generate_trace(&p, &cfg);
+        let pairs = overapprox_match_pairs(&p, &trace);
+        let mut session = CheckSession::new(&p, &trace, &pairs, UniqueScope::default());
+        // fig1 has no assertions: the violation query is UNSAT under every
+        // delivery model, from one shared encoding.
+        for delivery in mcapi::types::DeliveryModel::ALL {
+            let assumptions = session.assumptions(delivery, true);
+            assert_eq!(
+                session.enc.solver.check_assuming(&assumptions),
+                SatResult::Unsat,
+                "{delivery}"
+            );
+        }
+        assert_eq!(
+            session.groups_built(),
+            4,
+            "three delivery groups + one polarity"
+        );
+    }
+
+    #[test]
+    fn polarity_groups_coexist() {
+        let p = fig1();
+        let cfg = CheckConfig::default();
+        let trace = generate_trace(&p, &cfg);
+        let pairs = precise_match_pairs(&p, &trace, DeliveryModel::Unordered);
+        let mut session = CheckSession::new(&p, &trace, &pairs, UniqueScope::default());
+        let violation = session.assumptions(DeliveryModel::Unordered, true);
+        assert_eq!(
+            session.enc.solver.check_assuming(&violation),
+            SatResult::Unsat
+        );
+        // Behaviour enumeration (positive properties) on the same solver.
+        let behaviours = session.assumptions(DeliveryModel::Unordered, false);
+        assert_eq!(
+            session.enc.solver.check_assuming(&behaviours),
+            SatResult::Sat
+        );
+        // And back: the polarity groups do not poison one another.
+        let violation = session.assumptions(DeliveryModel::Unordered, true);
+        assert_eq!(
+            session.enc.solver.check_assuming(&violation),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn pool_shares_by_trace_and_pairs() {
+        let p = fig1();
+        let cfg = CheckConfig::default();
+        let trace = generate_trace(&p, &cfg);
+        let over = overapprox_match_pairs(&p, &trace);
+        let precise = precise_match_pairs(&p, &trace, DeliveryModel::Unordered);
+        let mut pool = SessionPool::new();
+        let (_, reused) = pool.session_for(&p, &trace, &over);
+        assert!(!reused);
+        let (_, reused) = pool.session_for(&p, &trace, &over);
+        assert!(reused, "identical (trace, pairs) must share");
+        // fig1's precise and over-approximate pair sets coincide, so the
+        // generators share one session too.
+        assert_eq!(precise.sends_for, over.sends_for);
+        let (_, reused) = pool.session_for(&p, &trace, &precise);
+        assert!(reused);
+        assert_eq!(pool.encodings_built, 1);
+        assert_eq!(pool.len(), 1);
+    }
+}

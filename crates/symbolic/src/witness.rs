@@ -57,7 +57,13 @@ pub fn decode_witness(encoding: &Encoding, model: &Model) -> Witness {
         .filter(|p| model.eval_bool(pool, p.term) == Some(false))
         .map(|p| p.message.clone())
         .collect();
-    Witness { matching, event_order, clocks, recv_values, violated }
+    Witness {
+        matching,
+        event_order,
+        clocks,
+        recv_values,
+        violated,
+    }
 }
 
 /// Outcome of replaying a witness on the concrete runtime.
@@ -65,7 +71,10 @@ pub fn decode_witness(encoding: &Encoding, model: &Model) -> Witness {
 pub enum ReplayVerdict {
     /// The witness corresponds to a real execution. `violation` is the
     /// concrete assertion failure if one occurred.
-    Confirmed { violation: Option<Violation>, complete: bool },
+    Confirmed {
+        violation: Option<Violation>,
+        complete: bool,
+    },
     /// No concrete execution follows the witness (possible only with
     /// over-approximate match pairs).
     Spurious { at_event: usize, reason: String },
@@ -98,7 +107,10 @@ pub fn replay_witness(
             if let Some(v) = &state.violation {
                 // The run already failed an assertion: the witness is
                 // confirmed as an erroneous execution.
-                return ReplayVerdict::Confirmed { violation: Some(v.clone()), complete: false };
+                return ReplayVerdict::Confirmed {
+                    violation: Some(v.clone()),
+                    complete: false,
+                };
             }
             // An event-less Jump may sit between the thread's previous
             // event and the expected one: step through it first.
@@ -110,27 +122,27 @@ pub fn replay_witness(
                 Action::Internal { thread: t }
             } else {
                 match &expected.kind {
-                EventKind::Recv { .. } => {
-                    let key = RecvKey::new(t, recv_counts[t]);
-                    let Some(&msg) = matched.get(&key) else {
-                        return ReplayVerdict::Spurious {
-                            at_event: ev_idx,
-                            reason: format!("no matching recorded for {key:?}"),
+                    EventKind::Recv { .. } => {
+                        let key = RecvKey::new(t, recv_counts[t]);
+                        let Some(&msg) = matched.get(&key) else {
+                            return ReplayVerdict::Spurious {
+                                at_event: ev_idx,
+                                reason: format!("no matching recorded for {key:?}"),
+                            };
                         };
-                    };
-                    Action::Receive { thread: t, msg }
-                }
-                EventKind::WaitRecv { .. } => {
-                    let key = RecvKey::new(t, recv_counts[t]);
-                    let Some(&msg) = matched.get(&key) else {
-                        return ReplayVerdict::Spurious {
-                            at_event: ev_idx,
-                            reason: format!("no matching recorded for {key:?}"),
+                        Action::Receive { thread: t, msg }
+                    }
+                    EventKind::WaitRecv { .. } => {
+                        let key = RecvKey::new(t, recv_counts[t]);
+                        let Some(&msg) = matched.get(&key) else {
+                            return ReplayVerdict::Spurious {
+                                at_event: ev_idx,
+                                reason: format!("no matching recorded for {key:?}"),
+                            };
                         };
-                    };
-                    Action::CompleteWait { thread: t, msg }
-                }
-                _ => Action::Internal { thread: t },
+                        Action::CompleteWait { thread: t, msg }
+                    }
+                    _ => Action::Internal { thread: t },
                 }
             };
             let enabled = state.enabled_actions(program, delivery);
@@ -162,7 +174,10 @@ pub fn replay_witness(
             }
             if let EventKind::AssertFail { .. } = produced.kind {
                 let v = state.violation.clone();
-                return ReplayVerdict::Confirmed { violation: v, complete: false };
+                return ReplayVerdict::Confirmed {
+                    violation: v,
+                    complete: false,
+                };
             }
             break;
         }
@@ -192,7 +207,10 @@ pub fn replay_witness(
 
     let complete = state.all_done(program);
     let violation = state.violation.clone();
-    ReplayVerdict::Confirmed { violation, complete }
+    ReplayVerdict::Confirmed {
+        violation,
+        complete,
+    }
 }
 
 /// Are a trace event and a replayed event the same operation? Assertion
@@ -230,7 +248,11 @@ mod tests {
         let t1 = b.thread("t1");
         let t2 = b.thread("t2");
         let a = b.recv(t0, 0);
-        b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "p1 first");
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "p1 first",
+        );
         b.send_const(t1, t0, 0, 1);
         b.send_const(t2, t0, 0, 2);
         b.build().unwrap()
@@ -258,7 +280,9 @@ mod tests {
         assert_eq!(w.violated, vec!["p1 first".to_string()]);
         let verdict = replay_witness(&p, &tr, &w, DeliveryModel::Unordered);
         match verdict {
-            ReplayVerdict::Confirmed { violation: Some(v), .. } => {
+            ReplayVerdict::Confirmed {
+                violation: Some(v), ..
+            } => {
                 assert!(v.message.contains("p1 first"));
             }
             other => panic!("expected confirmed violation, got {other:?}"),
@@ -274,7 +298,11 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         assert_eq!(enc.solver.check(), SatResult::Sat);
         let model = enc.solver.model().unwrap().clone();
@@ -282,7 +310,10 @@ mod tests {
         assert!(w.violated.is_empty());
         let verdict = replay_witness(&p, &tr, &w, DeliveryModel::Unordered);
         match verdict {
-            ReplayVerdict::Confirmed { violation: None, complete } => assert!(complete),
+            ReplayVerdict::Confirmed {
+                violation: None,
+                complete,
+            } => assert!(complete),
             other => panic!("expected clean completion, got {other:?}"),
         }
     }
@@ -296,13 +327,17 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         assert_eq!(enc.solver.check(), SatResult::Sat);
         let model = enc.solver.model().unwrap().clone();
         let w = decode_witness(&enc, &model);
         // Program order must be respected in the decoded order.
-        let mut last_pos = vec![None; 3];
+        let mut last_pos = [None; 3];
         for (pos, &idx) in w.event_order.iter().enumerate() {
             let t = tr.events[idx].thread;
             if let Some(prev) = last_pos[t] {
@@ -315,11 +350,21 @@ mod tests {
             .sends
             .iter()
             .map(|s| {
-                (s.msg, w.event_order.iter().position(|&i| i == s.event_idx).unwrap())
+                (
+                    s.msg,
+                    w.event_order
+                        .iter()
+                        .position(|&i| i == s.event_idx)
+                        .unwrap(),
+                )
             })
             .collect();
         for r in &enc.recvs {
-            let rpos = w.event_order.iter().position(|&i| i == r.event_idx).unwrap();
+            let rpos = w
+                .event_order
+                .iter()
+                .position(|&i| i == r.event_idx)
+                .unwrap();
             let (_, msg) = w.matching.iter().find(|(k, _)| *k == r.key).unwrap();
             assert!(send_pos[msg] < rpos, "send must precede its receive");
         }
@@ -336,7 +381,11 @@ mod tests {
             &p,
             &tr,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         assert_eq!(enc.solver.check(), SatResult::Sat);
         let model = enc.solver.model().unwrap().clone();

@@ -46,8 +46,16 @@ pub enum FamilySpec {
 
 /// Family tags accepted by [`family_grid`] and printed in reports.
 pub const FAMILIES: [&str; 10] = [
-    "fig1", "fig1-assert", "race", "race-assert", "delay-gap", "pipeline", "scatter", "ring",
-    "branchy", "random",
+    "fig1",
+    "fig1-assert",
+    "race",
+    "race-assert",
+    "delay-gap",
+    "pipeline",
+    "scatter",
+    "ring",
+    "branchy",
+    "random",
 ];
 
 impl FamilySpec {
@@ -125,15 +133,27 @@ pub fn family_grid(family: &str, scale: usize) -> Vec<FamilySpec> {
         "fig1" => vec![FamilySpec::Fig1],
         "fig1-assert" => vec![FamilySpec::Fig1Assert],
         "race" => sizes().map(|width| FamilySpec::Race { width }).collect(),
-        "race-assert" => sizes().map(|width| FamilySpec::RaceAssert { width }).collect(),
-        "delay-gap" => (1..=scale).map(|chain| FamilySpec::DelayGap { chain }).collect(),
+        "race-assert" => sizes()
+            .map(|width| FamilySpec::RaceAssert { width })
+            .collect(),
+        "delay-gap" => (1..=scale)
+            .map(|chain| FamilySpec::DelayGap { chain })
+            .collect(),
         "pipeline" => sizes()
             .map(|stages| FamilySpec::Pipeline { stages, items: 2 })
             .collect(),
-        "scatter" => sizes().map(|workers| FamilySpec::Scatter { workers }).collect(),
-        "ring" => (3..3 + scale).map(|nodes| FamilySpec::Ring { nodes, laps: 1 }).collect(),
-        "branchy" => (1..=scale).map(|rounds| FamilySpec::Branchy { rounds }).collect(),
-        "random" => (0..scale as u64).map(|seed| FamilySpec::Random { seed }).collect(),
+        "scatter" => sizes()
+            .map(|workers| FamilySpec::Scatter { workers })
+            .collect(),
+        "ring" => (3..3 + scale)
+            .map(|nodes| FamilySpec::Ring { nodes, laps: 1 })
+            .collect(),
+        "branchy" => (1..=scale)
+            .map(|rounds| FamilySpec::Branchy { rounds })
+            .collect(),
+        "random" => (0..scale as u64)
+            .map(|seed| FamilySpec::Random { seed })
+            .collect(),
         _ => Vec::new(),
     }
 }
@@ -151,7 +171,10 @@ pub fn family_grid(family: &str, scale: usize) -> Vec<FamilySpec> {
 /// assert_eq!(names.len(), grid.len(), "grid names are unique");
 /// ```
 pub fn default_grid(scale: usize) -> Vec<FamilySpec> {
-    FAMILIES.iter().flat_map(|f| family_grid(f, scale)).collect()
+    FAMILIES
+        .iter()
+        .flat_map(|f| family_grid(f, scale))
+        .collect()
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub use branchy::branchy;
 pub use fig1::{fig1, fig1_with_assert};
 pub use grid::{default_grid, family_grid, FamilySpec, FAMILIES};
 pub use pipeline::pipeline;
-pub use race::{race, race_with_winner_assert, delay_gap};
+pub use race::{delay_gap, race, race_with_winner_assert};
 pub use random::{random_program, RandomProgramConfig};
 pub use ring::ring;
 pub use scatter::scatter;

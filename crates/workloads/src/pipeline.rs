@@ -66,7 +66,10 @@ mod tests {
         let p = pipeline(3, 2);
         let mut violated = false;
         for seed in 0..300 {
-            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+            if execute_random(&p, DeliveryModel::Unordered, seed)
+                .violation()
+                .is_some()
+            {
                 violated = true;
                 break;
             }

@@ -103,7 +103,10 @@ mod tests {
         let p = race_with_winner_assert(3);
         let mut fails = 0;
         for seed in 0..100 {
-            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+            if execute_random(&p, DeliveryModel::Unordered, seed)
+                .violation()
+                .is_some()
+            {
                 fails += 1;
             }
         }
@@ -130,7 +133,10 @@ mod tests {
         let p = delay_gap(1);
         let mut found = false;
         for seed in 0..500 {
-            if execute_random(&p, DeliveryModel::Unordered, seed).violation().is_some() {
+            if execute_random(&p, DeliveryModel::Unordered, seed)
+                .violation()
+                .is_some()
+            {
                 found = true;
                 break;
             }

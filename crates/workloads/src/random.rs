@@ -90,7 +90,8 @@ pub fn random_program(seed: u64, cfg: &RandomProgramConfig) -> Program {
             );
         }
     }
-    b.build().expect("random program is well-formed by construction")
+    b.build()
+        .expect("random program is well-formed by construction")
 }
 
 #[cfg(test)]

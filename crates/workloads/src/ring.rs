@@ -27,7 +27,7 @@ pub fn ring(n: usize, laps: usize) -> Program {
             final_var = Some(v);
         }
     }
-    let expected = (n * laps - (laps - 1)) as i64 + (laps - 1) as i64 * 1 - 1;
+    let expected = (n * laps - (laps - 1)) as i64 + ((laps - 1) as i64) - 1;
     // Each lap the token crosses n hops and gains n increments, except
     // node 0's own increment is skipped on the final receive: token value
     // observed by node 0 after `laps` laps = n*laps - 1 ... computed

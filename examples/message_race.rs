@@ -15,7 +15,10 @@ fn main() {
     // In *send order* 2 always precedes 1; only an in-transit delay of 2
     // lets 1 overtake it. The assertion claims the consumer sees 2 first.
     let program = delay_gap(1);
-    println!("checking `{}` — a bug reachable only via transit delays\n", program.name);
+    println!(
+        "checking `{}` — a bug reachable only via transit delays\n",
+        program.name
+    );
 
     // Symbolic check under the paper's arbitrary-delay model.
     let cfg = CheckConfig {
@@ -47,7 +50,10 @@ fn main() {
     println!();
 
     // Same query with zero-delay (MCC-equivalent) encoding: safe.
-    let zd = CheckConfig { delivery: DeliveryModel::ZeroDelay, ..cfg };
+    let zd = CheckConfig {
+        delivery: DeliveryModel::ZeroDelay,
+        ..cfg
+    };
     let report_zd = check_program(&program, &zd);
     println!(
         "SYMBOLIC (zero-delay encoding, Elwakil&Yang model): {:?}",
@@ -67,13 +73,21 @@ fn main() {
         "  {} states, {} behaviours, violations: {}",
         mcc.states,
         mcc.matchings.len(),
-        if mcc.found_violation() { "FOUND" } else { "none — the bug is missed" }
+        if mcc.found_violation() {
+            "FOUND"
+        } else {
+            "none — the bug is missed"
+        }
     );
     println!("EXPLICIT ground truth (arbitrary delays):");
     println!(
         "  {} states, {} behaviours, violations: {}",
         truth.states,
         truth.matchings.len(),
-        if truth.found_violation() { "FOUND" } else { "none" }
+        if truth.found_violation() {
+            "FOUND"
+        } else {
+            "none"
+        }
     );
 }

@@ -15,7 +15,10 @@ use workloads::pipeline;
 fn main() {
     // 3 stages, 3 samples.
     let program = pipeline(3, 3);
-    println!("checking `{}` (source -> filter -> sink, 3 samples)\n", program.name);
+    println!(
+        "checking `{}` (source -> filter -> sink, 3 samples)\n",
+        program.name
+    );
 
     for delivery in [DeliveryModel::PairwiseFifo, DeliveryModel::Unordered] {
         let cfg = CheckConfig {

@@ -45,7 +45,11 @@ fn main() {
         &program,
         &trace,
         &pairs,
-        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        EncodeOptions {
+            delivery: DeliveryModel::Unordered,
+            negate_props: false,
+            ..Default::default()
+        },
     );
     println!("== SMT problem ==");
     println!(

@@ -46,7 +46,10 @@ fn main() {
             println!("\nerroneous execution (event order from the SMT model clocks):");
             for &idx in &cv.witness.event_order {
                 let e = &reloaded.events[idx];
-                println!("  clk={:<4} t{} pc{:<3} {:?}", cv.witness.clocks[idx], e.thread, e.pc, e.kind);
+                println!(
+                    "  clk={:<4} t{} pc{:<3} {:?}",
+                    cv.witness.clocks[idx], e.thread, e.pc, e.kind
+                );
             }
             println!("\nreceive bindings:");
             for (r, m) in &cv.witness.matching {

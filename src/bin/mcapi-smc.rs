@@ -16,7 +16,9 @@
 //! Portfolio options: `--threads N` (default: all cores), `--scale K`
 //! (grid size per family, default 2), `--families a,b,c` (default: all),
 //! `--delivery MODEL` (default: all three), `--budget-ms MS` (per-scenario
-//! solver budget), `--json PATH` (`-` for stdout; suppresses the table).
+//! solver budget), `--json PATH` (`-` for stdout; suppresses the table),
+//! `--no-session-reuse` (re-encode every scenario from scratch instead of
+//! sharing incremental solver sessions per grid point).
 
 use driver::prelude::*;
 use mcapi::program::Program;
@@ -54,7 +56,9 @@ fn load_program(path: &str) -> Result<Program, String> {
     let program: Program =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     // Re-compile to validate and (re)build the flat code.
-    program.compile().map_err(|e| format!("invalid program: {e}"))
+    program
+        .compile()
+        .map_err(|e| format!("invalid program: {e}"))
 }
 
 fn demo(name: &str) -> Option<Program> {
@@ -99,22 +103,27 @@ fn parse_flag_strict(args: &[String], flag: &str) -> Result<Option<u64>, String>
 /// Build and run a scenario grid; see the module docs for the flags.
 fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     let numeric = |flag: &str| parse_flag_strict(args, flag);
-    let (scale, threads, budget_ms) =
-        match (numeric("--scale"), numeric("--threads"), numeric("--budget-ms")) {
-            (Ok(s), Ok(t), Ok(b)) => (
-                s.unwrap_or(2) as usize,
-                t.map(|n| n as usize).unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-                }),
-                b,
-            ),
-            (s, t, b) => {
-                for e in [s.err(), t.err(), b.err()].into_iter().flatten() {
-                    eprintln!("{e}");
-                }
-                return ExitCode::from(2);
+    let (scale, threads, budget_ms) = match (
+        numeric("--scale"),
+        numeric("--threads"),
+        numeric("--budget-ms"),
+    ) {
+        (Ok(s), Ok(t), Ok(b)) => (
+            s.unwrap_or(2) as usize,
+            t.map(|n| n as usize).unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+            b,
+        ),
+        (s, t, b) => {
+            for e in [s.err(), t.err(), b.err()].into_iter().flatten() {
+                eprintln!("{e}");
             }
-        };
+            return ExitCode::from(2);
+        }
+    };
 
     let specs: Vec<FamilySpec> = match strict_value(args, "--families") {
         Some(Err(_)) => {
@@ -166,8 +175,16 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         None => None,
     };
 
+    let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
+
     let scenarios = cross(&specs, &deliveries, &Engine::ALL);
-    let cfg = PortfolioConfig { threads, mode, budget_ms, ..PortfolioConfig::default() };
+    let cfg = PortfolioConfig {
+        threads,
+        mode,
+        budget_ms,
+        session_reuse,
+        ..PortfolioConfig::default()
+    };
     let report = run_portfolio(&scenarios, &cfg);
 
     match json_target.as_deref() {
@@ -266,7 +283,11 @@ fn main() -> ExitCode {
                     } else {
                         MatchGen::OverApprox
                     };
-                    let cfg = CheckConfig { delivery, matchgen, ..CheckConfig::default() };
+                    let cfg = CheckConfig {
+                        delivery,
+                        matchgen,
+                        ..CheckConfig::default()
+                    };
                     let report = check_program(&program, &cfg);
                     println!(
                         "program: {} | delivery: {delivery} | matchgen: {matchgen:?}",
@@ -305,8 +326,7 @@ fn main() -> ExitCode {
                     }
                 }
                 "behaviours" => {
-                    let limit =
-                        parse_flag_value(&args, "--limit").unwrap_or(10_000) as usize;
+                    let limit = parse_flag_value(&args, "--limit").unwrap_or(10_000) as usize;
                     let cfg = CheckConfig {
                         delivery,
                         matchgen: MatchGen::OverApprox,
@@ -319,7 +339,11 @@ fn main() -> ExitCode {
                         en.matchings.len(),
                         en.spurious,
                         en.sat_checks,
-                        if en.truncated { " [truncated: limit/budget reached]" } else { "" }
+                        if en.truncated {
+                            " [truncated: limit/budget reached]"
+                        } else {
+                            ""
+                        }
                     );
                     for m in &en.matchings {
                         let s: Vec<String> =
@@ -330,8 +354,8 @@ fn main() -> ExitCode {
                 }
                 "explore" => {
                     use explicit::{ExploreConfig, GraphExplorer};
-                    let r = GraphExplorer::new(&program, ExploreConfig::with_model(delivery))
-                        .explore();
+                    let r =
+                        GraphExplorer::new(&program, ExploreConfig::with_model(delivery)).explore();
                     println!(
                         "states: {} | transitions: {} | behaviours: {} | deadlocks: {}",
                         r.states,

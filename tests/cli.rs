@@ -30,7 +30,10 @@ fn demo_emits_parseable_program() {
 #[test]
 fn check_finds_violation_with_exit_code_1() {
     let path = write_temp("fig1-assert.json", &demo_json("fig1-assert"));
-    let out = bin().args(["check", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1), "violation => exit 1");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("VIOLATION"), "{stdout}");
@@ -52,7 +55,10 @@ fn check_zero_delay_is_safe_with_exit_code_0() {
 #[test]
 fn behaviours_counts_fig4() {
     let path = write_temp("fig1.json", &demo_json("fig1"));
-    let out = bin().args(["behaviours", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["behaviours", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.starts_with("2 behaviours"), "{stdout}");
@@ -61,8 +67,15 @@ fn behaviours_counts_fig4() {
 #[test]
 fn explore_reports_states_and_violations() {
     let path = write_temp("gap.json", &demo_json("delay-gap"));
-    let out = bin().args(["explore", path.to_str().unwrap()]).output().unwrap();
-    assert_eq!(out.status.code(), Some(1), "ground truth finds the violation");
+    let out = bin()
+        .args(["explore", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "ground truth finds the violation"
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("states:"), "{stdout}");
     assert!(stdout.contains("violation:"), "{stdout}");
@@ -102,7 +115,10 @@ fn precise_flag_is_accepted() {
 #[test]
 fn info_renders_program_listing() {
     let path = write_temp("fig1-info.json", &demo_json("fig1"));
-    let out = bin().args(["info", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("thread 0"), "{stdout}");
@@ -116,7 +132,10 @@ fn bad_usage_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = bin().args(["check"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = bin().args(["check", "/nonexistent/x.json"]).output().unwrap();
+    let out = bin()
+        .args(["check", "/nonexistent/x.json"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let out = bin().args(["demo", "nope"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
@@ -125,13 +144,24 @@ fn bad_usage_exits_2() {
 #[test]
 fn sweep_runs_a_grid_and_reports_a_table() {
     let out = bin()
-        .args(["sweep", "--scale", "1", "--families", "fig1,ring", "--threads", "2"])
+        .args([
+            "sweep",
+            "--scale",
+            "1",
+            "--families",
+            "fig1,ring",
+            "--threads",
+            "2",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0), "fig1 and ring are safe");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("| scenario |"), "{stdout}");
-    assert!(stdout.contains("fig1/unordered/symbolic-precise"), "{stdout}");
+    assert!(
+        stdout.contains("fig1/unordered/symbolic-precise"),
+        "{stdout}"
+    );
     assert!(stdout.contains("sweep mode on 2 thread(s)"), "{stdout}");
     assert!(stdout.contains("0 violations"), "{stdout}");
 }
@@ -139,7 +169,15 @@ fn sweep_runs_a_grid_and_reports_a_table() {
 #[test]
 fn portfolio_finds_violations_with_exit_code_1() {
     let out = bin()
-        .args(["portfolio", "--scale", "1", "--families", "race-assert", "--threads", "2"])
+        .args([
+            "portfolio",
+            "--scale",
+            "1",
+            "--families",
+            "race-assert",
+            "--threads",
+            "2",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "race-assert violates");
@@ -150,13 +188,25 @@ fn portfolio_finds_violations_with_exit_code_1() {
 #[test]
 fn sweep_json_report_is_parseable_and_consistent() {
     let out = bin()
-        .args(["sweep", "--scale", "1", "--families", "fig1-assert", "--json", "-"])
+        .args([
+            "sweep",
+            "--scale",
+            "1",
+            "--families",
+            "fig1-assert",
+            "--json",
+            "-",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
     let report: driver::PortfolioReport = serde_json::from_str(&stdout).expect("valid JSON");
-    assert_eq!(report.outcomes.len(), 9, "1 point x 3 deliveries x 3 engines");
+    assert_eq!(
+        report.outcomes.len(),
+        9,
+        "1 point x 3 deliveries x 3 engines"
+    );
     assert_eq!(
         report.safe + report.violations + report.unknown + report.skipped,
         report.outcomes.len()
@@ -166,22 +216,34 @@ fn sweep_json_report_is_parseable_and_consistent() {
 
 #[test]
 fn portfolio_rejects_unknown_family() {
-    let out = bin().args(["portfolio", "--families", "bogus"]).output().unwrap();
+    let out = bin()
+        .args(["portfolio", "--families", "bogus"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
 fn portfolio_flag_typos_are_usage_errors_not_silent_fallbacks() {
     // Garbage numeric value must not silently mean "unbounded"/"default".
-    let out = bin().args(["sweep", "--budget-ms", "10s", "--families", "fig1"]).output().unwrap();
+    let out = bin()
+        .args(["sweep", "--budget-ms", "10s", "--families", "fig1"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2), "bad --budget-ms");
     let out = bin().args(["sweep", "--scale", "3x"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2), "bad --scale");
     // A delivery typo must not silently narrow the grid to unordered.
-    let out = bin().args(["sweep", "--families", "fig1", "--delivery", "bogus"]).output().unwrap();
+    let out = bin()
+        .args(["sweep", "--families", "fig1", "--delivery", "bogus"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2), "bad --delivery");
     // --json without a path must not silently print the table.
-    let out = bin().args(["sweep", "--families", "fig1", "--json"]).output().unwrap();
+    let out = bin()
+        .args(["sweep", "--families", "fig1", "--json"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2), "missing --json path");
 }
 
@@ -192,7 +254,15 @@ fn duplicate_families_are_deduplicated() {
         .output()
         .unwrap();
     let twice = bin()
-        .args(["sweep", "--scale", "1", "--families", "fig1,fig1", "--json", "-"])
+        .args([
+            "sweep",
+            "--scale",
+            "1",
+            "--families",
+            "fig1,fig1",
+            "--json",
+            "-",
+        ])
         .output()
         .unwrap();
     let parse = |o: &std::process::Output| -> driver::PortfolioReport {
@@ -206,7 +276,14 @@ fn flag_like_tokens_are_not_consumed_as_values() {
     // `--json --budget-ms 100` must be a usage error, not "write a file
     // named --budget-ms AND apply a 100ms budget".
     let out = bin()
-        .args(["sweep", "--families", "fig1", "--json", "--budget-ms", "100"])
+        .args([
+            "sweep",
+            "--families",
+            "fig1",
+            "--json",
+            "--budget-ms",
+            "100",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));

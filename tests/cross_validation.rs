@@ -8,13 +8,12 @@ use explicit::{ExploreConfig, GraphExplorer};
 use mcapi::program::Program;
 use mcapi::types::DeliveryModel;
 use symbolic::checker::{
-    check_program, check_trace, enumerate_matchings, generate_trace, CheckConfig, MatchGen,
-    Verdict,
+    check_program, check_trace, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
 };
-use workloads::{branchy, fig1, pipeline, race, ring, scatter};
 use workloads::race::{delay_gap, race_with_winner_assert};
 use workloads::random_program;
 use workloads::RandomProgramConfig;
+use workloads::{branchy, fig1, pipeline, race, ring, scatter};
 
 /// Compare symbolic matchings against ground truth for one program+model.
 ///
@@ -24,7 +23,11 @@ fn assert_matchings_agree(program: &Program, model: DeliveryModel) {
     let truth = GraphExplorer::new(program, ExploreConfig::with_model(model)).explore();
     assert!(!truth.truncated, "{}: ground truth truncated", program.name);
     for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
-        let cfg = CheckConfig { delivery: model, matchgen, ..CheckConfig::default() };
+        let cfg = CheckConfig {
+            delivery: model,
+            matchgen,
+            ..CheckConfig::default()
+        };
         let trace = generate_trace(program, &cfg);
         if !trace.is_complete() || trace.violation.is_some() {
             // No clean trace exists: skip matching comparison (covered by
@@ -44,7 +47,11 @@ fn assert_matchings_agree(program: &Program, model: DeliveryModel) {
 fn assert_verdicts_agree(program: &Program, model: DeliveryModel) {
     let truth = GraphExplorer::new(program, ExploreConfig::with_model(model)).explore();
     for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
-        let cfg = CheckConfig { delivery: model, matchgen, ..CheckConfig::default() };
+        let cfg = CheckConfig {
+            delivery: model,
+            matchgen,
+            ..CheckConfig::default()
+        };
         let report = check_program(program, &cfg);
         match (&report.verdict, truth.found_violation()) {
             (Verdict::Violation(_), true) | (Verdict::Safe, false) => {}
@@ -135,8 +142,8 @@ fn branchy_per_trace_slices_union_to_ground_truth() {
     use mcapi::runtime::execute_random;
     use std::collections::BTreeSet;
     let p = branchy(1);
-    let truth = GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered))
-        .explore();
+    let truth =
+        GraphExplorer::new(&p, ExploreConfig::with_model(DeliveryModel::Unordered)).explore();
 
     let mut seen_outcomes = BTreeSet::new();
     let mut union = BTreeSet::new();
@@ -160,15 +167,21 @@ fn branchy_per_trace_slices_union_to_ground_truth() {
     }
     // …and the slices together cover it.
     assert_eq!(union, truth.matchings);
-    assert!(seen_outcomes.len() >= 2, "both branch outcomes must be exercised");
+    assert!(
+        seen_outcomes.len() >= 2,
+        "both branch outcomes must be exercised"
+    );
 }
 
 #[test]
 fn random_programs_cross_validate() {
     // Differential fuzzing at small scope: random programs, both
     // matchings and verdicts, against the exhaustive explorer.
-    let cfg_small =
-        RandomProgramConfig { threads: 3, sends_per_thread: 1, ..Default::default() };
+    let cfg_small = RandomProgramConfig {
+        threads: 3,
+        sends_per_thread: 1,
+        ..Default::default()
+    };
     for seed in 0..15 {
         let p = random_program(seed, &cfg_small);
         assert_matchings_agree(&p, DeliveryModel::Unordered);

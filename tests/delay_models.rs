@@ -3,12 +3,19 @@
 
 use explicit::{ExploreConfig, GraphExplorer};
 use mcapi::types::DeliveryModel;
-use symbolic::checker::{check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict};
+use symbolic::checker::{
+    check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
+};
 use workloads::race::{delay_gap, race};
 use workloads::{fig1, pipeline, ring};
 
-fn behaviours(p: &mcapi::Program, model: DeliveryModel) -> std::collections::BTreeSet<mcapi::Matching> {
-    GraphExplorer::new(p, ExploreConfig::with_model(model)).explore().matchings
+fn behaviours(
+    p: &mcapi::Program,
+    model: DeliveryModel,
+) -> std::collections::BTreeSet<mcapi::Matching> {
+    GraphExplorer::new(p, ExploreConfig::with_model(model))
+        .explore()
+        .matchings
 }
 
 #[test]
@@ -29,7 +36,10 @@ fn hierarchy_is_strict_somewhere() {
     // fig1: unordered has 2 behaviours, zero-delay 1 (strict at the top);
     // single-producer pipeline: fifo strictly below unordered.
     let f = fig1();
-    assert!(behaviours(&f, DeliveryModel::ZeroDelay).len() < behaviours(&f, DeliveryModel::Unordered).len());
+    assert!(
+        behaviours(&f, DeliveryModel::ZeroDelay).len()
+            < behaviours(&f, DeliveryModel::Unordered).len()
+    );
     let p = pipeline(3, 2);
     assert!(
         behaviours(&p, DeliveryModel::PairwiseFifo).len()
@@ -42,7 +52,11 @@ fn hierarchy_is_strict_somewhere() {
 fn symbolic_enumeration_respects_hierarchy() {
     let p = fig1();
     let mut counts = Vec::new();
-    for model in [DeliveryModel::ZeroDelay, DeliveryModel::PairwiseFifo, DeliveryModel::Unordered] {
+    for model in [
+        DeliveryModel::ZeroDelay,
+        DeliveryModel::PairwiseFifo,
+        DeliveryModel::Unordered,
+    ] {
         let cfg = CheckConfig {
             delivery: model,
             matchgen: MatchGen::OverApprox,
@@ -52,7 +66,10 @@ fn symbolic_enumeration_respects_hierarchy() {
         let en = enumerate_matchings(&p, &trace, &cfg, 100);
         counts.push(en.matchings.len());
     }
-    assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+    assert!(
+        counts[0] <= counts[1] && counts[1] <= counts[2],
+        "{counts:?}"
+    );
     assert_eq!(counts[0], 1);
     assert_eq!(counts[2], 2);
 }
@@ -71,7 +88,10 @@ fn fifo_matters_only_for_same_source_streams() {
 fn verdicts_track_the_hierarchy_on_delay_gap() {
     let p = delay_gap(1);
     let verdict = |model| {
-        let cfg = CheckConfig { delivery: model, ..CheckConfig::default() };
+        let cfg = CheckConfig {
+            delivery: model,
+            ..CheckConfig::default()
+        };
         match check_program(&p, &cfg).verdict {
             Verdict::Violation(_) => "violation",
             Verdict::Safe => "safe",
@@ -94,6 +114,12 @@ fn pipeline_overtaking_is_fifo_protected() {
         };
         matches!(check_program(&p, &cfg).verdict, Verdict::Violation(_))
     };
-    assert!(!verdict(DeliveryModel::PairwiseFifo), "FIFO keeps the pipeline in order");
-    assert!(verdict(DeliveryModel::Unordered), "unordered transport reorders");
+    assert!(
+        !verdict(DeliveryModel::PairwiseFifo),
+        "FIFO keeps the pipeline in order"
+    );
+    assert!(
+        verdict(DeliveryModel::Unordered),
+        "unordered transport reorders"
+    );
 }

@@ -1,8 +1,8 @@
 //! F1/F4: the paper's Figure 1 program and its two Figure 4 pairings —
 //! reproduced by every layer of the stack independently.
 
-use explicit::{ground_truth_check, mcc_check, SleepSetExplorer};
 use explicit::sleepset::SleepConfig;
+use explicit::{ground_truth_check, mcc_check, SleepSetExplorer};
 use mcapi::types::{DeliveryModel, MsgId, RecvKey};
 use symbolic::checker::{
     check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
@@ -37,7 +37,10 @@ fn ground_truth_finds_exactly_fig4a_and_fig4b() {
 fn mcc_finds_only_fig4a() {
     let r = mcc_check(&fig1());
     let expected: std::collections::BTreeSet<_> = [fig4a()].into_iter().collect();
-    assert_eq!(r.matchings, expected, "MCC's zero-delay network sees only Fig. 4a");
+    assert_eq!(
+        r.matchings, expected,
+        "MCC's zero-delay network sees only Fig. 4a"
+    );
 }
 
 #[test]
@@ -51,11 +54,13 @@ fn sleepset_explorer_agrees() {
 fn symbolic_enumeration_finds_exactly_fig4a_and_fig4b() {
     let p = fig1();
     for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
-        let cfg = CheckConfig { matchgen, ..CheckConfig::default() };
+        let cfg = CheckConfig {
+            matchgen,
+            ..CheckConfig::default()
+        };
         let trace = generate_trace(&p, &cfg);
         let en = enumerate_matchings(&p, &trace, &cfg, 100);
-        let expected: std::collections::BTreeSet<_> =
-            [fig4a(), fig4b()].into_iter().collect();
+        let expected: std::collections::BTreeSet<_> = [fig4a(), fig4b()].into_iter().collect();
         assert_eq!(en.matchings, expected, "{matchgen:?}");
     }
 }
@@ -84,7 +89,11 @@ fn fig1_assert_violation_found_symbolically_but_not_by_mcc_model() {
     match &report.verdict {
         Verdict::Violation(cv) => {
             // The violating matching is Fig. 4b: recv(A) <- X.
-            let a_binding = cv.witness.matching.iter().find(|(k, _)| *k == RecvKey::new(0, 0));
+            let a_binding = cv
+                .witness
+                .matching
+                .iter()
+                .find(|(k, _)| *k == RecvKey::new(0, 0));
             assert_eq!(a_binding.unwrap().1, MsgId::new(1, 0));
             // Replay produced the concrete assertion failure.
             assert!(cv.violation.is_some());
@@ -93,7 +102,10 @@ fn fig1_assert_violation_found_symbolically_but_not_by_mcc_model() {
     }
 
     // Symbolic with the zero-delay axioms (the MCC model): safe.
-    let zd = CheckConfig { delivery: DeliveryModel::ZeroDelay, ..CheckConfig::default() };
+    let zd = CheckConfig {
+        delivery: DeliveryModel::ZeroDelay,
+        ..CheckConfig::default()
+    };
     let report = check_program(&p, &zd);
     assert!(matches!(report.verdict, Verdict::Safe));
 

@@ -6,8 +6,8 @@ use symbolic::checker::{
     check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
 };
 use symbolic::matchpairs::{overapprox_match_pairs, precise_match_pairs};
-use workloads::{fig1, pipeline, race, scatter};
 use workloads::race::{delay_gap, race_with_winner_assert};
+use workloads::{fig1, pipeline, race, scatter};
 
 fn verdict_name(v: &Verdict) -> &'static str {
     match v {
@@ -33,7 +33,11 @@ fn precise_and_overapprox_verdicts_always_agree() {
         for model in DeliveryModel::ALL {
             let pr = check_program(
                 p,
-                &CheckConfig { delivery: model, matchgen: MatchGen::Precise, ..Default::default() },
+                &CheckConfig {
+                    delivery: model,
+                    matchgen: MatchGen::Precise,
+                    ..Default::default()
+                },
             );
             let ov = check_program(
                 p,
@@ -101,7 +105,10 @@ fn refinement_blocks_spurious_models_on_pipeline() {
 #[test]
 fn spurious_counter_is_zero_for_precise_pairs() {
     let p = race(3);
-    let cfg = CheckConfig { matchgen: MatchGen::Precise, ..Default::default() };
+    let cfg = CheckConfig {
+        matchgen: MatchGen::Precise,
+        ..Default::default()
+    };
     let trace = generate_trace(&p, &cfg);
     let en = enumerate_matchings(&p, &trace, &cfg, 1000);
     assert_eq!(en.spurious, 0);
@@ -114,7 +121,10 @@ fn refinement_count_is_reported() {
     // model picks an unrealisable pairing first; either way the verdict is
     // a confirmed violation and the counter is consistent.
     let p = delay_gap(1);
-    let cfg = CheckConfig { matchgen: MatchGen::OverApprox, ..Default::default() };
+    let cfg = CheckConfig {
+        matchgen: MatchGen::OverApprox,
+        ..Default::default()
+    };
     let report = check_program(&p, &cfg);
     assert!(matches!(report.verdict, Verdict::Violation(_)));
     assert!(report.refinements <= 1000);
@@ -135,7 +145,11 @@ fn unknown_when_refinement_budget_exhausted() {
     let t1 = b.thread("t1");
     let a = b.recv(t0, 0);
     let _b2 = b.recv(t0, 0);
-    b.assert_cond(t0, Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)), "in order");
+    b.assert_cond(
+        t0,
+        Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+        "in order",
+    );
     b.send_const(t1, t0, 0, 1);
     b.send_const(t1, t0, 0, 2);
     let p = b.build().unwrap();
@@ -150,5 +164,9 @@ fn unknown_when_refinement_budget_exhausted() {
     let report = check_program(&p, &cfg);
     // The FIFO axioms exclude the reordering inside the SMT problem, so
     // no refinement is needed: Safe.
-    assert!(matches!(report.verdict, Verdict::Safe), "{:?}", report.verdict);
+    assert!(
+        matches!(report.verdict, Verdict::Safe),
+        "{:?}",
+        report.verdict
+    );
 }

@@ -23,7 +23,11 @@ fn encoder_formula_sizes_scale_linearly_in_events() {
             &p,
             &trace,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         assert_eq!(enc.stats.match_disjuncts, n * n);
         assert_eq!(enc.stats.unique_pairs, n * (n - 1) / 2);
@@ -47,7 +51,11 @@ fn precise_and_overapprox_encodings_equisatisfiable_here() {
             &p,
             &trace,
             &pairs,
-            EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+            EncodeOptions {
+                delivery: DeliveryModel::Unordered,
+                negate_props: false,
+                ..Default::default()
+            },
         );
         let ids = enc.id_terms();
         enc.solver.enumerate_models(&ids, 1000).len()
@@ -79,7 +87,11 @@ fn scatter_nonblocking_formula_is_satisfiable_for_enumeration() {
         &p,
         &trace,
         &pairs,
-        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        EncodeOptions {
+            delivery: DeliveryModel::Unordered,
+            negate_props: false,
+            ..Default::default()
+        },
     );
     let ids = enc.id_terms();
     let models = enc.solver.enumerate_models(&ids, 1000);
@@ -98,7 +110,11 @@ fn solver_stats_accumulate_across_checks() {
         &p,
         &trace,
         &pairs,
-        EncodeOptions { delivery: DeliveryModel::Unordered, negate_props: false, ..Default::default() },
+        EncodeOptions {
+            delivery: DeliveryModel::Unordered,
+            negate_props: false,
+            ..Default::default()
+        },
     );
     assert_eq!(enc.solver.check(), SatResult::Sat);
     let d1 = enc.solver.stats().decisions;

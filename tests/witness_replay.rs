@@ -12,7 +12,10 @@ use workloads::{fig1, scatter};
 
 /// Enumerate every model of the enumeration encoding and replay each one.
 fn all_models_replay(program: &mcapi::Program, model: DeliveryModel) {
-    let cfg = CheckConfig { delivery: model, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        delivery: model,
+        ..CheckConfig::default()
+    };
     let trace = generate_trace(program, &cfg);
     if !trace.is_complete() || trace.violation.is_some() {
         return;
@@ -22,7 +25,11 @@ fn all_models_replay(program: &mcapi::Program, model: DeliveryModel) {
         program,
         &trace,
         &pairs,
-        EncodeOptions { delivery: model, negate_props: false, ..Default::default() },
+        EncodeOptions {
+            delivery: model,
+            negate_props: false,
+            ..Default::default()
+        },
     );
     let ids = enc.id_terms();
     let mut count = 0;
@@ -33,7 +40,10 @@ fn all_models_replay(program: &mcapi::Program, model: DeliveryModel) {
                 let w = decode_witness(&enc, &m);
                 let verdict = replay_witness(program, &trace, &w, model);
                 match verdict {
-                    ReplayVerdict::Confirmed { complete, violation } => {
+                    ReplayVerdict::Confirmed {
+                        complete,
+                        violation,
+                    } => {
                         assert!(complete, "{}: witness did not complete", program.name);
                         assert!(violation.is_none());
                     }
@@ -133,5 +143,8 @@ fn replay_rejects_wrong_delivery_model() {
     assert!(replay_witness(&p, &trace, &w, DeliveryModel::Unordered).is_confirmed());
     // …under instant delivery it must be rejected (the whole point).
     let zd = replay_witness(&p, &trace, &w, DeliveryModel::ZeroDelay);
-    assert!(!zd.is_confirmed(), "delay-dependent witness replayed under zero delay");
+    assert!(
+        !zd.is_confirmed(),
+        "delay-dependent witness replayed under zero delay"
+    );
 }

@@ -20,11 +20,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -72,9 +76,15 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.samples, mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
         f(&mut b);
-        println!("bench {}/{}: {:?}/iter ({} iters)", self.name, id, b.mean, self.samples);
+        println!(
+            "bench {}/{}: {:?}/iter ({} iters)",
+            self.name, id, b.mean, self.samples
+        );
         self
     }
 
@@ -87,9 +97,15 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.samples, mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
         f(&mut b, input);
-        println!("bench {}/{}: {:?}/iter ({} iters)", self.name, id, b.mean, self.samples);
+        println!(
+            "bench {}/{}: {:?}/iter ({} iters)",
+            self.name, id, b.mean, self.samples
+        );
         self
     }
 
@@ -104,14 +120,19 @@ pub struct Criterion {}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), samples: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
     }
 
     pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        self.benchmark_group(name.to_string()).bench_function("default", f);
+        self.benchmark_group(name.to_string())
+            .bench_function("default", f);
         self
     }
 }
@@ -144,11 +165,12 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("t");
         let mut runs = 0u64;
-        g.sample_size(3).bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
-            b.iter(|| {
-                runs += x as u64;
-            })
-        });
+        g.sample_size(3)
+            .bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+                b.iter(|| {
+                    runs += x as u64;
+                })
+            });
         g.finish();
         assert!(runs >= 3);
     }

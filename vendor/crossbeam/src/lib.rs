@@ -39,8 +39,7 @@ mod tests {
     fn scoped_threads_share_borrows() {
         let data = [1, 2, 3, 4];
         let total: i32 = crate::thread::scope(|scope| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -30,7 +30,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
-            TestRng { state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15) }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -141,7 +143,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { gen: Rc::new(move |rng: &mut TestRng| self.generate(rng)) }
+            BoxedStrategy {
+                gen: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+            }
         }
     }
 
@@ -152,7 +156,9 @@ pub mod strategy {
 
     impl<T> Clone for BoxedStrategy<T> {
         fn clone(&self) -> Self {
-            BoxedStrategy { gen: Rc::clone(&self.gen) }
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
         }
     }
 
@@ -220,7 +226,9 @@ pub mod strategy {
 
     impl<T> Clone for Union<T> {
         fn clone(&self) -> Self {
-            Union { arms: self.arms.clone() }
+            Union {
+                arms: self.arms.clone(),
+            }
         }
     }
 
@@ -316,7 +324,9 @@ pub mod strategy {
 
     impl<T> Clone for AnyStrategy<T> {
         fn clone(&self) -> Self {
-            AnyStrategy { _marker: std::marker::PhantomData }
+            AnyStrategy {
+                _marker: std::marker::PhantomData,
+            }
         }
     }
 
@@ -330,7 +340,9 @@ pub mod strategy {
 
     /// The `any::<T>()` entry point.
     pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-        AnyStrategy { _marker: std::marker::PhantomData }
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -348,19 +360,28 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
@@ -372,7 +393,10 @@ pub mod collection {
 
     /// `prop::collection::vec(element, len_range)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -390,7 +414,9 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of proptest's `prelude::prop` module alias.
     pub mod prop {
@@ -490,10 +516,7 @@ macro_rules! prop_assume {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
-        $crate::prop_assert!(
-            __l != __r,
-            "assertion failed: `{:?}` == `{:?}`", __l, __r
-        );
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
     }};
 }
 

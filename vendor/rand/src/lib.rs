@@ -101,7 +101,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
                 z ^ (z >> 31)
             };
-            SmallRng { s: [next(), next(), next(), next()] }
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 

@@ -276,16 +276,21 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Object(o) => {
-                o.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
-            }
+            Value::Object(o) => o
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
             _ => Err(DeError::expected("object", "BTreeMap")),
         }
     }

@@ -31,18 +31,31 @@ struct Variant {
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Does an attribute group (the `[...]` part) spell `serde(default)`?
 fn is_serde_default(group: &TokenTree) -> bool {
-    let TokenTree::Group(g) = group else { return false };
+    let TokenTree::Group(g) = group else {
+        return false;
+    };
     let mut it = g.stream().into_iter();
     match (it.next(), it.next()) {
         (Some(TokenTree::Ident(i)), Some(TokenTree::Group(args))) if i.to_string() == "serde" => {
-            args.stream().into_iter().any(|t| t.to_string() == "default")
+            args.stream()
+                .into_iter()
+                .any(|t| t.to_string() == "default")
         }
         _ => false,
     }
@@ -118,15 +131,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     while pos < toks.len() {
         let default = skip_attrs(&toks, &mut pos);
         skip_vis(&toks, &mut pos);
-        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else {
+            break;
+        };
         let name = name.to_string();
         pos += 1;
         // Expect ':'; then consume the type up to the next top-level ','.
         pos += 1;
         let mut angle = 0i32;
         while pos < toks.len() {
-            match &toks[pos] {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = &toks[pos] {
+                match p.as_char() {
                     '<' => angle += 1,
                     '>' => angle -= 1,
                     ',' if angle == 0 => {
@@ -134,8 +149,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                         break;
                     }
                     _ => {}
-                },
-                _ => {}
+                }
             }
             pos += 1;
         }
@@ -150,7 +164,9 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     while pos < toks.len() {
         skip_attrs(&toks, &mut pos);
-        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else {
+            break;
+        };
         let name = name.to_string();
         pos += 1;
         let kind = match toks.get(pos) {
@@ -219,18 +235,23 @@ fn parse_shape(input: TokenStream) -> Shape {
     }
     match kw.as_str() {
         "struct" => match toks.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
             }
             other => panic!("serde_derive stub: unsupported struct body {other:?}"),
         },
         "enum" => match toks.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("serde_derive stub: unsupported enum body {other:?}"),
         },
         other => panic!("serde_derive stub: cannot derive for `{other}`"),
@@ -420,11 +441,15 @@ fn gen_deserialize(shape: &Shape) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
-    gen_serialize(&shape).parse().expect("serde_derive stub: generated invalid Serialize impl")
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
-    gen_deserialize(&shape).parse().expect("serde_derive stub: generated invalid Deserialize impl")
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
 }

@@ -134,7 +134,10 @@ struct Parser<'a> {
 }
 
 fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -288,10 +291,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -305,8 +305,7 @@ impl<'a> Parser<'a> {
                         .bytes
                         .get(start..end)
                         .ok_or_else(|| Error::new("truncated UTF-8"))?;
-                    let s = std::str::from_utf8(chunk)
-                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| Error::new("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -370,7 +369,10 @@ mod tests {
     #[test]
     fn roundtrip_nested() {
         let v = Value::Object(vec![
-            ("a".into(), Value::Array(vec![Value::Int(1), Value::Int(-2)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Int(1), Value::Int(-2)]),
+            ),
             ("s".into(), Value::Str("he\"llo\n".into())),
             ("n".into(), Value::Null),
             ("b".into(), Value::Bool(true)),
