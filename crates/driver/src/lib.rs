@@ -56,7 +56,10 @@ pub mod scenario;
 
 pub use report::{PortfolioReport, ScenarioOutcome, VerdictKind};
 pub use runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
-pub use scenario::{batch_by_grid_point, cross, Engine, GridBatch, Scenario};
+pub use scenario::{
+    batch_by_grid_point, corpus_scenarios, corpus_specs, cross, Engine, GridBatch, ProgramSpec,
+    Scenario,
+};
 pub use workloads::grid::FamilySpec;
 
 /// Everything needed to assemble and run a portfolio.
@@ -64,6 +67,9 @@ pub mod prelude {
     pub use crate::pool::{CancelToken, WorkStealingPool};
     pub use crate::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
     pub use crate::runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
-    pub use crate::scenario::{batch_by_grid_point, cross, Engine, GridBatch, Scenario};
+    pub use crate::scenario::{
+        batch_by_grid_point, corpus_scenarios, corpus_specs, cross, Engine, GridBatch, ProgramSpec,
+        Scenario,
+    };
     pub use workloads::grid::{default_grid, family_grid, FamilySpec, FAMILIES};
 }

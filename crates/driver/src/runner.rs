@@ -90,7 +90,7 @@ impl PortfolioConfig {
 fn outcome_shell(scenario: &Scenario) -> ScenarioOutcome {
     ScenarioOutcome::skipped(
         scenario.name(),
-        scenario.spec.family().to_string(),
+        scenario.spec.family(),
         scenario.delivery.to_string(),
         scenario.engine.tag().to_string(),
     )
@@ -255,7 +255,7 @@ pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> Portfolio
                 if cancel.is_cancelled() {
                     return ScenarioOutcome::skipped(
                         scenario.name(),
-                        scenario.spec.family().to_string(),
+                        scenario.spec.family(),
                         scenario.delivery.to_string(),
                         scenario.engine.tag().to_string(),
                     );

@@ -1,9 +1,115 @@
-//! Scenario model: one verification job = workload grid point × delivery
-//! model × engine.
+//! Scenario model: one verification job = program source × delivery
+//! model × engine, where a program source is a workload grid point or an
+//! MCAPI-lite file from a corpus directory.
 
+use mcapi::program::Program;
 use mcapi::types::DeliveryModel;
+use std::path::Path;
+use std::sync::Arc;
 use symbolic::checker::MatchGen;
 use workloads::grid::FamilySpec;
+
+/// Where a scenario's program comes from.
+///
+/// The portfolio originally only knew [`FamilySpec`] grid points; the
+/// MCAPI-lite frontend adds file-backed programs, which cross with
+/// delivery models and engines exactly like grid points.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProgramSpec {
+    /// A point in a workload family's parameter grid, built on demand.
+    Grid(FamilySpec),
+    /// An already-built program (parsed from a `.mcapi` file or
+    /// assembled by hand), shared cheaply across the cross-product.
+    Source {
+        /// Stable name used in scenario names and reports (for corpus
+        /// files: the file stem).
+        name: String,
+        /// The compiled program.
+        program: Arc<Program>,
+    },
+}
+
+impl ProgramSpec {
+    /// A file-backed (or hand-built) program spec.
+    pub fn source(name: impl Into<String>, program: Program) -> ProgramSpec {
+        ProgramSpec::Source {
+            name: name.into(),
+            program: Arc::new(program),
+        }
+    }
+
+    /// Compact unique name of this program, e.g. `ring4x2` or the corpus
+    /// file stem.
+    pub fn name(&self) -> String {
+        match self {
+            ProgramSpec::Grid(spec) => spec.name(),
+            ProgramSpec::Source { name, .. } => name.clone(),
+        }
+    }
+
+    /// The family tag printed in reports (`"corpus"` for file-backed
+    /// programs).
+    pub fn family(&self) -> String {
+        match self {
+            ProgramSpec::Grid(spec) => spec.family().to_string(),
+            ProgramSpec::Source { .. } => "corpus".to_string(),
+        }
+    }
+
+    /// Build (or clone) the compiled program.
+    pub fn build(&self) -> Program {
+        match self {
+            ProgramSpec::Grid(spec) => spec.build(),
+            ProgramSpec::Source { program, .. } => (**program).clone(),
+        }
+    }
+}
+
+impl From<FamilySpec> for ProgramSpec {
+    fn from(spec: FamilySpec) -> ProgramSpec {
+        ProgramSpec::Grid(spec)
+    }
+}
+
+/// Load every `*.mcapi` file in `dir` as a [`ProgramSpec::Source`],
+/// sorted by file name for reproducible batch orders. Parse or lowering
+/// failures abort with the file path and the frontend's caret diagnostic.
+///
+/// Specs are named `corpus/<stem>` so a corpus file called `fig1.mcapi`
+/// can never collide with the `fig1` grid point when both run in one
+/// portfolio (scenario names key report rows).
+pub fn corpus_specs(dir: &Path) -> Result<Vec<ProgramSpec>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "mcapi"))
+        .collect();
+    paths.sort();
+    let mut specs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let program =
+            frontend::parse_program(&text).map_err(|e| format!("{}:\n{e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        specs.push(ProgramSpec::source(format!("corpus/{stem}"), program));
+    }
+    Ok(specs)
+}
+
+/// Load a corpus directory and cross it with delivery models and
+/// engines — the file-driven analogue of [`cross`] over a grid.
+pub fn corpus_scenarios(
+    dir: &Path,
+    deliveries: &[DeliveryModel],
+    engines: &[Engine],
+) -> Result<Vec<Scenario>, String> {
+    Ok(cross(&corpus_specs(dir)?, deliveries, engines))
+}
 
 /// Which verification engine runs a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,10 +154,10 @@ impl Engine {
 /// );
 /// assert_eq!(s.name(), "fig1/unordered/explicit");
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
-    /// The workload grid point to build and check.
-    pub spec: FamilySpec,
+    /// The program to build and check (grid point or corpus file).
+    pub spec: ProgramSpec,
     /// The network delivery discipline under test.
     pub delivery: DeliveryModel,
     /// The engine that runs the check.
@@ -60,9 +166,9 @@ pub struct Scenario {
 
 impl Scenario {
     /// Assemble a scenario from its three coordinates.
-    pub fn new(spec: FamilySpec, delivery: DeliveryModel, engine: Engine) -> Scenario {
+    pub fn new(spec: impl Into<ProgramSpec>, delivery: DeliveryModel, engine: Engine) -> Scenario {
         Scenario {
-            spec,
+            spec: spec.into(),
             delivery,
             engine,
         }
@@ -94,16 +200,15 @@ impl Scenario {
 /// );
 /// assert!(scenarios.len() >= 20);
 /// ```
-pub fn cross(
-    specs: &[FamilySpec],
-    deliveries: &[DeliveryModel],
-    engines: &[Engine],
-) -> Vec<Scenario> {
+pub fn cross<S>(specs: &[S], deliveries: &[DeliveryModel], engines: &[Engine]) -> Vec<Scenario>
+where
+    S: Clone + Into<ProgramSpec>,
+{
     let mut out = Vec::with_capacity(specs.len() * deliveries.len() * engines.len());
-    for &spec in specs {
+    for spec in specs {
         for &delivery in deliveries {
             for &engine in engines {
-                out.push(Scenario::new(spec, delivery, engine));
+                out.push(Scenario::new(spec.clone(), delivery, engine));
             }
         }
     }
@@ -118,8 +223,8 @@ pub fn cross(
 /// [`symbolic::session::SessionPool`] — SMT encodings.
 #[derive(Clone, Debug)]
 pub struct GridBatch {
-    /// The grid point all scenarios in this batch verify.
-    pub spec: FamilySpec,
+    /// The program all scenarios in this batch verify.
+    pub spec: ProgramSpec,
     /// `(submission index, scenario)` pairs, in submission order.
     pub items: Vec<(usize, Scenario)>,
 }
@@ -141,10 +246,10 @@ pub fn batch_by_grid_point(scenarios: &[Scenario]) -> Vec<GridBatch> {
     let mut batches: Vec<GridBatch> = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
         match batches.iter_mut().find(|b| b.spec == s.spec) {
-            Some(b) => b.items.push((i, *s)),
+            Some(b) => b.items.push((i, s.clone())),
             None => batches.push(GridBatch {
-                spec: s.spec,
-                items: vec![(i, *s)],
+                spec: s.spec.clone(),
+                items: vec![(i, s.clone())],
             }),
         }
     }
@@ -193,5 +298,82 @@ mod tests {
     fn engine_tags_are_distinct() {
         let tags: std::collections::BTreeSet<&str> = Engine::ALL.iter().map(Engine::tag).collect();
         assert_eq!(tags.len(), Engine::ALL.len());
+    }
+
+    /// A scratch directory that cleans up after itself.
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("driver-corpus-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn corpus_specs_load_sorted_and_cross_like_grid_points() {
+        let tmp = TempDir::new("ok");
+        std::fs::write(
+            tmp.0.join("b-ring.mcapi"),
+            "program b { thread t0 { var x; send(t1:0, 1); x = recv(0); }
+                         thread t1 { var y; y = recv(0); send(t0:0, y); } }",
+        )
+        .unwrap();
+        std::fs::write(
+            tmp.0.join("a-pair.mcapi"),
+            "program a { thread t0 { send(t1:0, 7); } thread t1 { var v; v = recv(0); } }",
+        )
+        .unwrap();
+        std::fs::write(tmp.0.join("notes.txt"), "not a program").unwrap();
+
+        let specs = corpus_specs(&tmp.0).unwrap();
+        assert_eq!(
+            specs.iter().map(ProgramSpec::name).collect::<Vec<_>>(),
+            ["corpus/a-pair", "corpus/b-ring"]
+        );
+        assert!(specs.iter().all(|s| s.family() == "corpus"));
+        assert_eq!(specs[0].build().threads.len(), 2);
+
+        let scenarios =
+            corpus_scenarios(&tmp.0, &[DeliveryModel::Unordered], &Engine::ALL).unwrap();
+        assert_eq!(scenarios.len(), 2 * Engine::ALL.len());
+        assert_eq!(
+            scenarios[0].name(),
+            "corpus/a-pair/unordered/symbolic-precise"
+        );
+        // Corpus scenarios batch by program exactly like grid points.
+        let batches = batch_by_grid_point(&scenarios);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].items.len(), Engine::ALL.len());
+    }
+
+    #[test]
+    fn corpus_parse_errors_carry_the_file_and_caret() {
+        let tmp = TempDir::new("bad");
+        std::fs::write(tmp.0.join("broken.mcapi"), "program p { thread t0 { x } }").unwrap();
+        let err = corpus_specs(&tmp.0).unwrap_err();
+        assert!(err.contains("broken.mcapi"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn grid_and_source_specs_mix_in_one_cross() {
+        let program = FamilySpec::Fig1.build();
+        let specs = vec![
+            ProgramSpec::Grid(FamilySpec::Fig1),
+            ProgramSpec::source("from-file", program),
+        ];
+        let scenarios = cross(&specs, &[DeliveryModel::Unordered], &[Engine::Explicit]);
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].spec.family(), "fig1");
+        assert_eq!(scenarios[1].spec.family(), "corpus");
+        assert_eq!(scenarios[1].name(), "from-file/unordered/explicit");
     }
 }

@@ -1,0 +1,180 @@
+//! The MCAPI-lite abstract syntax tree.
+//!
+//! Every name and literal that lowering can reject keeps its [`Span`], so
+//! "unknown variable `x`" points at the use site, not at the statement.
+
+use crate::diag::Span;
+use mcapi::types::CmpOp;
+
+/// A value with its source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub node: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pair a value with its span.
+    pub fn new(node: T, span: Span) -> Spanned<T> {
+        Spanned { node, span }
+    }
+}
+
+/// One source file: `program NAME { thread… }`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct File {
+    /// The program name (bare identifier or string literal).
+    pub name: Spanned<String>,
+    /// The threads, in declaration order (= node indices).
+    pub threads: Vec<ThreadDecl>,
+}
+
+/// One `thread NAME { decls… stmts… }` block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadDecl {
+    /// The thread name.
+    pub name: Spanned<String>,
+    /// Declared receive ports (`port 1, 2;`). Port 0 is implicit, as in
+    /// [`mcapi::builder::ProgramBuilder::thread`].
+    pub ports: Vec<Spanned<i64>>,
+    /// Declared local variables, in slot order (`var a, b;`).
+    pub vars: Vec<Spanned<String>>,
+    /// Declared request handles, in slot order (`req r0;`).
+    pub reqs: Vec<Spanned<String>>,
+    /// The statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A message destination: `thread:port` with the thread given by name or
+/// by node index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dest {
+    /// The target thread.
+    pub thread: DestThread,
+    /// The target port number.
+    pub port: Spanned<i64>,
+}
+
+/// How a destination thread is written.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DestThread {
+    /// By declared thread name (`server:0`).
+    Name(Spanned<String>),
+    /// By node index (`1:0`).
+    Index(Spanned<i64>),
+}
+
+/// A statement plus its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// The whole statement's span.
+    pub span: Span,
+}
+
+/// Statement forms — one per [`mcapi::program::Op`] constructor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StmtKind {
+    /// `send(dest, expr);`
+    Send {
+        /// Destination endpoint.
+        dest: Dest,
+        /// Payload expression.
+        value: Expr,
+    },
+    /// `send_i(dest, expr, req);`
+    SendI {
+        /// Destination endpoint.
+        dest: Dest,
+        /// Payload expression.
+        value: Expr,
+        /// Request handle bound to the send.
+        req: Spanned<String>,
+    },
+    /// `var = recv(port);`
+    Recv {
+        /// Variable receiving the payload.
+        var: Spanned<String>,
+        /// Port received on.
+        port: Spanned<i64>,
+    },
+    /// `var, req = recv_i(port);`
+    RecvI {
+        /// Variable the payload is (eventually) bound into.
+        var: Spanned<String>,
+        /// Request handle for the posted receive.
+        req: Spanned<String>,
+        /// Port received on.
+        port: Spanned<i64>,
+    },
+    /// `wait(req);`
+    Wait {
+        /// The request to block on.
+        req: Spanned<String>,
+    },
+    /// `var = expr;`
+    Assign {
+        /// Assigned variable.
+        var: Spanned<String>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `assert(cond, "message");` (message optional)
+    Assert {
+        /// The checked condition.
+        cond: Cond,
+        /// The failure message (empty when omitted).
+        message: Option<Spanned<String>>,
+    },
+    /// `if (cond) { … } else { … }` (else optional)
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (empty when no `else`).
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// Expressions: the DSL's `variable + constant` fragment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Const(Spanned<i64>),
+    /// A variable read.
+    Var(Spanned<String>),
+    /// `expr + c` / `expr - c` (the offset is stored signed).
+    Add(Box<Expr>, Spanned<i64>),
+}
+
+impl Expr {
+    /// The span covering the whole expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Const(c) => c.span,
+            Expr::Var(v) => v.span,
+            Expr::Add(e, c) => e.span().to(c.span),
+        }
+    }
+}
+
+/// Conditions: Boolean combinations of comparisons.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `a OP b`
+    Cmp(CmpOp, Expr, Expr),
+    /// `a && b`
+    And(Box<Cond>, Box<Cond>),
+    /// `a || b`
+    Or(Box<Cond>, Box<Cond>),
+    /// `!(c)`
+    Not(Box<Cond>),
+}

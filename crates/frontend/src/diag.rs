@@ -1,0 +1,183 @@
+//! Spans and source-located diagnostics.
+//!
+//! Every error the frontend produces carries a byte-offset [`Span`] into
+//! the original source; [`render`] turns (source, span, message) into the
+//! caret diagnostic the CLI prints:
+//!
+//! ```text
+//! error: expected `;`, found `}`
+//!  --> line 5, col 12
+//!   |
+//! 5 |     x = recv(0)
+//!   |                ^
+//! ```
+
+use mcapi::error::SourceDiagnostic;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A syntax error: what the parser wanted vs. what it saw.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Location of the offending token.
+    pub span: Span,
+    /// Human description of the expected token class, e.g. `` "`;`" ``.
+    pub expected: String,
+    /// Human description of the token actually found.
+    pub found: String,
+}
+
+impl ParseError {
+    /// One-line summary (no source context).
+    pub fn message(&self) -> String {
+        format!("expected {}, found {}", self.expected, self.found)
+    }
+
+    /// Full caret diagnostic against `source`.
+    pub fn diagnostic(&self, source: &str) -> SourceDiagnostic {
+        render(source, self.span, &self.message())
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message())
+    }
+}
+
+/// A lowering error: syntactically fine, semantically not (unknown
+/// variable, out-of-range port, ambiguous thread name, …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LowerError {
+    /// Location of the offending name or literal.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LowerError {
+    /// Full caret diagnostic against `source`.
+    pub fn diagnostic(&self, source: &str) -> SourceDiagnostic {
+        render(source, self.span, &self.message)
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Any frontend failure: syntax, lowering, or the reused
+/// [`mcapi::program::Program::validate`] pass.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FrontendError {
+    /// Tokenisation or parsing failed.
+    Parse(ParseError),
+    /// Name resolution / range checking failed.
+    Lower(LowerError),
+    /// The lowered program failed `ProgramBuilder::build` validation.
+    Invalid(mcapi::error::McapiError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => e.fmt(f),
+            FrontendError::Lower(e) => e.fmt(f),
+            FrontendError::Invalid(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// 1-based (line, col) of a byte offset, counting columns in characters.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let col = source[line_start..offset].chars().count() + 1;
+    (line, col)
+}
+
+/// Render a caret diagnostic for `span` in `source`.
+pub fn render(source: &str, span: Span, message: &str) -> SourceDiagnostic {
+    let (line, col) = line_col(source, span.start);
+    let line_text = source.lines().nth(line - 1).unwrap_or("");
+    // Caret width: span length clamped to the rest of the line, min 1.
+    let rest = line_text.chars().count().saturating_sub(col - 1);
+    let width = (span.end.saturating_sub(span.start)).clamp(1, rest.max(1));
+    let gutter = line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let rendered = format!(
+        "error: {message}\n\
+         {pad} --> line {line}, col {col}\n\
+         {pad} |\n\
+         {gutter} | {line_text}\n\
+         {pad} | {caret}",
+        caret = " ".repeat(col - 1) + &"^".repeat(width),
+    );
+    SourceDiagnostic {
+        line,
+        col,
+        message: message.to_string(),
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "program x {\n  thread t0 {\n}";
+        let d = render(src, Span::new(14, 20), "expected `}`");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.col, 3);
+        assert!(d.rendered.contains("2 |   thread t0 {"));
+        assert!(d.rendered.contains("|   ^^^^^^"), "{}", d.rendered);
+    }
+
+    #[test]
+    fn render_clamps_past_end_of_input() {
+        let src = "program";
+        let d = render(src, Span::new(7, 7), "unexpected end of input");
+        assert_eq!((d.line, d.col), (1, 8));
+        assert!(d.rendered.contains('^'));
+    }
+}

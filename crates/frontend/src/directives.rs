@@ -1,0 +1,136 @@
+//! `// key: value` header directives.
+//!
+//! Corpus files carry machine-readable metadata in their leading comment
+//! block — most importantly the verdict the checker is expected to
+//! produce:
+//!
+//! ```text
+//! // expect: violation
+//! // delivery: unordered
+//! program "fig1-assert" { … }
+//! ```
+//!
+//! Unknown keys and free-form comment lines are ignored, so headers can
+//! also hold prose.
+
+use mcapi::types::DeliveryModel;
+use std::fmt;
+
+/// The verdict a corpus file expects from `mcapi-smc check`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expect {
+    /// No reachable assertion failure or deadlock.
+    Safe,
+    /// The checker must report a violation.
+    Violation,
+    /// The checker is allowed to give up (budget-bound scenarios).
+    Unknown,
+}
+
+impl fmt::Display for Expect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Expect::Safe => "safe",
+            Expect::Violation => "violation",
+            Expect::Unknown => "unknown",
+        })
+    }
+}
+
+/// Parsed header directives of one source file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Directives {
+    /// `// expect: safe|violation|unknown`
+    pub expect: Option<Expect>,
+    /// `// delivery: unordered|pairwise-fifo|zero-delay`
+    pub delivery: Option<DeliveryModel>,
+}
+
+/// Parse a delivery-model tag (the CLI's spellings are accepted too).
+pub fn parse_delivery(tag: &str) -> Option<DeliveryModel> {
+    match tag {
+        "unordered" => Some(DeliveryModel::Unordered),
+        "fifo" | "pairwise-fifo" => Some(DeliveryModel::PairwiseFifo),
+        "zero" | "zero-delay" => Some(DeliveryModel::ZeroDelay),
+        _ => None,
+    }
+}
+
+/// The leading comment block of `src`: every line before the first line
+/// that is neither blank nor a `//` comment, with trailing blank lines
+/// dropped. Returned verbatim (used by `fmt` to preserve headers).
+pub fn leading_comment_block(src: &str) -> Vec<&str> {
+    let mut block: Vec<&str> = Vec::new();
+    for line in src.lines() {
+        let t = line.trim_start();
+        if t.starts_with("//") || t.is_empty() {
+            block.push(line);
+        } else {
+            break;
+        }
+    }
+    while block.last().is_some_and(|l| l.trim().is_empty()) {
+        block.pop();
+    }
+    block
+}
+
+/// Extract directives from the leading comment block.
+pub fn directives(src: &str) -> Directives {
+    let mut d = Directives::default();
+    for line in leading_comment_block(src) {
+        let Some(rest) = line.trim_start().strip_prefix("//") else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "expect" => {
+                d.expect = match value {
+                    "safe" => Some(Expect::Safe),
+                    "violation" => Some(Expect::Violation),
+                    "unknown" => Some(Expect::Unknown),
+                    _ => d.expect,
+                }
+            }
+            "delivery" => d.delivery = parse_delivery(value).or(d.delivery),
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_expect_and_delivery() {
+        let d = directives(
+            "// A fine program.\n// expect: violation\n// delivery: zero-delay\nprogram p {}",
+        );
+        assert_eq!(d.expect, Some(Expect::Violation));
+        assert_eq!(d.delivery, Some(DeliveryModel::ZeroDelay));
+    }
+
+    #[test]
+    fn stops_at_first_code_line() {
+        let d = directives("program p {}\n// expect: safe\n");
+        assert_eq!(d.expect, None);
+    }
+
+    #[test]
+    fn ignores_unknown_keys_and_prose() {
+        let d = directives("// note: race between t1 and t2\n// expect: safe\nprogram p {}");
+        assert_eq!(d.expect, Some(Expect::Safe));
+        assert_eq!(d.delivery, None);
+    }
+
+    #[test]
+    fn comment_block_drops_trailing_blanks() {
+        let block = leading_comment_block("// a\n\n// b\n\n\nprogram p {}");
+        assert_eq!(block, vec!["// a", "", "// b"]);
+    }
+}

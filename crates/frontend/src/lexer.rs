@@ -1,0 +1,438 @@
+//! Hand-written lexer for MCAPI-lite.
+//!
+//! Whitespace and `// …` line comments separate tokens; identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*` (keywords are reserved); integers are decimal
+//! (a leading `-` is a separate token, consumed by the expression
+//! parser); strings are double-quoted with `\" \\ \n \t \r` escapes.
+
+use crate::diag::{ParseError, Span};
+
+/// The token classes of MCAPI-lite.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// A non-keyword identifier.
+    Ident(String),
+    /// A decimal integer literal (sign handled by the parser).
+    Int(i64),
+    /// A double-quoted string literal (escapes already resolved).
+    Str(String),
+    /// `program`
+    KwProgram,
+    /// `thread`
+    KwThread,
+    /// `port`
+    KwPort,
+    /// `var`
+    KwVar,
+    /// `req`
+    KwReq,
+    /// `send`
+    KwSend,
+    /// `send_i`
+    KwSendI,
+    /// `recv`
+    KwRecv,
+    /// `recv_i`
+    KwRecvI,
+    /// `wait`
+    KwWait,
+    /// `assert`
+    KwAssert,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// How this token reads in a diagnostic ("found …").
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Str(_) => "string literal".into(),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("`{}`", other.glyph()),
+        }
+    }
+
+    /// The literal spelling of fixed tokens (empty for variable ones).
+    fn glyph(&self) -> &'static str {
+        match self {
+            TokenKind::KwProgram => "program",
+            TokenKind::KwThread => "thread",
+            TokenKind::KwPort => "port",
+            TokenKind::KwVar => "var",
+            TokenKind::KwReq => "req",
+            TokenKind::KwSend => "send",
+            TokenKind::KwSendI => "send_i",
+            TokenKind::KwRecv => "recv",
+            TokenKind::KwRecvI => "recv_i",
+            TokenKind::KwWait => "wait",
+            TokenKind::KwAssert => "assert",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Bang => "!",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Str(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token class (and payload, for identifiers/literals).
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word {
+        "program" => TokenKind::KwProgram,
+        "thread" => TokenKind::KwThread,
+        "port" => TokenKind::KwPort,
+        "var" => TokenKind::KwVar,
+        "req" => TokenKind::KwReq,
+        "send" => TokenKind::KwSend,
+        "send_i" => TokenKind::KwSendI,
+        "recv" => TokenKind::KwRecv,
+        "recv_i" => TokenKind::KwRecvI,
+        "wait" => TokenKind::KwWait,
+        "assert" => TokenKind::KwAssert,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "true" => TokenKind::KwTrue,
+        "false" => TokenKind::KwFalse,
+        _ => return None,
+    })
+}
+
+/// Is `name` spellable as a bare identifier token (and not a keyword)?
+pub fn is_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && keyword(name).is_none()
+}
+
+/// Tokenise `src`; the result always ends with an [`TokenKind::Eof`] token.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let err = |span: Span, expected: &str, found: String| {
+        Err(ParseError {
+            span,
+            expected: expected.into(),
+            found,
+        })
+    };
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'=' if b.get(i + 1) == Some(&b'=') => {
+                i += 1;
+                TokenKind::EqEq
+            }
+            b'=' => TokenKind::Assign,
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                i += 1;
+                TokenKind::Ne
+            }
+            b'!' => TokenKind::Bang,
+            b'<' if b.get(i + 1) == Some(&b'=') => {
+                i += 1;
+                TokenKind::Le
+            }
+            b'<' => TokenKind::Lt,
+            b'>' if b.get(i + 1) == Some(&b'=') => {
+                i += 1;
+                TokenKind::Ge
+            }
+            b'>' => TokenKind::Gt,
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    i += 1;
+                    TokenKind::AndAnd
+                } else {
+                    return err(Span::new(start, start + 1), "`&&`", "`&`".into());
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    i += 1;
+                    TokenKind::OrOr
+                } else {
+                    return err(Span::new(start, start + 1), "`||`", "`|`".into());
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None | Some(b'\n') => {
+                            return err(Span::new(start, i), "closing `\"`", "end of line".into());
+                        }
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            let esc = b.get(i + 1);
+                            s.push(match esc {
+                                Some(b'"') => '"',
+                                Some(b'\\') => '\\',
+                                Some(b'n') => '\n',
+                                Some(b't') => '\t',
+                                Some(b'r') => '\r',
+                                _ => {
+                                    return err(
+                                        Span::new(i, i + 2),
+                                        "an escape (`\\\"`, `\\\\`, `\\n`, `\\t`, `\\r`)",
+                                        "invalid escape".into(),
+                                    );
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 character verbatim.
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+                continue;
+            }
+            b'0'..=b'9' => {
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let Ok(n) = text.parse::<i64>() else {
+                    return err(
+                        Span::new(start, i),
+                        "an integer that fits in 64 bits",
+                        format!("`{text}`"),
+                    );
+                };
+                out.push(Token {
+                    kind: TokenKind::Int(n),
+                    span: Span::new(start, i),
+                });
+                continue;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(Token {
+                    kind: keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string())),
+                    span: Span::new(start, i),
+                });
+                continue;
+            }
+            _ => {
+                let ch = src[start..].chars().next().unwrap();
+                return err(
+                    Span::new(start, start + ch.len_utf8()),
+                    "a token",
+                    format!("unexpected character `{ch}`"),
+                );
+            }
+        };
+        i += 1;
+        out.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("{ } ( ) , ; : = + - ! == != < <= > >= && ||"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::Assign,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Bang,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("send send_i sendx _x v0"),
+            vec![
+                TokenKind::KwSend,
+                TokenKind::KwSendI,
+                TokenKind::Ident("sendx".into()),
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("v0".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_spans() {
+        let toks = lex("a // comment\n b").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokenKind::Ident("b".into()));
+        assert_eq!(toks[1].span, Span::new(14, 15));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let toks = lex(r#""a\"b\\c\n""#).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str("a\"b\\c\n".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let e = lex("\"abc").unwrap_err();
+        assert_eq!(e.expected, "closing `\"`");
+    }
+
+    #[test]
+    fn lone_ampersand_is_an_error() {
+        let e = lex("a & b").unwrap_err();
+        assert_eq!(e.expected, "`&&`");
+        assert_eq!(e.span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn is_ident_rejects_keywords_and_odd_names() {
+        assert!(is_ident("t0"));
+        assert!(is_ident("_private"));
+        assert!(!is_ident("send"));
+        assert!(!is_ident("fig1-assert"));
+        assert!(!is_ident("0x"));
+        assert!(!is_ident(""));
+    }
+}

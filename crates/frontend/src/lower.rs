@@ -1,0 +1,346 @@
+//! Lowering: AST → [`mcapi::program::Program`] via
+//! [`mcapi::builder::ProgramBuilder`], so the builder's compile/validate
+//! pass is reused unchanged.
+//!
+//! Invariants (relied on by the `parse(pretty(p))` round-trip):
+//!
+//! - Threads get node indices in declaration order.
+//! - `var`/`req` declarations get slots in declaration order, so a
+//!   printer that names slot *i* `v{i}`/`r{i}` reproduces the original
+//!   numbering exactly.
+//! - Port 0 is implicitly owned by every thread (builder semantics);
+//!   declaring it again is a no-op.
+//! - Expressions lower through [`mcapi::expr::Expr::plus`], which folds
+//!   constant offsets — printed canonical forms parse back structurally
+//!   equal.
+
+use crate::ast;
+use crate::diag::{FrontendError, LowerError, Span};
+use mcapi::builder::ProgramBuilder;
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::{Op, Program};
+use mcapi::types::{EndpointAddr, Port, ReqId, VarId};
+use std::collections::HashMap;
+
+/// Lower a parsed file to a compiled, validated [`Program`].
+pub fn lower(file: &ast::File) -> Result<Program, FrontendError> {
+    let err = |span: Span, message: String| Err(FrontendError::Lower(LowerError { span, message }));
+    if file.threads.is_empty() {
+        return err(file.name.span, "program declares no threads".to_string());
+    }
+
+    let mut b = ProgramBuilder::new(file.name.node.clone());
+    // Pass 1: declare every thread so destinations can resolve forward.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut tids = Vec::with_capacity(file.threads.len());
+    for t in &file.threads {
+        let tid = b.thread(t.name.node.clone());
+        by_name.entry(t.name.node.as_str()).or_default().push(tid);
+        tids.push(tid);
+    }
+
+    // Pass 2: declarations and statements.
+    for (t, &tid) in file.threads.iter().zip(&tids) {
+        for p in &t.ports {
+            b.port(tid, port_number(p)?);
+        }
+        let mut vars: HashMap<&str, VarId> = HashMap::new();
+        for v in &t.vars {
+            if vars.contains_key(v.node.as_str()) {
+                return err(v.span, format!("duplicate variable `{}`", v.node));
+            }
+            vars.insert(v.node.as_str(), b.fresh_var(tid));
+        }
+        let mut reqs: HashMap<&str, ReqId> = HashMap::new();
+        for r in &t.reqs {
+            if reqs.contains_key(r.node.as_str()) {
+                return err(r.span, format!("duplicate request `{}`", r.node));
+            }
+            if vars.contains_key(r.node.as_str()) {
+                return err(
+                    r.span,
+                    format!("`{}` is already declared as a variable", r.node),
+                );
+            }
+            reqs.insert(r.node.as_str(), b.fresh_req(tid));
+        }
+        let ctx = Ctx {
+            vars: &vars,
+            reqs: &reqs,
+            by_name: &by_name,
+            num_threads: file.threads.len(),
+        };
+        let ops = lower_body(&t.body, &ctx)?;
+        for op in ops {
+            b.push_op(tid, op);
+        }
+    }
+    b.build().map_err(FrontendError::Invalid)
+}
+
+struct Ctx<'a> {
+    vars: &'a HashMap<&'a str, VarId>,
+    reqs: &'a HashMap<&'a str, ReqId>,
+    by_name: &'a HashMap<&'a str, Vec<usize>>,
+    num_threads: usize,
+}
+
+impl Ctx<'_> {
+    fn var(&self, name: &ast::Spanned<String>) -> Result<VarId, FrontendError> {
+        self.vars.get(name.node.as_str()).copied().ok_or_else(|| {
+            let hint = if self.reqs.contains_key(name.node.as_str()) {
+                " (it is declared as a request)"
+            } else {
+                " (declare it with `var`)"
+            };
+            FrontendError::Lower(LowerError {
+                span: name.span,
+                message: format!("unknown variable `{}`{hint}", name.node),
+            })
+        })
+    }
+
+    fn req(&self, name: &ast::Spanned<String>) -> Result<ReqId, FrontendError> {
+        self.reqs.get(name.node.as_str()).copied().ok_or_else(|| {
+            let hint = if self.vars.contains_key(name.node.as_str()) {
+                " (it is declared as a variable)"
+            } else {
+                " (declare it with `req`)"
+            };
+            FrontendError::Lower(LowerError {
+                span: name.span,
+                message: format!("unknown request `{}`{hint}", name.node),
+            })
+        })
+    }
+
+    fn dest(&self, d: &ast::Dest) -> Result<EndpointAddr, FrontendError> {
+        let node = match &d.thread {
+            ast::DestThread::Index(i) => {
+                if i.node < 0 || i.node as usize >= self.num_threads {
+                    return Err(FrontendError::Lower(LowerError {
+                        span: i.span,
+                        message: format!(
+                            "thread index {} out of range (program has {} threads)",
+                            i.node, self.num_threads
+                        ),
+                    }));
+                }
+                i.node as usize
+            }
+            ast::DestThread::Name(n) => {
+                match self.by_name.get(n.node.as_str()).map(Vec::as_slice) {
+                    Some([tid]) => *tid,
+                    Some(_) => {
+                        return Err(FrontendError::Lower(LowerError {
+                            span: n.span,
+                            message: format!(
+                                "thread name `{}` is ambiguous; use a numeric index",
+                                n.node
+                            ),
+                        }))
+                    }
+                    None => {
+                        return Err(FrontendError::Lower(LowerError {
+                            span: n.span,
+                            message: format!("unknown thread `{}`", n.node),
+                        }))
+                    }
+                }
+            }
+        };
+        Ok(EndpointAddr::new(node, port_number(&d.port)?))
+    }
+}
+
+fn port_number(p: &ast::Spanned<i64>) -> Result<Port, FrontendError> {
+    u16::try_from(p.node).map_err(|_| {
+        FrontendError::Lower(LowerError {
+            span: p.span,
+            message: format!("port {} out of range (0..=65535)", p.node),
+        })
+    })
+}
+
+fn lower_body(body: &[ast::Stmt], ctx: &Ctx<'_>) -> Result<Vec<Op>, FrontendError> {
+    body.iter().map(|s| lower_stmt(s, ctx)).collect()
+}
+
+fn lower_stmt(stmt: &ast::Stmt, ctx: &Ctx<'_>) -> Result<Op, FrontendError> {
+    Ok(match &stmt.kind {
+        ast::StmtKind::Send { dest, value } => Op::Send {
+            to: ctx.dest(dest)?,
+            value: lower_expr(value, ctx)?,
+        },
+        ast::StmtKind::SendI { dest, value, req } => Op::SendI {
+            to: ctx.dest(dest)?,
+            value: lower_expr(value, ctx)?,
+            req: ctx.req(req)?,
+        },
+        ast::StmtKind::Recv { var, port } => Op::Recv {
+            port: port_number(port)?,
+            var: ctx.var(var)?,
+        },
+        ast::StmtKind::RecvI { var, req, port } => Op::RecvI {
+            port: port_number(port)?,
+            var: ctx.var(var)?,
+            req: ctx.req(req)?,
+        },
+        ast::StmtKind::Wait { req } => Op::Wait { req: ctx.req(req)? },
+        ast::StmtKind::Assign { var, value } => Op::Assign {
+            var: ctx.var(var)?,
+            expr: lower_expr(value, ctx)?,
+        },
+        ast::StmtKind::Assert { cond, message } => Op::Assert {
+            cond: lower_cond(cond, ctx)?,
+            message: message.as_ref().map(|m| m.node.clone()).unwrap_or_default(),
+        },
+        ast::StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => Op::If {
+            cond: lower_cond(cond, ctx)?,
+            then_ops: lower_body(then_body, ctx)?,
+            else_ops: lower_body(else_body, ctx)?,
+        },
+    })
+}
+
+fn lower_expr(e: &ast::Expr, ctx: &Ctx<'_>) -> Result<Expr, FrontendError> {
+    Ok(match e {
+        ast::Expr::Const(c) => Expr::Const(c.node),
+        ast::Expr::Var(v) => Expr::Var(ctx.var(v)?),
+        ast::Expr::Add(inner, c) => lower_expr(inner, ctx)?.plus(c.node),
+    })
+}
+
+fn lower_cond(c: &ast::Cond, ctx: &Ctx<'_>) -> Result<Cond, FrontendError> {
+    Ok(match c {
+        ast::Cond::True => Cond::True,
+        ast::Cond::False => Cond::False,
+        ast::Cond::Cmp(op, a, b) => Cond::Cmp(*op, lower_expr(a, ctx)?, lower_expr(b, ctx)?),
+        ast::Cond::And(a, b) => {
+            Cond::And(Box::new(lower_cond(a, ctx)?), Box::new(lower_cond(b, ctx)?))
+        }
+        ast::Cond::Or(a, b) => {
+            Cond::Or(Box::new(lower_cond(a, ctx)?), Box::new(lower_cond(b, ctx)?))
+        }
+        ast::Cond::Not(inner) => Cond::Not(Box::new(lower_cond(inner, ctx)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<Program, FrontendError> {
+        lower(&parse(src).expect("syntax is fine in these tests"))
+    }
+
+    #[test]
+    fn lowers_a_two_thread_exchange() {
+        let p = lower_src(
+            r#"program demo {
+                 thread server {
+                   var request;
+                   request = recv(0);
+                   send(client:0, request + 1);
+                 }
+                 thread client {
+                   var reply;
+                   send(server:0, 41);
+                   reply = recv(0);
+                   assert(reply == 42, "ping+1");
+                 }
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.threads[0].num_vars, 1);
+        assert_eq!(
+            p.threads[1].ops[0],
+            Op::Send {
+                to: EndpointAddr::new(0, 0),
+                value: Expr::Const(41)
+            }
+        );
+        // Behaviourally: the exchange runs clean.
+        let out = mcapi::runtime::execute_random(&p, mcapi::types::DeliveryModel::Unordered, 0);
+        assert!(out.trace.is_complete());
+        assert!(out.violation().is_none());
+    }
+
+    #[test]
+    fn unknown_variable_points_at_use_site() {
+        let src = "program p { thread t0 { x = 1; } }";
+        let e = lower_src(src).unwrap_err();
+        let FrontendError::Lower(l) = e else {
+            panic!("{e:?}")
+        };
+        assert_eq!(&src[l.span.start..l.span.end], "x");
+        assert!(l.message.contains("unknown variable `x`"));
+    }
+
+    #[test]
+    fn request_and_variable_namespaces_are_distinct() {
+        let e = lower_src("program p { thread t0 { var a; wait(a); } }").unwrap_err();
+        assert!(e.to_string().contains("declared as a variable"), "{e}");
+        let e = lower_src("program p { thread t0 { req r; r = 1; } }").unwrap_err();
+        assert!(e.to_string().contains("declared as a request"), "{e}");
+    }
+
+    #[test]
+    fn ambiguous_thread_name_is_rejected() {
+        let e = lower_src("program p { thread a { send(a:0, 1); } thread a { x = recv(0); } }")
+            .unwrap_err();
+        assert!(e.to_string().contains("ambiguous"), "{e}");
+    }
+
+    #[test]
+    fn thread_index_out_of_range_is_a_lower_error() {
+        let e = lower_src("program p { thread t0 { send(3:0, 1); } }").unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn builder_validation_still_applies() {
+        // Port 5 is never declared on t1: syntax and lowering are fine,
+        // the reused Program::validate pass rejects it.
+        let e = lower_src(
+            "program p { thread t0 { send(t1:5, 1); } thread t1 { var x; x = recv(0); } }",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            FrontendError::Invalid(mcapi::error::McapiError::Validation { .. })
+        ));
+    }
+
+    #[test]
+    fn declaration_order_fixes_slot_numbers() {
+        let p = lower_src(
+            "program p { thread t0 { var b, a; req s, r; a = 1; b = 2;
+               send_i(t0:0, 1, r); x = recv(0); } thread t1 { } }",
+        );
+        // `x` is undeclared — but slots for b,a and s,r were allocated in
+        // declaration order before the failure.
+        assert!(p.is_err());
+        let p = lower_src("program p { thread t0 { var b, a; a = 1; b = 2; } }").unwrap();
+        assert_eq!(
+            p.threads[0].ops[0],
+            Op::Assign {
+                var: VarId(1),
+                expr: Expr::Const(1)
+            }
+        );
+        assert_eq!(
+            p.threads[0].ops[1],
+            Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(2)
+            }
+        );
+    }
+}

@@ -1,0 +1,614 @@
+//! Recursive-descent parser for MCAPI-lite.
+//!
+//! The grammar (see `ARCHITECTURE.md` for the full reference):
+//!
+//! ```text
+//! file    := "program" name "{" thread* "}"
+//! thread  := "thread" name "{" decl* stmt* "}"
+//! decl    := ("port" INT ("," INT)* | "var" idlist | "req" idlist) ";"
+//! stmt    := "send" "(" dest "," expr ")" ";"
+//!          | "send_i" "(" dest "," expr "," IDENT ")" ";"
+//!          | IDENT "=" "recv" "(" INT ")" ";"
+//!          | IDENT "," IDENT "=" "recv_i" "(" INT ")" ";"
+//!          | IDENT "=" expr ";"
+//!          | "wait" "(" IDENT ")" ";"
+//!          | "assert" "(" cond ("," STRING)? ")" ";"
+//!          | "if" "(" cond ")" block ("else" block)?
+//! dest    := (IDENT | INT) ":" INT
+//! expr    := primary (("+" | "-") INT)*
+//! primary := INT | "-" INT | IDENT | "(" expr ")"
+//! cond    := and ("||" and)*        (left-assoc)
+//! and     := atom ("&&" atom)*      (left-assoc)
+//! atom    := "true" | "false" | "!" atom | "(" cond ")" | expr CMP expr
+//! ```
+//!
+//! The only ambiguity is `(` in condition position (parenthesised
+//! condition vs. parenthesised expression starting a comparison); the
+//! parser tries the condition reading first and backtracks, keeping the
+//! error that got furthest.
+
+use crate::ast::*;
+use crate::diag::{ParseError, Span};
+use crate::lexer::{lex, Token, TokenKind};
+use mcapi::types::CmpOp;
+
+/// Parse a full MCAPI-lite source file.
+pub fn parse(src: &str) -> Result<File, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let file = p.file()?;
+    p.expect_eof()?;
+    Ok(file)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, expected: &str) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            span: t.span,
+            expected: expected.to_string(),
+            found: t.kind.describe(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind, expected: &str) -> Result<Span, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump().span)
+        } else {
+            self.error(expected)
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            self.error("end of input")
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<Spanned<String>, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                Ok(Spanned::new(s, self.bump().span))
+            }
+            _ => self.error(expected),
+        }
+    }
+
+    fn int(&mut self, expected: &str) -> Result<Spanned<i64>, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(n) => Ok(Spanned::new(n, self.bump().span)),
+            _ => self.error(expected),
+        }
+    }
+
+    /// A name position: bare identifier or string literal.
+    fn name(&mut self) -> Result<Spanned<String>, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                Ok(Spanned::new(s, self.bump().span))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                Ok(Spanned::new(s, self.bump().span))
+            }
+            _ => self.error("a name (identifier or string literal)"),
+        }
+    }
+
+    fn file(&mut self) -> Result<File, ParseError> {
+        self.expect(TokenKind::KwProgram, "`program`")?;
+        let name = self.name()?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut threads = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return self.error("`thread` or `}`");
+            }
+            threads.push(self.thread()?);
+        }
+        self.bump(); // `}`
+        Ok(File { name, threads })
+    }
+
+    fn thread(&mut self) -> Result<ThreadDecl, ParseError> {
+        self.expect(TokenKind::KwThread, "`thread`")?;
+        let name = self.name()?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut ports = Vec::new();
+        let mut vars = Vec::new();
+        let mut reqs = Vec::new();
+        loop {
+            match self.peek().kind {
+                TokenKind::KwPort => {
+                    self.bump();
+                    loop {
+                        ports.push(self.int("a port number")?);
+                        if self.peek().kind == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi, "`;`")?;
+                }
+                TokenKind::KwVar => {
+                    self.bump();
+                    self.ident_list(&mut vars, "a variable name")?;
+                }
+                TokenKind::KwReq => {
+                    self.bump();
+                    self.ident_list(&mut reqs, "a request name")?;
+                }
+                _ => break,
+            }
+        }
+        let body = self.block_body()?;
+        Ok(ThreadDecl {
+            name,
+            ports,
+            vars,
+            reqs,
+            body,
+        })
+    }
+
+    fn ident_list(&mut self, out: &mut Vec<Spanned<String>>, what: &str) -> Result<(), ParseError> {
+        loop {
+            out.push(self.ident(what)?);
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(())
+    }
+
+    /// Statements up to (and consuming) the closing `}`.
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return self.error("a statement or `}`");
+            }
+            body.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(body)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        self.block_body()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.peek().span;
+        let kind = match self.peek().kind.clone() {
+            TokenKind::KwSend => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let dest = self.dest()?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let value = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                StmtKind::Send { dest, value }
+            }
+            TokenKind::KwSendI => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let dest = self.dest()?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let req = self.ident("a request name")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                StmtKind::SendI { dest, value, req }
+            }
+            TokenKind::KwWait => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let req = self.ident("a request name")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                StmtKind::Wait { req }
+            }
+            TokenKind::KwAssert => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.cond()?;
+                let message = if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    match &self.peek().kind {
+                        TokenKind::Str(s) => {
+                            let s = s.clone();
+                            Some(Spanned::new(s, self.bump().span))
+                        }
+                        _ => return self.error("a string literal (the assertion message)"),
+                    }
+                } else {
+                    None
+                };
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                StmtKind::Assert { cond, message }
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.cond()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.peek().kind == TokenKind::KwElse {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
+            }
+            TokenKind::Ident(_) => {
+                let first = self.ident("a variable name")?;
+                if self.peek().kind == TokenKind::Comma {
+                    // `var, req = recv_i(port);`
+                    self.bump();
+                    let req = self.ident("a request name")?;
+                    self.expect(TokenKind::Assign, "`=`")?;
+                    self.expect(TokenKind::KwRecvI, "`recv_i`")?;
+                    self.expect(TokenKind::LParen, "`(`")?;
+                    let port = self.int("a port number")?;
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    StmtKind::RecvI {
+                        var: first,
+                        req,
+                        port,
+                    }
+                } else {
+                    self.expect(TokenKind::Assign, "`=` (or `,` for recv_i)")?;
+                    if self.peek().kind == TokenKind::KwRecv {
+                        self.bump();
+                        self.expect(TokenKind::LParen, "`(`")?;
+                        let port = self.int("a port number")?;
+                        self.expect(TokenKind::RParen, "`)`")?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        StmtKind::Recv { var: first, port }
+                    } else {
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        StmtKind::Assign { var: first, value }
+                    }
+                }
+            }
+            _ => return self.error("a statement"),
+        };
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(Stmt {
+            kind,
+            span: start.to(end),
+        })
+    }
+
+    fn dest(&mut self) -> Result<Dest, ParseError> {
+        let thread = match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                DestThread::Name(Spanned::new(s, self.bump().span))
+            }
+            TokenKind::Int(n) => {
+                let n = *n;
+                DestThread::Index(Spanned::new(n, self.bump().span))
+            }
+            _ => return self.error("a destination (`thread:port`)"),
+        };
+        self.expect(TokenKind::Colon, "`:`")?;
+        let port = self.int("a port number")?;
+        Ok(Dest { thread, port })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let negate = match self.peek().kind {
+                TokenKind::Plus => false,
+                TokenKind::Minus => true,
+                _ => break,
+            };
+            self.bump();
+            let c = self.int("an integer offset")?;
+            let c = Spanned::new(if negate { -c.node } else { c.node }, c.span);
+            e = Expr::Add(Box::new(e), c);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                let span = self.bump().span;
+                Ok(Expr::Const(Spanned::new(n, span)))
+            }
+            TokenKind::Minus => {
+                let start = self.bump().span;
+                let c = self.int("an integer")?;
+                Ok(Expr::Const(Spanned::new(-c.node, start.to(c.span))))
+            }
+            TokenKind::Ident(s) => {
+                let span = self.bump().span;
+                Ok(Expr::Var(Spanned::new(s, span)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => self.error("an expression"),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek().kind {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let mut c = self.cond_and()?;
+        while self.peek().kind == TokenKind::OrOr {
+            self.bump();
+            let rhs = self.cond_and()?;
+            c = Cond::Or(Box::new(c), Box::new(rhs));
+        }
+        Ok(c)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, ParseError> {
+        let mut c = self.cond_atom()?;
+        while self.peek().kind == TokenKind::AndAnd {
+            self.bump();
+            let rhs = self.cond_atom()?;
+            c = Cond::And(Box::new(c), Box::new(rhs));
+        }
+        Ok(c)
+    }
+
+    fn cond_atom(&mut self) -> Result<Cond, ParseError> {
+        match self.peek().kind {
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Cond::True)
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Cond::False)
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Cond::Not(Box::new(self.cond_atom()?)))
+            }
+            TokenKind::LParen => {
+                // Ambiguous: `(cond)` or a comparison whose left operand
+                // is a parenthesised expression, e.g. `(v0 + 1) < 3`. Try
+                // the condition reading first; on failure rewind and try
+                // the comparison, keeping whichever error got furthest.
+                let snapshot = self.pos;
+                let as_cond: Result<Cond, ParseError> = (|| {
+                    self.bump(); // `(`
+                    let c = self.cond()?;
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    Ok(c)
+                })();
+                match as_cond {
+                    Ok(c) => Ok(c),
+                    Err(e1) => {
+                        self.pos = snapshot;
+                        self.comparison().map_err(|e2| {
+                            if e2.span.start >= e1.span.start {
+                                e2
+                            } else {
+                                e1
+                            }
+                        })
+                    }
+                }
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Cond, ParseError> {
+        let lhs = self.expr()?;
+        let Some(op) = self.cmp_op() else {
+            return self.error("a comparison operator (`==`, `!=`, `<`, `<=`, `>`, `>=`)");
+        };
+        let rhs = self.expr()?;
+        Ok(Cond::Cmp(op, lhs, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> File {
+        match parse(src) {
+            Ok(f) => f,
+            Err(e) => panic!("parse failed: {} at {:?}\n{src}", e.message(), e.span),
+        }
+    }
+
+    #[test]
+    fn minimal_program() {
+        let f = parse_ok("program p { thread t0 { } }");
+        assert_eq!(f.name.node, "p");
+        assert_eq!(f.threads.len(), 1);
+        assert_eq!(f.threads[0].name.node, "t0");
+    }
+
+    #[test]
+    fn string_names_and_decls() {
+        let f = parse_ok(
+            r#"program "fig1-assert" {
+                 thread "t 0" {
+                   port 1, 2;
+                   var a, b;
+                   req r0;
+                 }
+               }"#,
+        );
+        assert_eq!(f.name.node, "fig1-assert");
+        let t = &f.threads[0];
+        assert_eq!(t.name.node, "t 0");
+        assert_eq!(t.ports.iter().map(|p| p.node).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(t.vars.len(), 2);
+        assert_eq!(t.reqs.len(), 1);
+    }
+
+    #[test]
+    fn all_statement_forms() {
+        let f = parse_ok(
+            r#"program p {
+                 thread t0 {
+                   var a, b;
+                   req r0, r1;
+                   send(t1:0, 5);
+                   send_i(1:2, a + 1, r0);
+                   a = recv(0);
+                   b, r1 = recv_i(3);
+                   wait(r1);
+                   b = a - 2;
+                   assert(a == 5, "five");
+                   assert(true);
+                   if (a < b) { send(t1:0, -1); } else { b = 0; }
+                 }
+                 thread t1 { port 2; }
+               }"#,
+        );
+        let body = &f.threads[0].body;
+        assert_eq!(body.len(), 9);
+        assert!(matches!(body[0].kind, StmtKind::Send { .. }));
+        assert!(matches!(body[1].kind, StmtKind::SendI { .. }));
+        assert!(matches!(body[2].kind, StmtKind::Recv { .. }));
+        assert!(matches!(body[3].kind, StmtKind::RecvI { .. }));
+        assert!(matches!(body[4].kind, StmtKind::Wait { .. }));
+        assert!(matches!(body[5].kind, StmtKind::Assign { .. }));
+        assert!(matches!(
+            body[6].kind,
+            StmtKind::Assert {
+                message: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body[7].kind,
+            StmtKind::Assert { message: None, .. }
+        ));
+        let StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &body[8].kind
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn condition_precedence_and_parens() {
+        let f = parse_ok(
+            "program p { thread t0 { var a;
+               assert(a == 0 && a != 1 || !(a < 2));
+               assert((a == 0 || a == 1) && (a + 1) <= 5);
+             } }",
+        );
+        let StmtKind::Assert { cond, .. } = &f.threads[0].body[0].kind else {
+            panic!()
+        };
+        // `||` binds loosest: Or(And(..,..), Not(..)).
+        assert!(matches!(cond, Cond::Or(lhs, rhs)
+            if matches!(**lhs, Cond::And(..)) && matches!(**rhs, Cond::Not(..))));
+        let StmtKind::Assert { cond, .. } = &f.threads[0].body[1].kind else {
+            panic!()
+        };
+        assert!(matches!(cond, Cond::And(lhs, rhs)
+            if matches!(**lhs, Cond::Or(..)) && matches!(**rhs, Cond::Cmp(..))));
+    }
+
+    #[test]
+    fn parenthesised_expr_comparison_backtracks() {
+        let f = parse_ok("program p { thread t0 { var a; assert((a - 1) < (a + 1)); } }");
+        let StmtKind::Assert { cond, .. } = &f.threads[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            cond,
+            Cond::Cmp(CmpOp::Lt, Expr::Add(..), Expr::Add(..))
+        ));
+    }
+
+    #[test]
+    fn error_reports_expected_and_found() {
+        let e = parse("program p { thread t0 { var a a; } }").unwrap_err();
+        assert!(e.expected.contains("`;`"), "{e:?}");
+        assert!(e.found.contains("identifier `a`"), "{e:?}");
+    }
+
+    #[test]
+    fn error_on_missing_semicolon_points_at_brace() {
+        let src = "program p { thread t0 { var x; x = recv(0) } }";
+        let e = parse(src).unwrap_err();
+        assert_eq!(&src[e.span.start..e.span.end], "}");
+        assert!(e.expected.contains("`;`"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse("program p { thread t0 { } } extra").unwrap_err();
+        assert_eq!(e.expected, "end of input");
+    }
+
+    #[test]
+    fn bare_variable_is_not_a_condition() {
+        let e = parse("program p { thread t0 { var a; assert(a); } }").unwrap_err();
+        assert!(e.expected.contains("comparison operator"), "{e:?}");
+    }
+}

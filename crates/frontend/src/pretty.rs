@@ -1,0 +1,273 @@
+//! Canonical MCAPI-lite rendering of a [`Program`].
+//!
+//! The printer is the inverse of the parser: for any builder-built
+//! program `p`, `lower(parse(pretty(p)))` is structurally equal to `p`
+//! (same threads, ops, counts and port sets). Canonicalisation choices:
+//!
+//! - Variable slot *i* prints as `v{i}`, request slot *i* as `r{i}`.
+//! - Thread and program names print as bare identifiers when possible,
+//!   string literals otherwise.
+//! - A destination prints as `name:port` when the target thread's name is
+//!   an unambiguous identifier, `index:port` otherwise.
+//! - Port 0 is implicit and never printed.
+//! - `And`/`Or` conditions always parenthesise, so the printed string
+//!   re-parses to the identical tree.
+
+use mcapi::expr::{Cond, Expr};
+use mcapi::program::{Op, Program, Thread};
+use mcapi::types::{EndpointAddr, ReqId, VarId};
+use std::fmt::Write;
+
+/// Render `program` as canonical MCAPI-lite source.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let dest_names: Vec<Option<String>> = program
+        .threads
+        .iter()
+        .map(|t| {
+            let unique = program.threads.iter().filter(|u| u.name == t.name).count() == 1;
+            (unique && crate::lexer::is_ident(&t.name)).then(|| t.name.clone())
+        })
+        .collect();
+    let _ = writeln!(out, "program {} {{", name_token(&program.name));
+    for (i, t) in program.threads.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_thread(&mut out, t, &dest_names);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn name_token(name: &str) -> String {
+    if crate::lexer::is_ident(name) {
+        name.to_string()
+    } else {
+        format!("\"{}\"", escape(name))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_thread(out: &mut String, t: &Thread, dest_names: &[Option<String>]) {
+    let _ = writeln!(out, "  thread {} {{", name_token(&t.name));
+    let extra_ports: Vec<String> = t
+        .ports
+        .iter()
+        .filter(|&&p| p != 0)
+        .map(|p| p.to_string())
+        .collect();
+    if !extra_ports.is_empty() {
+        let _ = writeln!(out, "    port {};", extra_ports.join(", "));
+    }
+    if t.num_vars > 0 {
+        let names: Vec<String> = (0..t.num_vars).map(|i| format!("v{i}")).collect();
+        let _ = writeln!(out, "    var {};", names.join(", "));
+    }
+    if t.num_reqs > 0 {
+        let names: Vec<String> = (0..t.num_reqs).map(|i| format!("r{i}")).collect();
+        let _ = writeln!(out, "    req {};", names.join(", "));
+    }
+    for op in &t.ops {
+        print_op(out, op, 2, dest_names);
+    }
+    out.push_str("  }\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_op(out: &mut String, op: &Op, level: usize, dest_names: &[Option<String>]) {
+    indent(out, level);
+    match op {
+        Op::Send { to, value } => {
+            let _ = writeln!(out, "send({}, {});", dest(to, dest_names), expr(value));
+        }
+        Op::SendI { to, value, req } => {
+            let _ = writeln!(
+                out,
+                "send_i({}, {}, {});",
+                dest(to, dest_names),
+                expr(value),
+                req_name(*req)
+            );
+        }
+        Op::Recv { port, var } => {
+            let _ = writeln!(out, "{} = recv({port});", var_name(*var));
+        }
+        Op::RecvI { port, var, req } => {
+            let _ = writeln!(
+                out,
+                "{}, {} = recv_i({port});",
+                var_name(*var),
+                req_name(*req)
+            );
+        }
+        Op::Wait { req } => {
+            let _ = writeln!(out, "wait({});", req_name(*req));
+        }
+        Op::Assign { var, expr: e } => {
+            let _ = writeln!(out, "{} = {};", var_name(*var), expr(e));
+        }
+        Op::Assert { cond: c, message } => {
+            if message.is_empty() {
+                let _ = writeln!(out, "assert({});", cond(c));
+            } else {
+                let _ = writeln!(out, "assert({}, \"{}\");", cond(c), escape(message));
+            }
+        }
+        Op::If {
+            cond: c,
+            then_ops,
+            else_ops,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", cond(c));
+            for op in then_ops {
+                print_op(out, op, level + 1, dest_names);
+            }
+            indent(out, level);
+            if else_ops.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for op in else_ops {
+                    print_op(out, op, level + 1, dest_names);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn dest(to: &EndpointAddr, dest_names: &[Option<String>]) -> String {
+    match dest_names.get(to.node as usize).and_then(Option::as_ref) {
+        Some(name) => format!("{name}:{}", to.port),
+        None => format!("{}:{}", to.node, to.port),
+    }
+}
+
+fn var_name(v: VarId) -> String {
+    format!("v{}", v.0)
+}
+
+fn req_name(r: ReqId) -> String {
+    format!("r{}", r.0)
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Var(v) => var_name(*v),
+        Expr::AddConst(inner, c) if *c >= 0 => format!("({} + {c})", expr(inner)),
+        Expr::AddConst(inner, c) => format!("({} - {})", expr(inner), -c),
+    }
+}
+
+fn cond(c: &Cond) -> String {
+    match c {
+        Cond::True => "true".into(),
+        Cond::False => "false".into(),
+        Cond::Cmp(op, a, b) => format!("{} {op} {}", expr(a), expr(b)),
+        Cond::And(a, b) => format!("({} && {})", cond(a), cond(b)),
+        Cond::Or(a, b) => format!("({} || {})", cond(a), cond(b)),
+        Cond::Not(inner) => format!("!({})", cond(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::types::CmpOp;
+
+    fn demo() -> Program {
+        let mut b = ProgramBuilder::new("demo");
+        let server = b.thread("server");
+        let client = b.thread("client");
+        let req = b.recv(server, 0);
+        b.send_expr(server, client, 0, Expr::Var(req).plus(1));
+        b.send_const(client, server, 0, 41);
+        let reply = b.recv(client, 0);
+        b.assert_cond(
+            client,
+            Cond::cmp(CmpOp::Eq, Expr::Var(reply), Expr::Const(42)),
+            "ping+1",
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prints_readable_canonical_source() {
+        let text = pretty(&demo());
+        assert!(text.contains("program demo {"), "{text}");
+        assert!(text.contains("thread server {"), "{text}");
+        assert!(text.contains("v0 = recv(0);"), "{text}");
+        assert!(text.contains("send(client:0, (v0 + 1));"), "{text}");
+        assert!(text.contains("assert(v0 == 42, \"ping+1\");"), "{text}");
+    }
+
+    #[test]
+    fn odd_names_fall_back_to_strings_and_indices() {
+        let mut b = ProgramBuilder::new("fig1-assert");
+        let a = b.thread("if"); // keyword: not an identifier
+        let c = b.thread("t1");
+        b.send_const(a, c, 0, 1);
+        b.recv(c, 0);
+        let text = pretty(&b.build().unwrap());
+        assert!(text.contains("program \"fig1-assert\" {"), "{text}");
+        assert!(text.contains("thread \"if\" {"), "{text}");
+        assert!(text.contains("send(t1:0, 1);"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_thread_names_use_indices() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.thread("w");
+        let c = b.thread("w");
+        b.send_const(a, c, 0, 1);
+        b.recv(c, 0);
+        let text = pretty(&b.build().unwrap());
+        assert!(text.contains("send(1:0, 1);"), "{text}");
+    }
+
+    #[test]
+    fn nested_if_and_message_escaping() {
+        let mut b = ProgramBuilder::new("p");
+        let t = b.thread("t0");
+        let x = b.fresh_var(t);
+        b.if_else(
+            t,
+            Cond::cmp(CmpOp::Lt, Expr::Var(x), Expr::Const(0)),
+            |bb| {
+                bb.assert_cond(Cond::True, "say \"hi\"\n");
+            },
+            |bb| bb.assign(x, Expr::Var(x).plus(-1)),
+        );
+        let text = pretty(&b.build().unwrap());
+        assert!(text.contains("if (v0 < 0) {"), "{text}");
+        assert!(
+            text.contains("assert(true, \"say \\\"hi\\\"\\n\");"),
+            "{text}"
+        );
+        assert!(text.contains("} else {"), "{text}");
+        assert!(text.contains("v0 = (v0 - 1);"), "{text}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property: `parse(pretty(p))` round-trips to an equivalent program —
+//! same threads, same ops, same variable/request/port bookkeeping — for
+//! randomly generated workloads and for assorted structured shapes.
+
+use frontend::{parse_program, pretty};
+use mcapi::program::Program;
+use proptest::prelude::*;
+use workloads::random::{random_program, RandomProgramConfig};
+
+/// The round-trip under test. Equality is full structural equality of
+/// [`Program`] (name, thread names, ops, compiled code, counts, ports).
+fn roundtrip(p: &Program) -> Program {
+    let text = pretty(p);
+    match parse_program(&text) {
+        Ok(q) => q,
+        Err(e) => panic!("pretty output failed to parse: {e}\n--- source ---\n{text}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random well-formed programs (the fuzzing family) survive the
+    /// pretty → parse → lower loop bit-identically.
+    #[test]
+    fn random_programs_roundtrip(
+        seed in 0u64..500,
+        threads in 2usize..5,
+        sends in 1usize..4,
+        nb in 0u32..101,
+        with_assert in any::<bool>(),
+    ) {
+        let cfg = RandomProgramConfig {
+            threads,
+            sends_per_thread: sends,
+            nonblocking_percent: nb,
+            with_assert,
+        };
+        let p = random_program(seed, &cfg);
+        let q = roundtrip(&p);
+        prop_assert_eq!(&p, &q);
+        // Derived structure agrees too (belt and braces: these are what
+        // the match-pair generator consumes).
+        prop_assert_eq!(p.num_static_sends(), q.num_static_sends());
+        prop_assert_eq!(p.num_static_recvs(), q.num_static_recvs());
+        prop_assert_eq!(p.code_size(), q.code_size());
+    }
+
+    /// The canonical form is a fixpoint: pretty(parse(pretty(p))) is the
+    /// same text (what `mcapi-smc fmt` relies on).
+    #[test]
+    fn pretty_is_a_formatting_fixpoint(seed in 0u64..200) {
+        let p = random_program(seed, &RandomProgramConfig::default());
+        let once = pretty(&p);
+        let twice = pretty(&roundtrip(&p));
+        prop_assert_eq!(once, twice);
+    }
+}
+
+/// Every grid family point at a generous scale round-trips exactly (this
+/// covers fig1, races, delay gaps, pipelines, scatter's recv_i/wait,
+/// rings, branchy's if/else — shapes the random generator doesn't emit).
+#[test]
+fn grid_points_roundtrip_structurally() {
+    for spec in workloads::grid::default_grid(3) {
+        let p = spec.build();
+        let q = roundtrip(&p);
+        assert_eq!(p, q, "structural round-trip failed for {spec}");
+    }
+}

@@ -73,7 +73,9 @@ impl ProgramBuilder {
         v
     }
 
-    fn fresh_req(&mut self, thread: ThreadId) -> ReqId {
+    /// Allocate a fresh request handle (used by `send_i`/`recv_i` helpers
+    /// and by frontends that lower explicit request declarations).
+    pub fn fresh_req(&mut self, thread: ThreadId) -> ReqId {
         let t = &mut self.threads[thread];
         let r = ReqId(t.num_reqs as u16);
         t.num_reqs += 1;

@@ -2,6 +2,33 @@
 
 use std::fmt;
 
+/// A source-located diagnostic produced by the MCAPI-lite textual
+/// frontend (`crates/frontend`). Kept here — rather than in the frontend
+/// crate — so parse failures travel the same [`McapiError`] path as
+/// validation failures without inverting the dependency between the two
+/// crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceDiagnostic {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// 1-based column (in characters) within that line.
+    pub col: usize,
+    /// One-line summary, e.g. ``expected `;`, found `}```.
+    pub message: String,
+    /// Full multi-line rendering: summary, location, source line, caret.
+    pub rendered: String,
+}
+
+impl fmt::Display for SourceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rendered.is_empty() {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            f.write_str(&self.rendered)
+        }
+    }
+}
+
 /// Errors from program validation or replay.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum McapiError {
@@ -15,6 +42,8 @@ pub enum McapiError {
     ReplayDiverged { step: usize, message: String },
     /// Builder misuse (e.g. referencing a thread that does not exist).
     Builder(String),
+    /// A syntax or lowering error from the MCAPI-lite textual frontend.
+    Parse(SourceDiagnostic),
 }
 
 impl fmt::Display for McapiError {
@@ -31,6 +60,7 @@ impl fmt::Display for McapiError {
                 write!(f, "replay diverged at step {step}: {message}")
             }
             McapiError::Builder(m) => write!(f, "builder error: {m}"),
+            McapiError::Parse(d) => d.fmt(f),
         }
     }
 }
@@ -40,6 +70,25 @@ impl std::error::Error for McapiError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_variant_displays_rendering_and_stays_an_error() {
+        let d = SourceDiagnostic {
+            line: 3,
+            col: 7,
+            message: "expected `;`, found `}`".into(),
+            rendered: String::new(),
+        };
+        let e = McapiError::Parse(d.clone());
+        assert_eq!(e.to_string(), "3:7: expected `;`, found `}`");
+        let rendered = McapiError::Parse(SourceDiagnostic {
+            rendered: "error: expected `;`\n --> line 3".into(),
+            ..d
+        });
+        assert!(rendered.to_string().contains(" --> line 3"));
+        // The std::error::Error impl must survive the new variant.
+        let _: &dyn std::error::Error = &rendered;
+    }
 
     #[test]
     fn display_contains_location() {

@@ -91,6 +91,62 @@ impl FamilySpec {
         }
     }
 
+    /// Parse a grid-point name (the inverse of [`FamilySpec::name`]), so
+    /// CLIs can accept any point of the parameter space — `race7`,
+    /// `ring5x3`, `random42` — not just a hardcoded list.
+    ///
+    /// ```
+    /// use workloads::grid::FamilySpec;
+    ///
+    /// assert_eq!(FamilySpec::from_name("race3"), Some(FamilySpec::Race { width: 3 }));
+    /// assert_eq!(
+    ///     FamilySpec::from_name("ring4x2"),
+    ///     Some(FamilySpec::Ring { nodes: 4, laps: 2 })
+    /// );
+    /// assert_eq!(FamilySpec::from_name("ring"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<FamilySpec> {
+        fn sized(rest: &str) -> Option<usize> {
+            rest.parse().ok().filter(|&n| n >= 1)
+        }
+        fn pair(rest: &str) -> Option<(usize, usize)> {
+            let (a, b) = rest.split_once('x')?;
+            Some((sized(a)?, sized(b)?))
+        }
+        match name {
+            "fig1" => return Some(FamilySpec::Fig1),
+            "fig1-assert" => return Some(FamilySpec::Fig1Assert),
+            _ => {}
+        }
+        // Longest family prefix first: `race-assert3` must not parse as
+        // the `race` family.
+        if let Some(rest) = name.strip_prefix("race-assert") {
+            return sized(rest).map(|width| FamilySpec::RaceAssert { width });
+        }
+        if let Some(rest) = name.strip_prefix("race") {
+            return sized(rest).map(|width| FamilySpec::Race { width });
+        }
+        if let Some(rest) = name.strip_prefix("delay-gap") {
+            return sized(rest).map(|chain| FamilySpec::DelayGap { chain });
+        }
+        if let Some(rest) = name.strip_prefix("pipeline") {
+            return pair(rest).map(|(stages, items)| FamilySpec::Pipeline { stages, items });
+        }
+        if let Some(rest) = name.strip_prefix("scatter") {
+            return sized(rest).map(|workers| FamilySpec::Scatter { workers });
+        }
+        if let Some(rest) = name.strip_prefix("ring") {
+            return pair(rest).map(|(nodes, laps)| FamilySpec::Ring { nodes, laps });
+        }
+        if let Some(rest) = name.strip_prefix("branchy") {
+            return sized(rest).map(|rounds| FamilySpec::Branchy { rounds });
+        }
+        if let Some(rest) = name.strip_prefix("random") {
+            return rest.parse().ok().map(|seed| FamilySpec::Random { seed });
+        }
+        None
+    }
+
     /// Build the compiled program for this point.
     pub fn build(&self) -> Program {
         match *self {
@@ -211,5 +267,35 @@ mod tests {
     #[test]
     fn scale_grows_the_grid() {
         assert!(default_grid(3).len() > default_grid(1).len());
+    }
+
+    #[test]
+    fn from_name_inverts_name_across_the_grid() {
+        for spec in default_grid(4) {
+            assert_eq!(
+                FamilySpec::from_name(&spec.name()),
+                Some(spec),
+                "round-trip failed for {spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_name_rejects_malformed_points() {
+        for bad in [
+            "race",
+            "race0",
+            "racex",
+            "ring4",
+            "ring4x",
+            "ringx2",
+            "pipeline3",
+            "nope",
+            "",
+            "fig2",
+            "random-1",
+        ] {
+            assert_eq!(FamilySpec::from_name(bad), None, "{bad:?} should not parse");
+        }
     }
 }

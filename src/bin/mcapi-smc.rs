@@ -1,46 +1,63 @@
 //! `mcapi-smc` — command-line front end for the symbolic checker.
 //!
-//! Programs are exchanged as JSON (the DSL serialises with serde), the
-//! same interchange style as the paper's trace-consuming tool.
+//! Programs are exchanged either as **MCAPI-lite** source (`.mcapi`, see
+//! `crates/frontend` and the grammar reference in ARCHITECTURE.md) or as
+//! JSON (the DSL serialises with serde). `check`/`info`/`behaviours`/
+//! `explore`/`run` accept both: files ending in `.json` — or whose first
+//! non-blank character is `{` — take the JSON path, everything else is
+//! parsed as MCAPI-lite with caret diagnostics on error.
 //!
 //! ```text
-//! mcapi-smc check <program.json> [--delivery unordered|fifo|zero] [--precise]
-//! mcapi-smc behaviours <program.json> [--delivery ...] [--limit N]
-//! mcapi-smc explore <program.json> [--delivery ...]       # explicit ground truth
-//! mcapi-smc run <program.json> [--seed N] [--delivery ...] # one random execution
-//! mcapi-smc demo <name>        # print a built-in workload as JSON
-//! mcapi-smc portfolio [opts]   # parallel grid, cancel on first violation
-//! mcapi-smc sweep [opts]       # parallel grid, run everything
+//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS]
+//! mcapi-smc fmt <program|-> [--write]   # canonical MCAPI-lite (idempotent)
+//! mcapi-smc export <family|point> [--scale K] [--out DIR]  # grid → .mcapi
+//! mcapi-smc behaviours <program> [--delivery ...] [--limit N]
+//! mcapi-smc explore <program> [--delivery ...]    # explicit ground truth
+//! mcapi-smc run <program> [--seed N] [--delivery ...]  # one random execution
+//! mcapi-smc demo <name>          # print a workload grid point as JSON
+//! mcapi-smc --list-programs      # every accepted grid-point name
+//! mcapi-smc portfolio [opts]     # parallel grid, cancel on first violation
+//! mcapi-smc sweep [opts]         # parallel grid, run everything
 //! ```
+//!
+//! `check` engines: `symbolic-overapprox` (default), `symbolic-precise`
+//! (`--precise` is the legacy spelling), `explicit`. A `.mcapi` file's
+//! `// delivery:` header supplies the delivery model when no `--delivery`
+//! flag is given.
 //!
 //! Portfolio options: `--threads N` (default: all cores), `--scale K`
 //! (grid size per family, default 2), `--families a,b,c` (default: all),
-//! `--delivery MODEL` (default: all three), `--budget-ms MS` (per-scenario
-//! solver budget), `--json PATH` (`-` for stdout; suppresses the table),
+//! `--corpus DIR` (also cross every `.mcapi` file in DIR), `--delivery
+//! MODEL` (default: all three), `--budget-ms MS` (per-scenario solver
+//! budget), `--json PATH` (`-` for stdout; suppresses the table),
 //! `--no-session-reuse` (re-encode every scenario from scratch instead of
 //! sharing incremental solver sessions per grid point).
 
 use driver::prelude::*;
+use mcapi::error::McapiError;
 use mcapi::program::Program;
 use mcapi::runtime::execute_random;
 use mcapi::types::DeliveryModel;
+use std::io::Read;
+use std::path::Path;
 use std::process::ExitCode;
 use symbolic::checker::{
     check_program, enumerate_matchings, generate_trace, CheckConfig, MatchGen, Verdict,
 };
 
-fn parse_delivery(args: &[String]) -> DeliveryModel {
-    match args.iter().position(|a| a == "--delivery") {
-        Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("unordered") => DeliveryModel::Unordered,
-            Some("fifo") | Some("pairwise-fifo") => DeliveryModel::PairwiseFifo,
-            Some("zero") | Some("zero-delay") => DeliveryModel::ZeroDelay,
-            other => {
-                eprintln!("unknown delivery model {other:?}; using unordered");
-                DeliveryModel::Unordered
-            }
-        },
-        None => DeliveryModel::Unordered,
+/// The `--delivery` flag, if present. A typo is a usage error: falling
+/// back to unordered here would silently override a file's
+/// `// delivery:` header and can flip the verdict.
+fn delivery_flag(args: &[String]) -> Result<Option<DeliveryModel>, String> {
+    let Some(i) = args.iter().position(|a| a == "--delivery") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).and_then(|v| frontend::parse_delivery(v)) {
+        Some(m) => Ok(Some(m)),
+        None => Err(format!(
+            "unknown delivery model {:?}; expected unordered|fifo|zero",
+            args.get(i + 1)
+        )),
     }
 }
 
@@ -51,27 +68,94 @@ fn parse_flag_value(args: &[String], flag: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
-fn load_program(path: &str) -> Result<Program, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let program: Program =
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    // Re-compile to validate and (re)build the flat code.
-    program
-        .compile()
-        .map_err(|e| format!("invalid program: {e}"))
+/// Does this text look like a serialised JSON program rather than
+/// MCAPI-lite source?
+fn looks_like_json(text: &str) -> bool {
+    text.trim_start().starts_with('{')
 }
 
-fn demo(name: &str) -> Option<Program> {
-    match name {
-        "fig1" => Some(workloads::fig1()),
-        "fig1-assert" => Some(workloads::fig1::fig1_with_assert()),
-        "race3" => Some(workloads::race(3)),
-        "race-assert3" => Some(workloads::race::race_with_winner_assert(3)),
-        "delay-gap" => Some(workloads::race::delay_gap(1)),
-        "pipeline" => Some(workloads::pipeline(3, 3)),
-        "scatter" => Some(workloads::scatter(3)),
-        "ring" => Some(workloads::ring(4, 2)),
+/// Parse program text by format: JSON (serde + re-compile) or MCAPI-lite
+/// (frontend, with source-located diagnostics via [`McapiError::Parse`]).
+fn parse_source(path: &str, text: &str) -> Result<Program, McapiError> {
+    if path.ends_with(".json") || looks_like_json(text) {
+        let program: Program = serde_json::from_str(text)
+            .map_err(|e| McapiError::Builder(format!("cannot parse JSON: {e}")))?;
+        program.compile()
+    } else {
+        frontend::parse_program(text)
+    }
+}
+
+/// Read and parse a program file, also returning its header directives
+/// (`// delivery:` etc.; empty for JSON programs).
+fn load_program(path: &str) -> Result<(Program, frontend::Directives), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let directives = frontend::directives(&text);
+    match parse_source(path, &text) {
+        Ok(p) => Ok((p, directives)),
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+/// Resolve a demo/program name: any grid-point name
+/// ([`FamilySpec::from_name`]) plus the legacy unsized aliases the CLI
+/// accepted before the table was derived from the grid.
+fn named_program(name: &str) -> Option<FamilySpec> {
+    let legacy = match name {
+        "delay-gap" => Some(FamilySpec::DelayGap { chain: 1 }),
+        "pipeline" => Some(FamilySpec::Pipeline {
+            stages: 3,
+            items: 3,
+        }),
+        "scatter" => Some(FamilySpec::Scatter { workers: 3 }),
+        "ring" => Some(FamilySpec::Ring { nodes: 4, laps: 2 }),
         _ => None,
+    };
+    legacy.or_else(|| FamilySpec::from_name(name))
+}
+
+/// Print every accepted program name, derived from the live grid rather
+/// than a hardcoded table (so new families can never be silently
+/// omitted).
+fn list_programs() {
+    println!("program names (accepted by `demo`, `export`, and `--families` as family tags):");
+    for family in FAMILIES {
+        let examples: Vec<String> = family_grid(family, 3).iter().map(|p| p.name()).collect();
+        println!("  {family:<12} {}", examples.join(" "));
+    }
+    println!();
+    println!("any point of a family's parameter space works, not just the examples:");
+    println!("  raceN race-assertN delay-gapN scatterN branchyN randomSEED");
+    println!("  pipelineSTAGESxITEMS ringNODESxLAPS");
+    println!("legacy aliases: delay-gap pipeline scatter ring");
+}
+
+/// `check` with the explicit-state engine (ground truth; no encoding).
+fn check_explicit(program: &Program, delivery: DeliveryModel) -> ExitCode {
+    use explicit::{ExploreConfig, GraphExplorer};
+    let r = GraphExplorer::new(program, ExploreConfig::with_model(delivery)).explore();
+    println!(
+        "program: {} | delivery: {delivery} | engine: explicit",
+        program.name
+    );
+    println!(
+        "states: {} | transitions: {} | behaviours: {}",
+        r.states,
+        r.transitions,
+        r.matchings.len()
+    );
+    if r.found_violation() {
+        println!("verdict: VIOLATION");
+        for v in &r.violations {
+            println!("  {v}");
+        }
+        ExitCode::from(1)
+    } else if r.truncated {
+        println!("verdict: UNKNOWN (state budget exhausted at {})", r.states);
+        ExitCode::from(3)
+    } else {
+        println!("verdict: SAFE");
+        ExitCode::SUCCESS
     }
 }
 
@@ -150,17 +234,18 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     };
 
     let deliveries: Vec<DeliveryModel> = match strict_value(args, "--delivery") {
-        Some(Ok("unordered")) => vec![DeliveryModel::Unordered],
-        Some(Ok("fifo")) | Some(Ok("pairwise-fifo")) => vec![DeliveryModel::PairwiseFifo],
-        Some(Ok("zero")) | Some(Ok("zero-delay")) => vec![DeliveryModel::ZeroDelay],
-        Some(other) => {
-            // Unlike the single-program subcommands (which warn and fall
-            // back), a typo here would silently drop 2/3 of the grid —
-            // refuse instead.
-            eprintln!(
-                "unknown delivery model {:?}; expected unordered|fifo|zero",
-                other.ok()
-            );
+        Some(Ok(tag)) => match frontend::parse_delivery(tag) {
+            Some(m) => vec![m],
+            None => {
+                // Unlike the single-program subcommands (which warn and
+                // fall back), a typo here would silently drop 2/3 of the
+                // grid — refuse instead.
+                eprintln!("unknown delivery model {tag:?}; expected unordered|fifo|zero");
+                return ExitCode::from(2);
+            }
+        },
+        Some(Err(_)) => {
+            eprintln!("--delivery needs a value (unordered|fifo|zero)");
             return ExitCode::from(2);
         }
         None => DeliveryModel::ALL.to_vec(),
@@ -177,7 +262,27 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
 
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
 
-    let scenarios = cross(&specs, &deliveries, &Engine::ALL);
+    let mut scenarios = cross(&specs, &deliveries, &Engine::ALL);
+    match strict_value(args, "--corpus") {
+        Some(Ok(dir)) => match corpus_scenarios(Path::new(dir), &deliveries, &Engine::ALL) {
+            Ok(mut extra) => {
+                if extra.is_empty() {
+                    eprintln!("warning: no .mcapi files under {dir}");
+                }
+                scenarios.append(&mut extra);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        Some(Err(_)) => {
+            eprintln!("--corpus needs a directory path");
+            return ExitCode::from(2);
+        }
+        None => {}
+    }
+
     let cfg = PortfolioConfig {
         threads,
         mode,
@@ -208,45 +313,177 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     }
 }
 
+/// `fmt`: canonicalise MCAPI-lite (or convert a JSON program to it).
+fn fmt(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: mcapi-smc fmt <program.mcapi|-> [--write]");
+        return ExitCode::from(2);
+    };
+    let write_back = args.iter().any(|a| a == "--write");
+    if write_back && path == "-" {
+        eprintln!("fmt: --write needs a file path, not stdin (`-`)");
+        return ExitCode::from(2);
+    }
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let formatted = if looks_like_json(&text) {
+        // JSON → canonical MCAPI-lite (a one-way migration aid).
+        match parse_source("stdin.json", &text) {
+            Ok(p) => Ok(frontend::pretty(&p)),
+            Err(e) => Err(e),
+        }
+    } else {
+        frontend::format_source(&text)
+    };
+    match formatted {
+        Ok(out) => {
+            if write_back {
+                if let Err(e) = std::fs::write(path, &out) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            } else {
+                print!("{out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `export`: dump a grid family (or a single point) as MCAPI-lite.
+fn export(args: &[String]) -> ExitCode {
+    let Some(target) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mcapi-smc export <family|point> [--scale K] [--out DIR]");
+        eprintln!("families: {}", FAMILIES.join(" "));
+        return ExitCode::from(2);
+    };
+    let scale = match parse_flag_strict(args, "--scale") {
+        Ok(s) => s.unwrap_or(2) as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // A family tag exports the whole grid; otherwise fall back to a
+    // single named point (`ring` is a family, `ring4x2` — and the legacy
+    // alias spellings — a point).
+    let family = family_grid(target, scale);
+    let points: Vec<FamilySpec> = if family.is_empty() {
+        named_program(target).into_iter().collect()
+    } else {
+        family
+    };
+    if points.is_empty() {
+        eprintln!("unknown family or point `{target}`; known families: {FAMILIES:?}");
+        eprintln!("(run `mcapi-smc --list-programs` for point-name patterns)");
+        return ExitCode::from(2);
+    }
+    let render = |spec: &FamilySpec| {
+        format!(
+            "// family: {}\n// point: {}\n{}",
+            spec.family(),
+            spec.name(),
+            frontend::pretty(&spec.build())
+        )
+    };
+    match strict_value(args, "--out") {
+        Some(Ok(dir)) => {
+            let dir = Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            for spec in &points {
+                let path = dir.join(format!("{}.mcapi", spec.name()));
+                if let Err(e) = std::fs::write(&path, render(spec)) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Some(Err(_)) => {
+            eprintln!("--out needs a directory path");
+            ExitCode::from(2)
+        }
+        None => {
+            for (i, spec) in points.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", render(spec));
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-programs") {
+        list_programs();
+        return ExitCode::SUCCESS;
+    }
     let Some(cmd) = args.first().map(String::as_str) else {
-        eprintln!("usage: mcapi-smc <check|behaviours|explore|run|info|demo|portfolio|sweep> ...");
+        eprintln!(
+            "usage: mcapi-smc <check|fmt|export|behaviours|explore|run|info|demo|portfolio|sweep> ..."
+        );
+        eprintln!("       mcapi-smc --list-programs");
         return ExitCode::from(2);
     };
 
     match cmd {
         "portfolio" => return portfolio(&args, Mode::Race),
         "sweep" => return portfolio(&args, Mode::Sweep),
+        "fmt" => return fmt(&args),
+        "export" => return export(&args),
         _ => {}
     }
 
     match cmd {
         "demo" => {
             let Some(name) = args.get(1) else {
-                eprintln!(
-                    "available demos: fig1 fig1-assert race3 race-assert3 delay-gap pipeline scatter ring"
-                );
+                eprintln!("usage: mcapi-smc demo <name>   (JSON on stdout)");
+                list_programs();
                 return ExitCode::from(2);
             };
-            match demo(name) {
-                Some(p) => {
-                    println!("{}", serde_json::to_string_pretty(&p).unwrap());
+            match named_program(name) {
+                Some(spec) => {
+                    println!("{}", serde_json::to_string_pretty(&spec.build()).unwrap());
                     ExitCode::SUCCESS
                 }
                 None => {
-                    eprintln!("unknown demo {name}");
+                    eprintln!("unknown demo {name}; run `mcapi-smc --list-programs`");
                     ExitCode::from(2)
                 }
             }
         }
         "info" => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: mcapi-smc info <program.json>");
+                eprintln!("usage: mcapi-smc info <program>");
                 return ExitCode::from(2);
             };
             match load_program(path) {
-                Ok(p) => {
+                Ok((p, _)) => {
                     print!("{}", p.render());
                     println!(
                         "{} threads, {} sends, {} recvs, {} instructions",
@@ -265,27 +502,77 @@ fn main() -> ExitCode {
         }
         "check" | "behaviours" | "explore" | "run" => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: mcapi-smc {cmd} <program.json> [options]");
+                eprintln!("usage: mcapi-smc {cmd} <program> [options]");
                 return ExitCode::from(2);
             };
-            let program = match load_program(path) {
+            let (program, directives) = match load_program(path) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::from(2);
                 }
             };
-            let delivery = parse_delivery(&args);
+            // Precedence: --delivery flag, then the file's `// delivery:`
+            // header, then unordered.
+            let delivery = match delivery_flag(&args) {
+                Ok(flag) => flag
+                    .or(directives.delivery)
+                    .unwrap_or(DeliveryModel::Unordered),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
             match cmd {
                 "check" => {
-                    let matchgen = if args.iter().any(|a| a == "--precise") {
-                        MatchGen::Precise
-                    } else {
-                        MatchGen::OverApprox
+                    let engine = match strict_value(&args, "--engine") {
+                        None => {
+                            if args.iter().any(|a| a == "--precise") {
+                                Engine::Symbolic(MatchGen::Precise)
+                            } else {
+                                Engine::Symbolic(MatchGen::OverApprox)
+                            }
+                        }
+                        Some(Ok("symbolic-precise")) | Some(Ok("precise")) => {
+                            Engine::Symbolic(MatchGen::Precise)
+                        }
+                        Some(Ok("symbolic-overapprox"))
+                        | Some(Ok("overapprox"))
+                        | Some(Ok("symbolic")) => Engine::Symbolic(MatchGen::OverApprox),
+                        Some(Ok("explicit")) => Engine::Explicit,
+                        Some(other) => {
+                            eprintln!(
+                                "unknown engine {:?}; expected symbolic-precise|symbolic-overapprox|explicit",
+                                other.ok()
+                            );
+                            return ExitCode::from(2);
+                        }
+                    };
+                    // Validate --budget-ms before engine dispatch so a
+                    // malformed value is a usage error on every engine.
+                    let budget_ms = match parse_flag_strict(&args, "--budget-ms") {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    let matchgen = match engine {
+                        Engine::Symbolic(m) => m,
+                        Engine::Explicit => {
+                            if budget_ms.is_some() {
+                                eprintln!(
+                                    "note: --budget-ms bounds the symbolic solve/refine loop; \
+                                     the explicit engine is bounded by state count and ignores it"
+                                );
+                            }
+                            return check_explicit(&program, delivery);
+                        }
                     };
                     let cfg = CheckConfig {
                         delivery,
                         matchgen,
+                        budget_ms,
                         ..CheckConfig::default()
                     };
                     let report = check_program(&program, &cfg);

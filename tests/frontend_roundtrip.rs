@@ -1,0 +1,56 @@
+//! Acceptance: for every grid family at the CLI's default scale, the
+//! program that comes back from `lower(parse(pretty(build())))` produces
+//! portfolio verdicts bit-identical to the builder-built program across
+//! all delivery models and engines.
+
+use driver::prelude::*;
+use frontend::{parse_program, pretty};
+use mcapi::types::DeliveryModel;
+
+#[test]
+fn roundtripped_grid_matches_builder_grid_across_the_whole_portfolio() {
+    let grid = default_grid(2); // the CLI's default --scale
+    assert!(grid.len() >= 15);
+
+    let builder_specs: Vec<ProgramSpec> = grid.iter().map(|s| ProgramSpec::Grid(*s)).collect();
+    let parsed_specs: Vec<ProgramSpec> = grid
+        .iter()
+        .map(|s| {
+            let text = pretty(&s.build());
+            let program = parse_program(&text)
+                .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}\n{text}", s.name()));
+            ProgramSpec::source(s.name(), program)
+        })
+        .collect();
+
+    let cfg = PortfolioConfig {
+        threads: 2,
+        mode: Mode::Sweep,
+        ..Default::default()
+    };
+    let run = |specs: &[ProgramSpec]| {
+        run_portfolio(&cross(specs, &DeliveryModel::ALL, &Engine::ALL), &cfg)
+    };
+    let builder_report = run(&builder_specs);
+    let parsed_report = run(&parsed_specs);
+
+    assert_eq!(builder_report.outcomes.len(), parsed_report.outcomes.len());
+    for (b, p) in builder_report.outcomes.iter().zip(&parsed_report.outcomes) {
+        assert_eq!(b.scenario, p.scenario, "scenario order must agree");
+        assert_eq!(
+            b.verdict, p.verdict,
+            "verdict drift on {} (builder: {:?} `{}`, parsed: {:?} `{}`)",
+            b.scenario, b.verdict, b.detail, p.verdict, p.detail
+        );
+        assert_eq!(
+            b.detail, p.detail,
+            "violation detail drift on {}",
+            b.scenario
+        );
+    }
+    // Aggregates follow from the per-scenario equality, but pin them
+    // anyway: they are what CI dashboards read.
+    assert_eq!(builder_report.violations, parsed_report.violations);
+    assert_eq!(builder_report.safe, parsed_report.safe);
+    assert_eq!(builder_report.unknown, parsed_report.unknown);
+}
