@@ -48,6 +48,10 @@ struct ScenarioCounters {
     conflicts: u64,
     propagations: u64,
     reused_encoding: bool,
+    #[serde(default)]
+    paths_explored: usize,
+    #[serde(default)]
+    paths_pruned: usize,
 }
 
 /// Aggregate counters of one pinned-grid run.
@@ -58,6 +62,10 @@ struct RunCounters {
     sat_checks: usize,
     conflicts: u64,
     propagations: u64,
+    #[serde(default)]
+    paths_explored: usize,
+    #[serde(default)]
+    paths_pruned: usize,
     per_scenario: Vec<ScenarioCounters>,
 }
 
@@ -69,6 +77,8 @@ impl RunCounters {
             sat_checks: report.total_sat_checks,
             conflicts: report.total_conflicts,
             propagations: report.total_propagations,
+            paths_explored: report.total_paths_explored,
+            paths_pruned: report.total_paths_pruned,
             per_scenario: report
                 .outcomes
                 .iter()
@@ -79,13 +89,17 @@ impl RunCounters {
                     conflicts: o.conflicts,
                     propagations: o.propagations,
                     reused_encoding: o.reused_encoding,
+                    paths_explored: o.paths_explored,
+                    paths_pruned: o.paths_pruned,
                 })
                 .collect(),
         }
     }
 }
 
-/// The perf-gate artifact: both runs plus the headline saving.
+/// The perf-gate artifact: both runs plus the headline saving, and the
+/// path-exploration gate (sibling paths sharing one encoded core vs a
+/// fresh encoding per path).
 #[derive(Serialize, Deserialize)]
 struct PerfGateReport {
     grid: String,
@@ -96,35 +110,64 @@ struct PerfGateReport {
     no_reuse: RunCounters,
     /// Whole-percent saving of conflicts+propagations from session reuse.
     reduction_pct_conflicts_plus_propagations: i64,
+    /// The branch-sensitive grid under `symbolic-paths` with sibling-path
+    /// session sharing.
+    paths_reuse: RunCounters,
+    /// The same grid with a fresh encoding per path.
+    paths_no_reuse: RunCounters,
+    /// Whole-percent saving of conflicts+propagations from sharing cores
+    /// across sibling paths.
+    paths_reduction_pct_conflicts_plus_propagations: i64,
+}
+
+fn run_counters(scenarios: &[Scenario], session_reuse: bool) -> RunCounters {
+    let cfg = PortfolioConfig {
+        threads: 1,
+        mode: Mode::Sweep,
+        session_reuse,
+        ..PortfolioConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_portfolio(scenarios, &cfg);
+    RunCounters::from_report(start.elapsed().as_millis() as u64, &report)
+}
+
+fn reduction_pct(reuse: &RunCounters, no_reuse: &RunCounters) -> i64 {
+    let work = |r: &RunCounters| r.conflicts + r.propagations;
+    if work(no_reuse) == 0 {
+        0
+    } else {
+        (100.0 * (1.0 - work(reuse) as f64 / work(no_reuse) as f64)).round() as i64
+    }
 }
 
 fn pinned_grid_report() -> PerfGateReport {
     let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
-    let run = |session_reuse: bool| {
-        let cfg = PortfolioConfig {
-            threads: 1,
-            mode: Mode::Sweep,
-            session_reuse,
-            ..PortfolioConfig::default()
-        };
-        let start = Instant::now();
-        let report = run_portfolio(&scenarios, &cfg);
-        RunCounters::from_report(start.elapsed().as_millis() as u64, &report)
-    };
-    let reuse = run(true);
-    let no_reuse = run(false);
-    let work = |r: &RunCounters| r.conflicts + r.propagations;
-    let reduction = if work(&no_reuse) == 0 {
-        0
-    } else {
-        (100.0 * (1.0 - work(&reuse) as f64 / work(&no_reuse) as f64)).round() as i64
-    };
+    let reuse = run_counters(&scenarios, true);
+    let no_reuse = run_counters(&scenarios, false);
+    // The path gate: branch-heavy programs, one delivery, paths engine
+    // only — so the saving measured is exactly the sibling-path sharing.
+    let paths_scenarios = cross(
+        &family_grid("branchy", 3),
+        &[DeliveryModel::Unordered],
+        &[Engine::SymbolicPaths],
+    );
+    let paths_reuse = run_counters(&paths_scenarios, true);
+    let paths_no_reuse = run_counters(&paths_scenarios, false);
     PerfGateReport {
-        grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep".into(),
+        grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep; \
+               paths gate: branchy(scale 3) x unordered x symbolic-paths"
+            .into(),
         scenarios: scenarios.len(),
+        reduction_pct_conflicts_plus_propagations: reduction_pct(&reuse, &no_reuse),
         reuse,
         no_reuse,
-        reduction_pct_conflicts_plus_propagations: reduction,
+        paths_reduction_pct_conflicts_plus_propagations: reduction_pct(
+            &paths_reuse,
+            &paths_no_reuse,
+        ),
+        paths_reuse,
+        paths_no_reuse,
     }
 }
 
@@ -163,6 +206,18 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         report.no_reuse.propagations,
         report.reduction_pct_conflicts_plus_propagations,
     );
+    println!(
+        "paths gate: reuse {} encodings / {} paths ({} pruned), {} conflicts, {} propagations | per-path {} encodings, {} conflicts, {} propagations | reduction {}%",
+        report.paths_reuse.encodings_built,
+        report.paths_reuse.paths_explored,
+        report.paths_reuse.paths_pruned,
+        report.paths_reuse.conflicts,
+        report.paths_reuse.propagations,
+        report.paths_no_reuse.encodings_built,
+        report.paths_no_reuse.conflicts,
+        report.paths_no_reuse.propagations,
+        report.paths_reduction_pct_conflicts_plus_propagations,
+    );
 
     let Some(baseline_path) = baseline_path else {
         return ExitCode::SUCCESS;
@@ -199,6 +254,16 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         report.no_reuse.conflicts,
         baseline.no_reuse.conflicts,
     );
+    ok &= within_tolerance(
+        "paths_reuse.sat_checks",
+        report.paths_reuse.sat_checks as u64,
+        baseline.paths_reuse.sat_checks as u64,
+    );
+    ok &= within_tolerance(
+        "paths_reuse.conflicts",
+        report.paths_reuse.conflicts,
+        baseline.paths_reuse.conflicts,
+    );
     if report.reduction_pct_conflicts_plus_propagations < MIN_REDUCTION_PCT {
         eprintln!(
             "PERF REGRESSION: session reuse saves only {}% of conflicts+propagations (< {MIN_REDUCTION_PCT}%)",
@@ -209,6 +274,18 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         println!(
             "ok: session reuse saves {}% of conflicts+propagations (>= {MIN_REDUCTION_PCT}%)",
             report.reduction_pct_conflicts_plus_propagations,
+        );
+    }
+    if report.paths_reduction_pct_conflicts_plus_propagations < MIN_REDUCTION_PCT {
+        eprintln!(
+            "PERF REGRESSION: sibling-path session reuse saves only {}% of conflicts+propagations (< {MIN_REDUCTION_PCT}%)",
+            report.paths_reduction_pct_conflicts_plus_propagations,
+        );
+        ok = false;
+    } else {
+        println!(
+            "ok: sibling-path session reuse saves {}% of conflicts+propagations (>= {MIN_REDUCTION_PCT}%)",
+            report.paths_reduction_pct_conflicts_plus_propagations,
         );
     }
     if ok {

@@ -70,6 +70,12 @@ pub struct ScenarioOutcome {
     pub conflicts: u64,
     /// Solver propagations this scenario cost (delta, symbolic only).
     pub propagations: u64,
+    /// Control-flow paths analysed (1 for single-trace symbolic engines,
+    /// the feasible-path count for `symbolic-paths`).
+    pub paths_explored: usize,
+    /// Control-flow paths proven unreachable and skipped
+    /// (`symbolic-paths` only).
+    pub paths_pruned: usize,
 }
 
 impl ScenarioOutcome {
@@ -94,6 +100,8 @@ impl ScenarioOutcome {
             sat_checks: 0,
             conflicts: 0,
             propagations: 0,
+            paths_explored: 0,
+            paths_pruned: 0,
         }
     }
 }
@@ -143,6 +151,11 @@ pub struct PortfolioReport {
     pub total_propagations: u64,
     /// SMT checks summed over all scenarios.
     pub total_sat_checks: usize,
+    /// Control-flow paths explored, summed over all scenarios.
+    pub total_paths_explored: usize,
+    /// Control-flow paths pruned as unreachable, summed over all
+    /// scenarios.
+    pub total_paths_pruned: usize,
     /// Per-scenario records, in submission order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -174,6 +187,8 @@ impl PortfolioReport {
             total_conflicts: outcomes.iter().map(|o| o.conflicts).sum(),
             total_propagations: outcomes.iter().map(|o| o.propagations).sum(),
             total_sat_checks: outcomes.iter().map(|o| o.sat_checks).sum(),
+            total_paths_explored: outcomes.iter().map(|o| o.paths_explored).sum(),
+            total_paths_pruned: outcomes.iter().map(|o| o.paths_pruned).sum(),
             outcomes,
         }
     }
@@ -221,7 +236,7 @@ impl PortfolioReport {
         }
         let _ = writeln!(
             out,
-            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations",
+            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations; {} paths explored, {} pruned",
             self.mode,
             self.threads,
             self.outcomes.len(),
@@ -234,6 +249,8 @@ impl PortfolioReport {
             self.total_sat_checks,
             self.total_conflicts,
             self.total_propagations,
+            self.total_paths_explored,
+            self.total_paths_pruned,
         );
         out
     }

@@ -7,7 +7,10 @@ use crate::scenario::{batch_by_grid_point, Engine, GridBatch, Scenario};
 use explicit::{ExploreConfig, GraphExplorer};
 use mcapi::program::Program;
 use std::time::Instant;
-use symbolic::checker::{check_program, check_program_pooled, CheckConfig, CheckReport, Verdict};
+use symbolic::checker::{
+    check_program, check_program_pooled, CheckConfig, CheckReport, MatchGen, Verdict,
+};
+use symbolic::paths::{check_program_paths_pooled, PathsConfig};
 use symbolic::session::SessionPool;
 
 /// What happens after the first confirmed violation.
@@ -47,11 +50,14 @@ pub struct PortfolioConfig {
     /// Validate symbolic witnesses by concrete replay.
     pub validate: bool,
     /// Batch scenarios by grid point and share one incremental SMT
-    /// encoding per (trace, match pairs) across delivery models and match
-    /// generators (see [`symbolic::session::CheckSession`]). Disable to
-    /// re-encode every scenario from scratch, PR-1 style (the CLI's
-    /// `--no-session-reuse`).
+    /// encoding per (trace, match pairs) across delivery models, match
+    /// generators and sibling control-flow paths (see
+    /// [`symbolic::session::CheckSession`]). Disable to re-encode every
+    /// scenario from scratch, PR-1 style (the CLI's `--no-session-reuse`).
     pub session_reuse: bool,
+    /// Path budget for the `symbolic-paths` engine: exceeding it degrades
+    /// the scenario verdict to unknown, never to a silent safe.
+    pub max_paths: usize,
 }
 
 impl Default for PortfolioConfig {
@@ -63,6 +69,7 @@ impl Default for PortfolioConfig {
             max_states: 1_000_000,
             validate: true,
             session_reuse: true,
+            max_paths: 64,
         }
     }
 }
@@ -74,6 +81,9 @@ impl PortfolioConfig {
     pub fn check_config(&self, scenario: &Scenario) -> CheckConfig {
         let matchgen = match scenario.engine {
             Engine::Symbolic(m) => m,
+            // The path engine validates by replay, so the cheap
+            // over-approximate generator is the right default.
+            Engine::SymbolicPaths => MatchGen::OverApprox,
             Engine::Explicit => unreachable!("check_config is for symbolic scenarios"),
         };
         CheckConfig {
@@ -82,6 +92,16 @@ impl PortfolioConfig {
             budget_ms: self.budget_ms,
             validate: self.validate,
             ..CheckConfig::default()
+        }
+    }
+
+    /// The [`PathsConfig`] a `symbolic-paths` scenario runs under.
+    pub fn paths_config(&self, scenario: &Scenario) -> PathsConfig {
+        PathsConfig {
+            check: self.check_config(scenario),
+            max_paths: self.max_paths,
+            session_reuse: self.session_reuse,
+            ..PathsConfig::default()
         }
     }
 }
@@ -108,6 +128,8 @@ fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> S
     out.sat_checks = report.sat_checks;
     out.conflicts = report.solver_stats.conflicts;
     out.propagations = report.solver_stats.propagations;
+    out.paths_explored = report.paths_explored;
+    out.paths_pruned = report.paths_pruned;
     match report.verdict {
         Verdict::Safe => {
             out.verdict = VerdictKind::Safe;
@@ -166,6 +188,12 @@ pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutco
             let report = check_program(&program, &cfg.check_config(scenario));
             symbolic_outcome(scenario, report, false)
         }
+        Engine::SymbolicPaths => {
+            let mut pool = SessionPool::new();
+            let (report, reused) =
+                check_program_paths_pooled(&mut pool, &program, &cfg.paths_config(scenario));
+            symbolic_outcome(scenario, report, reused)
+        }
         Engine::Explicit => run_explicit(&program, scenario, cfg),
     };
     out.wall_ms = start.elapsed().as_millis() as u64;
@@ -194,6 +222,13 @@ pub fn run_batch(
             Engine::Symbolic(_) => {
                 let (report, reused) =
                     check_program_pooled(&mut pool, &program, &cfg.check_config(scenario));
+                symbolic_outcome(scenario, report, reused)
+            }
+            Engine::SymbolicPaths => {
+                // The batch pool is shared, so path traces attach as
+                // siblings across delivery models of one grid point too.
+                let (report, reused) =
+                    check_program_paths_pooled(&mut pool, &program, &cfg.paths_config(scenario));
                 symbolic_outcome(scenario, report, reused)
             }
             Engine::Explicit => run_explicit(&program, scenario, cfg),
@@ -225,7 +260,7 @@ pub fn run_batch(
 /// );
 /// let cfg = PortfolioConfig { threads: 2, mode: Mode::Sweep, ..Default::default() };
 /// let report = run_portfolio(&scenarios, &cfg);
-/// assert_eq!(report.outcomes.len(), 6);
+/// assert_eq!(report.outcomes.len(), 8, "2 programs x 4 engines");
 /// assert!(report.found_violation(), "fig1-assert races");
 /// ```
 pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> PortfolioReport {

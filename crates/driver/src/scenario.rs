@@ -114,8 +114,13 @@ pub fn corpus_scenarios(
 /// Which verification engine runs a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Engine {
-    /// The paper's symbolic pipeline with the chosen match-pair generator.
+    /// The paper's symbolic pipeline with the chosen match-pair generator
+    /// (one trace: verdicts are scoped to that trace's branch outcomes).
     Symbolic(MatchGen),
+    /// The branch-complete symbolic engine (`symbolic::paths`): every
+    /// feasible control-flow path is enumerated and checked, so verdicts
+    /// are whole-program like the explicit baseline's.
+    SymbolicPaths,
     /// The explicit-state breadth-first ground truth
     /// ([`explicit::GraphExplorer`]), kept in every portfolio as the
     /// cross-validation baseline.
@@ -128,14 +133,16 @@ impl Engine {
         match self {
             Engine::Symbolic(MatchGen::Precise) => "symbolic-precise",
             Engine::Symbolic(MatchGen::OverApprox) => "symbolic-overapprox",
+            Engine::SymbolicPaths => "symbolic-paths",
             Engine::Explicit => "explicit",
         }
     }
 
     /// Every engine, for grid crossing.
-    pub const ALL: [Engine; 3] = [
+    pub const ALL: [Engine; 4] = [
         Engine::Symbolic(MatchGen::Precise),
         Engine::Symbolic(MatchGen::OverApprox),
+        Engine::SymbolicPaths,
         Engine::Explicit,
     ];
 }

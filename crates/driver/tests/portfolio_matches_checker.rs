@@ -56,6 +56,37 @@ fn portfolio_agrees_with_sequential_checker_on_fig1_grid() {
 }
 
 #[test]
+fn portfolio_paths_engine_agrees_with_sequential_path_checker() {
+    use symbolic::paths::check_program_paths;
+    let scenarios = cross(
+        &[
+            FamilySpec::Fig1Assert,
+            FamilySpec::Branchy { rounds: 2 },
+            FamilySpec::DelayGap { chain: 1 },
+        ],
+        &DeliveryModel::ALL,
+        &[Engine::SymbolicPaths],
+    );
+    let cfg = PortfolioConfig {
+        threads: 2,
+        mode: Mode::Sweep,
+        ..Default::default()
+    };
+    let report = run_portfolio(&scenarios, &cfg);
+    for (scenario, outcome) in scenarios.iter().zip(&report.outcomes) {
+        let sequential = check_program_paths(&scenario.spec.build(), &cfg.paths_config(scenario));
+        assert_eq!(
+            outcome.verdict,
+            verdict_kind(&sequential.verdict),
+            "portfolio and sequential path checker disagree on {}",
+            scenario.name(),
+        );
+        assert_eq!(outcome.paths_explored, sequential.paths_explored);
+        assert_eq!(outcome.paths_pruned, sequential.paths_pruned);
+    }
+}
+
+#[test]
 fn race_assert_violation_is_found_under_every_engine() {
     let scenarios = cross(
         &[FamilySpec::RaceAssert { width: 2 }],
@@ -81,7 +112,7 @@ fn batched_sessions_match_per_scenario_verdicts_on_default_grid() {
     // per-scenario from-scratch checking answers — while building strictly
     // fewer encodings than it runs scenarios.
     let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
-    assert_eq!(scenarios.len(), 90, "the default grid");
+    assert_eq!(scenarios.len(), 120, "the default grid, four engines");
     let batched = run_portfolio(
         &scenarios,
         &PortfolioConfig {

@@ -229,6 +229,16 @@ impl Program {
         self.threads.iter().map(|t| t.code.len()).sum()
     }
 
+    /// Does any thread contain a conditional branch? Branch-free programs
+    /// have exactly one control-flow path, so the trace-pinned and
+    /// path-complete symbolic engines coincide on them.
+    pub fn has_branches(&self) -> bool {
+        self.threads
+            .iter()
+            .flat_map(|t| t.code.iter())
+            .any(|i| matches!(i, Instr::Branch { .. }))
+    }
+
     /// Human-readable listing (one column per thread, Fig. 1 style).
     pub fn render(&self) -> String {
         use std::fmt::Write;

@@ -1,8 +1,25 @@
-//! Schedulers: policies for resolving the action non-determinism.
+//! Schedulers: policies for resolving the action non-determinism, plus the
+//! *directed* execution mode used by path exploration.
+//!
+//! The plain schedulers ([`RandomScheduler`], [`FirstScheduler`],
+//! [`ScriptScheduler`], [`RoundRobinScheduler`]) pick one enabled action at
+//! a time. [`execute_directed`] is different in kind: given a
+//! [`BranchPlan`] prescribing every conditional branch outcome, it searches
+//! *over* schedules (depth-first, with a visited set) for a concrete
+//! execution whose branches follow the plan — and reports an infeasible
+//! prefix when no schedule can realise it. Path-complete checking
+//! (`symbolic::paths`) uses this to turn each feasible branch-outcome
+//! vector into one trace for the per-execution symbolic checker.
 
-use crate::state::Action;
+use crate::program::{Instr, Program, Thread};
+use crate::runtime::{replay, ExecOutcome};
+use crate::state::{Action, SysState};
+use crate::trace::EventKind;
+use crate::types::DeliveryModel;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
 
 /// A scheduling policy. `choose` returns the index of the selected action,
 /// or `None` to abort the run (used by replay divergence).
@@ -123,6 +140,333 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
+/// A prescribed control-flow path: one taken/not-taken vector per thread,
+/// in that thread's branch-execution order. This is the unit the path
+/// explorer enumerates — two executions with equal plans are the same
+/// "path" for the trace-based symbolic encoding, whatever their
+/// interleaving or message matching.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BranchPlan {
+    /// `outcomes[t][i]` is the prescribed outcome of thread `t`'s `i`-th
+    /// executed branch (`true` = then-direction).
+    pub outcomes: Vec<Vec<bool>>,
+}
+
+impl BranchPlan {
+    /// Total prescribed branch outcomes across all threads.
+    pub fn len(&self) -> usize {
+        self.outcomes.iter().map(Vec::len).sum()
+    }
+
+    /// Does the plan prescribe nothing (a branch-free program)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compact human-readable form naming each branching thread, e.g.
+    /// `worker:F` or `consumer:TF gate:T` (branch-free threads omitted).
+    pub fn render(&self, program: &Program) -> String {
+        let parts: Vec<String> = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(t, v)| {
+                let name = program
+                    .threads
+                    .get(t)
+                    .map(|th| th.name.as_str())
+                    .unwrap_or("?");
+                let bits: String = v.iter().map(|&b| if b { 'T' } else { 'F' }).collect();
+                format!("{name}:{bits}")
+            })
+            .collect();
+        if parts.is_empty() {
+            "(branch-free)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Why the static path space of a program could not be enumerated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PathSpaceError {
+    /// A thread's flat code contains a control-flow cycle (only possible
+    /// for hand-written JSON programs; the structured DSL is loop-free).
+    CyclicCode { thread: usize },
+    /// A single thread admits more than the per-thread cap of paths.
+    TooManyPaths { thread: usize, cap: usize },
+}
+
+impl std::fmt::Display for PathSpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathSpaceError::CyclicCode { thread } => {
+                write!(f, "thread {thread} has cyclic control flow")
+            }
+            PathSpaceError::TooManyPaths { thread, cap } => {
+                write!(f, "thread {thread} admits more than {cap} static paths")
+            }
+        }
+    }
+}
+
+/// All branch-outcome sequences one thread's (loop-free) flat code admits,
+/// in a deterministic order: the all-taken path first, flipping later
+/// branches before earlier ones.
+fn thread_paths(thread: &Thread, tid: usize, cap: usize) -> Result<Vec<Vec<bool>>, PathSpaceError> {
+    let code = &thread.code;
+    let mut done: Vec<Vec<bool>> = Vec::new();
+    // Depth-first over (pc, outcomes-so-far); the stack order makes the
+    // enumeration deterministic.
+    let mut stack: Vec<(usize, Vec<bool>)> = vec![(0, Vec::new())];
+    while let Some((mut pc, mut outcomes)) = stack.pop() {
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > code.len() + 1 {
+                return Err(PathSpaceError::CyclicCode { thread: tid });
+            }
+            if pc >= code.len() {
+                done.push(outcomes);
+                if done.len() > cap {
+                    return Err(PathSpaceError::TooManyPaths { thread: tid, cap });
+                }
+                break;
+            }
+            match &code[pc] {
+                Instr::Branch { else_target, .. } => {
+                    let mut not_taken = outcomes.clone();
+                    not_taken.push(false);
+                    stack.push((*else_target, not_taken));
+                    outcomes.push(true);
+                    pc += 1;
+                }
+                Instr::Jump { target } => {
+                    if *target <= pc {
+                        return Err(PathSpaceError::CyclicCode { thread: tid });
+                    }
+                    pc = *target;
+                }
+                _ => pc += 1,
+            }
+        }
+    }
+    Ok(done)
+}
+
+/// The static path space of a program: per thread, every branch-outcome
+/// sequence its loop-free code admits. The program's paths are the cross
+/// product; [`execute_directed`] decides which combinations are feasible.
+pub fn program_paths(
+    program: &Program,
+    per_thread_cap: usize,
+) -> Result<Vec<Vec<Vec<bool>>>, PathSpaceError> {
+    program
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(tid, t)| thread_paths(t, tid, per_thread_cap))
+        .collect()
+}
+
+/// Budgets for one directed search.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectedConfig {
+    /// Visited-state cap; exceeding it yields [`DirectedOutcome::Exhausted`].
+    pub max_states: usize,
+    /// Absolute wall-clock deadline shared with the caller's whole check.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for DirectedConfig {
+    fn default() -> Self {
+        DirectedConfig {
+            max_states: 200_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Result of searching for an execution that follows a [`BranchPlan`].
+#[derive(Clone, Debug)]
+pub enum DirectedOutcome {
+    /// A complete, violation-free execution realises the full plan.
+    Realized(ExecOutcome),
+    /// An execution complying with the plan's prefix reaches a concrete
+    /// assertion violation — a real counterexample on this path.
+    Violating(ExecOutcome),
+    /// The plan's realisable executions all stop in a deadlock; the
+    /// deepest such prefix is returned for symbolic analysis.
+    Deadlocked(ExecOutcome),
+    /// No execution follows the plan: the search exhausted every schedule
+    /// after matching at most `matched_branches` prescribed outcomes.
+    Infeasible { matched_branches: usize },
+    /// The state or time budget ran out before the search resolved —
+    /// callers must degrade to an unknown verdict, never to safe.
+    Exhausted { states: usize },
+}
+
+struct DirectedSearch<'a> {
+    program: &'a Program,
+    model: DeliveryModel,
+    plan: &'a BranchPlan,
+    visited: HashSet<(SysState, Vec<u16>)>,
+    cfg: DirectedConfig,
+    exhausted: bool,
+    matched_best: usize,
+    best_deadlock: Option<Vec<Action>>,
+}
+
+enum Found {
+    Complete(Vec<Action>),
+    Violation(Vec<Action>),
+}
+
+impl DirectedSearch<'_> {
+    fn dfs(
+        &mut self,
+        state: &SysState,
+        bidx: &mut Vec<u16>,
+        matched: usize,
+        actions: &mut Vec<Action>,
+    ) -> Option<Found> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.visited.insert((state.clone(), bidx.clone())) {
+            return None;
+        }
+        if self.visited.len() > self.cfg.max_states
+            || (self.visited.len().is_multiple_of(256)
+                && self.cfg.deadline.is_some_and(|d| Instant::now() >= d))
+        {
+            self.exhausted = true;
+            return None;
+        }
+        self.matched_best = self.matched_best.max(matched);
+        let enabled = state.enabled_actions(self.program, self.model);
+        if enabled.is_empty() {
+            if state.all_done(self.program) {
+                // A complete execution realises the plan only if every
+                // prescribed branch was actually executed.
+                let full = bidx
+                    .iter()
+                    .zip(&self.plan.outcomes)
+                    .all(|(&i, v)| i as usize == v.len());
+                if full {
+                    return Some(Found::Complete(actions.clone()));
+                }
+            } else if state.violation.is_none() {
+                // Deadlock on a plan-compliant prefix: keep the deepest.
+                if self
+                    .best_deadlock
+                    .as_ref()
+                    .is_none_or(|b| b.len() < actions.len())
+                {
+                    self.best_deadlock = Some(actions.clone());
+                }
+            }
+            return None;
+        }
+        for action in enabled {
+            let (next, events) = state.apply(self.program, action, self.model);
+            // Plan compliance: a branch event must follow the prescription.
+            let mut matched_here = matched;
+            let mut complies = true;
+            if let Some(ev) = events.first() {
+                if let EventKind::Branch { taken } = ev.kind {
+                    let t = ev.thread;
+                    let i = bidx[t] as usize;
+                    match self.plan.outcomes[t].get(i) {
+                        Some(&want) if want == taken => {
+                            matched_here += 1;
+                        }
+                        _ => complies = false,
+                    }
+                    if complies {
+                        bidx[t] += 1;
+                    }
+                }
+            }
+            if !complies {
+                self.matched_best = self.matched_best.max(matched);
+                continue;
+            }
+            actions.push(action);
+            let found = if next.violation.is_some() {
+                // Violations are terminal in the semantics; a compliant
+                // prefix reaching one is a concrete counterexample.
+                Some(Found::Violation(actions.clone()))
+            } else {
+                self.dfs(&next, bidx, matched_here, actions)
+            };
+            actions.pop();
+            if let Some(ev) = events.first() {
+                if let EventKind::Branch { taken } = ev.kind {
+                    let t = ev.thread;
+                    let i = (bidx[t] as usize).wrapping_sub(1);
+                    if self.plan.outcomes[t].get(i) == Some(&taken) {
+                        bidx[t] -= 1;
+                    }
+                }
+            }
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+}
+
+/// Search for a concrete execution whose branch outcomes follow `plan`
+/// exactly, exploring schedules depth-first under `model`. See
+/// [`DirectedOutcome`] for the possible results; the search is exhaustive
+/// (up to the budget), so [`DirectedOutcome::Infeasible`] is definitive.
+pub fn execute_directed(
+    program: &Program,
+    model: DeliveryModel,
+    plan: &BranchPlan,
+    cfg: DirectedConfig,
+) -> DirectedOutcome {
+    assert_eq!(
+        plan.outcomes.len(),
+        program.threads.len(),
+        "plan must prescribe one outcome vector per thread"
+    );
+    let mut search = DirectedSearch {
+        program,
+        model,
+        plan,
+        visited: HashSet::new(),
+        cfg,
+        exhausted: false,
+        matched_best: 0,
+        best_deadlock: None,
+    };
+    let init = SysState::initial(program);
+    let mut bidx = vec![0u16; program.threads.len()];
+    let mut actions = Vec::new();
+    let found = search.dfs(&init, &mut bidx, 0, &mut actions);
+    let rerun = |script: &[Action]| {
+        replay(program, model, script).expect("directed search scripts replay exactly")
+    };
+    match found {
+        Some(Found::Violation(script)) => DirectedOutcome::Violating(rerun(&script)),
+        Some(Found::Complete(script)) => DirectedOutcome::Realized(rerun(&script)),
+        None if search.exhausted => DirectedOutcome::Exhausted {
+            states: search.visited.len(),
+        },
+        None => match search.best_deadlock {
+            Some(script) => DirectedOutcome::Deadlocked(rerun(&script)),
+            None => DirectedOutcome::Infeasible {
+                matched_branches: search.matched_best,
+            },
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +537,177 @@ mod tests {
         let t1 = a[s.choose(&a).unwrap()].thread();
         let t2 = a[s.choose(&a).unwrap()].thread();
         assert_ne!(t1, t2, "round robin should rotate");
+    }
+
+    use crate::builder::ProgramBuilder;
+    use crate::expr::{Cond, Expr};
+    use crate::program::{Op, Program};
+    use crate::types::CmpOp;
+
+    /// Two producers race one value into a consumer that branches on it.
+    fn branchy_race() -> Program {
+        let mut b = ProgramBuilder::new("branchy-race");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        let p2 = b.thread("p2");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(1),
+                }],
+                else_ops: vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(0)),
+                    message: "low value must be zero".into(),
+                }],
+            },
+        );
+        b.recv(c, 0);
+        b.send_const(p1, c, 0, 5);
+        b.send_const(p2, c, 0, 50);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn program_paths_enumerates_both_arms() {
+        let p = branchy_race();
+        let paths = program_paths(&p, 1024).unwrap();
+        assert_eq!(paths[0], vec![vec![true], vec![false]]);
+        assert_eq!(paths[1], vec![Vec::<bool>::new()]);
+        assert_eq!(paths[2], vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    fn directed_search_realises_the_then_path() {
+        let p = branchy_race();
+        let plan = BranchPlan {
+            outcomes: vec![vec![true], vec![], vec![]],
+        };
+        match execute_directed(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig::default(),
+        ) {
+            DirectedOutcome::Realized(out) => {
+                assert!(out.trace.is_complete());
+                assert_eq!(out.trace.branch_outcomes(0), vec![true]);
+                assert!(out.violation().is_none());
+            }
+            other => panic!("expected a realised path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directed_search_finds_the_concrete_violation_on_the_else_path() {
+        let p = branchy_race();
+        let plan = BranchPlan {
+            outcomes: vec![vec![false], vec![], vec![]],
+        };
+        match execute_directed(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig::default(),
+        ) {
+            DirectedOutcome::Violating(out) => {
+                let v = out.violation().expect("violation recorded");
+                assert!(v.message.contains("low value must be zero"));
+                assert_eq!(out.trace.branch_outcomes(0), vec![false]);
+            }
+            other => panic!("expected a violating path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directed_search_reports_value_infeasible_plans() {
+        // Single producer sends 5: the then-arm (v >= 10) is unreachable.
+        let mut b = ProgramBuilder::new("infeasible");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![],
+                else_ops: vec![],
+            },
+        );
+        b.send_const(p1, c, 0, 5);
+        let p = b.build().unwrap();
+        let plan = BranchPlan {
+            outcomes: vec![vec![true], vec![]],
+        };
+        match execute_directed(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig::default(),
+        ) {
+            DirectedOutcome::Infeasible { matched_branches } => {
+                assert_eq!(matched_branches, 0);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directed_search_surfaces_plan_compliant_deadlocks() {
+        // The consumer's second receive never gets a message.
+        let mut b = ProgramBuilder::new("deadlock-path");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        b.recv(c, 0);
+        b.recv(c, 0);
+        b.send_const(p1, c, 0, 1);
+        let p = b.build().unwrap();
+        let plan = BranchPlan {
+            outcomes: vec![vec![], vec![]],
+        };
+        match execute_directed(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig::default(),
+        ) {
+            DirectedOutcome::Deadlocked(out) => {
+                assert!(out.trace.deadlock);
+                assert_eq!(out.trace.receives().len(), 1);
+            }
+            other => panic!("expected deadlocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_state_budget_is_reported_not_misclassified() {
+        let p = branchy_race();
+        let plan = BranchPlan {
+            outcomes: vec![vec![true], vec![], vec![]],
+        };
+        let cfg = DirectedConfig {
+            max_states: 1,
+            deadline: None,
+        };
+        match execute_directed(&p, DeliveryModel::Unordered, &plan, cfg) {
+            DirectedOutcome::Exhausted { .. } => {}
+            other => panic!("expected exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_plan_renders_compactly() {
+        let p = branchy_race();
+        let plan = BranchPlan {
+            outcomes: vec![vec![true, false], vec![], vec![]],
+        };
+        assert_eq!(plan.render(&p), "consumer:TF");
+        let empty = BranchPlan {
+            outcomes: vec![vec![], vec![], vec![]],
+        };
+        assert_eq!(empty.render(&p), "(branch-free)");
     }
 }

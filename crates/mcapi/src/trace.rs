@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One observed step of one thread.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct Event {
     pub thread: ThreadId,
     /// Program counter of the instruction that produced this event.
@@ -21,7 +21,7 @@ pub struct Event {
 }
 
 /// What happened.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum EventKind {
     /// A (blocking or non-blocking) send was issued.
     Send {
@@ -56,6 +56,59 @@ pub enum EventKind {
     AssertOk,
     /// Assertion failed (safety violation).
     AssertFail { message: String },
+}
+
+/// One communication operation with run-specific detail (payload values,
+/// matched message ids) erased — see [`Trace::comm_signature`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CommSig {
+    /// A send: identity and destination are structural, the value is not.
+    Send {
+        /// Program counter of the send instruction.
+        pc: usize,
+        /// Canonical message identity (source thread, send index).
+        msg: MsgId,
+        /// Destination endpoint.
+        to: EndpointAddr,
+    },
+    /// A blocking receive (matched message erased).
+    Recv {
+        /// Program counter of the receive instruction.
+        pc: usize,
+        /// Receiving port.
+        port: Port,
+        /// Destination variable slot.
+        var: VarId,
+    },
+    /// A posted non-blocking receive.
+    RecvPost {
+        /// Program counter of the `recv_i` instruction.
+        pc: usize,
+        /// Receiving port.
+        port: Port,
+        /// Destination variable slot.
+        var: VarId,
+        /// Request handle.
+        req: ReqId,
+    },
+    /// A wait that bound its receive (matched message erased).
+    WaitRecv {
+        /// Program counter of the wait instruction.
+        pc: usize,
+        /// Request handle.
+        req: ReqId,
+        /// Receiving port.
+        port: Port,
+        /// Destination variable slot.
+        var: VarId,
+    },
+    /// A wait on an already-complete request.
+    WaitNoop {
+        /// Program counter of the wait instruction.
+        pc: usize,
+        /// Request handle.
+        req: ReqId,
+    },
 }
 
 /// A safety violation: which assertion failed where.
@@ -135,6 +188,63 @@ impl Trace {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Branch outcomes of every thread in program order, sized to
+    /// `num_threads` — the [`crate::sched::BranchPlan`] this trace realises.
+    pub fn branch_plan(&self, num_threads: usize) -> crate::sched::BranchPlan {
+        crate::sched::BranchPlan {
+            outcomes: (0..num_threads).map(|t| self.branch_outcomes(t)).collect(),
+        }
+    }
+
+    /// The communication skeleton of this trace: per thread, the sequence
+    /// of send/receive/wait events with payload values and concrete
+    /// matchings erased. Two traces with equal signatures issue the same
+    /// communication operations from the same program counters — the
+    /// precondition for sibling control-flow paths to share one symbolic
+    /// core encoding (only branch pins, local data flow and assertion
+    /// terms differ).
+    pub fn comm_signature(&self, num_threads: usize) -> Vec<Vec<CommSig>> {
+        let mut sig = vec![Vec::new(); num_threads];
+        for e in &self.events {
+            let s = match &e.kind {
+                EventKind::Send { msg, to, .. } => CommSig::Send {
+                    pc: e.pc,
+                    msg: *msg,
+                    to: *to,
+                },
+                EventKind::Recv { port, var, .. } => CommSig::Recv {
+                    pc: e.pc,
+                    port: *port,
+                    var: *var,
+                },
+                EventKind::RecvPost { port, var, req } => CommSig::RecvPost {
+                    pc: e.pc,
+                    port: *port,
+                    var: *var,
+                    req: *req,
+                },
+                EventKind::WaitRecv { req, port, var, .. } => CommSig::WaitRecv {
+                    pc: e.pc,
+                    req: *req,
+                    port: *port,
+                    var: *var,
+                },
+                EventKind::WaitNoop { req } => CommSig::WaitNoop {
+                    pc: e.pc,
+                    req: *req,
+                },
+                EventKind::Assign { .. }
+                | EventKind::Branch { .. }
+                | EventKind::AssertOk
+                | EventKind::AssertFail { .. } => continue,
+            };
+            if let Some(v) = sig.get_mut(e.thread) {
+                v.push(s);
+            }
+        }
+        sig
     }
 
     /// Branch outcomes per thread in program order — the part of the trace

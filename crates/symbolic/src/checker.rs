@@ -4,8 +4,8 @@
 
 use crate::encode::{EncodeStats, UniqueScope};
 use crate::matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};
-use crate::session::{CheckSession, SessionPool};
-use crate::witness::{decode_witness, replay_witness, ReplayVerdict, Witness};
+use crate::session::{CheckSession, PathSlot, SessionPool};
+use crate::witness::{decode_witness, decode_witness_with, replay_witness, ReplayVerdict, Witness};
 use mcapi::program::Program;
 use mcapi::runtime::execute_random;
 use mcapi::trace::{Trace, Violation};
@@ -44,6 +44,12 @@ pub struct CheckConfig {
     /// solver as a per-check deadline, so a single pathological SMT check
     /// degrades to `Unknown` instead of blowing past the budget.
     pub budget_ms: Option<u64>,
+    /// Absolute deadline overriding `budget_ms` when set. Multi-trace
+    /// drivers (the path-exploration layer) compute one deadline for the
+    /// whole `check_program` call and thread it through every per-path
+    /// query, so the budget spans *all* paths instead of resetting per
+    /// trace.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for CheckConfig {
@@ -56,6 +62,7 @@ impl Default for CheckConfig {
             trace_attempts: 500,
             validate: true,
             budget_ms: None,
+            deadline: None,
         }
     }
 }
@@ -66,6 +73,16 @@ impl CheckConfig {
             matchgen,
             ..Default::default()
         }
+    }
+
+    /// The absolute deadline this configuration implies: an explicit
+    /// [`CheckConfig::deadline`] wins (multi-trace drivers set it once for
+    /// the whole exploration); otherwise `budget_ms` counts from now.
+    pub fn resolve_deadline(&self) -> Option<Instant> {
+        self.deadline.or_else(|| {
+            self.budget_ms
+                .map(|ms| Instant::now() + std::time::Duration::from_millis(ms))
+        })
     }
 }
 
@@ -91,6 +108,10 @@ pub struct ConfirmedViolation {
     pub violation: Option<Violation>,
     /// Messages of the violated properties under the model.
     pub violated_props: Vec<String>,
+    /// The branch-outcome vector of the control-flow path the violation
+    /// lives on (rendered per [`mcapi::sched::BranchPlan::render`]); set
+    /// by the path-exploration engine, `None` for single-trace checks.
+    pub branch_path: Option<String>,
 }
 
 /// Full check report.
@@ -113,7 +134,14 @@ pub struct CheckReport {
     /// Solver work this query cost (delta over the session's counters, so
     /// shared-session queries report only their own share).
     pub solver_stats: smt::Stats,
-    /// The trace the analysis ran on.
+    /// Control-flow paths the engine analysed (1 for the single-trace
+    /// engines; the feasible-path count for `symbolic::paths`).
+    pub paths_explored: usize,
+    /// Paths proven unreachable and skipped (solver feasibility pruning
+    /// plus exhaustive directed-search infeasibility).
+    pub paths_pruned: usize,
+    /// The trace the analysis ran on (the violating path's trace when the
+    /// path engine found a violation).
     pub trace: Trace,
 }
 
@@ -134,6 +162,77 @@ pub fn generate_trace(program: &Program, cfg: &CheckConfig) -> Trace {
         }
     }
     fallback.expect("at least one execution attempted")
+}
+
+/// Where the traces a check runs on come from.
+///
+/// The paper's engine analyses exactly **one** trace ([`SingleTrace`]);
+/// the path-exploration layer (`symbolic::paths::PathEnumerator`)
+/// enumerates one trace per feasible control-flow path. `check_program`
+/// and `symbolic::paths::check_program_paths` are the same loop over
+/// different sources.
+pub trait TraceSource {
+    /// The next trace to analyse, or `None` when the source is exhausted.
+    fn next_trace(&mut self) -> Option<SourcedTrace>;
+    /// Did the source stop early (path budget, search budget) rather than
+    /// prove its trace space exhausted? A truncated source must degrade
+    /// the aggregate verdict to [`Verdict::Unknown`], never `Safe`.
+    fn truncated(&self) -> bool;
+    /// Why the source stopped early, when it did.
+    fn stop_reason(&self) -> Option<String> {
+        None
+    }
+    /// Traces yielded so far.
+    fn paths_explored(&self) -> usize;
+    /// Control-flow paths proven unreachable and skipped.
+    fn paths_pruned(&self) -> usize {
+        0
+    }
+}
+
+/// One trace produced by a [`TraceSource`], with its path provenance.
+pub struct SourcedTrace {
+    /// The trace to analyse.
+    pub trace: Trace,
+    /// Rendered branch-outcome vector of the path this trace realises
+    /// (`None` for the single-trace engine).
+    pub branch_path: Option<String>,
+}
+
+/// The classic source: one random complete trace, as
+/// [`generate_trace`] has always produced it.
+pub struct SingleTrace {
+    trace: Option<Trace>,
+    yielded: usize,
+}
+
+impl SingleTrace {
+    /// Generate the single trace for `program` under `cfg`.
+    pub fn new(program: &Program, cfg: &CheckConfig) -> SingleTrace {
+        SingleTrace {
+            trace: Some(generate_trace(program, cfg)),
+            yielded: 0,
+        }
+    }
+}
+
+impl TraceSource for SingleTrace {
+    fn next_trace(&mut self) -> Option<SourcedTrace> {
+        let trace = self.trace.take()?;
+        self.yielded += 1;
+        Some(SourcedTrace {
+            trace,
+            branch_path: None,
+        })
+    }
+
+    fn truncated(&self) -> bool {
+        false
+    }
+
+    fn paths_explored(&self) -> usize {
+        self.yielded
+    }
 }
 
 /// Check a program end to end: generate a trace, then [`check_trace`].
@@ -160,17 +259,22 @@ pub fn generate_trace(program: &Program, cfg: &CheckConfig) -> Trace {
 /// assert!(matches!(report.verdict, Verdict::Violation(_)));
 /// ```
 pub fn check_program(program: &Program, cfg: &CheckConfig) -> CheckReport {
-    let trace = generate_trace(program, cfg);
-    if trace.violation.is_some() {
-        return report_for_violating_trace(trace);
+    let mut source = SingleTrace::new(program, cfg);
+    let st = source
+        .next_trace()
+        .expect("the single-trace source yields once");
+    if st.trace.violation.is_some() {
+        return report_for_violating_trace(st.trace, None);
     }
-    check_trace(program, &trace, cfg)
+    check_trace(program, &st.trace, cfg)
 }
 
 /// Check a program through a [`SessionPool`]: the trace is generated
 /// exactly as [`check_program`] would, but the encoding is reused from the
 /// pool whenever a previous query ran on the same (trace events, match
-/// pairs). Returns the report and whether an existing encoding was reused.
+/// pairs) — or, via sibling-path attachment, on the same communication
+/// skeleton. Returns the report and whether an existing encoding was
+/// reused.
 ///
 /// This is the entry point for batched drivers that run several
 /// delivery-model/match-generator scenarios against one grid point.
@@ -182,19 +286,20 @@ pub fn check_program_pooled(
     let trace = generate_trace(program, cfg);
     if trace.violation.is_some() {
         // Direct violation: no encoding is built, so nothing to reuse.
-        return (report_for_violating_trace(trace), false);
+        return (report_for_violating_trace(trace, None), false);
     }
     let pairs = make_pairs(program, &trace, cfg);
-    let (session, reused) = pool.session_for(program, &trace, &pairs);
-    let mut report = check_trace_in_session(session, program, &trace, cfg);
+    let (session, slot, reused) = pool.session_for_path(program, &trace, &pairs);
+    let mut report = check_in_session_at(session, slot, program, &trace, cfg);
     report.matchgen_states = pairs.states_explored;
     report.matchgen_pairs = pairs.num_pairs();
     (report, reused)
 }
 
-/// The report for a random trace that violated a property on its own: the
-/// trace is its own witness and no solver runs.
-fn report_for_violating_trace(trace: Trace) -> CheckReport {
+/// The report for a trace that violated a property on its own (a random
+/// trace, or a directed path search hitting a concrete assertion
+/// failure): the trace is its own witness and no solver runs.
+pub(crate) fn report_for_violating_trace(trace: Trace, branch_path: Option<String>) -> CheckReport {
     let v = trace
         .violation
         .clone()
@@ -210,6 +315,7 @@ fn report_for_violating_trace(trace: Trace) -> CheckReport {
             },
             violation: Some(v.clone()),
             violated_props: vec![v.message],
+            branch_path,
         })),
         refinements: 0,
         encode_stats: EncodeStats::default(),
@@ -217,6 +323,8 @@ fn report_for_violating_trace(trace: Trace) -> CheckReport {
         matchgen_pairs: 0,
         sat_checks: 0,
         solver_stats: smt::Stats::default(),
+        paths_explored: 1,
+        paths_pruned: 0,
         trace,
     }
 }
@@ -248,13 +356,26 @@ pub fn check_trace_in_session(
     trace: &Trace,
     cfg: &CheckConfig,
 ) -> CheckReport {
+    check_in_session_at(session, PathSlot::Host, program, trace, cfg)
+}
+
+/// [`check_trace_in_session`] against an explicit path slot: the host
+/// trace or a sibling control-flow path attached to the shared core.
+/// `trace` must be the slot's own trace (used for witness replay).
+pub fn check_in_session_at(
+    session: &mut CheckSession,
+    slot: PathSlot,
+    program: &Program,
+    trace: &Trace,
+    cfg: &CheckConfig,
+) -> CheckReport {
     session.checks += 1;
-    let deadline = cfg
-        .budget_ms
-        .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+    let deadline = cfg.resolve_deadline();
     // Build (or look up) the axiom groups *before* opening the per-query
     // scope: groups are permanent, blocking clauses are not.
-    let assumptions = session.assumptions(cfg.delivery, true);
+    let assumptions = session.assumptions_for(slot, cfg.delivery, true);
+    let slot_clocks: Vec<smt::TermId> = session.clocks_for(slot).to_vec();
+    let slot_props: Vec<crate::encode::PropTerm> = session.props_for(slot).to_vec();
     let enc = &mut session.enc;
     let stats_before = *enc.solver.stats();
     let id_terms = enc.id_terms();
@@ -283,13 +404,14 @@ pub fn check_trace_in_session(
             }
             SatResult::Sat => {
                 let model = enc.solver.model().expect("model after SAT").clone();
-                let witness = decode_witness(enc, &model);
+                let witness = decode_witness_with(enc, &model, &slot_clocks, &slot_props);
                 if !cfg.validate {
                     let violated = witness.violated.clone();
                     break Verdict::Violation(Box::new(ConfirmedViolation {
                         witness,
                         violation: None,
                         violated_props: violated,
+                        branch_path: None,
                     }));
                 }
                 match replay_witness(program, trace, &witness, cfg.delivery) {
@@ -299,6 +421,7 @@ pub fn check_trace_in_session(
                             witness,
                             violation,
                             violated_props: violated,
+                            branch_path: None,
                         }));
                     }
                     ReplayVerdict::Spurious { .. } => {
@@ -328,6 +451,8 @@ pub fn check_trace_in_session(
         matchgen_pairs: 0,
         sat_checks,
         solver_stats,
+        paths_explored: 1,
+        paths_pruned: 0,
         trace: trace.clone(),
     }
 }
@@ -397,9 +522,7 @@ pub fn enumerate_matchings_in_session(
     let enc = &mut session.enc;
     let id_terms = enc.id_terms();
     let mut out = MatchingEnumeration::default();
-    let deadline = cfg
-        .budget_ms
-        .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+    let deadline = cfg.resolve_deadline();
     enc.solver.push_scope();
     loop {
         if deadline.is_some_and(|d| Instant::now() >= d) {

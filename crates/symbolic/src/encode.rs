@@ -126,7 +126,44 @@ pub struct Encoding {
     pub prop_terms: Vec<PropTerm>,
     /// Clock term per trace event index.
     pub event_clocks: Vec<TermId>,
+    /// The host trace's branch-outcome pins (PEvents), collected but not
+    /// asserted: the one-shot [`encode`] asserts them directly, while the
+    /// session layer guards them behind a path selector so sibling
+    /// control-flow paths can share this core (see
+    /// [`crate::session::CheckSession`]).
+    pub branch_terms: Vec<TermId>,
+    /// Per-thread event indices of the host trace's communication events,
+    /// used to map sibling-path traces onto the shared clock variables.
+    comm_event_idx: Vec<Vec<usize>>,
     pub stats: EncodeStats,
+}
+
+/// A sibling control-flow path mapped onto an existing core encoding: the
+/// communication skeleton (sends, receives, match pairs, uniqueness,
+/// delivery axioms) is shared; only what is listed here differs per path.
+/// Nothing is asserted yet — the session layer asserts `pins` and `chains`
+/// guarded by a fresh path selector.
+pub struct PathAttachment {
+    /// Clock term per event of the sibling trace (host clocks for
+    /// communication events, fresh variables for local events).
+    pub clocks: Vec<TermId>,
+    /// The sibling's branch-outcome pins (PEvents), unasserted.
+    pub pins: Vec<TermId>,
+    /// Program-order chain terms involving the sibling's local events,
+    /// unasserted.
+    pub chains: Vec<TermId>,
+    /// The sibling's assertion properties under its own SSA data flow.
+    pub props: Vec<PropTerm>,
+}
+
+/// Why a sibling trace could not be attached to an existing core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathAttachError {
+    /// The communication skeletons differ (event kind/pc mismatch).
+    SkeletonMismatch,
+    /// A send's symbolic payload differs between the paths (an assignment
+    /// in a branch arm feeds the send), so the cores are not shareable.
+    ValueMismatch,
 }
 
 impl Encoding {
@@ -189,6 +226,153 @@ impl Encoding {
         self.stats.theory_atoms = self.solver.num_theory_atoms();
     }
 
+    /// Map a sibling control-flow path's trace onto this core encoding.
+    ///
+    /// The sibling must issue the same communication operations from the
+    /// same program counters as the host trace
+    /// ([`mcapi::trace::Trace::comm_signature`] equality is the caller's
+    /// cheap pre-filter); this walk re-derives the sibling's SSA data flow
+    /// and verifies every send's symbolic payload coincides with the
+    /// host's (terms are hash-consed, so structural equality is `TermId`
+    /// equality). On success nothing is asserted — the caller guards the
+    /// returned pins and chains behind a path selector.
+    pub fn build_path_attachment(
+        &mut self,
+        program: &Program,
+        trace: &Trace,
+    ) -> Result<PathAttachment, PathAttachError> {
+        let n = program.threads.len();
+        if self.comm_event_idx.len() != n {
+            return Err(PathAttachError::SkeletonMismatch);
+        }
+        let zero = self.solver.int_const(0);
+        let mut env: Vec<Vec<TermId>> = program
+            .threads
+            .iter()
+            .map(|t| vec![zero; t.num_vars])
+            .collect();
+        let send_by_msg: HashMap<MsgId, usize> = self
+            .sends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.msg, i))
+            .collect();
+        let recv_by_key: HashMap<RecvKey, usize> = self
+            .recvs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.key, i))
+            .collect();
+        let mut comm_pos = vec![0usize; n];
+        let mut recv_counts = vec![0usize; n];
+        let mut prev_clock: Vec<Option<TermId>> = vec![None; n];
+        let mut att = PathAttachment {
+            clocks: Vec::with_capacity(trace.events.len()),
+            pins: Vec::new(),
+            chains: Vec::new(),
+            props: Vec::new(),
+        };
+        for ev in &trace.events {
+            let t = ev.thread;
+            if t >= n || ev.pc >= program.threads[t].code.len() {
+                return Err(PathAttachError::SkeletonMismatch);
+            }
+            let instr = program.threads[t].code[ev.pc].clone();
+            let is_comm = matches!(
+                ev.kind,
+                EventKind::Send { .. }
+                    | EventKind::Recv { .. }
+                    | EventKind::RecvPost { .. }
+                    | EventKind::WaitRecv { .. }
+                    | EventKind::WaitNoop { .. }
+            );
+            let clock = if is_comm {
+                // Reuse the host's clock variable for the aligned
+                // communication event.
+                let &host_idx = self
+                    .comm_event_idx
+                    .get(t)
+                    .and_then(|v| v.get(comm_pos[t]))
+                    .ok_or(PathAttachError::SkeletonMismatch)?;
+                comm_pos[t] += 1;
+                self.event_clocks[host_idx]
+            } else {
+                self.solver
+                    .int_var(format!("clk_path_e{}_t{t}", att.clocks.len()))
+            };
+            if let Some(prev) = prev_clock[t] {
+                // Chain the sibling's per-thread order; redundant for
+                // comm-comm pairs (implied by the host's own chains) but
+                // required wherever a fresh local clock is involved.
+                let c = self.solver.lt(prev, clock);
+                att.chains.push(c);
+                self.stats.order_constraints += 1;
+            }
+            prev_clock[t] = Some(clock);
+            att.clocks.push(clock);
+            match &ev.kind {
+                EventKind::Send { msg, .. } => {
+                    let value_expr = match &instr {
+                        Instr::Send { value, .. } | Instr::SendI { value, .. } => value,
+                        _ => return Err(PathAttachError::SkeletonMismatch),
+                    };
+                    let val = expr_term(&mut self.solver, &env[t], value_expr);
+                    let &si = send_by_msg
+                        .get(msg)
+                        .ok_or(PathAttachError::SkeletonMismatch)?;
+                    if self.sends[si].val != val {
+                        return Err(PathAttachError::ValueMismatch);
+                    }
+                }
+                EventKind::Recv { var, .. } | EventKind::WaitRecv { var, .. } => {
+                    let key = RecvKey::new(t, recv_counts[t]);
+                    recv_counts[t] += 1;
+                    let &ri = recv_by_key
+                        .get(&key)
+                        .ok_or(PathAttachError::SkeletonMismatch)?;
+                    env[t][var.0 as usize] = self.recvs[ri].val;
+                }
+                EventKind::RecvPost { .. } | EventKind::WaitNoop { .. } => {}
+                EventKind::Assign { .. } => {
+                    let Instr::Assign { var, expr } = &instr else {
+                        return Err(PathAttachError::SkeletonMismatch);
+                    };
+                    let val = expr_term(&mut self.solver, &env[t], expr);
+                    env[t][var.0 as usize] = val;
+                }
+                EventKind::Branch { taken } => {
+                    let Instr::Branch { cond, .. } = &instr else {
+                        return Err(PathAttachError::SkeletonMismatch);
+                    };
+                    let c = cond_term(&mut self.solver, &env[t], cond);
+                    let pinned = if *taken { c } else { self.solver.not(c) };
+                    att.pins.push(pinned);
+                    self.stats.event_constraints += 1;
+                }
+                EventKind::AssertOk | EventKind::AssertFail { .. } => {
+                    let Instr::Assert { cond, message } = &instr else {
+                        return Err(PathAttachError::SkeletonMismatch);
+                    };
+                    let term = cond_term(&mut self.solver, &env[t], cond);
+                    att.props.push(PropTerm {
+                        term,
+                        message: message.clone(),
+                        thread: t,
+                        pc: ev.pc,
+                    });
+                }
+            }
+        }
+        // Every host communication event must have been consumed, or the
+        // sibling is a different skeleton.
+        for (t, pos) in comm_pos.iter().enumerate() {
+            if *pos != self.comm_event_idx[t].len() {
+                return Err(PathAttachError::SkeletonMismatch);
+            }
+        }
+        Ok(att)
+    }
+
     /// Decode the match choice of a model into a canonical matching.
     pub fn matching_from_model(&self, model: &Model) -> Matching {
         let by_id: HashMap<i64, MsgId> = self.sends.iter().map(|s| (s.id, s.msg)).collect();
@@ -209,7 +393,7 @@ impl Encoding {
 }
 
 /// Translate a DSL expression under an SSA environment.
-fn expr_term(solver: &mut SmtSolver, env: &[TermId], e: &Expr) -> TermId {
+pub(crate) fn expr_term(solver: &mut SmtSolver, env: &[TermId], e: &Expr) -> TermId {
     match e {
         Expr::Const(c) => solver.int_const(*c),
         Expr::Var(v) => env[v.0 as usize],
@@ -221,7 +405,7 @@ fn expr_term(solver: &mut SmtSolver, env: &[TermId], e: &Expr) -> TermId {
 }
 
 /// Translate a DSL condition under an SSA environment.
-fn cond_term(solver: &mut SmtSolver, env: &[TermId], c: &Cond) -> TermId {
+pub(crate) fn cond_term(solver: &mut SmtSolver, env: &[TermId], c: &Cond) -> TermId {
     match c {
         Cond::True => solver.tru(),
         Cond::False => solver.fls(),
@@ -265,6 +449,8 @@ pub fn encode(
     opts: EncodeOptions,
 ) -> Encoding {
     let mut enc = encode_core(program, trace, pairs, opts.unique_scope);
+    let pins = enc.branch_terms.clone();
+    enc.assert_terms(pins);
     let axioms = enc.delivery_axioms(opts.delivery);
     enc.assert_terms(axioms);
     let props = enc.props_term(opts.negate_props);
@@ -300,7 +486,9 @@ pub fn encode_core(
     let mut sends: Vec<SendVar> = Vec::new();
     let mut recvs: Vec<RecvVar> = Vec::new();
     let mut prop_terms: Vec<PropTerm> = Vec::new();
+    let mut branch_terms: Vec<TermId> = Vec::new();
     let mut event_clocks: Vec<TermId> = Vec::with_capacity(trace.events.len());
+    let mut comm_event_idx: Vec<Vec<usize>> = vec![Vec::new(); n];
 
     // ---- walk the trace: clocks, POrder (program order), PEvents ----
     for (idx, ev) in trace.events.iter().enumerate() {
@@ -313,6 +501,16 @@ pub fn encode_core(
         }
         prev_clock[t] = Some(clock);
         event_clocks.push(clock);
+        if matches!(
+            ev.kind,
+            EventKind::Send { .. }
+                | EventKind::Recv { .. }
+                | EventKind::RecvPost { .. }
+                | EventKind::WaitRecv { .. }
+                | EventKind::WaitNoop { .. }
+        ) {
+            comm_event_idx[t].push(idx);
+        }
         let instr = program.threads[t].code[ev.pc].clone();
         match &ev.kind {
             EventKind::Send { msg, to, .. } => {
@@ -378,9 +576,11 @@ pub fn encode_core(
                 };
                 // PEvents: the symbolic execution must follow the same
                 // sequence of conditional branch outcomes as the trace.
+                // Collected unasserted: `encode` asserts them directly,
+                // sessions guard them behind a path selector.
                 let c = cond_term(&mut solver, &env[t], cond);
                 let pinned = if *taken { c } else { solver.not(c) };
-                solver.assert_term(pinned);
+                branch_terms.push(pinned);
                 stats.event_constraints += 1;
             }
             EventKind::AssertOk | EventKind::AssertFail { .. } => {
@@ -447,6 +647,8 @@ pub fn encode_core(
         recvs,
         prop_terms,
         event_clocks,
+        branch_terms,
+        comm_event_idx,
         stats,
     }
 }

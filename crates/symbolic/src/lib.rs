@@ -32,6 +32,12 @@
 //! it proposes as future work (destination-endpoint filtering) — which
 //! [`checker`] makes sound with a validate-by-replay refinement loop.
 //!
+//! The engine above answers for **one** control-flow path (the trace's
+//! branch outcomes, pinned by `PEvents`). The [`paths`] module closes
+//! that scope: it enumerates every feasible branch-outcome vector,
+//! realises each under a directed scheduler, and checks the resulting
+//! traces on shared incremental encodings — a whole-program verdict.
+//!
 //! ## End-to-end example
 //!
 //! ```
@@ -59,13 +65,16 @@
 pub mod checker;
 pub mod encode;
 pub mod matchpairs;
+pub mod paths;
 pub mod session;
 pub mod witness;
 
 pub use checker::{
-    check_program, check_trace, enumerate_matchings, CheckConfig, CheckReport, MatchGen, Verdict,
+    check_program, check_trace, enumerate_matchings, CheckConfig, CheckReport, MatchGen,
+    TraceSource, Verdict,
 };
 pub use encode::{encode, EncodeOptions, EncodeStats, Encoding};
 pub use matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};
-pub use session::{CheckSession, SessionPool};
+pub use paths::{check_program_paths, check_program_paths_pooled, PathEnumerator, PathsConfig};
+pub use session::{CheckSession, PathSlot, SessionPool};
 pub use witness::{replay_witness, ReplayVerdict, Witness};

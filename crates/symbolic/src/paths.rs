@@ -1,0 +1,910 @@
+//! Branch-complete symbolic checking: the path-exploration layer.
+//!
+//! The paper's engine is *trace-based*: `PEvents` pins every branch
+//! outcome to the one generated trace, so a violation hiding in an
+//! untaken branch is invisible. This module closes that gap the way
+//! MPI-SV does for MPI programs — enumerate control-flow paths and hand
+//! each one to the per-execution checker:
+//!
+//! 1. **Enumerate** the static path space
+//!    ([`mcapi::sched::program_paths`]): per thread, every branch-outcome
+//!    sequence its loop-free code admits; a program path is one
+//!    combination ([`BranchPlan`]).
+//! 2. **Prune** value-infeasible paths with the solver ([`PathPruner`]):
+//!    assert the branch-condition prefix over an over-approximation of
+//!    each receive's possible values (any payload some send addresses to
+//!    its endpoint) and `check` before replaying. UNSAT is definitive —
+//!    no execution can drive the branches that way — and because the
+//!    domains are satisfiable, at most one outcome of a branch is ever
+//!    pruned, so every realizable prefix survives in some explored
+//!    sibling.
+//! 3. **Replay** surviving paths under the directed scheduler
+//!    ([`mcapi::sched::execute_directed`]): an exhaustive DFS over
+//!    schedules that forces each `Branch` to the prescribed outcome,
+//!    yielding one concrete trace per feasible path (or a definitive
+//!    infeasibility report).
+//! 4. **Check** each trace through the session-based checker. Sibling
+//!    paths of one program share the encoded communication core through
+//!    [`SessionPool::session_for_path`]; only branch pins, local chains
+//!    and assertion terms are per-path groups.
+//!
+//! The aggregate is a single [`CheckReport`]: `Violation` as soon as any
+//! path violates (with the branch vector in
+//! [`crate::checker::ConfirmedViolation::branch_path`]), `Safe` only when
+//! every path was covered, and `Unknown` whenever the frontier was
+//! truncated (`max_paths`), a search budget ran out, or the shared
+//! wall-clock deadline expired — never a silent `Safe`.
+
+use crate::checker::{
+    make_pairs, report_for_violating_trace, CheckConfig, CheckReport, SourcedTrace, TraceSource,
+    Verdict,
+};
+use crate::encode::{cond_term, EncodeStats};
+use crate::session::SessionPool;
+use mcapi::expr::Expr;
+use mcapi::program::{Instr, Program};
+use mcapi::sched::{execute_directed, program_paths, BranchPlan, DirectedConfig, DirectedOutcome};
+use mcapi::trace::Trace;
+use mcapi::types::EndpointAddr;
+use smt::{SatResult, SmtSolver, TermId};
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
+
+/// Configuration of one path-complete check.
+#[derive(Clone, Copy, Debug)]
+pub struct PathsConfig {
+    /// The per-path checker configuration (delivery model, match
+    /// generator, budget). `budget_ms` spans the *whole* path exploration:
+    /// one deadline is computed up front and threaded through every
+    /// per-path query via [`CheckConfig::deadline`].
+    pub check: CheckConfig,
+    /// Maximum number of paths to explore. When the static path space is
+    /// larger, the verdict degrades to [`Verdict::Unknown`] (never a
+    /// silent `Safe`) unless a violation was found first.
+    pub max_paths: usize,
+    /// Visited-state cap for each directed schedule search.
+    pub search_max_states: usize,
+    /// Share one encoded communication core across sibling paths (the
+    /// default). Disable to re-encode every path from scratch — the
+    /// baseline the CI perf gate compares against.
+    pub session_reuse: bool,
+}
+
+impl Default for PathsConfig {
+    fn default() -> Self {
+        PathsConfig {
+            check: CheckConfig::default(),
+            max_paths: 256,
+            search_max_states: 200_000,
+            session_reuse: true,
+        }
+    }
+}
+
+/// Solver-backed feasibility pruning: is there *any* assignment of
+/// receive values (over-approximated by the payloads sends address to
+/// each endpoint) that drives the branches the way a plan prescribes?
+///
+/// The over-approximation ignores ordering, multiplicity and delivery
+/// discipline, so `UNSAT` proves the plan infeasible while `SAT` proves
+/// nothing — the directed search stays the exact oracle. Receive domains
+/// are always satisfiable (an endpoint nobody sends to leaves the value
+/// unconstrained), so for every branch at most one outcome can be pruned.
+pub struct PathPruner {
+    solver: SmtSolver,
+    /// Over-approximate payload terms per destination endpoint.
+    sends_to: BTreeMap<EndpointAddr, Vec<TermId>>,
+    /// Feasibility queries answered.
+    pub queries: usize,
+}
+
+impl PathPruner {
+    /// Collect every static send's payload as a term over fresh
+    /// unconstrained variables (a sound over-approximation of the values
+    /// that can ever reach each endpoint).
+    pub fn new(program: &Program) -> PathPruner {
+        let mut solver = SmtSolver::new();
+        let mut sends_to: BTreeMap<EndpointAddr, Vec<TermId>> = BTreeMap::new();
+        let mut fresh = 0usize;
+        for thread in &program.threads {
+            for instr in &thread.code {
+                let (to, value) = match instr {
+                    Instr::Send { to, value } | Instr::SendI { to, value, .. } => (to, value),
+                    _ => continue,
+                };
+                let term = Self::overapprox_expr(&mut solver, value, &mut fresh);
+                sends_to.entry(*to).or_default().push(term);
+            }
+        }
+        PathPruner {
+            solver,
+            sends_to,
+            queries: 0,
+        }
+    }
+
+    /// A payload expression with every variable read replaced by a fresh
+    /// unconstrained integer (the sender's locals are unknown here).
+    fn overapprox_expr(solver: &mut SmtSolver, e: &Expr, fresh: &mut usize) -> TermId {
+        match e {
+            Expr::Const(c) => solver.int_const(*c),
+            Expr::Var(_) => {
+                *fresh += 1;
+                solver.int_var(format!("ovr_{fresh}"))
+            }
+            Expr::AddConst(inner, c) => {
+                let t = Self::overapprox_expr(solver, inner, fresh);
+                solver.add_const(t, *c)
+            }
+        }
+    }
+
+    /// Is `plan` provably value-infeasible? Walks each thread's code along
+    /// the prescribed outcomes, constrains receive values to their
+    /// endpoint's over-approximate send payloads, asserts the pinned
+    /// branch conditions, and asks the solver.
+    pub fn is_infeasible(&mut self, program: &Program, plan: &BranchPlan) -> bool {
+        self.queries += 1;
+        self.solver.push_scope();
+        let zero = self.solver.int_const(0);
+        'threads: for (t, thread) in program.threads.iter().enumerate() {
+            let mut env: Vec<TermId> = vec![zero; thread.num_vars];
+            let mut pc = 0usize;
+            let mut branch_idx = 0usize;
+            let mut steps = 0usize;
+            while pc < thread.code.len() {
+                steps += 1;
+                if steps > thread.code.len() + 1 {
+                    break 'threads; // cyclic code: leave pruning to search
+                }
+                match &thread.code[pc] {
+                    Instr::Recv { port, var } | Instr::RecvI { port, var, .. } => {
+                        // Non-blocking receives bind their value no later
+                        // than the wait; for value feasibility the binding
+                        // point is irrelevant.
+                        self.bind_recv(t, *port, *var, &mut env);
+                        pc += 1;
+                    }
+                    Instr::Branch { cond, else_target } => {
+                        let Some(&taken) = plan.outcomes[t].get(branch_idx) else {
+                            break; // plan shorter than the walk: stop pinning
+                        };
+                        branch_idx += 1;
+                        let c = cond_term(&mut self.solver, &env, cond);
+                        let pinned = if taken { c } else { self.solver.not(c) };
+                        self.solver.assert_term(pinned);
+                        pc = if taken { pc + 1 } else { *else_target };
+                    }
+                    Instr::Jump { target } => {
+                        if *target <= pc {
+                            break 'threads; // cyclic code
+                        }
+                        pc = *target;
+                    }
+                    Instr::Assign { var, expr } => {
+                        let term = crate::encode::expr_term(&mut self.solver, &env, expr);
+                        env[var.0 as usize] = term;
+                        pc += 1;
+                    }
+                    Instr::Send { .. }
+                    | Instr::SendI { .. }
+                    | Instr::Wait { .. }
+                    | Instr::Assert { .. } => pc += 1,
+                }
+            }
+        }
+        let infeasible = self.solver.check() == SatResult::Unsat;
+        self.solver.pop_scope();
+        infeasible
+    }
+
+    /// Fresh receive-value variable constrained to the endpoint's
+    /// over-approximate payload domain (unconstrained when nobody sends
+    /// there — the domain must stay satisfiable for pruning to be sound).
+    fn bind_recv(
+        &mut self,
+        thread: usize,
+        port: mcapi::types::Port,
+        var: mcapi::types::VarId,
+        env: &mut [TermId],
+    ) -> TermId {
+        let v = self
+            .solver
+            .int_var(format!("prune_t{thread}_v{}_{}", var.0, self.queries));
+        if let Some(cands) = self.sends_to.get(&EndpointAddr::new(thread, port)) {
+            if !cands.is_empty() {
+                let eqs: Vec<TermId> = cands.iter().map(|&c| self.solver.eq(v, c)).collect();
+                let dom = self.solver.or(eqs);
+                self.solver.assert_term(dom);
+            }
+        }
+        env[var.0 as usize] = v;
+        v
+    }
+}
+
+/// What one explored path contributed.
+enum PathStep {
+    /// Proven unreachable before (or by) the directed search.
+    Pruned,
+    /// A concrete violating execution — terminal for the whole check.
+    ConcreteViolation(Trace),
+    /// A realised trace for the symbolic checker (deduplicated).
+    Trace(Trace),
+    /// Already analysed via an identical trace (deadlocking prefixes can
+    /// be shared by several plans).
+    Duplicate,
+    /// Search budget exhausted: this path is unresolved.
+    Unresolved(String),
+}
+
+/// The path frontier: enumerates [`BranchPlan`]s in a deterministic
+/// mixed-radix order, prunes, replays, and yields one trace per feasible
+/// path. Implements [`TraceSource`], making `check_program_paths` the
+/// same loop as `check_program` over a different source.
+pub struct PathEnumerator<'a> {
+    program: &'a Program,
+    cfg: PathsConfig,
+    deadline: Option<Instant>,
+    /// Per-thread static outcome vectors.
+    space: Vec<Vec<Vec<bool>>>,
+    /// Next path index (mixed-radix over `space`).
+    next: usize,
+    /// Total static paths (saturating).
+    total: usize,
+    pruner: PathPruner,
+    seen_traces: HashSet<Vec<mcapi::trace::Event>>,
+    explored: usize,
+    pruned: usize,
+    /// Some part of the path space was not covered (frontier budget, time
+    /// budget, or an unresolved directed search).
+    truncated: bool,
+    /// Hard stop: no further paths will be yielded.
+    stopped: bool,
+    stop_reason: Option<String>,
+}
+
+impl<'a> PathEnumerator<'a> {
+    /// Build the frontier for `program`. Fails (with the reason) when the
+    /// static path space cannot be enumerated — cyclic flat code or a
+    /// per-thread explosion — in which case callers must answer `Unknown`.
+    pub fn new(program: &'a Program, cfg: &PathsConfig) -> Result<PathEnumerator<'a>, String> {
+        let space = program_paths(program, 4096).map_err(|e| e.to_string())?;
+        let total = space
+            .iter()
+            .map(Vec::len)
+            .try_fold(1usize, |a, b| a.checked_mul(b))
+            .unwrap_or(usize::MAX);
+        let deadline = cfg.check.resolve_deadline();
+        Ok(PathEnumerator {
+            program,
+            cfg: *cfg,
+            deadline,
+            space,
+            next: 0,
+            total,
+            pruner: PathPruner::new(program),
+            seen_traces: HashSet::new(),
+            explored: 0,
+            pruned: 0,
+            truncated: false,
+            stopped: false,
+            stop_reason: None,
+        })
+    }
+
+    /// Total static paths (before pruning).
+    pub fn total_paths(&self) -> usize {
+        self.total
+    }
+
+    /// The plan at mixed-radix index `i`.
+    fn plan_at(&self, mut i: usize) -> BranchPlan {
+        let mut outcomes = Vec::with_capacity(self.space.len());
+        for per_thread in &self.space {
+            let k = i % per_thread.len();
+            i /= per_thread.len();
+            outcomes.push(per_thread[k].clone());
+        }
+        BranchPlan { outcomes }
+    }
+
+    /// Advance one path; `None` when the frontier is exhausted or stopped.
+    fn step(&mut self) -> Option<(BranchPlan, PathStep)> {
+        if self.stopped || self.next >= self.total {
+            return None;
+        }
+        if self.next >= self.cfg.max_paths {
+            self.truncated = true;
+            self.stopped = true;
+            self.stop_reason = Some(format!(
+                "path frontier truncated at {} of {} static paths (--max-paths)",
+                self.next, self.total
+            ));
+            return None;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.truncated = true;
+            self.stopped = true;
+            self.stop_reason = Some("time budget exhausted during path exploration".into());
+            return None;
+        }
+        let plan = self.plan_at(self.next);
+        self.next += 1;
+        if self.pruner.is_infeasible(self.program, &plan) {
+            self.pruned += 1;
+            return Some((plan, PathStep::Pruned));
+        }
+        let dcfg = DirectedConfig {
+            max_states: self.cfg.search_max_states,
+            deadline: self.deadline,
+        };
+        let step = match execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg) {
+            DirectedOutcome::Infeasible { .. } => {
+                self.pruned += 1;
+                PathStep::Pruned
+            }
+            DirectedOutcome::Violating(out) => {
+                self.explored += 1;
+                self.stopped = true; // terminal: the check ends here
+                PathStep::ConcreteViolation(out.trace)
+            }
+            DirectedOutcome::Realized(out) | DirectedOutcome::Deadlocked(out) => {
+                self.explored += 1;
+                if self.seen_traces.insert(out.trace.events.clone()) {
+                    PathStep::Trace(out.trace)
+                } else {
+                    PathStep::Duplicate
+                }
+            }
+            DirectedOutcome::Exhausted { states } => {
+                self.explored += 1;
+                PathStep::Unresolved(format!(
+                    "directed search budget exhausted after {states} states on path {}",
+                    plan.render(self.program)
+                ))
+            }
+        };
+        Some((plan, step))
+    }
+}
+
+impl TraceSource for PathEnumerator<'_> {
+    fn next_trace(&mut self) -> Option<SourcedTrace> {
+        loop {
+            let (_plan, step) = self.step()?;
+            match step {
+                PathStep::Pruned | PathStep::Duplicate => continue,
+                PathStep::Trace(trace) | PathStep::ConcreteViolation(trace) => {
+                    // Render the branch vector the trace actually
+                    // executed, not the prescription: a deadlocking
+                    // prefix shared by several plans must not report
+                    // outcomes of branches it never reached.
+                    let executed = trace.branch_plan(self.program.threads.len());
+                    return Some(SourcedTrace {
+                        branch_path: Some(executed.render(self.program)),
+                        trace,
+                    });
+                }
+                PathStep::Unresolved(why) => {
+                    // Record the unresolved path and keep exploring: a
+                    // later violation still wins, but `Safe` is out.
+                    self.truncated = true;
+                    if self.stop_reason.is_none() {
+                        self.stop_reason = Some(why);
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    fn stop_reason(&self) -> Option<String> {
+        self.stop_reason.clone()
+    }
+
+    fn paths_explored(&self) -> usize {
+        self.explored
+    }
+
+    fn paths_pruned(&self) -> usize {
+        self.pruned
+    }
+}
+
+/// Path-complete check of a whole program: every feasible control-flow
+/// path is generated and run through the per-execution symbolic checker.
+/// See the module docs for the pipeline and the verdict semantics.
+///
+/// ```
+/// use mcapi::builder::ProgramBuilder;
+/// use mcapi::expr::{Cond, Expr};
+/// use mcapi::program::Op;
+/// use mcapi::types::CmpOp;
+/// use symbolic::checker::Verdict;
+/// use symbolic::paths::{check_program_paths, PathsConfig};
+///
+/// // The violation hides in the arm a first trace rarely takes: the
+/// // trace-pinned engine misses it, the path engine cannot.
+/// let mut b = ProgramBuilder::new("gate");
+/// let w = b.thread("worker");
+/// let p1 = b.thread("fast");
+/// let p2 = b.thread("slow");
+/// let v = b.recv(w, 0);
+/// b.push_op(
+///     w,
+///     Op::If {
+///         cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(10)),
+///         then_ops: vec![],
+///         else_ops: vec![Op::Assert {
+///             cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(10)),
+///             message: "slow token slipped through".into(),
+///         }],
+///     },
+/// );
+/// b.recv(w, 0);
+/// b.send_const(p1, w, 0, 10);
+/// b.send_const(p2, w, 0, 20);
+/// let program = b.build().unwrap();
+///
+/// let report = check_program_paths(&program, &PathsConfig::default());
+/// assert!(matches!(report.verdict, Verdict::Violation(_)));
+/// assert!(report.paths_explored >= 2);
+/// ```
+pub fn check_program_paths(program: &Program, cfg: &PathsConfig) -> CheckReport {
+    let mut pool = SessionPool::new();
+    check_program_paths_pooled(&mut pool, program, cfg).0
+}
+
+/// [`check_program_paths`] through a caller-owned [`SessionPool`], so
+/// batched drivers can share encoded cores across the delivery models and
+/// engines of one grid point as well as across sibling paths. Returns the
+/// report and whether any existing encoding was reused.
+pub fn check_program_paths_pooled(
+    pool: &mut SessionPool,
+    program: &Program,
+    cfg: &PathsConfig,
+) -> (CheckReport, bool) {
+    let mut enumerator = match PathEnumerator::new(program, cfg) {
+        Ok(e) => e,
+        Err(why) => {
+            let trace = mcapi::runtime::execute_random(program, cfg.check.delivery, 0).trace;
+            return (
+                CheckReport {
+                    verdict: Verdict::Unknown(format!("path enumeration failed: {why}")),
+                    refinements: 0,
+                    encode_stats: EncodeStats::default(),
+                    matchgen_states: 0,
+                    matchgen_pairs: 0,
+                    sat_checks: 0,
+                    solver_stats: smt::Stats::default(),
+                    paths_explored: 0,
+                    paths_pruned: 0,
+                    trace,
+                },
+                false,
+            );
+        }
+    };
+    // One deadline spans the whole exploration; every per-path query gets
+    // the same absolute deadline instead of restarting its own budget.
+    let per_path_cfg = CheckConfig {
+        deadline: enumerator.deadline,
+        ..cfg.check
+    };
+
+    let mut agg = Aggregate::default();
+    // Reported reuse is whether the *first* path landed on an encoding a
+    // previous scenario built — internal sibling-path sharing is visible
+    // through `SessionPool::paths_attached` instead, so batch-level
+    // `encodings_built` accounting stays comparable across engines.
+    let mut first_reuse: Option<bool> = None;
+    let mut unknown: Option<String> = None;
+    let mut verdict: Option<Verdict> = None;
+    let mut violating: Option<(Trace, Option<String>)> = None;
+
+    while let Some(st) = enumerator.next_trace() {
+        if st.trace.violation.is_some() {
+            // The directed search hit a concrete assertion failure: the
+            // trace is its own witness, no solver needed.
+            violating = Some((st.trace, st.branch_path));
+            break;
+        }
+        let (report, reused) = if cfg.session_reuse {
+            check_path_trace(pool, program, &st.trace, &per_path_cfg)
+        } else {
+            let mut fresh = SessionPool::new();
+            check_path_trace(&mut fresh, program, &st.trace, &per_path_cfg)
+        };
+        first_reuse.get_or_insert(reused);
+        agg.fold(&report);
+        match report.verdict {
+            Verdict::Violation(mut cv) => {
+                cv.branch_path = st.branch_path;
+                verdict = Some(Verdict::Violation(cv));
+                agg.last_trace = Some(st.trace);
+                break;
+            }
+            Verdict::Safe => {
+                agg.last_trace = Some(st.trace);
+            }
+            Verdict::Unknown(why) => {
+                unknown.get_or_insert(why);
+                agg.last_trace = Some(st.trace);
+            }
+        }
+    }
+
+    if let Some((trace, path)) = violating {
+        let mut report = report_for_violating_trace(trace, path);
+        agg.fold_counters_into(&mut report);
+        report.paths_explored = enumerator.paths_explored();
+        report.paths_pruned = enumerator.paths_pruned();
+        return (report, first_reuse.unwrap_or(false));
+    }
+
+    let final_verdict = match verdict {
+        Some(v) => v,
+        None => {
+            if let Some(why) = unknown {
+                Verdict::Unknown(why)
+            } else if enumerator.truncated() {
+                Verdict::Unknown(
+                    enumerator
+                        .stop_reason()
+                        .unwrap_or_else(|| "path frontier truncated".into()),
+                )
+            } else {
+                Verdict::Safe
+            }
+        }
+    };
+    let trace = agg
+        .last_trace
+        .take()
+        .unwrap_or_else(|| mcapi::runtime::execute_random(program, cfg.check.delivery, 0).trace);
+    let report = CheckReport {
+        verdict: final_verdict,
+        refinements: agg.refinements,
+        encode_stats: agg.encode_stats,
+        matchgen_states: agg.matchgen_states,
+        matchgen_pairs: agg.matchgen_pairs,
+        sat_checks: agg.sat_checks,
+        solver_stats: agg.solver_stats,
+        paths_explored: enumerator.paths_explored(),
+        paths_pruned: enumerator.paths_pruned(),
+        trace,
+    };
+    (report, first_reuse.unwrap_or(false))
+}
+
+/// Run one path's trace through the pooled session checker.
+fn check_path_trace(
+    pool: &mut SessionPool,
+    program: &Program,
+    trace: &Trace,
+    cfg: &CheckConfig,
+) -> (CheckReport, bool) {
+    let pairs = make_pairs(program, trace, cfg);
+    let (session, slot, reused) = pool.session_for_path(program, trace, &pairs);
+    let mut report = crate::checker::check_in_session_at(session, slot, program, trace, cfg);
+    report.matchgen_states = pairs.states_explored;
+    report.matchgen_pairs = pairs.num_pairs();
+    (report, reused)
+}
+
+/// Counter aggregation across per-path reports.
+#[derive(Default)]
+struct Aggregate {
+    refinements: usize,
+    sat_checks: usize,
+    matchgen_states: usize,
+    matchgen_pairs: usize,
+    solver_stats: smt::Stats,
+    encode_stats: EncodeStats,
+    last_trace: Option<Trace>,
+}
+
+impl Aggregate {
+    fn fold(&mut self, report: &CheckReport) {
+        self.refinements += report.refinements;
+        self.sat_checks += report.sat_checks;
+        self.matchgen_states += report.matchgen_states;
+        self.matchgen_pairs = self.matchgen_pairs.max(report.matchgen_pairs);
+        self.solver_stats.merge(&report.solver_stats);
+        // Encode stats are formula *sizes*, not work counters: keep the
+        // last path's (= the shared core's size under session reuse, one
+        // representative core without). Work totals live in solver_stats.
+        self.encode_stats = report.encode_stats;
+    }
+
+    fn fold_counters_into(&self, report: &mut CheckReport) {
+        report.refinements = self.refinements;
+        report.sat_checks = self.sat_checks;
+        report.matchgen_states = self.matchgen_states;
+        report.matchgen_pairs = self.matchgen_pairs;
+        report.solver_stats = self.solver_stats;
+        report.encode_stats = self.encode_stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_program, MatchGen};
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::expr::{Cond, Expr};
+    use mcapi::program::Op;
+    use mcapi::types::{CmpOp, DeliveryModel};
+
+    /// The gatekeeper shape: the violation hides in the branch arm the
+    /// deterministic first trace does not take.
+    fn gatekeeper() -> Program {
+        let mut b = ProgramBuilder::new("gatekeeper");
+        let fast = b.thread("fast");
+        let slow = b.thread("slow");
+        let gate = b.thread("gate");
+        let worker = b.thread("worker");
+        b.send_const(fast, gate, 0, 10);
+        b.send_const(slow, gate, 0, 20);
+        let token = b.recv(gate, 0);
+        b.recv(gate, 0);
+        b.send_var(gate, worker, 0, token);
+        let v = b.recv(worker, 0);
+        b.push_op(
+            worker,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(0),
+                }],
+                else_ops: vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(10)),
+                    message: "the slow token slipped through the gate".into(),
+                }],
+            },
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paths_engine_closes_the_gatekeeper_gap() {
+        let p = gatekeeper();
+        let report = check_program_paths(&p, &PathsConfig::default());
+        match &report.verdict {
+            Verdict::Violation(cv) => {
+                assert!(cv
+                    .violated_props
+                    .iter()
+                    .any(|m| m.contains("slipped through")));
+                let path = cv.branch_path.as_deref().expect("witness names its path");
+                assert!(path.contains("worker:F"), "{path}");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert!(report.paths_explored >= 1);
+    }
+
+    #[test]
+    fn value_infeasible_arm_is_pruned_and_safe() {
+        // All payloads are <= 20; the (v > 100) arm can never execute, so
+        // its always-false assertion must not produce a violation — and
+        // the pruner must kill the path before any directed search.
+        let mut b = ProgramBuilder::new("infeasible-arm");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        let p2 = b.thread("p2");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Gt, Expr::Var(v), Expr::Const(100)),
+                then_ops: vec![Op::Assert {
+                    cond: Cond::False,
+                    message: "unreachable arm".into(),
+                }],
+                else_ops: vec![],
+            },
+        );
+        b.recv(c, 0);
+        b.send_const(p1, c, 0, 10);
+        b.send_const(p2, c, 0, 20);
+        let p = b.build().unwrap();
+        let report = check_program_paths(&p, &PathsConfig::default());
+        assert!(
+            matches!(report.verdict, Verdict::Safe),
+            "{:?}",
+            report.verdict
+        );
+        assert!(report.paths_pruned >= 1, "the pruner must kill the arm");
+    }
+
+    #[test]
+    fn pruner_is_definitive_only_for_unsat() {
+        let p = gatekeeper();
+        let mut pruner = PathPruner::new(&p);
+        let feasible = BranchPlan {
+            outcomes: vec![vec![], vec![], vec![], vec![false]],
+        };
+        assert!(!pruner.is_infeasible(&p, &feasible));
+        let then_arm = BranchPlan {
+            outcomes: vec![vec![], vec![], vec![], vec![true]],
+        };
+        assert!(!pruner.is_infeasible(&p, &then_arm));
+    }
+
+    #[test]
+    fn branch_free_programs_match_the_single_trace_engine() {
+        // On branch-free programs the path space is a single path, so the
+        // two engines must agree everywhere.
+        let programs = [
+            ("fig1", fig1()),
+            ("race", race_with_assert()),
+            ("safe", safe_pipeline()),
+        ];
+        for (name, p) in &programs {
+            for delivery in DeliveryModel::ALL {
+                let cfg = CheckConfig {
+                    delivery,
+                    matchgen: MatchGen::OverApprox,
+                    ..CheckConfig::default()
+                };
+                let single = check_program(p, &cfg);
+                let paths = check_program_paths(
+                    p,
+                    &PathsConfig {
+                        check: cfg,
+                        ..PathsConfig::default()
+                    },
+                );
+                assert_eq!(
+                    std::mem::discriminant(&single.verdict),
+                    std::mem::discriminant(&paths.verdict),
+                    "{name}/{delivery}: single {:?} vs paths {:?}",
+                    single.verdict,
+                    paths.verdict,
+                );
+                assert_eq!(paths.paths_explored, 1, "{name} is branch-free");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frontier_degrades_to_unknown_never_safe() {
+        // branchy-style program with 2 paths and max_paths = 1: the
+        // unexplored path must surface as Unknown.
+        let p = gatekeeper();
+        let cfg = PathsConfig {
+            max_paths: 1,
+            ..PathsConfig::default()
+        };
+        let report = check_program_paths(&p, &cfg);
+        match &report.verdict {
+            Verdict::Unknown(why) => assert!(why.contains("truncated"), "{why}"),
+            Verdict::Violation(_) => {
+                // Acceptable only if the single explored path already
+                // violates — it does not for gatekeeper's path order, so
+                // treat this as a failure to keep the test sharp.
+                panic!("first path should be the safe then-arm");
+            }
+            Verdict::Safe => panic!("truncation must never yield Safe"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_spans_all_paths() {
+        let p = gatekeeper();
+        let cfg = PathsConfig {
+            check: CheckConfig {
+                budget_ms: Some(0),
+                ..CheckConfig::default()
+            },
+            ..PathsConfig::default()
+        };
+        let report = check_program_paths(&p, &cfg);
+        match &report.verdict {
+            Verdict::Unknown(why) => assert!(why.contains("budget"), "{why}"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_reuse_shares_cores_across_sibling_paths() {
+        // branchy(2): four paths, one communication skeleton.
+        let p = branchy2();
+        let mut pool = SessionPool::new();
+        let cfg = PathsConfig::default();
+        let (report, _) = check_program_paths_pooled(&mut pool, &p, &cfg);
+        assert!(
+            matches!(report.verdict, Verdict::Safe),
+            "{:?}",
+            report.verdict
+        );
+        assert!(report.paths_explored >= 2);
+        assert_eq!(pool.encodings_built, 1, "sibling paths share one core");
+        assert!(pool.paths_attached >= 1);
+    }
+
+    // ---- fixture programs ----
+
+    fn fig1() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.recv(t1, 0);
+        b.send_const(t1, t0, 0, 100);
+        b.send_const(t2, t0, 0, 200);
+        b.send_const(t2, t1, 0, 300);
+        b.build().unwrap()
+    }
+
+    fn race_with_assert() -> Program {
+        let mut b = ProgramBuilder::new("race");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        let a = b.recv(t0, 0);
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(a), Expr::Const(1)),
+            "p1 first",
+        );
+        b.send_const(t1, t0, 0, 1);
+        b.send_const(t2, t0, 0, 2);
+        b.build().unwrap()
+    }
+
+    fn safe_pipeline() -> Program {
+        let mut b = ProgramBuilder::new("safe");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let v = b.recv(t0, 0);
+        b.assert_cond(
+            t0,
+            Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(7)),
+            "is 7",
+        );
+        b.send_const(t1, t0, 0, 7);
+        b.build().unwrap()
+    }
+
+    fn branchy2() -> Program {
+        let mut b = ProgramBuilder::new("branchy-2");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        let p2 = b.thread("p2");
+        for _ in 0..2 {
+            let v = b.recv(c, 0);
+            b.push_op(
+                c,
+                Op::If {
+                    cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(50)),
+                    then_ops: vec![Op::Assert {
+                        cond: Cond::cmp(CmpOp::Le, Expr::Var(v), Expr::Const(100)),
+                        message: "high within bound".into(),
+                    }],
+                    else_ops: vec![Op::Assert {
+                        cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(1)),
+                        message: "low within bound".into(),
+                    }],
+                },
+            );
+        }
+        for k in 0..2 {
+            b.send_const(p1, c, 0, 10 * k + 1);
+            b.send_const(p2, c, 0, 10 * k + 52);
+        }
+        for _ in 0..2 {
+            b.recv(c, 0);
+        }
+        b.build().unwrap()
+    }
+}

@@ -2,14 +2,27 @@
 //!
 //! The pipeline re-solves closely related formulas many times — once per
 //! delivery model, once per match-pair generator, once per refinement
-//! iteration, once per blocked model during matching enumeration. All of
-//! those share the trace, the match pairs, and the whole
-//! `POrder /\ PMatchPairs /\ PUnique /\ PEvents` core; only the delivery
-//! axioms and the property polarity differ. A [`CheckSession`] therefore
-//! builds the core **once** ([`crate::encode::encode_core`]) and attaches
-//! each delivery model's axiom group and each property polarity guarded by
-//! a fresh selector literal; a query activates exactly one group per kind
-//! via `check_assuming`, and learned clauses carry over between queries.
+//! iteration, once per blocked model during matching enumeration, and
+//! (with the path-exploration layer) once per control-flow path. All of
+//! those share the trace's communication skeleton and the whole
+//! `POrder /\ PMatchPairs /\ PUnique` core; only the delivery axioms, the
+//! property polarity and the branch-outcome pins differ. A
+//! [`CheckSession`] therefore builds the core **once**
+//! ([`crate::encode::encode_core`]) and attaches each delivery model's
+//! axiom group, each property polarity, and each control-flow path's
+//! branch pins guarded by fresh selector literals; a query activates
+//! exactly one group per kind via `check_assuming`, and learned clauses
+//! carry over between queries.
+//!
+//! **Paths as first-class groups.** The host trace's branch pins (the
+//! paper's `PEvents` outcome constraints) are no longer hard-asserted:
+//! they live behind a host path selector, and *sibling* paths of the same
+//! program — traces that issue the identical communication operations but
+//! resolve branches differently — attach their own pins, local-event
+//! order chains and assertion terms behind their own selectors
+//! ([`crate::encode::Encoding::build_path_attachment`]). Sibling paths
+//! thus reuse the expensive shared core (match disjunctions, uniqueness,
+//! delivery axioms, learned clauses) instead of re-encoding per path.
 //!
 //! Per-query state (refinement blocking clauses, all-SAT enumeration
 //! blocks) lives in a solver *scope* ([`smt::SmtSolver::push_scope`]):
@@ -17,16 +30,39 @@
 //! while learned clauses that do not depend on it survive.
 //!
 //! [`SessionPool`] adds the batching layer the portfolio driver uses: it
-//! keys sessions by (trace events, match pairs) so scenarios at one grid
-//! point — different delivery models, and both match generators whenever
-//! their pair sets coincide — transparently land on the same session.
+//! keys sessions by (program, trace events, match pairs), and — through
+//! [`SessionPool::session_for_path`] — also by communication skeleton, so
+//! sibling paths of one program transparently land on the same session.
 
-use crate::encode::{encode_core, Encoding, UniqueScope};
+use crate::encode::{encode_core, Encoding, PathAttachError, UniqueScope};
 use crate::matchpairs::MatchPairs;
 use mcapi::program::Program;
-use mcapi::trace::Trace;
+use mcapi::trace::{CommSig, Trace};
 use mcapi::types::DeliveryModel;
 use smt::TermId;
+
+/// Which attached control-flow path a query runs against: the session's
+/// host trace, or a sibling attached by
+/// [`CheckSession::attach_sibling_path`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathSlot {
+    /// The trace the core encoding was built from.
+    Host,
+    /// The `i`-th attached sibling path.
+    Sibling(usize),
+}
+
+/// One sibling path's groups on a shared session.
+struct SiblingEntry {
+    /// Clock term per sibling-trace event (for witness decoding).
+    clocks: Vec<TermId>,
+    /// The sibling's assertion properties.
+    props: Vec<crate::encode::PropTerm>,
+    /// Selector guarding the sibling's pins and order chains.
+    sel: TermId,
+    /// Property polarity selectors for this sibling, built lazily.
+    prop_sels: Vec<(bool, TermId)>,
+}
 
 /// A shared-encoding solver session; see the module docs.
 pub struct CheckSession {
@@ -34,28 +70,77 @@ pub struct CheckSession {
     pub enc: Encoding,
     /// Selector literal per delivery-model axiom group built so far.
     delivery_sels: Vec<(DeliveryModel, TermId)>,
-    /// Selector literal per property polarity built so far
+    /// Selector literal per host property polarity built so far
     /// (`true` = negated properties, the violation query).
     prop_sels: Vec<(bool, TermId)>,
+    /// Selector guarding the host trace's branch pins (`None` when the
+    /// program is branch-free and there is nothing to pin).
+    host_pin_sel: Option<TermId>,
+    /// Sibling control-flow paths attached to this session.
+    siblings: Vec<SiblingEntry>,
     /// Queries served by this session (refinement loops count as one).
     pub checks: usize,
 }
 
 impl CheckSession {
     /// Build the delivery-independent core for `(trace, pairs)`. Axiom
-    /// groups are attached lazily by the first query that needs them.
+    /// groups are attached lazily by the first query that needs them; the
+    /// host trace's branch pins are asserted immediately, guarded by the
+    /// host path selector.
     pub fn new(
         program: &Program,
         trace: &Trace,
         pairs: &MatchPairs,
         unique_scope: UniqueScope,
     ) -> CheckSession {
+        let mut enc = encode_core(program, trace, pairs, unique_scope);
+        let host_pin_sel = if enc.branch_terms.is_empty() {
+            None
+        } else {
+            let sel = enc.solver.bool_var("sel_path_host");
+            let pins = enc.branch_terms.clone();
+            enc.assert_guarded(sel, pins);
+            Some(sel)
+        };
         CheckSession {
-            enc: encode_core(program, trace, pairs, unique_scope),
+            enc,
             delivery_sels: Vec::new(),
             prop_sels: Vec::new(),
+            host_pin_sel,
+            siblings: Vec::new(),
             checks: 0,
         }
+    }
+
+    /// Attach a sibling control-flow path (same program, same
+    /// communication skeleton, different branch outcomes) to this
+    /// session. Its pins and local order chains are asserted guarded by a
+    /// fresh selector; queries against it go through
+    /// [`CheckSession::assumptions_for`] with the returned slot.
+    pub fn attach_sibling_path(
+        &mut self,
+        program: &Program,
+        trace: &Trace,
+    ) -> Result<PathSlot, PathAttachError> {
+        assert_eq!(
+            self.enc.solver.num_scopes(),
+            0,
+            "path groups must be built outside per-query scopes"
+        );
+        let att = self.enc.build_path_attachment(program, trace)?;
+        let sel = self
+            .enc
+            .solver
+            .bool_var(format!("sel_path_{}", self.siblings.len()));
+        self.enc.assert_guarded(sel, att.chains);
+        self.enc.assert_guarded(sel, att.pins);
+        self.siblings.push(SiblingEntry {
+            clocks: att.clocks,
+            props: att.props,
+            sel,
+            prop_sels: Vec::new(),
+        });
+        Ok(PathSlot::Sibling(self.siblings.len() - 1))
     }
 
     /// The selector guarding `delivery`'s axiom group, building the group
@@ -78,10 +163,16 @@ impl CheckSession {
         sel
     }
 
-    /// The selector guarding one property polarity, building it on first
-    /// use.
-    fn prop_selector(&mut self, negate_props: bool) -> TermId {
-        if let Some(&(_, sel)) = self.prop_sels.iter().find(|(n, _)| *n == negate_props) {
+    /// The selector guarding one property polarity of one path slot,
+    /// building it on first use.
+    fn prop_selector(&mut self, slot: PathSlot, negate_props: bool) -> TermId {
+        let existing = match slot {
+            PathSlot::Host => self.prop_sels.iter(),
+            PathSlot::Sibling(i) => self.siblings[i].prop_sels.iter(),
+        }
+        .find(|(n, _)| *n == negate_props)
+        .map(|&(_, sel)| sel);
+        if let Some(sel) = existing {
             return sel;
         }
         assert_eq!(
@@ -91,38 +182,91 @@ impl CheckSession {
              added inside a scope die at the pop while the selector would \
              stay registered"
         );
-        let name = if negate_props {
-            "sel_props_negated"
-        } else {
-            "sel_props_positive"
-        };
-        let sel = self.enc.solver.bool_var(name);
-        let props = self.enc.props_term(negate_props);
-        self.enc.assert_guarded(sel, [props]);
-        self.prop_sels.push((negate_props, sel));
-        sel
+        let polarity = if negate_props { "negated" } else { "positive" };
+        match slot {
+            PathSlot::Host => {
+                let sel = self.enc.solver.bool_var(format!("sel_props_{polarity}"));
+                let props = self.enc.props_term(negate_props);
+                self.enc.assert_guarded(sel, [props]);
+                self.prop_sels.push((negate_props, sel));
+                sel
+            }
+            PathSlot::Sibling(i) => {
+                let sel = self
+                    .enc
+                    .solver
+                    .bool_var(format!("sel_props_path{i}_{polarity}"));
+                let terms: Vec<TermId> = self.siblings[i].props.iter().map(|p| p.term).collect();
+                let group = if negate_props {
+                    let negs: Vec<TermId> =
+                        terms.into_iter().map(|t| self.enc.solver.not(t)).collect();
+                    self.enc.solver.or(negs)
+                } else {
+                    self.enc.solver.and(terms)
+                };
+                self.enc.assert_guarded(sel, [group]);
+                self.siblings[i].prop_sels.push((negate_props, sel));
+                sel
+            }
+        }
     }
 
-    /// Assumption set that activates exactly the `(delivery,
+    /// Assumption set activating exactly the `(delivery, negate_props)`
+    /// query against the host path — the pre-paths API, unchanged.
+    pub fn assumptions(&mut self, delivery: DeliveryModel, negate_props: bool) -> Vec<TermId> {
+        self.assumptions_for(PathSlot::Host, delivery, negate_props)
+    }
+
+    /// Assumption set that activates exactly the `(slot, delivery,
     /// negate_props)` query: the chosen selectors assumed true, every
     /// other built group assumed **false** so its clauses are satisfied up
     /// front and cost nothing during search.
-    pub fn assumptions(&mut self, delivery: DeliveryModel, negate_props: bool) -> Vec<TermId> {
+    pub fn assumptions_for(
+        &mut self,
+        slot: PathSlot,
+        delivery: DeliveryModel,
+        negate_props: bool,
+    ) -> Vec<TermId> {
         let d_on = self.delivery_selector(delivery);
-        let p_on = self.prop_selector(negate_props);
-        let offs: Vec<TermId> = self
+        let p_on = self.prop_selector(slot, negate_props);
+        let path_on = match slot {
+            PathSlot::Host => self.host_pin_sel,
+            PathSlot::Sibling(i) => Some(self.siblings[i].sel),
+        };
+        let mut offs: Vec<TermId> = self
             .delivery_sels
             .iter()
             .filter(|(d, _)| *d != delivery)
             .map(|&(_, s)| s)
-            .chain(
-                self.prop_sels
-                    .iter()
-                    .filter(|(n, _)| *n != negate_props)
-                    .map(|&(_, s)| s),
-            )
             .collect();
+        // Polarity groups of the active slot (other polarity) and of every
+        // other slot (both polarities).
+        let host_active = slot == PathSlot::Host;
+        offs.extend(
+            self.prop_sels
+                .iter()
+                .filter(|(n, _)| !host_active || *n != negate_props)
+                .map(|&(_, s)| s),
+        );
+        for (i, sib) in self.siblings.iter().enumerate() {
+            let active = slot == PathSlot::Sibling(i);
+            offs.extend(
+                sib.prop_sels
+                    .iter()
+                    .filter(|(n, _)| !active || *n != negate_props)
+                    .map(|&(_, s)| s),
+            );
+            if !active {
+                offs.push(sib.sel);
+            }
+        }
+        if !host_active {
+            if let Some(sel) = self.host_pin_sel {
+                offs.push(sel);
+            }
+        }
         let mut assumptions = vec![d_on, p_on];
+        assumptions.extend(path_on);
         for s in offs {
             let ns = self.enc.solver.not(s);
             assumptions.push(ns);
@@ -131,26 +275,57 @@ impl CheckSession {
         assumptions
     }
 
-    /// Number of axiom groups (delivery models + polarities) built so far.
+    /// Clock terms of one path slot's trace events (for witness decoding).
+    pub fn clocks_for(&self, slot: PathSlot) -> &[TermId] {
+        match slot {
+            PathSlot::Host => &self.enc.event_clocks,
+            PathSlot::Sibling(i) => &self.siblings[i].clocks,
+        }
+    }
+
+    /// Property terms of one path slot (for witness decoding).
+    pub fn props_for(&self, slot: PathSlot) -> &[crate::encode::PropTerm] {
+        match slot {
+            PathSlot::Host => &self.enc.prop_terms,
+            PathSlot::Sibling(i) => &self.siblings[i].props,
+        }
+    }
+
+    /// Number of axiom groups (delivery models + host polarities) built so
+    /// far. Sibling-path groups are counted by
+    /// [`CheckSession::siblings_attached`] instead.
     pub fn groups_built(&self) -> usize {
         self.delivery_sels.len() + self.prop_sels.len()
     }
+
+    /// Sibling control-flow paths sharing this session's core.
+    pub fn siblings_attached(&self) -> usize {
+        self.siblings.len()
+    }
 }
 
-/// A cache of [`CheckSession`]s keyed by (trace events, match pairs),
-/// used by batched drivers to route every scenario of one grid point onto
-/// a shared encoding whenever that is sound.
+/// A cache of [`CheckSession`]s keyed by (program, trace events, match
+/// pairs), used by batched drivers to route every scenario of one grid
+/// point — and, with the path-exploration layer, every sibling
+/// control-flow path of one program — onto a shared encoding whenever
+/// that is sound.
 #[derive(Default)]
 pub struct SessionPool {
     entries: Vec<PoolEntry>,
     /// Encodings actually built (cache misses).
     pub encodings_built: usize,
+    /// Sibling paths attached to existing cores instead of re-encoding.
+    pub paths_attached: usize,
 }
 
 struct PoolEntry {
     program: Program,
     trace: Trace,
     pairs: MatchPairs,
+    comm_sig: Vec<Vec<CommSig>>,
+    /// Event lists of attached sibling paths, parallel to the session's
+    /// sibling slots.
+    sibling_events: Vec<Vec<mcapi::trace::Event>>,
     session: CheckSession,
 }
 
@@ -179,18 +354,65 @@ impl SessionPool {
         }) {
             return (&mut self.entries[i].session, true);
         }
+        let i = self.build_entry(program, trace, pairs);
+        (&mut self.entries[i].session, false)
+    }
+
+    /// Like [`SessionPool::session_for`], but additionally shares cores
+    /// across *sibling control-flow paths*: when no exact (trace events)
+    /// match exists, a session whose trace has the same communication
+    /// skeleton is reused by attaching this trace as a sibling path group.
+    /// Returns the session, the path slot to query, and whether an
+    /// existing encoding was reused.
+    pub fn session_for_path(
+        &mut self,
+        program: &Program,
+        trace: &Trace,
+        pairs: &MatchPairs,
+    ) -> (&mut CheckSession, PathSlot, bool) {
+        // Exact host or sibling match first.
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.program != *program || e.pairs.sends_for != pairs.sends_for {
+                continue;
+            }
+            if e.trace.events == trace.events {
+                return (&mut self.entries[i].session, PathSlot::Host, true);
+            }
+            if let Some(j) = e.sibling_events.iter().position(|ev| *ev == trace.events) {
+                return (&mut self.entries[i].session, PathSlot::Sibling(j), true);
+            }
+        }
+        // Comm-skeleton match: attach as a sibling path.
+        let sig = trace.comm_signature(program.threads.len());
+        let found = self.entries.iter().position(|e| {
+            e.program == *program && e.pairs.sends_for == pairs.sends_for && e.comm_sig == sig
+        });
+        if let Some(i) = found {
+            let attach = self.entries[i].session.attach_sibling_path(program, trace);
+            if let Ok(slot) = attach {
+                self.entries[i].sibling_events.push(trace.events.clone());
+                self.paths_attached += 1;
+                return (&mut self.entries[i].session, slot, true);
+            }
+            // Attachment refused (e.g. a branch arm feeds a send): fall
+            // through to a fresh encoding, which is always sound.
+        }
+        let i = self.build_entry(program, trace, pairs);
+        (&mut self.entries[i].session, PathSlot::Host, false)
+    }
+
+    fn build_entry(&mut self, program: &Program, trace: &Trace, pairs: &MatchPairs) -> usize {
         self.encodings_built += 1;
         let session = CheckSession::new(program, trace, pairs, UniqueScope::default());
         self.entries.push(PoolEntry {
             program: program.clone(),
             trace: trace.clone(),
             pairs: pairs.clone(),
+            comm_sig: trace.comm_signature(program.threads.len()),
+            sibling_events: Vec::new(),
             session,
         });
-        (
-            &mut self.entries.last_mut().expect("just pushed").session,
-            false,
-        )
+        self.entries.len() - 1
     }
 
     /// Sessions currently cached.
@@ -301,5 +523,162 @@ mod tests {
         assert!(reused);
         assert_eq!(pool.encodings_built, 1);
         assert_eq!(pool.len(), 1);
+    }
+
+    /// A branchy program whose two paths share one communication skeleton:
+    /// a consumer receives once, branches on the value, and each arm only
+    /// does local work. Payloads 5, 8 and 50 make both arms concretely
+    /// realizable without a violation, while the else-arm assertion
+    /// (`v == 5`) is symbolically violable by the send of 8.
+    fn branchy_two_paths() -> Program {
+        use mcapi::builder::ProgramBuilder;
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::program::Op;
+        use mcapi::types::CmpOp;
+        let mut b = ProgramBuilder::new("two-paths");
+        let c = b.thread("consumer");
+        let p1 = b.thread("p1");
+        let p2 = b.thread("p2");
+        let p3 = b.thread("p3");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Le, Expr::Var(v), Expr::Const(100)),
+                    message: "high within bound".into(),
+                }],
+                else_ops: vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Eq, Expr::Var(v), Expr::Const(5)),
+                    message: "low must be the primary token".into(),
+                }],
+            },
+        );
+        b.recv(c, 0);
+        b.recv(c, 0);
+        b.send_const(p1, c, 0, 5);
+        b.send_const(p2, c, 0, 8);
+        b.send_const(p3, c, 0, 50);
+        b.build().unwrap()
+    }
+
+    /// A complete, non-violating trace whose first branch went `want`.
+    fn clean_trace_with_outcome(p: &Program, want: bool) -> Trace {
+        use mcapi::runtime::execute_random;
+        for seed in 0..2000 {
+            let out = execute_random(p, DeliveryModel::Unordered, seed);
+            if out.trace.is_complete()
+                && out.violation().is_none()
+                && out.trace.branch_outcomes(0) == vec![want]
+            {
+                return out.trace;
+            }
+        }
+        panic!("no clean trace with outcome {want}");
+    }
+
+    #[test]
+    fn sibling_paths_share_one_core_encoding() {
+        let p = branchy_two_paths();
+        let t_then = clean_trace_with_outcome(&p, true);
+        let t_else = clean_trace_with_outcome(&p, false);
+        assert_ne!(t_then.events, t_else.events);
+        let pairs_then = overapprox_match_pairs(&p, &t_then);
+        let pairs_else = overapprox_match_pairs(&p, &t_else);
+        let mut pool = SessionPool::new();
+        let (_, slot, reused) = pool.session_for_path(&p, &t_then, &pairs_then);
+        assert_eq!(slot, PathSlot::Host);
+        assert!(!reused);
+        let (_, slot, reused) = pool.session_for_path(&p, &t_else, &pairs_else);
+        assert_eq!(slot, PathSlot::Sibling(0), "sibling attaches to the core");
+        assert!(reused);
+        assert_eq!(pool.encodings_built, 1, "one core for both paths");
+        assert_eq!(pool.paths_attached, 1);
+        // Re-requesting the sibling finds the attached slot.
+        let (_, slot, reused) = pool.session_for_path(&p, &t_else, &pairs_else);
+        assert_eq!(slot, PathSlot::Sibling(0));
+        assert!(reused);
+
+        // Both paths answer their violation queries from the one solver:
+        // no payload exceeds 100, so the then-arm assertion cannot fail
+        // (host query UNSAT), while the else-arm assertion `v == 5` is
+        // violated by matching the receive with the send of 8 (SAT).
+        let (session, _, _) = pool.session_for_path(&p, &t_then, &pairs_then);
+        let host_q = session.assumptions_for(PathSlot::Host, DeliveryModel::Unordered, true);
+        assert_eq!(session.enc.solver.check_assuming(&host_q), SatResult::Unsat);
+        let sib_q = session.assumptions_for(PathSlot::Sibling(0), DeliveryModel::Unordered, true);
+        assert_eq!(
+            session.enc.solver.check_assuming(&sib_q),
+            SatResult::Sat,
+            "the else-arm assertion (v == 5) is violated by the send of 8"
+        );
+        // And back to the host: the sibling group did not poison it.
+        let host_q = session.assumptions_for(PathSlot::Host, DeliveryModel::Unordered, true);
+        assert_eq!(session.enc.solver.check_assuming(&host_q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn value_mismatched_siblings_fall_back_to_fresh_encodings() {
+        use mcapi::builder::ProgramBuilder;
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::program::Op;
+        use mcapi::sched::{execute_directed, BranchPlan, DirectedConfig, DirectedOutcome};
+        use mcapi::types::CmpOp;
+        // The branch arm assigns the variable a send later reads: the two
+        // paths' send payloads differ symbolically, so the attachment must
+        // refuse and the pool must build a second encoding.
+        let mut b = ProgramBuilder::new("arm-feeds-send");
+        let c = b.thread("relay");
+        let p1 = b.thread("p1");
+        let p2 = b.thread("p2");
+        let sink = b.thread("sink");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(1),
+                }],
+                else_ops: vec![Op::Assign {
+                    var: v,
+                    expr: Expr::Const(2),
+                }],
+            },
+        );
+        b.send_var(c, sink, 0, v);
+        b.recv(c, 0);
+        b.recv(sink, 0);
+        b.send_const(p1, c, 0, 5);
+        b.send_const(p2, c, 0, 50);
+        let p = b.build().unwrap();
+        let realize = |outcome: bool| {
+            let plan = BranchPlan {
+                outcomes: vec![vec![outcome], vec![], vec![], vec![]],
+            };
+            match execute_directed(
+                &p,
+                DeliveryModel::Unordered,
+                &plan,
+                DirectedConfig::default(),
+            ) {
+                DirectedOutcome::Realized(out) => out.trace,
+                other => panic!("expected realizable, got {other:?}"),
+            }
+        };
+        let t_then = realize(true);
+        let t_else = realize(false);
+        let pairs_then = overapprox_match_pairs(&p, &t_then);
+        let pairs_else = overapprox_match_pairs(&p, &t_else);
+        let mut pool = SessionPool::new();
+        let (_, _, reused) = pool.session_for_path(&p, &t_then, &pairs_then);
+        assert!(!reused);
+        let (_, slot, reused) = pool.session_for_path(&p, &t_else, &pairs_else);
+        assert_eq!(slot, PathSlot::Host, "value mismatch forces a fresh core");
+        assert!(!reused);
+        assert_eq!(pool.encodings_built, 2);
+        assert_eq!(pool.paths_attached, 0);
     }
 }

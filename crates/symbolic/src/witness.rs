@@ -32,11 +32,29 @@ pub struct Witness {
     pub violated: Vec<String>,
 }
 
-/// Read a witness out of a satisfying model.
+/// Read a witness out of a satisfying model (for the encoding's host
+/// trace).
 pub fn decode_witness(encoding: &Encoding, model: &Model) -> Witness {
+    decode_witness_with(
+        encoding,
+        model,
+        &encoding.event_clocks,
+        &encoding.prop_terms,
+    )
+}
+
+/// Read a witness out of a satisfying model against an explicit set of
+/// event clocks and property terms — the clocks/props of a *sibling
+/// control-flow path* attached to a shared encoding (the matching and
+/// receive values always come from the shared core).
+pub fn decode_witness_with(
+    encoding: &Encoding,
+    model: &Model,
+    event_clocks: &[smt::TermId],
+    prop_terms: &[crate::encode::PropTerm],
+) -> Witness {
     let pool = encoding.solver.pool();
-    let clocks: Vec<i64> = encoding
-        .event_clocks
+    let clocks: Vec<i64> = event_clocks
         .iter()
         .map(|&c| model.eval_int(pool, c).expect("clock valued"))
         .collect();
@@ -51,8 +69,7 @@ pub fn decode_witness(encoding: &Encoding, model: &Model) -> Witness {
             (r.key, v)
         })
         .collect();
-    let violated = encoding
-        .prop_terms
+    let violated = prop_terms
         .iter()
         .filter(|p| model.eval_bool(pool, p.term) == Some(false))
         .map(|p| p.message.clone())

@@ -8,7 +8,7 @@
 //! parsed as MCAPI-lite with caret diagnostics on error.
 //!
 //! ```text
-//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS]
+//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N]
 //! mcapi-smc fmt <program|-> [--write]   # canonical MCAPI-lite (idempotent)
 //! mcapi-smc export <family|point> [--scale K] [--out DIR]  # grid → .mcapi
 //! mcapi-smc behaviours <program> [--delivery ...] [--limit N]
@@ -21,17 +21,20 @@
 //! ```
 //!
 //! `check` engines: `symbolic-overapprox` (default), `symbolic-precise`
-//! (`--precise` is the legacy spelling), `explicit`. A `.mcapi` file's
-//! `// delivery:` header supplies the delivery model when no `--delivery`
-//! flag is given.
+//! (`--precise` is the legacy spelling), `symbolic-paths` (branch-complete:
+//! enumerates every feasible control-flow path and checks each one —
+//! `--max-paths N` bounds the frontier, truncation degrades to UNKNOWN),
+//! `explicit`. A `.mcapi` file's `// delivery:` header supplies the
+//! delivery model when no `--delivery` flag is given.
 //!
 //! Portfolio options: `--threads N` (default: all cores), `--scale K`
 //! (grid size per family, default 2), `--families a,b,c` (default: all),
 //! `--corpus DIR` (also cross every `.mcapi` file in DIR), `--delivery
 //! MODEL` (default: all three), `--budget-ms MS` (per-scenario solver
-//! budget), `--json PATH` (`-` for stdout; suppresses the table),
-//! `--no-session-reuse` (re-encode every scenario from scratch instead of
-//! sharing incremental solver sessions per grid point).
+//! budget), `--max-paths N` (per-scenario path budget for the
+//! `symbolic-paths` engine), `--json PATH` (`-` for stdout; suppresses the
+//! table), `--no-session-reuse` (re-encode every scenario from scratch
+//! instead of sharing incremental solver sessions per grid point).
 
 use driver::prelude::*;
 use mcapi::error::McapiError;
@@ -116,13 +119,22 @@ fn named_program(name: &str) -> Option<FamilySpec> {
 
 /// Print every accepted program name, derived from the live grid rather
 /// than a hardcoded table (so new families can never be silently
-/// omitted).
+/// omitted). Families whose programs contain conditional branches are
+/// marked: on those, the trace-pinned symbolic engines scope their
+/// verdict to one path and only `symbolic-paths`/`explicit` are
+/// whole-program.
 fn list_programs() {
     println!("program names (accepted by `demo`, `export`, and `--families` as family tags):");
     for family in FAMILIES {
-        let examples: Vec<String> = family_grid(family, 3).iter().map(|p| p.name()).collect();
-        println!("  {family:<12} {}", examples.join(" "));
+        let grid = family_grid(family, 3);
+        let examples: Vec<String> = grid.iter().map(|p| p.name()).collect();
+        let branchy = grid.first().is_some_and(|p| p.build().has_branches());
+        let mark = if branchy { " [branch-sensitive]" } else { "" };
+        println!("  {family:<12} {}{mark}", examples.join(" "));
     }
+    println!();
+    println!("[branch-sensitive]: verdicts differ between the trace-pinned symbolic");
+    println!("engines (one control-flow path) and symbolic-paths/explicit (all paths).");
     println!();
     println!("any point of a family's parameter space works, not just the examples:");
     println!("  raceN race-assertN delay-gapN scatterN branchyN randomSEED");
@@ -261,6 +273,13 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     };
 
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
+    let max_paths = match parse_flag_strict(args, "--max-paths") {
+        Ok(m) => m.map(|n| n as usize),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut scenarios = cross(&specs, &deliveries, &Engine::ALL);
     match strict_value(args, "--corpus") {
@@ -283,13 +302,16 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         None => {}
     }
 
-    let cfg = PortfolioConfig {
+    let mut cfg = PortfolioConfig {
         threads,
         mode,
         budget_ms,
         session_reuse,
         ..PortfolioConfig::default()
     };
+    if let Some(n) = max_paths {
+        cfg.max_paths = n;
+    }
     let report = run_portfolio(&scenarios, &cfg);
 
     match json_target.as_deref() {
@@ -539,17 +561,19 @@ fn main() -> ExitCode {
                         Some(Ok("symbolic-overapprox"))
                         | Some(Ok("overapprox"))
                         | Some(Ok("symbolic")) => Engine::Symbolic(MatchGen::OverApprox),
+                        Some(Ok("symbolic-paths")) | Some(Ok("paths")) => Engine::SymbolicPaths,
                         Some(Ok("explicit")) => Engine::Explicit,
                         Some(other) => {
                             eprintln!(
-                                "unknown engine {:?}; expected symbolic-precise|symbolic-overapprox|explicit",
+                                "unknown engine {:?}; expected symbolic-precise|symbolic-overapprox|symbolic-paths|explicit",
                                 other.ok()
                             );
                             return ExitCode::from(2);
                         }
                     };
-                    // Validate --budget-ms before engine dispatch so a
-                    // malformed value is a usage error on every engine.
+                    // Validate --budget-ms/--max-paths before engine
+                    // dispatch so a malformed value is a usage error on
+                    // every engine.
                     let budget_ms = match parse_flag_strict(&args, "--budget-ms") {
                         Ok(b) => b,
                         Err(e) => {
@@ -557,8 +581,25 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     };
+                    let max_paths = match parse_flag_strict(&args, "--max-paths") {
+                        Ok(m) => {
+                            if m.is_some() && engine != Engine::SymbolicPaths {
+                                eprintln!(
+                                    "note: --max-paths bounds the symbolic-paths frontier; \
+                                     the {} engine analyses one trace and ignores it",
+                                    engine.tag()
+                                );
+                            }
+                            m.unwrap_or(256) as usize
+                        }
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    };
                     let matchgen = match engine {
                         Engine::Symbolic(m) => m,
+                        Engine::SymbolicPaths => MatchGen::OverApprox,
                         Engine::Explicit => {
                             if budget_ms.is_some() {
                                 eprintln!(
@@ -575,11 +616,27 @@ fn main() -> ExitCode {
                         budget_ms,
                         ..CheckConfig::default()
                     };
-                    let report = check_program(&program, &cfg);
-                    println!(
-                        "program: {} | delivery: {delivery} | matchgen: {matchgen:?}",
-                        program.name
-                    );
+                    let (report, path_complete) = if engine == Engine::SymbolicPaths {
+                        let pcfg = symbolic::paths::PathsConfig {
+                            check: cfg,
+                            max_paths,
+                            ..symbolic::paths::PathsConfig::default()
+                        };
+                        (symbolic::paths::check_program_paths(&program, &pcfg), true)
+                    } else {
+                        (check_program(&program, &cfg), false)
+                    };
+                    if path_complete {
+                        println!(
+                            "program: {} | delivery: {delivery} | engine: symbolic-paths",
+                            program.name
+                        );
+                    } else {
+                        println!(
+                            "program: {} | delivery: {delivery} | matchgen: {matchgen:?}",
+                            program.name
+                        );
+                    }
                     println!(
                         "encoding: {} vars, {} clauses, {} atoms | match-pairs: {} ({} states)",
                         report.encode_stats.sat_vars,
@@ -588,13 +645,28 @@ fn main() -> ExitCode {
                         report.matchgen_pairs,
                         report.matchgen_states,
                     );
+                    if path_complete {
+                        println!(
+                            "paths: {} explored, {} pruned",
+                            report.paths_explored, report.paths_pruned
+                        );
+                    }
                     match &report.verdict {
                         Verdict::Safe => {
-                            println!("verdict: SAFE (no violation within this trace's branches)");
+                            if path_complete {
+                                println!("verdict: SAFE (all feasible control-flow paths)");
+                            } else {
+                                println!(
+                                    "verdict: SAFE (no violation within this trace's branches)"
+                                );
+                            }
                             ExitCode::SUCCESS
                         }
                         Verdict::Violation(cv) => {
                             println!("verdict: VIOLATION");
+                            if let Some(path) = &cv.branch_path {
+                                println!("  path: {path}");
+                            }
                             for m in &cv.violated_props {
                                 println!("  property: {m}");
                             }

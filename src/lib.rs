@@ -9,7 +9,8 @@
 //!   connectionless-message subset with a delay-non-deterministic network
 //!   and trace capture;
 //! * [`symbolic`] — the paper's contribution: trace → match pairs →
-//!   `POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents` → witness;
+//!   `POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents` → witness, plus
+//!   the branch-complete path-exploration layer (`symbolic::paths`);
 //! * [`explicit`] — MCC-style, ground-truth and sleep-set explicit-state
 //!   baselines;
 //! * [`workloads`] — parameterised program families for tests and benches.

@@ -204,14 +204,102 @@ fn sweep_json_report_is_parseable_and_consistent() {
     let report: driver::PortfolioReport = serde_json::from_str(&stdout).expect("valid JSON");
     assert_eq!(
         report.outcomes.len(),
-        9,
-        "1 point x 3 deliveries x 3 engines"
+        12,
+        "1 point x 3 deliveries x 4 engines"
     );
     assert_eq!(
         report.safe + report.violations + report.unknown + report.skipped,
         report.outcomes.len()
     );
     assert!(report.found_violation());
+}
+
+#[test]
+fn check_paths_engine_finds_the_gatekeeper_violation_with_its_path() {
+    // The acceptance payoff: the branch-complete engine flips gatekeeper
+    // from symbolic-SAFE to VIOLATION, names the branch vector, and keeps
+    // the 0/1/3 exit contract.
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/gatekeeper.mcapi");
+    let out = bin()
+        .args([
+            "check",
+            corpus.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "violation => exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stdout.contains("path: worker:F"), "{stdout}");
+    assert!(stdout.contains("paths:"), "{stdout}");
+
+    // The single-trace default engine still answers within its scope.
+    let out = bin()
+        .args(["check", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "trace-pinned scope => exit 0");
+}
+
+#[test]
+fn check_paths_engine_truncated_budget_is_unknown_exit_3() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/gatekeeper.mcapi");
+    let out = bin()
+        .args([
+            "check",
+            corpus.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+            "--max-paths",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "truncated => exit 3, never 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("truncated"), "{stdout}");
+}
+
+#[test]
+fn check_paths_engine_safe_program_exits_0() {
+    let corpus =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/infeasible-arm.mcapi");
+    let out = bin()
+        .args([
+            "check",
+            corpus.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "safe => exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 pruned"), "{stdout}");
+}
+
+#[test]
+fn list_programs_marks_branch_sensitive_families() {
+    let out = bin().args(["--list-programs"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let branchy_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("branchy"))
+        .expect("branchy family listed");
+    assert!(
+        branchy_line.contains("[branch-sensitive]"),
+        "{branchy_line}"
+    );
+    let race_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("race "))
+        .or_else(|| stdout.lines().find(|l| l.trim_start().starts_with("race")))
+        .expect("race family listed");
+    assert!(!race_line.contains("[branch-sensitive]"), "{race_line}");
 }
 
 #[test]

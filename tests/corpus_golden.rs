@@ -2,18 +2,25 @@
 //! checker must reproduce the verdict recorded in its `// expect:`
 //! header (under the file's `// delivery:` header, if any — the same
 //! resolution `mcapi-smc check` applies).
+//!
+//! Headers record the *whole-program* verdict, so they are checked with
+//! the branch-complete path engine (`symbolic::paths`): since PR 4 the
+//! symbolic side no longer scopes its answer to one trace's branch
+//! outcomes, and the old symbolic-SAFE / explicit-VIOLATION differential
+//! on `gatekeeper.mcapi` is now asserted the other way around — the path
+//! engine must agree with the explicit ground truth.
 
 use frontend::{directives, parse_program, Expect};
 use mcapi::types::DeliveryModel;
-use std::path::PathBuf;
-use symbolic::checker::{check_program, CheckConfig, Verdict};
+use symbolic::checker::{CheckConfig, Verdict};
+use symbolic::paths::{check_program_paths, PathsConfig};
 
-fn corpus_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
 }
 
-fn corpus_files() -> Vec<PathBuf> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(corpus_dir())
         .expect("corpus/ exists")
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "mcapi"))
@@ -25,8 +32,8 @@ fn corpus_files() -> Vec<PathBuf> {
 #[test]
 fn corpus_is_populated() {
     assert!(
-        corpus_files().len() >= 12,
-        "corpus/ must hold at least 12 .mcapi files, found {}",
+        corpus_files().len() >= 14,
+        "corpus/ must hold at least 14 .mcapi files, found {}",
         corpus_files().len()
     );
 }
@@ -56,11 +63,14 @@ fn corpus_verdicts_match_their_expect_headers() {
         let text = std::fs::read_to_string(&path).unwrap();
         let program = parse_program(&text).unwrap();
         let d = directives(&text);
-        let cfg = CheckConfig {
-            delivery: d.delivery.unwrap_or(DeliveryModel::Unordered),
-            ..CheckConfig::default()
+        let cfg = PathsConfig {
+            check: CheckConfig {
+                delivery: d.delivery.unwrap_or(DeliveryModel::Unordered),
+                ..CheckConfig::default()
+            },
+            ..PathsConfig::default()
         };
-        let got = match check_program(&program, &cfg).verdict {
+        let got = match check_program_paths(&program, &cfg).verdict {
             Verdict::Safe => Expect::Safe,
             Verdict::Violation(_) => Expect::Violation,
             Verdict::Unknown(_) => Expect::Unknown,
@@ -75,24 +85,69 @@ fn corpus_verdicts_match_their_expect_headers() {
     }
 }
 
-/// The corpus deliberately keeps one scenario where the trace-pinned
-/// symbolic verdict and the exhaustive explicit ground truth disagree
-/// (`gatekeeper.mcapi`): the violation hides in a branch the first trace
-/// does not take. Assert the differential so the file stays honest.
+/// `gatekeeper.mcapi` used to document the trace-pinning gap: the
+/// violation hides in a branch the first trace does not take, so the
+/// single-trace symbolic engine said SAFE while the explicit ground truth
+/// found it. The path-exploration layer closes that gap — assert all
+/// three facts so the file keeps telling the story accurately.
 #[test]
-fn gatekeeper_documents_the_branch_pinning_gap() {
+fn gatekeeper_gap_is_closed_by_the_path_engine() {
     use explicit::{ExploreConfig, GraphExplorer};
+    use symbolic::checker::check_program;
     let text = std::fs::read_to_string(corpus_dir().join("gatekeeper.mcapi")).unwrap();
     let program = parse_program(&text).unwrap();
-    let symbolic = check_program(&program, &CheckConfig::default()).verdict;
-    assert!(matches!(symbolic, Verdict::Safe), "{symbolic:?}");
+    // The single-trace engine still scopes its verdict to one path.
+    let single = check_program(&program, &CheckConfig::default()).verdict;
+    assert!(matches!(single, Verdict::Safe), "{single:?}");
+    // The path engine reports the violation with its branch vector.
+    let report = check_program_paths(&program, &PathsConfig::default());
+    match &report.verdict {
+        Verdict::Violation(cv) => {
+            let path = cv.branch_path.as_deref().expect("witness names its path");
+            assert!(path.contains("worker:F"), "{path}");
+        }
+        other => panic!("path engine must find the violation, got {other:?}"),
+    }
+    // And the explicit ground truth agrees.
     let explicit = GraphExplorer::new(
         &program,
         ExploreConfig::with_model(DeliveryModel::Unordered),
     )
     .explore();
+    assert!(explicit.found_violation());
+}
+
+/// `infeasible-arm.mcapi`: the violating arm cannot execute for any
+/// message values, and the solver-backed pruner must prove that (the path
+/// is pruned, not explored) while the verdict stays SAFE.
+#[test]
+fn infeasible_arm_is_pruned_not_explored() {
+    let text = std::fs::read_to_string(corpus_dir().join("infeasible-arm.mcapi")).unwrap();
+    let program = parse_program(&text).unwrap();
+    let report = check_program_paths(&program, &PathsConfig::default());
     assert!(
-        explicit.found_violation(),
-        "explicit exploration should reach the else-branch assertion"
+        matches!(report.verdict, Verdict::Safe),
+        "{:?}",
+        report.verdict
     );
+    assert!(
+        report.paths_pruned >= 1,
+        "the pruner must kill the unreachable arm"
+    );
+}
+
+/// `nested-gate.mcapi`: the violation sits two branch levels deep; the
+/// path engine names the violating branch vector.
+#[test]
+fn nested_gate_violation_names_its_path() {
+    let text = std::fs::read_to_string(corpus_dir().join("nested-gate.mcapi")).unwrap();
+    let program = parse_program(&text).unwrap();
+    let report = check_program_paths(&program, &PathsConfig::default());
+    match &report.verdict {
+        Verdict::Violation(cv) => {
+            let path = cv.branch_path.as_deref().expect("path recorded");
+            assert!(path.contains("sink:TF"), "{path}");
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
 }
