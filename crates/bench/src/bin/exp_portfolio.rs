@@ -104,6 +104,15 @@ impl RunCounters {
 struct PerfGateReport {
     grid: String,
     scenarios: usize,
+    /// Total flattened (loop-unrolled) instructions across the pinned
+    /// grid's distinct programs — tracks how much code the `repeat`
+    /// unroller feeds the engines.
+    #[serde(default)]
+    unrolled_instrs: usize,
+    /// Same counter for the paths-gate grid (the branch-in-loop
+    /// workloads whose sibling paths share sessions).
+    #[serde(default)]
+    paths_unrolled_instrs: usize,
     /// Batched grid points sharing incremental solver sessions.
     reuse: RunCounters,
     /// Every scenario re-encoded from scratch (the PR-1 shape).
@@ -141,14 +150,26 @@ fn reduction_pct(reuse: &RunCounters, no_reuse: &RunCounters) -> i64 {
     }
 }
 
+/// Total flattened (loop-unrolled) instruction count of a set of grid
+/// points — the size the engines actually consume after `repeat`
+/// expansion.
+fn unrolled_instrs(specs: &[workloads::FamilySpec]) -> usize {
+    specs.iter().map(|s| s.build().code_size()).sum()
+}
+
 fn pinned_grid_report() -> PerfGateReport {
-    let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
+    let grid = default_grid(1);
+    let scenarios = cross(&grid, &DeliveryModel::ALL, &Engine::ALL);
     let reuse = run_counters(&scenarios, true);
     let no_reuse = run_counters(&scenarios, false);
-    // The path gate: branch-heavy programs, one delivery, paths engine
-    // only — so the saving measured is exactly the sibling-path sharing.
+    // The path gate: branch-heavy programs — including the loop families,
+    // whose unrolled bodies multiply branch sites — one delivery, paths
+    // engine only, so the saving measured is exactly the sibling-path
+    // sharing.
+    let mut paths_points = family_grid("branchy", 3);
+    paths_points.extend(family_grid("credit-window", 3));
     let paths_scenarios = cross(
-        &family_grid("branchy", 3),
+        &paths_points,
         &[DeliveryModel::Unordered],
         &[Engine::SymbolicPaths],
     );
@@ -156,9 +177,12 @@ fn pinned_grid_report() -> PerfGateReport {
     let paths_no_reuse = run_counters(&paths_scenarios, false);
     PerfGateReport {
         grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep; \
-               paths gate: branchy(scale 3) x unordered x symbolic-paths"
+               paths gate: branchy(scale 3) + credit-window(scale 3) x unordered \
+               x symbolic-paths"
             .into(),
         scenarios: scenarios.len(),
+        unrolled_instrs: unrolled_instrs(&grid),
+        paths_unrolled_instrs: unrolled_instrs(&paths_points),
         reduction_pct_conflicts_plus_propagations: reduction_pct(&reuse, &no_reuse),
         reuse,
         no_reuse,
@@ -194,8 +218,10 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         return ExitCode::from(2);
     }
     println!(
-        "pinned grid: {} scenarios | reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | no-reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | reduction {}%",
+        "pinned grid: {} scenarios, {} unrolled instrs (paths gate: {}) | reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | no-reuse: {} encodings, {} sat checks, {} conflicts, {} propagations | reduction {}%",
         report.scenarios,
+        report.unrolled_instrs,
+        report.paths_unrolled_instrs,
         report.reuse.encodings_built,
         report.reuse.sat_checks,
         report.reuse.conflicts,

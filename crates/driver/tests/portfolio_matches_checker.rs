@@ -107,12 +107,16 @@ fn race_assert_violation_is_found_under_every_engine() {
 
 #[test]
 fn batched_sessions_match_per_scenario_verdicts_on_default_grid() {
-    // The acceptance bar for session reuse: on the default 90-scenario
+    // The acceptance bar for session reuse: on the default scale-1
     // grid, batched shared-encoding checking answers exactly what
     // per-scenario from-scratch checking answers — while building strictly
     // fewer encodings than it runs scenarios.
     let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
-    assert_eq!(scenarios.len(), 120, "the default grid, four engines");
+    assert_eq!(
+        scenarios.len(),
+        144,
+        "the default grid (12 families incl. the loop workloads), four engines"
+    );
     let batched = run_portfolio(
         &scenarios,
         &PortfolioConfig {

@@ -138,6 +138,13 @@ pub enum StmtKind {
         /// Else-branch statements (empty when no `else`).
         else_body: Vec<Stmt>,
     },
+    /// `repeat N { … }` — a bounded loop, unrolled at compile time.
+    Repeat {
+        /// Iteration count (a non-negative literal).
+        count: Spanned<i64>,
+        /// Loop body statements.
+        body: Vec<Stmt>,
+    },
 }
 
 /// Expressions: the DSL's `variable + constant` fragment.

@@ -44,6 +44,10 @@ pub struct Directives {
     pub expect: Option<Expect>,
     /// `// delivery: unordered|pairwise-fifo|zero-delay`
     pub delivery: Option<DeliveryModel>,
+    /// `// unroll: N` — sets the loop-unroll iteration bound for this
+    /// file, replacing the default of 64 in either direction (the CLI's
+    /// `--unroll` flag takes precedence).
+    pub unroll: Option<usize>,
 }
 
 /// Parse a delivery-model tag (the CLI's spellings are accepted too).
@@ -96,6 +100,7 @@ pub fn directives(src: &str) -> Directives {
                 }
             }
             "delivery" => d.delivery = parse_delivery(value).or(d.delivery),
+            "unroll" => d.unroll = value.parse().ok().or(d.unroll),
             _ => {}
         }
     }
@@ -113,6 +118,16 @@ mod tests {
         );
         assert_eq!(d.expect, Some(Expect::Violation));
         assert_eq!(d.delivery, Some(DeliveryModel::ZeroDelay));
+        assert_eq!(d.unroll, None);
+    }
+
+    #[test]
+    fn reads_unroll_bound() {
+        let d = directives("// unroll: 200\nprogram p {}");
+        assert_eq!(d.unroll, Some(200));
+        // Malformed values are ignored, not a parse failure.
+        let d = directives("// unroll: lots\nprogram p {}");
+        assert_eq!(d.unroll, None);
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub enum TokenKind {
     KwWait,
     /// `assert`
     KwAssert,
+    /// `repeat`
+    KwRepeat,
     /// `if`
     KwIf,
     /// `else`
@@ -114,6 +116,7 @@ impl TokenKind {
             TokenKind::KwRecvI => "recv_i",
             TokenKind::KwWait => "wait",
             TokenKind::KwAssert => "assert",
+            TokenKind::KwRepeat => "repeat",
             TokenKind::KwIf => "if",
             TokenKind::KwElse => "else",
             TokenKind::KwTrue => "true",
@@ -164,6 +167,7 @@ fn keyword(word: &str) -> Option<TokenKind> {
         "recv_i" => TokenKind::KwRecvI,
         "wait" => TokenKind::KwWait,
         "assert" => TokenKind::KwAssert,
+        "repeat" => TokenKind::KwRepeat,
         "if" => TokenKind::KwIf,
         "else" => TokenKind::KwElse,
         "true" => TokenKind::KwTrue,

@@ -61,20 +61,35 @@ pub mod pretty;
 
 pub use diag::{FrontendError, LowerError, ParseError, Span};
 pub use directives::{directives, leading_comment_block, parse_delivery, Directives, Expect};
-pub use lower::lower;
+pub use lower::{lower, lower_with};
 pub use parser::parse;
 pub use pretty::pretty;
 
 use mcapi::error::McapiError;
-use mcapi::program::Program;
+use mcapi::program::{Program, UnrollConfig};
 
 /// Parse and lower MCAPI-lite source into a compiled, validated
 /// [`Program`]. Syntax and lowering failures arrive as
 /// [`McapiError::Parse`] with a full caret diagnostic; validation
 /// failures keep their usual [`McapiError::Validation`] shape.
+///
+/// `repeat` loops are unrolled under the file's `// unroll: N` header
+/// bound when present, the default [`UnrollConfig`] otherwise. Callers
+/// with an explicit bound (the CLI's `--unroll` flag) use
+/// [`parse_program_with`].
 pub fn parse_program(source: &str) -> Result<Program, McapiError> {
+    let unroll = match directives(source).unroll {
+        Some(n) => UnrollConfig::with_max_count(n),
+        None => UnrollConfig::default(),
+    };
+    parse_program_with(source, &unroll)
+}
+
+/// [`parse_program`] with explicit loop-unroll bounds, ignoring any
+/// `// unroll:` header.
+pub fn parse_program_with(source: &str, unroll: &UnrollConfig) -> Result<Program, McapiError> {
     let file = parser::parse(source).map_err(|e| McapiError::Parse(e.diagnostic(source)))?;
-    match lower::lower(&file) {
+    match lower::lower_with(&file, unroll) {
         Ok(p) => Ok(p),
         Err(FrontendError::Parse(e)) => Err(McapiError::Parse(e.diagnostic(source))),
         Err(FrontendError::Lower(e)) => Err(McapiError::Parse(e.diagnostic(source))),
@@ -124,6 +139,22 @@ program demo {
         let once = format_source(src).unwrap();
         assert_eq!(once, format_source(&once).unwrap());
         assert!(once.starts_with("program p {"));
+    }
+
+    #[test]
+    fn unroll_header_raises_the_bound_and_survives_fmt() {
+        let src = "// unroll: 100\n// expect: safe\n\
+                   program p { thread t0 { var x; x = 0; repeat 100 { x = x + 1; } } }";
+        // Without the header the default bound (64) rejects the loop.
+        let headerless = src.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(parse_program(&headerless).is_err());
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.threads[0].code.len(), 101);
+        // fmt preserves the header, so the formatted file still parses.
+        let once = format_source(src).unwrap();
+        assert!(once.starts_with("// unroll: 100\n"), "{once}");
+        assert_eq!(once, format_source(&once).unwrap());
+        assert_eq!(parse_program(&once).unwrap(), p);
     }
 
     #[test]

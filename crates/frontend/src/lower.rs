@@ -17,13 +17,20 @@
 use crate::ast;
 use crate::diag::{FrontendError, LowerError, Span};
 use mcapi::builder::ProgramBuilder;
-use mcapi::expr::{Cond, Expr};
-use mcapi::program::{Op, Program};
+use mcapi::expr::{Cond, Expr, MAX_CONST_MAGNITUDE};
+use mcapi::program::{Op, Program, UnrollConfig};
 use mcapi::types::{EndpointAddr, Port, ReqId, VarId};
 use std::collections::HashMap;
 
-/// Lower a parsed file to a compiled, validated [`Program`].
+/// Lower a parsed file to a compiled, validated [`Program`] under the
+/// default [`UnrollConfig`].
 pub fn lower(file: &ast::File) -> Result<Program, FrontendError> {
+    lower_with(file, &UnrollConfig::default())
+}
+
+/// [`lower`] with explicit loop-unroll bounds (how the `// unroll:`
+/// header directive and the CLI's `--unroll` flag reach the compiler).
+pub fn lower_with(file: &ast::File, unroll: &UnrollConfig) -> Result<Program, FrontendError> {
     let err = |span: Span, message: String| Err(FrontendError::Lower(LowerError { span, message }));
     if file.threads.is_empty() {
         return err(file.name.span, "program declares no threads".to_string());
@@ -75,7 +82,7 @@ pub fn lower(file: &ast::File) -> Result<Program, FrontendError> {
             b.push_op(tid, op);
         }
     }
-    b.build().map_err(FrontendError::Invalid)
+    b.build_with(unroll).map_err(FrontendError::Invalid)
 }
 
 struct Ctx<'a> {
@@ -204,14 +211,56 @@ fn lower_stmt(stmt: &ast::Stmt, ctx: &Ctx<'_>) -> Result<Op, FrontendError> {
             then_ops: lower_body(then_body, ctx)?,
             else_ops: lower_body(else_body, ctx)?,
         },
+        ast::StmtKind::Repeat { count, body } => {
+            let n = usize::try_from(count.node).map_err(|_| {
+                FrontendError::Lower(LowerError {
+                    span: count.span,
+                    message: format!("repeat count {} must be non-negative", count.node),
+                })
+            })?;
+            Op::Repeat {
+                count: n,
+                body: lower_body(body, ctx)?,
+            }
+        }
     })
+}
+
+/// A constant (literal or folded offset) must sit inside the value
+/// domain; the same bound is enforced by `Program::validate`, but
+/// checking here keeps the caret diagnostic pointing at the source.
+fn in_domain(c: i64, span: Span) -> Result<i64, FrontendError> {
+    if c.unsigned_abs() > MAX_CONST_MAGNITUDE as u64 {
+        Err(FrontendError::Lower(LowerError {
+            span,
+            message: format!(
+                "constant {c} outside the value domain (|c| <= 2^40 = {MAX_CONST_MAGNITUDE})"
+            ),
+        }))
+    } else {
+        Ok(c)
+    }
 }
 
 fn lower_expr(e: &ast::Expr, ctx: &Ctx<'_>) -> Result<Expr, FrontendError> {
     Ok(match e {
-        ast::Expr::Const(c) => Expr::Const(c.node),
+        ast::Expr::Const(c) => Expr::Const(in_domain(c.node, c.span)?),
         ast::Expr::Var(v) => Expr::Var(ctx.var(v)?),
-        ast::Expr::Add(inner, c) => lower_expr(inner, ctx)?.plus(c.node),
+        ast::Expr::Add(inner, c) => {
+            let folded = lower_expr(inner, ctx)?.plus(in_domain(c.node, c.span)?);
+            // Folding in-range offsets can still leave the domain
+            // (`v + 2^40 + 2^40`); reject at the offset that overflowed.
+            if folded.max_abs_const() > MAX_CONST_MAGNITUDE as u64 {
+                return Err(FrontendError::Lower(LowerError {
+                    span: c.span,
+                    message: format!(
+                        "constant offsets fold outside the value domain \
+                         (|c| <= 2^40 = {MAX_CONST_MAGNITUDE})"
+                    ),
+                }));
+            }
+            folded
+        }
     })
 }
 
@@ -289,6 +338,91 @@ mod tests {
         assert!(e.to_string().contains("declared as a variable"), "{e}");
         let e = lower_src("program p { thread t0 { req r; r = 1; } }").unwrap_err();
         assert!(e.to_string().contains("declared as a request"), "{e}");
+    }
+
+    #[test]
+    fn repeat_lowers_and_unrolls() {
+        let p = lower_src(
+            "program p { thread t0 { var x; x = 0;
+               repeat 4 { x = x + 1; }
+             } }",
+        )
+        .unwrap();
+        assert_eq!(
+            p.threads[0].ops[1],
+            Op::Repeat {
+                count: 4,
+                body: vec![Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::AddConst(Box::new(Expr::Var(VarId(0))), 1),
+                }],
+            }
+        );
+        // init + 4 unrolled assigns.
+        assert_eq!(p.threads[0].code.len(), 5);
+        let out = mcapi::runtime::execute_random(&p, mcapi::types::DeliveryModel::Unordered, 0);
+        assert_eq!(out.final_state.threads[0].locals[0], 4);
+    }
+
+    #[test]
+    fn negative_repeat_count_is_rejected() {
+        // The grammar only admits a bare integer literal, so `-1` is a
+        // parse error; a negative count in a hand-built AST is a lower
+        // error (the `usize::try_from` guard).
+        let e = parse("program p { thread t0 { repeat -1 { } } }").unwrap_err();
+        assert!(e.expected.contains("iteration count"), "{e:?}");
+        use crate::ast::{Spanned, Stmt, StmtKind};
+        let file = crate::ast::File {
+            name: Spanned::new("p".into(), Span::new(0, 1)),
+            threads: vec![crate::ast::ThreadDecl {
+                name: Spanned::new("t0".into(), Span::new(0, 1)),
+                ports: vec![],
+                vars: vec![],
+                reqs: vec![],
+                body: vec![Stmt {
+                    kind: StmtKind::Repeat {
+                        count: Spanned::new(-1, Span::new(0, 1)),
+                        body: vec![],
+                    },
+                    span: Span::new(0, 1),
+                }],
+            }],
+        };
+        let e = lower(&file).unwrap_err();
+        assert!(e.to_string().contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn repeat_count_over_the_default_bound_is_a_validation_error() {
+        let e = lower_src("program p { thread t0 { var x; repeat 100 { x = 1; } } }").unwrap_err();
+        assert!(matches!(
+            e,
+            FrontendError::Invalid(mcapi::error::McapiError::Validation { .. })
+        ));
+        // An explicit config unlocks it.
+        let f = parse("program p { thread t0 { var x; repeat 100 { x = 1; } } }").unwrap();
+        let p = lower_with(&f, &mcapi::program::UnrollConfig::with_max_count(128)).unwrap();
+        assert_eq!(p.threads[0].code.len(), 100);
+    }
+
+    #[test]
+    fn out_of_domain_constants_point_at_the_literal() {
+        let big = MAX_CONST_MAGNITUDE + 1;
+        let src = format!("program p {{ thread t0 {{ var x; x = {big}; }} }}");
+        let e = lower_src(&src).unwrap_err();
+        let FrontendError::Lower(l) = e else {
+            panic!("{e:?}")
+        };
+        assert_eq!(&src[l.span.start..l.span.end], &big.to_string());
+        assert!(l.message.contains("value domain"), "{}", l.message);
+        // Folding two in-range offsets outside the domain is caught too.
+        let b = MAX_CONST_MAGNITUDE;
+        let src = format!("program p {{ thread t0 {{ var x; x = x + {b} + {b}; }} }}");
+        let e = lower_src(&src).unwrap_err();
+        assert!(e.to_string().contains("fold"), "{e}");
+        // The boundary itself is accepted.
+        let src = format!("program p {{ thread t0 {{ var x; x = {b}; x = x - {b}; }} }}");
+        assert!(lower_src(&src).is_ok());
     }
 
     #[test]

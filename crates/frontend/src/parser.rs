@@ -14,6 +14,7 @@
 //!          | "wait" "(" IDENT ")" ";"
 //!          | "assert" "(" cond ("," STRING)? ")" ";"
 //!          | "if" "(" cond ")" block ("else" block)?
+//!          | "repeat" INT block
 //! dest    := (IDENT | INT) ":" INT
 //! expr    := primary (("+" | "-") INT)*
 //! primary := INT | "-" INT | IDENT | "(" expr ")"
@@ -256,6 +257,12 @@ impl Parser {
                 self.expect(TokenKind::RParen, "`)`")?;
                 self.expect(TokenKind::Semi, "`;`")?;
                 StmtKind::Assert { cond, message }
+            }
+            TokenKind::KwRepeat => {
+                self.bump();
+                let count = self.int("an iteration count")?;
+                let body = self.block()?;
+                StmtKind::Repeat { count, body }
             }
             TokenKind::KwIf => {
                 self.bump();
@@ -583,6 +590,32 @@ mod tests {
             cond,
             Cond::Cmp(CmpOp::Lt, Expr::Add(..), Expr::Add(..))
         ));
+    }
+
+    #[test]
+    fn repeat_statement_parses_and_nests() {
+        let f = parse_ok(
+            "program p { thread t0 { var a;
+               repeat 3 {
+                 a = a + 1;
+                 repeat 2 { send(t0:0, a); }
+                 if (a < 2) { a = 0; }
+               }
+             } }",
+        );
+        let StmtKind::Repeat { count, body } = &f.threads[0].body[0].kind else {
+            panic!("expected repeat, got {:?}", f.threads[0].body[0].kind);
+        };
+        assert_eq!(count.node, 3);
+        assert_eq!(body.len(), 3);
+        assert!(matches!(body[1].kind, StmtKind::Repeat { .. }));
+        assert!(matches!(body[2].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn repeat_needs_a_literal_count() {
+        let e = parse("program p { thread t0 { var a; repeat a { } } }").unwrap_err();
+        assert!(e.expected.contains("iteration count"), "{e:?}");
     }
 
     #[test]

@@ -133,6 +133,14 @@ fn print_op(out: &mut String, op: &Op, level: usize, dest_names: &[Option<String
                 let _ = writeln!(out, "assert({}, \"{}\");", cond(c), escape(message));
             }
         }
+        Op::Repeat { count, body } => {
+            let _ = writeln!(out, "repeat {count} {{");
+            for op in body {
+                print_op(out, op, level + 1, dest_names);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
         Op::If {
             cond: c,
             then_ops,
@@ -177,7 +185,10 @@ fn expr(e: &Expr) -> String {
         Expr::Const(c) => c.to_string(),
         Expr::Var(v) => var_name(*v),
         Expr::AddConst(inner, c) if *c >= 0 => format!("({} + {c})", expr(inner)),
-        Expr::AddConst(inner, c) => format!("({} - {})", expr(inner), -c),
+        // `unsigned_abs`, not `-c`: negating `i64::MIN` panics. Validated
+        // programs never hold such an offset, but the printer must not be
+        // the thing that crashes on one.
+        Expr::AddConst(inner, c) => format!("({} - {})", expr(inner), c.unsigned_abs()),
     }
 }
 
@@ -246,6 +257,41 @@ mod tests {
         b.recv(c, 0);
         let text = pretty(&b.build().unwrap());
         assert!(text.contains("send(1:0, 1);"), "{text}");
+    }
+
+    #[test]
+    fn repeat_prints_and_roundtrips() {
+        let mut b = ProgramBuilder::new("looped");
+        let t = b.thread("t0");
+        let u = b.thread("t1");
+        let x = b.fresh_var(t);
+        b.assign(t, x, Expr::Const(0));
+        b.repeat(t, 3, |bb| {
+            bb.send_expr(u, 0, Expr::Var(x));
+            bb.assign(x, Expr::Var(x).plus(1));
+        });
+        b.repeat(u, 3, |bb| {
+            let _ = bb.recv(0);
+        });
+        let p = b.build().unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("repeat 3 {"), "{text}");
+        assert!(text.contains("send(t1:0, v0);"), "{text}");
+        let q = crate::parse_program(&text).unwrap();
+        assert_eq!(p, q, "repeat must round-trip structurally:\n{text}");
+    }
+
+    #[test]
+    fn negative_offsets_print_via_unsigned_abs() {
+        // Direct printer check at the i64 edge (such an expression cannot
+        // come from a validated program, but printing must not panic).
+        assert_eq!(
+            expr(&Expr::AddConst(
+                Box::new(Expr::Var(mcapi::types::VarId(0))),
+                i64::MIN
+            )),
+            "(v0 - 9223372036854775808)"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ proptest! {
             sends_per_thread: sends,
             nonblocking_percent: nb,
             with_assert,
+            ..RandomProgramConfig::default()
         };
         let p = random_program(seed, &cfg);
         let q = roundtrip(&p);
@@ -54,6 +55,31 @@ proptest! {
         let once = pretty(&p);
         let twice = pretty(&roundtrip(&p));
         prop_assert_eq!(once, twice);
+    }
+
+    /// Boundary constants (|c| at and next to the validated 2^40 edge)
+    /// survive the pretty → parse → lower loop bit-identically. Before
+    /// the `unsigned_abs` fixes this is where the printer/parser pair
+    /// broke down at the domain edge.
+    #[test]
+    fn boundary_constant_programs_roundtrip(seed in 0u64..300) {
+        let cfg = RandomProgramConfig {
+            extreme_const_percent: 60,
+            with_assert: true,
+            ..RandomProgramConfig::default()
+        };
+        let p = random_program(seed, &cfg);
+        prop_assert_eq!(&p, &roundtrip(&p));
+    }
+
+    /// `repeat` loops round-trip structurally: the printed source keeps
+    /// the loop, re-lowering unrolls to identical flat code.
+    #[test]
+    fn loop_programs_roundtrip(seed in 0u64..300, rounds in 1usize..4) {
+        let p = workloads::random_loop_program(seed, rounds);
+        let q = roundtrip(&p);
+        prop_assert_eq!(&p, &q);
+        prop_assert_eq!(p.code_size(), q.code_size());
     }
 }
 

@@ -19,7 +19,7 @@
 
 use crate::error::McapiError;
 use crate::expr::{Cond, Expr};
-use crate::program::{Op, Program, Thread};
+use crate::program::{Op, Program, Thread, UnrollConfig};
 use crate::types::{EndpointAddr, Port, ReqId, ThreadId, Value, VarId};
 
 /// Builder for [`Program`].
@@ -209,8 +209,34 @@ impl ProgramBuilder {
         );
     }
 
-    /// Compile and validate.
+    /// Bounded loop: the closure builds the body, which `build` unrolls
+    /// `count` times at compile time (see [`Op::Repeat`]). Variables and
+    /// requests allocated inside the body belong to the thread as usual.
+    pub fn repeat(
+        &mut self,
+        thread: ThreadId,
+        count: usize,
+        build_body: impl FnOnce(&mut BranchBuilder<'_>),
+    ) {
+        let mut body = Vec::new();
+        {
+            let mut bb = BranchBuilder {
+                parent: self,
+                thread,
+                ops: &mut body,
+            };
+            build_body(&mut bb);
+        }
+        self.push_op(thread, Op::Repeat { count, body });
+    }
+
+    /// Compile and validate under the default [`UnrollConfig`].
     pub fn build(self) -> Result<Program, McapiError> {
+        self.build_with(&UnrollConfig::default())
+    }
+
+    /// Compile and validate with explicit loop-unroll bounds.
+    pub fn build_with(self, unroll: &UnrollConfig) -> Result<Program, McapiError> {
         if self.threads.is_empty() {
             return Err(McapiError::Builder("program has no threads".into()));
         }
@@ -229,7 +255,7 @@ impl ProgramBuilder {
                 })
                 .collect(),
         }
-        .compile()
+        .compile_with(unroll)
     }
 }
 
@@ -280,6 +306,20 @@ impl BranchBuilder<'_> {
 
     pub fn push_op(&mut self, op: Op) {
         self.ops.push(op);
+    }
+
+    /// Nested bounded loop inside a branch or loop body.
+    pub fn repeat(&mut self, count: usize, build_body: impl FnOnce(&mut BranchBuilder<'_>)) {
+        let mut body = Vec::new();
+        {
+            let mut bb = BranchBuilder {
+                parent: &mut *self.parent,
+                thread: self.thread,
+                ops: &mut body,
+            };
+            build_body(&mut bb);
+        }
+        self.ops.push(Op::Repeat { count, body });
     }
 }
 

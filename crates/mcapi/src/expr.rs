@@ -9,6 +9,18 @@ use crate::types::{CmpOp, Value, VarId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Largest constant magnitude admitted in the value domain: every literal
+/// and folded constant offset must satisfy `|c| <= MAX_CONST_MAGNITUDE`
+/// (enforced by [`crate::program::Program::validate`]).
+///
+/// The bound does double duty: it keeps `Expr::eval`/`Expr::plus` sums far
+/// from `i64` overflow (an execution is bounded by the flattened code
+/// size, so accumulated offsets stay below `2^40 * 2^22 < 2^63`), and it
+/// keeps source-program constants well clear of the IDL solver's
+/// `i64::MAX / 4` infinity sentinel (`crates/smt/src/idl.rs`), where
+/// distance arithmetic would otherwise wrap.
+pub const MAX_CONST_MAGNITUDE: i64 = 1 << 40;
+
 /// An integer expression over thread-local variables.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Expr {
@@ -29,21 +41,46 @@ impl Expr {
         Expr::Const(c)
     }
 
-    /// `self + c`, folding constants.
+    /// `self + c`, folding constants. Folding is overflow-safe: when the
+    /// fold would wrap `i64`, the offset is kept unfolded instead (the
+    /// out-of-domain constant is then rejected by validation, not by a
+    /// panic or a silent wrap).
     pub fn plus(self, c: Value) -> Expr {
         match self {
-            Expr::Const(k) => Expr::Const(k + c),
-            Expr::AddConst(e, k) => Expr::AddConst(e, k + c),
+            Expr::Const(k) => match k.checked_add(c) {
+                Some(s) => Expr::Const(s),
+                None => Expr::AddConst(Box::new(Expr::Const(k)), c),
+            },
+            Expr::AddConst(e, k) => match k.checked_add(c) {
+                Some(s) => Expr::AddConst(e, s),
+                None => Expr::AddConst(Box::new(Expr::AddConst(e, k)), c),
+            },
             e => Expr::AddConst(Box::new(e), c),
         }
     }
 
     /// Evaluate under a local-variable environment.
+    ///
+    /// Addition saturates instead of wrapping. For validated programs
+    /// (`|c| <= 2^40`, loop-free flat code) saturation is unreachable —
+    /// the headroom argument is on [`MAX_CONST_MAGNITUDE`] — so this is a
+    /// defensive guarantee for expressions that bypass validation.
     pub fn eval(&self, locals: &[Value]) -> Value {
         match self {
             Expr::Const(c) => *c,
             Expr::Var(v) => locals[v.0 as usize],
-            Expr::AddConst(e, c) => e.eval(locals) + c,
+            Expr::AddConst(e, c) => e.eval(locals).saturating_add(*c),
+        }
+    }
+
+    /// Largest constant magnitude appearing in this expression (as a
+    /// `u64`, so `i64::MIN` is representable). Validation rejects
+    /// expressions where this exceeds [`MAX_CONST_MAGNITUDE`].
+    pub fn max_abs_const(&self) -> u64 {
+        match self {
+            Expr::Const(c) => c.unsigned_abs(),
+            Expr::Var(_) => 0,
+            Expr::AddConst(e, c) => e.max_abs_const().max(c.unsigned_abs()),
         }
     }
 
@@ -63,7 +100,8 @@ impl fmt::Display for Expr {
             Expr::Const(c) => write!(f, "{c}"),
             Expr::Var(v) => write!(f, "{v:?}"),
             Expr::AddConst(e, c) if *c >= 0 => write!(f, "({e} + {c})"),
-            Expr::AddConst(e, c) => write!(f, "({e} - {})", -c),
+            // `unsigned_abs`, not `-c`: negating `i64::MIN` panics.
+            Expr::AddConst(e, c) => write!(f, "({e} - {})", c.unsigned_abs()),
         }
     }
 }
@@ -140,6 +178,17 @@ impl Cond {
             Cond::Not(c) => c.vars(out),
         }
     }
+
+    /// Largest constant magnitude appearing in this condition (see
+    /// [`Expr::max_abs_const`]).
+    pub fn max_abs_const(&self) -> u64 {
+        match self {
+            Cond::True | Cond::False => 0,
+            Cond::Cmp(_, a, b) => a.max_abs_const().max(b.max_abs_const()),
+            Cond::And(a, b) | Cond::Or(a, b) => a.max_abs_const().max(b.max_abs_const()),
+            Cond::Not(c) => c.max_abs_const(),
+        }
+    }
 }
 
 impl fmt::Display for Cond {
@@ -207,6 +256,62 @@ mod tests {
     fn display_readable() {
         let c = Cond::lt(Expr::Var(v(0)).plus(-1), Expr::Const(3));
         assert_eq!(c.to_string(), "(var0 - 1) < 3");
+    }
+
+    #[test]
+    fn plus_never_panics_or_wraps_at_the_i64_edges() {
+        // Overflowing folds stay unfolded instead of panicking (debug) or
+        // wrapping (release).
+        let e = Expr::Const(i64::MAX).plus(1);
+        assert_eq!(e, Expr::AddConst(Box::new(Expr::Const(i64::MAX)), 1));
+        let e = Expr::Const(i64::MIN).plus(-1);
+        assert_eq!(e, Expr::AddConst(Box::new(Expr::Const(i64::MIN)), -1));
+        let e = Expr::Var(v(0)).plus(i64::MAX).plus(i64::MAX);
+        // Inner fold overflows: the second offset nests instead.
+        assert_eq!(
+            e,
+            Expr::AddConst(
+                Box::new(Expr::AddConst(Box::new(Expr::Var(v(0))), i64::MAX)),
+                i64::MAX
+            )
+        );
+        // In-range folds still fold.
+        assert_eq!(Expr::Const(3).plus(4), Expr::Const(7));
+    }
+
+    #[test]
+    fn eval_saturates_instead_of_overflowing() {
+        let locals = vec![i64::MAX, i64::MIN];
+        assert_eq!(Expr::Var(v(0)).plus(1).eval(&locals), i64::MAX);
+        assert_eq!(Expr::Var(v(1)).plus(-1).eval(&locals), i64::MIN);
+        assert_eq!(Expr::Var(v(0)).plus(-1).eval(&locals), i64::MAX - 1);
+    }
+
+    #[test]
+    fn display_handles_i64_min_offsets() {
+        // `-c` on i64::MIN used to panic in debug builds.
+        let e = Expr::AddConst(Box::new(Expr::Var(v(0))), i64::MIN);
+        assert_eq!(e.to_string(), "(var0 - 9223372036854775808)");
+        let c = Cond::lt(e, Expr::Const(i64::MIN));
+        assert_eq!(
+            c.to_string(),
+            "(var0 - 9223372036854775808) < -9223372036854775808"
+        );
+    }
+
+    #[test]
+    fn max_abs_const_covers_every_shape() {
+        assert_eq!(Expr::Var(v(0)).max_abs_const(), 0);
+        assert_eq!(Expr::Const(i64::MIN).max_abs_const(), 1u64 << 63);
+        assert_eq!(Expr::Var(v(0)).plus(-7).max_abs_const(), 7);
+        let c = Cond::not(Cond::and(
+            Cond::lt(Expr::Var(v(0)).plus(-9), Expr::Const(3)),
+            Cond::or(
+                Cond::eq(Expr::Const(-20), Expr::Var(v(1))),
+                Cond::ne(Expr::Var(v(1)), Expr::Const(5)),
+            ),
+        ));
+        assert_eq!(c.max_abs_const(), 20);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod types;
 
 pub use builder::ProgramBuilder;
 pub use error::McapiError;
-pub use expr::{Cond, Expr};
-pub use program::{Instr, Op, Program, Thread};
+pub use expr::{Cond, Expr, MAX_CONST_MAGNITUDE};
+pub use program::{Instr, Op, Program, Thread, UnrollConfig};
 pub use runtime::{execute, execute_random, ExecOutcome};
 pub use sched::{FirstScheduler, RandomScheduler, Scheduler, ScriptScheduler};
 pub use state::{Action, SysState};

@@ -7,9 +7,46 @@
 //! own (node, port) endpoints.
 
 use crate::error::McapiError;
-use crate::expr::{Cond, Expr};
+use crate::expr::{Cond, Expr, MAX_CONST_MAGNITUDE};
 use crate::types::{EndpointAddr, Port, ReqId, VarId};
 use serde::{Deserialize, Serialize};
+
+/// Bounds on compile-time loop unrolling (see [`Op::Repeat`]).
+///
+/// Both limits are safety valves against code blowup, not semantic
+/// restrictions: `repeat` counts are exact, so unrolling never truncates
+/// behaviour. A program that exceeds a bound is *rejected* (a
+/// [`McapiError::Validation`]), never silently clipped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnrollConfig {
+    /// Largest iteration count a single `repeat` may prescribe.
+    pub max_count: usize,
+    /// Largest flattened instruction count per thread after unrolling.
+    pub max_code: usize,
+}
+
+impl Default for UnrollConfig {
+    fn default() -> Self {
+        UnrollConfig {
+            max_count: 64,
+            max_code: 4096,
+        }
+    }
+}
+
+impl UnrollConfig {
+    /// A config whose iteration cap is `n` (the CLI's `--unroll N` and the
+    /// `// unroll:` header directive). The per-thread code cap scales with
+    /// the requested count so raising one bound does not silently trip the
+    /// other.
+    pub fn with_max_count(n: usize) -> UnrollConfig {
+        let dflt = UnrollConfig::default();
+        UnrollConfig {
+            max_count: n,
+            max_code: dflt.max_code.max(n.saturating_mul(64)),
+        }
+    }
+}
 
 /// Structured operations (builder-level form).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -40,6 +77,12 @@ pub enum Op {
         then_ops: Vec<Op>,
         else_ops: Vec<Op>,
     },
+    /// Bounded loop: execute `body` exactly `count` times. Compiled away
+    /// by [`Program::compile`] via unrolling — downstream consumers (the
+    /// interpreter, the explicit explorers, the symbolic encoder, path
+    /// enumeration) only ever see flat loop-free code. The unrolled size
+    /// is bounded by [`UnrollConfig`].
+    Repeat { count: usize, body: Vec<Op> },
 }
 
 /// Flat instruction form. `Branch`/`Jump` encode structured control flow;
@@ -110,11 +153,37 @@ pub struct Program {
 }
 
 impl Program {
-    /// Compile every thread's structured ops to flat code and validate.
-    pub fn compile(mut self) -> Result<Program, McapiError> {
-        for t in &mut self.threads {
+    /// Compile every thread's structured ops to flat code and validate,
+    /// under the default [`UnrollConfig`] bounds.
+    pub fn compile(self) -> Result<Program, McapiError> {
+        self.compile_with(&UnrollConfig::default())
+    }
+
+    /// [`Program::compile`] with explicit unroll bounds (the CLI's
+    /// `--unroll N` and the frontend's `// unroll:` header route through
+    /// here). `repeat` loops are unrolled into flat loop-free code; a
+    /// loop whose count or unrolled size exceeds `unroll`'s bounds is a
+    /// validation error.
+    pub fn compile_with(mut self, unroll: &UnrollConfig) -> Result<Program, McapiError> {
+        for (tid, t) in self.threads.iter_mut().enumerate() {
             let mut code = Vec::new();
-            flatten(&t.ops, &mut code);
+            flatten(&t.ops, &mut code, unroll).map_err(|message| McapiError::Validation {
+                thread: tid,
+                pc: code.len(),
+                message,
+            })?;
+            if code.len() > unroll.max_code {
+                return Err(McapiError::Validation {
+                    thread: tid,
+                    pc: 0,
+                    message: format!(
+                        "thread unrolls to {} instructions, exceeding the {} cap \
+                         (raise it with --unroll)",
+                        code.len(),
+                        unroll.max_code
+                    ),
+                });
+            }
             t.code = code;
         }
         self.validate()?;
@@ -122,7 +191,9 @@ impl Program {
     }
 
     /// Static sanity checks: endpoint references resolve, request handles
-    /// and variables are in range, waits refer to issued requests.
+    /// and variables are in range, waits refer to issued requests, and
+    /// every constant sits inside the value domain
+    /// (`|c| <= `[`MAX_CONST_MAGNITUDE`]).
     pub fn validate(&self) -> Result<(), McapiError> {
         for (tid, t) in self.threads.iter().enumerate() {
             for (pc, ins) in t.code.iter().enumerate() {
@@ -133,6 +204,22 @@ impl Program {
                         message: msg,
                     })
                 };
+                // The value-domain bound: constants anywhere near i64's
+                // edges would wrap under +const arithmetic and collide
+                // with the IDL solver's i64::MAX/4 infinity sentinel.
+                let max_abs = match ins {
+                    Instr::Send { value, .. } | Instr::SendI { value, .. } => value.max_abs_const(),
+                    Instr::Assign { expr, .. } => expr.max_abs_const(),
+                    Instr::Assert { cond, .. } | Instr::Branch { cond, .. } => cond.max_abs_const(),
+                    _ => 0,
+                };
+                if max_abs > MAX_CONST_MAGNITUDE as u64 {
+                    return err(format!(
+                        "constant magnitude {max_abs} outside the value domain \
+                         (|c| <= 2^40 = {MAX_CONST_MAGNITUDE}; larger constants \
+                         approach the difference-logic solver's infinity sentinel)"
+                    ));
+                }
                 match ins {
                     Instr::Send { to, value } | Instr::SendI { to, value, .. } => {
                         let Some(dst) = self.threads.get(to.node as usize) else {
@@ -268,8 +355,12 @@ fn render_instr(ins: &Instr) -> String {
     }
 }
 
-/// Flatten structured ops into instructions with branch targets patched.
-fn flatten(ops: &[Op], code: &mut Vec<Instr>) {
+/// Flatten structured ops into instructions with branch targets patched
+/// and `repeat` loops unrolled `count` times. Errors (returned as the
+/// message of a [`McapiError::Validation`]) abort the expansion as soon
+/// as a loop's count or the accumulating code size exceeds the bounds, so
+/// a hostile count can never allocate an unbounded instruction vector.
+fn flatten(ops: &[Op], code: &mut Vec<Instr>, unroll: &UnrollConfig) -> Result<(), String> {
     for op in ops {
         match op {
             Op::Send { to, value } => code.push(Instr::Send {
@@ -309,7 +400,7 @@ fn flatten(ops: &[Op], code: &mut Vec<Instr>) {
                     cond: cond.clone(),
                     else_target: 0,
                 });
-                flatten(then_ops, code);
+                flatten(then_ops, code, unroll)?;
                 if else_ops.is_empty() {
                     let end = code.len();
                     if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
@@ -322,15 +413,35 @@ fn flatten(ops: &[Op], code: &mut Vec<Instr>) {
                     if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
                         *else_target = else_start;
                     }
-                    flatten(else_ops, code);
+                    flatten(else_ops, code, unroll)?;
                     let end = code.len();
                     if let Instr::Jump { target } = &mut code[jump_at] {
                         *target = end;
                     }
                 }
             }
+            Op::Repeat { count, body } => {
+                if *count > unroll.max_count {
+                    return Err(format!(
+                        "repeat count {count} exceeds the unroll bound {} \
+                         (raise it with --unroll or a `// unroll:` header)",
+                        unroll.max_count
+                    ));
+                }
+                for _ in 0..*count {
+                    flatten(body, code, unroll)?;
+                    if code.len() > unroll.max_code {
+                        return Err(format!(
+                            "unrolled code exceeds {} instructions \
+                             (raise the cap with --unroll)",
+                            unroll.max_code
+                        ));
+                    }
+                }
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -465,6 +576,211 @@ mod tests {
         .unwrap();
         // Outer branch + (inner branch, then, jump, else) = 5.
         assert_eq!(p.threads[0].code.len(), 5);
+    }
+
+    #[test]
+    fn repeat_unrolls_at_compile_time() {
+        let body = vec![
+            Op::Assign {
+                var: VarId(0),
+                expr: Expr::Var(VarId(0)).plus(1),
+            },
+            Op::Send {
+                to: EndpointAddr::new(0, 0),
+                value: Expr::Var(VarId(0)),
+            },
+        ];
+        let ops = vec![
+            Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(0),
+            },
+            Op::Repeat { count: 3, body },
+        ];
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 1, 0, vec![0])],
+        }
+        .compile()
+        .unwrap();
+        // init + 3 * (assign, send) = 7 flat instructions, no jumps.
+        assert_eq!(p.threads[0].code.len(), 7);
+        assert!(!p.threads[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Jump { .. } | Instr::Branch { .. })));
+        assert_eq!(p.num_static_sends(), 3);
+    }
+
+    #[test]
+    fn nested_repeat_and_branch_in_loop_unroll_with_correct_targets() {
+        let inner = Op::Repeat {
+            count: 2,
+            body: vec![Op::If {
+                cond: Cond::cmp(CmpOp::Eq, Expr::Var(VarId(0)), Expr::Const(0)),
+                then_ops: vec![Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::Const(1),
+                }],
+                else_ops: vec![],
+            }],
+        };
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![Op::Repeat {
+                    count: 2,
+                    body: vec![inner],
+                }],
+                1,
+                0,
+                vec![],
+            )],
+        }
+        .compile()
+        .unwrap();
+        // 2 * 2 * (branch, assign) = 8 instructions, 4 branches, all
+        // targets forward and in range (validate would reject otherwise).
+        let code = &p.threads[0].code;
+        assert_eq!(code.len(), 8);
+        let branches: Vec<usize> = code
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| match i {
+                Instr::Branch { else_target, .. } => Some((pc, *else_target)),
+                _ => None,
+            })
+            .map(|(pc, t)| {
+                assert!(t > pc, "unrolled branch targets must stay forward");
+                t
+            })
+            .collect();
+        assert_eq!(branches.len(), 4);
+    }
+
+    #[test]
+    fn repeat_zero_unrolls_to_nothing() {
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![Op::Repeat {
+                    count: 0,
+                    body: vec![Op::Assign {
+                        var: VarId(9),
+                        expr: Expr::Const(1),
+                    }],
+                }],
+                0,
+                0,
+                vec![],
+            )],
+        }
+        .compile()
+        .unwrap();
+        // The body never materialises, so its out-of-range var is moot.
+        assert!(p.threads[0].code.is_empty());
+    }
+
+    #[test]
+    fn repeat_count_over_the_bound_is_rejected_and_unlocked_by_config() {
+        let mk = || Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![Op::Repeat {
+                    count: 100,
+                    body: vec![Op::Assign {
+                        var: VarId(0),
+                        expr: Expr::Const(1),
+                    }],
+                }],
+                1,
+                0,
+                vec![],
+            )],
+        };
+        let err = mk().compile().unwrap_err();
+        let McapiError::Validation { message, .. } = &err else {
+            panic!("{err:?}");
+        };
+        assert!(message.contains("unroll bound"), "{message}");
+        let p = mk()
+            .compile_with(&UnrollConfig::with_max_count(128))
+            .unwrap();
+        assert_eq!(p.threads[0].code.len(), 100);
+    }
+
+    #[test]
+    fn unrolled_code_size_is_capped() {
+        // 64 iterations x 100-op body = 6400 > the 4096 default cap.
+        let body: Vec<Op> = (0..100)
+            .map(|_| Op::Assign {
+                var: VarId(0),
+                expr: Expr::Const(1),
+            })
+            .collect();
+        let r = Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![Op::Repeat { count: 64, body }],
+                1,
+                0,
+                vec![],
+            )],
+        }
+        .compile();
+        let Err(McapiError::Validation { message, .. }) = r else {
+            panic!("expected a validation error, got {r:?}");
+        };
+        assert!(message.contains("unrolled code exceeds"), "{message}");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_constants() {
+        use crate::expr::MAX_CONST_MAGNITUDE;
+        let huge = |c: i64| {
+            Program {
+                name: "p".into(),
+                threads: vec![thread_with(
+                    vec![Op::Assign {
+                        var: VarId(0),
+                        expr: Expr::Const(c),
+                    }],
+                    1,
+                    0,
+                    vec![],
+                )],
+            }
+            .compile()
+        };
+        assert!(huge(MAX_CONST_MAGNITUDE).is_ok());
+        assert!(huge(-MAX_CONST_MAGNITUDE).is_ok());
+        for c in [
+            MAX_CONST_MAGNITUDE + 1,
+            -MAX_CONST_MAGNITUDE - 1,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let r = huge(c);
+            let Err(McapiError::Validation { message, .. }) = r else {
+                panic!("constant {c} must be rejected, got {r:?}");
+            };
+            assert!(message.contains("value domain"), "{message}");
+        }
+        // The bound applies to condition constants too.
+        let r = Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![Op::Assert {
+                    cond: Cond::cmp(CmpOp::Lt, Expr::Var(VarId(0)), Expr::Const(i64::MIN)),
+                    message: "m".into(),
+                }],
+                1,
+                0,
+                vec![],
+            )],
+        }
+        .compile();
+        assert!(matches!(r, Err(McapiError::Validation { .. })));
     }
 
     #[test]

@@ -42,10 +42,16 @@ pub enum FamilySpec {
     Branchy { rounds: usize },
     /// Seeded random well-formed program (differential fuzzing).
     Random { seed: u64 },
+    /// Sliding-window flow control: `repeat` loops with a raced branch
+    /// inside the body (compile-time unrolled).
+    CreditWindow { window: usize, rounds: usize },
+    /// Ping-pong handshake iterated via `repeat`, accumulating a counter
+    /// across rounds (branch-free loop workload).
+    IteratedHandshake { rounds: usize },
 }
 
 /// Family tags accepted by [`family_grid`] and printed in reports.
-pub const FAMILIES: [&str; 10] = [
+pub const FAMILIES: [&str; 12] = [
     "fig1",
     "fig1-assert",
     "race",
@@ -56,6 +62,8 @@ pub const FAMILIES: [&str; 10] = [
     "ring",
     "branchy",
     "random",
+    "credit-window",
+    "iterated-handshake",
 ];
 
 impl FamilySpec {
@@ -72,6 +80,8 @@ impl FamilySpec {
             FamilySpec::Ring { .. } => "ring",
             FamilySpec::Branchy { .. } => "branchy",
             FamilySpec::Random { .. } => "random",
+            FamilySpec::CreditWindow { .. } => "credit-window",
+            FamilySpec::IteratedHandshake { .. } => "iterated-handshake",
         }
     }
 
@@ -88,6 +98,10 @@ impl FamilySpec {
             FamilySpec::Ring { nodes, laps } => format!("ring{nodes}x{laps}"),
             FamilySpec::Branchy { rounds } => format!("branchy{rounds}"),
             FamilySpec::Random { seed } => format!("random{seed}"),
+            FamilySpec::CreditWindow { window, rounds } => {
+                format!("credit-window{window}x{rounds}")
+            }
+            FamilySpec::IteratedHandshake { rounds } => format!("iterated-handshake{rounds}"),
         }
     }
 
@@ -120,6 +134,12 @@ impl FamilySpec {
         }
         // Longest family prefix first: `race-assert3` must not parse as
         // the `race` family.
+        if let Some(rest) = name.strip_prefix("credit-window") {
+            return pair(rest).map(|(window, rounds)| FamilySpec::CreditWindow { window, rounds });
+        }
+        if let Some(rest) = name.strip_prefix("iterated-handshake") {
+            return sized(rest).map(|rounds| FamilySpec::IteratedHandshake { rounds });
+        }
         if let Some(rest) = name.strip_prefix("race-assert") {
             return sized(rest).map(|width| FamilySpec::RaceAssert { width });
         }
@@ -162,6 +182,8 @@ impl FamilySpec {
             FamilySpec::Random { seed } => {
                 crate::random_program(seed, &RandomProgramConfig::default())
             }
+            FamilySpec::CreditWindow { window, rounds } => crate::credit_window(window, rounds),
+            FamilySpec::IteratedHandshake { rounds } => crate::iterated_handshake(rounds),
         }
     }
 }
@@ -210,12 +232,18 @@ pub fn family_grid(family: &str, scale: usize) -> Vec<FamilySpec> {
         "random" => (0..scale as u64)
             .map(|seed| FamilySpec::Random { seed })
             .collect(),
+        "credit-window" => (1..=scale)
+            .map(|rounds| FamilySpec::CreditWindow { window: 2, rounds })
+            .collect(),
+        "iterated-handshake" => sizes()
+            .map(|rounds| FamilySpec::IteratedHandshake { rounds })
+            .collect(),
         _ => Vec::new(),
     }
 }
 
 /// The standard portfolio grid: every family at the given scale. With
-/// `scale = 2` this yields 18 program points; crossed with delivery models
+/// `scale = 2` this yields 22 program points; crossed with delivery models
 /// and engines by the driver it easily exceeds the 20-scenario bar.
 ///
 /// ```
@@ -294,6 +322,10 @@ mod tests {
             "",
             "fig2",
             "random-1",
+            "credit-window2",
+            "credit-windowx2",
+            "iterated-handshake",
+            "iterated-handshake0",
         ] {
             assert_eq!(FamilySpec::from_name(bad), None, "{bad:?} should not parse");
         }

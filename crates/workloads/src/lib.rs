@@ -13,6 +13,7 @@
 //! | [`mod@scatter`] | fan-out/fan-in with non-blocking receives + waits |
 //! | [`mod@ring`] | token rings (pairwise-FIFO-relevant deep program order) |
 //! | [`mod@branchy`] | value-dependent branches pinned by the trace |
+//! | [`mod@loops`] | `repeat`-based protocols (credit windows, iterated handshakes) unrolled at compile time |
 //! | [`random_program`] | seeded random well-formed programs (fuzzing) |
 //!
 //! All generators return compiled, validated [`mcapi::Program`]s. The
@@ -22,6 +23,7 @@
 pub mod branchy;
 pub mod fig1;
 pub mod grid;
+pub mod loops;
 pub mod pipeline;
 pub mod race;
 pub mod random;
@@ -31,8 +33,9 @@ pub mod scatter;
 pub use branchy::branchy;
 pub use fig1::{fig1, fig1_with_assert};
 pub use grid::{default_grid, family_grid, FamilySpec, FAMILIES};
+pub use loops::{credit_window, iterated_handshake};
 pub use pipeline::pipeline;
 pub use race::{delay_gap, race, race_with_winner_assert};
-pub use random::{random_program, RandomProgramConfig};
+pub use random::{random_loop_program, random_program, RandomProgramConfig};
 pub use ring::ring;
 pub use scatter::scatter;

@@ -20,6 +20,12 @@ pub struct RandomProgramConfig {
     pub nonblocking_percent: u32,
     /// Insert an assertion about the first received value.
     pub with_assert: bool,
+    /// Probability (percent) that a payload constant is drawn from the
+    /// value-domain boundary set (`±2^40`, `±(2^40 - 1)`, `0`) instead of
+    /// the small deterministic payload — so the fuzzing family exercises
+    /// the exact edges `Program::validate` admits. Default 0 keeps the
+    /// historical program shapes (and the committed perf baseline) stable.
+    pub extreme_const_percent: u32,
 }
 
 impl Default for RandomProgramConfig {
@@ -29,9 +35,21 @@ impl Default for RandomProgramConfig {
             sends_per_thread: 2,
             nonblocking_percent: 25,
             with_assert: false,
+            extreme_const_percent: 0,
         }
     }
 }
+
+/// The admitted extremes of the value domain (see
+/// [`mcapi::expr::MAX_CONST_MAGNITUDE`]): the payloads boundary-value
+/// fuzzing draws from.
+pub const BOUNDARY_VALUES: [i64; 5] = [
+    mcapi::expr::MAX_CONST_MAGNITUDE,
+    -mcapi::expr::MAX_CONST_MAGNITUDE,
+    mcapi::expr::MAX_CONST_MAGNITUDE - 1,
+    1 - mcapi::expr::MAX_CONST_MAGNITUDE,
+    0,
+];
 
 /// Generate a deadlock-free random program: every thread sends
 /// `sends_per_thread` messages to random *other* threads; each thread then
@@ -59,7 +77,15 @@ pub fn random_program(seed: u64, cfg: &RandomProgramConfig) -> Program {
     for (t, d) in dests.iter().enumerate() {
         // Sends first (avoids receive-before-send deadlocks by design).
         for (k, &to) in d.iter().enumerate() {
-            let payload = (t * 100 + k + 1) as i64;
+            // Short-circuit: the knob at 0 must not consume RNG state, so
+            // historical seeds keep generating identical programs.
+            let payload = if cfg.extreme_const_percent > 0
+                && rng.gen_range(0..100) < cfg.extreme_const_percent
+            {
+                BOUNDARY_VALUES[rng.gen_range(0..BOUNDARY_VALUES.len())]
+            } else {
+                (t * 100 + k + 1) as i64
+            };
             b.send_const(tids[t], tids[to], 0, payload);
         }
         // Balanced receives; a fraction via recv_i/wait.
@@ -92,6 +118,63 @@ pub fn random_program(seed: u64, cfg: &RandomProgramConfig) -> Program {
     }
     b.build()
         .expect("random program is well-formed by construction")
+}
+
+/// Seeded random *loop* program, for differential fuzzing of the unroller
+/// against the explicit ground truth.
+///
+/// Two producers stream accumulator-driven payloads from `repeat` loops
+/// into a consumer whose loop body branches on each received value and
+/// asserts a seed-dependent bound in each arm — so whether a violation is
+/// reachable (and at which iteration) depends on which payloads can race
+/// into which receive. All loops survive in the structured ops and are
+/// unrolled by `compile`, exercising the whole pipeline downstream.
+pub fn random_loop_program(seed: u64, rounds: usize) -> Program {
+    assert!((1..=5).contains(&rounds));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(format!("rand-loop-{seed}x{rounds}"));
+    let c = b.thread("consumer");
+    let p1 = b.thread("p1");
+    let p2 = b.thread("p2");
+
+    let split = rng.gen_range(10..90);
+    let hi_bound = rng.gen_range(40..120);
+    let lo_bound = rng.gen_range(0..60);
+    let v = b.fresh_var(c);
+    b.repeat(c, rounds, |bb| {
+        bb.push_op(mcapi::program::Op::Recv { port: 0, var: v });
+        bb.push_op(mcapi::program::Op::If {
+            cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(split)),
+            then_ops: vec![mcapi::program::Op::Assert {
+                cond: Cond::cmp(CmpOp::Le, Expr::Var(v), Expr::Const(hi_bound)),
+                message: format!("hi <= {hi_bound}"),
+            }],
+            else_ops: vec![mcapi::program::Op::Assert {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(lo_bound)),
+                message: format!("lo >= {lo_bound}"),
+            }],
+        });
+    });
+    // Drain the surplus so executions complete.
+    b.repeat(c, rounds, |bb| {
+        let drain = bb.fresh_var();
+        bb.push_op(mcapi::program::Op::Recv {
+            port: 0,
+            var: drain,
+        });
+    });
+
+    for p in [p1, p2] {
+        let x = b.fresh_var(p);
+        let base = rng.gen_range(0..100);
+        let step = rng.gen_range(0..50) - 10;
+        b.assign(p, x, Expr::Const(base));
+        b.repeat(p, rounds, |bb| {
+            bb.send_expr(c, 0, Expr::Var(x));
+            bb.assign(x, Expr::Var(x).plus(step));
+        });
+    }
+    b.build().expect("random loop program is well-formed")
 }
 
 #[cfg(test)]
@@ -131,6 +214,78 @@ mod tests {
             let p = random_program(seed, &RandomProgramConfig::default());
             assert_eq!(p.num_static_sends(), p.num_static_recvs());
         }
+    }
+
+    #[test]
+    fn extreme_consts_knob_draws_boundary_payloads_and_stays_valid() {
+        let cfg = RandomProgramConfig {
+            extreme_const_percent: 100,
+            ..RandomProgramConfig::default()
+        };
+        for seed in 0..20 {
+            // Compiles => every boundary constant passed validation.
+            let p = random_program(seed, &cfg);
+            let extremes = p
+                .threads
+                .iter()
+                .flat_map(|t| t.code.iter())
+                .filter_map(|i| match i {
+                    mcapi::program::Instr::Send { value, .. } => Some(value.max_abs_const()),
+                    _ => None,
+                })
+                .filter(|&m| m >= (mcapi::expr::MAX_CONST_MAGNITUDE - 1) as u64)
+                .count();
+            assert!(extremes > 0, "seed {seed} drew no boundary payloads");
+            // Executions stay panic-free in debug builds (the old
+            // unchecked `+` would abort here).
+            for run in 0..3 {
+                let out = execute_random(&p, DeliveryModel::Unordered, run);
+                assert!(out.trace.is_complete(), "seed {seed} run {run}");
+            }
+        }
+    }
+
+    #[test]
+    fn knob_at_zero_preserves_historical_generation() {
+        // The boundary knob must not perturb the RNG stream of existing
+        // seeds: the default config's programs are pinned by the perf
+        // baseline and by differential goldens.
+        let with_field = RandomProgramConfig {
+            extreme_const_percent: 0,
+            ..RandomProgramConfig::default()
+        };
+        for seed in 0..10 {
+            let p = random_program(seed, &with_field);
+            let q = random_program(seed, &RandomProgramConfig::default());
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn random_loop_programs_complete_and_keep_their_loops() {
+        for seed in 0..20 {
+            let p = random_loop_program(seed, 2);
+            assert!(p
+                .threads
+                .iter()
+                .flat_map(|t| t.ops.iter())
+                .any(|op| matches!(op, mcapi::program::Op::Repeat { .. })));
+            for run in 0..5 {
+                // Assertions may genuinely fail (that's the point of the
+                // family); what is ruled out is deadlock.
+                let out = execute_random(&p, DeliveryModel::Unordered, run);
+                assert!(
+                    out.trace.is_complete() || out.violation().is_some(),
+                    "seed {seed} run {run}: deadlocked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_loop_generation_is_deterministic_per_seed() {
+        assert_eq!(random_loop_program(3, 2), random_loop_program(3, 2));
+        assert_ne!(random_loop_program(3, 2), random_loop_program(4, 2));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! parsed as MCAPI-lite with caret diagnostics on error.
 //!
 //! ```text
-//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N]
+//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N] [--unroll N]
 //! mcapi-smc fmt <program|-> [--write]   # canonical MCAPI-lite (idempotent)
 //! mcapi-smc export <family|point> [--scale K] [--out DIR]  # grid → .mcapi
 //! mcapi-smc behaviours <program> [--delivery ...] [--limit N]
@@ -25,7 +25,10 @@
 //! enumerates every feasible control-flow path and checks each one —
 //! `--max-paths N` bounds the frontier, truncation degrades to UNKNOWN),
 //! `explicit`. A `.mcapi` file's `// delivery:` header supplies the
-//! delivery model when no `--delivery` flag is given.
+//! delivery model when no `--delivery` flag is given. `repeat` loops are
+//! unrolled at compile time; `--unroll N` sets the iteration bound
+//! (precedence: flag > the file's `// unroll:` header > default 64 —
+//! each level replaces the bound, in either direction).
 //!
 //! Portfolio options: `--threads N` (default: all cores), `--scale K`
 //! (grid size per family, default 2), `--families a,b,c` (default: all),
@@ -38,7 +41,7 @@
 
 use driver::prelude::*;
 use mcapi::error::McapiError;
-use mcapi::program::Program;
+use mcapi::program::{Program, UnrollConfig};
 use mcapi::runtime::execute_random;
 use mcapi::types::DeliveryModel;
 use std::io::Read;
@@ -79,22 +82,34 @@ fn looks_like_json(text: &str) -> bool {
 
 /// Parse program text by format: JSON (serde + re-compile) or MCAPI-lite
 /// (frontend, with source-located diagnostics via [`McapiError::Parse`]).
-fn parse_source(path: &str, text: &str) -> Result<Program, McapiError> {
+/// An explicit `unroll` bound (the `--unroll` flag) overrides the file's
+/// `// unroll:` header; without either, the default bounds apply.
+fn parse_source(path: &str, text: &str, unroll: Option<u64>) -> Result<Program, McapiError> {
+    let cfg = unroll.map(|n| UnrollConfig::with_max_count(n as usize));
     if path.ends_with(".json") || looks_like_json(text) {
         let program: Program = serde_json::from_str(text)
             .map_err(|e| McapiError::Builder(format!("cannot parse JSON: {e}")))?;
-        program.compile()
+        match cfg {
+            Some(c) => program.compile_with(&c),
+            None => program.compile(),
+        }
     } else {
-        frontend::parse_program(text)
+        match cfg {
+            Some(c) => frontend::parse_program_with(text, &c),
+            None => frontend::parse_program(text),
+        }
     }
 }
 
 /// Read and parse a program file, also returning its header directives
 /// (`// delivery:` etc.; empty for JSON programs).
-fn load_program(path: &str) -> Result<(Program, frontend::Directives), String> {
+fn load_program(
+    path: &str,
+    unroll: Option<u64>,
+) -> Result<(Program, frontend::Directives), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let directives = frontend::directives(&text);
-    match parse_source(path, &text) {
+    match parse_source(path, &text, unroll) {
         Ok(p) => Ok((p, directives)),
         Err(e) => Err(format!("{path}: {e}")),
     }
@@ -130,7 +145,7 @@ fn list_programs() {
         let examples: Vec<String> = grid.iter().map(|p| p.name()).collect();
         let branchy = grid.first().is_some_and(|p| p.build().has_branches());
         let mark = if branchy { " [branch-sensitive]" } else { "" };
-        println!("  {family:<12} {}{mark}", examples.join(" "));
+        println!("  {family:<18} {}{mark}", examples.join(" "));
     }
     println!();
     println!("[branch-sensitive]: verdicts differ between the trace-pinned symbolic");
@@ -139,6 +154,7 @@ fn list_programs() {
     println!("any point of a family's parameter space works, not just the examples:");
     println!("  raceN race-assertN delay-gapN scatterN branchyN randomSEED");
     println!("  pipelineSTAGESxITEMS ringNODESxLAPS");
+    println!("  iterated-handshakeN credit-windowWINDOWxROUNDS");
     println!("legacy aliases: delay-gap pipeline scatter ring");
 }
 
@@ -364,7 +380,7 @@ fn fmt(args: &[String]) -> ExitCode {
     };
     let formatted = if looks_like_json(&text) {
         // JSON → canonical MCAPI-lite (a one-way migration aid).
-        match parse_source("stdin.json", &text) {
+        match parse_source("stdin.json", &text, None) {
             Ok(p) => Ok(frontend::pretty(&p)),
             Err(e) => Err(e),
         }
@@ -504,7 +520,14 @@ fn main() -> ExitCode {
                 eprintln!("usage: mcapi-smc info <program>");
                 return ExitCode::from(2);
             };
-            match load_program(path) {
+            let unroll = match parse_flag_strict(&args, "--unroll") {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match load_program(path, unroll) {
                 Ok((p, _)) => {
                     print!("{}", p.render());
                     println!(
@@ -527,7 +550,16 @@ fn main() -> ExitCode {
                 eprintln!("usage: mcapi-smc {cmd} <program> [options]");
                 return ExitCode::from(2);
             };
-            let (program, directives) = match load_program(path) {
+            // `--unroll N` sets the loop-unroll bound; precedence over
+            // the file's `// unroll:` header mirrors `--delivery`.
+            let unroll = match parse_flag_strict(&args, "--unroll") {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (program, directives) = match load_program(path, unroll) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("{e}");

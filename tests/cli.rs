@@ -53,6 +53,84 @@ fn check_zero_delay_is_safe_with_exit_code_0() {
 }
 
 #[test]
+fn check_unroll_flag_and_header_raise_the_loop_bound() {
+    // 100 iterations exceed the default bound of 64.
+    let src = "program p { thread t0 { var x; x = 0; repeat 100 { x = x + 1; } } }";
+    let path = write_temp("big-loop.mcapi", src);
+    let out = bin()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "over-bound loop is rejected");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unroll"), "{stderr}");
+    // --unroll raises it.
+    let out = bin()
+        .args(["check", path.to_str().unwrap(), "--unroll", "128"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "raised bound => safe");
+    // A `// unroll:` header works too; the flag has precedence, so an
+    // explicit *lower* flag still rejects.
+    let with_header = format!("// unroll: 128\n{src}");
+    let path = write_temp("big-loop-header.mcapi", &with_header);
+    let out = bin()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "header raises the bound");
+    let out = bin()
+        .args(["check", path.to_str().unwrap(), "--unroll", "50"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "flag overrides the header");
+    // A malformed value is a usage error, not a silent default.
+    let out = bin()
+        .args(["check", path.to_str().unwrap(), "--unroll", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn second_lap_corpus_file_violates_under_every_engine() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/second-lap.mcapi");
+    for engine in [
+        "symbolic-precise",
+        "symbolic-overapprox",
+        "symbolic-paths",
+        "explicit",
+    ] {
+        let out = bin()
+            .args(["check", corpus.to_str().unwrap(), "--engine", engine])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{engine} must report the second-iteration violation"
+        );
+    }
+}
+
+#[test]
+fn loop_storm_corpus_file_degrades_to_unknown() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/loop-storm.mcapi");
+    let out = bin()
+        .args([
+            "check",
+            corpus.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "path blowup => UNKNOWN, exit 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+}
+
+#[test]
 fn behaviours_counts_fig4() {
     let path = write_temp("fig1.json", &demo_json("fig1"));
     let out = bin()
@@ -300,6 +378,19 @@ fn list_programs_marks_branch_sensitive_families() {
         .or_else(|| stdout.lines().find(|l| l.trim_start().starts_with("race")))
         .expect("race family listed");
     assert!(!race_line.contains("[branch-sensitive]"), "{race_line}");
+    // The loop families are derived from the live grid like everything
+    // else; credit-window branches inside its loop, the handshake doesn't.
+    let credit_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("credit-window"))
+        .expect("credit-window family listed");
+    assert!(credit_line.contains("credit-window2x1"), "{credit_line}");
+    assert!(credit_line.contains("[branch-sensitive]"), "{credit_line}");
+    let hs_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("iterated-handshake"))
+        .expect("iterated-handshake family listed");
+    assert!(!hs_line.contains("[branch-sensitive]"), "{hs_line}");
 }
 
 #[test]

@@ -32,10 +32,19 @@ fn corpus_files() -> Vec<std::path::PathBuf> {
 #[test]
 fn corpus_is_populated() {
     assert!(
-        corpus_files().len() >= 14,
-        "corpus/ must hold at least 14 .mcapi files, found {}",
+        corpus_files().len() >= 17,
+        "corpus/ must hold at least 17 .mcapi files, found {}",
         corpus_files().len()
     );
+    // The loop workload class is represented.
+    for name in ["iterated-handshake", "second-lap", "loop-storm"] {
+        assert!(
+            corpus_files()
+                .iter()
+                .any(|p| p.file_stem().is_some_and(|s| s == name)),
+            "corpus/{name}.mcapi is missing"
+        );
+    }
 }
 
 #[test]
@@ -134,6 +143,65 @@ fn infeasible_arm_is_pruned_not_explored() {
         report.paths_pruned >= 1,
         "the pruner must kill the unreachable arm"
     );
+}
+
+/// `second-lap.mcapi`: the assertion only fails on the second `repeat`
+/// iteration. Every engine — the trace-pinned symbolic generators, the
+/// branch-complete path engine, and the explicit ground truth — must
+/// report the violation (the ISSUE-5 acceptance bar for `repeat`).
+#[test]
+fn second_lap_violation_is_found_by_every_engine() {
+    use explicit::{ExploreConfig, GraphExplorer};
+    use symbolic::checker::{check_program, MatchGen};
+    let text = std::fs::read_to_string(corpus_dir().join("second-lap.mcapi")).unwrap();
+    let program = parse_program(&text).unwrap();
+    for matchgen in [MatchGen::Precise, MatchGen::OverApprox] {
+        let cfg = CheckConfig {
+            matchgen,
+            ..CheckConfig::default()
+        };
+        let v = check_program(&program, &cfg).verdict;
+        assert!(
+            matches!(v, Verdict::Violation(_)),
+            "{matchgen:?} said {v:?}"
+        );
+    }
+    let paths = check_program_paths(&program, &PathsConfig::default()).verdict;
+    assert!(matches!(paths, Verdict::Violation(_)), "{paths:?}");
+    let explicit = GraphExplorer::new(
+        &program,
+        ExploreConfig::with_model(DeliveryModel::Unordered),
+    )
+    .explore();
+    assert!(explicit.found_violation());
+}
+
+/// `loop-storm.mcapi`: a branch inside a 13-deep loop explodes the static
+/// path space past the enumeration cap. The path engine must answer
+/// UNKNOWN — and a tighter `--max-paths` on a smaller storm must truncate
+/// to UNKNOWN too — never silently SAFE.
+#[test]
+fn loop_storm_degrades_to_unknown_never_safe() {
+    let text = std::fs::read_to_string(corpus_dir().join("loop-storm.mcapi")).unwrap();
+    let program = parse_program(&text).unwrap();
+    let report = check_program_paths(&program, &PathsConfig::default());
+    match &report.verdict {
+        Verdict::Unknown(why) => assert!(why.contains("path"), "{why}"),
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+    // The --max-paths truncation route: shrink the loop below the
+    // enumeration cap but keep it above a small frontier budget.
+    let smaller = text.replace("repeat 13", "repeat 4");
+    let program = parse_program(&smaller).unwrap();
+    let cfg = PathsConfig {
+        max_paths: 3, // 2^4 = 16 static paths, frontier stops at 3
+        ..PathsConfig::default()
+    };
+    let report = check_program_paths(&program, &cfg);
+    match &report.verdict {
+        Verdict::Unknown(why) => assert!(why.contains("truncated"), "{why}"),
+        other => panic!("expected truncation Unknown, got {other:?}"),
+    }
 }
 
 /// `nested-gate.mcapi`: the violation sits two branch levels deep; the

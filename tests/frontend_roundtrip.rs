@@ -54,3 +54,43 @@ fn roundtripped_grid_matches_builder_grid_across_the_whole_portfolio() {
     assert_eq!(builder_report.safe, parsed_report.safe);
     assert_eq!(builder_report.unknown, parsed_report.unknown);
 }
+
+/// Portfolio verdicts stay bit-identical through the round-trip for
+/// programs whose constants sit at the validated value-domain boundary
+/// (|c| = 2^40 and neighbours) — the regression net for the overflow and
+/// negation fixes at the extremes.
+#[test]
+fn boundary_constant_programs_keep_their_portfolio_verdicts() {
+    use frontend::parse_program;
+    use workloads::{random_program, RandomProgramConfig};
+    let cfg_gen = RandomProgramConfig {
+        with_assert: true,
+        extreme_const_percent: 60,
+        ..RandomProgramConfig::default()
+    };
+    let originals: Vec<ProgramSpec> = (0..6)
+        .map(|seed| ProgramSpec::source(format!("extreme{seed}"), random_program(seed, &cfg_gen)))
+        .collect();
+    let roundtripped: Vec<ProgramSpec> = (0..6)
+        .map(|seed| {
+            let text = frontend::pretty(&random_program(seed, &cfg_gen));
+            ProgramSpec::source(format!("extreme{seed}"), parse_program(&text).unwrap())
+        })
+        .collect();
+    let cfg = PortfolioConfig {
+        threads: 2,
+        mode: Mode::Sweep,
+        ..Default::default()
+    };
+    let run = |specs: &[ProgramSpec]| {
+        run_portfolio(&cross(specs, &DeliveryModel::ALL, &Engine::ALL), &cfg)
+    };
+    let a = run(&originals);
+    let b = run(&roundtripped);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.scenario, y.scenario);
+        assert_eq!(x.verdict, y.verdict, "verdict drift on {}", x.scenario);
+        assert_eq!(x.detail, y.detail, "detail drift on {}", x.scenario);
+    }
+}

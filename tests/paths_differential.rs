@@ -15,8 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use symbolic::checker::Verdict;
 use symbolic::paths::{check_program_paths, PathsConfig};
-use workloads::random_program;
-use workloads::{branchy, RandomProgramConfig};
+use workloads::{branchy, credit_window, iterated_handshake, RandomProgramConfig};
+use workloads::{random_loop_program, random_program};
 
 /// A random branchy program: two producers race `rounds` payloads into a
 /// consumer that branches on each received value and asserts a random
@@ -139,6 +139,36 @@ proptest! {
         let p = random_program(seed, &cfg);
         assert_paths_matches_explicit(&p, DeliveryModel::Unordered);
     }
+
+    /// Randomized *loop* programs (ISSUE 5 acceptance): `repeat` bodies
+    /// with a branch per unrolled iteration and accumulator-driven
+    /// payloads — the paths verdict must equal explicit BFS under all
+    /// three delivery models.
+    #[test]
+    fn random_loop_verdicts_match_explicit_under_all_models(
+        seed in 0u64..3_000,
+        rounds in 1usize..3,
+    ) {
+        let p = random_loop_program(seed, rounds);
+        for model in DeliveryModel::ALL {
+            assert_paths_matches_explicit(&p, model);
+        }
+    }
+
+    /// Boundary-valued constants (the |c| <= 2^40 domain edge) flow
+    /// through the whole pipeline without changing any verdict relative
+    /// to the ground truth — and, in debug builds, without the arithmetic
+    /// panics the unchecked `+` used to cause.
+    #[test]
+    fn boundary_constant_programs_match_explicit(seed in 0u64..1_000) {
+        let cfg = RandomProgramConfig {
+            with_assert: true,
+            extreme_const_percent: 60,
+            ..RandomProgramConfig::default()
+        };
+        let p = random_program(seed, &cfg);
+        assert_paths_matches_explicit(&p, DeliveryModel::Unordered);
+    }
 }
 
 /// The hand-written branchy family (always safe, four+ paths) agrees with
@@ -148,5 +178,17 @@ fn branchy_family_is_safe_under_the_path_engine() {
     for rounds in 1..=3 {
         let p = branchy(rounds);
         assert_paths_matches_explicit(&p, DeliveryModel::Unordered);
+    }
+}
+
+/// The loop workload families (branch-in-loop credit windows, iterated
+/// handshakes) agree with the ground truth under every delivery model.
+#[test]
+fn loop_families_agree_with_the_ground_truth() {
+    for model in DeliveryModel::ALL {
+        for rounds in 1..=2 {
+            assert_paths_matches_explicit(&credit_window(2, rounds), model);
+            assert_paths_matches_explicit(&iterated_handshake(rounds + 1), model);
+        }
     }
 }
