@@ -290,6 +290,19 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         report.paths_reuse.conflicts,
         baseline.paths_reuse.conflicts,
     );
+    // Combined search-effort gates: conflicts alone can stay flat while
+    // propagation work balloons (or vice versa), so the branchy/loop paths
+    // grid and the main reuse grid are each also held to the *sum*.
+    ok &= within_tolerance(
+        "reuse.conflicts+propagations",
+        report.reuse.conflicts + report.reuse.propagations,
+        baseline.reuse.conflicts + baseline.reuse.propagations,
+    );
+    ok &= within_tolerance(
+        "paths_reuse.conflicts+propagations",
+        report.paths_reuse.conflicts + report.paths_reuse.propagations,
+        baseline.paths_reuse.conflicts + baseline.paths_reuse.propagations,
+    );
     if report.reduction_pct_conflicts_plus_propagations < MIN_REDUCTION_PCT {
         eprintln!(
             "PERF REGRESSION: session reuse saves only {}% of conflicts+propagations (< {MIN_REDUCTION_PCT}%)",

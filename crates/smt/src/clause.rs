@@ -1,32 +1,44 @@
-//! Clause storage for the CDCL core.
+//! Clause storage for the CDCL core: a single flat `u32` arena.
 //!
-//! Clauses live in one flat literal arena indexed by a header table; a
-//! [`ClauseRef`] is an index into the headers. Deletion is logical (headers
-//! are tombstoned and watchers lazily dropped); the arena is compacted when
-//! the fraction of dead literals grows past a threshold.
+//! Every clause lives contiguously in one buffer — three header words
+//! (length; flags + LBD; activity bits) followed by its literals — and a
+//! [`ClauseRef`] is the word offset of the header. Propagation therefore
+//! touches the header and the watched literals on the same cache lines,
+//! which is the Glucose/splr layout (headers-in-arena) rather than the
+//! header-table-plus-literal-pool split this module used before.
+//!
+//! Deletion is logical: the `deleted` flag is set, watchers are dropped
+//! lazily by BCP, and the scope machinery sweeps dead ranges at pops.
+//! Offsets are monotone in insertion order, so a position mark taken with
+//! [`ClauseDb::mark`] identifies "every clause added since" — the property
+//! the selector-scope journal relies on.
 
 use crate::lit::Lit;
 
-/// Index of a clause in the database.
+/// Word offset of a clause header in the arena.
 pub type ClauseRef = u32;
 
-#[derive(Clone, Debug)]
-struct Header {
-    start: u32,
-    len: u32,
-    learnt: bool,
-    deleted: bool,
-    /// Literal Block Distance at learning time (glue level).
-    lbd: u32,
-    activity: f32,
-}
+/// Header words in front of every clause's literals.
+const HEADER_WORDS: u32 = 3;
 
-/// The clause database: problem clauses and learned clauses.
+/// Flag bits in header word 1 (the LBD occupies the bits above them).
+const FLAG_LEARNT: u32 = 1;
+const FLAG_DELETED: u32 = 1 << 1;
+const FLAG_PROTECTED: u32 = 1 << 2;
+const LBD_SHIFT: u32 = 3;
+/// LBD values are clamped into the bits left over after the flags.
+const LBD_MAX: u32 = u32::MAX >> LBD_SHIFT;
+
+/// The clause database: problem clauses and learned clauses in one arena.
 #[derive(Default)]
 pub struct ClauseDb {
-    lits: Vec<Lit>,
-    headers: Vec<Header>,
-    /// Number of literals belonging to deleted clauses (compaction trigger).
+    /// `[len, flags|lbd, activity_bits, lit0, lit1, ...]*`
+    arena: Vec<u32>,
+    /// Live (non-deleted) clauses.
+    live: usize,
+    /// Live learned clauses.
+    learnt_live: usize,
+    /// Literals belonging to deleted clauses (garbage accounting).
     dead_lits: usize,
     /// Clause activity bump amount (exponentially rescaled).
     cla_inc: f32,
@@ -35,8 +47,9 @@ pub struct ClauseDb {
 impl ClauseDb {
     pub fn new() -> Self {
         ClauseDb {
-            lits: Vec::new(),
-            headers: Vec::new(),
+            arena: Vec::new(),
+            live: 0,
+            learnt_live: 0,
             dead_lits: 0,
             cla_inc: 1.0,
         }
@@ -46,76 +59,118 @@ impl ClauseDb {
     /// (units are handled on the trail, empties mean UNSAT).
     pub fn add(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let start = self.lits.len() as u32;
-        self.lits.extend_from_slice(lits);
-        let cref = self.headers.len() as ClauseRef;
-        self.headers.push(Header {
-            start,
-            len: lits.len() as u32,
-            learnt,
-            deleted: false,
-            lbd,
-            activity: 0.0,
-        });
+        let cref = self.arena.len() as ClauseRef;
+        let flags = if learnt { FLAG_LEARNT } else { 0 };
+        self.arena.push(lits.len() as u32);
+        self.arena.push(flags | (lbd.min(LBD_MAX) << LBD_SHIFT));
+        self.arena.push(0f32.to_bits());
+        self.arena.extend(lits.iter().map(|l| l.0));
+        self.live += 1;
+        if learnt {
+            self.learnt_live += 1;
+        }
         cref
+    }
+
+    #[inline]
+    fn len_of(&self, c: ClauseRef) -> usize {
+        self.arena[c as usize] as usize
     }
 
     /// The literals of a clause.
     #[inline]
     pub fn lits(&self, c: ClauseRef) -> &[Lit] {
-        let h = &self.headers[c as usize];
-        &self.lits[h.start as usize..(h.start + h.len) as usize]
+        let start = c as usize + HEADER_WORDS as usize;
+        let words = &self.arena[start..start + self.len_of(c)];
+        // SAFETY: `Lit` is `repr(transparent)` over `u32`.
+        unsafe { std::slice::from_raw_parts(words.as_ptr() as *const Lit, words.len()) }
     }
 
     /// Mutable literals of a clause (watched-literal reordering).
     #[inline]
     pub fn lits_mut(&mut self, c: ClauseRef) -> &mut [Lit] {
-        let h = &self.headers[c as usize];
-        &mut self.lits[h.start as usize..(h.start + h.len) as usize]
+        let start = c as usize + HEADER_WORDS as usize;
+        let len = self.len_of(c);
+        let words = &mut self.arena[start..start + len];
+        // SAFETY: `Lit` is `repr(transparent)` over `u32`.
+        unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut Lit, words.len()) }
+    }
+
+    #[inline]
+    fn flags(&self, c: ClauseRef) -> u32 {
+        self.arena[c as usize + 1]
     }
 
     #[inline]
     pub fn is_deleted(&self, c: ClauseRef) -> bool {
-        self.headers[c as usize].deleted
+        self.flags(c) & FLAG_DELETED != 0
     }
 
     #[inline]
     pub fn is_learnt(&self, c: ClauseRef) -> bool {
-        self.headers[c as usize].learnt
+        self.flags(c) & FLAG_LEARNT != 0
     }
 
+    /// Literal Block Distance — the glue level recorded at learning time,
+    /// possibly improved since by [`ClauseDb::update_lbd`].
     #[inline]
     pub fn lbd(&self, c: ClauseRef) -> u32 {
-        self.headers[c as usize].lbd
+        self.flags(c) >> LBD_SHIFT
     }
 
     #[inline]
     pub fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
-        self.headers[c as usize].lbd = lbd;
+        let w = &mut self.arena[c as usize + 1];
+        *w = (*w & (FLAG_LEARNT | FLAG_DELETED | FLAG_PROTECTED)) | (lbd.min(LBD_MAX) << LBD_SHIFT);
+    }
+
+    /// A clause whose LBD recently improved survives the next database
+    /// reduction even if it would otherwise be culled (Glucose's
+    /// `canBeDel` protection bit). Reduction clears the bit.
+    #[inline]
+    pub fn is_protected(&self, c: ClauseRef) -> bool {
+        self.flags(c) & FLAG_PROTECTED != 0
+    }
+
+    #[inline]
+    pub fn set_protected(&mut self, c: ClauseRef, on: bool) {
+        let w = &mut self.arena[c as usize + 1];
+        if on {
+            *w |= FLAG_PROTECTED;
+        } else {
+            *w &= !FLAG_PROTECTED;
+        }
     }
 
     #[inline]
     pub fn activity(&self, c: ClauseRef) -> f32 {
-        self.headers[c as usize].activity
+        f32::from_bits(self.arena[c as usize + 2])
     }
 
-    /// Tombstone a clause. The caller is responsible for not holding it as a
-    /// reason and for purging watchers lazily.
+    #[inline]
+    fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.arena[c as usize + 2] = a.to_bits();
+    }
+
+    /// Tombstone a clause. The caller is responsible for not holding it as
+    /// a reason and for purging watchers lazily.
     pub fn delete(&mut self, c: ClauseRef) {
-        let h = &mut self.headers[c as usize];
-        if !h.deleted {
-            h.deleted = true;
-            self.dead_lits += h.len as usize;
+        if !self.is_deleted(c) {
+            self.arena[c as usize + 1] |= FLAG_DELETED;
+            self.dead_lits += self.len_of(c);
+            self.live -= 1;
+            if self.is_learnt(c) {
+                self.learnt_live -= 1;
+            }
         }
     }
 
     /// Bump a learned clause's activity; returns `true` if a global rescale
     /// happened (callers don't need to act on it — kept for stats).
     pub fn bump_activity(&mut self, c: ClauseRef) -> bool {
-        let inc = self.cla_inc;
-        let h = &mut self.headers[c as usize];
-        h.activity += inc;
-        if h.activity > 1e20 {
+        let a = self.activity(c) + self.cla_inc;
+        self.set_activity(c, a);
+        if a > 1e20 {
             self.rescale();
             true
         } else {
@@ -124,8 +179,12 @@ impl ClauseDb {
     }
 
     fn rescale(&mut self) {
-        for hh in &mut self.headers {
-            hh.activity *= 1e-20;
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let len = self.arena[off] as usize;
+            let a = f32::from_bits(self.arena[off + 2]) * 1e-20;
+            self.arena[off + 2] = a.to_bits();
+            off += HEADER_WORDS as usize + len;
         }
         self.cla_inc *= 1e-20;
     }
@@ -139,43 +198,71 @@ impl ClauseDb {
         }
     }
 
+    /// Walk every clause (live and tombstoned) in insertion order.
+    pub fn refs(&self) -> ClauseRefIter<'_> {
+        self.refs_from(0)
+    }
+
+    /// Walk every clause at or past `mark` (a value previously returned by
+    /// [`ClauseDb::mark`]) in insertion order.
+    pub fn refs_from(&self, mark: ClauseRef) -> ClauseRefIter<'_> {
+        ClauseRefIter {
+            db: self,
+            off: mark,
+        }
+    }
+
     /// All live learned clause references (for reduce-db).
     pub fn learnt_refs(&self) -> Vec<ClauseRef> {
-        (0..self.headers.len() as ClauseRef)
-            .filter(|&c| {
-                let h = &self.headers[c as usize];
-                h.learnt && !h.deleted
-            })
+        self.refs()
+            .filter(|&c| self.is_learnt(c) && !self.is_deleted(c))
             .collect()
     }
 
     /// Total number of live clauses.
     pub fn num_live(&self) -> usize {
-        self.headers.iter().filter(|h| !h.deleted).count()
+        self.live
     }
 
-    /// Total number of clauses ever added (live + tombstoned) — the upper
-    /// bound of valid [`ClauseRef`]s, used as a position mark by the scope
-    /// machinery.
-    pub fn num_total(&self) -> usize {
-        self.headers.len()
+    /// Position mark identifying every clause added after this point —
+    /// monotone in insertion order, used as the scope journal's high-water
+    /// mark. (This is an arena offset, not a clause count.)
+    pub fn mark(&self) -> ClauseRef {
+        self.arena.len() as ClauseRef
     }
 
     /// Number of live learned clauses.
     pub fn num_learnt(&self) -> usize {
-        self.headers
-            .iter()
-            .filter(|h| h.learnt && !h.deleted)
-            .count()
+        self.learnt_live
     }
 
     /// Fraction of arena literals that belong to deleted clauses.
     pub fn garbage_ratio(&self) -> f64 {
-        if self.lits.is_empty() {
+        let total_lits = self.arena.len();
+        if total_lits == 0 {
             0.0
         } else {
-            self.dead_lits as f64 / self.lits.len() as f64
+            self.dead_lits as f64 / total_lits as f64
         }
+    }
+}
+
+/// Iterator over clause references produced by [`ClauseDb::refs_from`].
+pub struct ClauseRefIter<'a> {
+    db: &'a ClauseDb,
+    off: ClauseRef,
+}
+
+impl Iterator for ClauseRefIter<'_> {
+    type Item = ClauseRef;
+
+    fn next(&mut self) -> Option<ClauseRef> {
+        if (self.off as usize) >= self.db.arena.len() {
+            return None;
+        }
+        let c = self.off;
+        self.off += HEADER_WORDS + self.db.arena[c as usize];
+        Some(c)
     }
 }
 
@@ -203,6 +290,18 @@ mod tests {
     }
 
     #[test]
+    fn refs_walk_the_arena_in_order() {
+        let mut db = ClauseDb::new();
+        let c1 = db.add(&lits(&[0, 1, 2]), false, 0);
+        let mark = db.mark();
+        let c2 = db.add(&lits(&[3, 4]), true, 2);
+        let c3 = db.add(&lits(&[5, 6, 7, 8]), true, 3);
+        assert_eq!(db.refs().collect::<Vec<_>>(), vec![c1, c2, c3]);
+        assert_eq!(db.refs_from(mark).collect::<Vec<_>>(), vec![c2, c3]);
+        assert_eq!(db.refs_from(db.mark()).count(), 0);
+    }
+
+    #[test]
     fn delete_is_logical() {
         let mut db = ClauseDb::new();
         let c1 = db.add(&lits(&[0, 1]), true, 2);
@@ -216,6 +315,7 @@ mod tests {
         let before = db.garbage_ratio();
         db.delete(c1);
         assert_eq!(db.garbage_ratio(), before);
+        assert_eq!(db.num_learnt(), 1);
     }
 
     #[test]
@@ -251,6 +351,22 @@ mod tests {
         let l2 = db.add(&lits(&[4, 5]), true, 3);
         db.delete(l1);
         assert_eq!(db.learnt_refs(), vec![l2]);
+    }
+
+    #[test]
+    fn lbd_updates_and_protection() {
+        let mut db = ClauseDb::new();
+        let c = db.add(&lits(&[0, 1, 2]), true, 7);
+        assert_eq!(db.lbd(c), 7);
+        db.set_lbd(c, 3);
+        assert_eq!(db.lbd(c), 3);
+        assert!(db.is_learnt(c), "flags survive LBD updates");
+        assert!(!db.is_protected(c));
+        db.set_protected(c, true);
+        assert!(db.is_protected(c));
+        assert_eq!(db.lbd(c), 3, "protection bit leaves the LBD alone");
+        db.set_protected(c, false);
+        assert!(!db.is_protected(c));
     }
 
     #[test]

@@ -56,6 +56,13 @@ impl VarHeap {
         self.sift_up(i, activity);
     }
 
+    /// The variable with maximal activity, without removing it. Used by
+    /// reused-trail restarts to compare the best pending decision against
+    /// the decisions already on the trail.
+    pub fn peek(&self) -> Option<Var> {
+        self.heap.first().map(|&v| Var(v))
+    }
+
     /// Remove and return the variable with maximal activity.
     pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
         if self.heap.is_empty() {
@@ -176,7 +183,21 @@ mod tests {
         let act: Vec<f64> = vec![];
         let mut h = VarHeap::new();
         assert_eq!(h.pop_max(&act), None);
+        assert_eq!(h.peek(), None);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop_without_removing() {
+        let act = vec![1.0, 5.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3u32 {
+            h.insert(Var(i), &act);
+        }
+        assert_eq!(h.peek(), Some(Var(1)));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop_max(&act), Some(Var(1)));
+        assert_eq!(h.peek(), Some(Var(2)));
     }
 
     #[test]

@@ -254,6 +254,14 @@ impl Theory for Idl {
         // constraints never invalidates a potential function.
         debug_assert!(self.check_potential_valid());
     }
+
+    fn value_hint(&self, v: Var) -> Option<bool> {
+        // Evaluate the atom under the potential function — the same integer
+        // model `value_of` reports — so don't-care atoms completed with this
+        // value agree with the clock values a witness is decoded from.
+        let atom = self.atom_for(v)?;
+        Some(self.value_of(atom.x) - self.value_of(atom.y) <= atom.c)
+    }
 }
 
 #[cfg(test)]

@@ -17,9 +17,11 @@
 //! * a lowering pass that normalises comparisons to canonical difference
 //!   atoms ([`atom`]),
 //! * Tseitin CNF conversion ([`cnf`]),
-//! * a CDCL SAT core with two-watched-literal propagation, first-UIP clause
-//!   learning, VSIDS, phase saving, Luby restarts and activity-driven clause
-//!   database reduction ([`sat`]),
+//! * a Glucose-class CDCL SAT core with two-watched-literal propagation
+//!   over a flat clause arena, first-UIP learning, EVSIDS activity,
+//!   theory-aware saved phases, don't-care decision elision, LBD-driven
+//!   clause-database reduction and EMA-based dynamic restarts with
+//!   trail-growth blocking ([`sat`]),
 //! * an incremental difference-logic theory solver using potential-function
 //!   maintenance and negative-cycle detection ([`idl`]), and
 //! * a facade ([`solver::SmtSolver`]) tying it together with model

@@ -5,6 +5,7 @@ use std::ops::Not;
 
 /// A Boolean (propositional) variable, numbered densely from zero.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Var(pub u32);
 
 impl Var {
@@ -48,7 +49,11 @@ impl fmt::Debug for Var {
 ///
 /// The low bit is the *sign*: `0` for the positive literal, `1` for the
 /// negated literal, matching the MiniSat convention.
+///
+/// `repr(transparent)` is load-bearing: the clause arena stores literals
+/// as raw `u32` words and reinterprets slices of them as `&[Lit]`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(pub u32);
 
 impl Lit {

@@ -15,8 +15,17 @@ pub struct Stats {
     pub theory_assertions: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Restarts suppressed by the trail-growth blocker.
+    pub blocked_restarts: u64,
+    /// Learned-clause database reductions performed.
+    pub reduces: u64,
     /// Learned clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Learned clauses produced over the solver's lifetime.
+    pub learned_total: u64,
+    /// Sum of learned-clause LBDs (so `sum_lbd / learned_total` is the
+    /// slow glue average the restart policy compares against).
+    pub sum_lbd: u64,
     /// Learned clauses deleted by database reduction.
     pub deleted_clauses: u64,
     /// Literals removed by conflict-clause minimisation.
@@ -36,7 +45,11 @@ impl Stats {
         self.theory_conflicts += other.theory_conflicts;
         self.theory_assertions += other.theory_assertions;
         self.restarts += other.restarts;
+        self.blocked_restarts += other.blocked_restarts;
+        self.reduces += other.reduces;
         self.learnt_clauses += other.learnt_clauses;
+        self.learned_total += other.learned_total;
+        self.sum_lbd += other.sum_lbd;
         self.deleted_clauses += other.deleted_clauses;
         self.minimized_lits += other.minimized_lits;
         self.clauses_added += other.clauses_added;
@@ -59,7 +72,13 @@ impl Stats {
                 .theory_assertions
                 .saturating_sub(baseline.theory_assertions),
             restarts: self.restarts.saturating_sub(baseline.restarts),
+            blocked_restarts: self
+                .blocked_restarts
+                .saturating_sub(baseline.blocked_restarts),
+            reduces: self.reduces.saturating_sub(baseline.reduces),
             learnt_clauses: self.learnt_clauses.saturating_sub(baseline.learnt_clauses),
+            learned_total: self.learned_total.saturating_sub(baseline.learned_total),
+            sum_lbd: self.sum_lbd.saturating_sub(baseline.sum_lbd),
             deleted_clauses: self
                 .deleted_clauses
                 .saturating_sub(baseline.deleted_clauses),
@@ -74,14 +93,16 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "decisions={} propagations={} conflicts={} (theory {}) restarts={} learnt={} deleted={}",
+            "decisions={} propagations={} conflicts={} (theory {}) restarts={} (blocked {}) learnt={} deleted={} reduces={}",
             self.decisions,
             self.propagations,
             self.conflicts,
             self.theory_conflicts,
             self.restarts,
+            self.blocked_restarts,
             self.learnt_clauses,
             self.deleted_clauses,
+            self.reduces,
         )
     }
 }
@@ -107,6 +128,34 @@ mod tests {
         assert_eq!(a.decisions, 11);
         assert_eq!(a.conflicts, 22);
         assert_eq!(a.restarts, 3);
+    }
+
+    #[test]
+    fn delta_covers_restart_and_reduction_counters() {
+        let base = Stats {
+            restarts: 2,
+            blocked_restarts: 1,
+            reduces: 1,
+            learned_total: 10,
+            sum_lbd: 30,
+            ..Default::default()
+        };
+        let now = Stats {
+            restarts: 5,
+            blocked_restarts: 4,
+            reduces: 2,
+            learned_total: 25,
+            sum_lbd: 80,
+            ..Default::default()
+        };
+        let d = now.delta(&base);
+        assert_eq!(d.restarts, 3);
+        assert_eq!(d.blocked_restarts, 3);
+        assert_eq!(d.reduces, 1);
+        assert_eq!(d.learned_total, 15);
+        assert_eq!(d.sum_lbd, 50);
+        // Swapped snapshots saturate instead of underflowing.
+        assert_eq!(base.delta(&now).sum_lbd, 0);
     }
 
     #[test]

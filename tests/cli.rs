@@ -130,6 +130,56 @@ fn loop_storm_corpus_file_degrades_to_unknown() {
     assert!(stdout.contains("UNKNOWN"), "{stdout}");
 }
 
+/// The UNKNOWN-never-silent-SAFE ceiling contract on a storm the solver
+/// can actually finish: shrinking the loop to 2^6 = 64 static paths puts
+/// it under the enumeration cap, so the path engine must run the whole
+/// family through the SAT core and answer a *earned* SAFE — while the
+/// same storm under a tighter `--max-paths` budget must still surface
+/// the truncation as UNKNOWN (exit 3), never silently SAFE (exit 0).
+#[test]
+fn shrunk_loop_storm_completes_but_truncation_stays_unknown() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/loop-storm.mcapi");
+    let text = std::fs::read_to_string(&corpus).unwrap();
+    let shrunk = write_temp("loop-storm-6.mcapi", &text.replace("repeat 13", "repeat 6"));
+
+    let out = bin()
+        .args([
+            "check",
+            shrunk.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "64-path storm completes => SAFE"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SAFE"), "{stdout}");
+    assert!(
+        stdout.contains("all feasible control-flow paths"),
+        "SAFE must be branch-complete, not trace-scoped: {stdout}"
+    );
+
+    let out = bin()
+        .args([
+            "check",
+            shrunk.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+            "--max-paths",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "truncated => exit 3, never 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("truncated"), "{stdout}");
+}
+
 #[test]
 fn behaviours_counts_fig4() {
     let path = write_temp("fig1.json", &demo_json("fig1"));

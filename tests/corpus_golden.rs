@@ -202,6 +202,19 @@ fn loop_storm_degrades_to_unknown_never_safe() {
         Verdict::Unknown(why) => assert!(why.contains("truncated"), "{why}"),
         other => panic!("expected truncation Unknown, got {other:?}"),
     }
+    // And the earned-SAFE side of the contract: a 2^6 = 64-path storm
+    // fits under the default cap, so the engine must push the whole
+    // family through the SAT core and come back SAFE — an UNKNOWN here
+    // would mean the solver ran out of budget on a storm it is expected
+    // to finish.
+    let smaller = text.replace("repeat 13", "repeat 6");
+    let program = parse_program(&smaller).unwrap();
+    let report = check_program_paths(&program, &PathsConfig::default());
+    assert!(
+        matches!(report.verdict, Verdict::Safe),
+        "64-path storm must complete: {:?}",
+        report.verdict
+    );
 }
 
 /// `nested-gate.mcapi`: the violation sits two branch levels deep; the
