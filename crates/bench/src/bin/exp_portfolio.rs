@@ -14,6 +14,14 @@
 //!   committed baseline and exit non-zero if any regresses by more than
 //!   20%, or if session reuse stops saving at least 20% of
 //!   conflicts + propagations.
+//! * `exp_portfolio --trend PATH` — run the pinned grid once (shared
+//!   sessions, 1 thread, sweep) and append one schema-versioned JSON line
+//!   (git rev, UTC date, deterministic counters, wall clock) to the
+//!   `BENCH_trend.jsonl` ledger at PATH. Append-only, so CI can chart the
+//!   counters across commits.
+//! * `exp_portfolio --trend-table PATH [--last N]` — render the ledger's
+//!   last N records (default 10) as a markdown table on stdout, for
+//!   `$GITHUB_STEP_SUMMARY`.
 //!
 //! Run: `cargo run --release -p bench --bin exp_portfolio [args]`
 
@@ -195,17 +203,41 @@ fn pinned_grid_report() -> PerfGateReport {
     }
 }
 
+/// The command that refreshes the committed baseline after an
+/// *intentional* perf change; printed with every gate failure so the fix
+/// never has to be dug out of CI config.
+const REGEN_CMD: &str =
+    "cargo run --release -p bench --bin exp_portfolio -- --json BENCH_portfolio.json";
+
+/// Percentage change of `current` relative to `baseline` (`+25.0` means a
+/// quarter more work than the baseline recorded).
+fn delta_pct(current: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        if current == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (current as f64 - baseline as f64) / baseline as f64
+    }
+}
+
 /// One counter comparison against the baseline; returns whether it passes.
 fn within_tolerance(name: &str, current: u64, baseline: u64) -> bool {
     let limit = (baseline as f64 * (1.0 + TOLERANCE)).ceil() as u64;
     if current > limit {
         eprintln!(
-            "PERF REGRESSION: {name}: {current} > {limit} (baseline {baseline} +{:.0}%)",
+            "PERF REGRESSION: {name}: {current} vs baseline {baseline} ({:+.1}%, tolerance +{:.0}%, limit {limit})",
+            delta_pct(current, baseline),
             TOLERANCE * 100.0
         );
         false
     } else {
-        println!("ok: {name}: {current} (baseline {baseline}, limit {limit})");
+        println!(
+            "ok: {name}: {current} (baseline {baseline}, {:+.1}%, limit {limit})",
+            delta_pct(current, baseline)
+        );
         true
     }
 }
@@ -330,7 +362,54 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
     if ok {
         ExitCode::SUCCESS
     } else {
+        eprintln!("if the change is intentional, refresh the baseline and commit it:");
+        eprintln!("  {REGEN_CMD}");
         ExitCode::from(1)
+    }
+}
+
+/// `--trend PATH`: run the pinned grid once and append one trend record.
+fn trend_append(path: &str) -> ExitCode {
+    const GRID_DESC: &str =
+        "default_grid(1) x all deliveries x all engines, 1 thread, sweep, session reuse";
+    let grid = default_grid(1);
+    let scenarios = cross(&grid, &DeliveryModel::ALL, &Engine::ALL);
+    let cfg = PortfolioConfig {
+        threads: 1,
+        mode: Mode::Sweep,
+        session_reuse: true,
+        ..PortfolioConfig::default()
+    };
+    let report = run_portfolio(&scenarios, &cfg);
+    let record = driver::trend::TrendRecord::from_report(&report, GRID_DESC);
+    if let Err(e) = driver::trend::append_record(std::path::Path::new(path), &record) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "appended trend record to {path}: rev {} date {} | {} scenarios, {} ms, {} sat checks, {} conflicts, {} propagations",
+        record.git_rev,
+        record.date,
+        record.scenarios,
+        record.wall_ms,
+        record.sat_checks,
+        record.conflicts,
+        record.propagations,
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--trend-table PATH [--last N]`: markdown table of the newest records.
+fn trend_table(path: &str, last: usize) -> ExitCode {
+    match driver::trend::load_records(std::path::Path::new(path)) {
+        Ok(records) => {
+            print!("{}", driver::trend::render_markdown(&records, last));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -344,6 +423,15 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if let Some(path) = flag_value(&args, "--trend") {
+        return trend_append(path);
+    }
+    if let Some(path) = flag_value(&args, "--trend-table") {
+        let last = flag_value(&args, "--last")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        return trend_table(path, last);
+    }
     if let Some(json_path) = flag_value(&args, "--json") {
         return perf_gate(json_path, flag_value(&args, "--check"));
     }

@@ -53,13 +53,15 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod trend;
 
-pub use report::{PortfolioReport, ScenarioOutcome, VerdictKind};
+pub use report::{PortfolioReport, ScenarioEvent, ScenarioOutcome, VerdictKind};
 pub use runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
 pub use scenario::{
-    batch_by_grid_point, corpus_scenarios, corpus_specs, cross, Engine, GridBatch, ProgramSpec,
-    Scenario,
+    batch_by_grid_point, corpus_files, corpus_scenarios, corpus_specs, cross, Engine, GridBatch,
+    ProgramSpec, Scenario,
 };
+pub use trend::{TrendRecord, TREND_SCHEMA_VERSION};
 pub use workloads::grid::FamilySpec;
 
 /// Everything needed to assemble and run a portfolio.
@@ -68,8 +70,8 @@ pub mod prelude {
     pub use crate::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
     pub use crate::runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
     pub use crate::scenario::{
-        batch_by_grid_point, corpus_scenarios, corpus_specs, cross, Engine, GridBatch, ProgramSpec,
-        Scenario,
+        batch_by_grid_point, corpus_files, corpus_scenarios, corpus_specs, cross, Engine,
+        GridBatch, ProgramSpec, Scenario,
     };
     pub use workloads::grid::{default_grid, family_grid, FamilySpec, FAMILIES};
 }

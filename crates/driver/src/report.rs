@@ -76,6 +76,23 @@ pub struct ScenarioOutcome {
     /// Control-flow paths proven unreachable and skipped
     /// (`symbolic-paths` only).
     pub paths_pruned: usize,
+    /// µs spent building encodings (symbolic only).
+    #[serde(default)]
+    pub encode_us: u64,
+    /// µs spent inside SMT checks (symbolic only).
+    #[serde(default)]
+    pub solve_us: u64,
+    /// µs spent in directed-scheduler searches (`symbolic-paths` only).
+    #[serde(default)]
+    pub schedule_us: u64,
+    /// µs spent enumerating and pruning paths (`symbolic-paths` only).
+    #[serde(default)]
+    pub enumerate_us: u64,
+    /// The full solver-stats delta this scenario cost (symbolic only;
+    /// `conflicts`/`propagations` above are kept as headline duplicates
+    /// for older report consumers).
+    #[serde(default)]
+    pub solver: smt::Stats,
 }
 
 impl ScenarioOutcome {
@@ -102,6 +119,89 @@ impl ScenarioOutcome {
             propagations: 0,
             paths_explored: 0,
             paths_pruned: 0,
+            encode_us: 0,
+            solve_us: 0,
+            schedule_us: 0,
+            enumerate_us: 0,
+            solver: smt::Stats::default(),
+        }
+    }
+}
+
+/// Schema version stamped on every [`ScenarioEvent`]; bump on any
+/// incompatible field change so downstream log consumers can dispatch.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// One line of the structured run log (`--events-out`): a flattened,
+/// schema-versioned view of a [`ScenarioOutcome`] with the wall-clock
+/// phase breakdown. Field set is stability-tested; extend only with
+/// `#[serde(default)]` fields or a schema bump.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// [`EVENT_SCHEMA_VERSION`] at emission time.
+    #[serde(default)]
+    pub schema_version: u32,
+    /// Unique scenario name (`point/delivery/engine`).
+    pub scenario: String,
+    /// Workload family tag.
+    pub family: String,
+    /// Delivery model tag.
+    pub delivery: String,
+    /// Engine tag.
+    pub engine: String,
+    /// Collapsed verdict.
+    pub verdict: VerdictKind,
+    /// Violated property messages, or the `Unknown` reason.
+    pub detail: String,
+    /// Wall-clock for the whole scenario, ms.
+    pub wall_ms: u64,
+    /// Encoding-build phase, µs.
+    pub encode_us: u64,
+    /// SMT-solve phase, µs.
+    pub solve_us: u64,
+    /// Directed-schedule phase, µs.
+    pub schedule_us: u64,
+    /// Path-enumeration + pruning phase, µs.
+    pub enumerate_us: u64,
+    /// SMT checks issued.
+    pub sat_checks: usize,
+    /// Solver conflicts (delta).
+    pub conflicts: u64,
+    /// Solver propagations (delta).
+    pub propagations: u64,
+    /// Control-flow paths analysed.
+    pub paths_explored: usize,
+    /// Control-flow paths pruned.
+    pub paths_pruned: usize,
+    /// Explicit-engine states visited.
+    pub states: usize,
+    /// Did the scenario reuse a shared-session encoding?
+    pub reused_encoding: bool,
+}
+
+impl ScenarioEvent {
+    /// The event record for one finished outcome.
+    pub fn from_outcome(o: &ScenarioOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            schema_version: EVENT_SCHEMA_VERSION,
+            scenario: o.scenario.clone(),
+            family: o.family.clone(),
+            delivery: o.delivery.clone(),
+            engine: o.engine.clone(),
+            verdict: o.verdict,
+            detail: o.detail.clone(),
+            wall_ms: o.wall_ms,
+            encode_us: o.encode_us,
+            solve_us: o.solve_us,
+            schedule_us: o.schedule_us,
+            enumerate_us: o.enumerate_us,
+            sat_checks: o.sat_checks,
+            conflicts: o.conflicts,
+            propagations: o.propagations,
+            paths_explored: o.paths_explored,
+            paths_pruned: o.paths_pruned,
+            states: o.states,
+            reused_encoding: o.reused_encoding,
         }
     }
 }
@@ -201,6 +301,106 @@ impl PortfolioReport {
     /// Pretty-printed JSON form.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// The structured run log: one compact JSON [`ScenarioEvent`] per
+    /// line (JSONL), in submission order. This is what `--events-out`
+    /// writes.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let ev = ScenarioEvent::from_outcome(o);
+            out.push_str(&serde_json::to_string(&ev).expect("event serialisation cannot fail"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Report the whole run into `reg`: per-scenario counters under each
+    /// layer's stable names (labelled by engine and delivery), a
+    /// per-scenario wall-time histogram, and portfolio-level gauges.
+    pub fn record_metrics(&self, reg: &mut metrics::Registry) {
+        reg.gauge_set(
+            "mcapi_portfolio_threads",
+            "Worker threads used by the portfolio run",
+            &[],
+            self.threads as f64,
+        );
+        reg.gauge_set(
+            "mcapi_portfolio_wall_seconds",
+            "Wall-clock of the whole portfolio run",
+            &[],
+            self.wall_ms as f64 / 1000.0,
+        );
+        reg.counter_add(
+            "mcapi_portfolio_encodings_built_total",
+            "SMT encodings actually built (cache misses)",
+            &[],
+            self.encodings_built as u64,
+        );
+        for (verdict, n) in [
+            ("safe", self.safe),
+            ("violation", self.violations),
+            ("unknown", self.unknown),
+            ("skipped", self.skipped),
+        ] {
+            reg.counter_add(
+                "mcapi_portfolio_scenarios_total",
+                "Scenarios by collapsed verdict",
+                &[("verdict", verdict)],
+                n as u64,
+            );
+        }
+        for o in &self.outcomes {
+            let labels: &[(&str, &str)] = &[
+                ("engine", o.engine.as_str()),
+                ("delivery", o.delivery.as_str()),
+            ];
+            reg.histogram_observe(
+                "mcapi_scenario_wall_seconds",
+                "Per-scenario wall-clock distribution",
+                labels,
+                metrics::TIME_BUCKETS_SECONDS,
+                o.wall_ms as f64 / 1000.0,
+            );
+            match o.engine.as_str() {
+                "explicit" => {
+                    explicit::stats::record_exploration_counters(
+                        reg,
+                        labels,
+                        o.states as u64,
+                        o.transitions as u64,
+                    );
+                }
+                _ => {
+                    o.solver.record(reg, labels);
+                    symbolic::checker::record_check_counters(
+                        reg,
+                        labels,
+                        o.sat_checks as u64,
+                        o.refinements as u64,
+                        o.paths_explored as u64,
+                        o.paths_pruned as u64,
+                    );
+                    symbolic::checker::PhaseTimings {
+                        encode_us: o.encode_us,
+                        solve_us: o.solve_us,
+                        schedule_us: o.schedule_us,
+                        enumerate_us: o.enumerate_us,
+                    }
+                    .record(reg, labels);
+                }
+            }
+        }
+    }
+
+    /// The run in Prometheus text exposition format: a fresh
+    /// [`metrics::Registry`], [`PortfolioReport::record_metrics`], render.
+    /// Deterministic for a given report; the format is snapshot-tested.
+    pub fn to_prometheus(&self) -> String {
+        let mut reg = metrics::Registry::new();
+        self.record_metrics(&mut reg);
+        reg.render_prometheus()
     }
 
     /// Markdown-style table of all outcomes plus a summary line.

@@ -130,6 +130,11 @@ fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> S
     out.propagations = report.solver_stats.propagations;
     out.paths_explored = report.paths_explored;
     out.paths_pruned = report.paths_pruned;
+    out.encode_us = report.timings.encode_us;
+    out.solve_us = report.timings.solve_us;
+    out.schedule_us = report.timings.schedule_us;
+    out.enumerate_us = report.timings.enumerate_us;
+    out.solver = report.solver_stats;
     match report.verdict {
         Verdict::Safe => {
             out.verdict = VerdictKind::Safe;

@@ -79,13 +79,7 @@ impl From<FamilySpec> for ProgramSpec {
 /// can never collide with the `fig1` grid point when both run in one
 /// portfolio (scenario names key report rows).
 pub fn corpus_specs(dir: &Path) -> Result<Vec<ProgramSpec>, String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-    let mut paths: Vec<_> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "mcapi"))
-        .collect();
-    paths.sort();
+    let paths = corpus_files(dir)?;
     let mut specs = Vec::with_capacity(paths.len());
     for path in paths {
         let text = std::fs::read_to_string(&path)
@@ -99,6 +93,20 @@ pub fn corpus_specs(dir: &Path) -> Result<Vec<ProgramSpec>, String> {
         specs.push(ProgramSpec::source(format!("corpus/{stem}"), program));
     }
     Ok(specs)
+}
+
+/// List every `*.mcapi` file in `dir`, sorted by file name for
+/// reproducible batch orders. Shared by [`corpus_specs`] and the CLI's
+/// `corpus-check` subcommand so both walk the corpus identically.
+pub fn corpus_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "mcapi"))
+        .collect();
+    paths.sort();
+    Ok(paths)
 }
 
 /// Load a corpus directory and cross it with delivery models and

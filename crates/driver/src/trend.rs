@@ -1,0 +1,257 @@
+//! Append-only performance trend records.
+//!
+//! `exp_portfolio --trend FILE` appends one schema-versioned JSON line
+//! per run to a `BENCH_trend.jsonl` ledger, so CI can chart how the
+//! deterministic counters (conflicts, propagations, SAT checks, path
+//! reductions) and wall clock evolve across commits. Records carry the
+//! short git revision and the UTC date of the run; the schema version
+//! lets future readers skip or migrate old lines instead of breaking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::PortfolioReport;
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version stamped into every [`TrendRecord`]. Bump when a field is
+/// renamed or its meaning changes; adding `#[serde(default)]` fields is
+/// backwards compatible and does not require a bump.
+pub const TREND_SCHEMA_VERSION: u32 = 1;
+
+/// One appended run in the trend ledger.
+///
+/// Everything except `wall_ms` and the git/date stamps is deterministic
+/// for a fixed grid, so regressions in the counter columns are real
+/// behaviour changes rather than machine noise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrendRecord {
+    /// Ledger schema version ([`TREND_SCHEMA_VERSION`] at write time).
+    #[serde(default)]
+    pub schema_version: u32,
+    /// Short git revision of the working tree (`"unknown"` outside a
+    /// repository).
+    pub git_rev: String,
+    /// UTC calendar date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_time: u64,
+    /// Human-readable grid description (families and scales swept).
+    pub grid: String,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Wall-clock for the whole portfolio, in milliseconds (noisy).
+    pub wall_ms: u64,
+    /// Total SAT queries issued (deterministic).
+    pub sat_checks: usize,
+    /// Total CDCL conflicts (deterministic).
+    pub conflicts: u64,
+    /// Total unit propagations (deterministic).
+    pub propagations: u64,
+    /// Incremental encodings built (vs. reused; deterministic).
+    pub encodings_built: usize,
+    /// Control-flow paths explored by the branch-complete engine.
+    pub paths_explored: usize,
+    /// Paths pruned before a directed run was attempted.
+    pub paths_pruned: usize,
+}
+
+impl TrendRecord {
+    /// Build a record from a finished portfolio run, stamping the current
+    /// git revision and clock.
+    pub fn from_report(report: &PortfolioReport, grid: &str) -> TrendRecord {
+        let unix_time = unix_time_now();
+        TrendRecord {
+            schema_version: TREND_SCHEMA_VERSION,
+            git_rev: git_rev(),
+            date: utc_date(unix_time),
+            unix_time,
+            grid: grid.to_string(),
+            scenarios: report.outcomes.len(),
+            wall_ms: report.wall_ms,
+            sat_checks: report.total_sat_checks,
+            conflicts: report.total_conflicts,
+            propagations: report.total_propagations,
+            encodings_built: report.encodings_built,
+            paths_explored: report.total_paths_explored,
+            paths_pruned: report.total_paths_pruned,
+        }
+    }
+}
+
+/// Seconds since the Unix epoch (0 if the system clock predates it).
+fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The short revision of `HEAD`, or `"unknown"` when git is unavailable
+/// (e.g. running from an exported tarball).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Convert epoch seconds to a `YYYY-MM-DD` UTC date using the standard
+/// civil-from-days algorithm (no date-time dependency in the tree).
+pub fn utc_date(unix_time: u64) -> String {
+    let days = (unix_time / 86_400) as i64;
+    // Shift epoch from 1970-01-01 to 0000-03-01 so leap days land at the
+    // end of the 400-year era.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Append `record` as one compact JSON line to `path`, creating the file
+/// if needed. Append-only: existing lines are never rewritten.
+pub fn append_record(path: &Path, record: &TrendRecord) -> Result<(), String> {
+    let line = serde_json::to_string(record).map_err(|e| format!("cannot encode record: {e}"))?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    writeln!(file, "{line}").map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+/// Parse every line of a trend ledger. Blank lines are skipped; a
+/// malformed line aborts with its 1-based line number so a corrupted
+/// ledger is caught in CI rather than silently truncated.
+pub fn load_records(path: &Path) -> Result<Vec<TrendRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TrendRecord =
+            serde_json::from_str(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Render the last `last` records as a GitHub-flavoured markdown table
+/// (newest row last), for `$GITHUB_STEP_SUMMARY`.
+pub fn render_markdown(records: &[TrendRecord], last: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### Portfolio perf trend (last {last} runs)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| date | rev | scenarios | wall ms | sat checks | conflicts | propagations | encodings | paths (pruned) |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    let start = records.len().saturating_sub(last);
+    for r in &records[start..] {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} ({}) |",
+            r.date,
+            r.git_rev,
+            r.scenarios,
+            r.wall_ms,
+            r.sat_checks,
+            r.conflicts,
+            r.propagations,
+            r.encodings_built,
+            r.paths_explored,
+            r.paths_pruned,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rev: &str) -> TrendRecord {
+        TrendRecord {
+            schema_version: TREND_SCHEMA_VERSION,
+            git_rev: rev.to_string(),
+            date: "2026-08-08".to_string(),
+            unix_time: 1_786_147_200,
+            grid: "fig1,ring@1".to_string(),
+            scenarios: 24,
+            wall_ms: 120,
+            sat_checks: 96,
+            conflicts: 1234,
+            propagations: 56_789,
+            encodings_built: 12,
+            paths_explored: 40,
+            paths_pruned: 8,
+        }
+    }
+
+    #[test]
+    fn utc_date_handles_epoch_and_leap_days() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        // 2000-02-29 12:00:00 UTC
+        assert_eq!(utc_date(951_825_600), "2000-02-29");
+        // 2026-08-08 00:00:00 UTC
+        assert_eq!(utc_date(1_786_147_200), "2026-08-08");
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_two_records() {
+        let dir = std::env::temp_dir().join(format!("trend-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trend.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        append_record(&path, &sample("aaa1111")).unwrap();
+        append_record(&path, &sample("bbb2222")).unwrap();
+        let records = load_records(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].git_rev, "aaa1111");
+        assert_eq!(records[1].git_rev, "bbb2222");
+        assert!(records
+            .iter()
+            .all(|r| r.schema_version == TREND_SCHEMA_VERSION));
+
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let dir = std::env::temp_dir().join(format!("trend-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{not json\n").unwrap();
+        let err = load_records(&path).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn markdown_table_keeps_only_last_n() {
+        let records = vec![sample("old0000"), sample("new1111"), sample("new2222")];
+        let md = render_markdown(&records, 2);
+        assert!(!md.contains("old0000"), "{md}");
+        assert!(md.contains("new1111"), "{md}");
+        assert!(md.contains("new2222"), "{md}");
+        assert!(md.contains("| date |"), "{md}");
+    }
+}

@@ -112,7 +112,7 @@ impl ClauseDb {
     }
 
     /// Literal Block Distance — the glue level recorded at learning time,
-    /// possibly improved since by [`ClauseDb::update_lbd`].
+    /// possibly improved since by [`ClauseDb::set_lbd`].
     #[inline]
     pub fn lbd(&self, c: ClauseRef) -> u32 {
         self.flags(c) >> LBD_SHIFT

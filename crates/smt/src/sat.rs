@@ -277,6 +277,7 @@ impl<T: Theory> SatSolver<T> {
     ///
     /// [`pop_scope`]: SatSolver::pop_scope
     pub fn push_scope(&mut self) -> usize {
+        self.stats.scope_pushes += 1;
         let sel = self.new_var();
         self.scopes.push(Scope {
             sel,

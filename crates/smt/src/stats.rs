@@ -1,39 +1,59 @@
 //! Counters reported by the SAT core and theory solver.
 
+use serde::{Deserialize, Serialize};
+
 /// Search statistics, cheap to copy and print.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct Stats {
     /// Decisions made.
+    #[serde(default)]
     pub decisions: u64,
     /// Unit propagations performed.
+    #[serde(default)]
     pub propagations: u64,
     /// Conflicts encountered (Boolean + theory).
+    #[serde(default)]
     pub conflicts: u64,
     /// Conflicts reported by the theory solver.
+    #[serde(default)]
     pub theory_conflicts: u64,
     /// Literals asserted into the theory solver.
+    #[serde(default)]
     pub theory_assertions: u64,
     /// Restarts performed.
+    #[serde(default)]
     pub restarts: u64,
     /// Restarts suppressed by the trail-growth blocker.
+    #[serde(default)]
     pub blocked_restarts: u64,
     /// Learned-clause database reductions performed.
+    #[serde(default)]
     pub reduces: u64,
     /// Learned clauses currently in the database.
+    #[serde(default)]
     pub learnt_clauses: u64,
     /// Learned clauses produced over the solver's lifetime.
+    #[serde(default)]
     pub learned_total: u64,
     /// Sum of learned-clause LBDs (so `sum_lbd / learned_total` is the
     /// slow glue average the restart policy compares against).
+    #[serde(default)]
     pub sum_lbd: u64,
     /// Learned clauses deleted by database reduction.
+    #[serde(default)]
     pub deleted_clauses: u64,
     /// Literals removed by conflict-clause minimisation.
+    #[serde(default)]
     pub minimized_lits: u64,
     /// Problem clauses added.
+    #[serde(default)]
     pub clauses_added: u64,
     /// `solve` calls answered (SAT checks).
+    #[serde(default)]
     pub solves: u64,
+    /// Assumption scopes pushed (session reuse opens one per query).
+    #[serde(default)]
+    pub scope_pushes: u64,
 }
 
 impl Stats {
@@ -54,6 +74,7 @@ impl Stats {
         self.minimized_lits += other.minimized_lits;
         self.clauses_added += other.clauses_added;
         self.solves += other.solves;
+        self.scope_pushes += other.scope_pushes;
     }
 
     /// Counters accumulated since `baseline` was snapshotted (solver stats
@@ -85,7 +106,86 @@ impl Stats {
             minimized_lits: self.minimized_lits.saturating_sub(baseline.minimized_lits),
             clauses_added: self.clauses_added.saturating_sub(baseline.clauses_added),
             solves: self.solves.saturating_sub(baseline.solves),
+            scope_pushes: self.scope_pushes.saturating_sub(baseline.scope_pushes),
         }
+    }
+
+    /// Report every counter into `reg` under the crate's stable metric
+    /// names (`mcapi_smt_*_total`), tagged with `labels`. The SMT layer
+    /// owns these names: renaming one here is an observability API change,
+    /// not format drift.
+    pub fn record(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
+        let mut c = |name: &str, help: &str, v: u64| reg.counter_add(name, help, labels, v);
+        c(
+            "mcapi_smt_decisions_total",
+            "SAT decisions made",
+            self.decisions,
+        );
+        c(
+            "mcapi_smt_propagations_total",
+            "Unit propagations performed",
+            self.propagations,
+        );
+        c(
+            "mcapi_smt_conflicts_total",
+            "Conflicts encountered (Boolean + theory)",
+            self.conflicts,
+        );
+        c(
+            "mcapi_smt_theory_conflicts_total",
+            "Conflicts reported by the theory solver",
+            self.theory_conflicts,
+        );
+        c(
+            "mcapi_smt_theory_assertions_total",
+            "Literals asserted into the theory solver",
+            self.theory_assertions,
+        );
+        c(
+            "mcapi_smt_restarts_total",
+            "Restarts performed",
+            self.restarts,
+        );
+        c(
+            "mcapi_smt_blocked_restarts_total",
+            "Restarts suppressed by the trail-growth blocker",
+            self.blocked_restarts,
+        );
+        c(
+            "mcapi_smt_reduces_total",
+            "Learned-clause database reductions",
+            self.reduces,
+        );
+        c(
+            "mcapi_smt_learned_clauses_total",
+            "Learned clauses produced",
+            self.learned_total,
+        );
+        c(
+            "mcapi_smt_deleted_clauses_total",
+            "Learned clauses deleted by database reduction",
+            self.deleted_clauses,
+        );
+        c(
+            "mcapi_smt_minimized_literals_total",
+            "Literals removed by conflict-clause minimisation",
+            self.minimized_lits,
+        );
+        c(
+            "mcapi_smt_clauses_added_total",
+            "Problem clauses added",
+            self.clauses_added,
+        );
+        c(
+            "mcapi_smt_solves_total",
+            "solve calls answered (SAT checks)",
+            self.solves,
+        );
+        c(
+            "mcapi_smt_scope_pushes_total",
+            "Assumption scopes pushed",
+            self.scope_pushes,
+        );
     }
 }
 
@@ -122,12 +222,14 @@ mod tests {
             decisions: 10,
             conflicts: 20,
             restarts: 3,
+            scope_pushes: 4,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.decisions, 11);
         assert_eq!(a.conflicts, 22);
         assert_eq!(a.restarts, 3);
+        assert_eq!(a.scope_pushes, 4);
     }
 
     #[test]
@@ -138,6 +240,7 @@ mod tests {
             reduces: 1,
             learned_total: 10,
             sum_lbd: 30,
+            scope_pushes: 5,
             ..Default::default()
         };
         let now = Stats {
@@ -146,6 +249,7 @@ mod tests {
             reduces: 2,
             learned_total: 25,
             sum_lbd: 80,
+            scope_pushes: 9,
             ..Default::default()
         };
         let d = now.delta(&base);
@@ -154,6 +258,7 @@ mod tests {
         assert_eq!(d.reduces, 1);
         assert_eq!(d.learned_total, 15);
         assert_eq!(d.sum_lbd, 50);
+        assert_eq!(d.scope_pushes, 4);
         // Swapped snapshots saturate instead of underflowing.
         assert_eq!(base.delta(&now).sum_lbd, 0);
     }
@@ -167,5 +272,41 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("decisions=5"));
         assert!(text.contains("conflicts="));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_counters() {
+        let s = Stats {
+            conflicts: 7,
+            propagations: 11,
+            scope_pushes: 3,
+            ..Default::default()
+        };
+        let v = serde::Serialize::to_value(&s);
+        let back: Stats = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.conflicts, 7);
+        assert_eq!(back.propagations, 11);
+        assert_eq!(back.scope_pushes, 3);
+    }
+
+    #[test]
+    fn record_reports_stable_metric_names() {
+        let s = Stats {
+            conflicts: 2,
+            propagations: 6,
+            scope_pushes: 1,
+            ..Default::default()
+        };
+        let mut reg = metrics::Registry::new();
+        s.record(&mut reg, &[("engine", "symbolic")]);
+        s.record(&mut reg, &[("engine", "symbolic")]);
+        assert_eq!(
+            reg.counter_value("mcapi_smt_conflicts_total", &[("engine", "symbolic")]),
+            Some(4)
+        );
+        assert_eq!(
+            reg.counter_value("mcapi_smt_scope_pushes_total", &[("engine", "symbolic")]),
+            Some(2)
+        );
     }
 }

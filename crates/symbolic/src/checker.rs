@@ -114,6 +114,64 @@ pub struct ConfirmedViolation {
     pub branch_path: Option<String>,
 }
 
+/// Wall-clock breakdown of one check across the pipeline's phases, in
+/// microseconds. The phases are disjoint: `encode_us` covers core
+/// encoding and sibling-path attachment (attributed to the query that
+/// triggered the build), `solve_us` the time inside SMT checks,
+/// `schedule_us` the directed-scheduler searches realising paths, and
+/// `enumerate_us` static path enumeration plus feasibility pruning. The
+/// single-trace engines leave the last two at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Encoding built (core + sibling attachments), µs.
+    pub encode_us: u64,
+    /// Time inside solver checks, µs.
+    pub solve_us: u64,
+    /// Directed-scheduler search time, µs.
+    pub schedule_us: u64,
+    /// Path enumeration + feasibility pruning time, µs.
+    pub enumerate_us: u64,
+}
+
+impl PhaseTimings {
+    /// Accumulate another report's phase times (portfolio aggregation).
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.encode_us += other.encode_us;
+        self.solve_us += other.solve_us;
+        self.schedule_us += other.schedule_us;
+        self.enumerate_us += other.enumerate_us;
+    }
+
+    /// Report the four phases into `reg` as µs counters
+    /// (`mcapi_symbolic_*_us_total`), tagged with `labels`.
+    pub fn record(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
+        reg.counter_add(
+            "mcapi_symbolic_encode_us_total",
+            "Wall-clock µs spent building encodings",
+            labels,
+            self.encode_us,
+        );
+        reg.counter_add(
+            "mcapi_symbolic_solve_us_total",
+            "Wall-clock µs spent inside SMT checks",
+            labels,
+            self.solve_us,
+        );
+        reg.counter_add(
+            "mcapi_symbolic_schedule_us_total",
+            "Wall-clock µs spent in directed-scheduler searches",
+            labels,
+            self.schedule_us,
+        );
+        reg.counter_add(
+            "mcapi_symbolic_enumerate_us_total",
+            "Wall-clock µs spent enumerating and pruning paths",
+            labels,
+            self.enumerate_us,
+        );
+    }
+}
+
 /// Full check report.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -140,9 +198,67 @@ pub struct CheckReport {
     /// Paths proven unreachable and skipped (solver feasibility pruning
     /// plus exhaustive directed-search infeasibility).
     pub paths_pruned: usize,
+    /// Wall-clock breakdown across pipeline phases.
+    pub timings: PhaseTimings,
     /// The trace the analysis ran on (the violating path's trace when the
     /// path engine found a violation).
     pub trace: Trace,
+}
+
+impl CheckReport {
+    /// Report this check's counters into `reg` under the symbolic layer's
+    /// stable metric names (`mcapi_symbolic_*`), plus the solver delta via
+    /// [`smt::Stats::record`], tagged with `labels`.
+    pub fn record_metrics(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
+        self.solver_stats.record(reg, labels);
+        self.timings.record(reg, labels);
+        record_check_counters(
+            reg,
+            labels,
+            self.sat_checks as u64,
+            self.refinements as u64,
+            self.paths_explored as u64,
+            self.paths_pruned as u64,
+        );
+    }
+}
+
+/// The symbolic layer's per-check counters under their stable metric
+/// names. Shared by [`CheckReport::record_metrics`] and the portfolio
+/// driver (which keeps only the flattened counters per scenario) so the
+/// names cannot drift between the two reporters.
+pub fn record_check_counters(
+    reg: &mut metrics::Registry,
+    labels: &[(&str, &str)],
+    sat_checks: u64,
+    refinements: u64,
+    paths_explored: u64,
+    paths_pruned: u64,
+) {
+    reg.counter_add(
+        "mcapi_symbolic_sat_checks_total",
+        "SMT checks issued",
+        labels,
+        sat_checks,
+    );
+    reg.counter_add(
+        "mcapi_symbolic_refinements_total",
+        "Spurious witnesses blocked during refinement",
+        labels,
+        refinements,
+    );
+    reg.counter_add(
+        "mcapi_symbolic_paths_explored_total",
+        "Control-flow paths analysed",
+        labels,
+        paths_explored,
+    );
+    reg.counter_add(
+        "mcapi_symbolic_paths_pruned_total",
+        "Control-flow paths proven unreachable and skipped",
+        labels,
+        paths_pruned,
+    );
 }
 
 /// Obtain a complete, non-violating trace by random execution, per the
@@ -325,6 +441,7 @@ pub(crate) fn report_for_violating_trace(trace: Trace, branch_path: Option<Strin
         solver_stats: smt::Stats::default(),
         paths_explored: 1,
         paths_pruned: 0,
+        timings: PhaseTimings::default(),
         trace,
     }
 }
@@ -372,8 +489,12 @@ pub fn check_in_session_at(
     session.checks += 1;
     let deadline = cfg.resolve_deadline();
     // Build (or look up) the axiom groups *before* opening the per-query
-    // scope: groups are permanent, blocking clauses are not.
+    // scope: groups are permanent, blocking clauses are not. Group
+    // building counts as encode time, as does any core build / sibling
+    // attachment this query triggered (left pending on the session).
+    let group_build = Instant::now();
     let assumptions = session.assumptions_for(slot, cfg.delivery, true);
+    let encode_us = session.take_pending_encode_us() + group_build.elapsed().as_micros() as u64;
     let slot_clocks: Vec<smt::TermId> = session.clocks_for(slot).to_vec();
     let slot_props: Vec<crate::encode::PropTerm> = session.props_for(slot).to_vec();
     let enc = &mut session.enc;
@@ -381,6 +502,7 @@ pub fn check_in_session_at(
     let id_terms = enc.id_terms();
     let mut refinements = 0usize;
     let mut sat_checks = 0usize;
+    let mut solve_us = 0u64;
     enc.solver.push_scope();
 
     let verdict = loop {
@@ -389,7 +511,9 @@ pub fn check_in_session_at(
         }
         enc.solver.set_deadline(deadline);
         sat_checks += 1;
+        let solve_start = Instant::now();
         let result = enc.solver.check_assuming(&assumptions);
+        solve_us += solve_start.elapsed().as_micros() as u64;
         enc.solver.set_deadline(None);
         match result {
             SatResult::Unsat => break Verdict::Safe,
@@ -453,6 +577,12 @@ pub fn check_in_session_at(
         solver_stats,
         paths_explored: 1,
         paths_pruned: 0,
+        timings: PhaseTimings {
+            encode_us,
+            solve_us,
+            schedule_us: 0,
+            enumerate_us: 0,
+        },
         trace: trace.clone(),
     }
 }

@@ -71,7 +71,7 @@ pub mod witness;
 
 pub use checker::{
     check_program, check_trace, enumerate_matchings, CheckConfig, CheckReport, MatchGen,
-    TraceSource, Verdict,
+    PhaseTimings, TraceSource, Verdict,
 };
 pub use encode::{encode, EncodeOptions, EncodeStats, Encoding};
 pub use matchpairs::{overapprox_match_pairs, precise_match_pairs, MatchPairs};

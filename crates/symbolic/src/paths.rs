@@ -36,8 +36,8 @@
 //! wall-clock deadline expired — never a silent `Safe`.
 
 use crate::checker::{
-    make_pairs, report_for_violating_trace, CheckConfig, CheckReport, SourcedTrace, TraceSource,
-    Verdict,
+    make_pairs, report_for_violating_trace, CheckConfig, CheckReport, PhaseTimings, SourcedTrace,
+    TraceSource, Verdict,
 };
 use crate::encode::{cond_term, EncodeStats};
 use crate::session::SessionPool;
@@ -262,6 +262,11 @@ pub struct PathEnumerator<'a> {
     /// Hard stop: no further paths will be yielded.
     stopped: bool,
     stop_reason: Option<String>,
+    /// µs spent enumerating plans and pruning (static space + solver
+    /// feasibility queries).
+    enumerate_us: u64,
+    /// µs spent in directed-scheduler searches realising paths.
+    schedule_us: u64,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -269,6 +274,7 @@ impl<'a> PathEnumerator<'a> {
     /// static path space cannot be enumerated — cyclic flat code or a
     /// per-thread explosion — in which case callers must answer `Unknown`.
     pub fn new(program: &'a Program, cfg: &PathsConfig) -> Result<PathEnumerator<'a>, String> {
+        let setup = Instant::now();
         let space = program_paths(program, 4096).map_err(|e| e.to_string())?;
         let total = space
             .iter()
@@ -276,6 +282,7 @@ impl<'a> PathEnumerator<'a> {
             .try_fold(1usize, |a, b| a.checked_mul(b))
             .unwrap_or(usize::MAX);
         let deadline = cfg.check.resolve_deadline();
+        let pruner = PathPruner::new(program);
         Ok(PathEnumerator {
             program,
             cfg: *cfg,
@@ -283,19 +290,31 @@ impl<'a> PathEnumerator<'a> {
             space,
             next: 0,
             total,
-            pruner: PathPruner::new(program),
+            pruner,
             seen_traces: HashSet::new(),
             explored: 0,
             pruned: 0,
             truncated: false,
             stopped: false,
             stop_reason: None,
+            enumerate_us: setup.elapsed().as_micros() as u64,
+            schedule_us: 0,
         })
     }
 
     /// Total static paths (before pruning).
     pub fn total_paths(&self) -> usize {
         self.total
+    }
+
+    /// µs spent enumerating the static path space and pruning plans.
+    pub fn enumerate_us(&self) -> u64 {
+        self.enumerate_us
+    }
+
+    /// µs spent in directed-scheduler searches realising paths.
+    pub fn schedule_us(&self) -> u64 {
+        self.schedule_us
     }
 
     /// The plan at mixed-radix index `i`.
@@ -331,7 +350,10 @@ impl<'a> PathEnumerator<'a> {
         }
         let plan = self.plan_at(self.next);
         self.next += 1;
-        if self.pruner.is_infeasible(self.program, &plan) {
+        let prune_start = Instant::now();
+        let infeasible = self.pruner.is_infeasible(self.program, &plan);
+        self.enumerate_us += prune_start.elapsed().as_micros() as u64;
+        if infeasible {
             self.pruned += 1;
             return Some((plan, PathStep::Pruned));
         }
@@ -339,7 +361,10 @@ impl<'a> PathEnumerator<'a> {
             max_states: self.cfg.search_max_states,
             deadline: self.deadline,
         };
-        let step = match execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg) {
+        let search_start = Instant::now();
+        let directed = execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg);
+        self.schedule_us += search_start.elapsed().as_micros() as u64;
+        let step = match directed {
             DirectedOutcome::Infeasible { .. } => {
                 self.pruned += 1;
                 PathStep::Pruned
@@ -484,6 +509,7 @@ pub fn check_program_paths_pooled(
                     solver_stats: smt::Stats::default(),
                     paths_explored: 0,
                     paths_pruned: 0,
+                    timings: PhaseTimings::default(),
                     trace,
                 },
                 false,
@@ -544,6 +570,8 @@ pub fn check_program_paths_pooled(
         agg.fold_counters_into(&mut report);
         report.paths_explored = enumerator.paths_explored();
         report.paths_pruned = enumerator.paths_pruned();
+        report.timings.enumerate_us += enumerator.enumerate_us();
+        report.timings.schedule_us += enumerator.schedule_us();
         return (report, first_reuse.unwrap_or(false));
     }
 
@@ -567,6 +595,9 @@ pub fn check_program_paths_pooled(
         .last_trace
         .take()
         .unwrap_or_else(|| mcapi::runtime::execute_random(program, cfg.check.delivery, 0).trace);
+    let mut timings = agg.timings;
+    timings.enumerate_us += enumerator.enumerate_us();
+    timings.schedule_us += enumerator.schedule_us();
     let report = CheckReport {
         verdict: final_verdict,
         refinements: agg.refinements,
@@ -577,6 +608,7 @@ pub fn check_program_paths_pooled(
         solver_stats: agg.solver_stats,
         paths_explored: enumerator.paths_explored(),
         paths_pruned: enumerator.paths_pruned(),
+        timings,
         trace,
     };
     (report, first_reuse.unwrap_or(false))
@@ -606,6 +638,7 @@ struct Aggregate {
     matchgen_pairs: usize,
     solver_stats: smt::Stats,
     encode_stats: EncodeStats,
+    timings: PhaseTimings,
     last_trace: Option<Trace>,
 }
 
@@ -616,6 +649,7 @@ impl Aggregate {
         self.matchgen_states += report.matchgen_states;
         self.matchgen_pairs = self.matchgen_pairs.max(report.matchgen_pairs);
         self.solver_stats.merge(&report.solver_stats);
+        self.timings.merge(&report.timings);
         // Encode stats are formula *sizes*, not work counters: keep the
         // last path's (= the shared core's size under session reuse, one
         // representative core without). Work totals live in solver_stats.
@@ -629,6 +663,7 @@ impl Aggregate {
         report.matchgen_pairs = self.matchgen_pairs;
         report.solver_stats = self.solver_stats;
         report.encode_stats = self.encode_stats;
+        report.timings = self.timings;
     }
 }
 

@@ -80,6 +80,10 @@ pub struct CheckSession {
     siblings: Vec<SiblingEntry>,
     /// Queries served by this session (refinement loops count as one).
     pub checks: usize,
+    /// Wall-clock µs spent building the core encoding and attaching
+    /// sibling path groups, not yet attributed to a query (drained by
+    /// [`CheckSession::take_pending_encode_us`]).
+    pending_encode_us: u64,
 }
 
 impl CheckSession {
@@ -93,6 +97,7 @@ impl CheckSession {
         pairs: &MatchPairs,
         unique_scope: UniqueScope,
     ) -> CheckSession {
+        let built = std::time::Instant::now();
         let mut enc = encode_core(program, trace, pairs, unique_scope);
         let host_pin_sel = if enc.branch_terms.is_empty() {
             None
@@ -109,7 +114,16 @@ impl CheckSession {
             host_pin_sel,
             siblings: Vec::new(),
             checks: 0,
+            pending_encode_us: built.elapsed().as_micros() as u64,
         }
+    }
+
+    /// Encoding-build time accumulated since the last call, in µs. The
+    /// query that triggered a core build or sibling attachment drains and
+    /// reports it as its encode phase, so shared-session followers report
+    /// (correctly) near-zero encode time.
+    pub fn take_pending_encode_us(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_encode_us)
     }
 
     /// Attach a sibling control-flow path (same program, same
@@ -127,6 +141,7 @@ impl CheckSession {
             0,
             "path groups must be built outside per-query scopes"
         );
+        let built = std::time::Instant::now();
         let att = self.enc.build_path_attachment(program, trace)?;
         let sel = self
             .enc
@@ -140,6 +155,7 @@ impl CheckSession {
             sel,
             prop_sels: Vec::new(),
         });
+        self.pending_encode_us += built.elapsed().as_micros() as u64;
         Ok(PathSlot::Sibling(self.siblings.len() - 1))
     }
 

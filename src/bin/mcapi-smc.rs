@@ -18,6 +18,7 @@
 //! mcapi-smc --list-programs      # every accepted grid-point name
 //! mcapi-smc portfolio [opts]     # parallel grid, cancel on first violation
 //! mcapi-smc sweep [opts]         # parallel grid, run everything
+//! mcapi-smc corpus-check <dir> [--min N]  # verify every `// expect:` header
 //! ```
 //!
 //! `check` engines: `symbolic-overapprox` (default), `symbolic-precise`
@@ -36,8 +37,12 @@
 //! MODEL` (default: all three), `--budget-ms MS` (per-scenario solver
 //! budget), `--max-paths N` (per-scenario path budget for the
 //! `symbolic-paths` engine), `--json PATH` (`-` for stdout; suppresses the
-//! table), `--no-session-reuse` (re-encode every scenario from scratch
-//! instead of sharing incremental solver sessions per grid point).
+//! table), `--metrics-out PATH` (Prometheus text exposition of the run's
+//! counters/gauges/histograms), `--events-out PATH` (one structured JSON
+//! event per scenario, with encode/solve/schedule/enumerate timing
+//! breakdowns), `--no-session-reuse` (re-encode every scenario from
+//! scratch instead of sharing incremental solver sessions per grid
+//! point).
 
 use driver::prelude::*;
 use mcapi::error::McapiError;
@@ -288,6 +293,23 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         None => None,
     };
 
+    let metrics_out = match strict_value(args, "--metrics-out") {
+        Some(Ok(path)) => Some(path.to_string()),
+        Some(Err(_)) => {
+            eprintln!("--metrics-out needs a file path");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
+    let events_out = match strict_value(args, "--events-out") {
+        Some(Ok(path)) => Some(path.to_string()),
+        Some(Err(_)) => {
+            eprintln!("--events-out needs a file path");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
+
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
     let max_paths = match parse_flag_strict(args, "--max-paths") {
         Ok(m) => m.map(|n| n as usize),
@@ -330,6 +352,19 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     }
     let report = run_portfolio(&scenarios, &cfg);
 
+    if let Some(path) = metrics_out.as_deref() {
+        if let Err(e) = std::fs::write(path, report.to_prometheus()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = events_out.as_deref() {
+        if let Err(e) = std::fs::write(path, report.events_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     match json_target.as_deref() {
         Some("-") => println!("{}", report.to_json()),
         Some(path) => {
@@ -346,6 +381,94 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         ExitCode::from(1)
     } else if report.unknown > 0 {
         ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `corpus-check <dir>`: verify every corpus file's `// expect:` header
+/// against the branch-complete engine, in-process — the structured
+/// replacement for CI's old shell loop over `mcapi-smc check`. The
+/// exit-code contract matches the loop it replaced: 0 when every file
+/// reproduces its header (and the corpus floor holds), 1 on any
+/// mismatch, missing header, or a corpus smaller than `--min` (default
+/// 21). Each file's `// delivery:`/`// unroll:` headers apply exactly as
+/// they do under `check --engine symbolic-paths`.
+fn corpus_check(args: &[String]) -> ExitCode {
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mcapi-smc corpus-check <dir> [--min N]");
+        return ExitCode::from(2);
+    };
+    let min = match parse_flag_strict(args, "--min") {
+        Ok(m) => m.unwrap_or(21) as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match corpus_files(Path::new(dir)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{} corpus files", files.len());
+    let mut fail = false;
+    if files.len() < min {
+        eprintln!(
+            "corpus floor violated: {} files < required {min}",
+            files.len()
+        );
+        fail = true;
+    }
+    for path in &files {
+        let shown = path.display();
+        let (program, directives) = match load_program(&path.display().to_string(), None) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                fail = true;
+                continue;
+            }
+        };
+        let Some(expect) = directives.expect else {
+            println!("{shown}: missing or invalid // expect: header");
+            fail = true;
+            continue;
+        };
+        let want = match expect {
+            frontend::Expect::Safe => 0u8,
+            frontend::Expect::Violation => 1,
+            frontend::Expect::Unknown => 3,
+        };
+        // Mirror `check --engine symbolic-paths` defaults: header
+        // delivery (or unordered), over-approximating match pairs with
+        // refinement, 256-path frontier.
+        let pcfg = symbolic::paths::PathsConfig {
+            check: CheckConfig {
+                delivery: directives.delivery.unwrap_or(DeliveryModel::Unordered),
+                matchgen: MatchGen::OverApprox,
+                ..CheckConfig::default()
+            },
+            max_paths: 256,
+            ..symbolic::paths::PathsConfig::default()
+        };
+        let report = symbolic::paths::check_program_paths(&program, &pcfg);
+        let got = match &report.verdict {
+            Verdict::Safe => 0u8,
+            Verdict::Violation(_) => 1,
+            Verdict::Unknown(_) => 3,
+        };
+        if got != want {
+            println!("{shown}: expected {expect} (exit {want}), got exit {got}");
+            fail = true;
+        } else {
+            println!("{shown}: {expect} (ok)");
+        }
+    }
+    if fail {
+        ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
@@ -494,6 +617,7 @@ fn main() -> ExitCode {
         "sweep" => return portfolio(&args, Mode::Sweep),
         "fmt" => return fmt(&args),
         "export" => return export(&args),
+        "corpus-check" => return corpus_check(&args),
         _ => {}
     }
 

@@ -537,3 +537,134 @@ fn behaviours_limit_at_exact_count_is_not_truncated() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("truncated"), "{stdout}");
 }
+
+/// A throwaway corpus directory populated with `files` (name, contents).
+fn write_corpus(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("mcapi-smc-cli-tests")
+        .join(format!("corpus-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, contents) in files {
+        std::fs::write(dir.join(name), contents).unwrap();
+    }
+    dir
+}
+
+const SAFE_SRC: &str = "// expect: safe\n\
+    program p {\n  thread t0 { var v; v = recv(0); }\n  thread t1 { send(t0:0, 1); }\n}\n";
+
+const VIOLATION_SRC: &str = "// expect: violation\n\
+    program p {\n  thread t0 { var v; v = recv(0); assert(v == 1, \"one\"); }\n\
+    \x20 thread t1 { send(t0:0, 1); }\n  thread t2 { send(t0:0, 2); }\n}\n";
+
+#[test]
+fn corpus_check_passes_when_headers_match() {
+    let dir = write_corpus(
+        "ok",
+        &[("a-safe.mcapi", SAFE_SRC), ("b-viol.mcapi", VIOLATION_SRC)],
+    );
+    let out = bin()
+        .args(["corpus-check", dir.to_str().unwrap(), "--min", "2"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("2 corpus files"), "{stdout}");
+    assert!(stdout.contains("a-safe.mcapi: safe (ok)"), "{stdout}");
+    assert!(stdout.contains("b-viol.mcapi: violation (ok)"), "{stdout}");
+}
+
+#[test]
+fn corpus_check_fails_on_wrong_header() {
+    // The safe program mislabelled as a violation: exit 1, named file.
+    let wrong = SAFE_SRC.replace("expect: safe", "expect: violation");
+    let dir = write_corpus("wrong", &[("w.mcapi", &wrong)]);
+    let out = bin()
+        .args(["corpus-check", dir.to_str().unwrap(), "--min", "1"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(
+        stdout.contains("w.mcapi: expected violation (exit 1), got exit 0"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn corpus_check_fails_on_missing_header_and_floor() {
+    let headerless =
+        "program p {\n  thread t0 { var v; v = recv(0); }\n  thread t1 { send(t0:0, 1); }\n}\n";
+    let dir = write_corpus("floor", &[("nohdr.mcapi", headerless)]);
+    let out = bin()
+        .args(["corpus-check", dir.to_str().unwrap(), "--min", "5"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}{stderr}");
+    assert!(
+        stdout.contains("missing or invalid // expect: header"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("corpus floor violated"), "{stderr}");
+}
+
+#[test]
+fn corpus_check_usage_errors_exit_2() {
+    let out = bin().args(["corpus-check"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["corpus-check", "/nonexistent-dir-for-sure"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sweep_writes_metrics_and_events_files() {
+    let dir = std::env::temp_dir().join("mcapi-smc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join(format!("m-{}.prom", std::process::id()));
+    let events = dir.join(format!("e-{}.jsonl", std::process::id()));
+    let out = bin()
+        .args([
+            "sweep",
+            "--scale",
+            "1",
+            "--families",
+            "fig1",
+            "--delivery",
+            "unordered",
+            "--threads",
+            "1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        prom.contains("# TYPE mcapi_portfolio_scenarios_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("mcapi_smt_solves_total"), "{prom}");
+    assert!(
+        prom.contains("mcapi_scenario_wall_seconds_bucket"),
+        "{prom}"
+    );
+
+    let jsonl = std::fs::read_to_string(&events).unwrap();
+    for line in jsonl.lines() {
+        let ev: driver::ScenarioEvent = serde_json::from_str(line).unwrap();
+        assert_eq!(ev.schema_version, 1, "{line}");
+    }
+    assert!(
+        jsonl.lines().count() >= 4,
+        "one event per scenario:\n{jsonl}"
+    );
+}
