@@ -22,6 +22,12 @@
 //! * `exp_portfolio --trend-table PATH [--last N]` — render the ledger's
 //!   last N records (default 10) as a markdown table on stdout, for
 //!   `$GITHUB_STEP_SUMMARY`.
+//! * `exp_portfolio --trace-out PATH` — the tracing-neutrality gate: run
+//!   the pinned grid untraced, then again with hierarchical tracing
+//!   enabled, write the Chrome trace-event JSON of the traced run to
+//!   PATH (load it in Perfetto), and exit non-zero if tracing changed
+//!   any verdict or deterministic counter. Runs alone (not combined with
+//!   `--json`).
 //!
 //! Run: `cargo run --release -p bench --bin exp_portfolio [args]`
 
@@ -368,6 +374,65 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
     }
 }
 
+/// `--trace-out PATH`: run the pinned grid untraced and then traced,
+/// write the traced run's Chrome trace, and fail if tracing changed any
+/// verdict or deterministic counter — tracing must be observation only.
+fn traced_grid_gate(path: &str) -> ExitCode {
+    let grid = default_grid(1);
+    let scenarios = cross(&grid, &DeliveryModel::ALL, &Engine::ALL);
+    let cfg = PortfolioConfig {
+        threads: 1,
+        mode: Mode::Sweep,
+        session_reuse: true,
+        ..PortfolioConfig::default()
+    };
+    let untraced = run_portfolio(&scenarios, &cfg);
+    let tracer = trace::Tracer::new();
+    let traced = run_portfolio_traced(&scenarios, &cfg, Some(&tracer));
+    if let Err(e) = std::fs::write(path, tracer.chrome_trace()) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for (u, t) in untraced.outcomes.iter().zip(&traced.outcomes) {
+        let same = u.scenario == t.scenario
+            && u.verdict == t.verdict
+            && u.sat_checks == t.sat_checks
+            && u.conflicts == t.conflicts
+            && u.propagations == t.propagations
+            && u.paths_explored == t.paths_explored
+            && u.paths_pruned == t.paths_pruned
+            && u.states == t.states
+            && u.reused_encoding == t.reused_encoding;
+        if !same {
+            eprintln!(
+                "TRACING DRIFT: {}: traced run disagrees with untraced \
+                 (verdict {:?} vs {:?}, sat checks {} vs {}, conflicts {} vs {})",
+                u.scenario,
+                t.verdict,
+                u.verdict,
+                t.sat_checks,
+                u.sat_checks,
+                t.conflicts,
+                u.conflicts,
+            );
+            ok = false;
+        }
+    }
+    println!(
+        "traced pinned grid: {} scenarios, {} spans recorded ({} dropped) -> {path}",
+        traced.outcomes.len(),
+        tracer.span_count(),
+        tracer.dropped_count(),
+    );
+    if ok {
+        println!("ok: tracing changed no verdict or deterministic counter");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// `--trend PATH`: run the pinned grid once and append one trend record.
 fn trend_append(path: &str) -> ExitCode {
     const GRID_DESC: &str =
@@ -423,6 +488,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if let Some(path) = flag_value(&args, "--trace-out") {
+        return traced_grid_gate(path);
+    }
     if let Some(path) = flag_value(&args, "--trend") {
         return trend_append(path);
     }

@@ -56,7 +56,10 @@ pub mod scenario;
 pub mod trend;
 
 pub use report::{PortfolioReport, ScenarioEvent, ScenarioOutcome, VerdictKind};
-pub use runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
+pub use runner::{
+    fill_explicit_outcome, fill_symbolic_outcome, run_batch, run_portfolio, run_portfolio_traced,
+    run_scenario, Mode, PortfolioConfig,
+};
 pub use scenario::{
     batch_by_grid_point, corpus_files, corpus_scenarios, corpus_specs, cross, Engine, GridBatch,
     ProgramSpec, Scenario,
@@ -68,7 +71,10 @@ pub use workloads::grid::FamilySpec;
 pub mod prelude {
     pub use crate::pool::{CancelToken, WorkStealingPool};
     pub use crate::report::{PortfolioReport, ScenarioOutcome, VerdictKind};
-    pub use crate::runner::{run_batch, run_portfolio, run_scenario, Mode, PortfolioConfig};
+    pub use crate::runner::{
+        fill_explicit_outcome, fill_symbolic_outcome, run_batch, run_portfolio,
+        run_portfolio_traced, run_scenario, Mode, PortfolioConfig,
+    };
     pub use crate::scenario::{
         batch_by_grid_point, corpus_files, corpus_scenarios, corpus_specs, cross, Engine,
         GridBatch, ProgramSpec, Scenario,

@@ -83,6 +83,26 @@ impl WorkStealingPool {
         O: Send,
         F: Fn(usize, J, &CancelToken) -> O + Sync,
     {
+        self.run_traced(jobs, cancel, None, f)
+    }
+
+    /// [`WorkStealingPool::run`] with an optional [`trace::Tracer`]: when
+    /// given, each worker thread installs a `worker-<i>` lane for its
+    /// lifetime, so spans opened anywhere inside the job closure land on
+    /// that worker's timeline. With `None` this is exactly `run` —
+    /// tracing stays zero-cost.
+    pub fn run_traced<J, O, F>(
+        &self,
+        jobs: Vec<J>,
+        cancel: &CancelToken,
+        tracer: Option<&trace::Tracer>,
+        f: F,
+    ) -> Vec<O>
+    where
+        J: Send,
+        O: Send,
+        F: Fn(usize, J, &CancelToken) -> O + Sync,
+    {
         let n = jobs.len();
         let deques: Vec<Mutex<VecDeque<(usize, J)>>> = (0..self.workers)
             .map(|_| Mutex::new(VecDeque::new()))
@@ -97,17 +117,20 @@ impl WorkStealingPool {
                 let deques = &deques;
                 let results = &results;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let job = deques[me].lock().unwrap().pop_front().or_else(|| {
-                        // Own deque empty: steal from the back of the
-                        // first non-empty victim.
-                        (0..deques.len())
-                            .filter(|&v| v != me)
-                            .find_map(|v| deques[v].lock().unwrap().pop_back())
-                    });
-                    let Some((idx, job)) = job else { break };
-                    let out = f(idx, job, cancel);
-                    *results[idx].lock().unwrap() = Some(out);
+                scope.spawn(move || {
+                    let _lane = tracer.map(|t| t.install(&format!("worker-{me}")));
+                    loop {
+                        let job = deques[me].lock().unwrap().pop_front().or_else(|| {
+                            // Own deque empty: steal from the back of the
+                            // first non-empty victim.
+                            (0..deques.len())
+                                .filter(|&v| v != me)
+                                .find_map(|v| deques[v].lock().unwrap().pop_back())
+                        });
+                        let Some((idx, job)) = job else { break };
+                        let out = f(idx, job, cancel);
+                        *results[idx].lock().unwrap() = Some(out);
+                    }
                 });
             }
         });

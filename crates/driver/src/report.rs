@@ -93,6 +93,10 @@ pub struct ScenarioOutcome {
     /// for older report consumers).
     #[serde(default)]
     pub solver: smt::Stats,
+    /// Sampled solver distributions this scenario cost (symbolic only):
+    /// LBD, conflict decision-depth, restart intervals.
+    #[serde(default)]
+    pub introspect: smt::Introspect,
 }
 
 impl ScenarioOutcome {
@@ -124,6 +128,7 @@ impl ScenarioOutcome {
             schedule_us: 0,
             enumerate_us: 0,
             solver: smt::Stats::default(),
+            introspect: smt::Introspect::default(),
         }
     }
 }
@@ -374,6 +379,7 @@ impl PortfolioReport {
                 }
                 _ => {
                     o.solver.record(reg, labels);
+                    o.introspect.record(reg, labels);
                     symbolic::checker::record_check_counters(
                         reg,
                         labels,

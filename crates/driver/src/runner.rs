@@ -116,9 +116,11 @@ fn outcome_shell(scenario: &Scenario) -> ScenarioOutcome {
     )
 }
 
-/// Fold a symbolic [`CheckReport`] into an outcome.
-fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> ScenarioOutcome {
-    let mut out = outcome_shell(scenario);
+/// Fold a symbolic [`CheckReport`] into an existing outcome shell.
+/// Public so the CLI's single-scenario `check` reporting builds the same
+/// outcome (and therefore the same metrics/event exposition) as the
+/// portfolio runner.
+pub fn fill_symbolic_outcome(out: &mut ScenarioOutcome, report: CheckReport, reused: bool) {
     out.refinements = report.refinements;
     out.sat_vars = report.encode_stats.sat_vars;
     out.sat_clauses = report.encode_stats.sat_clauses;
@@ -135,6 +137,7 @@ fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> S
     out.schedule_us = report.timings.schedule_us;
     out.enumerate_us = report.timings.enumerate_us;
     out.solver = report.solver_stats;
+    out.introspect = report.solver_introspect;
     match report.verdict {
         Verdict::Safe => {
             out.verdict = VerdictKind::Safe;
@@ -149,19 +152,18 @@ fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> S
             out.detail = why;
         }
     }
+}
+
+/// Fold a symbolic [`CheckReport`] into an outcome.
+fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> ScenarioOutcome {
+    let mut out = outcome_shell(scenario);
+    fill_symbolic_outcome(&mut out, report, reused);
     out
 }
 
-/// Run the explicit-state ground-truth engine on an already-built program.
-fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
-    let mut out = outcome_shell(scenario);
-    let explore_cfg = ExploreConfig {
-        model: scenario.delivery,
-        max_states: cfg.max_states,
-        stop_at_first_violation: cfg.mode == Mode::Race,
-        ..ExploreConfig::default()
-    };
-    let result = GraphExplorer::new(program, explore_cfg).explore();
+/// Fold an explicit-state exploration result into an existing outcome
+/// shell (public for the same reason as [`fill_symbolic_outcome`]).
+pub fn fill_explicit_outcome(out: &mut ScenarioOutcome, result: &explicit::ExploreResult) {
     out.states = result.states;
     out.transitions = result.transitions;
     if result.found_violation() {
@@ -179,6 +181,19 @@ fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -
         out.verdict = VerdictKind::Safe;
         out.detail = String::new();
     }
+}
+
+/// Run the explicit-state ground-truth engine on an already-built program.
+fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
+    let mut out = outcome_shell(scenario);
+    let explore_cfg = ExploreConfig {
+        model: scenario.delivery,
+        max_states: cfg.max_states,
+        stop_at_first_violation: cfg.mode == Mode::Race,
+        ..ExploreConfig::default()
+    };
+    let result = GraphExplorer::new(program, explore_cfg).explore();
+    fill_explicit_outcome(&mut out, &result);
     out
 }
 
@@ -187,6 +202,7 @@ fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -
 /// path.
 pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutcome {
     let start = Instant::now();
+    let mut span = trace::span_dyn(scenario.name());
     let program = scenario.spec.build();
     let mut out = match scenario.engine {
         Engine::Symbolic(_) => {
@@ -202,6 +218,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutco
         Engine::Explicit => run_explicit(&program, scenario, cfg),
     };
     out.wall_ms = start.elapsed().as_millis() as u64;
+    span.arg("sat_checks", out.sat_checks as u64)
+        .arg("conflicts", out.conflicts)
+        .arg("states", out.states as u64);
     out
 }
 
@@ -214,6 +233,7 @@ pub fn run_batch(
     cfg: &PortfolioConfig,
     cancel: &CancelToken,
 ) -> Vec<(usize, ScenarioOutcome)> {
+    let mut batch_span = trace::span_dyn(format!("batch:{}", batch.spec.family()));
     let program = batch.spec.build();
     let mut pool = SessionPool::new();
     let mut out = Vec::with_capacity(batch.items.len());
@@ -223,6 +243,7 @@ pub fn run_batch(
             continue;
         }
         let start = Instant::now();
+        let mut scenario_span = trace::span_dyn(scenario.name());
         let mut o = match scenario.engine {
             Engine::Symbolic(_) => {
                 let (report, reused) =
@@ -239,11 +260,18 @@ pub fn run_batch(
             Engine::Explicit => run_explicit(&program, scenario, cfg),
         };
         o.wall_ms = start.elapsed().as_millis() as u64;
+        scenario_span
+            .arg("sat_checks", o.sat_checks as u64)
+            .arg("conflicts", o.conflicts)
+            .arg("reused", o.reused_encoding as u64)
+            .arg("states", o.states as u64);
+        drop(scenario_span);
         if cfg.mode == Mode::Race && o.verdict == VerdictKind::Violation {
             cancel.cancel();
         }
         out.push((*idx, o));
     }
+    batch_span.arg("scenarios", batch.items.len() as u64);
     out
 }
 
@@ -269,6 +297,19 @@ pub fn run_batch(
 /// assert!(report.found_violation(), "fig1-assert races");
 /// ```
 pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> PortfolioReport {
+    run_portfolio_traced(scenarios, cfg, None)
+}
+
+/// [`run_portfolio`] with an optional [`trace::Tracer`]: each pool worker
+/// records its batches, scenarios, solver queries, and solves onto a
+/// `worker-<i>` lane. Tracing is observation only — verdicts and every
+/// deterministic counter are bit-identical to an untraced run (asserted
+/// by an integration test and a CI step).
+pub fn run_portfolio_traced(
+    scenarios: &[Scenario],
+    cfg: &PortfolioConfig,
+    tracer: Option<&trace::Tracer>,
+) -> PortfolioReport {
     let start = Instant::now();
     let pool = WorkStealingPool::new(cfg.threads);
     let cancel = CancelToken::new();
@@ -276,9 +317,12 @@ pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> Portfolio
         // Grid-point batches are the pool's work items: each batch builds
         // its program once and shares encodings through a session pool.
         let batches = batch_by_grid_point(scenarios);
-        let per_batch = pool.run(batches, &cancel, |_bidx, batch: GridBatch, cancel| {
-            run_batch(&batch, cfg, cancel)
-        });
+        let per_batch = pool.run_traced(
+            batches,
+            &cancel,
+            tracer,
+            |_bidx, batch: GridBatch, cancel| run_batch(&batch, cfg, cancel),
+        );
         let mut outcomes: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
         for (idx, o) in per_batch.into_iter().flatten() {
             outcomes[idx] = Some(o);
@@ -288,9 +332,10 @@ pub fn run_portfolio(scenarios: &[Scenario], cfg: &PortfolioConfig) -> Portfolio
             .map(|o| o.expect("every scenario lands in exactly one batch"))
             .collect()
     } else {
-        pool.run(
+        pool.run_traced(
             scenarios.to_vec(),
             &cancel,
+            tracer,
             |_idx, scenario: Scenario, cancel| {
                 if cancel.is_cancelled() {
                     return ScenarioOutcome::skipped(

@@ -111,7 +111,29 @@ impl<'a> GraphExplorer<'a> {
         visited.insert(init.clone());
         queue.push_back(init);
 
+        // Frontier-generation accounting for tracing: `in_gen` counts
+        // nodes left in the current BFS level; when it hits zero the
+        // popped node starts the next level (the rest of which is
+        // exactly the queue's current contents). Pure bookkeeping — the
+        // iteration order is untouched.
+        let mut generation: u64 = 0;
+        let mut in_gen: usize = 1;
+        let mut gen_states: u64 = 0;
+        let mut gen_span = trace::span("explicit.generation");
+
         while let Some(node) = queue.pop_front() {
+            if in_gen == 0 {
+                gen_span
+                    .arg("generation", generation)
+                    .arg("states", gen_states);
+                drop(gen_span);
+                generation += 1;
+                gen_states = 0;
+                gen_span = trace::span("explicit.generation");
+                in_gen = queue.len() + 1;
+            }
+            in_gen -= 1;
+            gen_states += 1;
             result.states += 1;
             if result.states >= self.config.max_states {
                 result.truncated = true;
@@ -145,6 +167,9 @@ impl<'a> GraphExplorer<'a> {
                 }
             }
         }
+        gen_span
+            .arg("generation", generation)
+            .arg("states", gen_states);
         result
     }
 

@@ -66,6 +66,10 @@ pub struct Histogram {
 
 impl Histogram {
     fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -83,6 +87,23 @@ impl Histogram {
         self.counts[slot] += 1;
         self.sum += value;
         self.count += 1;
+    }
+
+    /// Merge pre-bucketed observations: `counts` has one slot per bound
+    /// plus the trailing `+Inf` slot, exactly as a producer that
+    /// bucketed at source (e.g. the SAT core's introspection counters)
+    /// holds them.
+    fn add_bucketed(&mut self, counts: &[u64], sum: f64) {
+        assert_eq!(
+            counts.len(),
+            self.bounds.len() + 1,
+            "pre-bucketed counts must cover every bound plus +Inf"
+        );
+        for (slot, c) in self.counts.iter_mut().zip(counts) {
+            *slot += c;
+        }
+        self.sum += sum;
+        self.count += counts.iter().sum::<u64>();
     }
 
     /// Total observations.
@@ -207,6 +228,34 @@ impl Registry {
             .or_insert_with(|| Value::Histogram(Histogram::new(bounds)))
         {
             Value::Histogram(h) => h.observe(value),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Merge pre-bucketed observations into the histogram
+    /// `name{labels}`: `counts` carries one slot per bound plus the
+    /// trailing `+Inf` slot (`counts.len() == bounds.len() + 1`). Used
+    /// by producers that bucket at source — the SAT core's sampled
+    /// introspection histograms accumulate counts inside the solve loop
+    /// and are merged here per scenario, without replaying every
+    /// observation.
+    pub fn histogram_add_bucketed(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+    ) {
+        let key = render_labels(labels);
+        let fam = self.family(name, Kind::Histogram, help);
+        match fam
+            .samples
+            .entry(key)
+            .or_insert_with(|| Value::Histogram(Histogram::new(bounds)))
+        {
+            Value::Histogram(h) => h.add_bucketed(counts, sum),
             _ => unreachable!("kind checked by family()"),
         }
     }
@@ -370,5 +419,65 @@ mod tests {
         let mut r = Registry::new();
         r.counter_add("m", "m", &[], 1);
         r.gauge_set("m", "m", &[], 1.0);
+    }
+
+    /// Regression guard for the exposition edge: observations strictly
+    /// above the last finite bound must land in the implicit `+Inf`
+    /// slot, never be dropped, and the rendered `le="+Inf"` bucket must
+    /// therefore always equal `_count`.
+    #[test]
+    fn observations_above_last_bound_land_in_inf_and_match_count() {
+        let mut r = Registry::new();
+        for v in [0.5, 1.0, 99.0, 1e12, f64::MAX] {
+            r.histogram_observe("h", "h", &[], &[1.0, 2.0], v);
+        }
+        let h = r.histogram("h", &[]).unwrap();
+        assert_eq!(h.count(), 5, "no observation may be dropped");
+        let text = r.render_prometheus();
+        assert!(text.contains("h_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("h_count 5"), "{text}");
+    }
+
+    /// The `+Inf` bucket equals `_count` for every sample in a
+    /// multi-label family, whichever bucket the values hit.
+    #[test]
+    fn inf_bucket_always_equals_count() {
+        let mut r = Registry::new();
+        for (lbl, v) in [("a", 0.1), ("a", 5.0), ("b", 3.0), ("b", 0.2), ("b", 9.9)] {
+            r.histogram_observe("h", "h", &[("k", lbl)], &[1.0], v);
+        }
+        let text = r.render_prometheus();
+        for (lbl, n) in [("a", 2u64), ("b", 3u64)] {
+            assert!(
+                text.contains(&format!("h_bucket{{k=\"{lbl}\",le=\"+Inf\"}} {n}")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("h_count{{k=\"{lbl}\"}} {n}")),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucketed_merge_matches_equivalent_observes() {
+        let bounds = &[1.0, 4.0];
+        let mut by_observe = Registry::new();
+        for v in [1.0, 3.0, 3.0, 8.0] {
+            by_observe.histogram_observe("h", "h", &[], bounds, v);
+        }
+        let mut by_merge = Registry::new();
+        // Same data pre-bucketed: one ≤1, two ≤4, one above the last
+        // bound (the +Inf slot — it must not be dropped here either).
+        by_merge.histogram_add_bucketed("h", "h", &[], bounds, &[1, 2, 1], 15.0);
+        assert_eq!(by_observe.render_prometheus(), by_merge.render_prometheus());
+    }
+
+    #[test]
+    #[should_panic(expected = "plus +Inf")]
+    fn bucketed_merge_rejects_mismatched_slot_count() {
+        let mut r = Registry::new();
+        r.histogram_add_bucketed("h", "h", &[], &[1.0, 2.0], &[1, 2], 3.0);
     }
 }

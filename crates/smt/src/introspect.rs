@@ -1,0 +1,297 @@
+//! Sampled search-shape introspection: distribution histograms the flat
+//! [`crate::Stats`] counters cannot carry.
+//!
+//! The aggregate counters say *how many* conflicts and restarts a solve
+//! saw; they cannot say whether the learned clauses were mostly glue
+//! (LBD ≤ 2) or junk, whether conflicts happen shallow or deep in the
+//! decision stack, or whether the Glucose-style restart EMAs fire every
+//! 60 conflicts or lie dormant for thousands (the ROADMAP's open
+//! restart-tuning question). [`Introspect`] samples exactly those three
+//! distributions at the conflict and restart points of the CDCL loop,
+//! **pre-bucketed at source** into fixed bounds so the hot-path cost is
+//! one comparison chain and two integer adds per conflict — no
+//! per-observation allocation, no floats in the solver.
+//!
+//! The buckets render through [`metrics::Registry::histogram_add_bucketed`]
+//! as ordinary Prometheus histograms named `mcapi_smt_lbd`,
+//! `mcapi_smt_decision_depth`, and `mcapi_smt_restart_interval`.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds for learned-clause LBD ("glue") values. LBD 1–2 clauses
+/// are the ones Glucose keeps forever; the tail shows how noisy the
+/// learning is.
+pub const LBD_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+
+/// Upper bounds for the decision level at which conflicts occur.
+pub const DEPTH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// Upper bounds for the number of conflicts between consecutive
+/// restarts (the restart policy's effective firing interval; the
+/// minimum enforced by the policy is 50).
+pub const RESTART_INTERVAL_BOUNDS: &[f64] =
+    &[50.0, 64.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0];
+
+/// One pre-bucketed distribution: observation counts per bound plus a
+/// trailing overflow (`+Inf`) slot, and the running sum of raw values.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BucketCounts {
+    /// Counts per bound, plus the final above-last-bound slot
+    /// (`counts.len() == bounds.len() + 1` once populated; empty means
+    /// "no observations yet" and merges as all-zero).
+    #[serde(default)]
+    pub counts: Vec<u64>,
+    /// Sum of raw observed values.
+    #[serde(default)]
+    pub sum: u64,
+}
+
+impl BucketCounts {
+    /// Record one raw `value` against `bounds`.
+    fn observe(&mut self, bounds: &[f64], value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; bounds.len() + 1];
+        }
+        let slot = bounds
+            .iter()
+            .position(|&b| value as f64 <= b)
+            .unwrap_or(bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Add `other`'s observations into `self` (slot-wise; either side
+    /// may be empty/unpopulated).
+    pub fn merge(&mut self, other: &BucketCounts) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; other.counts.len()];
+        }
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket layout mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Observations accumulated since `baseline` (slot-wise saturating
+    /// difference — the counts are monotone).
+    pub fn delta(&self, baseline: &BucketCounts) -> BucketCounts {
+        if baseline.counts.is_empty() {
+            return self.clone();
+        }
+        if self.counts.is_empty() {
+            return BucketCounts::default();
+        }
+        assert_eq!(
+            self.counts.len(),
+            baseline.counts.len(),
+            "bucket layout mismatch"
+        );
+        BucketCounts {
+            counts: self
+                .counts
+                .iter()
+                .zip(&baseline.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(baseline.sum),
+        }
+    }
+
+    fn record(
+        &self,
+        reg: &mut metrics::Registry,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) {
+        let zeros;
+        let counts = if self.counts.is_empty() {
+            zeros = vec![0; bounds.len() + 1];
+            &zeros
+        } else {
+            &self.counts
+        };
+        reg.histogram_add_bucketed(name, help, labels, bounds, counts, self.sum as f64);
+    }
+}
+
+/// The SAT core's sampled distributions; one per [`crate::SatSolver`],
+/// monotone like [`crate::Stats`] and reported per query via
+/// [`Introspect::delta`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Introspect {
+    /// LBD (glue) of each learned clause.
+    #[serde(default)]
+    pub lbd: BucketCounts,
+    /// Decision level at each conflict.
+    #[serde(default)]
+    pub decision_depth: BucketCounts,
+    /// Conflicts between consecutive restarts.
+    #[serde(default)]
+    pub restart_interval: BucketCounts,
+}
+
+impl Introspect {
+    /// Record one learned clause's LBD and the decision level its
+    /// conflict occurred at. The SAT core calls this from its conflict
+    /// branch; it is public so report fixtures and external harnesses
+    /// can build known distributions.
+    pub fn observe_conflict(&mut self, lbd: u64, decision_level: u64) {
+        self.lbd.observe(LBD_BOUNDS, lbd);
+        self.decision_depth.observe(DEPTH_BOUNDS, decision_level);
+    }
+
+    /// Record the conflict count between this restart and the previous
+    /// one.
+    pub fn observe_restart(&mut self, conflicts_since_last: u64) {
+        self.restart_interval
+            .observe(RESTART_INTERVAL_BOUNDS, conflicts_since_last);
+    }
+
+    /// Merge another solver's (or query's) distributions into this one.
+    pub fn merge(&mut self, other: &Introspect) {
+        self.lbd.merge(&other.lbd);
+        self.decision_depth.merge(&other.decision_depth);
+        self.restart_interval.merge(&other.restart_interval);
+    }
+
+    /// Distributions accumulated since `baseline` was cloned.
+    pub fn delta(&self, baseline: &Introspect) -> Introspect {
+        Introspect {
+            lbd: self.lbd.delta(&baseline.lbd),
+            decision_depth: self.decision_depth.delta(&baseline.decision_depth),
+            restart_interval: self.restart_interval.delta(&baseline.restart_interval),
+        }
+    }
+
+    /// Report the three distributions into `reg` under the crate's
+    /// stable histogram names, tagged with `labels`.
+    pub fn record(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
+        self.lbd.record(
+            reg,
+            "mcapi_smt_lbd",
+            "LBD (glue) of learned clauses",
+            labels,
+            LBD_BOUNDS,
+        );
+        self.decision_depth.record(
+            reg,
+            "mcapi_smt_decision_depth",
+            "Decision level at each conflict",
+            labels,
+            DEPTH_BOUNDS,
+        );
+        self.restart_interval.record(
+            reg,
+            "mcapi_smt_restart_interval",
+            "Conflicts between consecutive restarts",
+            labels,
+            RESTART_INTERVAL_BOUNDS,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_bucket_and_sum() {
+        let mut i = Introspect::default();
+        i.observe_conflict(1, 3);
+        i.observe_conflict(2, 3);
+        i.observe_conflict(100, 700); // both above the last bound
+        assert_eq!(i.lbd.count(), 3);
+        assert_eq!(i.lbd.counts[0], 1); // lbd ≤ 1
+        assert_eq!(i.lbd.counts[1], 1); // lbd ≤ 2
+        assert_eq!(*i.lbd.counts.last().unwrap(), 1, "overflow slot");
+        assert_eq!(i.lbd.sum, 103);
+        assert_eq!(*i.decision_depth.counts.last().unwrap(), 1);
+        i.observe_restart(55);
+        assert_eq!(i.restart_interval.count(), 1);
+        assert_eq!(i.restart_interval.counts[1], 1); // 50 < 55 ≤ 64
+    }
+
+    #[test]
+    fn merge_and_delta_are_inverse_on_monotone_data() {
+        let mut base = Introspect::default();
+        base.observe_conflict(2, 5);
+        let mut later = base.clone();
+        later.observe_conflict(4, 9);
+        later.observe_restart(60);
+        let d = later.delta(&base);
+        assert_eq!(d.lbd.count(), 1);
+        assert_eq!(d.decision_depth.count(), 1);
+        assert_eq!(d.restart_interval.count(), 1);
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt, later);
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_total() {
+        let mut a = Introspect::default();
+        let mut b = Introspect::default();
+        b.observe_conflict(3, 2);
+        a.merge(&b); // empty += populated
+        assert_eq!(a.lbd.count(), 1);
+        a.merge(&Introspect::default()); // populated += empty
+        assert_eq!(a.lbd.count(), 1);
+        assert_eq!(Introspect::default().delta(&a).lbd.count(), 0);
+    }
+
+    #[test]
+    fn record_emits_the_three_pinned_histograms() {
+        let mut i = Introspect::default();
+        i.observe_conflict(2, 4);
+        i.observe_restart(51);
+        let mut reg = metrics::Registry::new();
+        i.record(&mut reg, &[("engine", "symbolic")]);
+        // An all-empty introspect must still register the families so
+        // the exposition shape is stable.
+        Introspect::default().record(&mut reg, &[("engine", "explicit")]);
+        let text = reg.render_prometheus();
+        for name in [
+            "mcapi_smt_lbd",
+            "mcapi_smt_decision_depth",
+            "mcapi_smt_restart_interval",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} histogram")), "{text}");
+        }
+        assert!(
+            text.contains("mcapi_smt_lbd_bucket{engine=\"symbolic\",le=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mcapi_smt_restart_interval_bucket{engine=\"symbolic\",le=\"64\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mcapi_smt_lbd_count{engine=\"explicit\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_buckets() {
+        let mut i = Introspect::default();
+        i.observe_conflict(6, 12);
+        let v = serde::Serialize::to_value(&i);
+        let back: Introspect = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, i);
+    }
+}

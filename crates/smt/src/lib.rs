@@ -56,6 +56,7 @@ pub mod error;
 pub mod heap;
 pub mod idl;
 pub mod idl_naive;
+pub mod introspect;
 pub mod lit;
 pub mod model;
 pub mod naive;
@@ -66,6 +67,7 @@ pub mod term;
 
 pub use atom::{DiffAtom, IntVarId, ZERO_VAR};
 pub use error::SmtError;
+pub use introspect::Introspect;
 pub use lit::{LBool, Lit, Var};
 pub use model::Model;
 pub use sat::SatSolver;

@@ -156,6 +156,9 @@ pub struct SatSolver<T: Theory = NoTheory> {
     ok: bool,
     theory: T,
     stats: Stats,
+    /// Sampled distribution histograms (LBD, conflict depth, restart
+    /// intervals); monotone like `stats`.
+    introspect: crate::Introspect,
     /// Conflict count at which the next database reduction triggers.
     next_reduce: u64,
     /// Fast exponential moving average of learned-clause LBD; compared
@@ -229,6 +232,7 @@ impl<T: Theory> SatSolver<T> {
             ok: true,
             theory,
             stats: Stats::default(),
+            introspect: crate::Introspect::default(),
             next_reduce: 2000,
             fast_lbd_ema: 0.0,
             trail_ema: 0.0,
@@ -257,6 +261,11 @@ impl<T: Theory> SatSolver<T> {
 
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Sampled search-shape distributions (see [`crate::Introspect`]).
+    pub fn introspect(&self) -> &crate::Introspect {
+        &self.introspect
     }
 
     /// Limit the number of conflicts for subsequent `solve` calls.
@@ -1067,9 +1076,11 @@ impl<T: Theory> SatSolver<T> {
                         return SolveResult::Unsat;
                     }
                     let trail_len = self.trail.len();
+                    let conflict_depth = self.decision_level() as u64;
                     let (learnt, bt) = self.analyze(conflict);
                     self.cancel_until(bt);
                     let lbd = self.learn(learnt);
+                    self.introspect.observe_conflict(lbd as u64, conflict_depth);
                     self.note_conflict_for_restarts(lbd, trail_len);
                     self.decay_var_activity();
                     self.db.decay_activity();
@@ -1089,6 +1100,8 @@ impl<T: Theory> SatSolver<T> {
                 None => {
                     if self.decision_level() > assumptions.len() && self.restart_ready() {
                         self.stats.restarts += 1;
+                        self.introspect
+                            .observe_restart(self.conflicts_since_restart);
                         self.conflicts_since_restart = 0;
                         // Partial restart: levels the heap would immediately
                         // rebuild stay on the trail (and stay propagated).

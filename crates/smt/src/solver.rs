@@ -222,14 +222,26 @@ impl SmtSolver {
             }
         }
         self.assumption_lits = lits.clone();
-        match self.sat.solve_with_assumptions(&lits) {
+        let mut span = trace::span("smt.solve");
+        let before = *self.sat.stats();
+        let result = match self.sat.solve_with_assumptions(&lits) {
             SolveResult::Sat => {
                 self.extract_model();
                 SatResult::Sat
             }
             SolveResult::Unsat => SatResult::Unsat,
             SolveResult::Unknown => SatResult::Unknown,
+        };
+        if span.is_recording() {
+            let d = self.sat.stats().delta(&before);
+            span.arg("conflicts", d.conflicts)
+                .arg("propagations", d.propagations)
+                .arg("decisions", d.decisions)
+                .arg("restarts", d.restarts)
+                .arg("assumptions", lits.len() as u64)
+                .arg("sat", matches!(result, SatResult::Sat) as u64);
         }
+        result
     }
 
     /// After an UNSAT answer from [`SmtSolver::check_assuming`]: the subset
@@ -286,6 +298,11 @@ impl SmtSolver {
     /// Search statistics.
     pub fn stats(&self) -> &Stats {
         self.sat.stats()
+    }
+
+    /// Sampled search-shape distributions (see [`crate::Introspect`]).
+    pub fn introspect(&self) -> &crate::Introspect {
+        self.sat.introspect()
     }
 
     /// Report the solver's lifetime counters into `reg` under the stable

@@ -192,6 +192,9 @@ pub struct CheckReport {
     /// Solver work this query cost (delta over the session's counters, so
     /// shared-session queries report only their own share).
     pub solver_stats: smt::Stats,
+    /// Sampled solver distributions for this query (same delta
+    /// semantics as [`CheckReport::solver_stats`]).
+    pub solver_introspect: smt::Introspect,
     /// Control-flow paths the engine analysed (1 for the single-trace
     /// engines; the feasible-path count for `symbolic::paths`).
     pub paths_explored: usize,
@@ -211,6 +214,7 @@ impl CheckReport {
     /// [`smt::Stats::record`], tagged with `labels`.
     pub fn record_metrics(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
         self.solver_stats.record(reg, labels);
+        self.solver_introspect.record(reg, labels);
         self.timings.record(reg, labels);
         record_check_counters(
             reg,
@@ -439,6 +443,7 @@ pub(crate) fn report_for_violating_trace(trace: Trace, branch_path: Option<Strin
         matchgen_pairs: 0,
         sat_checks: 0,
         solver_stats: smt::Stats::default(),
+        solver_introspect: smt::Introspect::default(),
         paths_explored: 1,
         paths_pruned: 0,
         timings: PhaseTimings::default(),
@@ -487,18 +492,23 @@ pub fn check_in_session_at(
     cfg: &CheckConfig,
 ) -> CheckReport {
     session.checks += 1;
+    let mut query_span = trace::span("symbolic.query");
     let deadline = cfg.resolve_deadline();
     // Build (or look up) the axiom groups *before* opening the per-query
     // scope: groups are permanent, blocking clauses are not. Group
     // building counts as encode time, as does any core build / sibling
     // attachment this query triggered (left pending on the session).
     let group_build = Instant::now();
-    let assumptions = session.assumptions_for(slot, cfg.delivery, true);
+    let assumptions = {
+        let _span = trace::span("symbolic.activate_groups");
+        session.assumptions_for(slot, cfg.delivery, true)
+    };
     let encode_us = session.take_pending_encode_us() + group_build.elapsed().as_micros() as u64;
     let slot_clocks: Vec<smt::TermId> = session.clocks_for(slot).to_vec();
     let slot_props: Vec<crate::encode::PropTerm> = session.props_for(slot).to_vec();
     let enc = &mut session.enc;
     let stats_before = *enc.solver.stats();
+    let introspect_before = enc.solver.introspect().clone();
     let id_terms = enc.id_terms();
     let mut refinements = 0usize;
     let mut sat_checks = 0usize;
@@ -566,6 +576,12 @@ pub fn check_in_session_at(
     enc.solver.pop_scope();
     enc.refresh_size_stats();
     let solver_stats = enc.solver.stats().delta(&stats_before);
+    let solver_introspect = enc.solver.introspect().delta(&introspect_before);
+    query_span
+        .arg("sat_checks", sat_checks as u64)
+        .arg("refinements", refinements as u64)
+        .arg("conflicts", solver_stats.conflicts)
+        .arg("propagations", solver_stats.propagations);
 
     CheckReport {
         verdict,
@@ -575,6 +591,7 @@ pub fn check_in_session_at(
         matchgen_pairs: 0,
         sat_checks,
         solver_stats,
+        solver_introspect,
         paths_explored: 1,
         paths_pruned: 0,
         timings: PhaseTimings {

@@ -351,7 +351,10 @@ impl<'a> PathEnumerator<'a> {
         let plan = self.plan_at(self.next);
         self.next += 1;
         let prune_start = Instant::now();
-        let infeasible = self.pruner.is_infeasible(self.program, &plan);
+        let infeasible = {
+            let _span = trace::span("paths.prune");
+            self.pruner.is_infeasible(self.program, &plan)
+        };
         self.enumerate_us += prune_start.elapsed().as_micros() as u64;
         if infeasible {
             self.pruned += 1;
@@ -362,7 +365,10 @@ impl<'a> PathEnumerator<'a> {
             deadline: self.deadline,
         };
         let search_start = Instant::now();
-        let directed = execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg);
+        let directed = {
+            let _span = trace::span("paths.directed_search");
+            execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg)
+        };
         self.schedule_us += search_start.elapsed().as_micros() as u64;
         let step = match directed {
             DirectedOutcome::Infeasible { .. } => {
@@ -494,6 +500,7 @@ pub fn check_program_paths_pooled(
     program: &Program,
     cfg: &PathsConfig,
 ) -> (CheckReport, bool) {
+    let setup_span = trace::span("paths.enumerate_setup");
     let mut enumerator = match PathEnumerator::new(program, cfg) {
         Ok(e) => e,
         Err(why) => {
@@ -507,6 +514,7 @@ pub fn check_program_paths_pooled(
                     matchgen_pairs: 0,
                     sat_checks: 0,
                     solver_stats: smt::Stats::default(),
+                    solver_introspect: smt::Introspect::default(),
                     paths_explored: 0,
                     paths_pruned: 0,
                     timings: PhaseTimings::default(),
@@ -516,6 +524,7 @@ pub fn check_program_paths_pooled(
             );
         }
     };
+    drop(setup_span);
     // One deadline spans the whole exploration; every per-path query gets
     // the same absolute deadline instead of restarting its own budget.
     let per_path_cfg = CheckConfig {
@@ -606,6 +615,7 @@ pub fn check_program_paths_pooled(
         matchgen_pairs: agg.matchgen_pairs,
         sat_checks: agg.sat_checks,
         solver_stats: agg.solver_stats,
+        solver_introspect: agg.solver_introspect,
         paths_explored: enumerator.paths_explored(),
         paths_pruned: enumerator.paths_pruned(),
         timings,
@@ -637,6 +647,7 @@ struct Aggregate {
     matchgen_states: usize,
     matchgen_pairs: usize,
     solver_stats: smt::Stats,
+    solver_introspect: smt::Introspect,
     encode_stats: EncodeStats,
     timings: PhaseTimings,
     last_trace: Option<Trace>,
@@ -649,6 +660,7 @@ impl Aggregate {
         self.matchgen_states += report.matchgen_states;
         self.matchgen_pairs = self.matchgen_pairs.max(report.matchgen_pairs);
         self.solver_stats.merge(&report.solver_stats);
+        self.solver_introspect.merge(&report.solver_introspect);
         self.timings.merge(&report.timings);
         // Encode stats are formula *sizes*, not work counters: keep the
         // last path's (= the shared core's size under session reuse, one
@@ -662,6 +674,7 @@ impl Aggregate {
         report.matchgen_states = self.matchgen_states;
         report.matchgen_pairs = self.matchgen_pairs;
         report.solver_stats = self.solver_stats;
+        report.solver_introspect = self.solver_introspect.clone();
         report.encode_stats = self.encode_stats;
         report.timings = self.timings;
     }

@@ -98,7 +98,11 @@ impl CheckSession {
         unique_scope: UniqueScope,
     ) -> CheckSession {
         let built = std::time::Instant::now();
+        let mut span = trace::span("symbolic.encode_core");
         let mut enc = encode_core(program, trace, pairs, unique_scope);
+        span.arg("sat_vars", enc.solver.num_sat_vars() as u64)
+            .arg("sat_clauses", enc.solver.num_sat_clauses() as u64);
+        drop(span);
         let host_pin_sel = if enc.branch_terms.is_empty() {
             None
         } else {
@@ -142,6 +146,7 @@ impl CheckSession {
             "path groups must be built outside per-query scopes"
         );
         let built = std::time::Instant::now();
+        let _span = trace::span("symbolic.attach_path");
         let att = self.enc.build_path_attachment(program, trace)?;
         let sel = self
             .enc

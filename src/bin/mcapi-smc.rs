@@ -18,7 +18,7 @@
 //! mcapi-smc --list-programs      # every accepted grid-point name
 //! mcapi-smc portfolio [opts]     # parallel grid, cancel on first violation
 //! mcapi-smc sweep [opts]         # parallel grid, run everything
-//! mcapi-smc corpus-check <dir> [--min N]  # verify every `// expect:` header
+//! mcapi-smc corpus-check <dir> [--min N] [--slowest N]  # verify `// expect:` headers
 //! ```
 //!
 //! `check` engines: `symbolic-overapprox` (default), `symbolic-precise`
@@ -40,9 +40,15 @@
 //! table), `--metrics-out PATH` (Prometheus text exposition of the run's
 //! counters/gauges/histograms), `--events-out PATH` (one structured JSON
 //! event per scenario, with encode/solve/schedule/enumerate timing
-//! breakdowns), `--no-session-reuse` (re-encode every scenario from
-//! scratch instead of sharing incremental solver sessions per grid
-//! point).
+//! breakdowns), `--trace-out PATH` (Chrome trace-event JSON of the whole
+//! run — one timeline lane per worker thread, spans down to individual
+//! solver queries; load it in Perfetto or `chrome://tracing`),
+//! `--no-session-reuse` (re-encode every scenario from scratch instead
+//! of sharing incremental solver sessions per grid point).
+//!
+//! `check` accepts the same `--metrics-out`/`--events-out`/`--trace-out`
+//! flags: the single scenario is reported through the identical
+//! portfolio plumbing, so its exposition shape matches a grid run's.
 
 use driver::prelude::*;
 use mcapi::error::McapiError;
@@ -164,7 +170,12 @@ fn list_programs() {
 }
 
 /// `check` with the explicit-state engine (ground truth; no encoding).
-fn check_explicit(program: &Program, delivery: DeliveryModel) -> ExitCode {
+/// Returns the exploration result alongside the exit code so the caller
+/// can feed the observability outputs.
+fn check_explicit(
+    program: &Program,
+    delivery: DeliveryModel,
+) -> (ExitCode, explicit::ExploreResult) {
     use explicit::{ExploreConfig, GraphExplorer};
     let r = GraphExplorer::new(program, ExploreConfig::with_model(delivery)).explore();
     println!(
@@ -177,7 +188,7 @@ fn check_explicit(program: &Program, delivery: DeliveryModel) -> ExitCode {
         r.transitions,
         r.matchings.len()
     );
-    if r.found_violation() {
+    let code = if r.found_violation() {
         println!("verdict: VIOLATION");
         for v in &r.violations {
             println!("  {v}");
@@ -189,7 +200,59 @@ fn check_explicit(program: &Program, delivery: DeliveryModel) -> ExitCode {
     } else {
         println!("verdict: SAFE");
         ExitCode::SUCCESS
+    };
+    (code, r)
+}
+
+/// The three observability output flags shared by `check` and the
+/// portfolio subcommands.
+struct OutputFlags {
+    metrics_out: Option<String>,
+    events_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn output_flags(args: &[String]) -> Result<OutputFlags, String> {
+    let path = |flag: &str| match strict_value(args, flag) {
+        Some(Ok(p)) => Ok(Some(p.to_string())),
+        Some(Err(_)) => Err(format!("{flag} needs a file path")),
+        None => Ok(None),
+    };
+    Ok(OutputFlags {
+        metrics_out: path("--metrics-out")?,
+        events_out: path("--events-out")?,
+        trace_out: path("--trace-out")?,
+    })
+}
+
+/// Write `check`'s observability outputs. The single scenario goes
+/// through the same [`PortfolioReport`] plumbing as `portfolio`/`sweep`,
+/// so the metrics and event expositions have identical shape either way.
+fn write_check_outputs(
+    outputs: &OutputFlags,
+    outcome: ScenarioOutcome,
+    tracer: Option<&trace::Tracer>,
+) -> Result<(), String> {
+    if outputs.metrics_out.is_none() && outputs.events_out.is_none() && outputs.trace_out.is_none()
+    {
+        return Ok(());
     }
+    let wall_ms = outcome.wall_ms;
+    let report = PortfolioReport::from_outcomes("check", 1, wall_ms, vec![outcome]);
+    let write = |path: &str, data: String| {
+        std::fs::write(path, data).map_err(|e| format!("cannot write {path}: {e}"))
+    };
+    if let Some(path) = outputs.metrics_out.as_deref() {
+        write(path, report.to_prometheus())?;
+    }
+    if let Some(path) = outputs.events_out.as_deref() {
+        write(path, report.events_jsonl())?;
+    }
+    if let Some(path) = outputs.trace_out.as_deref() {
+        let tracer = tracer.expect("--trace-out implies a tracer was created");
+        write(path, tracer.chrome_trace())?;
+    }
+    Ok(())
 }
 
 /// The value following `flag`, refusing to consume a `--`-prefixed token:
@@ -293,21 +356,12 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         None => None,
     };
 
-    let metrics_out = match strict_value(args, "--metrics-out") {
-        Some(Ok(path)) => Some(path.to_string()),
-        Some(Err(_)) => {
-            eprintln!("--metrics-out needs a file path");
+    let outputs = match output_flags(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
-        None => None,
-    };
-    let events_out = match strict_value(args, "--events-out") {
-        Some(Ok(path)) => Some(path.to_string()),
-        Some(Err(_)) => {
-            eprintln!("--events-out needs a file path");
-            return ExitCode::from(2);
-        }
-        None => None,
     };
 
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
@@ -350,16 +404,31 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     if let Some(n) = max_paths {
         cfg.max_paths = n;
     }
-    let report = run_portfolio(&scenarios, &cfg);
+    let tracer = outputs.trace_out.as_ref().map(|_| trace::Tracer::new());
+    let report = {
+        // A `main` lane holds one umbrella span over the whole run; the
+        // per-worker lanes are installed inside the pool.
+        let _lane = tracer.as_ref().map(|t| t.install("main"));
+        let mut run_span = trace::span("portfolio.run");
+        let report = run_portfolio_traced(&scenarios, &cfg, tracer.as_ref());
+        run_span.arg("scenarios", scenarios.len() as u64);
+        report
+    };
 
-    if let Some(path) = metrics_out.as_deref() {
+    if let Some(path) = outputs.metrics_out.as_deref() {
         if let Err(e) = std::fs::write(path, report.to_prometheus()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
     }
-    if let Some(path) = events_out.as_deref() {
+    if let Some(path) = outputs.events_out.as_deref() {
         if let Err(e) = std::fs::write(path, report.events_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let (Some(path), Some(t)) = (outputs.trace_out.as_deref(), tracer.as_ref()) {
+        if let Err(e) = std::fs::write(path, t.chrome_trace()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
@@ -396,11 +465,18 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
 /// they do under `check --engine symbolic-paths`.
 fn corpus_check(args: &[String]) -> ExitCode {
     let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: mcapi-smc corpus-check <dir> [--min N]");
+        eprintln!("usage: mcapi-smc corpus-check <dir> [--min N] [--slowest N]");
         return ExitCode::from(2);
     };
     let min = match parse_flag_strict(args, "--min") {
         Ok(m) => m.unwrap_or(21) as usize,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let slowest = match parse_flag_strict(args, "--slowest") {
+        Ok(s) => s.unwrap_or(0) as usize,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
@@ -422,8 +498,12 @@ fn corpus_check(args: &[String]) -> ExitCode {
         );
         fail = true;
     }
+    // (display name, parse + check wall-clock) for every file that ran
+    // the checker, feeding the per-file column and the --slowest summary.
+    let mut timings: Vec<(String, u64)> = Vec::with_capacity(files.len());
     for path in &files {
         let shown = path.display();
+        let file_start = std::time::Instant::now();
         let (program, directives) = match load_program(&path.display().to_string(), None) {
             Ok(p) => p,
             Err(e) => {
@@ -455,16 +535,29 @@ fn corpus_check(args: &[String]) -> ExitCode {
             ..symbolic::paths::PathsConfig::default()
         };
         let report = symbolic::paths::check_program_paths(&program, &pcfg);
+        let wall_ms = file_start.elapsed().as_millis() as u64;
+        timings.push((shown.to_string(), wall_ms));
         let got = match &report.verdict {
             Verdict::Safe => 0u8,
             Verdict::Violation(_) => 1,
             Verdict::Unknown(_) => 3,
         };
         if got != want {
-            println!("{shown}: expected {expect} (exit {want}), got exit {got}");
+            println!("{shown}: expected {expect} (exit {want}), got exit {got} [{wall_ms} ms]");
             fail = true;
         } else {
-            println!("{shown}: {expect} (ok)");
+            println!("{shown}: {expect} (ok) [{wall_ms} ms]");
+        }
+    }
+    if slowest > 0 && !timings.is_empty() {
+        timings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        println!(
+            "slowest {} of {}:",
+            slowest.min(timings.len()),
+            timings.len()
+        );
+        for (name, ms) in timings.iter().take(slowest) {
+            println!("  {ms:>6} ms  {name}");
         }
     }
     if fail {
@@ -753,18 +846,47 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     };
+                    let outputs = match output_flags(&args) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    let tracer = outputs.trace_out.as_ref().map(|_| trace::Tracer::new());
+                    let start = std::time::Instant::now();
+                    let outcome_shell = || {
+                        ScenarioOutcome::skipped(
+                            program.name.clone(),
+                            "file".to_string(),
+                            delivery.to_string(),
+                            engine.tag().to_string(),
+                        )
+                    };
+                    if engine == Engine::Explicit {
+                        if budget_ms.is_some() {
+                            eprintln!(
+                                "note: --budget-ms bounds the symbolic solve/refine loop; \
+                                 the explicit engine is bounded by state count and ignores it"
+                            );
+                        }
+                        let (code, result) = {
+                            let _lane = tracer.as_ref().map(|t| t.install("main"));
+                            check_explicit(&program, delivery)
+                        };
+                        let mut out = outcome_shell();
+                        fill_explicit_outcome(&mut out, &result);
+                        out.wall_ms = start.elapsed().as_millis() as u64;
+                        if let Err(e) = write_check_outputs(&outputs, out, tracer.as_ref()) {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                        return code;
+                    }
                     let matchgen = match engine {
                         Engine::Symbolic(m) => m,
                         Engine::SymbolicPaths => MatchGen::OverApprox,
-                        Engine::Explicit => {
-                            if budget_ms.is_some() {
-                                eprintln!(
-                                    "note: --budget-ms bounds the symbolic solve/refine loop; \
-                                     the explicit engine is bounded by state count and ignores it"
-                                );
-                            }
-                            return check_explicit(&program, delivery);
-                        }
+                        Engine::Explicit => unreachable!("handled above"),
                     };
                     let cfg = CheckConfig {
                         delivery,
@@ -772,15 +894,18 @@ fn main() -> ExitCode {
                         budget_ms,
                         ..CheckConfig::default()
                     };
-                    let (report, path_complete) = if engine == Engine::SymbolicPaths {
-                        let pcfg = symbolic::paths::PathsConfig {
-                            check: cfg,
-                            max_paths,
-                            ..symbolic::paths::PathsConfig::default()
-                        };
-                        (symbolic::paths::check_program_paths(&program, &pcfg), true)
-                    } else {
-                        (check_program(&program, &cfg), false)
+                    let (report, path_complete) = {
+                        let _lane = tracer.as_ref().map(|t| t.install("main"));
+                        if engine == Engine::SymbolicPaths {
+                            let pcfg = symbolic::paths::PathsConfig {
+                                check: cfg,
+                                max_paths,
+                                ..symbolic::paths::PathsConfig::default()
+                            };
+                            (symbolic::paths::check_program_paths(&program, &pcfg), true)
+                        } else {
+                            (check_program(&program, &cfg), false)
+                        }
                     };
                     if path_complete {
                         println!(
@@ -807,7 +932,7 @@ fn main() -> ExitCode {
                             report.paths_explored, report.paths_pruned
                         );
                     }
-                    match &report.verdict {
+                    let code = match &report.verdict {
                         Verdict::Safe => {
                             if path_complete {
                                 println!("verdict: SAFE (all feasible control-flow paths)");
@@ -838,7 +963,15 @@ fn main() -> ExitCode {
                             println!("verdict: UNKNOWN ({why})");
                             ExitCode::from(3)
                         }
+                    };
+                    let mut out = outcome_shell();
+                    fill_symbolic_outcome(&mut out, report, false);
+                    out.wall_ms = start.elapsed().as_millis() as u64;
+                    if let Err(e) = write_check_outputs(&outputs, out, tracer.as_ref()) {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
                     }
+                    code
                 }
                 "behaviours" => {
                     let limit = parse_flag_value(&args, "--limit").unwrap_or(10_000) as usize;

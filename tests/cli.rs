@@ -668,3 +668,140 @@ fn sweep_writes_metrics_and_events_files() {
         "one event per scenario:\n{jsonl}"
     );
 }
+
+#[test]
+fn check_writes_metrics_events_and_trace() {
+    let path = write_temp("check-obs.json", &demo_json("fig1"));
+    let dir = std::env::temp_dir().join("mcapi-smc-cli-tests");
+    let metrics = dir.join("check-metrics.prom");
+    let events = dir.join("check-events.jsonl");
+    let trace_out = dir.join("check-trace.json");
+    let out = bin()
+        .args([
+            "check",
+            path.to_str().unwrap(),
+            "--engine",
+            "symbolic-paths",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // The single scenario goes through the portfolio plumbing, so the
+    // exposition carries the same families a grid run would.
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("mcapi_portfolio_scenarios_total"), "{prom}");
+    assert!(prom.contains("mcapi_smt_solves_total"), "{prom}");
+    assert!(prom.contains("mcapi_smt_lbd_bucket"), "{prom}");
+    assert!(prom.contains(r#"engine="symbolic-paths""#), "{prom}");
+
+    let jsonl = std::fs::read_to_string(&events).unwrap();
+    assert_eq!(jsonl.lines().count(), 1, "{jsonl}");
+    let ev: driver::ScenarioEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+    assert_eq!(ev.engine, "symbolic-paths");
+
+    let trace_doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_out).unwrap()).unwrap();
+    let obj = trace_doc.as_object().unwrap();
+    assert!(obj.iter().any(|(k, _)| k == "traceEvents"));
+}
+
+#[test]
+fn portfolio_trace_out_covers_scenarios_and_solver_queries() {
+    let dir = std::env::temp_dir().join("mcapi-smc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_out = dir.join("portfolio-trace.json");
+    let out = bin()
+        .args([
+            "portfolio",
+            "--scale",
+            "1",
+            "--families",
+            "race",
+            "--threads",
+            "2",
+            "--json",
+            "-",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let get = |v: &serde_json::Value, k: &str| -> serde_json::Value {
+        v.as_object()
+            .and_then(|o| o.iter().find(|(n, _)| n == k))
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing {k}"))
+    };
+    let outcomes = get(&report, "outcomes");
+    let outcomes = outcomes.as_array().unwrap();
+    let total_sat_checks = outcomes
+        .iter()
+        .map(|o| match get(o, "sat_checks") {
+            serde_json::Value::Int(i) => i,
+            other => panic!("sat_checks not an int: {other:?}"),
+        })
+        .sum::<i64>();
+
+    let trace_doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_out).unwrap()).unwrap();
+    let events = get(&trace_doc, "traceEvents");
+    let spans: Vec<String> = events
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| matches!(get(e, "ph"), serde_json::Value::Str(s) if s == "X"))
+        .map(|e| match get(e, "name") {
+            serde_json::Value::Str(s) => s,
+            other => panic!("span name not a string: {other:?}"),
+        })
+        .collect();
+    // One span per scenario, carrying the scenario's name.
+    for o in outcomes {
+        let name = match get(o, "scenario") {
+            serde_json::Value::Str(s) => s,
+            other => panic!("scenario not a string: {other:?}"),
+        };
+        assert!(spans.contains(&name), "no span for {name}");
+    }
+    // One span per solver query.
+    let solves = spans.iter().filter(|s| *s == "smt.solve").count() as i64;
+    assert!(total_sat_checks > 0, "grid exercises the solver");
+    assert!(
+        solves >= total_sat_checks,
+        "{solves} smt.solve spans < {total_sat_checks} sat checks"
+    );
+}
+
+#[test]
+fn corpus_check_reports_wall_clock_and_slowest() {
+    let dir = write_corpus(
+        "slowest",
+        &[("a-safe.mcapi", SAFE_SRC), ("b-viol.mcapi", VIOLATION_SRC)],
+    );
+    let out = bin()
+        .args([
+            "corpus-check",
+            dir.to_str().unwrap(),
+            "--min",
+            "2",
+            "--slowest",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("a-safe.mcapi: safe (ok) ["), "{stdout}");
+    assert!(stdout.contains(" ms]"), "{stdout}");
+    assert!(stdout.contains("slowest 1 of 2:"), "{stdout}");
+}

@@ -37,6 +37,13 @@ fn symbolic_outcome() -> ScenarioOutcome {
     o.solver.conflicts = 3;
     o.solver.solves = 2;
     o.solver.scope_pushes = 2;
+    // Sampled solver distributions: three conflicts (LBD 2, 3, 5 at
+    // depths 4, 4, 9) and one restart after 120 conflicts, so the
+    // exposition pins real bucket placement, not just zeroed families.
+    o.introspect.observe_conflict(2, 4);
+    o.introspect.observe_conflict(3, 4);
+    o.introspect.observe_conflict(5, 9);
+    o.introspect.observe_restart(120);
     o
 }
 
