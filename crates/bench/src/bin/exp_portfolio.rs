@@ -41,6 +41,9 @@ use std::time::Instant;
 const TOLERANCE: f64 = 0.20;
 /// Minimum conflicts+propagations saving session reuse must deliver (%).
 const MIN_REDUCTION_PCT: i64 = 20;
+/// Minimum drop in directed-search transitions that Mazurkiewicz
+/// normal-form pruning must deliver on the branchy paths grid (%).
+const MIN_CANONICAL_REDUCTION_PCT: i64 = 40;
 
 fn run_once(scenarios: &[Scenario], threads: usize, mode: Mode) -> (u64, PortfolioReport) {
     let cfg = PortfolioConfig {
@@ -66,6 +69,10 @@ struct ScenarioCounters {
     paths_explored: usize,
     #[serde(default)]
     paths_pruned: usize,
+    #[serde(default)]
+    directed_transitions: u64,
+    #[serde(default)]
+    canonical_skipped: u64,
 }
 
 /// Aggregate counters of one pinned-grid run.
@@ -80,6 +87,12 @@ struct RunCounters {
     paths_explored: usize,
     #[serde(default)]
     paths_pruned: usize,
+    /// Transitions applied by directed schedule searches (symbolic-paths).
+    #[serde(default)]
+    directed_transitions: u64,
+    /// Schedule extensions pruned by the Mazurkiewicz normal-form test.
+    #[serde(default)]
+    canonical_skipped: u64,
     per_scenario: Vec<ScenarioCounters>,
 }
 
@@ -93,6 +106,8 @@ impl RunCounters {
             propagations: report.total_propagations,
             paths_explored: report.total_paths_explored,
             paths_pruned: report.total_paths_pruned,
+            directed_transitions: report.total_directed_transitions,
+            canonical_skipped: report.total_canonical_skipped,
             per_scenario: report
                 .outcomes
                 .iter()
@@ -105,6 +120,8 @@ impl RunCounters {
                     reused_encoding: o.reused_encoding,
                     paths_explored: o.paths_explored,
                     paths_pruned: o.paths_pruned,
+                    directed_transitions: o.directed_transitions,
+                    canonical_skipped: o.canonical_skipped,
                 })
                 .collect(),
         }
@@ -141,18 +158,38 @@ struct PerfGateReport {
     /// Whole-percent saving of conflicts+propagations from sharing cores
     /// across sibling paths.
     paths_reduction_pct_conflicts_plus_propagations: i64,
+    /// The paths grid swept with canonical (Mazurkiewicz normal-form)
+    /// pruning disabled — every directed search sweeps every
+    /// interleaving, the `--no-canonical` shape. Compare `paths_reuse`.
+    paths_no_canonical: RunCounters,
+    /// Whole-percent drop in directed-search transitions from canonical
+    /// pruning on the paths grid.
+    canonical_reduction_pct_directed_transitions: i64,
+    /// Canonical and full sweeps returned identical per-scenario
+    /// verdicts — pruning must be invisible to everything but work.
+    canonical_verdicts_match: bool,
 }
 
-fn run_counters(scenarios: &[Scenario], session_reuse: bool) -> RunCounters {
+fn run_full(
+    scenarios: &[Scenario],
+    session_reuse: bool,
+    canonical: bool,
+) -> (RunCounters, PortfolioReport) {
     let cfg = PortfolioConfig {
         threads: 1,
         mode: Mode::Sweep,
         session_reuse,
+        canonical,
         ..PortfolioConfig::default()
     };
     let start = Instant::now();
     let report = run_portfolio(scenarios, &cfg);
-    RunCounters::from_report(start.elapsed().as_millis() as u64, &report)
+    let counters = RunCounters::from_report(start.elapsed().as_millis() as u64, &report);
+    (counters, report)
+}
+
+fn run_counters(scenarios: &[Scenario], session_reuse: bool) -> RunCounters {
+    run_full(scenarios, session_reuse, true).0
 }
 
 fn reduction_pct(reuse: &RunCounters, no_reuse: &RunCounters) -> i64 {
@@ -179,20 +216,43 @@ fn pinned_grid_report() -> PerfGateReport {
     // The path gate: branch-heavy programs — including the loop families,
     // whose unrolled bodies multiply branch sites — one delivery, paths
     // engine only, so the saving measured is exactly the sibling-path
-    // sharing.
+    // sharing. The storm family anchors the canonicalization half of the
+    // gate: its producer ticks independently of the consumer, so its
+    // schedule spaces are dominated by commuting interleavings (branchy
+    // and credit-window funnel everything into one endpoint and leave
+    // the normal-form test far less to prune).
     let mut paths_points = family_grid("branchy", 3);
     paths_points.extend(family_grid("credit-window", 3));
+    paths_points.extend(family_grid("storm", 3));
     let paths_scenarios = cross(
         &paths_points,
         &[DeliveryModel::Unordered],
         &[Engine::SymbolicPaths],
     );
-    let paths_reuse = run_counters(&paths_scenarios, true);
+    let (paths_reuse, paths_report) = run_full(&paths_scenarios, true, true);
     let paths_no_reuse = run_counters(&paths_scenarios, false);
+    // The canonicalization gate: the same grid with the normal-form
+    // pruning off. The verdicts must be identical; the directed-search
+    // transition count must not be.
+    let (paths_no_canonical, no_canon_report) = run_full(&paths_scenarios, true, false);
+    let canonical_verdicts_match = paths_report
+        .outcomes
+        .iter()
+        .zip(&no_canon_report.outcomes)
+        .all(|(a, b)| a.scenario == b.scenario && a.verdict == b.verdict);
+    let canonical_reduction = if paths_no_canonical.directed_transitions == 0 {
+        0
+    } else {
+        (100.0
+            * (1.0
+                - paths_reuse.directed_transitions as f64
+                    / paths_no_canonical.directed_transitions as f64))
+            .round() as i64
+    };
     PerfGateReport {
         grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep; \
-               paths gate: branchy(scale 3) + credit-window(scale 3) x unordered \
-               x symbolic-paths"
+               paths gate: branchy(scale 3) + credit-window(scale 3) + \
+               storm(scale 3) x unordered x symbolic-paths"
             .into(),
         scenarios: scenarios.len(),
         unrolled_instrs: unrolled_instrs(&grid),
@@ -206,6 +266,9 @@ fn pinned_grid_report() -> PerfGateReport {
         ),
         paths_reuse,
         paths_no_reuse,
+        paths_no_canonical,
+        canonical_reduction_pct_directed_transitions: canonical_reduction,
+        canonical_verdicts_match,
     }
 }
 
@@ -281,6 +344,14 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
         report.paths_no_reuse.conflicts,
         report.paths_no_reuse.propagations,
         report.paths_reduction_pct_conflicts_plus_propagations,
+    );
+    println!(
+        "canonical gate: {} directed transitions ({} skipped by the normal-form test) vs {} without pruning | reduction {}% | verdicts match: {}",
+        report.paths_reuse.directed_transitions,
+        report.paths_reuse.canonical_skipped,
+        report.paths_no_canonical.directed_transitions,
+        report.canonical_reduction_pct_directed_transitions,
+        report.canonical_verdicts_match,
     );
 
     let Some(baseline_path) = baseline_path else {
@@ -364,6 +435,32 @@ fn perf_gate(json_path: &str, baseline_path: Option<&str>) -> ExitCode {
             "ok: sibling-path session reuse saves {}% of conflicts+propagations (>= {MIN_REDUCTION_PCT}%)",
             report.paths_reduction_pct_conflicts_plus_propagations,
         );
+    }
+    // The canonicalization gate: the pruned search must not drift upward
+    // relative to the committed baseline, the pruning must keep paying
+    // for itself, and it must never change a verdict.
+    ok &= within_tolerance(
+        "paths_reuse.directed_transitions",
+        report.paths_reuse.directed_transitions,
+        baseline.paths_reuse.directed_transitions,
+    );
+    if report.canonical_reduction_pct_directed_transitions < MIN_CANONICAL_REDUCTION_PCT {
+        eprintln!(
+            "PERF REGRESSION: canonical pruning drops only {}% of directed-search transitions (< {MIN_CANONICAL_REDUCTION_PCT}%)",
+            report.canonical_reduction_pct_directed_transitions,
+        );
+        ok = false;
+    } else {
+        println!(
+            "ok: canonical pruning drops {}% of directed-search transitions (>= {MIN_CANONICAL_REDUCTION_PCT}%)",
+            report.canonical_reduction_pct_directed_transitions,
+        );
+    }
+    if !report.canonical_verdicts_match {
+        eprintln!("SOUNDNESS: canonical and full sweeps disagreed on a verdict");
+        ok = false;
+    } else {
+        println!("ok: canonical and full sweeps returned identical verdicts");
     }
     if ok {
         ExitCode::SUCCESS

@@ -76,6 +76,15 @@ pub struct ScenarioOutcome {
     /// Control-flow paths proven unreachable and skipped
     /// (`symbolic-paths` only).
     pub paths_pruned: usize,
+    /// Transitions applied by directed schedule searches
+    /// (`symbolic-paths` only).
+    #[serde(default)]
+    pub directed_transitions: u64,
+    /// Schedule extensions pruned by the Mazurkiewicz normal-form test
+    /// (`symbolic-paths` and explicit engines; zero when canonical
+    /// exploration is disabled).
+    #[serde(default)]
+    pub canonical_skipped: u64,
     /// µs spent building encodings (symbolic only).
     #[serde(default)]
     pub encode_us: u64,
@@ -123,6 +132,8 @@ impl ScenarioOutcome {
             propagations: 0,
             paths_explored: 0,
             paths_pruned: 0,
+            directed_transitions: 0,
+            canonical_skipped: 0,
             encode_us: 0,
             solve_us: 0,
             schedule_us: 0,
@@ -261,6 +272,12 @@ pub struct PortfolioReport {
     /// Control-flow paths pruned as unreachable, summed over all
     /// scenarios.
     pub total_paths_pruned: usize,
+    /// Directed-search transitions summed over all scenarios.
+    #[serde(default)]
+    pub total_directed_transitions: u64,
+    /// Canonical-prune skips summed over all scenarios.
+    #[serde(default)]
+    pub total_canonical_skipped: u64,
     /// Per-scenario records, in submission order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -294,6 +311,8 @@ impl PortfolioReport {
             total_sat_checks: outcomes.iter().map(|o| o.sat_checks).sum(),
             total_paths_explored: outcomes.iter().map(|o| o.paths_explored).sum(),
             total_paths_pruned: outcomes.iter().map(|o| o.paths_pruned).sum(),
+            total_directed_transitions: outcomes.iter().map(|o| o.directed_transitions).sum(),
+            total_canonical_skipped: outcomes.iter().map(|o| o.canonical_skipped).sum(),
             outcomes,
         }
     }
@@ -375,6 +394,7 @@ impl PortfolioReport {
                         labels,
                         o.states as u64,
                         o.transitions as u64,
+                        o.canonical_skipped,
                     );
                 }
                 _ => {
@@ -387,6 +407,8 @@ impl PortfolioReport {
                         o.refinements as u64,
                         o.paths_explored as u64,
                         o.paths_pruned as u64,
+                        o.directed_transitions,
+                        o.canonical_skipped,
                     );
                     symbolic::checker::PhaseTimings {
                         encode_us: o.encode_us,
@@ -442,7 +464,7 @@ impl PortfolioReport {
         }
         let _ = writeln!(
             out,
-            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations; {} paths explored, {} pruned",
+            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations; {} paths explored, {} pruned; {} directed transitions, {} canonical-skipped",
             self.mode,
             self.threads,
             self.outcomes.len(),
@@ -457,6 +479,8 @@ impl PortfolioReport {
             self.total_propagations,
             self.total_paths_explored,
             self.total_paths_pruned,
+            self.total_directed_transitions,
+            self.total_canonical_skipped,
         );
         out
     }

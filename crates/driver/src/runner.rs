@@ -58,6 +58,12 @@ pub struct PortfolioConfig {
     /// Path budget for the `symbolic-paths` engine: exceeding it degrades
     /// the scenario verdict to unknown, never to a silent safe.
     pub max_paths: usize,
+    /// Explore only the canonical representative of each Mazurkiewicz
+    /// trace class: the directed searches behind `symbolic-paths` and the
+    /// explicit engine's state graph both prune non-canonical schedule
+    /// extensions (see [`mcapi::canon`]). On by default; the CLI's
+    /// `--no-canonical` sweeps every interleaving instead.
+    pub canonical: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -70,6 +76,7 @@ impl Default for PortfolioConfig {
             validate: true,
             session_reuse: true,
             max_paths: 64,
+            canonical: true,
         }
     }
 }
@@ -101,6 +108,7 @@ impl PortfolioConfig {
             check: self.check_config(scenario),
             max_paths: self.max_paths,
             session_reuse: self.session_reuse,
+            canonical: self.canonical,
             ..PathsConfig::default()
         }
     }
@@ -132,6 +140,8 @@ pub fn fill_symbolic_outcome(out: &mut ScenarioOutcome, report: CheckReport, reu
     out.propagations = report.solver_stats.propagations;
     out.paths_explored = report.paths_explored;
     out.paths_pruned = report.paths_pruned;
+    out.directed_transitions = report.directed_transitions;
+    out.canonical_skipped = report.canonical_skipped;
     out.encode_us = report.timings.encode_us;
     out.solve_us = report.timings.solve_us;
     out.schedule_us = report.timings.schedule_us;
@@ -166,6 +176,7 @@ fn symbolic_outcome(scenario: &Scenario, report: CheckReport, reused: bool) -> S
 pub fn fill_explicit_outcome(out: &mut ScenarioOutcome, result: &explicit::ExploreResult) {
     out.states = result.states;
     out.transitions = result.transitions;
+    out.canonical_skipped = result.canonical_skipped;
     if result.found_violation() {
         out.verdict = VerdictKind::Violation;
         out.detail = result
@@ -190,6 +201,7 @@ fn run_explicit(program: &Program, scenario: &Scenario, cfg: &PortfolioConfig) -
         model: scenario.delivery,
         max_states: cfg.max_states,
         stop_at_first_violation: cfg.mode == Mode::Race,
+        use_canonical: cfg.canonical,
         ..ExploreConfig::default()
     };
     let result = GraphExplorer::new(program, explore_cfg).explore();

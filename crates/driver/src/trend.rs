@@ -55,6 +55,13 @@ pub struct TrendRecord {
     pub paths_explored: usize,
     /// Paths pruned before a directed run was attempted.
     pub paths_pruned: usize,
+    /// Transitions applied by directed schedule searches (deterministic).
+    #[serde(default)]
+    pub directed_transitions: u64,
+    /// Schedule extensions pruned by the Mazurkiewicz normal-form test
+    /// (deterministic).
+    #[serde(default)]
+    pub canonical_skipped: u64,
 }
 
 impl TrendRecord {
@@ -76,6 +83,8 @@ impl TrendRecord {
             encodings_built: report.encodings_built,
             paths_explored: report.total_paths_explored,
             paths_pruned: report.total_paths_pruned,
+            directed_transitions: report.total_directed_transitions,
+            canonical_skipped: report.total_canonical_skipped,
         }
     }
 }
@@ -158,14 +167,14 @@ pub fn render_markdown(records: &[TrendRecord], last: usize) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "| date | rev | scenarios | wall ms | sat checks | conflicts | propagations | encodings | paths (pruned) |"
+        "| date | rev | scenarios | wall ms | sat checks | conflicts | propagations | encodings | paths (pruned) | directed (canon-skipped) |"
     );
-    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
     let start = records.len().saturating_sub(last);
     for r in &records[start..] {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} ({}) |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} ({}) | {} ({}) |",
             r.date,
             r.git_rev,
             r.scenarios,
@@ -176,6 +185,8 @@ pub fn render_markdown(records: &[TrendRecord], last: usize) -> String {
             r.encodings_built,
             r.paths_explored,
             r.paths_pruned,
+            r.directed_transitions,
+            r.canonical_skipped,
         );
     }
     out
@@ -200,6 +211,8 @@ mod tests {
             encodings_built: 12,
             paths_explored: 40,
             paths_pruned: 8,
+            directed_transitions: 2_048,
+            canonical_skipped: 512,
         }
     }
 

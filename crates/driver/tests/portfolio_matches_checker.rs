@@ -114,8 +114,8 @@ fn batched_sessions_match_per_scenario_verdicts_on_default_grid() {
     let scenarios = cross(&default_grid(1), &DeliveryModel::ALL, &Engine::ALL);
     assert_eq!(
         scenarios.len(),
-        144,
-        "the default grid (12 families incl. the loop workloads), four engines"
+        156,
+        "the default grid (13 families incl. the loop workloads), four engines"
     );
     let batched = run_portfolio(
         &scenarios,

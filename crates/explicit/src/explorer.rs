@@ -8,8 +8,9 @@
 //! merging); turn it off for pure state-count benchmarks.
 
 use crate::stats::{ExploreResult, Matching, RecvKey};
+use mcapi::canon::{independent, summarize, ActionSummary};
 use mcapi::program::Program;
-use mcapi::state::SysState;
+use mcapi::state::{Action, SysState};
 use mcapi::types::DeliveryModel;
 use std::collections::{HashSet, VecDeque};
 
@@ -23,6 +24,16 @@ pub struct ExploreConfig {
     pub max_states: usize,
     /// Stop at the first assertion violation.
     pub stop_at_first_violation: bool,
+    /// Prune successors that swap an adjacent independent pair out of the
+    /// thread-major order (the BFS-safe fragment of the Mazurkiewicz
+    /// normal form; see [`mcapi::canon`]). Sound because the condition is
+    /// a function of node content only — the incoming action joins the
+    /// node identity — and the lexicographically least word of every trace
+    /// class is adjacent-normal at every prefix, so every class keeps a
+    /// surviving linearisation. Off by default: refining node identity
+    /// can cost states on heavily-merging graphs; the portfolio driver
+    /// wires it to its `canonical` switch.
+    pub use_canonical: bool,
 }
 
 impl Default for ExploreConfig {
@@ -32,6 +43,7 @@ impl Default for ExploreConfig {
             track_matchings: true,
             max_states: 1_000_000,
             stop_at_first_violation: false,
+            use_canonical: false,
         }
     }
 }
@@ -53,6 +65,10 @@ pub(crate) struct Node {
     pub(crate) matching: Matching,
     /// Receives completed per thread so far (for RecvKey indices).
     pub(crate) recv_counts: Vec<u16>,
+    /// The action (and its footprint) that produced this node — part of
+    /// the node identity only under [`ExploreConfig::use_canonical`],
+    /// always `None` otherwise so the default graph is unchanged.
+    pub(crate) last: Option<(Action, ActionSummary)>,
 }
 
 impl Node {
@@ -61,22 +77,27 @@ impl Node {
             sys: SysState::initial(program),
             matching: Vec::new(),
             recv_counts: vec![0; program.threads.len()],
+            last: None,
         }
     }
 
     /// Successor node for `action`, updating matching bookkeeping.
+    /// `last` is the `(action, summary)` pair to stamp into the successor
+    /// (canonical mode only; `None` keeps node identity purely semantic).
     pub(crate) fn successor(
         &self,
         program: &Program,
         action: mcapi::state::Action,
         model: DeliveryModel,
         track_matchings: bool,
+        last: Option<(Action, ActionSummary)>,
     ) -> Node {
         let (next_sys, _events) = self.sys.apply(program, action, model);
         let mut next = Node {
             sys: next_sys,
             matching: self.matching.clone(),
             recv_counts: self.recv_counts.clone(),
+            last,
         };
         if let Some(msg) = action.message() {
             let t = action.thread();
@@ -148,11 +169,28 @@ impl<'a> GraphExplorer<'a> {
                 continue;
             }
             for action in actions {
+                // BFS-safe canonical fragment: drop the successor when it
+                // swaps an adjacent independent pair out of thread-major
+                // order — the smaller-first ordering of the same pair
+                // reaches an equivalent node that stays in the frontier.
+                let last = if self.config.use_canonical {
+                    let summary = summarize(self.program, &node.sys, action);
+                    if let Some((b, sb)) = &node.last {
+                        if independent(self.config.model, &summary, sb) && action < *b {
+                            result.canonical_skipped += 1;
+                            continue;
+                        }
+                    }
+                    Some((action, summary))
+                } else {
+                    None
+                };
                 let next = node.successor(
                     self.program,
                     action,
                     self.config.model,
                     self.config.track_matchings,
+                    last,
                 );
                 if let Some(v) = &next.sys.violation {
                     result.push_violation(v.clone());
@@ -331,6 +369,28 @@ mod tests {
         let ro = GraphExplorer::new(&p, without).explore();
         assert!(ro.states <= rw.states);
         assert!(ro.matchings.is_empty());
+    }
+
+    #[test]
+    fn canonical_bfs_preserves_matchings_and_verdicts() {
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let plain = GraphExplorer::new(&p, ExploreConfig::with_model(model)).explore();
+            let canon = GraphExplorer::new(
+                &p,
+                ExploreConfig {
+                    use_canonical: true,
+                    ..ExploreConfig::with_model(model)
+                },
+            )
+            .explore();
+            assert_eq!(plain.matchings, canon.matchings, "model {model}");
+            assert_eq!(plain.violations, canon.violations, "model {model}");
+            assert_eq!(plain.deadlocks > 0, canon.deadlocks > 0, "model {model}");
+            if model != DeliveryModel::ZeroDelay {
+                assert!(canon.canonical_skipped > 0, "model {model}");
+            }
+        }
     }
 
     #[test]

@@ -86,11 +86,37 @@ impl<'a> ParallelExplorer<'a> {
                                 continue;
                             }
                             for action in actions {
+                                // Same node-local canonical fragment as the
+                                // sequential explorer: the condition reads
+                                // only node content, so it is order- and
+                                // worker-independent.
+                                let last = if self.config.use_canonical {
+                                    let summary = mcapi::canon::summarize(
+                                        self.program,
+                                        &node.sys,
+                                        action,
+                                    );
+                                    if let Some((b, sb)) = &node.last {
+                                        if mcapi::canon::independent(
+                                            self.config.model,
+                                            &summary,
+                                            sb,
+                                        ) && action < *b
+                                        {
+                                            local.canonical_skipped += 1;
+                                            continue;
+                                        }
+                                    }
+                                    Some((action, summary))
+                                } else {
+                                    None
+                                };
                                 let next = node.successor(
                                     self.program,
                                     action,
                                     self.config.model,
                                     self.config.track_matchings,
+                                    last,
                                 );
                                 local.transitions += 1;
                                 if let Some(v) = &next.sys.violation {
@@ -145,6 +171,8 @@ fn merge(into: &mut ExploreResult, from: ExploreResult) {
         into.push_violation(v);
     }
     into.matchings.extend(from.matchings);
+    into.canonical_skipped += from.canonical_skipped;
+    into.schedules.extend(from.schedules);
     into.truncated |= from.truncated;
 }
 

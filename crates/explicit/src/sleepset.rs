@@ -8,17 +8,29 @@
 //! of complete matchings are identical to the naive enumeration, at a
 //! fraction of the executions.
 //!
-//! The independence relation is conservative: two actions commute iff they
-//! belong to different threads and do not touch a common endpoint (a send
-//! and a receive on the same endpoint, or two receives on the same
-//! endpoint, are dependent; under `ZeroDelay` two sends to the same
-//! endpoint are also dependent because global send order is semantic there;
-//! under `Unordered` they commute).
+//! The independence relation is the shared one in [`mcapi::canon`]
+//! (extracted from this module): two actions commute iff they belong to
+//! different threads and do not touch a common endpoint (a send and a
+//! receive on the same endpoint, or two receives on the same endpoint, are
+//! dependent; under `ZeroDelay` two sends to the same endpoint are also
+//! dependent because global send order is semantic there; under
+//! `Unordered` they commute).
+//!
+//! The same relation powers an optional *stronger* prune that composes
+//! with sleep sets: [`SleepConfig::use_canonical`] restricts the
+//! enumeration to the lexicographic normal form of each Mazurkiewicz trace
+//! class ([`mcapi::canon::CanonTracker`]). Because the DFS explores
+//! actions in ascending order, every schedule that takes a sleeping action
+//! also has a smaller independent sibling explored earlier — i.e. it is
+//! not in normal form — so the canonical survivors are a subset of the
+//! sleep-set survivors (asserted by a test below), with exactly one
+//! execution left per class.
 
 use crate::stats::{ExploreResult, Matching, RecvKey};
-use mcapi::program::{Instr, Program};
+use mcapi::canon::{independent, summarize, CanonTracker};
+use mcapi::program::Program;
 use mcapi::state::{Action, SysState};
-use mcapi::types::{DeliveryModel, EndpointAddr};
+use mcapi::types::DeliveryModel;
 
 /// Configuration for the stateless search.
 #[derive(Clone, Copy, Debug)]
@@ -26,9 +38,16 @@ pub struct SleepConfig {
     pub model: DeliveryModel,
     /// Disable the sleep-set pruning (naive full enumeration baseline).
     pub use_sleep_sets: bool,
+    /// Keep only the canonical (lexicographically least) linearisation of
+    /// each trace class — a stronger prune than sleep sets that composes
+    /// with them.
+    pub use_canonical: bool,
     /// Abort after this many executions.
     pub max_executions: usize,
     pub track_matchings: bool,
+    /// Record every complete execution's schedule word in
+    /// [`ExploreResult::schedules`] (test instrumentation).
+    pub track_schedules: bool,
 }
 
 impl Default for SleepConfig {
@@ -36,8 +55,10 @@ impl Default for SleepConfig {
         SleepConfig {
             model: DeliveryModel::Unordered,
             use_sleep_sets: true,
+            use_canonical: false,
             max_executions: 10_000_000,
             track_matchings: true,
+            track_schedules: false,
         }
     }
 }
@@ -53,68 +74,14 @@ impl<'a> SleepSetExplorer<'a> {
         SleepSetExplorer { program, config }
     }
 
-    /// The endpoint an action interacts with, if any: destination endpoint
-    /// for sends; source endpoint of the consumed message for receives.
-    fn touched_endpoint(&self, state: &SysState, action: Action) -> Option<EndpointAddr> {
-        match action {
-            Action::Internal { thread } => {
-                let pc = state.threads[thread].pc;
-                match self.program.threads[thread].code.get(pc) {
-                    Some(Instr::Send { to, .. }) | Some(Instr::SendI { to, .. }) => Some(*to),
-                    _ => None,
-                }
-            }
-            Action::Receive { thread, .. } => {
-                let pc = state.threads[thread].pc;
-                match self.program.threads[thread].code.get(pc) {
-                    Some(Instr::Recv { port, .. }) => Some(EndpointAddr::new(thread, *port)),
-                    _ => None,
-                }
-            }
-            Action::CompleteWait { thread, .. } => {
-                // The pending receive's port.
-                let pc = state.threads[thread].pc;
-                match self.program.threads[thread].code.get(pc) {
-                    Some(Instr::Wait { req }) => match state.threads[thread].reqs[req.0 as usize] {
-                        mcapi::state::ReqState::RecvPending { port, .. } => {
-                            Some(EndpointAddr::new(thread, port))
-                        }
-                        _ => None,
-                    },
-                    _ => None,
-                }
-            }
-        }
-    }
-
-    fn is_send(&self, state: &SysState, action: Action) -> bool {
-        if let Action::Internal { thread } = action {
-            let pc = state.threads[thread].pc;
-            matches!(
-                self.program.threads[thread].code.get(pc),
-                Some(Instr::Send { .. }) | Some(Instr::SendI { .. })
-            )
-        } else {
-            false
-        }
-    }
-
-    /// Conservative independence check (actions evaluated at state `s`).
+    /// Conservative independence check (actions evaluated at state `s`),
+    /// delegating to the shared relation in [`mcapi::canon`].
     fn independent(&self, s: &SysState, a: Action, b: Action) -> bool {
-        if a.thread() == b.thread() {
-            return false;
-        }
-        let (ea, eb) = (self.touched_endpoint(s, a), self.touched_endpoint(s, b));
-        match (ea, eb) {
-            (Some(x), Some(y)) if x == y => {
-                // Same endpoint: two sends commute except under ZeroDelay
-                // (global order is semantic there); anything involving a
-                // receive is dependent.
-                let both_send = self.is_send(s, a) && self.is_send(s, b);
-                both_send && self.config.model != DeliveryModel::ZeroDelay
-            }
-            _ => true,
-        }
+        independent(
+            self.config.model,
+            &summarize(self.program, s, a),
+            &summarize(self.program, s, b),
+        )
     }
 
     /// Run the enumeration.
@@ -122,16 +89,29 @@ impl<'a> SleepSetExplorer<'a> {
         let mut result = ExploreResult::default();
         let init = SysState::initial(self.program);
         let recv_counts = vec![0u16; self.program.threads.len()];
-        self.dfs(&init, &[], &recv_counts, Vec::new(), &mut result);
+        let mut canon = CanonTracker::new(self.config.model);
+        let mut word = Vec::new();
+        self.dfs(
+            &init,
+            &[],
+            &recv_counts,
+            Vec::new(),
+            &mut canon,
+            &mut word,
+            &mut result,
+        );
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
         state: &SysState,
         sleep: &[Action],
         recv_counts: &[u16],
         matching: Matching,
+        canon: &mut CanonTracker,
+        word: &mut Vec<Action>,
         result: &mut ExploreResult,
     ) {
         if result.complete_terminals + result.deadlocks + result.violations.len()
@@ -150,6 +130,9 @@ impl<'a> SleepSetExplorer<'a> {
                 if self.config.track_matchings {
                     result.matchings.insert(matching);
                 }
+                if self.config.track_schedules {
+                    result.schedules.insert(word.clone());
+                }
             } else {
                 result.deadlocks += 1;
             }
@@ -160,6 +143,19 @@ impl<'a> SleepSetExplorer<'a> {
             if self.config.use_sleep_sets && sleep.contains(&action) {
                 continue;
             }
+            // The canonical prune composes after the sleep check (both are
+            // word-based; either alone is sound, together they keep
+            // exactly the normal-form survivors of the sleep search).
+            let summary = if self.config.use_canonical {
+                let s = summarize(self.program, state, action);
+                if !canon.is_canonical_extension(action, &s) {
+                    result.canonical_skipped += 1;
+                    continue;
+                }
+                Some(s)
+            } else {
+                None
+            };
             let (next, _ev) = state.apply(self.program, action, self.config.model);
             result.transitions += 1;
             // Child sleep set: surviving members are those independent of
@@ -185,7 +181,15 @@ impl<'a> SleepSetExplorer<'a> {
                     m.insert(pos, (key, msg));
                 }
             }
-            self.dfs(&next, &child_sleep, &counts, m, result);
+            if let Some(s) = summary {
+                canon.push(action, s);
+            }
+            word.push(action);
+            self.dfs(&next, &child_sleep, &counts, m, canon, word, result);
+            word.pop();
+            if summary.is_some() {
+                canon.pop();
+            }
             explored.push(action);
         }
     }
@@ -285,6 +289,79 @@ mod tests {
         let red = reduced(&p, DeliveryModel::Unordered);
         assert!(full.found_violation());
         assert!(red.found_violation());
+    }
+
+    fn with_schedules(p: &Program, model: DeliveryModel, sleep: bool, canon: bool) -> ExploreResult {
+        let cfg = SleepConfig {
+            model,
+            use_sleep_sets: sleep,
+            use_canonical: canon,
+            track_schedules: true,
+            ..Default::default()
+        };
+        SleepSetExplorer::new(p, cfg).explore()
+    }
+
+    #[test]
+    fn canonical_agrees_with_naive_on_verdicts_and_matchings() {
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let full = naive(&p, model);
+            let canon = with_schedules(&p, model, false, true);
+            assert_eq!(full.matchings, canon.matchings, "model {model}");
+            assert_eq!(full.violations, canon.violations);
+            assert_eq!(full.deadlocks > 0, canon.deadlocks > 0);
+        }
+    }
+
+    #[test]
+    fn canonical_schedules_are_a_subset_of_sleep_set_survivors() {
+        // Ascending exploration order + the same independence relation
+        // means a schedule taking a sleeping action cannot be in normal
+        // form: canonical ⊆ sleep-set-surviving, with or without sleep
+        // sets also enabled.
+        let p = fig1();
+        for model in DeliveryModel::ALL {
+            let sleep = with_schedules(&p, model, true, false);
+            let canon_only = with_schedules(&p, model, false, true);
+            let composed = with_schedules(&p, model, true, true);
+            assert!(
+                canon_only.schedules.is_subset(&sleep.schedules),
+                "model {model}: canonical must refine sleep sets"
+            );
+            assert_eq!(
+                composed.schedules, canon_only.schedules,
+                "model {model}: composing sleep sets must not change the survivors"
+            );
+            assert!(
+                composed.complete_terminals <= sleep.complete_terminals,
+                "model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_alone_matches_the_sleep_set_reduction_on_fig1() {
+        // Both prunes keep one linearisation per trace class on an
+        // acyclic space, so the canonical filter alone reaches the
+        // sleep-set execution count — and prunes well below the naive
+        // enumeration.
+        let p = fig1();
+        let full = naive(&p, DeliveryModel::Unordered);
+        let sleep = with_schedules(&p, DeliveryModel::Unordered, true, false);
+        let canon = with_schedules(&p, DeliveryModel::Unordered, false, true);
+        assert!(canon.canonical_skipped > 0);
+        assert!(canon.matchings.len() <= canon.complete_terminals);
+        assert!(
+            canon.complete_terminals < full.complete_terminals,
+            "canonical must prune the naive enumeration: {} vs {}",
+            canon.complete_terminals,
+            full.complete_terminals
+        );
+        assert_eq!(
+            canon.complete_terminals, sleep.complete_terminals,
+            "one representative per class either way"
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub struct ExploreResult {
     pub violations: Vec<Violation>,
     /// Distinct complete matchings observed on terminated executions.
     pub matchings: BTreeSet<Matching>,
+    /// Schedule extensions pruned by the Mazurkiewicz normal-form test
+    /// (zero unless canonical pruning is enabled; see [`mcapi::canon`]).
+    pub canonical_skipped: u64,
+    /// Complete-execution schedule words, recorded only when the
+    /// configuration asks for them (test instrumentation for the
+    /// canonical ⊆ sleep-set-surviving composition property).
+    pub schedules: BTreeSet<Vec<mcapi::state::Action>>,
     /// Exploration stopped early (state or depth limit).
     pub truncated: bool,
 }
@@ -44,7 +51,13 @@ impl ExploreResult {
     /// layer's stable metric names (`mcapi_explicit_*`), tagged with
     /// `labels`.
     pub fn record_metrics(&self, reg: &mut metrics::Registry, labels: &[(&str, &str)]) {
-        record_exploration_counters(reg, labels, self.states as u64, self.transitions as u64);
+        record_exploration_counters(
+            reg,
+            labels,
+            self.states as u64,
+            self.transitions as u64,
+            self.canonical_skipped,
+        );
         let mut c = |name: &str, help: &str, v: u64| reg.counter_add(name, help, labels, v);
         c(
             "mcapi_explicit_complete_terminals_total",
@@ -100,6 +113,7 @@ pub fn record_exploration_counters(
     labels: &[(&str, &str)],
     states: u64,
     transitions: u64,
+    canonical_skipped: u64,
 ) {
     reg.counter_add(
         "mcapi_explicit_states_total",
@@ -112,6 +126,12 @@ pub fn record_exploration_counters(
         "Transitions applied",
         labels,
         transitions,
+    );
+    reg.counter_add(
+        "mcapi_explicit_schedules_canonical_skipped_total",
+        "Schedule extensions pruned by the Mazurkiewicz normal-form test",
+        labels,
+        canonical_skipped,
     );
 }
 

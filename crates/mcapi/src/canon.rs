@@ -1,0 +1,288 @@
+//! Mazurkiewicz-trace canonicalization: the shared independence relation
+//! and the lexicographic normal-form test.
+//!
+//! Two schedules that differ only by commuting *independent* actions are
+//! the same Mazurkiewicz trace: they contain the same per-thread event
+//! subsequences, consume the same messages at the same receives, and reach
+//! the same terminal verdicts. Enumerating more than one linearisation per
+//! class is pure waste — the redundancy every schedule enumerator in this
+//! repo used to pay. This module centralises the two ingredients needed to
+//! pay it only once:
+//!
+//! 1. **Independence** ([`independent`]): a conservative commutation
+//!    relation on actions, extracted from the sleep-set explorer so every
+//!    engine prunes against the same relation. Two actions commute iff
+//!    they belong to different threads and do not conflict on an endpoint
+//!    (send/receive or receive/receive on one endpoint are dependent;
+//!    under [`DeliveryModel::ZeroDelay`] two sends to one endpoint are
+//!    also dependent because global send order is semantic there).
+//!
+//! 2. **The normal-form test** ([`CanonTracker`]): a schedule prefix is
+//!    *canonical* iff it is the lexicographically least word of its trace
+//!    class under the thread-major order on [`Action`]. By the
+//!    Anisimov–Knuth characterisation, a word `w` is lex-least iff there
+//!    are no positions `i < j` such that `w[j]` is independent of every
+//!    action in `w[i..j-1]` and `w[j] < w[i]` — i.e. no smaller action
+//!    could have been scheduled earlier by commuting it backwards. The
+//!    test is prefix-monotone, so a DFS can check it incrementally: when
+//!    appending action `a`, scan backwards through the maximal suffix of
+//!    independent actions and reject if any of them exceeds `a`.
+//!
+//! Independence is evaluated on per-action summaries ([`ActionSummary`]:
+//! thread, touched endpoint, send-ness) computed at the state where the
+//! action executes. The summary is a function of the action and its
+//! thread's program counter, and commuting independent actions preserves
+//! every thread's own subsequence — so the summaries, and therefore the
+//! relation, are invariant across linearisations of one class, which is
+//! what makes the suffix scan well-defined.
+
+use crate::program::{Instr, Program};
+use crate::state::{Action, ReqState, SysState};
+use crate::types::{DeliveryModel, EndpointAddr, ThreadId};
+
+/// The commutation-relevant footprint of one action: which thread it
+/// advances, which endpoint it touches (destination for sends, receiving
+/// endpoint for receives and binding waits), and whether it is a send.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ActionSummary {
+    pub thread: ThreadId,
+    pub endpoint: Option<EndpointAddr>,
+    pub is_send: bool,
+}
+
+/// Compute `action`'s [`ActionSummary`] at the state it executes from.
+pub fn summarize(program: &Program, state: &SysState, action: Action) -> ActionSummary {
+    let thread = action.thread();
+    let pc = state.threads[thread].pc;
+    let instr = program.threads[thread].code.get(pc);
+    let (endpoint, is_send) = match action {
+        Action::Internal { .. } => match instr {
+            Some(Instr::Send { to, .. }) | Some(Instr::SendI { to, .. }) => (Some(*to), true),
+            _ => (None, false),
+        },
+        Action::Receive { .. } => match instr {
+            Some(Instr::Recv { port, .. }) => (Some(EndpointAddr::new(thread, *port)), false),
+            _ => (None, false),
+        },
+        Action::CompleteWait { .. } => match instr {
+            // The pending receive's port.
+            Some(Instr::Wait { req }) => match state.threads[thread].reqs[req.0 as usize] {
+                ReqState::RecvPending { port, .. } => (Some(EndpointAddr::new(thread, port)), false),
+                _ => (None, false),
+            },
+            _ => (None, false),
+        },
+    };
+    ActionSummary {
+        thread,
+        endpoint,
+        is_send,
+    }
+}
+
+/// Conservative independence: do two actions commute (same successor
+/// state, and neither enables/disables the other) in every state where
+/// both are enabled?
+pub fn independent(model: DeliveryModel, a: &ActionSummary, b: &ActionSummary) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    match (a.endpoint, b.endpoint) {
+        (Some(x), Some(y)) if x == y => {
+            // Same endpoint: two sends commute except under ZeroDelay
+            // (global order is semantic there); anything involving a
+            // receive is dependent.
+            a.is_send && b.is_send && model != DeliveryModel::ZeroDelay
+        }
+        _ => true,
+    }
+}
+
+/// Incremental lexicographic-normal-form tester for one DFS branch: a
+/// stack of `(action, summary)` pairs mirroring the executed prefix, with
+/// an O(suffix) check per candidate extension.
+#[derive(Clone, Debug)]
+pub struct CanonTracker {
+    model: DeliveryModel,
+    stack: Vec<(Action, ActionSummary)>,
+}
+
+impl CanonTracker {
+    pub fn new(model: DeliveryModel) -> Self {
+        CanonTracker {
+            model,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Would appending `action` (with `summary`) keep the prefix in
+    /// normal form? Scans backwards through the suffix of actions
+    /// independent of `action`: if any of them is greater, the word
+    /// `prefix·action` has a lex-smaller equivalent (obtained by
+    /// commuting `action` before it) and is rejected. The scan stops at
+    /// the first dependent action — nothing before it can be commuted
+    /// past.
+    pub fn is_canonical_extension(&self, action: Action, summary: &ActionSummary) -> bool {
+        for (b, sb) in self.stack.iter().rev() {
+            if !independent(self.model, summary, sb) {
+                return true;
+            }
+            if action < *b {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Record `action` as executed (callers push/pop around recursion).
+    pub fn push(&mut self, action: Action, summary: ActionSummary) {
+        self.stack.push((action, summary));
+    }
+
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// t1 and t2 each send to t0; t0 receives twice.
+    fn race_program() -> Program {
+        let mut b = ProgramBuilder::new("race");
+        let t0 = b.thread("t0");
+        let t1 = b.thread("t1");
+        let t2 = b.thread("t2");
+        b.recv(t0, 0);
+        b.recv(t0, 0);
+        b.send_const(t1, t0, 0, 10);
+        b.send_const(t2, t0, 0, 20);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn summaries_capture_sends_and_receives() {
+        let p = race_program();
+        let s = SysState::initial(&p);
+        let send = summarize(&p, &s, Action::Internal { thread: 1 });
+        assert!(send.is_send);
+        assert_eq!(send.endpoint, Some(EndpointAddr::new(0, 0)));
+        let (s2, _) = s.apply(&p, Action::Internal { thread: 1 }, DeliveryModel::Unordered);
+        let recv = summarize(
+            &p,
+            &s2,
+            Action::Receive {
+                thread: 0,
+                msg: crate::types::MsgId::new(1, 0),
+            },
+        );
+        assert!(!recv.is_send);
+        assert_eq!(recv.endpoint, Some(EndpointAddr::new(0, 0)));
+    }
+
+    #[test]
+    fn same_endpoint_send_recv_is_dependent_sends_commute() {
+        let p = race_program();
+        let s = SysState::initial(&p);
+        let s1 = summarize(&p, &s, Action::Internal { thread: 1 });
+        let s2 = summarize(&p, &s, Action::Internal { thread: 2 });
+        // Two sends to one endpoint: independent except under ZeroDelay.
+        assert!(independent(DeliveryModel::Unordered, &s1, &s2));
+        assert!(independent(DeliveryModel::PairwiseFifo, &s1, &s2));
+        assert!(!independent(DeliveryModel::ZeroDelay, &s1, &s2));
+        // Send vs the receive consuming on the same endpoint: dependent.
+        let (after, _) = s.apply(&p, Action::Internal { thread: 1 }, DeliveryModel::Unordered);
+        let recv = summarize(
+            &p,
+            &after,
+            Action::Receive {
+                thread: 0,
+                msg: crate::types::MsgId::new(1, 0),
+            },
+        );
+        assert!(!independent(DeliveryModel::Unordered, &s2, &recv));
+        // Same thread never commutes with itself.
+        assert!(!independent(DeliveryModel::Unordered, &s1, &s1));
+    }
+
+    #[test]
+    fn tracker_keeps_only_the_lex_least_interleaving() {
+        let p = race_program();
+        let s = SysState::initial(&p);
+        let a1 = Action::Internal { thread: 1 };
+        let a2 = Action::Internal { thread: 2 };
+        let (sum1, sum2) = (summarize(&p, &s, a1), summarize(&p, &s, a2));
+
+        // Order 1·2: canonical at both steps.
+        let mut t = CanonTracker::new(DeliveryModel::Unordered);
+        assert!(t.is_canonical_extension(a1, &sum1));
+        t.push(a1, sum1);
+        assert!(t.is_canonical_extension(a2, &sum2));
+
+        // Order 2·1: rejected — a1 commutes before a2 and is smaller.
+        let mut t = CanonTracker::new(DeliveryModel::Unordered);
+        t.push(a2, sum2);
+        assert!(!t.is_canonical_extension(a1, &sum1));
+
+        // Under ZeroDelay the sends are dependent, so both orders are
+        // distinct classes and both survive.
+        let mut t = CanonTracker::new(DeliveryModel::ZeroDelay);
+        t.push(a2, sum2);
+        assert!(t.is_canonical_extension(a1, &sum1));
+    }
+
+    #[test]
+    fn dependent_barrier_stops_the_backward_scan() {
+        // Word: send(t2) · recv(t0) — then appending send(t1).
+        // send(t1) is dependent on recv(t0) (same endpoint), so the scan
+        // stops there and never compares against send(t2): canonical.
+        let p = race_program();
+        let s = SysState::initial(&p);
+        let a2 = Action::Internal { thread: 2 };
+        let sum2 = summarize(&p, &s, a2);
+        let (s_after, _) = s.apply(&p, a2, DeliveryModel::Unordered);
+        let recv = Action::Receive {
+            thread: 0,
+            msg: crate::types::MsgId::new(2, 0),
+        };
+        let sum_recv = summarize(&p, &s_after, recv);
+        let (s_after2, _) = s_after.apply(&p, recv, DeliveryModel::Unordered);
+        let a1 = Action::Internal { thread: 1 };
+        let sum1 = summarize(&p, &s_after2, a1);
+
+        let mut t = CanonTracker::new(DeliveryModel::Unordered);
+        t.push(a2, sum2);
+        t.push(recv, sum_recv);
+        assert!(t.is_canonical_extension(a1, &sum1));
+        t.pop();
+        assert!(!t.is_canonical_extension(a1, &sum1), "without the barrier");
+    }
+
+    #[test]
+    fn action_order_is_thread_major() {
+        use crate::types::MsgId;
+        let i0 = Action::Internal { thread: 0 };
+        let r0 = Action::Receive {
+            thread: 0,
+            msg: MsgId::new(1, 0),
+        };
+        let r0b = Action::Receive {
+            thread: 0,
+            msg: MsgId::new(1, 1),
+        };
+        let i1 = Action::Internal { thread: 1 };
+        assert!(i0 < r0, "variant rank breaks same-thread ties");
+        assert!(r0 < r0b, "message id breaks same-variant ties");
+        assert!(r0b < i1, "thread dominates everything");
+    }
+}

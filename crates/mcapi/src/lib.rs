@@ -48,6 +48,7 @@
 //! ```
 
 pub mod builder;
+pub mod canon;
 pub mod error;
 pub mod expr;
 pub mod program;
@@ -58,6 +59,7 @@ pub mod trace;
 pub mod types;
 
 pub use builder::ProgramBuilder;
+pub use canon::{independent, summarize, ActionSummary, CanonTracker};
 pub use error::McapiError;
 pub use expr::{Cond, Expr, MAX_CONST_MAGNITUDE};
 pub use program::{Instr, Op, Program, Thread, UnrollConfig};

@@ -276,17 +276,49 @@ pub fn program_paths(
 pub struct DirectedConfig {
     /// Visited-state cap; exceeding it yields [`DirectedOutcome::Exhausted`].
     pub max_states: usize,
+    /// Transition (`apply`-call) cap — the search's *work* budget, as
+    /// opposed to the *memory* budget above. State caching makes the two
+    /// diverge: a non-canonical sweep re-derives the same states through
+    /// many more transitions, so a work-bounded search can exhaust without
+    /// canonical pruning yet resolve with it. `u64::MAX` = unbounded.
+    pub max_transitions: u64,
     /// Absolute wall-clock deadline shared with the caller's whole check.
     pub deadline: Option<Instant>,
+    /// Explore only the canonical (lexicographically least) linearisation
+    /// of each Mazurkiewicz trace class (see [`crate::canon`]). Sound for
+    /// every [`DirectedOutcome`] — plan compliance, completion, violation
+    /// and deadlock are all invariant under commuting independent actions
+    /// — and typically prunes the schedule space by an exponential factor.
+    /// The `--no-canonical` escape hatch turns it off.
+    pub canonical: bool,
 }
 
 impl Default for DirectedConfig {
     fn default() -> Self {
         DirectedConfig {
             max_states: 200_000,
+            max_transitions: u64::MAX,
             deadline: None,
+            canonical: true,
         }
     }
+}
+
+/// Search-effort counters for one directed search, for the
+/// `schedules_canonical_skipped` observability surface and the perf gate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectedStats {
+    /// Distinct `(state, branch-index, depth)` nodes visited.
+    pub states: usize,
+    /// Schedule transitions executed (`apply` calls) — the search's real
+    /// work measure. The canonical prune rejects extensions *before*
+    /// applying them, so this is where one-representative-per-class shows
+    /// up; the visited-set size alone would not (state caching already
+    /// merges commuted interleavings into a DAG whose node count the
+    /// prune cannot shrink).
+    pub transitions: u64,
+    /// Schedule extensions pruned by the canonical normal-form test.
+    pub canonical_skipped: u64,
 }
 
 /// Result of searching for an execution that follows a [`BranchPlan`].
@@ -312,8 +344,18 @@ struct DirectedSearch<'a> {
     program: &'a Program,
     model: DeliveryModel,
     plan: &'a BranchPlan,
-    visited: HashSet<(SysState, Vec<u16>)>,
+    /// Visited key: `(state, branch indices, schedule depth)`. The depth
+    /// component is 0 in non-canonical mode (pure state caching). In
+    /// canonical mode it keeps prefixes of different lengths from
+    /// colliding, which together with the ascending child order makes the
+    /// cache sound under normal-form pruning: within one depth, the first
+    /// arrival at a node is via the lex-least canonical prefix, and every
+    /// canonical completion extends that prefix.
+    visited: HashSet<(SysState, Vec<u16>, usize)>,
     cfg: DirectedConfig,
+    canon: crate::canon::CanonTracker,
+    canonical_skipped: u64,
+    transitions: u64,
     exhausted: bool,
     matched_best: usize,
     best_deadlock: Option<Vec<Action>>,
@@ -335,7 +377,12 @@ impl DirectedSearch<'_> {
         if self.exhausted {
             return None;
         }
-        if !self.visited.insert((state.clone(), bidx.clone())) {
+        let depth = if self.cfg.canonical {
+            actions.len()
+        } else {
+            0
+        };
+        if !self.visited.insert((state.clone(), bidx.clone(), depth)) {
             return None;
         }
         if self.visited.len() > self.cfg.max_states
@@ -371,6 +418,26 @@ impl DirectedSearch<'_> {
             return None;
         }
         for action in enabled {
+            if self.exhausted {
+                return None;
+            }
+            // Canonical prune first: it needs no successor state, only the
+            // action's footprint at the current state.
+            let summary = if self.cfg.canonical {
+                let s = crate::canon::summarize(self.program, state, action);
+                if !self.canon.is_canonical_extension(action, &s) {
+                    self.canonical_skipped += 1;
+                    continue;
+                }
+                Some(s)
+            } else {
+                None
+            };
+            self.transitions += 1;
+            if self.transitions > self.cfg.max_transitions {
+                self.exhausted = true;
+                return None;
+            }
             let (next, events) = state.apply(self.program, action, self.model);
             // Plan compliance: a branch event must follow the prescription.
             let mut matched_here = matched;
@@ -400,7 +467,14 @@ impl DirectedSearch<'_> {
                 // prefix reaching one is a concrete counterexample.
                 Some(Found::Violation(actions.clone()))
             } else {
-                self.dfs(&next, bidx, matched_here, actions)
+                if let Some(s) = summary {
+                    self.canon.push(action, s);
+                }
+                let f = self.dfs(&next, bidx, matched_here, actions);
+                if summary.is_some() {
+                    self.canon.pop();
+                }
+                f
             };
             actions.pop();
             if let Some(ev) = events.first() {
@@ -430,6 +504,16 @@ pub fn execute_directed(
     plan: &BranchPlan,
     cfg: DirectedConfig,
 ) -> DirectedOutcome {
+    execute_directed_with_stats(program, model, plan, cfg).0
+}
+
+/// [`execute_directed`] plus its search-effort counters ([`DirectedStats`]).
+pub fn execute_directed_with_stats(
+    program: &Program,
+    model: DeliveryModel,
+    plan: &BranchPlan,
+    cfg: DirectedConfig,
+) -> (DirectedOutcome, DirectedStats) {
     assert_eq!(
         plan.outcomes.len(),
         program.threads.len(),
@@ -441,6 +525,9 @@ pub fn execute_directed(
         plan,
         visited: HashSet::new(),
         cfg,
+        canon: crate::canon::CanonTracker::new(model),
+        canonical_skipped: 0,
+        transitions: 0,
         exhausted: false,
         matched_best: 0,
         best_deadlock: None,
@@ -449,10 +536,15 @@ pub fn execute_directed(
     let mut bidx = vec![0u16; program.threads.len()];
     let mut actions = Vec::new();
     let found = search.dfs(&init, &mut bidx, 0, &mut actions);
+    let stats = DirectedStats {
+        states: search.visited.len(),
+        transitions: search.transitions,
+        canonical_skipped: search.canonical_skipped,
+    };
     let rerun = |script: &[Action]| {
         replay(program, model, script).expect("directed search scripts replay exactly")
     };
-    match found {
+    let outcome = match found {
         Some(Found::Violation(script)) => DirectedOutcome::Violating(rerun(&script)),
         Some(Found::Complete(script)) => DirectedOutcome::Realized(rerun(&script)),
         None if search.exhausted => DirectedOutcome::Exhausted {
@@ -464,7 +556,8 @@ pub fn execute_directed(
                 matched_branches: search.matched_best,
             },
         },
-    }
+    };
+    (outcome, stats)
 }
 
 #[cfg(test)]
@@ -690,12 +783,111 @@ mod tests {
         };
         let cfg = DirectedConfig {
             max_states: 1,
-            deadline: None,
+            ..DirectedConfig::default()
         };
         match execute_directed(&p, DeliveryModel::Unordered, &plan, cfg) {
             DirectedOutcome::Exhausted { .. } => {}
             other => panic!("expected exhausted, got {other:?}"),
         }
+    }
+
+    /// Outcome kinds must agree between canonical and full search: the
+    /// properties the directed search reports (realisability, violation,
+    /// deadlock, infeasibility) are all trace-class invariants.
+    fn same_kind(a: &DirectedOutcome, b: &DirectedOutcome) -> bool {
+        matches!(
+            (a, b),
+            (DirectedOutcome::Realized(_), DirectedOutcome::Realized(_))
+                | (DirectedOutcome::Violating(_), DirectedOutcome::Violating(_))
+                | (DirectedOutcome::Deadlocked(_), DirectedOutcome::Deadlocked(_))
+                | (
+                    DirectedOutcome::Infeasible { .. },
+                    DirectedOutcome::Infeasible { .. }
+                )
+                | (
+                    DirectedOutcome::Exhausted { .. },
+                    DirectedOutcome::Exhausted { .. }
+                )
+        )
+    }
+
+    #[test]
+    fn canonical_search_agrees_and_prunes() {
+        let p = branchy_race();
+        for model in crate::types::DeliveryModel::ALL {
+            for outcomes in [vec![vec![true]], vec![vec![false]]] {
+                let plan = BranchPlan {
+                    outcomes: [outcomes.clone(), vec![vec![], vec![]]].concat(),
+                };
+                let on = DirectedConfig::default();
+                let off = DirectedConfig {
+                    canonical: false,
+                    ..DirectedConfig::default()
+                };
+                let (r_on, _s_on) = execute_directed_with_stats(&p, model, &plan, on);
+                let (r_off, s_off) = execute_directed_with_stats(&p, model, &plan, off);
+                assert!(
+                    same_kind(&r_on, &r_off),
+                    "model {model} plan {plan:?}: {r_on:?} vs {r_off:?}"
+                );
+                assert_eq!(s_off.canonical_skipped, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_search_prunes_exhaustive_sweeps() {
+        // Many mutually-independent senders feeding a consumer that wants
+        // one receive too many: every plan-compliant execution deadlocks,
+        // so the search must sweep the entire schedule space — exactly
+        // where one-representative-per-class pays off. A realised plan, by
+        // contrast, can stop at the first found schedule.
+        let mut b = ProgramBuilder::new("wide-deadlock");
+        let c = b.thread("consumer");
+        let senders: Vec<_> = (0..4).map(|i| b.thread(&format!("s{i}"))).collect();
+        for _ in 0..5 {
+            b.recv(c, 0);
+        }
+        for (i, &s) in senders.iter().enumerate() {
+            b.send_const(s, c, 0, i as i64);
+        }
+        let p = b.build().unwrap();
+        let plan = BranchPlan {
+            outcomes: vec![vec![]; p.threads.len()],
+        };
+        let (r_on, s_on) = execute_directed_with_stats(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig::default(),
+        );
+        let (r_off, s_off) = execute_directed_with_stats(
+            &p,
+            DeliveryModel::Unordered,
+            &plan,
+            DirectedConfig {
+                canonical: false,
+                ..DirectedConfig::default()
+            },
+        );
+        assert!(same_kind(&r_on, &r_off), "{r_on:?} vs {r_off:?}");
+        let (DirectedOutcome::Deadlocked(on), DirectedOutcome::Deadlocked(off)) = (&r_on, &r_off)
+        else {
+            panic!("both must deadlock: {r_on:?} vs {r_off:?}");
+        };
+        assert_eq!(
+            on.trace.receives().len(),
+            off.trace.receives().len(),
+            "deepest deadlock depth is a class invariant"
+        );
+        assert!(
+            s_on.transitions < s_off.transitions,
+            "canonical must shrink the explored transitions: {} vs {}",
+            s_on.transitions,
+            s_off.transitions
+        );
+        assert!(s_on.canonical_skipped > 0);
+        assert_eq!(s_off.canonical_skipped, 0);
     }
 
     #[test]

@@ -84,6 +84,40 @@ impl Action {
             Action::Internal { .. } => None,
         }
     }
+
+    /// Variant rank for the thread-major total order.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Action::Internal { .. } => 0,
+            Action::Receive { .. } => 1,
+            Action::CompleteWait { .. } => 2,
+        }
+    }
+}
+
+/// Thread-major total order on actions: `(thread, variant, message)`.
+///
+/// This is the alphabet order the Mazurkiewicz normal form
+/// ([`crate::canon`]) is defined against. [`SysState::enabled_actions`]
+/// returns actions ascending in exactly this order (threads in index
+/// order, one action variant per thread, eligible messages ascending by
+/// id), which the canonical-schedule DFS relies on: exploring children in
+/// ascending order guarantees the lexicographically least word of every
+/// trace class is walked before any equivalent word.
+impl Ord for Action {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.thread(), self.kind_rank(), self.message()).cmp(&(
+            other.thread(),
+            other.kind_rank(),
+            other.message(),
+        ))
+    }
+}
+
+impl PartialOrd for Action {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// The complete system state. `Hash`/`Eq` give explicit-state explorers a

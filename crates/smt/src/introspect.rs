@@ -47,11 +47,18 @@ pub struct BucketCounts {
 }
 
 impl BucketCounts {
-    /// Record one raw `value` against `bounds`.
-    fn observe(&mut self, bounds: &[f64], value: u64) {
+    /// Allocate the bucket slots without recording anything: marks the
+    /// distribution as *sampled* (it will render, even all-zero) as
+    /// opposed to never-observed (empty `counts`, not rendered).
+    fn ensure_allocated(&mut self, bounds: &[f64]) {
         if self.counts.is_empty() {
             self.counts = vec![0; bounds.len() + 1];
         }
+    }
+
+    /// Record one raw `value` against `bounds`.
+    fn observe(&mut self, bounds: &[f64], value: u64) {
+        self.ensure_allocated(bounds);
         let slot = bounds
             .iter()
             .position(|&b| value as f64 <= b)
@@ -118,14 +125,15 @@ impl BucketCounts {
         labels: &[(&str, &str)],
         bounds: &[f64],
     ) {
-        let zeros;
-        let counts = if self.counts.is_empty() {
-            zeros = vec![0; bounds.len() + 1];
-            &zeros
-        } else {
-            &self.counts
-        };
-        reg.histogram_add_bucketed(name, help, labels, bounds, counts, self.sum as f64);
+        // Never-sampled distributions do not render at all: an all-zero
+        // histogram in the exposition is reserved for "sampled, nothing
+        // observed" (e.g. conflicts seen but the restart policy never
+        // fired), so absence is the unambiguous marker for "introspection
+        // not sampled".
+        if self.counts.is_empty() {
+            return;
+        }
+        reg.histogram_add_bucketed(name, help, labels, bounds, &self.counts, self.sum as f64);
     }
 }
 
@@ -153,6 +161,13 @@ impl Introspect {
     pub fn observe_conflict(&mut self, lbd: u64, decision_level: u64) {
         self.lbd.observe(LBD_BOUNDS, lbd);
         self.decision_depth.observe(DEPTH_BOUNDS, decision_level);
+        // Conflicts are the restart policy's clock: once any conflict has
+        // been seen, restart intervals are genuinely being sampled, and an
+        // all-zero interval histogram means "the policy never fired" — a
+        // real measurement, distinguishable from "not sampled" (which
+        // leaves the buckets unallocated and the histogram unrendered).
+        self.restart_interval
+            .ensure_allocated(RESTART_INTERVAL_BOUNDS);
     }
 
     /// Record the conflict count between this restart and the previous
@@ -261,8 +276,9 @@ mod tests {
         i.observe_restart(51);
         let mut reg = metrics::Registry::new();
         i.record(&mut reg, &[("engine", "symbolic")]);
-        // An all-empty introspect must still register the families so
-        // the exposition shape is stable.
+        // A never-sampled introspect must NOT render: absence is the
+        // marker for "introspection never ran", all-zero is reserved for
+        // genuinely sampled empty distributions.
         Introspect::default().record(&mut reg, &[("engine", "explicit")]);
         let text = reg.render_prometheus();
         for name in [
@@ -280,10 +296,29 @@ mod tests {
             text.contains("mcapi_smt_restart_interval_bucket{engine=\"symbolic\",le=\"64\"} 1"),
             "{text}"
         );
+        assert!(!text.contains("engine=\"explicit\""), "{text}");
+    }
+
+    #[test]
+    fn zero_restarts_are_distinguishable_from_never_sampled() {
+        // Conflicts without a single restart: the interval histogram
+        // renders as genuinely all-zero (the policy was live but never
+        // fired)...
+        let mut i = Introspect::default();
+        i.observe_conflict(2, 4);
+        let mut reg = metrics::Registry::new();
+        i.record(&mut reg, &[("engine", "symbolic")]);
+        let text = reg.render_prometheus();
         assert!(
-            text.contains("mcapi_smt_lbd_count{engine=\"explicit\"} 0"),
+            text.contains("mcapi_smt_restart_interval_count{engine=\"symbolic\"} 0"),
             "{text}"
         );
+        // ...while an introspect that saw no conflicts at all emits no
+        // interval series whatsoever.
+        let mut reg2 = metrics::Registry::new();
+        Introspect::default().record(&mut reg2, &[("engine", "explicit")]);
+        let text2 = reg2.render_prometheus();
+        assert!(!text2.contains("mcapi_smt_restart_interval"), "{text2}");
     }
 
     #[test]

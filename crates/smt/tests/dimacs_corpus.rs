@@ -2,11 +2,13 @@
 //!
 //! The corpus pins the CDCL core's behaviour on hand-picked shapes —
 //! planted satisfiable 3-SAT, propagation-only chains, underconstrained
-//! wide clauses, an odd inequality ring, and two pigeonhole instances
-//! (the 6-into-5 one is the learning/restart stress case: it forces
+//! wide clauses, an odd inequality ring, and three pigeonhole instances
+//! (the 6-into-5 one is the learning stress case: it forces
 //! hundreds of conflicts and a deep learnt-clause stack, the shape that
 //! historically exposed first-UIP and watch-list bugs during the
-//! Glucose-class rewrite). Besides verdicts, the test checks that every
+//! Glucose-class rewrite; the 7-into-6 one is long enough that the
+//! dynamic restart policy provably fires). Besides verdicts, the test
+//! checks that every
 //! SAT answer carries a clause-validating model and that the `Stats`
 //! counters a solve leaves behind are internally consistent.
 
@@ -38,6 +40,11 @@ const CORPUS: &[(&str, &str, bool)] = &[
     (
         "unsat_php_6_5.cnf",
         include_str!("dimacs/unsat_php_6_5.cnf"),
+        false,
+    ),
+    (
+        "unsat_php_7_6.cnf",
+        include_str!("dimacs/unsat_php_7_6.cnf"),
         false,
     ),
     (
@@ -139,6 +146,33 @@ fn pigeonhole_6_5_exercises_learning() {
         st.learned_total
     );
     assert!(st.propagations > st.decisions, "BCP should dominate");
+}
+
+#[test]
+fn pigeonhole_7_6_fires_the_restart_policy() {
+    // The 6-into-5 instance refutes before the EMA restart window closes;
+    // this one is the smallest corpus member whose refutation is long
+    // enough that the Glucose-style dynamic restarts actually fire, so it
+    // pins the policy (and its interval sampling) against regression.
+    let cnf = Cnf::parse(include_str!("dimacs/unsat_php_7_6.cnf")).unwrap();
+    let (verdict, s, _) = solve_collecting_stats(&cnf);
+    assert_eq!(verdict, SolveResult::Unsat);
+    let st = s.stats();
+    assert!(
+        st.restarts > 0,
+        "expected the restart EMAs to fire at least once, got {} restarts \
+         over {} conflicts",
+        st.restarts,
+        st.conflicts
+    );
+    // Each restart records its conflict interval; a conflict-heavy solve
+    // with restarts must leave the distribution populated.
+    let intervals = s.introspect().restart_interval.count();
+    assert_eq!(
+        intervals, st.restarts,
+        "one sampled interval per restart (got {intervals} samples for {} restarts)",
+        st.restarts
+    );
 }
 
 #[test]

@@ -201,6 +201,14 @@ pub struct CheckReport {
     /// Paths proven unreachable and skipped (solver feasibility pruning
     /// plus exhaustive directed-search infeasibility).
     pub paths_pruned: usize,
+    /// Transitions applied by the directed schedule searches realising
+    /// paths (zero for the single-trace engines) — the work measure the
+    /// canonical reduction shrinks.
+    pub directed_transitions: u64,
+    /// Schedule extensions pruned by the Mazurkiewicz normal-form test
+    /// inside the directed searches (zero when canonical exploration is
+    /// off; see [`mcapi::canon`]).
+    pub canonical_skipped: u64,
     /// Wall-clock breakdown across pipeline phases.
     pub timings: PhaseTimings,
     /// The trace the analysis ran on (the violating path's trace when the
@@ -223,6 +231,8 @@ impl CheckReport {
             self.refinements as u64,
             self.paths_explored as u64,
             self.paths_pruned as u64,
+            self.directed_transitions,
+            self.canonical_skipped,
         );
     }
 }
@@ -238,6 +248,8 @@ pub fn record_check_counters(
     refinements: u64,
     paths_explored: u64,
     paths_pruned: u64,
+    directed_transitions: u64,
+    canonical_skipped: u64,
 ) {
     reg.counter_add(
         "mcapi_symbolic_sat_checks_total",
@@ -262,6 +274,18 @@ pub fn record_check_counters(
         "Control-flow paths proven unreachable and skipped",
         labels,
         paths_pruned,
+    );
+    reg.counter_add(
+        "mcapi_symbolic_directed_transitions_total",
+        "Transitions applied by directed schedule searches",
+        labels,
+        directed_transitions,
+    );
+    reg.counter_add(
+        "mcapi_symbolic_schedules_canonical_skipped_total",
+        "Schedule extensions pruned by the Mazurkiewicz normal-form test",
+        labels,
+        canonical_skipped,
     );
 }
 
@@ -306,6 +330,16 @@ pub trait TraceSource {
     fn paths_explored(&self) -> usize;
     /// Control-flow paths proven unreachable and skipped.
     fn paths_pruned(&self) -> usize {
+        0
+    }
+    /// Transitions applied by directed schedule searches realising the
+    /// source's traces (zero for sources that do not search).
+    fn directed_transitions(&self) -> u64 {
+        0
+    }
+    /// Schedule extensions the canonical (Mazurkiewicz normal-form) prune
+    /// rejected inside those searches.
+    fn canonical_skipped(&self) -> u64 {
         0
     }
 }
@@ -446,6 +480,8 @@ pub(crate) fn report_for_violating_trace(trace: Trace, branch_path: Option<Strin
         solver_introspect: smt::Introspect::default(),
         paths_explored: 1,
         paths_pruned: 0,
+        directed_transitions: 0,
+        canonical_skipped: 0,
         timings: PhaseTimings::default(),
         trace,
     }
@@ -594,6 +630,8 @@ pub fn check_in_session_at(
         solver_introspect,
         paths_explored: 1,
         paths_pruned: 0,
+        directed_transitions: 0,
+        canonical_skipped: 0,
         timings: PhaseTimings {
             encode_us,
             solve_us,

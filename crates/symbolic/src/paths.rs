@@ -43,7 +43,9 @@ use crate::encode::{cond_term, EncodeStats};
 use crate::session::SessionPool;
 use mcapi::expr::Expr;
 use mcapi::program::{Instr, Program};
-use mcapi::sched::{execute_directed, program_paths, BranchPlan, DirectedConfig, DirectedOutcome};
+use mcapi::sched::{
+    execute_directed_with_stats, program_paths, BranchPlan, DirectedConfig, DirectedOutcome,
+};
 use mcapi::trace::Trace;
 use mcapi::types::EndpointAddr;
 use smt::{SatResult, SmtSolver, TermId};
@@ -64,6 +66,14 @@ pub struct PathsConfig {
     pub max_paths: usize,
     /// Visited-state cap for each directed schedule search.
     pub search_max_states: usize,
+    /// Transition (work) cap for each directed schedule search;
+    /// `u64::MAX` = unbounded. See [`DirectedConfig::max_transitions`].
+    pub search_max_transitions: u64,
+    /// Explore only the canonical (lexicographically least) representative
+    /// of each Mazurkiewicz trace class inside the directed searches (the
+    /// default). Disable (`--no-canonical`) to sweep every interleaving —
+    /// the baseline the CI perf gate compares against.
+    pub canonical: bool,
     /// Share one encoded communication core across sibling paths (the
     /// default). Disable to re-encode every path from scratch — the
     /// baseline the CI perf gate compares against.
@@ -76,6 +86,8 @@ impl Default for PathsConfig {
             check: CheckConfig::default(),
             max_paths: 256,
             search_max_states: 200_000,
+            search_max_transitions: u64::MAX,
+            canonical: true,
             session_reuse: true,
         }
     }
@@ -267,6 +279,10 @@ pub struct PathEnumerator<'a> {
     enumerate_us: u64,
     /// µs spent in directed-scheduler searches realising paths.
     schedule_us: u64,
+    /// Transitions applied across all directed searches.
+    directed_transitions: u64,
+    /// Schedule extensions the canonical prune rejected.
+    canonical_skipped: u64,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -299,6 +315,8 @@ impl<'a> PathEnumerator<'a> {
             stop_reason: None,
             enumerate_us: setup.elapsed().as_micros() as u64,
             schedule_us: 0,
+            directed_transitions: 0,
+            canonical_skipped: 0,
         })
     }
 
@@ -362,14 +380,22 @@ impl<'a> PathEnumerator<'a> {
         }
         let dcfg = DirectedConfig {
             max_states: self.cfg.search_max_states,
+            max_transitions: self.cfg.search_max_transitions,
             deadline: self.deadline,
+            canonical: self.cfg.canonical,
         };
         let search_start = Instant::now();
-        let directed = {
-            let _span = trace::span("paths.directed_search");
-            execute_directed(self.program, self.cfg.check.delivery, &plan, dcfg)
+        let (directed, search_stats) = {
+            let mut span = trace::span("paths.directed_search");
+            let (out, stats) =
+                execute_directed_with_stats(self.program, self.cfg.check.delivery, &plan, dcfg);
+            span.arg("transitions", stats.transitions)
+                .arg("canonical_skipped", stats.canonical_skipped);
+            (out, stats)
         };
         self.schedule_us += search_start.elapsed().as_micros() as u64;
+        self.directed_transitions += search_stats.transitions;
+        self.canonical_skipped += search_stats.canonical_skipped;
         let step = match directed {
             DirectedOutcome::Infeasible { .. } => {
                 self.pruned += 1;
@@ -445,6 +471,14 @@ impl TraceSource for PathEnumerator<'_> {
     fn paths_pruned(&self) -> usize {
         self.pruned
     }
+
+    fn directed_transitions(&self) -> u64 {
+        self.directed_transitions
+    }
+
+    fn canonical_skipped(&self) -> u64 {
+        self.canonical_skipped
+    }
 }
 
 /// Path-complete check of a whole program: every feasible control-flow
@@ -517,6 +551,8 @@ pub fn check_program_paths_pooled(
                     solver_introspect: smt::Introspect::default(),
                     paths_explored: 0,
                     paths_pruned: 0,
+                    directed_transitions: 0,
+                    canonical_skipped: 0,
                     timings: PhaseTimings::default(),
                     trace,
                 },
@@ -579,6 +615,8 @@ pub fn check_program_paths_pooled(
         agg.fold_counters_into(&mut report);
         report.paths_explored = enumerator.paths_explored();
         report.paths_pruned = enumerator.paths_pruned();
+        report.directed_transitions = enumerator.directed_transitions();
+        report.canonical_skipped = enumerator.canonical_skipped();
         report.timings.enumerate_us += enumerator.enumerate_us();
         report.timings.schedule_us += enumerator.schedule_us();
         return (report, first_reuse.unwrap_or(false));
@@ -618,6 +656,8 @@ pub fn check_program_paths_pooled(
         solver_introspect: agg.solver_introspect,
         paths_explored: enumerator.paths_explored(),
         paths_pruned: enumerator.paths_pruned(),
+        directed_transitions: enumerator.directed_transitions(),
+        canonical_skipped: enumerator.canonical_skipped(),
         timings,
         trace,
     };

@@ -48,10 +48,14 @@ pub enum FamilySpec {
     /// Ping-pong handshake iterated via `repeat`, accumulating a counter
     /// across rounds (branch-free loop workload).
     IteratedHandshake { rounds: usize },
+    /// The corpus loop-storm shape: a branch on every received value
+    /// inside a `depth`-deep `repeat`, fed by an independently ticking
+    /// producer (the canonicalization stress workload).
+    Storm { depth: usize },
 }
 
 /// Family tags accepted by [`family_grid`] and printed in reports.
-pub const FAMILIES: [&str; 12] = [
+pub const FAMILIES: [&str; 13] = [
     "fig1",
     "fig1-assert",
     "race",
@@ -64,6 +68,7 @@ pub const FAMILIES: [&str; 12] = [
     "random",
     "credit-window",
     "iterated-handshake",
+    "storm",
 ];
 
 impl FamilySpec {
@@ -82,6 +87,7 @@ impl FamilySpec {
             FamilySpec::Random { .. } => "random",
             FamilySpec::CreditWindow { .. } => "credit-window",
             FamilySpec::IteratedHandshake { .. } => "iterated-handshake",
+            FamilySpec::Storm { .. } => "storm",
         }
     }
 
@@ -102,6 +108,7 @@ impl FamilySpec {
                 format!("credit-window{window}x{rounds}")
             }
             FamilySpec::IteratedHandshake { rounds } => format!("iterated-handshake{rounds}"),
+            FamilySpec::Storm { depth } => format!("storm{depth}"),
         }
     }
 
@@ -164,6 +171,9 @@ impl FamilySpec {
         if let Some(rest) = name.strip_prefix("random") {
             return rest.parse().ok().map(|seed| FamilySpec::Random { seed });
         }
+        if let Some(rest) = name.strip_prefix("storm") {
+            return sized(rest).map(|depth| FamilySpec::Storm { depth });
+        }
         None
     }
 
@@ -184,6 +194,7 @@ impl FamilySpec {
             }
             FamilySpec::CreditWindow { window, rounds } => crate::credit_window(window, rounds),
             FamilySpec::IteratedHandshake { rounds } => crate::iterated_handshake(rounds),
+            FamilySpec::Storm { depth } => crate::storm(depth),
         }
     }
 }
@@ -238,12 +249,17 @@ pub fn family_grid(family: &str, scale: usize) -> Vec<FamilySpec> {
         "iterated-handshake" => sizes()
             .map(|rounds| FamilySpec::IteratedHandshake { rounds })
             .collect(),
+        // Path counts double per depth step, so the family starts at 4
+        // (16 paths) and grows to the corpus-shrunk shape by scale 3.
+        "storm" => (4..4 + scale)
+            .map(|depth| FamilySpec::Storm { depth })
+            .collect(),
         _ => Vec::new(),
     }
 }
 
 /// The standard portfolio grid: every family at the given scale. With
-/// `scale = 2` this yields 22 program points; crossed with delivery models
+/// `scale = 2` this yields 24 program points; crossed with delivery models
 /// and engines by the driver it easily exceeds the 20-scenario bar.
 ///
 /// ```

@@ -33,7 +33,7 @@ pub mod scatter;
 pub use branchy::branchy;
 pub use fig1::{fig1, fig1_with_assert};
 pub use grid::{default_grid, family_grid, FamilySpec, FAMILIES};
-pub use loops::{credit_window, iterated_handshake};
+pub use loops::{credit_window, iterated_handshake, storm};
 pub use pipeline::pipeline;
 pub use race::{delay_gap, race, race_with_winner_assert};
 pub use random::{random_loop_program, random_program, RandomProgramConfig};

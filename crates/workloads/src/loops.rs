@@ -98,6 +98,50 @@ pub fn iterated_handshake(rounds: usize) -> Program {
     b.build().expect("iterated-handshake is well-formed")
 }
 
+/// The corpus `loop-storm` shape, parametric in depth: a consumer that
+/// branches on every received value inside a `depth`-deep `repeat`
+/// (2^depth static control-flow paths) fed by a producer whose local
+/// counter ticks between sends.
+///
+/// The producer's internal steps commute with everything the consumer
+/// does, so the schedule space of each path is dominated by
+/// interleavings that differ only by commuting independent actions —
+/// the shape Mazurkiewicz canonicalization prunes hardest, and the
+/// reason this family anchors the canonical perf gate. Always safe.
+pub fn storm(depth: usize) -> Program {
+    assert!(depth >= 1);
+    let mut b = ProgramBuilder::new(format!("storm{depth}"));
+    let consumer = b.thread("consumer");
+    let producer = b.thread("producer");
+
+    let v = b.fresh_var(consumer);
+    let n = b.fresh_var(consumer);
+    b.assign(consumer, n, Expr::Const(0));
+    b.repeat(consumer, depth, |bb| {
+        bb.push_op(Op::Recv { port: 0, var: v });
+        bb.push_op(Op::If {
+            cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(1)),
+            then_ops: vec![Op::Assign {
+                var: n,
+                expr: Expr::Var(n).plus(1),
+            }],
+            else_ops: vec![Op::Assign {
+                var: n,
+                expr: Expr::Var(n).plus(0),
+            }],
+        });
+    });
+
+    let x = b.fresh_var(producer);
+    b.assign(producer, x, Expr::Const(0));
+    b.repeat(producer, depth, |bb| {
+        bb.send_expr(consumer, 0, Expr::Var(x));
+        bb.assign(x, Expr::Var(x).plus(1));
+    });
+
+    b.build().expect("storm is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +210,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn storm_is_safe_and_its_branches_race() {
+        let p = storm(4);
+        let mut outcomes = std::collections::HashSet::new();
+        for seed in 0..100 {
+            let out = execute_random(&p, DeliveryModel::Unordered, seed);
+            assert!(out.trace.is_complete(), "seed {seed}");
+            assert!(out.violation().is_none(), "seed {seed}");
+            outcomes.insert(out.trace.branch_outcomes(0));
+        }
+        // Payload 0 takes the else-arm, later payloads the then-arm;
+        // unordered delivery races them into different branch vectors.
+        assert!(outcomes.len() > 1, "storm branches must race");
     }
 
     #[test]

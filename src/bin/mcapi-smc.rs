@@ -8,7 +8,7 @@
 //! parsed as MCAPI-lite with caret diagnostics on error.
 //!
 //! ```text
-//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N] [--unroll N]
+//! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N] [--unroll N] [--no-canonical]
 //! mcapi-smc fmt <program|-> [--write]   # canonical MCAPI-lite (idempotent)
 //! mcapi-smc export <family|point> [--scale K] [--out DIR]  # grid → .mcapi
 //! mcapi-smc behaviours <program> [--delivery ...] [--limit N]
@@ -44,7 +44,11 @@
 //! run — one timeline lane per worker thread, spans down to individual
 //! solver queries; load it in Perfetto or `chrome://tracing`),
 //! `--no-session-reuse` (re-encode every scenario from scratch instead
-//! of sharing incremental solver sessions per grid point).
+//! of sharing incremental solver sessions per grid point),
+//! `--no-canonical` (sweep every interleaving instead of one canonical
+//! representative per Mazurkiewicz trace class — the directed searches
+//! behind `symbolic-paths` and the explicit engine's state graph both
+//! honour it; see `mcapi::canon`).
 //!
 //! `check` accepts the same `--metrics-out`/`--events-out`/`--trace-out`
 //! flags: the single scenario is reported through the identical
@@ -175,9 +179,14 @@ fn list_programs() {
 fn check_explicit(
     program: &Program,
     delivery: DeliveryModel,
+    canonical: bool,
 ) -> (ExitCode, explicit::ExploreResult) {
     use explicit::{ExploreConfig, GraphExplorer};
-    let r = GraphExplorer::new(program, ExploreConfig::with_model(delivery)).explore();
+    let cfg = ExploreConfig {
+        use_canonical: canonical,
+        ..ExploreConfig::with_model(delivery)
+    };
+    let r = GraphExplorer::new(program, cfg).explore();
     println!(
         "program: {} | delivery: {delivery} | engine: explicit",
         program.name
@@ -365,6 +374,7 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
     };
 
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
+    let canonical = !args.iter().any(|a| a == "--no-canonical");
     let max_paths = match parse_flag_strict(args, "--max-paths") {
         Ok(m) => m.map(|n| n as usize),
         Err(e) => {
@@ -399,6 +409,7 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         mode,
         budget_ms,
         session_reuse,
+        canonical,
         ..PortfolioConfig::default()
     };
     if let Some(n) = max_paths {
@@ -846,6 +857,7 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     };
+                    let canonical = !args.iter().any(|a| a == "--no-canonical");
                     let outputs = match output_flags(&args) {
                         Ok(o) => o,
                         Err(e) => {
@@ -872,7 +884,7 @@ fn main() -> ExitCode {
                         }
                         let (code, result) = {
                             let _lane = tracer.as_ref().map(|t| t.install("main"));
-                            check_explicit(&program, delivery)
+                            check_explicit(&program, delivery, canonical)
                         };
                         let mut out = outcome_shell();
                         fill_explicit_outcome(&mut out, &result);
@@ -900,6 +912,7 @@ fn main() -> ExitCode {
                             let pcfg = symbolic::paths::PathsConfig {
                                 check: cfg,
                                 max_paths,
+                                canonical,
                                 ..symbolic::paths::PathsConfig::default()
                             };
                             (symbolic::paths::check_program_paths(&program, &pcfg), true)
@@ -928,8 +941,11 @@ fn main() -> ExitCode {
                     );
                     if path_complete {
                         println!(
-                            "paths: {} explored, {} pruned",
-                            report.paths_explored, report.paths_pruned
+                            "paths: {} explored, {} pruned | directed: {} transitions, {} canonical-skipped",
+                            report.paths_explored,
+                            report.paths_pruned,
+                            report.directed_transitions,
+                            report.canonical_skipped,
                         );
                     }
                     let code = match &report.verdict {

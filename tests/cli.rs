@@ -698,7 +698,10 @@ fn check_writes_metrics_events_and_trace() {
     let prom = std::fs::read_to_string(&metrics).unwrap();
     assert!(prom.contains("mcapi_portfolio_scenarios_total"), "{prom}");
     assert!(prom.contains("mcapi_smt_solves_total"), "{prom}");
-    assert!(prom.contains("mcapi_smt_lbd_bucket"), "{prom}");
+    // fig1 solves without a single conflict, so the solver-introspection
+    // histograms must be *absent*: an unsampled distribution renders no
+    // series (all-zero is reserved for "sampled, nothing observed").
+    assert!(!prom.contains("mcapi_smt_lbd_bucket"), "{prom}");
     assert!(prom.contains(r#"engine="symbolic-paths""#), "{prom}");
 
     let jsonl = std::fs::read_to_string(&events).unwrap();

@@ -217,6 +217,46 @@ fn loop_storm_degrades_to_unknown_never_safe() {
     );
 }
 
+/// `loop-storm-shrunk.mcapi`: the ceiling the Mazurkiewicz layer lifts.
+/// Canonical pruning cannot shrink the *visited-state* count — every
+/// reachable state is reached by some canonical prefix — so the axis
+/// that separates the two modes is transition *work*: a non-canonical
+/// sweep re-derives the same states through redundant interleavings.
+/// Under a per-search work budget sitting between the canonical maximum
+/// (~3.9k transitions) and the full-sweep maximum (~6.5k), the canonical
+/// engine earns SAFE while `--no-canonical` exhausts to UNKNOWN.
+#[test]
+fn shrunk_storm_resolves_only_under_canonical_pruning() {
+    let text = std::fs::read_to_string(corpus_dir().join("loop-storm-shrunk.mcapi")).unwrap();
+    let program = parse_program(&text).unwrap();
+    let budget = 5_000;
+    let cfg = PathsConfig {
+        search_max_transitions: budget,
+        ..PathsConfig::default()
+    };
+    let report = check_program_paths(&program, &cfg);
+    assert!(
+        matches!(report.verdict, Verdict::Safe),
+        "canonical search must finish inside the work budget: {:?}",
+        report.verdict
+    );
+    assert!(
+        report.canonical_skipped > 0,
+        "the normal-form test must actually prune"
+    );
+    let cfg = PathsConfig {
+        search_max_transitions: budget,
+        canonical: false,
+        ..PathsConfig::default()
+    };
+    let report = check_program_paths(&program, &cfg);
+    match &report.verdict {
+        Verdict::Unknown(why) => assert!(why.contains("exhausted"), "{why}"),
+        other => panic!("full sweep must blow the same budget, got {other:?}"),
+    }
+    assert_eq!(report.canonical_skipped, 0, "escape hatch really off");
+}
+
 /// `nested-gate.mcapi`: the violation sits two branch levels deep; the
 /// path engine names the violating branch vector.
 #[test]

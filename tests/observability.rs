@@ -159,6 +159,8 @@ fn sample_record(rev: &str) -> TrendRecord {
         encodings_built: 19,
         paths_explored: 112,
         paths_pruned: 2,
+        directed_transitions: 3_795,
+        canonical_skipped: 4_387,
     }
 }
 

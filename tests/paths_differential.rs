@@ -100,6 +100,61 @@ fn assert_paths_matches_explicit(program: &Program, model: DeliveryModel) {
     }
 }
 
+/// The canonicalization differential: Mazurkiewicz normal-form pruning
+/// must be invisible at the trace-class level. With pruning on, each
+/// feasible path's directed search yields the canonical linearisation;
+/// with it off, the first DFS descent — possibly a different
+/// interleaving of the same class. The per-thread communication
+/// skeleton ([`mcapi::trace::Trace::comm_signature`]) erases the
+/// interleaving, so both enumerations must produce (a) the same verdict
+/// and (b) the same set of distinct skeletons over *completed* traces —
+/// i.e. pruning changes no path's feasibility. (Deadlock and violation
+/// prefixes are excluded: "deepest deadlock" tie-breaking legitimately
+/// depends on DFS arrival order.)
+fn assert_canonical_matches_full_enumeration(program: &Program, model: DeliveryModel) {
+    use std::collections::HashSet;
+    use symbolic::checker::TraceSource;
+    use symbolic::paths::PathEnumerator;
+    let n = program.threads.len();
+    let mut results = Vec::new();
+    for canonical in [true, false] {
+        let cfg = PathsConfig {
+            check: symbolic::checker::CheckConfig {
+                delivery: model,
+                ..Default::default()
+            },
+            max_paths: 4096,
+            canonical,
+            ..PathsConfig::default()
+        };
+        let mut skeletons = HashSet::new();
+        let mut e = PathEnumerator::new(program, &cfg).expect("enumerator builds");
+        while let Some(st) = e.next_trace() {
+            if st.trace.is_complete() {
+                skeletons.insert(st.trace.comm_signature(n));
+            }
+        }
+        let verdict = match check_program_paths(program, &cfg).verdict {
+            Verdict::Safe => "safe",
+            Verdict::Violation(_) => "violation",
+            Verdict::Unknown(_) => "unknown",
+        };
+        results.push((verdict, skeletons));
+    }
+    let (canonical, full) = (&results[0], &results[1]);
+    assert_eq!(
+        canonical.0, full.0,
+        "{} [{model}]: canonical verdict != full-sweep verdict",
+        program.name
+    );
+    assert_eq!(
+        canonical.1, full.1,
+        "{} [{model}]: canonical and full enumeration realised different \
+         sets of communication skeletons",
+        program.name
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -126,6 +181,35 @@ proptest! {
         let p = random_branchy(seed, 1, nested);
         assert_paths_matches_explicit(&p, DeliveryModel::PairwiseFifo);
         assert_paths_matches_explicit(&p, DeliveryModel::ZeroDelay);
+    }
+
+    /// Canonical-representative enumeration is a pure perf layer: on
+    /// random branchy programs it must agree with the full interleaving
+    /// sweep on verdict and realised trace classes under all three
+    /// delivery models.
+    #[test]
+    fn canonical_enumeration_matches_full_sweep(
+        seed in 0u64..5_000,
+        nested in any::<bool>(),
+    ) {
+        let p = random_branchy(seed, 1, nested);
+        for model in DeliveryModel::ALL {
+            assert_canonical_matches_full_enumeration(&p, model);
+        }
+    }
+
+    /// The same canonicalization differential over randomized `repeat`
+    /// programs, whose unrolled bodies give the normal-form test longer
+    /// same-class linearisations to collapse.
+    #[test]
+    fn canonical_enumeration_matches_full_sweep_on_loops(
+        seed in 0u64..3_000,
+        rounds in 1usize..3,
+    ) {
+        let p = random_loop_program(seed, rounds);
+        for model in DeliveryModel::ALL {
+            assert_canonical_matches_full_enumeration(&p, model);
+        }
     }
 
     /// The random (branch-free) fuzzing family rides along: one path,
