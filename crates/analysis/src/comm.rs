@@ -1,0 +1,340 @@
+//! The communication graph and the deterministic straight-run walk.
+//!
+//! Both sides of the match-potential analysis live here: the *graph* side
+//! collects every statically reachable send per destination endpoint; the
+//! *walk* side executes each thread's deterministic prefix (constants
+//! only, forced branches only, stopping at the first blocking or
+//! value-dependent instruction). The walk's stop states feed the
+//! definite-deadlock fixpoint ([`definitely_deadlocked`]) and the triage
+//! pass's violation rule (`crate::triage`).
+
+use crate::constprop::{eval_cond, eval_expr, ThreadFlow, Val};
+use mcapi::program::{Instr, Program, Thread};
+use mcapi::types::EndpointAddr;
+use std::collections::BTreeMap;
+
+/// One statically reachable send instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct SendSite {
+    /// Sending thread index.
+    pub thread: usize,
+    /// Instruction index within that thread.
+    pub pc: usize,
+}
+
+/// Every reachable send, grouped by destination endpoint.
+///
+/// Reachability is the constant-propagation over-approximation: sends in
+/// arms that a forced branch rules out are excluded (they can never
+/// execute), sends behind value-dependent branches are included (they
+/// might).
+pub fn sends_by_endpoint(
+    program: &Program,
+    flows: &[ThreadFlow],
+) -> BTreeMap<EndpointAddr, Vec<SendSite>> {
+    let mut map: BTreeMap<EndpointAddr, Vec<SendSite>> = BTreeMap::new();
+    for (t, thread) in program.threads.iter().enumerate() {
+        for (pc, ins) in thread.code.iter().enumerate() {
+            if !flows[t].reachable(pc) {
+                continue;
+            }
+            if let Instr::Send { to, .. } | Instr::SendI { to, .. } = ins {
+                map.entry(*to).or_default().push(SendSite { thread: t, pc });
+            }
+        }
+    }
+    map
+}
+
+/// Why a straight-run walk stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunEnd {
+    /// The walk reached the end of the thread's code.
+    Finished,
+    /// A value-dependent branch (or an assertion the walk cannot decide):
+    /// everything beyond this point may or may not execute.
+    Uncertain {
+        /// The undecidable instruction.
+        pc: usize,
+    },
+    /// The thread definitely reaches `pc` and blocks there until a
+    /// message arrives at `endpoint` (a blocking receive, or a wait on a
+    /// pending non-blocking receive).
+    Blocked {
+        /// The blocking instruction.
+        pc: usize,
+        /// The endpoint a message must reach to unblock the thread.
+        endpoint: EndpointAddr,
+    },
+    /// The thread definitely reaches an assertion whose condition is
+    /// statically false: every maximal execution of the program either
+    /// fails this assertion or an earlier undecided one.
+    FailedAssert {
+        /// The failing assertion.
+        pc: usize,
+    },
+}
+
+/// Result of one thread's deterministic prefix walk.
+#[derive(Clone, Debug)]
+pub struct StraightRun {
+    /// Why (and where) the walk stopped.
+    pub end: RunEnd,
+    /// Endpoints sent to during the prefix, in execution order. These
+    /// messages are sent in *every* maximal execution of the program:
+    /// sends never block, and everything before the stop point is
+    /// deterministic.
+    pub sends: Vec<EndpointAddr>,
+}
+
+/// Execute thread `t`'s deterministic prefix abstractly: locals start at
+/// zero, assignments fold constants, forced branches are followed, and
+/// the walk stops at the first receive, blocking wait, value-dependent
+/// branch, or undecidable assertion.
+pub fn straight_run(t: usize, thread: &Thread) -> StraightRun {
+    let mut vals = vec![Val::Const(0); thread.num_vars];
+    // `Some(endpoint)` = a posted, still-pending non-blocking receive.
+    let mut pending: Vec<Option<EndpointAddr>> = vec![None; thread.num_reqs];
+    let mut sends = Vec::new();
+    let mut pc = 0usize;
+    let mut steps = 0usize;
+    let end = loop {
+        if pc >= thread.code.len() {
+            break RunEnd::Finished;
+        }
+        steps += 1;
+        if steps > thread.code.len() {
+            // Cyclic flat code (cannot come out of `compile`, but flat
+            // JSON programs are not forced through it): give up.
+            break RunEnd::Uncertain { pc };
+        }
+        match &thread.code[pc] {
+            Instr::Assign { var, expr } => {
+                vals[var.0 as usize] = eval_expr(expr, &vals);
+                pc += 1;
+            }
+            Instr::Send { to, .. } => {
+                sends.push(*to);
+                pc += 1;
+            }
+            Instr::SendI { to, req, .. } => {
+                sends.push(*to);
+                pending[req.0 as usize] = None;
+                pc += 1;
+            }
+            Instr::Recv { port, .. } => {
+                break RunEnd::Blocked {
+                    pc,
+                    endpoint: EndpointAddr::new(t, *port),
+                };
+            }
+            Instr::RecvI { port, var, req } => {
+                vals[var.0 as usize] = Val::Any;
+                pending[req.0 as usize] = Some(EndpointAddr::new(t, *port));
+                pc += 1;
+            }
+            Instr::Wait { req } => match pending[req.0 as usize] {
+                // Waiting on a pending receive blocks until a message
+                // arrives; waiting on a send request or a never-issued
+                // request completes immediately.
+                Some(endpoint) => break RunEnd::Blocked { pc, endpoint },
+                None => pc += 1,
+            },
+            Instr::Assert { cond, .. } => match eval_cond(cond, &vals) {
+                Some(true) => pc += 1,
+                Some(false) => break RunEnd::FailedAssert { pc },
+                // The assert may fail (stopping the thread) or pass:
+                // nothing beyond it is certain.
+                None => break RunEnd::Uncertain { pc },
+            },
+            Instr::Branch { cond, else_target } => match eval_cond(cond, &vals) {
+                Some(true) => pc += 1,
+                Some(false) => pc = *else_target,
+                None => break RunEnd::Uncertain { pc },
+            },
+            Instr::Jump { target } => {
+                if *target <= pc {
+                    break RunEnd::Uncertain { pc };
+                }
+                pc = *target;
+            }
+        }
+    };
+    StraightRun { end, sends }
+}
+
+/// The definite-deadlock fixpoint over the blocking-dependency graph.
+///
+/// Returns the largest set `D` of threads such that each `T ∈ D` is
+/// blocked at its straight-run stop point waiting on endpoint `E_T`, and
+/// no message can ever arrive there:
+///
+/// - no thread's deterministic prefix sends to `E_T` (prefix sends
+///   happen in every maximal execution), and
+/// - every reachable send targeting `E_T` belongs to a thread in `D` at
+///   or beyond its own blocking point.
+///
+/// Greatest-fixpoint argument: start from all blocked threads and remove
+/// any thread a message *might* reach (a prefix send anywhere, or any
+/// reachable send from a thread outside `D`). What remains is mutually
+/// stuck: each member waits on an endpoint fed only by other members'
+/// post-blocking code, which never runs. The result pairs each deadlocked
+/// thread with its blocking pc.
+pub fn definitely_deadlocked(
+    program: &Program,
+    runs: &[StraightRun],
+    sends_to: &BTreeMap<EndpointAddr, Vec<SendSite>>,
+) -> Vec<(usize, usize)> {
+    let blocked: Vec<Option<EndpointAddr>> = runs
+        .iter()
+        .map(|r| match r.end {
+            RunEnd::Blocked { endpoint, .. } => Some(endpoint),
+            _ => None,
+        })
+        .collect();
+    let mut in_d: Vec<bool> = blocked.iter().map(Option::is_some).collect();
+    let prefix_sends: Vec<&EndpointAddr> = runs.iter().flat_map(|r| r.sends.iter()).collect();
+    loop {
+        let mut changed = false;
+        for t in 0..program.threads.len() {
+            if !in_d[t] {
+                continue;
+            }
+            let ep = blocked[t].expect("threads in D are blocked");
+            let fed_by_prefix = prefix_sends.iter().any(|&&s| s == ep);
+            let fed_from_outside = sends_to
+                .get(&ep)
+                .is_some_and(|sites| sites.iter().any(|s| !in_d[s.thread]));
+            if fed_by_prefix || fed_from_outside {
+                in_d[t] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..program.threads.len())
+        .filter(|&t| in_d[t])
+        .map(|t| match runs[t].end {
+            RunEnd::Blocked { pc, .. } => (t, pc),
+            _ => unreachable!("threads in D are blocked"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constprop::flow;
+    use mcapi::builder::ProgramBuilder;
+
+    fn flows_of(p: &Program) -> Vec<ThreadFlow> {
+        p.threads.iter().map(flow).collect()
+    }
+
+    #[test]
+    fn prefix_sends_and_blocking_points_are_tracked() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.thread("a");
+        let c = b.thread("c");
+        b.send_const(a, c, 0, 1);
+        b.recv(a, 0);
+        b.send_const(a, c, 0, 2); // after the blocking point
+        b.recv(c, 0);
+        let p = b.build().unwrap();
+        let run = straight_run(0, &p.threads[0]);
+        assert_eq!(run.sends, vec![EndpointAddr::new(1, 0)]);
+        assert_eq!(
+            run.end,
+            RunEnd::Blocked {
+                pc: 1,
+                endpoint: EndpointAddr::new(0, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn mutual_wait_cycle_is_a_definite_deadlock() {
+        // a waits for c, c waits for a; each would reply only afterwards.
+        let mut b = ProgramBuilder::new("cycle");
+        let a = b.thread("a");
+        let c = b.thread("c");
+        b.recv(a, 0);
+        b.send_const(a, c, 0, 1);
+        b.recv(c, 0);
+        b.send_const(c, a, 0, 2);
+        let p = b.build().unwrap();
+        let flows = flows_of(&p);
+        let runs: Vec<_> = p
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, th)| straight_run(t, th))
+            .collect();
+        let sends = sends_by_endpoint(&p, &flows);
+        let dead = definitely_deadlocked(&p, &runs, &sends);
+        assert_eq!(dead, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn a_prefix_send_breaks_the_apparent_cycle() {
+        // Same shape, but a sends before receiving: no deadlock.
+        let mut b = ProgramBuilder::new("handshake");
+        let a = b.thread("a");
+        let c = b.thread("c");
+        b.send_const(a, c, 0, 1);
+        b.recv(a, 0);
+        b.recv(c, 0);
+        b.send_const(c, a, 0, 2);
+        let p = b.build().unwrap();
+        let flows = flows_of(&p);
+        let runs: Vec<_> = p
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, th)| straight_run(t, th))
+            .collect();
+        let sends = sends_by_endpoint(&p, &flows);
+        assert!(definitely_deadlocked(&p, &runs, &sends).is_empty());
+    }
+
+    #[test]
+    fn value_dependent_senders_keep_receivers_out_of_the_deadlock_set() {
+        // The producer's send is behind a branch on a received value: the
+        // consumer's receive *might* be fed, so no definite deadlock.
+        use mcapi::expr::{Cond, Expr};
+        use mcapi::program::Op;
+        use mcapi::types::CmpOp;
+        let mut b = ProgramBuilder::new("maybe");
+        let c = b.thread("consumer");
+        let prod = b.thread("producer");
+        let outside = b.thread("outside");
+        b.recv(c, 0);
+        let v = b.recv(prod, 0);
+        b.push_op(
+            prod,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(1)),
+                then_ops: vec![Op::Send {
+                    to: EndpointAddr::new(0, 0),
+                    value: Expr::Const(7),
+                }],
+                else_ops: vec![],
+            },
+        );
+        b.send_const(outside, prod, 0, 3);
+        let p = b.build().unwrap();
+        let flows = flows_of(&p);
+        let runs: Vec<_> = p
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, th)| straight_run(t, th))
+            .collect();
+        let sends = sends_by_endpoint(&p, &flows);
+        // producer is unblocked by outside's send; consumer is fed by the
+        // producer's conditional send (producer ends up outside D).
+        assert!(definitely_deadlocked(&p, &runs, &sends).is_empty());
+    }
+}

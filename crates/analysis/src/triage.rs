@@ -1,0 +1,193 @@
+//! Sound pre-verification triage: settle a scenario statically when — and
+//! only when — every engine would provably return the same verdict.
+//!
+//! Two rules, both delivery-model independent (the facts they rest on
+//! involve no message matching at all):
+//!
+//! - **Violation**: some thread's deterministic straight-run prefix
+//!   reaches an assertion whose condition is statically false. The prefix
+//!   executes in every maximal execution (locals start at zero, sends
+//!   never block, all branches up to that point are forced), so every
+//!   maximal execution fails an assertion — the explicit baseline finds
+//!   it exhaustively, the trace engines see it on any generated trace,
+//!   and the path engine hits it on its first plan.
+//! - **Safe**: every statically reachable assertion is a tautology under
+//!   the constant-propagation join (true for *every* combination of
+//!   branch outcomes and received values), and no error-class finding
+//!   (orphan receive / definite deadlock) clouds the picture. No
+//!   execution can fail an assertion, so every engine answers `Safe`.
+//!
+//! Both rules are guarded by the static path count: when a thread's
+//! branch space exceeds the caller's path budget, the path engine would
+//! answer `Unknown (truncated)` rather than a verdict, so triage stands
+//! aside. The guard is what keeps triaged verdicts bit-identical to full
+//! engine runs — the property the differential test enforces.
+
+use crate::comm::{RunEnd, StraightRun};
+use crate::constprop::{eval_cond, static_path_count, ThreadFlow};
+use crate::{Finding, Severity};
+use mcapi::program::{Instr, Program};
+
+/// Triage thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct TriageConfig {
+    /// Only triage when the program's static path space (product of
+    /// per-thread branch-outcome counts) is within this budget — the
+    /// same budget the path engine enumerates under, so a triaged
+    /// scenario is one the engines would have fully covered.
+    pub max_static_paths: u64,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        // Matches the portfolio driver's default `max_paths`.
+        TriageConfig {
+            max_static_paths: 64,
+        }
+    }
+}
+
+/// A statically decided verdict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StaticVerdict {
+    /// No execution can fail an assertion.
+    Safe,
+    /// Every maximal execution fails an assertion; the payload is the
+    /// failing assertion's message.
+    Violation(String),
+}
+
+/// The program's static path space: the product over threads of their
+/// branch-outcome counts, saturating at `cap + 1`.
+pub fn static_path_product(program: &Program, cap: u64) -> u64 {
+    let mut product: u64 = 1;
+    for thread in &program.threads {
+        product = product.saturating_mul(static_path_count(thread, cap));
+        if product > cap {
+            return cap + 1;
+        }
+    }
+    product
+}
+
+/// Apply the triage rules. `None` means "run the engines" — triage never
+/// guesses.
+pub fn triage(
+    program: &Program,
+    flows: &[ThreadFlow],
+    runs: &[StraightRun],
+    findings: &[Finding],
+    cfg: &TriageConfig,
+) -> Option<StaticVerdict> {
+    if static_path_product(program, cfg.max_static_paths) > cfg.max_static_paths {
+        return None;
+    }
+    for (t, run) in runs.iter().enumerate() {
+        if let RunEnd::FailedAssert { pc } = run.end {
+            let message = match &program.threads[t].code[pc] {
+                Instr::Assert { message, .. } => message.clone(),
+                other => unreachable!("FailedAssert points at {other:?}"),
+            };
+            return Some(StaticVerdict::Violation(message));
+        }
+    }
+    if findings.iter().any(|f| f.severity == Severity::Error) {
+        return None;
+    }
+    for (t, thread) in program.threads.iter().enumerate() {
+        for (pc, ins) in thread.code.iter().enumerate() {
+            let Instr::Assert { cond, .. } = ins else {
+                continue;
+            };
+            let Some(vals) = flows[t].in_vals[pc].as_deref() else {
+                continue; // unreachable assert: can't fail
+            };
+            if eval_cond(cond, vals) != Some(true) {
+                return None;
+            }
+        }
+    }
+    Some(StaticVerdict::Safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use mcapi::builder::ProgramBuilder;
+    use mcapi::expr::{Cond, Expr};
+    use mcapi::types::CmpOp;
+
+    #[test]
+    fn assert_free_programs_triage_safe() {
+        let report = analyze(&workloads::fig1::fig1());
+        assert_eq!(report.static_verdict, Some(StaticVerdict::Safe));
+    }
+
+    #[test]
+    fn straight_run_constant_violations_triage_violation() {
+        let mut b = ProgramBuilder::new("p");
+        let t = b.thread("t");
+        let x = b.fresh_var(t);
+        b.assign(t, x, Expr::Const(3));
+        b.assert_cond(
+            t,
+            Cond::cmp(CmpOp::Ge, Expr::Var(x), Expr::Const(5)),
+            "x at least five",
+        );
+        let p = b.build().unwrap();
+        let report = analyze(&p);
+        assert_eq!(
+            report.static_verdict,
+            Some(StaticVerdict::Violation("x at least five".into()))
+        );
+    }
+
+    #[test]
+    fn value_dependent_asserts_are_never_triaged() {
+        // branchy asserts on received values: triage must stand aside.
+        let report = analyze(&workloads::branchy(2));
+        assert_eq!(report.static_verdict, None);
+    }
+
+    #[test]
+    fn deadlock_findings_block_the_safe_verdict() {
+        let mut b = ProgramBuilder::new("stuck");
+        let a = b.thread("a");
+        let c = b.thread("c");
+        b.recv(a, 0);
+        b.send_const(a, c, 0, 1);
+        b.recv(c, 0);
+        b.send_const(c, a, 0, 2);
+        let p = b.build().unwrap();
+        let report = analyze(&p);
+        assert_eq!(report.static_verdict, None);
+    }
+
+    #[test]
+    fn a_wide_path_space_disables_triage() {
+        use mcapi::program::Op;
+        // 7 value-dependent branches = 128 static paths > the 64 budget;
+        // even though the program is assert-free, triage stands aside
+        // because the path engine would answer Unknown (truncated).
+        let mut b = ProgramBuilder::new("wide");
+        let c = b.thread("consumer");
+        let prod = b.thread("producer");
+        for _ in 0..7 {
+            let v = b.recv(c, 0);
+            b.push_op(
+                c,
+                Op::If {
+                    cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(1)),
+                    then_ops: vec![],
+                    else_ops: vec![],
+                },
+            );
+            b.send_const(prod, c, 0, 1);
+        }
+        let p = b.build().unwrap();
+        assert_eq!(static_path_product(&p, 64), 65);
+        let report = analyze(&p);
+        assert_eq!(report.static_verdict, None);
+    }
+}

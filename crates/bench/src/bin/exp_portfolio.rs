@@ -174,12 +174,14 @@ fn run_full(
     scenarios: &[Scenario],
     session_reuse: bool,
     canonical: bool,
+    static_triage: bool,
 ) -> (RunCounters, PortfolioReport) {
     let cfg = PortfolioConfig {
         threads: 1,
         mode: Mode::Sweep,
         session_reuse,
         canonical,
+        static_triage,
         ..PortfolioConfig::default()
     };
     let start = Instant::now();
@@ -189,7 +191,7 @@ fn run_full(
 }
 
 fn run_counters(scenarios: &[Scenario], session_reuse: bool) -> RunCounters {
-    run_full(scenarios, session_reuse, true).0
+    run_full(scenarios, session_reuse, true, true).0
 }
 
 fn reduction_pct(reuse: &RunCounters, no_reuse: &RunCounters) -> i64 {
@@ -229,12 +231,19 @@ fn pinned_grid_report() -> PerfGateReport {
         &[DeliveryModel::Unordered],
         &[Engine::SymbolicPaths],
     );
-    let (paths_reuse, paths_report) = run_full(&paths_scenarios, true, true);
-    let paths_no_reuse = run_counters(&paths_scenarios, false);
+    // The paths and canonical gates run with the static triage pre-pass
+    // off: they are A/B measurements of *engine* layers (sibling-path
+    // session sharing, Mazurkiewicz pruning), and triage settling the
+    // assert-free points engine-free would shrink the measured work on
+    // both sides until the ratios stop meaning anything. The main pinned
+    // grid above keeps the default (triage on), so the trend ledger
+    // tracks how many scenarios settle statically.
+    let (paths_reuse, paths_report) = run_full(&paths_scenarios, true, true, false);
+    let paths_no_reuse = run_full(&paths_scenarios, false, true, false).0;
     // The canonicalization gate: the same grid with the normal-form
     // pruning off. The verdicts must be identical; the directed-search
     // transition count must not be.
-    let (paths_no_canonical, no_canon_report) = run_full(&paths_scenarios, true, false);
+    let (paths_no_canonical, no_canon_report) = run_full(&paths_scenarios, true, false, false);
     let canonical_verdicts_match = paths_report
         .outcomes
         .iter()
@@ -252,7 +261,7 @@ fn pinned_grid_report() -> PerfGateReport {
     PerfGateReport {
         grid: "default_grid(1) x all deliveries x all engines, 1 thread, sweep; \
                paths gate: branchy(scale 3) + credit-window(scale 3) + \
-               storm(scale 3) x unordered x symbolic-paths"
+               storm(scale 3) x unordered x symbolic-paths, static triage off"
             .into(),
         scenarios: scenarios.len(),
         unrolled_instrs: unrolled_instrs(&grid),

@@ -45,6 +45,14 @@ pub struct ScenarioOutcome {
     pub verdict: VerdictKind,
     /// Violated property messages, or the `Unknown` reason.
     pub detail: String,
+    /// The verdict was settled by the static triage pre-pass with zero
+    /// engine work ([`crate::runner::PortfolioConfig::static_triage`]).
+    #[serde(default)]
+    pub statically_decided: bool,
+    /// Static-analysis findings (lint warnings and errors) on the
+    /// scenario's program; recorded whenever the triage pre-pass runs.
+    #[serde(default)]
+    pub lint_findings: usize,
     /// Wall-clock time spent on this scenario.
     pub wall_ms: u64,
     /// Spurious witnesses blocked (symbolic over-approximation only).
@@ -118,6 +126,8 @@ impl ScenarioOutcome {
             engine,
             verdict: VerdictKind::Skipped,
             detail: "cancelled by race mode".into(),
+            statically_decided: false,
+            lint_findings: 0,
             wall_ms: 0,
             refinements: 0,
             sat_vars: 0,
@@ -193,6 +203,12 @@ pub struct ScenarioEvent {
     pub states: usize,
     /// Did the scenario reuse a shared-session encoding?
     pub reused_encoding: bool,
+    /// Was the verdict settled by static triage with zero engine work?
+    #[serde(default)]
+    pub statically_decided: bool,
+    /// Static-analysis findings on the scenario's program.
+    #[serde(default)]
+    pub lint_findings: usize,
 }
 
 impl ScenarioEvent {
@@ -218,6 +234,8 @@ impl ScenarioEvent {
             paths_pruned: o.paths_pruned,
             states: o.states,
             reused_encoding: o.reused_encoding,
+            statically_decided: o.statically_decided,
+            lint_findings: o.lint_findings,
         }
     }
 }
@@ -278,6 +296,12 @@ pub struct PortfolioReport {
     /// Canonical-prune skips summed over all scenarios.
     #[serde(default)]
     pub total_canonical_skipped: u64,
+    /// Scenarios settled by the static triage pre-pass (zero engine work).
+    #[serde(default)]
+    pub statically_decided: usize,
+    /// Static-analysis findings summed over all scenarios.
+    #[serde(default)]
+    pub total_lint_findings: usize,
     /// Per-scenario records, in submission order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -313,6 +337,8 @@ impl PortfolioReport {
             total_paths_pruned: outcomes.iter().map(|o| o.paths_pruned).sum(),
             total_directed_transitions: outcomes.iter().map(|o| o.directed_transitions).sum(),
             total_canonical_skipped: outcomes.iter().map(|o| o.canonical_skipped).sum(),
+            statically_decided: outcomes.iter().filter(|o| o.statically_decided).count(),
+            total_lint_findings: outcomes.iter().map(|o| o.lint_findings).sum(),
             outcomes,
         }
     }
@@ -361,6 +387,18 @@ impl PortfolioReport {
             "SMT encodings actually built (cache misses)",
             &[],
             self.encodings_built as u64,
+        );
+        reg.counter_add(
+            "mcapi_portfolio_statically_decided_total",
+            "Scenarios settled by the static triage pre-pass (zero engine work)",
+            &[],
+            self.statically_decided as u64,
+        );
+        reg.counter_add(
+            "mcapi_portfolio_lint_findings_total",
+            "Static-analysis findings across all scenario programs",
+            &[],
+            self.total_lint_findings as u64,
         );
         for (verdict, n) in [
             ("safe", self.safe),
@@ -464,7 +502,7 @@ impl PortfolioReport {
         }
         let _ = writeln!(
             out,
-            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} encodings built, {} sat checks, {} conflicts, {} propagations; {} paths explored, {} pruned; {} directed transitions, {} canonical-skipped",
+            "\n{} mode on {} thread(s): {} scenarios in {} ms — {} safe, {} violations, {} unknown, {} skipped; {} statically decided, {} lint findings; {} encodings built, {} sat checks, {} conflicts, {} propagations; {} paths explored, {} pruned; {} directed transitions, {} canonical-skipped",
             self.mode,
             self.threads,
             self.outcomes.len(),
@@ -473,6 +511,8 @@ impl PortfolioReport {
             self.violations,
             self.unknown,
             self.skipped,
+            self.statically_decided,
+            self.total_lint_findings,
             self.encodings_built,
             self.total_sat_checks,
             self.total_conflicts,

@@ -64,6 +64,13 @@ pub struct PortfolioConfig {
     /// extensions (see [`mcapi::canon`]). On by default; the CLI's
     /// `--no-canonical` sweeps every interleaving instead.
     pub canonical: bool,
+    /// Run the static triage pre-pass ([`analysis::analyze_with`]) before
+    /// dispatching engines: scenarios whose verdict is statically decided
+    /// settle with zero engine work, and the `symbolic-paths` pruner is
+    /// fed static facts ([`symbolic::paths::PathsConfig::static_facts`]).
+    /// On by default; the CLI's `--no-static-triage` disables both — the
+    /// engine-only baseline the soundness differential compares against.
+    pub static_triage: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -77,6 +84,7 @@ impl Default for PortfolioConfig {
             session_reuse: true,
             max_paths: 64,
             canonical: true,
+            static_triage: true,
         }
     }
 }
@@ -109,9 +117,54 @@ impl PortfolioConfig {
             max_paths: self.max_paths,
             session_reuse: self.session_reuse,
             canonical: self.canonical,
+            static_facts: self.static_triage,
             ..PathsConfig::default()
         }
     }
+}
+
+/// What the static triage pre-pass concluded about one grid point.
+struct TriagePoint {
+    /// `Some` when analysis alone decides the verdict every engine would
+    /// return; the scenario settles without dispatching an engine.
+    settled: Option<(VerdictKind, String)>,
+    /// Findings (lint warnings and errors) on the point's program.
+    lint_findings: usize,
+}
+
+/// Run the static triage pre-pass over a grid point's program; `None`
+/// when triage is disabled. The verdict guard lives in
+/// [`analysis::triage`]: only assertion facts that hold on *every*
+/// execution (straight-run constant violations, all-tautology assertion
+/// sets within the path budget) settle a scenario, so a settled verdict
+/// is bit-identical to what any engine would answer.
+fn triage_point(program: &Program, cfg: &PortfolioConfig) -> Option<TriagePoint> {
+    if !cfg.static_triage {
+        return None;
+    }
+    let mut span = trace::span("analysis.triage");
+    let report = analysis::analyze_with(
+        program,
+        &analysis::TriageConfig {
+            max_static_paths: cfg.max_paths as u64,
+        },
+    );
+    span.arg("findings", report.findings.len() as u64)
+        .arg("settled", report.static_verdict.is_some() as u64);
+    let settled = match report.static_verdict {
+        Some(analysis::StaticVerdict::Safe) => Some((
+            VerdictKind::Safe,
+            "statically decided: every reachable assertion is a tautology".to_string(),
+        )),
+        Some(analysis::StaticVerdict::Violation(msg)) => {
+            Some((VerdictKind::Violation, format!("statically decided: {msg}")))
+        }
+        None => None,
+    };
+    Some(TriagePoint {
+        settled,
+        lint_findings: report.findings.len(),
+    })
 }
 
 /// A blank outcome shell for a scenario (filled in by the engine runners).
@@ -216,19 +269,32 @@ pub fn run_scenario(scenario: &Scenario, cfg: &PortfolioConfig) -> ScenarioOutco
     let start = Instant::now();
     let mut span = trace::span_dyn(scenario.name());
     let program = scenario.spec.build();
-    let mut out = match scenario.engine {
-        Engine::Symbolic(_) => {
-            let report = check_program(&program, &cfg.check_config(scenario));
-            symbolic_outcome(scenario, report, false)
+    let triage = triage_point(&program, cfg);
+    let mut out = match triage.as_ref().and_then(|t| t.settled.clone()) {
+        Some((verdict, detail)) => {
+            let mut out = outcome_shell(scenario);
+            out.verdict = verdict;
+            out.detail = detail;
+            out.statically_decided = true;
+            out
         }
-        Engine::SymbolicPaths => {
-            let mut pool = SessionPool::new();
-            let (report, reused) =
-                check_program_paths_pooled(&mut pool, &program, &cfg.paths_config(scenario));
-            symbolic_outcome(scenario, report, reused)
-        }
-        Engine::Explicit => run_explicit(&program, scenario, cfg),
+        None => match scenario.engine {
+            Engine::Symbolic(_) => {
+                let report = check_program(&program, &cfg.check_config(scenario));
+                symbolic_outcome(scenario, report, false)
+            }
+            Engine::SymbolicPaths => {
+                let mut pool = SessionPool::new();
+                let (report, reused) =
+                    check_program_paths_pooled(&mut pool, &program, &cfg.paths_config(scenario));
+                symbolic_outcome(scenario, report, reused)
+            }
+            Engine::Explicit => run_explicit(&program, scenario, cfg),
+        },
     };
+    if let Some(t) = &triage {
+        out.lint_findings = t.lint_findings;
+    }
     out.wall_ms = start.elapsed().as_millis() as u64;
     span.arg("sat_checks", out.sat_checks as u64)
         .arg("conflicts", out.conflicts)
@@ -247,6 +313,9 @@ pub fn run_batch(
 ) -> Vec<(usize, ScenarioOutcome)> {
     let mut batch_span = trace::span_dyn(format!("batch:{}", batch.spec.family()));
     let program = batch.spec.build();
+    // One triage pass per grid point: every engine scenario at the point
+    // shares the same program, so a settled verdict settles them all.
+    let triage = triage_point(&program, cfg);
     let mut pool = SessionPool::new();
     let mut out = Vec::with_capacity(batch.items.len());
     for (idx, scenario) in &batch.items {
@@ -256,21 +325,36 @@ pub fn run_batch(
         }
         let start = Instant::now();
         let mut scenario_span = trace::span_dyn(scenario.name());
-        let mut o = match scenario.engine {
-            Engine::Symbolic(_) => {
-                let (report, reused) =
-                    check_program_pooled(&mut pool, &program, &cfg.check_config(scenario));
-                symbolic_outcome(scenario, report, reused)
+        let mut o = match triage.as_ref().and_then(|t| t.settled.clone()) {
+            Some((verdict, detail)) => {
+                let mut o = outcome_shell(scenario);
+                o.verdict = verdict;
+                o.detail = detail;
+                o.statically_decided = true;
+                o
             }
-            Engine::SymbolicPaths => {
-                // The batch pool is shared, so path traces attach as
-                // siblings across delivery models of one grid point too.
-                let (report, reused) =
-                    check_program_paths_pooled(&mut pool, &program, &cfg.paths_config(scenario));
-                symbolic_outcome(scenario, report, reused)
-            }
-            Engine::Explicit => run_explicit(&program, scenario, cfg),
+            None => match scenario.engine {
+                Engine::Symbolic(_) => {
+                    let (report, reused) =
+                        check_program_pooled(&mut pool, &program, &cfg.check_config(scenario));
+                    symbolic_outcome(scenario, report, reused)
+                }
+                Engine::SymbolicPaths => {
+                    // The batch pool is shared, so path traces attach as
+                    // siblings across delivery models of one grid point too.
+                    let (report, reused) = check_program_paths_pooled(
+                        &mut pool,
+                        &program,
+                        &cfg.paths_config(scenario),
+                    );
+                    symbolic_outcome(scenario, report, reused)
+                }
+                Engine::Explicit => run_explicit(&program, scenario, cfg),
+            },
         };
+        if let Some(t) = &triage {
+            o.lint_findings = t.lint_findings;
+        }
         o.wall_ms = start.elapsed().as_millis() as u64;
         scenario_span
             .arg("sat_checks", o.sat_checks as u64)
@@ -456,10 +540,54 @@ mod tests {
         );
         let cfg = PortfolioConfig {
             max_states: 3,
+            // The race family is assert-free, so triage would settle it
+            // Safe before the engine ever sees its tiny budget — this
+            // test targets the engine's degradation behaviour.
+            static_triage: false,
             ..Default::default()
         };
         let report = run_portfolio(&scenarios, &cfg);
         assert_eq!(report.outcomes[0].verdict, VerdictKind::Unknown);
         assert!(report.outcomes[0].detail.contains("state budget"));
+    }
+
+    #[test]
+    fn triage_settles_assert_free_grid_points_engine_free() {
+        let scenarios = cross(&[FamilySpec::Fig1], &DeliveryModel::ALL, &Engine::ALL);
+        let report = run_portfolio(&scenarios, &PortfolioConfig::default());
+        assert_eq!(report.statically_decided, scenarios.len());
+        for o in &report.outcomes {
+            assert_eq!(o.verdict, VerdictKind::Safe, "{}", o.scenario);
+            assert!(o.statically_decided, "{}", o.scenario);
+            assert!(o.detail.contains("statically decided"), "{}", o.detail);
+            assert_eq!(o.sat_checks, 0, "triage must not touch the solver");
+            assert_eq!(o.states, 0, "triage must not explore states");
+        }
+        // The engine-only baseline answers the same verdicts.
+        let baseline = run_portfolio(
+            &scenarios,
+            &PortfolioConfig {
+                static_triage: false,
+                ..PortfolioConfig::default()
+            },
+        );
+        assert_eq!(baseline.statically_decided, 0);
+        for (t, b) in report.outcomes.iter().zip(&baseline.outcomes) {
+            assert_eq!(t.verdict, b.verdict, "{}", t.scenario);
+        }
+    }
+
+    #[test]
+    fn triage_stands_aside_on_value_dependent_asserts() {
+        let scenarios = cross(
+            &[FamilySpec::Branchy { rounds: 2 }],
+            &[DeliveryModel::Unordered],
+            &Engine::ALL,
+        );
+        let report = run_portfolio(&scenarios, &PortfolioConfig::default());
+        for o in &report.outcomes {
+            assert!(!o.statically_decided, "{}", o.scenario);
+            assert_eq!(o.verdict, VerdictKind::Safe, "{}", o.scenario);
+        }
     }
 }

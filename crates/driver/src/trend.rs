@@ -62,6 +62,10 @@ pub struct TrendRecord {
     /// (deterministic).
     #[serde(default)]
     pub canonical_skipped: u64,
+    /// Scenarios settled by the static triage pre-pass with zero engine
+    /// work (deterministic).
+    #[serde(default)]
+    pub statically_decided: usize,
 }
 
 impl TrendRecord {
@@ -85,6 +89,7 @@ impl TrendRecord {
             paths_pruned: report.total_paths_pruned,
             directed_transitions: report.total_directed_transitions,
             canonical_skipped: report.total_canonical_skipped,
+            statically_decided: report.statically_decided,
         }
     }
 }
@@ -167,14 +172,17 @@ pub fn render_markdown(records: &[TrendRecord], last: usize) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "| date | rev | scenarios | wall ms | sat checks | conflicts | propagations | encodings | paths (pruned) | directed (canon-skipped) |"
+        "| date | rev | scenarios | wall ms | sat checks | conflicts | propagations | encodings | paths (pruned) | directed (canon-skipped) | static |"
     );
-    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    let _ = writeln!(
+        out,
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|"
+    );
     let start = records.len().saturating_sub(last);
     for r in &records[start..] {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} ({}) | {} ({}) |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} ({}) | {} ({}) | {} |",
             r.date,
             r.git_rev,
             r.scenarios,
@@ -187,6 +195,7 @@ pub fn render_markdown(records: &[TrendRecord], last: usize) -> String {
             r.paths_pruned,
             r.directed_transitions,
             r.canonical_skipped,
+            r.statically_decided,
         );
     }
     out
@@ -213,6 +222,7 @@ mod tests {
             paths_pruned: 8,
             directed_transitions: 2_048,
             canonical_skipped: 512,
+            statically_decided: 6,
         }
     }
 

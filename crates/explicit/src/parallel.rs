@@ -91,11 +91,8 @@ impl<'a> ParallelExplorer<'a> {
                                 // only node content, so it is order- and
                                 // worker-independent.
                                 let last = if self.config.use_canonical {
-                                    let summary = mcapi::canon::summarize(
-                                        self.program,
-                                        &node.sys,
-                                        action,
-                                    );
+                                    let summary =
+                                        mcapi::canon::summarize(self.program, &node.sys, action);
                                     if let Some((b, sb)) = &node.last {
                                         if mcapi::canon::independent(
                                             self.config.model,

@@ -291,7 +291,12 @@ mod tests {
         assert!(red.found_violation());
     }
 
-    fn with_schedules(p: &Program, model: DeliveryModel, sleep: bool, canon: bool) -> ExploreResult {
+    fn with_schedules(
+        p: &Program,
+        model: DeliveryModel,
+        sleep: bool,
+        canon: bool,
+    ) -> ExploreResult {
         let cfg = SleepConfig {
             model,
             use_sleep_sets: sleep,

@@ -127,6 +127,12 @@ pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
 
 /// Render a caret diagnostic for `span` in `source`.
 pub fn render(source: &str, span: Span, message: &str) -> SourceDiagnostic {
+    render_level(source, span, "error", message)
+}
+
+/// [`render`] with an explicit severity label (`"error"`, `"warning"`),
+/// used by the lint pass whose findings are not all fatal.
+pub fn render_level(source: &str, span: Span, level: &str, message: &str) -> SourceDiagnostic {
     let (line, col) = line_col(source, span.start);
     let line_text = source.lines().nth(line - 1).unwrap_or("");
     // Caret width: span length clamped to the rest of the line, min 1.
@@ -135,7 +141,7 @@ pub fn render(source: &str, span: Span, message: &str) -> SourceDiagnostic {
     let gutter = line.to_string();
     let pad = " ".repeat(gutter.len());
     let rendered = format!(
-        "error: {message}\n\
+        "{level}: {message}\n\
          {pad} --> line {line}, col {col}\n\
          {pad} |\n\
          {gutter} | {line_text}\n\

@@ -107,9 +107,40 @@ pub fn directives(src: &str) -> Directives {
     d
 }
 
+/// Every `// expect-lint: <substring>` header line, in order. Each names
+/// a finding the file exists to demonstrate: `mcapi-smc lint` (and the
+/// corpus golden test) requires some finding's message to contain the
+/// substring, and flags findings no header covers.
+pub fn expect_lints(src: &str) -> Vec<String> {
+    leading_comment_block(src)
+        .iter()
+        .filter_map(|line| line.trim_start().strip_prefix("//"))
+        .filter_map(|rest| rest.split_once(':'))
+        .filter(|(key, _)| key.trim() == "expect-lint")
+        .map(|(_, value)| value.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reads_expect_lint_headers_in_order() {
+        let src = "// expect: safe\n\
+                   // expect-lint: can never be matched\n\
+                   // expect-lint: never waited on\n\
+                   //expect-lint:\n\
+                   program p {}";
+        assert_eq!(
+            expect_lints(src),
+            vec!["can never be matched", "never waited on"]
+        );
+        // `expect:` and `expect-lint:` are distinct keys.
+        assert_eq!(directives(src).expect, Some(Expect::Safe));
+        assert!(expect_lints("program p {}").is_empty());
+    }
 
     #[test]
     fn reads_expect_and_delivery() {

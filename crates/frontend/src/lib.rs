@@ -55,12 +55,16 @@ pub mod ast;
 pub mod diag;
 pub mod directives;
 pub mod lexer;
+pub mod lint;
 pub mod lower;
 pub mod parser;
 pub mod pretty;
 
 pub use diag::{FrontendError, LowerError, ParseError, Span};
-pub use directives::{directives, leading_comment_block, parse_delivery, Directives, Expect};
+pub use directives::{
+    directives, expect_lints, leading_comment_block, parse_delivery, Directives, Expect,
+};
+pub use lint::{check_expectations, lint_source, Expectations, LintFinding, LintReport};
 pub use lower::{lower, lower_with};
 pub use parser::parse;
 pub use pretty::pretty;

@@ -1,0 +1,478 @@
+//! Source-level lint: the static analysis (`crate::analysis`) mapped
+//! back onto MCAPI-lite spans, plus frontend-only unused-declaration
+//! warnings.
+//!
+//! The analysis works on compiled [`mcapi::program::Program`]s and
+//! reports sites as `(thread, pc, origin ordinal)`. Lowering is 1
+//! statement ↔ 1 [`mcapi::program::Op`], so a pre-order walk of each
+//! thread's statement tree assigns spans in exactly the ordinal space
+//! [`mcapi::program::Thread::origins`] indexes into — the finding's
+//! `op` field is an index into that span table, and the caret renderer
+//! ([`crate::diag::render_level`]) does the rest.
+//!
+//! Corpus files declare the findings they exist to demonstrate with
+//! `// expect-lint: <substring>` header directives
+//! ([`crate::directives::expect_lints`]); [`check_expectations`] splits
+//! a report into expected findings (fine), unexpected ones (fail), and
+//! expectations nothing matched (also fail — the corpus claim went
+//! stale).
+
+use crate::ast::{Cond, Expr, Stmt, StmtKind, ThreadDecl};
+use crate::diag::{render_level, Span};
+use crate::lower;
+use crate::parser;
+use analysis::{FindingKind, Severity};
+use mcapi::error::McapiError;
+use mcapi::program::UnrollConfig;
+use std::collections::HashSet;
+
+/// One lint finding, located in the source text.
+#[derive(Clone, Debug)]
+pub struct LintFinding {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Defect class.
+    pub kind: FindingKind,
+    /// Source location, when the finding maps to one (analysis findings
+    /// on programs the frontend lowered always do).
+    pub span: Option<Span>,
+    /// The analysis message (site-prefixed, self-contained).
+    pub message: String,
+    /// Full caret diagnostic, ready to print.
+    pub rendered: String,
+}
+
+/// Everything one lint run over a file produced, in source order.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// The findings, sorted by source position.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Error-class findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Warning-class findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+}
+
+/// Lint MCAPI-lite source: parse, lower under `unroll`, run the static
+/// analysis, add unused-declaration warnings, and map every finding back
+/// to a span. Fails only when the file does not compile (same error
+/// shapes as [`crate::parse_program_with`]).
+pub fn lint_source(source: &str, unroll: &UnrollConfig) -> Result<LintReport, McapiError> {
+    let file = parser::parse(source).map_err(|e| McapiError::Parse(e.diagnostic(source)))?;
+    let program = match lower::lower_with(&file, unroll) {
+        Ok(p) => p,
+        Err(crate::FrontendError::Parse(e)) => return Err(McapiError::Parse(e.diagnostic(source))),
+        Err(crate::FrontendError::Lower(e)) => return Err(McapiError::Parse(e.diagnostic(source))),
+        Err(crate::FrontendError::Invalid(e)) => return Err(e),
+    };
+
+    let spans: Vec<Vec<Span>> = file
+        .threads
+        .iter()
+        .map(|t| {
+            let mut table = Vec::new();
+            stmt_spans(&t.body, &mut table);
+            table
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for f in analysis::analyze(&program).findings {
+        let span =
+            f.op.and_then(|op| spans.get(f.thread)?.get(op as usize))
+                .copied();
+        findings.push(located(source, f.severity, f.kind, span, f.message));
+    }
+    for t in &file.threads {
+        unused_decl_findings(source, t, &mut findings);
+    }
+    // Source order; span-less findings (none today) sort last.
+    findings.sort_by_key(|f| f.span.map_or(usize::MAX, |s| s.start));
+    Ok(LintReport { findings })
+}
+
+/// How a [`LintReport`] fared against a file's `// expect-lint:` headers.
+#[derive(Clone, Debug, Default)]
+pub struct Expectations {
+    /// Expected substrings no finding matched (the header went stale).
+    pub missing: Vec<String>,
+    /// Error findings no expectation covers.
+    pub unexpected_errors: usize,
+    /// Warning findings no expectation covers.
+    pub unexpected_warnings: usize,
+    /// Findings covered by an expectation.
+    pub matched: usize,
+}
+
+impl Expectations {
+    /// Does this outcome pass? Errors must always be declared; warnings
+    /// only under `deny_warnings`; stale expectations always fail.
+    pub fn pass(&self, deny_warnings: bool) -> bool {
+        self.missing.is_empty()
+            && self.unexpected_errors == 0
+            && (!deny_warnings || self.unexpected_warnings == 0)
+    }
+}
+
+/// Match findings against expected-message substrings. One expectation
+/// may cover several findings (an unrolled loop can repeat a site); a
+/// finding covered by any expectation is expected.
+pub fn check_expectations(report: &LintReport, expected: &[String]) -> Expectations {
+    let mut out = Expectations::default();
+    for want in expected {
+        if !report.findings.iter().any(|f| f.message.contains(want)) {
+            out.missing.push(want.clone());
+        }
+    }
+    for f in &report.findings {
+        if expected.iter().any(|want| f.message.contains(want)) {
+            out.matched += 1;
+        } else {
+            match f.severity {
+                Severity::Error => out.unexpected_errors += 1,
+                Severity::Warning => out.unexpected_warnings += 1,
+            }
+        }
+    }
+    out
+}
+
+/// Pre-order statement spans: the same ordinal assignment as
+/// `mcapi::program::count_ops` / `flatten` (each statement takes the
+/// next ordinal, then its nested bodies, then-arm before else-arm).
+fn stmt_spans(body: &[Stmt], out: &mut Vec<Span>) {
+    for s in body {
+        out.push(s.span);
+        match &s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                stmt_spans(then_body, out);
+                stmt_spans(else_body, out);
+            }
+            StmtKind::Repeat { body, .. } => stmt_spans(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn located(
+    source: &str,
+    severity: Severity,
+    kind: FindingKind,
+    span: Option<Span>,
+    message: String,
+) -> LintFinding {
+    let rendered = match span {
+        Some(s) => render_level(source, s, &severity.to_string(), &message).rendered,
+        None => format!("{severity}: {message}"),
+    };
+    LintFinding {
+        severity,
+        kind,
+        span,
+        message,
+        rendered,
+    }
+}
+
+/// Name usage over one thread's statement tree, for the
+/// unused-declaration warnings only the frontend can produce (the
+/// compiled program has already erased names and allocated slots).
+/// Receive targets are tracked separately from assignments: a variable
+/// that only collects `recv` payloads is the idiomatic message sink (the
+/// receive synchronises even when the value is discarded) and is not
+/// flagged, whereas a variable that is only ever *assigned* and never
+/// read is dead computation.
+#[derive(Default)]
+struct Usage<'a> {
+    var_reads: HashSet<&'a str>,
+    var_assigns: HashSet<&'a str>,
+    var_recvs: HashSet<&'a str>,
+    req_bound: HashSet<&'a str>,
+    req_waited: HashSet<&'a str>,
+}
+
+impl<'a> Usage<'a> {
+    fn expr(&mut self, e: &'a Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                self.var_reads.insert(v.node.as_str());
+            }
+            Expr::Add(inner, _) => self.expr(inner),
+        }
+    }
+
+    fn cond(&mut self, c: &'a Cond) {
+        match c {
+            Cond::True | Cond::False => {}
+            Cond::Cmp(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                self.cond(a);
+                self.cond(b);
+            }
+            Cond::Not(inner) => self.cond(inner),
+        }
+    }
+
+    fn stmts(&mut self, body: &'a [Stmt]) {
+        for s in body {
+            match &s.kind {
+                StmtKind::Send { value, .. } => self.expr(value),
+                StmtKind::SendI { value, req, .. } => {
+                    self.expr(value);
+                    self.req_bound.insert(req.node.as_str());
+                }
+                StmtKind::Recv { var, .. } => {
+                    self.var_recvs.insert(var.node.as_str());
+                }
+                StmtKind::RecvI { var, req, .. } => {
+                    self.var_recvs.insert(var.node.as_str());
+                    self.req_bound.insert(req.node.as_str());
+                }
+                StmtKind::Wait { req } => {
+                    self.req_waited.insert(req.node.as_str());
+                }
+                StmtKind::Assign { var, value } => {
+                    self.var_assigns.insert(var.node.as_str());
+                    self.expr(value);
+                }
+                StmtKind::Assert { cond, .. } => self.cond(cond),
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.cond(cond);
+                    self.stmts(then_body);
+                    self.stmts(else_body);
+                }
+                StmtKind::Repeat { body, .. } => self.stmts(body),
+            }
+        }
+    }
+}
+
+fn unused_decl_findings(source: &str, t: &ThreadDecl, findings: &mut Vec<LintFinding>) {
+    let mut usage = Usage::default();
+    usage.stmts(&t.body);
+    let thread = &t.name.node;
+    for v in &t.vars {
+        let name = v.node.as_str();
+        if usage.var_reads.contains(name) || usage.var_recvs.contains(name) {
+            continue; // read somewhere, or an (idiomatic) message sink
+        }
+        let what = if usage.var_assigns.contains(name) {
+            "is assigned but its value is never read"
+        } else {
+            "is never used"
+        };
+        findings.push(located(
+            source,
+            Severity::Warning,
+            FindingKind::UnusedVariable,
+            Some(v.span),
+            format!("thread `{thread}`: variable `{name}` {what}"),
+        ));
+    }
+    for r in &t.reqs {
+        let name = r.node.as_str();
+        let what = match (
+            usage.req_bound.contains(name),
+            usage.req_waited.contains(name),
+        ) {
+            (_, true) => continue,
+            (false, false) => "is never used",
+            (true, false) => "is bound by send_i/recv_i but never waited on",
+        };
+        findings.push(located(
+            source,
+            Severity::Warning,
+            FindingKind::UnusedRequest,
+            Some(r.span),
+            format!("thread `{thread}`: request `{name}` {what}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> LintReport {
+        lint_source(src, &UnrollConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn orphan_receive_carets_the_receive_statement() {
+        let src = "program p {\n  thread t0 {\n    var x;\n    x = recv(0);\n  }\n}\n";
+        let report = lint(src);
+        let orphan = report
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::OrphanReceive)
+            .unwrap();
+        assert_eq!(orphan.severity, Severity::Error);
+        let span = orphan.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "x = recv(0);");
+        assert!(
+            orphan.rendered.starts_with("error: "),
+            "{}",
+            orphan.rendered
+        );
+        assert!(
+            orphan.rendered.contains("x = recv(0);"),
+            "{}",
+            orphan.rendered
+        );
+        assert!(orphan.rendered.contains('^'), "{}", orphan.rendered);
+    }
+
+    #[test]
+    fn findings_inside_branches_and_loops_map_to_their_statements() {
+        // The dead-arm branch sits after a repeat, so its ordinal is only
+        // right if the span table mirrors flatten's pre-order exactly.
+        let src = "program p { thread t0 { var x;\n\
+                     x = 0;\n\
+                     repeat 3 { x = x + 1; }\n\
+                     if (x >= 1) { x = 9; } else { x = 8; }\n\
+                     assert(x == 9, \"nine\");\n\
+                   } }";
+        let report = lint(src);
+        let arm = report
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::InfeasibleArm)
+            .unwrap();
+        let span = arm.span.unwrap();
+        assert!(src[span.start..span.end].starts_with("if (x >= 1)"));
+        let taut = report
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::AssertTautology)
+            .unwrap();
+        let span = taut.span.unwrap();
+        assert!(src[span.start..span.end].starts_with("assert(x == 9"));
+    }
+
+    #[test]
+    fn unused_declarations_warn_at_the_declaration() {
+        let src = "program p { thread a { var x, y; req r, s;\n\
+                     x = 1;\n\
+                     send_i(b:0, x, r);\n\
+                   } thread b { var z; z = recv(0); send(a:9, z); } }";
+        // `b` sends to a:9 (undeclared port) — keep it valid: use port 0.
+        let src = &src.replace("a:9", "a:0");
+        // a: x is written and read (send payload); y never used; r bound
+        // but never waited; s never used. b: z read by the send.
+        let report = lint_source(src, &UnrollConfig::default()).unwrap();
+        let msgs: Vec<&str> = report
+            .findings
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FindingKind::UnusedVariable | FindingKind::UnusedRequest
+                )
+            })
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("variable `y` is never used"), "{msgs:?}");
+        assert!(
+            msgs[1].contains("request `r` is bound by send_i/recv_i but never waited on"),
+            "{msgs:?}"
+        );
+        assert!(msgs[2].contains("request `s` is never used"), "{msgs:?}");
+        // Each caret points at the declared name.
+        for f in &report.findings {
+            if f.kind == FindingKind::UnusedVariable {
+                let span = f.span.unwrap();
+                assert_eq!(&src[span.start..span.end], "y");
+            }
+        }
+    }
+
+    #[test]
+    fn message_sinks_are_fine_but_dead_assignments_warn() {
+        // `x` only collects a receive: consuming the message is the point,
+        // no warning. `y` is computed and discarded: dead code.
+        let src =
+            "program p { thread a { var x, y; x = recv(0); y = 7; } thread b { send(a:0, 1); } }";
+        let report = lint(src);
+        let unused: Vec<&LintFinding> = report
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::UnusedVariable)
+            .collect();
+        assert_eq!(unused.len(), 1, "{:?}", report.findings);
+        assert!(
+            unused[0]
+                .message
+                .contains("variable `y` is assigned but its value is never read"),
+            "{}",
+            unused[0].message
+        );
+        assert_eq!(unused[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn a_clean_program_has_no_findings() {
+        let src = "program p {\n\
+                     thread a { var x; send(b:0, 1); x = recv(0); assert(x == 2, \"two\"); }\n\
+                     thread b { var y; y = recv(0); send(a:0, y + 1); }\n\
+                   }";
+        let report = lint(src);
+        // The assert is value-dependent, the exchange matched: nothing to
+        // say. (`assert(x == 2)` is not a static tautology: x flows from
+        // a receive.)
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.errors() + report.warnings(), 0);
+    }
+
+    #[test]
+    fn expectations_split_matched_missing_and_unexpected() {
+        let src = "program p { thread t0 { var x, y; x = recv(0); y = 1; } }";
+        let report = lint(src);
+        // Findings: orphan receive (error) + dead assignment to y (warning).
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 1);
+
+        let exp = check_expectations(&report, &[]);
+        assert_eq!(exp.unexpected_errors, 1);
+        assert_eq!(exp.unexpected_warnings, 1);
+        assert!(!exp.pass(false));
+
+        let both = vec!["can never be matched".to_string(), "never read".to_string()];
+        let exp = check_expectations(&report, &both);
+        assert_eq!(exp.matched, 2);
+        assert!(exp.missing.is_empty());
+        assert!(exp.pass(true));
+
+        let stale = vec!["a finding that does not exist".to_string()];
+        let exp = check_expectations(&report, &stale);
+        assert_eq!(exp.missing.len(), 1);
+        assert!(!exp.pass(false));
+    }
+}

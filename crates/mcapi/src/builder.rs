@@ -252,6 +252,7 @@ impl ProgramBuilder {
                     num_reqs: t.num_reqs,
                     ports: t.ports,
                     code: vec![],
+                    origins: vec![],
                 })
                 .collect(),
         }

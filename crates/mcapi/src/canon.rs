@@ -67,7 +67,9 @@ pub fn summarize(program: &Program, state: &SysState, action: Action) -> ActionS
         Action::CompleteWait { .. } => match instr {
             // The pending receive's port.
             Some(Instr::Wait { req }) => match state.threads[thread].reqs[req.0 as usize] {
-                ReqState::RecvPending { port, .. } => (Some(EndpointAddr::new(thread, port)), false),
+                ReqState::RecvPending { port, .. } => {
+                    (Some(EndpointAddr::new(thread, port)), false)
+                }
                 _ => (None, false),
             },
             _ => (None, false),

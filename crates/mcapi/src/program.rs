@@ -143,6 +143,15 @@ pub struct Thread {
     /// Compiled form (filled by `Program::compile`).
     #[serde(default)]
     pub code: Vec<Instr>,
+    /// Per-instruction origin: `origins[pc]` is the pre-order ordinal of
+    /// the structured [`Op`] that `code[pc]` was flattened from (an `If`'s
+    /// branch and join jump both map to the `If`; every unrolled `repeat`
+    /// iteration maps back to the one body). Parallel to `code`, filled by
+    /// `Program::compile`; frontends use it to map compiled sites back to
+    /// source spans. Empty for hand-written JSON programs that carry flat
+    /// code but never went through `compile`.
+    #[serde(default)]
+    pub origins: Vec<u32>,
 }
 
 /// A complete MCAPI program.
@@ -167,24 +176,30 @@ impl Program {
     pub fn compile_with(mut self, unroll: &UnrollConfig) -> Result<Program, McapiError> {
         for (tid, t) in self.threads.iter_mut().enumerate() {
             let mut code = Vec::new();
-            flatten(&t.ops, &mut code, unroll).map_err(|message| McapiError::Validation {
-                thread: tid,
-                pc: code.len(),
-                message,
+            let mut origins = Vec::new();
+            flatten(&t.ops, &mut code, &mut origins, 0, unroll).map_err(|(op, message)| {
+                McapiError::Validation {
+                    thread: tid,
+                    pc: code.len(),
+                    message: format!("thread `{}` op {op}: {message}", t.name),
+                }
             })?;
             if code.len() > unroll.max_code {
                 return Err(McapiError::Validation {
                     thread: tid,
                     pc: 0,
                     message: format!(
-                        "thread unrolls to {} instructions, exceeding the {} cap \
-                         (raise it with --unroll)",
+                        "thread `{}` op 0: thread unrolls to {} instructions, exceeding \
+                         the {} cap (raise it with --unroll)",
+                        t.name,
                         code.len(),
                         unroll.max_code
                     ),
                 });
             }
+            debug_assert_eq!(code.len(), origins.len());
             t.code = code;
+            t.origins = origins;
         }
         self.validate()?;
         Ok(self)
@@ -197,11 +212,18 @@ impl Program {
     pub fn validate(&self) -> Result<(), McapiError> {
         for (tid, t) in self.threads.iter().enumerate() {
             for (pc, ins) in t.code.iter().enumerate() {
+                // Every validation message names the offending thread and
+                // structured-op index itself, so the diagnostic survives
+                // intact even when only the message string is surfaced.
                 let err = |msg: String| {
+                    let site = match t.origins.get(pc) {
+                        Some(op) => format!("thread `{}` op {op}", t.name),
+                        None => format!("thread `{}` pc {pc}", t.name),
+                    };
                     Err(McapiError::Validation {
                         thread: tid,
                         pc,
-                        message: msg,
+                        message: format!("{site}: {msg}"),
                     })
                 };
                 // The value-domain bound: constants anywhere near i64's
@@ -355,52 +377,118 @@ fn render_instr(ins: &Instr) -> String {
     }
 }
 
+/// Number of structured ops in a pre-order walk of `ops` (each `If` and
+/// `Repeat` counts itself plus its bodies once). This is the ordinal
+/// space [`Thread::origins`] indexes into.
+pub fn count_ops(ops: &[Op]) -> u32 {
+    ops.iter()
+        .map(|op| match op {
+            Op::If {
+                then_ops, else_ops, ..
+            } => 1 + count_ops(then_ops) + count_ops(else_ops),
+            Op::Repeat { body, .. } => 1 + count_ops(body),
+            _ => 1,
+        })
+        .sum()
+}
+
 /// Flatten structured ops into instructions with branch targets patched
-/// and `repeat` loops unrolled `count` times. Errors (returned as the
-/// message of a [`McapiError::Validation`]) abort the expansion as soon
-/// as a loop's count or the accumulating code size exceeds the bounds, so
-/// a hostile count can never allocate an unbounded instruction vector.
-fn flatten(ops: &[Op], code: &mut Vec<Instr>, unroll: &UnrollConfig) -> Result<(), String> {
+/// and `repeat` loops unrolled `count` times, recording each emitted
+/// instruction's pre-order op ordinal (starting at `base`) in `origins`.
+/// Errors — `(op ordinal, message)` pairs surfaced as
+/// [`McapiError::Validation`] — abort the expansion as soon as a loop's
+/// count or the accumulating code size exceeds the bounds, so a hostile
+/// count can never allocate an unbounded instruction vector.
+fn flatten(
+    ops: &[Op],
+    code: &mut Vec<Instr>,
+    origins: &mut Vec<u32>,
+    base: u32,
+    unroll: &UnrollConfig,
+) -> Result<(), (u32, String)> {
+    fn emit(code: &mut Vec<Instr>, origins: &mut Vec<u32>, here: u32, instr: Instr) {
+        code.push(instr);
+        origins.push(here);
+    }
+    let mut ord = base;
     for op in ops {
+        let here = ord;
+        ord += 1;
         match op {
-            Op::Send { to, value } => code.push(Instr::Send {
-                to: *to,
-                value: value.clone(),
-            }),
-            Op::SendI { to, value, req } => code.push(Instr::SendI {
-                to: *to,
-                value: value.clone(),
-                req: *req,
-            }),
-            Op::Recv { port, var } => code.push(Instr::Recv {
-                port: *port,
-                var: *var,
-            }),
-            Op::RecvI { port, var, req } => code.push(Instr::RecvI {
-                port: *port,
-                var: *var,
-                req: *req,
-            }),
-            Op::Wait { req } => code.push(Instr::Wait { req: *req }),
-            Op::Assign { var, expr } => code.push(Instr::Assign {
-                var: *var,
-                expr: expr.clone(),
-            }),
-            Op::Assert { cond, message } => code.push(Instr::Assert {
-                cond: cond.clone(),
-                message: message.clone(),
-            }),
+            Op::Send { to, value } => emit(
+                code,
+                origins,
+                here,
+                Instr::Send {
+                    to: *to,
+                    value: value.clone(),
+                },
+            ),
+            Op::SendI { to, value, req } => emit(
+                code,
+                origins,
+                here,
+                Instr::SendI {
+                    to: *to,
+                    value: value.clone(),
+                    req: *req,
+                },
+            ),
+            Op::Recv { port, var } => emit(
+                code,
+                origins,
+                here,
+                Instr::Recv {
+                    port: *port,
+                    var: *var,
+                },
+            ),
+            Op::RecvI { port, var, req } => emit(
+                code,
+                origins,
+                here,
+                Instr::RecvI {
+                    port: *port,
+                    var: *var,
+                    req: *req,
+                },
+            ),
+            Op::Wait { req } => emit(code, origins, here, Instr::Wait { req: *req }),
+            Op::Assign { var, expr } => emit(
+                code,
+                origins,
+                here,
+                Instr::Assign {
+                    var: *var,
+                    expr: expr.clone(),
+                },
+            ),
+            Op::Assert { cond, message } => emit(
+                code,
+                origins,
+                here,
+                Instr::Assert {
+                    cond: cond.clone(),
+                    message: message.clone(),
+                },
+            ),
             Op::If {
                 cond,
                 then_ops,
                 else_ops,
             } => {
                 let branch_at = code.len();
-                code.push(Instr::Branch {
-                    cond: cond.clone(),
-                    else_target: 0,
-                });
-                flatten(then_ops, code, unroll)?;
+                emit(
+                    code,
+                    origins,
+                    here,
+                    Instr::Branch {
+                        cond: cond.clone(),
+                        else_target: 0,
+                    },
+                );
+                flatten(then_ops, code, origins, ord, unroll)?;
+                ord += count_ops(then_ops);
                 if else_ops.is_empty() {
                     let end = code.len();
                     if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
@@ -409,11 +497,13 @@ fn flatten(ops: &[Op], code: &mut Vec<Instr>, unroll: &UnrollConfig) -> Result<(
                 } else {
                     let jump_at = code.len();
                     code.push(Instr::Jump { target: 0 });
+                    origins.push(here);
                     let else_start = code.len();
                     if let Instr::Branch { else_target, .. } = &mut code[branch_at] {
                         *else_target = else_start;
                     }
-                    flatten(else_ops, code, unroll)?;
+                    flatten(else_ops, code, origins, ord, unroll)?;
+                    ord += count_ops(else_ops);
                     let end = code.len();
                     if let Instr::Jump { target } = &mut code[jump_at] {
                         *target = end;
@@ -422,22 +512,31 @@ fn flatten(ops: &[Op], code: &mut Vec<Instr>, unroll: &UnrollConfig) -> Result<(
             }
             Op::Repeat { count, body } => {
                 if *count > unroll.max_count {
-                    return Err(format!(
-                        "repeat count {count} exceeds the unroll bound {} \
-                         (raise it with --unroll or a `// unroll:` header)",
-                        unroll.max_count
+                    return Err((
+                        here,
+                        format!(
+                            "repeat count {count} exceeds the unroll bound {} \
+                             (raise it with --unroll or a `// unroll:` header)",
+                            unroll.max_count
+                        ),
                     ));
                 }
                 for _ in 0..*count {
-                    flatten(body, code, unroll)?;
+                    // Every iteration re-uses the body's ordinals, so each
+                    // unrolled copy maps back to the one source loop body.
+                    flatten(body, code, origins, ord, unroll)?;
                     if code.len() > unroll.max_code {
-                        return Err(format!(
-                            "unrolled code exceeds {} instructions \
-                             (raise the cap with --unroll)",
-                            unroll.max_code
+                        return Err((
+                            here,
+                            format!(
+                                "unrolled code exceeds {} instructions \
+                                 (raise the cap with --unroll)",
+                                unroll.max_code
+                            ),
                         ));
                     }
                 }
+                ord += count_ops(body);
             }
         }
     }
@@ -457,6 +556,7 @@ mod tests {
             num_reqs,
             ports,
             code: vec![],
+            origins: vec![],
         }
     }
 
@@ -878,6 +978,99 @@ mod tests {
         assert!(r.contains("send 1 -> 0:0"), "{r}");
         assert!(r.contains("recv port 0"), "{r}");
         assert!(r.contains("assert"), "{r}");
+    }
+
+    #[test]
+    fn origins_are_parallel_to_code_and_reuse_loop_body_ordinals() {
+        // if (then: assign) else (assign, assign) followed by a repeat
+        // whose body is one send: the branch and its join jump share the
+        // If's ordinal, and every unrolled iteration maps back to the one
+        // body op.
+        let ops = vec![
+            Op::If {
+                cond: Cond::cmp(CmpOp::Eq, Expr::Var(VarId(0)), Expr::Const(1)),
+                then_ops: vec![Op::Assign {
+                    var: VarId(0),
+                    expr: Expr::Const(2),
+                }],
+                else_ops: vec![
+                    Op::Assign {
+                        var: VarId(0),
+                        expr: Expr::Const(3),
+                    },
+                    Op::Assign {
+                        var: VarId(0),
+                        expr: Expr::Const(4),
+                    },
+                ],
+            },
+            Op::Repeat {
+                count: 3,
+                body: vec![Op::Send {
+                    to: EndpointAddr::new(0, 0),
+                    value: Expr::Var(VarId(0)),
+                }],
+            },
+        ];
+        // Pre-order ordinals: If=0, then-assign=1, else-assigns=2,3,
+        // Repeat=4, body send=5.
+        assert_eq!(count_ops(&ops), 6);
+        let p = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 1, 0, vec![0])],
+        }
+        .compile()
+        .unwrap();
+        let t = &p.threads[0];
+        assert_eq!(t.origins.len(), t.code.len());
+        // branch, then-assign, jump, else-assign, else-assign, 3x send.
+        assert_eq!(t.origins, vec![0, 1, 0, 2, 3, 5, 5, 5]);
+    }
+
+    #[test]
+    fn validation_messages_name_the_thread_and_op() {
+        let ops = vec![Op::Send {
+            to: EndpointAddr::new(9, 0),
+            value: Expr::Const(1),
+        }];
+        let err = Program {
+            name: "p".into(),
+            threads: vec![thread_with(ops, 0, 0, vec![])],
+        }
+        .compile()
+        .unwrap_err();
+        let McapiError::Validation { message, .. } = &err else {
+            panic!("{err:?}");
+        };
+        assert!(message.contains("thread `t` op 0"), "{message}");
+        // The unroll-bound rejection names its site the same way.
+        let err = Program {
+            name: "p".into(),
+            threads: vec![thread_with(
+                vec![
+                    Op::Assign {
+                        var: VarId(0),
+                        expr: Expr::Const(0),
+                    },
+                    Op::Repeat {
+                        count: 100,
+                        body: vec![Op::Assign {
+                            var: VarId(0),
+                            expr: Expr::Const(1),
+                        }],
+                    },
+                ],
+                1,
+                0,
+                vec![],
+            )],
+        }
+        .compile()
+        .unwrap_err();
+        let McapiError::Validation { message, .. } = &err else {
+            panic!("{err:?}");
+        };
+        assert!(message.contains("thread `t` op 1"), "{message}");
     }
 
     #[test]

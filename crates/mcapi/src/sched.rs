@@ -377,11 +377,7 @@ impl DirectedSearch<'_> {
         if self.exhausted {
             return None;
         }
-        let depth = if self.cfg.canonical {
-            actions.len()
-        } else {
-            0
-        };
+        let depth = if self.cfg.canonical { actions.len() } else { 0 };
         if !self.visited.insert((state.clone(), bidx.clone(), depth)) {
             return None;
         }
@@ -799,7 +795,10 @@ mod tests {
             (a, b),
             (DirectedOutcome::Realized(_), DirectedOutcome::Realized(_))
                 | (DirectedOutcome::Violating(_), DirectedOutcome::Violating(_))
-                | (DirectedOutcome::Deadlocked(_), DirectedOutcome::Deadlocked(_))
+                | (
+                    DirectedOutcome::Deadlocked(_),
+                    DirectedOutcome::Deadlocked(_)
+                )
                 | (
                     DirectedOutcome::Infeasible { .. },
                     DirectedOutcome::Infeasible { .. }
@@ -844,7 +843,7 @@ mod tests {
         // contrast, can stop at the first found schedule.
         let mut b = ProgramBuilder::new("wide-deadlock");
         let c = b.thread("consumer");
-        let senders: Vec<_> = (0..4).map(|i| b.thread(&format!("s{i}"))).collect();
+        let senders: Vec<_> = (0..4).map(|i| b.thread(format!("s{i}"))).collect();
         for _ in 0..5 {
             b.recv(c, 0);
         }

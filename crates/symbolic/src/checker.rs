@@ -241,6 +241,7 @@ impl CheckReport {
 /// names. Shared by [`CheckReport::record_metrics`] and the portfolio
 /// driver (which keeps only the flattened counters per scenario) so the
 /// names cannot drift between the two reporters.
+#[allow(clippy::too_many_arguments)]
 pub fn record_check_counters(
     reg: &mut metrics::Registry,
     labels: &[(&str, &str)],

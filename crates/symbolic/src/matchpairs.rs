@@ -120,6 +120,7 @@ pub fn trace_skeleton(program: &Program, trace: &Trace) -> Program {
             num_reqs,
             ports: pthread.ports.clone(),
             code: vec![],
+            origins: vec![],
         });
     }
     Program {

@@ -78,6 +78,13 @@ pub struct PathsConfig {
     /// default). Disable to re-encode every path from scratch — the
     /// baseline the CI perf gate compares against.
     pub session_reuse: bool,
+    /// Feed static-analysis facts ([`analysis::facts`]) into the pruner
+    /// (the default): forced-branch outcomes decide contradicting plans
+    /// without a solver query, and constant send payloads tighten the
+    /// receive-value domains so more value-infeasible plans prune.
+    /// Disable (`--no-static-triage`) to run the pruner purely
+    /// solver-driven — the differential baseline.
+    pub static_facts: bool,
 }
 
 impl Default for PathsConfig {
@@ -89,6 +96,7 @@ impl Default for PathsConfig {
             search_max_transitions: u64::MAX,
             canonical: true,
             session_reuse: true,
+            static_facts: true,
         }
     }
 }
@@ -106,8 +114,16 @@ pub struct PathPruner {
     solver: SmtSolver,
     /// Over-approximate payload terms per destination endpoint.
     sends_to: BTreeMap<EndpointAddr, Vec<TermId>>,
+    /// Static-analysis facts (empty when the caller opts out). Forced
+    /// branch outcomes are exact under constant propagation, so a plan
+    /// pinning a branch against its forced outcome is infeasible with no
+    /// solver query; constant payloads replace a send's fresh variable
+    /// with the one value it can ever carry.
+    facts: analysis::StaticFacts,
     /// Feasibility queries answered.
     pub queries: usize,
+    /// Queries decided by a forced-branch fact alone (no solver call).
+    pub fact_prunes: usize,
 }
 
 impl PathPruner {
@@ -115,23 +131,44 @@ impl PathPruner {
     /// unconstrained variables (a sound over-approximation of the values
     /// that can ever reach each endpoint).
     pub fn new(program: &Program) -> PathPruner {
+        Self::with_facts(program, analysis::StaticFacts::empty(program))
+    }
+
+    /// [`PathPruner::new`] tightened by static-analysis facts: a send
+    /// whose payload is a compile-time constant on every reaching path
+    /// contributes `int_const(c)` to its endpoint's domain instead of a
+    /// fresh unconstrained variable. The domain still over-approximates
+    /// every reachable value (the fact is exact for that send), so UNSAT
+    /// remains definitive.
+    pub fn with_facts(program: &Program, facts: analysis::StaticFacts) -> PathPruner {
         let mut solver = SmtSolver::new();
         let mut sends_to: BTreeMap<EndpointAddr, Vec<TermId>> = BTreeMap::new();
         let mut fresh = 0usize;
-        for thread in &program.threads {
-            for instr in &thread.code {
+        for (t, thread) in program.threads.iter().enumerate() {
+            for (pc, instr) in thread.code.iter().enumerate() {
                 let (to, value) = match instr {
                     Instr::Send { to, value } | Instr::SendI { to, value, .. } => (to, value),
                     _ => continue,
                 };
-                let term = Self::overapprox_expr(&mut solver, value, &mut fresh);
+                let known = facts
+                    .const_payloads
+                    .get(t)
+                    .and_then(|per_pc| per_pc.get(pc))
+                    .copied()
+                    .flatten();
+                let term = match known {
+                    Some(c) => solver.int_const(c),
+                    None => Self::overapprox_expr(&mut solver, value, &mut fresh),
+                };
                 sends_to.entry(*to).or_default().push(term);
             }
         }
         PathPruner {
             solver,
             sends_to,
+            facts,
             queries: 0,
+            fact_prunes: 0,
         }
     }
 
@@ -159,6 +196,7 @@ impl PathPruner {
         self.queries += 1;
         self.solver.push_scope();
         let zero = self.solver.int_const(0);
+        let mut forced_contradiction = false;
         'threads: for (t, thread) in program.threads.iter().enumerate() {
             let mut env: Vec<TermId> = vec![zero; thread.num_vars];
             let mut pc = 0usize;
@@ -182,6 +220,21 @@ impl PathPruner {
                             break; // plan shorter than the walk: stop pinning
                         };
                         branch_idx += 1;
+                        // A branch forced by constant propagation takes the
+                        // same outcome on *every* execution reaching it —
+                        // in particular along this plan's prefix — so a
+                        // plan pinning it the other way needs no solver.
+                        let forced = self
+                            .facts
+                            .forced
+                            .get(t)
+                            .and_then(|per_pc| per_pc.get(pc))
+                            .copied()
+                            .flatten();
+                        if forced.is_some_and(|f| f != taken) {
+                            forced_contradiction = true;
+                            break 'threads;
+                        }
                         let c = cond_term(&mut self.solver, &env, cond);
                         let pinned = if taken { c } else { self.solver.not(c) };
                         self.solver.assert_term(pinned);
@@ -205,7 +258,12 @@ impl PathPruner {
                 }
             }
         }
-        let infeasible = self.solver.check() == SatResult::Unsat;
+        let infeasible = if forced_contradiction {
+            self.fact_prunes += 1;
+            true
+        } else {
+            self.solver.check() == SatResult::Unsat
+        };
         self.solver.pop_scope();
         infeasible
     }
@@ -237,8 +295,11 @@ impl PathPruner {
 
 /// What one explored path contributed.
 enum PathStep {
-    /// Proven unreachable before (or by) the directed search.
+    /// Killed by the static/solver pruner before any scheduling.
     Pruned,
+    /// The directed search ran to completion and proved no execution
+    /// realises the plan (exploration work the pruner failed to save).
+    Infeasible,
     /// A concrete violating execution — terminal for the whole check.
     ConcreteViolation(Trace),
     /// A realised trace for the symbolic checker (deduplicated).
@@ -298,7 +359,14 @@ impl<'a> PathEnumerator<'a> {
             .try_fold(1usize, |a, b| a.checked_mul(b))
             .unwrap_or(usize::MAX);
         let deadline = cfg.check.resolve_deadline();
-        let pruner = PathPruner::new(program);
+        let pruner = if cfg.static_facts {
+            let mut span = trace::span("analysis.facts");
+            let facts = analysis::facts(program);
+            span.arg("forced", facts.forced_count() as u64);
+            PathPruner::with_facts(program, facts)
+        } else {
+            PathPruner::new(program)
+        };
         Ok(PathEnumerator {
             program,
             cfg: *cfg,
@@ -398,8 +466,12 @@ impl<'a> PathEnumerator<'a> {
         self.canonical_skipped += search_stats.canonical_skipped;
         let step = match directed {
             DirectedOutcome::Infeasible { .. } => {
-                self.pruned += 1;
-                PathStep::Pruned
+                // The plan slipped past the pruner and the exhaustive
+                // search proved it empty: that is exploration work, so
+                // `paths_pruned` stays an honest measure of what the
+                // pruner (and its static facts) actually saved.
+                self.explored += 1;
+                PathStep::Infeasible
             }
             DirectedOutcome::Violating(out) => {
                 self.explored += 1;
@@ -431,7 +503,7 @@ impl TraceSource for PathEnumerator<'_> {
         loop {
             let (_plan, step) = self.step()?;
             match step {
-                PathStep::Pruned | PathStep::Duplicate => continue,
+                PathStep::Pruned | PathStep::Infeasible | PathStep::Duplicate => continue,
                 PathStep::Trace(trace) | PathStep::ConcreteViolation(trace) => {
                     // Render the branch vector the trace actually
                     // executed, not the prescription: a deadlocking
@@ -810,6 +882,94 @@ mod tests {
             report.verdict
         );
         assert!(report.paths_pruned >= 1, "the pruner must kill the arm");
+    }
+
+    #[test]
+    fn forced_branch_facts_decide_contradicting_plans_without_the_solver() {
+        // A branch over a compile-time constant: the plan pinning its
+        // else arm contradicts the forced outcome and needs no solver.
+        let mut b = ProgramBuilder::new("forced");
+        let t = b.thread("t");
+        let x = b.fresh_var(t);
+        b.assign(t, x, Expr::Const(5));
+        b.push_op(
+            t,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(x), Expr::Const(5)),
+                then_ops: vec![],
+                else_ops: vec![],
+            },
+        );
+        let p = b.build().unwrap();
+        let mut pruner = PathPruner::with_facts(&p, analysis::facts(&p));
+        let contradicting = BranchPlan {
+            outcomes: vec![vec![false]],
+        };
+        assert!(pruner.is_infeasible(&p, &contradicting));
+        assert_eq!(pruner.fact_prunes, 1);
+        let agreeing = BranchPlan {
+            outcomes: vec![vec![true]],
+        };
+        assert!(!pruner.is_infeasible(&p, &agreeing));
+        assert_eq!(pruner.fact_prunes, 1, "the feasible plan asks the solver");
+    }
+
+    #[test]
+    fn constant_payload_facts_prune_arms_the_bare_pruner_cannot() {
+        // The producer computes x = 5 and sends the *variable*: without
+        // facts the payload over-approximates to an unconstrained value
+        // and the (v >= 10) arm survives to the directed search; with
+        // const-payload facts the arm is value-infeasible and prunes.
+        let mut b = ProgramBuilder::new("cross-block");
+        let c = b.thread("consumer");
+        let prod = b.thread("producer");
+        let v = b.recv(c, 0);
+        b.push_op(
+            c,
+            Op::If {
+                cond: Cond::cmp(CmpOp::Ge, Expr::Var(v), Expr::Const(10)),
+                then_ops: vec![],
+                else_ops: vec![],
+            },
+        );
+        let x = b.fresh_var(prod);
+        b.assign(prod, x, Expr::Const(5));
+        b.send_var(prod, c, 0, x);
+        let p = b.build().unwrap();
+        let then_arm = BranchPlan {
+            outcomes: vec![vec![true], vec![]],
+        };
+        let mut bare = PathPruner::new(&p);
+        assert!(!bare.is_infeasible(&p, &then_arm));
+        let mut with_facts = PathPruner::with_facts(&p, analysis::facts(&p));
+        assert!(with_facts.is_infeasible(&p, &then_arm));
+        assert_eq!(
+            with_facts.fact_prunes, 0,
+            "decided by the solver through the tighter payload domain"
+        );
+
+        // End to end: identical verdict, strictly more paths pruned.
+        let off = check_program_paths(
+            &p,
+            &PathsConfig {
+                static_facts: false,
+                ..PathsConfig::default()
+            },
+        );
+        let on = check_program_paths(&p, &PathsConfig::default());
+        assert_eq!(
+            std::mem::discriminant(&off.verdict),
+            std::mem::discriminant(&on.verdict),
+            "off {:?} vs on {:?}",
+            off.verdict,
+            on.verdict
+        );
+        assert!(
+            on.paths_pruned > off.paths_pruned,
+            "facts on pruned {} vs off {}",
+            on.paths_pruned,
+            off.paths_pruned
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```text
 //! mcapi-smc check <program> [--delivery unordered|fifo|zero] [--engine E] [--budget-ms MS] [--max-paths N] [--unroll N] [--no-canonical]
 //! mcapi-smc fmt <program|-> [--write]   # canonical MCAPI-lite (idempotent)
+//! mcapi-smc lint <program|dir> [--deny warnings] [--unroll N]  # static analysis, caret diagnostics
 //! mcapi-smc export <family|point> [--scale K] [--out DIR]  # grid → .mcapi
 //! mcapi-smc behaviours <program> [--delivery ...] [--limit N]
 //! mcapi-smc explore <program> [--delivery ...]    # explicit ground truth
@@ -48,7 +49,10 @@
 //! `--no-canonical` (sweep every interleaving instead of one canonical
 //! representative per Mazurkiewicz trace class — the directed searches
 //! behind `symbolic-paths` and the explicit engine's state graph both
-//! honour it; see `mcapi::canon`).
+//! honour it; see `mcapi::canon`), `--no-static-triage` (skip the static
+//! analysis pre-pass: scenarios it can decide soundly are normally
+//! settled with zero engine work, and its branch/payload facts feed the
+//! `symbolic-paths` pruner).
 //!
 //! `check` accepts the same `--metrics-out`/`--events-out`/`--trace-out`
 //! flags: the single scenario is reported through the identical
@@ -375,6 +379,7 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
 
     let session_reuse = !args.iter().any(|a| a == "--no-session-reuse");
     let canonical = !args.iter().any(|a| a == "--no-canonical");
+    let static_triage = !args.iter().any(|a| a == "--no-static-triage");
     let max_paths = match parse_flag_strict(args, "--max-paths") {
         Ok(m) => m.map(|n| n as usize),
         Err(e) => {
@@ -410,6 +415,7 @@ fn portfolio(args: &[String], mode: Mode) -> ExitCode {
         budget_ms,
         session_reuse,
         canonical,
+        static_triage,
         ..PortfolioConfig::default()
     };
     if let Some(n) = max_paths {
@@ -578,6 +584,103 @@ fn corpus_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lint <file|dir>`: run the static communication analysis with caret
+/// diagnostics against the source. Exit contract: 0 when every file is
+/// clean (or every finding is declared by an `// expect-lint:` header),
+/// 1 on findings (errors always; warnings only under `--deny warnings`;
+/// a stale `expect-lint` header that matches nothing always fails), 2 on
+/// usage errors. Files that do not compile are reported (with their
+/// caret diagnostic) and count as failures.
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let Some(target) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mcapi-smc lint <program.mcapi|dir> [--deny warnings] [--unroll N]");
+        return ExitCode::from(2);
+    };
+    let deny_warnings = match strict_value(args, "--deny") {
+        Some(Ok("warnings")) => true,
+        Some(_) => {
+            eprintln!("--deny accepts exactly `warnings`");
+            return ExitCode::from(2);
+        }
+        None => false,
+    };
+    let unroll_flag = match parse_flag_strict(args, "--unroll") {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = Path::new(target);
+    let files: Vec<std::path::PathBuf> = if path.is_dir() {
+        match corpus_files(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        vec![path.to_path_buf()]
+    };
+    if files.is_empty() {
+        eprintln!("no .mcapi files under {target}");
+        return ExitCode::from(2);
+    }
+
+    let mut fail = false;
+    let (mut errors, mut warnings, mut expected_total) = (0usize, 0usize, 0usize);
+    for file in &files {
+        let shown = file.display();
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {shown}: {e}");
+                errors += 1;
+                fail = true;
+                continue;
+            }
+        };
+        // Unroll precedence mirrors `check`: flag > header > default.
+        let unroll = match unroll_flag.or(frontend::directives(&text).unroll.map(|n| n as u64)) {
+            Some(n) => UnrollConfig::with_max_count(n as usize),
+            None => UnrollConfig::default(),
+        };
+        let report = match frontend::lint_source(&text, &unroll) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{shown}: {e}");
+                errors += 1;
+                fail = true;
+                continue;
+            }
+        };
+        let expected = frontend::expect_lints(&text);
+        let exp = frontend::check_expectations(&report, &expected);
+        for f in &report.findings {
+            println!("{shown}: {}", f.rendered);
+        }
+        for want in &exp.missing {
+            println!("{shown}: error: expected lint matching {want:?} was not produced");
+        }
+        errors += exp.unexpected_errors;
+        warnings += exp.unexpected_warnings;
+        expected_total += exp.matched;
+        if !exp.pass(deny_warnings) {
+            fail = true;
+        }
+    }
+    println!(
+        "{} file(s): {errors} error(s), {warnings} warning(s), {expected_total} expected finding(s)",
+        files.len()
+    );
+    if fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `fmt`: canonicalise MCAPI-lite (or convert a JSON program to it).
 fn fmt(args: &[String]) -> ExitCode {
     let Some(path) = args.get(1) else {
@@ -710,7 +813,7 @@ fn main() -> ExitCode {
     }
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: mcapi-smc <check|fmt|export|behaviours|explore|run|info|demo|portfolio|sweep> ..."
+            "usage: mcapi-smc <check|fmt|lint|export|behaviours|explore|run|info|demo|portfolio|sweep> ..."
         );
         eprintln!("       mcapi-smc --list-programs");
         return ExitCode::from(2);
@@ -720,6 +823,7 @@ fn main() -> ExitCode {
         "portfolio" => return portfolio(&args, Mode::Race),
         "sweep" => return portfolio(&args, Mode::Sweep),
         "fmt" => return fmt(&args),
+        "lint" => return lint_cmd(&args),
         "export" => return export(&args),
         "corpus-check" => return corpus_check(&args),
         _ => {}

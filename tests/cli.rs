@@ -720,6 +720,8 @@ fn portfolio_trace_out_covers_scenarios_and_solver_queries() {
     let dir = std::env::temp_dir().join("mcapi-smc-cli-tests");
     std::fs::create_dir_all(&dir).unwrap();
     let trace_out = dir.join("portfolio-trace.json");
+    // `race` has no assertions, so the static triage pre-pass would
+    // settle the whole grid engine-free; opt out to keep the solver hot.
     let out = bin()
         .args([
             "portfolio",
@@ -729,6 +731,7 @@ fn portfolio_trace_out_covers_scenarios_and_solver_queries() {
             "race",
             "--threads",
             "2",
+            "--no-static-triage",
             "--json",
             "-",
             "--trace-out",
@@ -807,4 +810,134 @@ fn corpus_check_reports_wall_clock_and_slowest() {
     assert!(stdout.contains("a-safe.mcapi: safe (ok) ["), "{stdout}");
     assert!(stdout.contains(" ms]"), "{stdout}");
     assert!(stdout.contains("slowest 1 of 2:"), "{stdout}");
+}
+
+const UNUSED_VAR_SRC: &str = "program p {\n  thread t0 { var v; var x; v = recv(0); }\n\
+    \x20 thread t1 { send(t0:0, 1); }\n}\n";
+
+#[test]
+fn lint_clean_file_exits_0() {
+    let path = write_temp("lint-clean.mcapi", SAFE_SRC);
+    let out = bin()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("1 file(s): 0 error(s), 0 warning(s)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_errors_exit_1_with_caret_diagnostics() {
+    // An orphan receive is an error-class finding: exit 1, and the
+    // diagnostic carries the frontend's caret rendering, not a bare line.
+    let src = "program p {\n  thread t0 { var v; v = recv(0); }\n}\n";
+    let path = write_temp("lint-orphan.mcapi", src);
+    let out = bin()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("can never be matched"), "{stdout}");
+    assert!(stdout.contains("^"), "caret rendering expected: {stdout}");
+}
+
+#[test]
+fn lint_warnings_gate_on_deny_warnings() {
+    // `x` is never used: a warning. Warnings alone pass by default and
+    // fail only under --deny warnings.
+    let path = write_temp("lint-unused.mcapi", UNUSED_VAR_SRC);
+    let out = bin()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("warning"), "{stdout}");
+    assert!(stdout.contains("is never used"), "{stdout}");
+
+    let out = bin()
+        .args(["lint", path.to_str().unwrap(), "--deny", "warnings"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "--deny warnings promotes");
+}
+
+#[test]
+fn lint_expect_headers_declare_findings_and_stale_headers_fail() {
+    // A declared finding is expected, not fatal: the corpus file with an
+    // orphan receive passes even under --deny warnings.
+    let corpus =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/orphan-receive.mcapi");
+    let out = bin()
+        .args(["lint", corpus.to_str().unwrap(), "--deny", "warnings"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("2 expected finding(s)"), "{stdout}");
+
+    // A stale header (matching nothing) must fail so declarations can't rot.
+    let stale = format!("// expect-lint: no such finding\n{SAFE_SRC}");
+    let path = write_temp("lint-stale.mcapi", &stale);
+    let out = bin()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("was not produced"), "{stdout}");
+}
+
+#[test]
+fn lint_compile_failure_is_a_finding_not_a_usage_error() {
+    let path = write_temp("lint-broken.mcapi", "program p { thread t0 {");
+    let out = bin()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "unparseable file => exit 1");
+}
+
+#[test]
+fn lint_usage_errors_exit_2() {
+    let out = bin().args(["lint"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing target");
+    let path = write_temp("lint-usage.mcapi", SAFE_SRC);
+    let out = bin()
+        .args(["lint", path.to_str().unwrap(), "--deny", "everything"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad --deny value");
+    let out = bin()
+        .args(["lint", path.to_str().unwrap(), "--unroll", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad --unroll value");
+    let empty = write_corpus("lint-empty", &[]);
+    let out = bin()
+        .args(["lint", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "dir without .mcapi files");
+}
+
+#[test]
+fn check_no_static_triage_flag_is_accepted_and_agrees() {
+    // The escape hatch must not change the verdict, only the route.
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus/const-assert.mcapi");
+    let with = bin()
+        .args(["check", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let without = bin()
+        .args(["check", corpus.to_str().unwrap(), "--no-static-triage"])
+        .output()
+        .unwrap();
+    assert_eq!(with.status.code(), Some(1), "statically decided violation");
+    assert_eq!(without.status.code(), Some(1), "engine agrees");
 }

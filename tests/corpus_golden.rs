@@ -32,12 +32,20 @@ fn corpus_files() -> Vec<std::path::PathBuf> {
 #[test]
 fn corpus_is_populated() {
     assert!(
-        corpus_files().len() >= 17,
-        "corpus/ must hold at least 17 .mcapi files, found {}",
+        corpus_files().len() >= 24,
+        "corpus/ must hold at least 24 .mcapi files, found {}",
         corpus_files().len()
     );
-    // The loop workload class is represented.
-    for name in ["iterated-handshake", "second-lap", "loop-storm"] {
+    // The loop workload class and the static-analysis showcases are
+    // represented.
+    for name in [
+        "iterated-handshake",
+        "second-lap",
+        "loop-storm",
+        "orphan-receive",
+        "cross-block",
+        "const-assert",
+    ] {
         assert!(
             corpus_files()
                 .iter()
@@ -270,5 +278,42 @@ fn nested_gate_violation_names_its_path() {
             assert!(path.contains("sink:TF"), "{path}");
         }
         other => panic!("expected violation, got {other:?}"),
+    }
+}
+
+/// Every corpus file must be lint-clean except for findings it declares
+/// with `// expect-lint:` headers — and every declared finding must
+/// actually fire (a stale header is as much a bug as an undeclared
+/// finding). This is the same contract the CI `lint corpus/ --deny
+/// warnings` step enforces, asserted in-process so `cargo test` alone
+/// catches a drifting corpus.
+#[test]
+fn corpus_lint_findings_match_their_expect_lint_headers() {
+    use frontend::{check_expectations, expect_lints, lint_source};
+    use mcapi::program::UnrollConfig;
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let unroll = match directives(&text).unroll {
+            Some(n) => UnrollConfig::with_max_count(n),
+            None => UnrollConfig::default(),
+        };
+        let report = lint_source(&text, &unroll)
+            .unwrap_or_else(|e| panic!("{} failed to compile:\n{e}", path.display()));
+        let exp = check_expectations(&report, &expect_lints(&text));
+        assert!(
+            exp.pass(true),
+            "{}: lint expectations violated \
+             (missing {:?}, {} unexpected error(s), {} unexpected warning(s));\n{}",
+            path.display(),
+            exp.missing,
+            exp.unexpected_errors,
+            exp.unexpected_warnings,
+            report
+                .findings
+                .iter()
+                .map(|f| f.message.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 }

@@ -120,7 +120,9 @@ fn event_log_schema_is_stable() {
         "\"paths_explored\":1,",
         "\"paths_pruned\":0,",
         "\"states\":0,",
-        "\"reused_encoding\":true}",
+        "\"reused_encoding\":true,",
+        "\"statically_decided\":false,",
+        "\"lint_findings\":0}",
     );
     assert_eq!(
         lines[0], expected_first,
@@ -161,6 +163,7 @@ fn sample_record(rev: &str) -> TrendRecord {
         paths_pruned: 2,
         directed_transitions: 3_795,
         canonical_skipped: 4_387,
+        statically_decided: 6,
     }
 }
 
